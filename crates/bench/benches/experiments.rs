@@ -1,0 +1,27 @@
+//! Criterion wrappers around the paper-reproduction experiments: one
+//! bench per table/figure, at reduced instruction counts so `cargo bench`
+//! terminates in minutes. Use the `repro` binary for full-length runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctcp_bench::{run_experiment, ExperimentId, RunOptions};
+
+fn quick_opts() -> RunOptions {
+    RunOptions {
+        max_insts: 8_000,
+        suite_insts: 4_000,
+    }
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_experiments");
+    group.sample_size(10);
+    for id in ExperimentId::ALL {
+        group.bench_function(id.to_string(), |b| {
+            b.iter(|| run_experiment(id, quick_opts()).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

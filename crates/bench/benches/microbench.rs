@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks of the simulator's hot components.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ctcp_frontend::{BranchPredictor, HybridPredictor};
+use ctcp_isa::Executor;
+use ctcp_memory::{AccessKind, DataMemory, MemoryConfig};
+use ctcp_sim::{SimConfig, Simulation, Strategy};
+use ctcp_tracecache::{TraceCache, TraceCacheConfig};
+use ctcp_workload::Benchmark;
+
+fn bench_functional_executor(c: &mut Criterion) {
+    let program = Benchmark::by_name("gzip").unwrap().program();
+    c.bench_function("executor_10k_insts", |b| {
+        b.iter(|| {
+            let ex = Executor::new(&program);
+            ex.take(10_000).count()
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("hybrid_predictor_10k_updates", |b| {
+        b.iter_batched(
+            HybridPredictor::default,
+            |mut p| {
+                for i in 0..10_000u64 {
+                    let pc = 0x1000 + (i % 64) * 4;
+                    let taken = (i / (1 + pc % 7)) % 2 == 0;
+                    let _ = p.predict(pc);
+                    p.update(pc, taken);
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_data_memory(c: &mut Criterion) {
+    c.bench_function("dcache_10k_accesses", |b| {
+        b.iter_batched(
+            || DataMemory::new(MemoryConfig::default()),
+            |mut m| {
+                for i in 0..10_000u64 {
+                    m.access(AccessKind::Load, (i * 72) % (1 << 18), i);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_trace_cache(c: &mut Criterion) {
+    c.bench_function("trace_cache_lookup_miss", |b| {
+        let mut tc = TraceCache::new(TraceCacheConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tc.lookup(0x1000 + (i % 4096) * 4, |_| true).is_some()
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let program = Benchmark::by_name("gzip").unwrap().program();
+    let mut group = c.benchmark_group("simulate_20k_insts");
+    group.sample_size(10);
+    for strategy in [Strategy::Baseline, Strategy::Fdrt { pinning: true }] {
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    strategy,
+                    max_insts: 20_000,
+                    ..SimConfig::default()
+                };
+                Simulation::new(&program, cfg).run().cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_functional_executor,
+    bench_predictor,
+    bench_data_memory,
+    bench_trace_cache,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <id>... [--insts N] [--suite-insts N]
+//! repro all
+//! ids: table1 table2 table3 fig4 fig5 fig6 fig7 table8 table9 table10
+//!      fig8 fig9 ablation
+//! ```
+
+use ctcp_bench::{run_experiment, ExperimentId, RunOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <id>|all [--insts N] [--suite-insts N]");
+        eprintln!("ids: {}", ids_help());
+        std::process::exit(2);
+    }
+    let mut opts = RunOptions::default();
+    let mut ids: Vec<ExperimentId> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--insts" => {
+                i += 1;
+                opts.max_insts = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bail("--insts needs a number"));
+            }
+            "--suite-insts" => {
+                i += 1;
+                opts.suite_insts = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bail("--suite-insts needs a number"));
+            }
+            "all" => ids.extend(ExperimentId::ALL),
+            other => match other.parse::<ExperimentId>() {
+                Ok(id) => ids.push(id),
+                Err(e) => bail(&e),
+            },
+        }
+        i += 1;
+    }
+    for id in ids {
+        let started = std::time::Instant::now();
+        let out = run_experiment(id, opts);
+        println!("{out}");
+        eprintln!("[{id} took {:.1}s]\n", started.elapsed().as_secs_f64());
+    }
+}
+
+fn ids_help() -> String {
+    ExperimentId::ALL
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn bail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,814 @@
+//! One function per table/figure of the paper.
+
+use crate::table::{pct, ratio, Table};
+use ctcp_core::{LatencyOverrides, Topology};
+use ctcp_sim::{harmonic_mean, SimConfig, SimReport, Simulation, Strategy};
+use ctcp_workload::Benchmark;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which paper artifact to regenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ExperimentId {
+    Table1,
+    Table2,
+    Table3,
+    Fig4,
+    Fig5,
+    Fig6,
+    Fig7,
+    Table8,
+    Table9,
+    Table10,
+    Fig8,
+    Fig9,
+    /// §5.3 ablations: Friendly-with-middle-bias and FDRT-intra-only.
+    Ablation,
+    /// §4 claim: fill-unit latencies up to 1000 cycles barely matter.
+    FillLatency,
+    /// Extension: trace-cache size sensitivity.
+    TcSize,
+    /// Extension: why trace selection matters — disable the
+    /// backward-taken-branch trace terminator and watch assignments churn.
+    TraceSelect,
+}
+
+impl ExperimentId {
+    /// All experiments, in paper order.
+    pub const ALL: [ExperimentId; 16] = [
+        ExperimentId::Table1,
+        ExperimentId::Table2,
+        ExperimentId::Fig4,
+        ExperimentId::Fig5,
+        ExperimentId::Table3,
+        ExperimentId::Fig6,
+        ExperimentId::Table8,
+        ExperimentId::Fig7,
+        ExperimentId::Table9,
+        ExperimentId::Table10,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+        ExperimentId::Ablation,
+        ExperimentId::FillLatency,
+        ExperimentId::TcSize,
+        ExperimentId::TraceSelect,
+    ];
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExperimentId::Table1 => "table1",
+            ExperimentId::Table2 => "table2",
+            ExperimentId::Table3 => "table3",
+            ExperimentId::Fig4 => "fig4",
+            ExperimentId::Fig5 => "fig5",
+            ExperimentId::Fig6 => "fig6",
+            ExperimentId::Fig7 => "fig7",
+            ExperimentId::Table8 => "table8",
+            ExperimentId::Table9 => "table9",
+            ExperimentId::Table10 => "table10",
+            ExperimentId::Fig8 => "fig8",
+            ExperimentId::Fig9 => "fig9",
+            ExperimentId::Ablation => "ablation",
+            ExperimentId::FillLatency => "fill-latency",
+            ExperimentId::TcSize => "tc-size",
+            ExperimentId::TraceSelect => "trace-select",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for ExperimentId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "table1" => Ok(ExperimentId::Table1),
+            "table2" => Ok(ExperimentId::Table2),
+            "table3" => Ok(ExperimentId::Table3),
+            "fig4" => Ok(ExperimentId::Fig4),
+            "fig5" => Ok(ExperimentId::Fig5),
+            "fig6" => Ok(ExperimentId::Fig6),
+            "fig7" => Ok(ExperimentId::Fig7),
+            "table8" => Ok(ExperimentId::Table8),
+            "table9" => Ok(ExperimentId::Table9),
+            "table10" => Ok(ExperimentId::Table10),
+            "fig8" => Ok(ExperimentId::Fig8),
+            "fig9" => Ok(ExperimentId::Fig9),
+            "ablation" => Ok(ExperimentId::Ablation),
+            "fill-latency" => Ok(ExperimentId::FillLatency),
+            "tc-size" => Ok(ExperimentId::TcSize),
+            "trace-select" => Ok(ExperimentId::TraceSelect),
+            other => Err(format!("unknown experiment id: {other}")),
+        }
+    }
+}
+
+/// Run options shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Instructions per simulation for the six focus benchmarks.
+    pub max_insts: u64,
+    /// Instructions per simulation for the suite-wide Figure 9 runs.
+    pub suite_insts: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_insts: 300_000,
+            suite_insts: 120_000,
+        }
+    }
+}
+
+fn base_config(max_insts: u64, strategy: Strategy) -> SimConfig {
+    SimConfig {
+        strategy,
+        max_insts,
+        ..SimConfig::default()
+    }
+}
+
+fn run(bench: &Benchmark, config: SimConfig) -> SimReport {
+    let program = bench.program();
+    Simulation::new(&program, config).run()
+}
+
+fn run_strategy(bench: &Benchmark, strategy: Strategy, max_insts: u64) -> SimReport {
+    run(bench, base_config(max_insts, strategy))
+}
+
+/// Runs `id` and returns its rendered report (paper value columns
+/// included where the paper printed exact numbers).
+pub fn run_experiment(id: ExperimentId, opts: RunOptions) -> String {
+    match id {
+        ExperimentId::Table1 => table1(opts),
+        ExperimentId::Table2 => table2(opts),
+        ExperimentId::Table3 => table3(opts),
+        ExperimentId::Fig4 => fig4(opts),
+        ExperimentId::Fig5 => fig5(opts),
+        ExperimentId::Fig6 => fig6(opts),
+        ExperimentId::Fig7 => fig7(opts),
+        ExperimentId::Table8 => table8(opts),
+        ExperimentId::Table9 => table9(opts),
+        ExperimentId::Table10 => table10(opts),
+        ExperimentId::Fig8 => fig8(opts),
+        ExperimentId::Fig9 => fig9(opts),
+        ExperimentId::Ablation => ablation(opts),
+        ExperimentId::FillLatency => fill_latency(opts),
+        ExperimentId::TcSize => tc_size(opts),
+        ExperimentId::TraceSelect => trace_select(opts),
+    }
+}
+
+const FOCUS_PAPER_TABLE1: [(&str, f64, f64); 6] = [
+    // (name, % TC instr, trace size) — paper Table 1
+    ("bzip2", 0.9822, 14.7),
+    ("eon", 0.8826, 12.4),
+    ("gzip", 0.9683, 13.8),
+    ("perlbmk", 0.9281, 13.2),
+    ("twolf", 0.8407, 11.5),
+    ("vpr", 0.8991, 12.9),
+];
+
+fn table1(opts: RunOptions) -> String {
+    let mut t = Table::new(vec![
+        "bench",
+        "%TC (paper)",
+        "%TC (ours)",
+        "size (paper)",
+        "size (ours)",
+    ]);
+    for b in Benchmark::spec_focus() {
+        let r = run_strategy(&b, Strategy::Baseline, opts.max_insts);
+        let paper = FOCUS_PAPER_TABLE1
+            .iter()
+            .find(|(n, _, _)| *n == b.name)
+            .expect("focus benchmark");
+        t.row(vec![
+            b.name.to_string(),
+            pct(paper.1),
+            pct(r.tc_inst_fraction()),
+            format!("{:.1}", paper.2),
+            format!("{:.1}", r.avg_trace_size()),
+        ]);
+    }
+    format!("Table 1: trace cache characteristics\n{}", t.render())
+}
+
+const PAPER_TABLE2: [(&str, f64, f64); 6] = [
+    ("bzip2", 0.8618, 0.2969),
+    ("eon", 0.8658, 0.3540),
+    ("gzip", 0.8094, 0.2438),
+    ("perlbmk", 0.8611, 0.2776),
+    ("twolf", 0.7858, 0.2395),
+    ("vpr", 0.8232, 0.2584),
+];
+
+fn table2(opts: RunOptions) -> String {
+    let mut t = Table::new(vec![
+        "bench",
+        "crit (paper)",
+        "crit (ours)",
+        "inter-trace (paper)",
+        "inter-trace (ours)",
+    ]);
+    for b in Benchmark::spec_focus() {
+        let r = run_strategy(&b, Strategy::Baseline, opts.max_insts);
+        let paper = PAPER_TABLE2
+            .iter()
+            .find(|(n, _, _)| *n == b.name)
+            .expect("focus benchmark");
+        t.row(vec![
+            b.name.to_string(),
+            pct(paper.1),
+            pct(r.fwd.critical_fraction()),
+            pct(paper.2),
+            pct(r.fwd.inter_trace_fraction()),
+        ]);
+    }
+    format!(
+        "Table 2: critical data forwarding dependencies\n{}",
+        t.render()
+    )
+}
+
+const PAPER_TABLE3: [(&str, f64, f64, f64, f64); 6] = [
+    // (name, all RS1, all RS2, crit-inter RS1, crit-inter RS2)
+    ("bzip2", 0.9741, 0.9766, 0.8930, 0.9117),
+    ("eon", 0.9383, 0.8984, 0.8579, 0.7334),
+    ("gzip", 0.9814, 0.9902, 0.9293, 0.9604),
+    ("perlbmk", 0.9778, 0.9379, 0.9083, 0.7927),
+    ("twolf", 0.9669, 0.9078, 0.8709, 0.7640),
+    ("vpr", 0.9853, 0.9606, 0.9564, 0.9167),
+];
+
+fn table3(opts: RunOptions) -> String {
+    let mut t = Table::new(vec![
+        "bench",
+        "RS1 (paper/ours)",
+        "RS2 (paper/ours)",
+        "inter RS1 (paper/ours)",
+        "inter RS2 (paper/ours)",
+    ]);
+    for b in Benchmark::spec_focus() {
+        let r = run_strategy(&b, Strategy::Baseline, opts.max_insts);
+        let p = PAPER_TABLE3
+            .iter()
+            .find(|(n, ..)| *n == b.name)
+            .expect("focus benchmark");
+        t.row(vec![
+            b.name.to_string(),
+            format!("{} / {}", pct(p.1), pct(r.repeat_all[0])),
+            format!("{} / {}", pct(p.2), pct(r.repeat_all[1])),
+            format!("{} / {}", pct(p.3), pct(r.repeat_critical_inter[0])),
+            format!("{} / {}", pct(p.4), pct(r.repeat_critical_inter[1])),
+        ]);
+    }
+    format!(
+        "Table 3: frequency of repeated forwarding producers\n{}",
+        t.render()
+    )
+}
+
+fn fig4(opts: RunOptions) -> String {
+    // Paper average: 44% RF, 31% RS1, 25% RS2.
+    let mut t = Table::new(vec!["bench", "from RF", "from RS1", "from RS2"]);
+    for b in Benchmark::spec_focus() {
+        let r = run_strategy(&b, Strategy::Baseline, opts.max_insts);
+        let (rf, rs1, rs2) = r.fwd.critical_source_distribution();
+        t.row(vec![b.name.to_string(), pct(rf), pct(rs1), pct(rs2)]);
+    }
+    format!(
+        "Figure 4: source of most critical input\n\
+         (paper averages: RF 44%, RS1 31%, RS2 25%)\n{}",
+        t.render()
+    )
+}
+
+fn fig5(opts: RunOptions) -> String {
+    let variants: [(&str, LatencyOverrides, bool); 5] = [
+        (
+            "No Fwd Lat",
+            LatencyOverrides {
+                no_forward_latency: true,
+                ..Default::default()
+            },
+            false,
+        ),
+        (
+            "No Crit Fwd Lat",
+            LatencyOverrides {
+                no_critical_forward_latency: true,
+                ..Default::default()
+            },
+            false,
+        ),
+        (
+            "No Intra-Trace Lat",
+            LatencyOverrides {
+                no_intra_trace_latency: true,
+                ..Default::default()
+            },
+            false,
+        ),
+        (
+            "No Inter-Trace Lat",
+            LatencyOverrides {
+                no_inter_trace_latency: true,
+                ..Default::default()
+            },
+            false,
+        ),
+        ("No RF Lat", LatencyOverrides::default(), true),
+    ];
+    let mut header = vec!["bench".to_string()];
+    header.extend(variants.iter().map(|(n, _, _)| n.to_string()));
+    let mut t = Table::new(header);
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for b in Benchmark::spec_focus() {
+        let base = run_strategy(&b, Strategy::Baseline, opts.max_insts);
+        let mut cells = vec![b.name.to_string()];
+        for (i, (_, ov, rf0)) in variants.iter().enumerate() {
+            let mut c = base_config(opts.max_insts, Strategy::Baseline);
+            c.engine.overrides = *ov;
+            if *rf0 {
+                c.engine.rf_latency = 0;
+            }
+            let r = run(&b, c);
+            let sp = r.speedup_over(&base);
+            sums[i].push(sp);
+            cells.push(ratio(sp));
+        }
+        t.row(cells);
+    }
+    let mut hm = vec!["HM".to_string()];
+    for s in &sums {
+        hm.push(ratio(harmonic_mean(s)));
+    }
+    t.row(hm);
+    format!(
+        "Figure 5: speedup removing dependency latencies\n\
+         (paper HMs: NoFwd 1.418, NoCrit 1.372, NoIntra 1.177, NoInter 1.155, NoRF ~1.0)\n{}",
+        t.render()
+    )
+}
+
+/// The Figure 6 strategy set.
+fn fig6_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::IssueTime { latency: 0 },
+        Strategy::IssueTime { latency: 4 },
+        Strategy::Fdrt { pinning: true },
+        Strategy::Friendly { middle_bias: false },
+    ]
+}
+
+fn fig6(opts: RunOptions) -> String {
+    let strategies = fig6_strategies();
+    let mut header = vec!["bench".to_string()];
+    header.extend(strategies.iter().map(|s| s.name()));
+    let mut t = Table::new(header);
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+    for b in Benchmark::spec_focus() {
+        let base = run_strategy(&b, Strategy::Baseline, opts.max_insts);
+        let mut cells = vec![b.name.to_string()];
+        for (i, s) in strategies.iter().enumerate() {
+            let r = run_strategy(&b, *s, opts.max_insts);
+            let sp = r.speedup_over(&base);
+            sums[i].push(sp);
+            cells.push(ratio(sp));
+        }
+        t.row(cells);
+    }
+    let mut hm = vec!["HM".to_string()];
+    for s in &sums {
+        hm.push(ratio(harmonic_mean(s)));
+    }
+    t.row(hm);
+    format!(
+        "Figure 6: speedup by cluster assignment strategy\n\
+         (paper HMs: issue-time(0) 1.172, issue-time(4) ~1.10, FDRT 1.115, Friendly 1.031)\n{}",
+        t.render()
+    )
+}
+
+const PAPER_TABLE8A: [(&str, f64, f64, f64); 6] = [
+    ("bzip2", 0.3979, 0.6084, 0.7954),
+    ("eon", 0.3373, 0.5283, 0.5135),
+    ("gzip", 0.3294, 0.5391, 0.5825),
+    ("perlbmk", 0.4495, 0.5836, 0.6201),
+    ("twolf", 0.4783, 0.5691, 0.5892),
+    ("vpr", 0.3867, 0.5870, 0.5958),
+];
+
+const PAPER_TABLE8B: [(&str, f64, f64, f64); 6] = [
+    ("bzip2", 0.99, 0.59, 0.28),
+    ("eon", 1.09, 0.73, 0.71),
+    ("gzip", 1.14, 0.73, 0.62),
+    ("perlbmk", 0.85, 0.63, 0.55),
+    ("twolf", 0.79, 0.65, 0.60),
+    ("vpr", 0.97, 0.61, 0.57),
+];
+
+fn table8(opts: RunOptions) -> String {
+    let mut a = Table::new(vec![
+        "bench",
+        "base (paper/ours)",
+        "friendly (paper/ours)",
+        "fdrt (paper/ours)",
+    ]);
+    let mut bt = Table::new(vec![
+        "bench",
+        "base (paper/ours)",
+        "friendly (paper/ours)",
+        "fdrt (paper/ours)",
+    ]);
+    for b in Benchmark::spec_focus() {
+        let base = run_strategy(&b, Strategy::Baseline, opts.max_insts);
+        let fr = run_strategy(&b, Strategy::Friendly { middle_bias: false }, opts.max_insts);
+        let fd = run_strategy(&b, Strategy::Fdrt { pinning: true }, opts.max_insts);
+        let pa = PAPER_TABLE8A
+            .iter()
+            .find(|(n, ..)| *n == b.name)
+            .expect("focus");
+        let pb = PAPER_TABLE8B
+            .iter()
+            .find(|(n, ..)| *n == b.name)
+            .expect("focus");
+        a.row(vec![
+            b.name.to_string(),
+            format!("{} / {}", pct(pa.1), pct(base.fwd.intra_cluster_fraction())),
+            format!("{} / {}", pct(pa.2), pct(fr.fwd.intra_cluster_fraction())),
+            format!("{} / {}", pct(pa.3), pct(fd.fwd.intra_cluster_fraction())),
+        ]);
+        bt.row(vec![
+            b.name.to_string(),
+            format!("{:.2} / {:.2}", pb.1, base.fwd.mean_distance()),
+            format!("{:.2} / {:.2}", pb.2, fr.fwd.mean_distance()),
+            format!("{:.2} / {:.2}", pb.3, fd.fwd.mean_distance()),
+        ]);
+    }
+    format!(
+        "Table 8a: intra-cluster forwarding of critical inputs\n{}\n\
+         Table 8b: average data forwarding distance\n{}",
+        a.render(),
+        bt.render()
+    )
+}
+
+fn fig7(opts: RunOptions) -> String {
+    // Paper averages: A 37%, B 18%, C 9%, D 11%, E ~24%, skipped <1%.
+    let mut t = Table::new(vec!["bench", "A", "B", "C", "D", "E", "skipped"]);
+    for b in Benchmark::spec_focus() {
+        let r = run_strategy(&b, Strategy::Fdrt { pinning: true }, opts.max_insts);
+        let d = r.fdrt.expect("fdrt stats").option_distribution();
+        t.row(vec![
+            b.name.to_string(),
+            pct(d[0]),
+            pct(d[1]),
+            pct(d[2]),
+            pct(d[3]),
+            pct(d[4]),
+            pct(d[5]),
+        ]);
+    }
+    format!(
+        "Figure 7: FDRT assignment option distribution\n\
+         (paper averages: A 37%, B 18%, C 9%, D 11%, E 24%, skipped <1%)\n{}",
+        t.render()
+    )
+}
+
+const PAPER_TABLE9: [(&str, f64, f64); 6] = [
+    // (name, pinning, no pinning) — all-instruction migration
+    ("bzip2", 0.0035, 0.0098),
+    ("eon", 0.0594, 0.0827),
+    ("gzip", 0.0597, 0.0826),
+    ("perlbmk", 0.0377, 0.0359),
+    ("twolf", 0.0508, 0.0892),
+    ("vpr", 0.0436, 0.0477),
+];
+
+fn table9(opts: RunOptions) -> String {
+    let mut t = Table::new(vec![
+        "bench",
+        "pin (paper/ours)",
+        "nopin (paper/ours)",
+        "chain red. (ours)",
+    ]);
+    for b in Benchmark::spec_focus() {
+        let pin = run_strategy(&b, Strategy::Fdrt { pinning: true }, opts.max_insts);
+        let nopin = run_strategy(&b, Strategy::Fdrt { pinning: false }, opts.max_insts);
+        let sp = pin.fdrt.expect("stats");
+        let sn = nopin.fdrt.expect("stats");
+        let p = PAPER_TABLE9
+            .iter()
+            .find(|(n, ..)| *n == b.name)
+            .expect("focus");
+        let chain_red = if sn.chain_migration_rate() > 0.0 {
+            1.0 - sp.chain_migration_rate() / sn.chain_migration_rate()
+        } else {
+            0.0
+        };
+        t.row(vec![
+            b.name.to_string(),
+            format!("{} / {}", pct(p.1), pct(sp.migration_rate())),
+            format!("{} / {}", pct(p.2), pct(sn.migration_rate())),
+            pct(chain_red),
+        ]);
+    }
+    format!(
+        "Table 9: instruction cluster migration (paper chain-migration reduction: 41%)\n{}",
+        t.render()
+    )
+}
+
+const PAPER_TABLE10: [(&str, f64, f64); 6] = [
+    ("bzip2", 0.7955, 0.6669),
+    ("eon", 0.4972, 0.5088),
+    ("gzip", 0.5603, 0.5503),
+    ("perlbmk", 0.6532, 0.6536),
+    ("twolf", 0.5751, 0.5713),
+    ("vpr", 0.5701, 0.5634),
+];
+
+fn table10(opts: RunOptions) -> String {
+    let mut t = Table::new(vec!["bench", "pin (paper/ours)", "nopin (paper/ours)"]);
+    for b in Benchmark::spec_focus() {
+        let pin = run_strategy(&b, Strategy::Fdrt { pinning: true }, opts.max_insts);
+        let nopin = run_strategy(&b, Strategy::Fdrt { pinning: false }, opts.max_insts);
+        let p = PAPER_TABLE10
+            .iter()
+            .find(|(n, ..)| *n == b.name)
+            .expect("focus");
+        t.row(vec![
+            b.name.to_string(),
+            format!("{} / {}", pct(p.1), pct(pin.fwd.intra_cluster_fraction())),
+            format!("{} / {}", pct(p.2), pct(nopin.fwd.intra_cluster_fraction())),
+        ]);
+    }
+    format!(
+        "Table 10: intra-cluster critical forwarding, pinning vs no pinning\n{}",
+        t.render()
+    )
+}
+
+fn fig8(opts: RunOptions) -> String {
+    struct Variant {
+        name: &'static str,
+        issue_latency: u64,
+        apply: fn(&mut SimConfig),
+    }
+    let variants = [
+        Variant {
+            name: "mesh network",
+            issue_latency: 4,
+            apply: |c| c.engine.geometry.topology = Topology::Ring,
+        },
+        Variant {
+            name: "one-cycle fwd",
+            issue_latency: 4,
+            apply: |c| c.engine.hop_latency = 1,
+        },
+        Variant {
+            name: "point-to-point (1 hop everywhere)",
+            issue_latency: 4,
+            apply: |c| c.engine.geometry.topology = Topology::FullyConnected,
+        },
+        Variant {
+            name: "8-wide 2-cluster",
+            issue_latency: 2,
+            apply: |c| {
+                c.engine.geometry.clusters = 2;
+                c.engine.rename_width = 8;
+                c.engine.retire_width = 8;
+                c.engine.rob_entries = 64;
+            },
+        },
+    ];
+    let mut out = String::from(
+        "Figure 8: robustness across cluster configurations\n\
+         (speedups relative to each configuration's own baseline)\n",
+    );
+    for v in variants {
+        let mut t = Table::new(vec!["bench", "fdrt", "friendly", "issue-time"]);
+        let mut sums = [Vec::new(), Vec::new(), Vec::new()];
+        for b in Benchmark::spec_focus() {
+            let mut bc = base_config(opts.max_insts, Strategy::Baseline);
+            (v.apply)(&mut bc);
+            let base = run(&b, bc);
+            let strategies = [
+                Strategy::Fdrt { pinning: true },
+                Strategy::Friendly { middle_bias: false },
+                Strategy::IssueTime {
+                    latency: v.issue_latency,
+                },
+            ];
+            let mut cells = vec![b.name.to_string()];
+            for (i, s) in strategies.iter().enumerate() {
+                let mut c = base_config(opts.max_insts, *s);
+                (v.apply)(&mut c);
+                let r = run(&b, c);
+                let sp = r.speedup_over(&base);
+                sums[i].push(sp);
+                cells.push(ratio(sp));
+            }
+            t.row(cells);
+        }
+        t.row(vec![
+            "HM".to_string(),
+            ratio(harmonic_mean(&sums[0])),
+            ratio(harmonic_mean(&sums[1])),
+            ratio(harmonic_mean(&sums[2])),
+        ]);
+        out.push_str(&format!("\n[{}]\n{}", v.name, t.render()));
+    }
+    out
+}
+
+fn fig9(opts: RunOptions) -> String {
+    let strategies = fig6_strategies();
+    let mut out = String::from(
+        "Figure 9: suite-wide speedups\n\
+         (paper HMs — SPECint: FDRT 1.071, issue-time 1.038, Friendly 1.019;\n\
+          MediaBench: FDRT 1.082, issue-time(0) 1.042, issue-time 1.017, Friendly 1.037)\n",
+    );
+    for (suite_name, suite) in [
+        ("SPECint2000", Benchmark::spec_all()),
+        ("MediaBench", Benchmark::mediabench()),
+    ] {
+        let mut header = vec!["bench".to_string()];
+        header.extend(strategies.iter().map(|s| s.name()));
+        let mut t = Table::new(header);
+        let mut sums: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+        for b in &suite {
+            let base = run_strategy(b, Strategy::Baseline, opts.suite_insts);
+            let mut cells = vec![b.name.to_string()];
+            for (i, s) in strategies.iter().enumerate() {
+                let r = run_strategy(b, *s, opts.suite_insts);
+                let sp = r.speedup_over(&base);
+                sums[i].push(sp);
+                cells.push(ratio(sp));
+            }
+            t.row(cells);
+        }
+        let mut hm = vec!["HM".to_string()];
+        for s in &sums {
+            hm.push(ratio(harmonic_mean(s)));
+        }
+        t.row(hm);
+        out.push_str(&format!("\n[{suite_name}]\n{}", t.render()));
+    }
+    out
+}
+
+fn ablation(opts: RunOptions) -> String {
+    let strategies = [
+        Strategy::Friendly { middle_bias: false },
+        Strategy::Friendly { middle_bias: true },
+        Strategy::FdrtIntraOnly,
+        Strategy::Fdrt { pinning: true },
+    ];
+    let mut header = vec!["bench".to_string()];
+    header.extend(strategies.iter().map(|s| s.name()));
+    let mut t = Table::new(header);
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
+    for b in Benchmark::spec_focus() {
+        let base = run_strategy(&b, Strategy::Baseline, opts.max_insts);
+        let mut cells = vec![b.name.to_string()];
+        for (i, s) in strategies.iter().enumerate() {
+            let r = run_strategy(&b, *s, opts.max_insts);
+            let sp = r.speedup_over(&base);
+            sums[i].push(sp);
+            cells.push(ratio(sp));
+        }
+        t.row(cells);
+    }
+    let mut hm = vec!["HM".to_string()];
+    for s in &sums {
+        hm.push(ratio(harmonic_mean(s)));
+    }
+    t.row(hm);
+    format!(
+        "§5.3 ablations\n\
+         (paper: Friendly 1.031, Friendly-middle 1.047, FDRT-intra-only 1.057, FDRT 1.115)\n{}",
+        t.render()
+    )
+}
+
+fn fill_latency(opts: RunOptions) -> String {
+    let latencies = [3u64, 10, 100, 1000];
+    let mut header = vec!["bench".to_string()];
+    header.extend(latencies.iter().map(|l| format!("lat {l}")));
+    let mut t = Table::new(header);
+    for b in Benchmark::spec_focus() {
+        let mut cells = vec![b.name.to_string()];
+        let mut reference = None;
+        for &lat in &latencies {
+            let mut c = base_config(opts.max_insts, Strategy::Fdrt { pinning: true });
+            c.fill.latency = lat;
+            let r = run(&b, c);
+            let base = *reference.get_or_insert(r.cycles);
+            cells.push(ratio(base as f64 / r.cycles as f64));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Fill-unit latency sweep (FDRT performance relative to 3-cycle fill)
+         (paper §4: a fill latency of 1000 cycles does not significantly
+          impact FDRT performance)
+{}",
+        t.render()
+    )
+}
+
+fn tc_size(opts: RunOptions) -> String {
+    let sizes = [64usize, 256, 1024, 4096];
+    let mut header = vec!["bench".to_string()];
+    for s in sizes {
+        header.push(format!("{s}e ipc"));
+        header.push(format!("{s}e tc%"));
+    }
+    let mut t = Table::new(header);
+    for b in Benchmark::spec_focus() {
+        let mut cells = vec![b.name.to_string()];
+        for &entries in &sizes {
+            let mut c = base_config(opts.max_insts, Strategy::Fdrt { pinning: true });
+            c.trace_cache.entries = entries;
+            let r = run(&b, c);
+            cells.push(ratio(r.ipc));
+            cells.push(pct(r.tc_inst_fraction()));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Trace-cache size sensitivity (FDRT; Table 7 baseline is 1024 entries)
+{}",
+        t.render()
+    )
+}
+
+fn trace_select(opts: RunOptions) -> String {
+    let mut t = Table::new(vec![
+        "bench",
+        "ipc (loop-aligned)",
+        "ipc (free-running)",
+        "migration (aligned)",
+        "migration (free)",
+    ]);
+    for b in Benchmark::spec_focus() {
+        let aligned = run(&b, base_config(opts.max_insts, Strategy::Fdrt { pinning: true }));
+        let mut c = base_config(opts.max_insts, Strategy::Fdrt { pinning: true });
+        c.fill.end_at_backward_branch = false;
+        let free = run(&b, c);
+        let ma = aligned.fdrt.expect("stats").migration_rate();
+        let mf = free.fdrt.expect("stats").migration_rate();
+        t.row(vec![
+            b.name.to_string(),
+            ratio(aligned.ipc),
+            ratio(free.ipc),
+            pct(ma),
+            pct(mf),
+        ]);
+    }
+    format!(
+        "Trace-selection ablation: ending traces at loop-back edges
+         (without loop alignment, 16-instruction trace windows precess
+          around loops, the same static instruction lands in several
+          overlapping trace families, and retire-time assignments churn —
+          see DESIGN.md §5)
+{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_round_trip() {
+        for id in ExperimentId::ALL {
+            let s = id.to_string();
+            assert_eq!(s.parse::<ExperimentId>().unwrap(), id);
+        }
+        assert!("bogus".parse::<ExperimentId>().is_err());
+    }
+
+    #[test]
+    fn table1_runs_quickly() {
+        let out = run_experiment(
+            ExperimentId::Table1,
+            RunOptions {
+                max_insts: 4_000,
+                suite_insts: 2_000,
+            },
+        );
+        assert!(out.contains("bzip2"));
+        assert!(out.contains("Table 1"));
+    }
+}

@@ -1,0 +1,13 @@
+//! # Experiment harness
+//!
+//! Regenerates every table and figure of Bhargava & John (ISCA 2003) from
+//! the CTCP simulator. The `repro` binary drives the [`experiments`]
+//! module; Criterion benches in `benches/` time the same workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{run_experiment, ExperimentId, RunOptions};

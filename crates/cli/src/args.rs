@@ -1,0 +1,333 @@
+//! Argument parsing (hand-rolled: the workspace avoids non-approved
+//! dependencies).
+
+use ctcp_core::Topology;
+use ctcp_sim::Strategy;
+use std::fmt;
+
+/// Source of the program to simulate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramSource {
+    /// A named synthetic benchmark preset.
+    Bench(String),
+    /// A TRISC assembly file.
+    AsmFile(String),
+}
+
+/// Options shared by `run` and `compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// What to simulate.
+    pub source: ProgramSource,
+    /// Strategy (only used by `run`).
+    pub strategy: Strategy,
+    /// Instruction budget.
+    pub insts: u64,
+    /// Number of clusters.
+    pub clusters: u8,
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// Forwarding latency per hop.
+    pub hop_latency: u64,
+    /// Emit machine-readable CSV instead of prose.
+    pub csv: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            source: ProgramSource::Bench("gzip".into()),
+            strategy: Strategy::Baseline,
+            insts: 100_000,
+            clusters: 4,
+            topology: Topology::Linear,
+            hop_latency: 2,
+            csv: false,
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List available benchmark presets.
+    List,
+    /// Run one strategy and print its report.
+    Run(RunArgs),
+    /// Run every strategy and print a comparison table.
+    Compare(RunArgs),
+    /// Print the disassembly of the selected program.
+    Disasm(ProgramSource),
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The parsed CLI entry point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The command to execute.
+    pub command: Command,
+}
+
+/// Parses a strategy name as accepted by `--strategy`.
+pub fn parse_strategy(s: &str) -> Result<Strategy, CliError> {
+    match s {
+        "base" | "baseline" => Ok(Strategy::Baseline),
+        "issue0" | "issue-time-0" => Ok(Strategy::IssueTime { latency: 0 }),
+        "issue4" | "issue-time" | "issue-time-4" => Ok(Strategy::IssueTime { latency: 4 }),
+        "friendly" => Ok(Strategy::Friendly { middle_bias: false }),
+        "friendly-mid" => Ok(Strategy::Friendly { middle_bias: true }),
+        "fdrt" => Ok(Strategy::Fdrt { pinning: true }),
+        "fdrt-nopin" => Ok(Strategy::Fdrt { pinning: false }),
+        "fdrt-intra" => Ok(Strategy::FdrtIntraOnly),
+        other => Err(CliError(format!(
+            "unknown strategy {other:?} (try: base issue0 issue4 friendly friendly-mid \
+             fdrt fdrt-nopin fdrt-intra)"
+        ))),
+    }
+}
+
+impl Cli {
+    /// Parses argv (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] describing the first problem encountered.
+    pub fn parse<I, S>(argv: I) -> Result<Cli, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let args: Vec<String> = argv.into_iter().map(Into::into).collect();
+        let Some(cmd) = args.first() else {
+            return Ok(Cli {
+                command: Command::Help,
+            });
+        };
+        let rest = &args[1..];
+        let command = match cmd.as_str() {
+            "list" => {
+                expect_no_args(rest)?;
+                Command::List
+            }
+            "help" | "--help" | "-h" => Command::Help,
+            "run" => Command::Run(parse_run_args(rest)?),
+            "compare" => Command::Compare(parse_run_args(rest)?),
+            "disasm" => {
+                let ra = parse_run_args(rest)?;
+                Command::Disasm(ra.source)
+            }
+            other => return Err(CliError(format!("unknown command {other:?}"))),
+        };
+        Ok(Cli { command })
+    }
+}
+
+fn expect_no_args(rest: &[String]) -> Result<(), CliError> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError(format!("unexpected argument {:?}", rest[0])))
+    }
+}
+
+fn parse_run_args(rest: &[String]) -> Result<RunArgs, CliError> {
+    let mut out = RunArgs::default();
+    let mut source: Option<ProgramSource> = None;
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, CliError> {
+        *i += 1;
+        rest.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{} needs a value", rest[*i - 1])))
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--bench" => source = Some(ProgramSource::Bench(value(&mut i)?)),
+            "--asm" => source = Some(ProgramSource::AsmFile(value(&mut i)?)),
+            "--strategy" => out.strategy = parse_strategy(&value(&mut i)?)?,
+            "--insts" => {
+                let v = value(&mut i)?;
+                out.insts = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --insts value {v:?}")))?;
+            }
+            "--clusters" => {
+                let v = value(&mut i)?;
+                out.clusters = v
+                    .parse()
+                    .ok()
+                    .filter(|&c: &u8| (1..=8).contains(&c))
+                    .ok_or_else(|| CliError(format!("bad --clusters value {v:?} (1..=8)")))?;
+            }
+            "--topology" => {
+                out.topology = match value(&mut i)?.as_str() {
+                    "linear" => Topology::Linear,
+                    "ring" | "mesh" => Topology::Ring,
+                    "full" | "p2p" => Topology::FullyConnected,
+                    other => {
+                        return Err(CliError(format!(
+                            "bad --topology {other:?} (linear|ring|full)"
+                        )))
+                    }
+                };
+            }
+            "--hop" => {
+                let v = value(&mut i)?;
+                out.hop_latency = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --hop value {v:?}")))?;
+            }
+            "--csv" => out.csv = true,
+            other => return Err(CliError(format!("unknown flag {other:?}"))),
+        }
+        i += 1;
+    }
+    if let Some(s) = source {
+        out.source = s;
+    }
+    Ok(out)
+}
+
+/// The usage text printed by `ctcp help`.
+pub const USAGE: &str = "\
+ctcp — clustered trace cache processor simulator
+
+USAGE:
+  ctcp list                               list benchmark presets
+  ctcp run     [SOURCE] [OPTIONS]         simulate one strategy
+  ctcp compare [SOURCE] [OPTIONS]         compare all strategies
+  ctcp disasm  [SOURCE]                   print program disassembly
+  ctcp help                               this text
+
+SOURCE:
+  --bench NAME        synthetic benchmark preset (default: gzip)
+  --asm FILE          TRISC assembly file
+
+OPTIONS:
+  --strategy S        base | issue0 | issue4 | friendly | friendly-mid |
+                      fdrt | fdrt-nopin | fdrt-intra   (default: base)
+  --insts N           instruction budget (default: 100000)
+  --clusters N        cluster count, 1..=8 (default: 4)
+  --topology T        linear | ring | full (default: linear)
+  --hop N             forwarding latency per hop (default: 2)
+  --csv               machine-readable output
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_argv_is_help() {
+        let cli = Cli::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(cli.command, Command::Help);
+    }
+
+    #[test]
+    fn list_takes_no_args() {
+        assert!(Cli::parse(["list"]).is_ok());
+        assert!(Cli::parse(["list", "x"]).is_err());
+    }
+
+    #[test]
+    fn run_defaults() {
+        let cli = Cli::parse(["run"]).unwrap();
+        let Command::Run(a) = cli.command else {
+            panic!("expected run")
+        };
+        assert_eq!(a.source, ProgramSource::Bench("gzip".into()));
+        assert_eq!(a.strategy, Strategy::Baseline);
+        assert_eq!(a.insts, 100_000);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn run_with_everything() {
+        let cli = Cli::parse([
+            "run",
+            "--bench",
+            "twolf",
+            "--strategy",
+            "fdrt",
+            "--insts",
+            "5000",
+            "--clusters",
+            "2",
+            "--topology",
+            "ring",
+            "--hop",
+            "1",
+            "--csv",
+        ])
+        .unwrap();
+        let Command::Run(a) = cli.command else {
+            panic!("expected run")
+        };
+        assert_eq!(a.source, ProgramSource::Bench("twolf".into()));
+        assert_eq!(a.strategy, Strategy::Fdrt { pinning: true });
+        assert_eq!(a.insts, 5_000);
+        assert_eq!(a.clusters, 2);
+        assert_eq!(a.topology, Topology::Ring);
+        assert_eq!(a.hop_latency, 1);
+        assert!(a.csv);
+    }
+
+    #[test]
+    fn all_strategy_names_parse() {
+        for (name, expect) in [
+            ("base", Strategy::Baseline),
+            ("issue0", Strategy::IssueTime { latency: 0 }),
+            ("issue4", Strategy::IssueTime { latency: 4 }),
+            ("friendly", Strategy::Friendly { middle_bias: false }),
+            ("friendly-mid", Strategy::Friendly { middle_bias: true }),
+            ("fdrt", Strategy::Fdrt { pinning: true }),
+            ("fdrt-nopin", Strategy::Fdrt { pinning: false }),
+            ("fdrt-intra", Strategy::FdrtIntraOnly),
+        ] {
+            assert_eq!(parse_strategy(name).unwrap(), expect, "{name}");
+        }
+        assert!(parse_strategy("bogus").is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Cli::parse(["run", "--insts"]).is_err());
+        assert!(Cli::parse(["run", "--strategy"]).is_err());
+    }
+
+    #[test]
+    fn bad_values_are_errors() {
+        assert!(Cli::parse(["run", "--insts", "many"]).is_err());
+        assert!(Cli::parse(["run", "--clusters", "0"]).is_err());
+        assert!(Cli::parse(["run", "--clusters", "9"]).is_err());
+        assert!(Cli::parse(["run", "--topology", "torus"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_are_errors() {
+        assert!(Cli::parse(["run", "--frobnicate"]).is_err());
+        assert!(Cli::parse(["launch"]).is_err());
+    }
+
+    #[test]
+    fn asm_source() {
+        let cli = Cli::parse(["disasm", "--asm", "k.s"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Disasm(ProgramSource::AsmFile("k.s".into()))
+        );
+    }
+}

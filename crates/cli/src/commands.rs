@@ -1,0 +1,297 @@
+//! Command execution: everything returns the text to print so it can be
+//! asserted on in tests.
+
+use crate::args::{Cli, CliError, Command, ProgramSource, RunArgs, USAGE};
+use ctcp_isa::{asm, Program};
+use ctcp_sim::{SimConfig, SimReport, Simulation, Strategy};
+use ctcp_workload::Benchmark;
+
+fn load_program(source: &ProgramSource) -> Result<Program, CliError> {
+    match source {
+        ProgramSource::Bench(name) => Benchmark::by_name(name)
+            .map(|b| b.program())
+            .ok_or_else(|| CliError(format!("unknown benchmark {name:?} (see `ctcp list`)"))),
+        ProgramSource::AsmFile(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path:?}: {e}")))?;
+            asm::assemble(&text).map_err(|e| CliError(format!("{path}: {e}")))
+        }
+    }
+}
+
+fn config(args: &RunArgs, strategy: Strategy) -> SimConfig {
+    let mut c = SimConfig {
+        strategy,
+        max_insts: args.insts,
+        ..SimConfig::default()
+    };
+    c.engine.geometry.clusters = args.clusters;
+    c.engine.geometry.topology = args.topology;
+    c.engine.hop_latency = args.hop_latency;
+    c
+}
+
+fn simulate(program: &Program, args: &RunArgs, strategy: Strategy) -> SimReport {
+    Simulation::new(program, config(args, strategy)).run()
+}
+
+fn describe(source: &ProgramSource) -> String {
+    match source {
+        ProgramSource::Bench(n) => n.clone(),
+        ProgramSource::AsmFile(p) => p.clone(),
+    }
+}
+
+/// Executes a parsed command line and returns what to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown benchmarks, unreadable or invalid
+/// assembly files.
+pub fn execute(cli: &Cli) -> Result<String, CliError> {
+    match &cli.command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::List => {
+            let mut out = String::from("SPECint2000-class presets:\n");
+            for b in Benchmark::spec_all() {
+                out.push_str(&format!("  {}\n", b.name));
+            }
+            out.push_str("MediaBench-class presets:\n");
+            for b in Benchmark::mediabench() {
+                out.push_str(&format!("  {}\n", b.name));
+            }
+            Ok(out)
+        }
+        Command::Disasm(source) => {
+            let program = load_program(source)?;
+            Ok(asm::disassemble(&program))
+        }
+        Command::Run(args) => {
+            let program = load_program(&args.source)?;
+            let r = simulate(&program, args, args.strategy);
+            if args.csv {
+                Ok(csv_report(&describe(&args.source), &r))
+            } else {
+                Ok(prose_report(&describe(&args.source), &r))
+            }
+        }
+        Command::Compare(args) => {
+            let program = load_program(&args.source)?;
+            let base = simulate(&program, args, Strategy::Baseline);
+            let strategies = [
+                Strategy::IssueTime { latency: 0 },
+                Strategy::IssueTime { latency: 4 },
+                Strategy::Friendly { middle_bias: false },
+                Strategy::Fdrt { pinning: true },
+            ];
+            let mut out = String::new();
+            if args.csv {
+                out.push_str("strategy,ipc,speedup,intra_cluster,distance\n");
+                out.push_str(&format!(
+                    "base,{:.4},1.0000,{:.4},{:.4}\n",
+                    base.ipc,
+                    base.fwd.intra_cluster_fraction(),
+                    base.fwd.mean_distance()
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{} — {} instructions, {} clusters\n",
+                    describe(&args.source),
+                    base.instructions,
+                    args.clusters
+                ));
+                out.push_str(&format!(
+                    "{:<16}{:>8}{:>10}{:>14}{:>10}\n",
+                    "strategy", "ipc", "speedup", "intra-fwd", "distance"
+                ));
+                out.push_str(&format!(
+                    "{:<16}{:>8.3}{:>10.3}{:>13.1}%{:>10.2}\n",
+                    "base",
+                    base.ipc,
+                    1.0,
+                    100.0 * base.fwd.intra_cluster_fraction(),
+                    base.fwd.mean_distance()
+                ));
+            }
+            for s in strategies {
+                let r = simulate(&program, args, s);
+                if args.csv {
+                    out.push_str(&format!(
+                        "{},{:.4},{:.4},{:.4},{:.4}\n",
+                        r.strategy,
+                        r.ipc,
+                        r.speedup_over(&base),
+                        r.fwd.intra_cluster_fraction(),
+                        r.fwd.mean_distance()
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "{:<16}{:>8.3}{:>10.3}{:>13.1}%{:>10.2}\n",
+                        r.strategy,
+                        r.ipc,
+                        r.speedup_over(&base),
+                        100.0 * r.fwd.intra_cluster_fraction(),
+                        r.fwd.mean_distance()
+                    ));
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn prose_report(name: &str, r: &SimReport) -> String {
+    let (rf, rs1, rs2) = r.fwd.critical_source_distribution();
+    let mut out = String::new();
+    out.push_str(&format!("{name} under {}\n", r.strategy));
+    out.push_str(&format!(
+        "  {} instructions in {} cycles — IPC {:.3}\n",
+        r.instructions, r.cycles, r.ipc
+    ));
+    out.push_str(&format!(
+        "  fetch: {:.1}% from trace cache, avg trace {:.1} insts, \
+         {:.2}% cond mispredict\n",
+        100.0 * r.tc_inst_fraction(),
+        r.avg_trace_size(),
+        100.0 * r.mispredict_rate()
+    ));
+    out.push_str(&format!(
+        "  forwarding: {:.1}% intra-cluster, mean distance {:.2} hops, \
+         critical source RF {:.0}% / RS1 {:.0}% / RS2 {:.0}%\n",
+        100.0 * r.fwd.intra_cluster_fraction(),
+        r.fwd.mean_distance(),
+        100.0 * rf,
+        100.0 * rs1,
+        100.0 * rs2
+    ));
+    out.push_str(&format!(
+        "  memory: L1D miss {:.2}%, {} store-to-load forwards\n",
+        100.0 * r.l1d.miss_rate(),
+        r.engine.store_forwards
+    ));
+    if let Some(f) = &r.fdrt {
+        out.push_str(&format!(
+            "  fdrt: {} leaders, {} followers, migration {:.2}%\n",
+            f.leaders_created,
+            f.followers_created,
+            100.0 * f.migration_rate()
+        ));
+    }
+    out
+}
+
+fn csv_report(name: &str, r: &SimReport) -> String {
+    format!(
+        "name,strategy,instructions,cycles,ipc,tc_fraction,trace_size,mispredict,\
+         intra_cluster,distance,l1d_miss\n\
+         {name},{},{},{},{:.4},{:.4},{:.2},{:.4},{:.4},{:.4},{:.4}\n",
+        r.strategy,
+        r.instructions,
+        r.cycles,
+        r.ipc,
+        r.tc_inst_fraction(),
+        r.avg_trace_size(),
+        r.mispredict_rate(),
+        r.fwd.intra_cluster_fraction(),
+        r.fwd.mean_distance(),
+        r.l1d.miss_rate(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<String, CliError> {
+        execute(&Cli::parse(argv.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn list_contains_both_suites() {
+        let out = run(&["list"]).unwrap();
+        assert!(out.contains("bzip2"));
+        assert!(out.contains("mpeg2_enc"));
+    }
+
+    #[test]
+    fn run_prose_report() {
+        let out = run(&["run", "--bench", "gzip", "--insts", "4000"]).unwrap();
+        assert!(out.contains("gzip under base"));
+        assert!(out.contains("IPC"));
+    }
+
+    #[test]
+    fn run_csv_report() {
+        let out = run(&[
+            "run", "--bench", "gzip", "--insts", "3000", "--strategy", "fdrt", "--csv",
+        ])
+        .unwrap();
+        let mut lines = out.lines();
+        assert!(lines.next().unwrap().starts_with("name,strategy"));
+        assert!(lines.next().unwrap().starts_with("gzip,fdrt,3000"));
+    }
+
+    #[test]
+    fn compare_lists_all_strategies() {
+        let out = run(&["compare", "--bench", "gzip", "--insts", "3000"]).unwrap();
+        for s in ["base", "issue-time(0)", "issue-time(4)", "friendly", "fdrt"] {
+            assert!(out.contains(s), "missing {s} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_clean_error() {
+        let err = run(&["run", "--bench", "nonesuch"]).unwrap_err();
+        assert!(err.0.contains("nonesuch"));
+    }
+
+    #[test]
+    fn disasm_round_trips_through_the_assembler() {
+        let out = run(&["disasm", "--bench", "adpcm_enc"]).unwrap();
+        let reassembled = ctcp_isa::asm::assemble(&out).unwrap();
+        let original = ctcp_workload::Benchmark::by_name("adpcm_enc")
+            .unwrap()
+            .program();
+        assert_eq!(original.instructions(), reassembled.instructions());
+    }
+
+    #[test]
+    fn asm_file_source_runs(){
+        let dir = std::env::temp_dir().join("ctcp_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("k.s");
+        std::fs::write(
+            &path,
+            "       movi r1, 0\n\
+                    movi r2, 200\n\
+             top:   addi r1, r1, 1\n\
+                    blt  r1, r2, top\n\
+                    halt\n",
+        )
+        .unwrap();
+        let out = run(&["run", "--asm", path.to_str().unwrap(), "--insts", "10000"]).unwrap();
+        assert!(out.contains("IPC"));
+    }
+
+    #[test]
+    fn missing_asm_file_is_a_clean_error() {
+        let err = run(&["run", "--asm", "/nonexistent/x.s"]).unwrap_err();
+        assert!(err.0.contains("cannot read"));
+    }
+
+    #[test]
+    fn two_cluster_ring_configuration_runs() {
+        let out = run(&[
+            "run", "--bench", "gzip", "--insts", "3000", "--clusters", "2", "--topology",
+            "ring", "--hop", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("IPC"));
+    }
+}

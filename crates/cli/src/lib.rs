@@ -1,0 +1,24 @@
+//! # Command-line driver for the CTCP simulator
+//!
+//! Provides the `ctcp` binary:
+//!
+//! ```text
+//! ctcp list
+//! ctcp run     --bench gzip --strategy fdrt --insts 100000
+//! ctcp run     --asm kernel.s --strategy issue0 --clusters 2
+//! ctcp compare --bench twolf --insts 50000
+//! ctcp disasm  --bench gzip | head
+//! ```
+//!
+//! Everything the binary does is exposed as a library so it can be unit
+//! tested: argument parsing ([`Cli::parse`]), command execution
+//! ([`execute`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{Cli, CliError, Command, RunArgs};
+pub use commands::execute;

@@ -1,0 +1,21 @@
+//! The `ctcp` binary.
+
+use ctcp_cli::{execute, Cli};
+
+fn main() {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `ctcp help` for usage");
+            std::process::exit(2);
+        }
+    };
+    match execute(&cli) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Baseline placement: no reordering.
+
+/// The base architecture's placement: logical instruction `l` occupies
+/// physical slot `l`, so clusters fill in program order.
+pub fn baseline_placement(n: usize) -> Vec<u8> {
+    (0..n as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity() {
+        assert_eq!(baseline_placement(4), vec![0, 1, 2, 3]);
+        assert_eq!(baseline_placement(0), Vec::<u8>::new());
+    }
+}

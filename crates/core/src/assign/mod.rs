@@ -1,0 +1,63 @@
+//! Dynamic cluster-assignment strategies (the paper's §2.3 and §4).
+//!
+//! Two families exist:
+//!
+//! * **Issue-time** steering is built into the engine
+//!   ([`crate::engine::SteeringMode::IssueTime`]): instructions are sent to
+//!   the cluster where one of their inputs is generated, at a configurable
+//!   extra pipeline latency.
+//! * **Retire-time** strategies run in the fill unit: they choose a
+//!   *physical placement* of each trace's instructions into issue slots,
+//!   so that slot-based steering delivers every instruction to the desired
+//!   cluster with zero issue-time latency. This module implements the
+//!   baseline (identity), Friendly et al.'s intra-trace reordering, and
+//!   the proposed FDRT strategy.
+
+mod baseline;
+mod fdrt;
+mod friendly;
+
+pub use baseline::baseline_placement;
+pub use fdrt::{ChainStore, FdrtAssigner, FdrtConfig, FdrtStats, MapChainStore};
+pub use friendly::{friendly_placement, SlotFillOrder};
+pub(crate) use friendly::friendly_placement_partial;
+
+use crate::ClusterGeometry;
+use ctcp_tracecache::RawTrace;
+
+/// A retire-time placement strategy: maps each logical instruction of a
+/// trace to a physical issue slot.
+#[derive(Debug)]
+pub enum RetireTimeStrategy {
+    /// Physical order = logical order (the base architecture).
+    Baseline,
+    /// Friendly et al.'s intra-trace dependency reordering.
+    Friendly(SlotFillOrder),
+    /// The proposed feedback-directed retire-time strategy.
+    Fdrt(FdrtAssigner),
+}
+
+impl RetireTimeStrategy {
+    /// Computes the placement for `trace`; FDRT additionally updates chain
+    /// state through `store`.
+    pub fn assign(
+        &mut self,
+        trace: &mut RawTrace,
+        geom: &ClusterGeometry,
+        store: &mut dyn ChainStore,
+    ) -> Vec<u8> {
+        match self {
+            RetireTimeStrategy::Baseline => baseline_placement(trace.len()),
+            RetireTimeStrategy::Friendly(order) => friendly_placement(trace, geom, *order),
+            RetireTimeStrategy::Fdrt(a) => a.assign(trace, geom, store),
+        }
+    }
+
+    /// FDRT statistics, if this is the FDRT strategy.
+    pub fn fdrt_stats(&self) -> Option<&FdrtStats> {
+        match self {
+            RetireTimeStrategy::Fdrt(a) => Some(a.stats()),
+            _ => None,
+        }
+    }
+}

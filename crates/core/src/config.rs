@@ -1,0 +1,169 @@
+//! Engine configuration.
+
+use crate::ClusterGeometry;
+use ctcp_isa::OpClass;
+use ctcp_memory::MemoryConfig;
+
+/// Execution and issue latency of one operation class on its functional
+/// unit (Table 7's "Exec. lat." / "Issue lat."). `issue` is the initiation
+/// interval: the FU cannot start another operation for `issue` cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuLatency {
+    /// Cycles from issue to result.
+    pub exec: u64,
+    /// Cycles before the FU can accept another operation.
+    pub issue: u64,
+}
+
+/// Idealisation knobs used by the Figure 5 study: selectively remove data
+/// forwarding or register-file latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyOverrides {
+    /// All inter-cluster forwarding is free ("No Fwd Lat").
+    pub no_forward_latency: bool,
+    /// Only the last-arriving (critical) forwarded input is free
+    /// ("No Crit Fwd Lat").
+    pub no_critical_forward_latency: bool,
+    /// Forwarding between instructions of the same trace is free
+    /// ("No Intra-Trace Lat").
+    pub no_intra_trace_latency: bool,
+    /// Forwarding between instructions of different traces is free
+    /// ("No Inter-Trace Lat").
+    pub no_inter_trace_latency: bool,
+}
+
+/// Full configuration of the execution engine. Defaults reproduce the
+/// baseline architecture of Table 7.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Cluster count / slots / topology.
+    pub geometry: ClusterGeometry,
+    /// Inter-cluster forwarding latency per hop (2 cycles).
+    pub hop_latency: u64,
+    /// Register file read latency (2 cycles).
+    pub rf_latency: u64,
+    /// Reorder buffer entries (128).
+    pub rob_entries: usize,
+    /// Instructions renamed/accepted per cycle (16).
+    pub rename_width: usize,
+    /// Instructions retired per cycle (16).
+    pub retire_width: usize,
+    /// Entries per reservation station (8).
+    pub rs_entries: usize,
+    /// Write ports per reservation station (2).
+    pub rs_write_ports: usize,
+    /// Instructions dispatched into one cluster per cycle (4).
+    pub dispatch_per_cluster: usize,
+    /// Extra pipeline latency of issue-time steering (0 for the ideal
+    /// study, 4 for the realistic one; unused by slot-based steering).
+    pub steer_latency: u64,
+    /// Idealisation knobs (Figure 5).
+    pub overrides: LatencyOverrides,
+    /// Data memory system configuration.
+    pub memory: MemoryConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            geometry: ClusterGeometry::default(),
+            hop_latency: 2,
+            rf_latency: 2,
+            rob_entries: 128,
+            rename_width: 16,
+            retire_width: 16,
+            rs_entries: 8,
+            rs_write_ports: 2,
+            dispatch_per_cluster: 4,
+            steer_latency: 0,
+            overrides: LatencyOverrides::default(),
+            memory: MemoryConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Latency of `class` on its functional unit (Table 7).
+    pub fn fu_latency(class: OpClass) -> FuLatency {
+        match class {
+            OpClass::SimpleInt | OpClass::Branch => FuLatency { exec: 1, issue: 1 },
+            OpClass::FpBasic => FuLatency { exec: 2, issue: 1 },
+            // Integer multiply: 3/1. Divide: 20/19. The engine picks
+            // per-opcode below; this is the pipelined (mul) case.
+            OpClass::ComplexInt => FuLatency { exec: 3, issue: 1 },
+            OpClass::FpComplex => FuLatency { exec: 3, issue: 1 },
+            // Memory classes: 1 cycle of address generation; the cache
+            // model supplies the rest.
+            OpClass::Load | OpClass::Store | OpClass::FpLoad | OpClass::FpStore => {
+                FuLatency { exec: 1, issue: 1 }
+            }
+        }
+    }
+
+    /// Latency of a specific opcode, distinguishing divide/sqrt from
+    /// multiply (Table 7: Int Mul/Div 3/20 exec, 1/19 issue; FP
+    /// Mul/Div/Sqrt 3/12/24 exec, 1/12/24 issue).
+    pub fn opcode_latency(op: ctcp_isa::Opcode) -> FuLatency {
+        use ctcp_isa::Opcode::*;
+        match op {
+            Mul => FuLatency { exec: 3, issue: 1 },
+            Div => FuLatency { exec: 20, issue: 19 },
+            FMul => FuLatency { exec: 3, issue: 1 },
+            FDiv => FuLatency { exec: 12, issue: 12 },
+            FSqrt => FuLatency { exec: 24, issue: 24 },
+            _ => Self::fu_latency(op.class()),
+        }
+    }
+
+    /// The forwarding latency between two clusters under this
+    /// configuration, before any [`LatencyOverrides`] are applied.
+    pub fn forward_latency(&self, from: u8, to: u8) -> u64 {
+        self.hop_latency * u64::from(self.geometry.distance(from, to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctcp_isa::Opcode;
+
+    #[test]
+    fn table7_latencies() {
+        assert_eq!(
+            EngineConfig::opcode_latency(Opcode::Add),
+            FuLatency { exec: 1, issue: 1 }
+        );
+        assert_eq!(
+            EngineConfig::opcode_latency(Opcode::Div),
+            FuLatency { exec: 20, issue: 19 }
+        );
+        assert_eq!(
+            EngineConfig::opcode_latency(Opcode::FSqrt),
+            FuLatency { exec: 24, issue: 24 }
+        );
+        assert_eq!(
+            EngineConfig::opcode_latency(Opcode::FAdd),
+            FuLatency { exec: 2, issue: 1 }
+        );
+    }
+
+    #[test]
+    fn forwarding_latency_scales_with_distance() {
+        let c = EngineConfig::default();
+        assert_eq!(c.forward_latency(0, 0), 0);
+        assert_eq!(c.forward_latency(0, 1), 2);
+        assert_eq!(c.forward_latency(0, 3), 6);
+    }
+
+    #[test]
+    fn default_matches_table7() {
+        let c = EngineConfig::default();
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.rename_width, 16);
+        assert_eq!(c.rs_entries, 8);
+        assert_eq!(c.rs_write_ports, 2);
+        assert_eq!(c.hop_latency, 2);
+        assert_eq!(c.rf_latency, 2);
+        assert_eq!(c.geometry.total_slots(), 16);
+    }
+}

@@ -1,0 +1,1015 @@
+//! The clustered out-of-order execution engine.
+
+use crate::entry::{Entry, SrcState, Stage};
+use crate::fu::FuPool;
+use crate::{EngineConfig, ForwardingStats, ProducerHistory, RsClass};
+use ctcp_isa::Instruction;
+use ctcp_memory::{AccessKind, DataMemory, StoreForward};
+use ctcp_tracecache::{ExecFeedback, ProducerInfo, ProfileFields, TcLocation};
+use std::collections::{BTreeSet, VecDeque};
+
+/// One instruction delivered by the front-end, already renamed into a
+/// fetch-group slot. `slot` determines the cluster under slot-based
+/// steering; issue-time steering ignores it.
+#[derive(Debug, Clone, Copy)]
+pub struct FetchedInst {
+    /// Global dynamic sequence number (dense, program order).
+    pub seq: u64,
+    /// Static PC.
+    pub pc: u64,
+    /// Static instruction index.
+    pub index: u32,
+    /// The instruction.
+    pub inst: Instruction,
+    /// Effective address for memory operations.
+    pub mem_addr: Option<u64>,
+    /// Dynamic direction for control transfers.
+    pub taken: Option<bool>,
+    /// Physical issue slot within the fetch group.
+    pub slot: u8,
+    /// Fetch-group (trace) id.
+    pub group: u64,
+    /// Fetched from the trace cache (vs the instruction cache).
+    pub from_tc: bool,
+    /// Trace cache location, when fetched from a resident line.
+    pub tc_loc: Option<TcLocation>,
+    /// Profile fields carried from the trace cache.
+    pub profile: ProfileFields,
+    /// The front-end mispredicted this branch; completion redirects fetch.
+    pub mispredicted: bool,
+}
+
+/// A retired instruction, carrying everything the fill unit and the
+/// statistics machinery need.
+#[derive(Debug, Clone, Copy)]
+pub struct RetiredInst {
+    /// Global dynamic sequence number.
+    pub seq: u64,
+    /// Static PC.
+    pub pc: u64,
+    /// Static instruction index.
+    pub index: u32,
+    /// The instruction.
+    pub inst: Instruction,
+    /// Effective address for memory operations.
+    pub mem_addr: Option<u64>,
+    /// Dynamic direction for control transfers.
+    pub taken: Option<bool>,
+    /// Fetch-group (trace) id.
+    pub group: u64,
+    /// Fetched from the trace cache.
+    pub from_tc: bool,
+    /// Trace cache location the instruction was fetched from.
+    pub tc_loc: Option<TcLocation>,
+    /// Profile fields as fetched.
+    pub profile: ProfileFields,
+    /// Cluster the instruction executed on.
+    pub cluster: u8,
+    /// Execution feedback (critical input, forwarding producers).
+    pub feedback: ExecFeedback,
+    /// Cycle at which the instruction retired.
+    pub retire_cycle: u64,
+}
+
+/// What one engine cycle produced.
+#[derive(Debug, Default)]
+pub struct TickResult {
+    /// Instructions retired this cycle, in program order.
+    pub retired: Vec<RetiredInst>,
+    /// Sequence numbers of mispredicted branches that resolved this
+    /// cycle (the front-end may resume fetching the following cycle).
+    pub redirects: Vec<u64>,
+}
+
+/// Aggregate engine counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Store-to-load forwards.
+    pub store_forwards: u64,
+    /// Cycles on which dispatch stalled for a full reservation station.
+    pub rs_full_stalls: u64,
+    /// Mispredicted branches resolved.
+    pub redirects: u64,
+    /// Instructions executed per cluster (up to 8 clusters).
+    pub executed_per_cluster: [u64; 8],
+    /// Total cycles instructions spent waiting in reservation stations.
+    pub sum_rs_wait: u64,
+    /// Total cycles between completion and retirement.
+    pub sum_complete_to_retire: u64,
+    /// Total cycles between rename and dispatch.
+    pub sum_dispatch_wait: u64,
+    /// RS-wait cycles per functional-unit type.
+    pub rs_wait_by_fu: [u64; 7],
+    /// Executed instructions per functional-unit type.
+    pub count_by_fu: [u64; 7],
+}
+
+/// How the engine picks a cluster for each instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteeringMode {
+    /// Slot-based: cluster = slot / slots_per_cluster (baseline and all
+    /// retire-time strategies).
+    Slot,
+    /// Issue-time dependency steering with `EngineConfig::steer_latency`
+    /// extra pipeline stages.
+    IssueTime,
+}
+
+struct ClusterState {
+    dispatch_q: VecDeque<u64>,
+    rs: [Vec<u64>; 5],
+    fus: FuPool,
+}
+
+impl ClusterState {
+    fn new() -> Self {
+        ClusterState {
+            dispatch_q: VecDeque::new(),
+            rs: Default::default(),
+            fus: FuPool::new(),
+        }
+    }
+}
+
+/// The clustered out-of-order engine: rename → steer → dispatch →
+/// select/execute → complete → retire, with distance-proportional
+/// inter-cluster operand forwarding.
+pub struct Engine {
+    cfg: EngineConfig,
+    mode: SteeringMode,
+    rob: VecDeque<Entry>,
+    rob_head_seq: u64,
+    rat: [Option<u64>; ctcp_isa::Reg::NUM],
+    clusters: Vec<ClusterState>,
+    mem: DataMemory,
+    unresolved_stores: BTreeSet<u64>,
+    stats: EngineStats,
+    fwd: ForwardingStats,
+    history: ProducerHistory,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new(cfg: EngineConfig, mode: SteeringMode) -> Self {
+        let n = cfg.geometry.clusters as usize;
+        Engine {
+            mem: DataMemory::new(cfg.memory),
+            cfg,
+            mode,
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            rob_head_seq: 0,
+            rat: [None; ctcp_isa::Reg::NUM],
+            clusters: (0..n).map(|_| ClusterState::new()).collect(),
+            unresolved_stores: BTreeSet::new(),
+            stats: EngineStats::default(),
+            fwd: ForwardingStats::default(),
+            history: ProducerHistory::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Forwarding statistics (Tables 2/8, Figure 4).
+    pub fn forwarding_stats(&self) -> &ForwardingStats {
+        &self.fwd
+    }
+
+    /// Producer repetition history (Table 3).
+    pub fn producer_history(&self) -> &ProducerHistory {
+        &self.history
+    }
+
+    /// The data memory system (for cache statistics).
+    pub fn memory(&self) -> &DataMemory {
+        &self.mem
+    }
+
+    /// Number of in-flight instructions.
+    pub fn in_flight(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// True if a fetch group of `n` instructions can be accepted now.
+    pub fn can_accept(&self, n: usize) -> bool {
+        n <= self.cfg.rename_width && self.rob.len() + n <= self.cfg.rob_entries
+    }
+
+    #[inline]
+    fn entry(&self, seq: u64) -> Option<&Entry> {
+        let off = seq.checked_sub(self.rob_head_seq)? as usize;
+        self.rob.get(off)
+    }
+
+    #[inline]
+    fn entry_mut(&mut self, seq: u64) -> Option<&mut Entry> {
+        let off = seq.checked_sub(self.rob_head_seq)? as usize;
+        self.rob.get_mut(off)
+    }
+
+    /// Renames and steers one fetch group at cycle `now`. Call
+    /// [`Engine::can_accept`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group exceeds rename width or ROB capacity, or if
+    /// sequence numbers are not dense and increasing.
+    pub fn accept(&mut self, group: &[FetchedInst], now: u64) {
+        assert!(self.can_accept(group.len()), "caller must check can_accept");
+        // Issue-time steering balances within the cycle's group.
+        let mut cycle_counts = vec![0u32; self.cfg.geometry.clusters as usize];
+        let slots_per = u32::from(self.cfg.geometry.slots_per_cluster);
+        for f in group {
+            let expected = self.rob_head_seq + self.rob.len() as u64;
+            assert_eq!(f.seq, expected, "sequence numbers must be dense");
+            let srcs = self.resolve_sources(&f.inst, f.group, now);
+            let cluster = match self.mode {
+                SteeringMode::Slot => self.cfg.geometry.cluster_of_slot(f.slot),
+                SteeringMode::IssueTime => {
+                    self.steer_issue_time(&srcs, &mut cycle_counts, slots_per)
+                }
+            };
+            let rs = self.route_rs(cluster, f.inst.class());
+            let dispatch_at = now
+                + 1
+                + if self.mode == SteeringMode::IssueTime {
+                    self.cfg.steer_latency
+                } else {
+                    0
+                };
+            if f.inst.op.is_store() {
+                self.unresolved_stores.insert(f.seq);
+            }
+            let entry = Entry {
+                seq: f.seq,
+                pc: f.pc,
+                index: f.index,
+                inst: f.inst,
+                mem_addr: f.mem_addr,
+                taken: f.taken,
+                group: f.group,
+                from_tc: f.from_tc,
+                tc_loc: f.tc_loc,
+                profile: f.profile,
+                cluster,
+                rs,
+                srcs,
+                stage: Stage::AwaitDispatch { at: dispatch_at },
+                mispredicted: f.mispredicted,
+                dispatched_at: 0,
+                exec_start: 0,
+                feedback: ExecFeedback::default(),
+            };
+            if let Some(d) = f.inst.dest {
+                self.rat[d.index()] = Some(f.seq);
+            }
+            self.clusters[cluster as usize].dispatch_q.push_back(f.seq);
+            self.rob.push_back(entry);
+        }
+    }
+
+    fn resolve_sources(&self, inst: &Instruction, group: u64, now: u64) -> [SrcState; 2] {
+        let mut srcs = [SrcState::None, SrcState::None];
+        for (i, reg) in [inst.dep_src1(), inst.dep_src2()].into_iter().enumerate() {
+            let Some(r) = reg else { continue };
+            srcs[i] = match self.rat[r.index()] {
+                None => SrcState::RfReady {
+                    at: now + self.cfg.rf_latency,
+                },
+                Some(pseq) => {
+                    let p = self.entry(pseq).expect("RAT points at in-ROB producer");
+                    match p.complete_cycle() {
+                        // Producer already wrote back: the consumer's
+                        // rename-stage register-file access returns the
+                        // value — no distance-based forwarding.
+                        Some(c) if c <= now => SrcState::RfReady {
+                            at: now + self.cfg.rf_latency,
+                        },
+                        // Producer still executing: the value arrives via
+                        // the (distance-dependent) forwarding network.
+                        Some(c) => SrcState::Forwarded {
+                            producer_seq: pseq,
+                            complete: c,
+                            cluster: p.cluster,
+                            same_trace: p.group == group,
+                        },
+                        None => SrcState::Waiting { producer_seq: pseq },
+                    }
+                }
+            };
+        }
+        srcs
+    }
+
+    /// Issue-time steering: send the instruction to the cluster where its
+    /// latest-arriving (most critical) input is generated, subject to
+    /// ≤ slots_per_cluster per cycle, falling back to the other producer,
+    /// a neighbour, and finally the least-loaded cluster.
+    fn steer_issue_time(
+        &self,
+        srcs: &[SrcState; 2],
+        counts: &mut [u32],
+        slots_per: u32,
+    ) -> u8 {
+        // (cluster, expected completion). A producer that has not begun
+        // executing ranks above any executing one, ordered among its
+        // peers by its opcode's execution latency — the steering
+        // hardware's cheap criticality estimate.
+        let mut producers: Vec<(u8, u64)> = Vec::with_capacity(2);
+        for s in srcs {
+            let pc = match s {
+                SrcState::Waiting { producer_seq } => self.entry(*producer_seq).map(|e| {
+                    let estimate = e.complete_cycle().unwrap_or(
+                        u64::MAX / 2 + EngineConfig::opcode_latency(e.inst.op).exec,
+                    );
+                    (e.cluster, estimate)
+                }),
+                SrcState::Forwarded {
+                    cluster, complete, ..
+                } => Some((*cluster, *complete)),
+                _ => None,
+            };
+            if let Some(p) = pc {
+                producers.push(p);
+            }
+        }
+        // Latest-completing producer first: that input is the one worth
+        // being next to.
+        producers.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let mut candidates: Vec<u8> = Vec::with_capacity(4);
+        for (c, _) in &producers {
+            if !candidates.contains(c) {
+                candidates.push(*c);
+            }
+        }
+        if let Some(&first) = candidates.first() {
+            for nb in self.cfg.geometry.neighbors(first) {
+                if !candidates.contains(&nb) {
+                    candidates.push(nb);
+                }
+            }
+        }
+        for c in &candidates {
+            if counts[*c as usize] < slots_per {
+                counts[*c as usize] += 1;
+                return *c;
+            }
+        }
+        // Balance: least-loaded this cycle, most central first on ties.
+        let order = self.cfg.geometry.middle_order();
+        let c = order
+            .iter()
+            .copied()
+            .min_by_key(|&c| counts[c as usize])
+            .expect("at least one cluster");
+        counts[c as usize] += 1;
+        c
+    }
+
+    fn route_rs(&self, cluster: u8, class: ctcp_isa::OpClass) -> RsClass {
+        let cl = &self.clusters[cluster as usize];
+        let balance =
+            cl.rs[RsClass::Simple1.index()].len() < cl.rs[RsClass::Simple0.index()].len();
+        RsClass::route(class, balance)
+    }
+
+    /// Advances the back-end by one cycle.
+    pub fn tick(&mut self, now: u64) -> TickResult {
+        self.dispatch(now);
+        // Complete (and broadcast wakeups) before select so that a result
+        // produced at cycle `now` can be consumed intra-cluster at `now` —
+        // the paper's "same cycle as instruction dispatch" forwarding.
+        let redirects = self.complete(now);
+        self.select_and_execute(now);
+        let retired = self.retire(now);
+        self.mem.drain_stores(2);
+        TickResult { retired, redirects }
+    }
+
+    fn dispatch(&mut self, now: u64) {
+        for ci in 0..self.clusters.len() {
+            let mut dispatched = 0;
+            let mut port_use = [0usize; 5];
+            while dispatched < self.cfg.dispatch_per_cluster {
+                let Some(&seq) = self.clusters[ci].dispatch_q.front() else {
+                    break;
+                };
+                let entry = self.entry(seq).expect("queued entries are in ROB");
+                let Stage::AwaitDispatch { at } = entry.stage else {
+                    // Should not happen, but drop defensively.
+                    self.clusters[ci].dispatch_q.pop_front();
+                    continue;
+                };
+                if at > now {
+                    break;
+                }
+                let rs = entry.rs;
+                let is_load = entry.inst.op.is_load();
+                if self.clusters[ci].rs[rs.index()].len() >= self.cfg.rs_entries
+                    || port_use[rs.index()] >= self.cfg.rs_write_ports
+                {
+                    self.stats.rs_full_stalls += 1;
+                    break;
+                }
+                if is_load && !self.mem.load_queue().has_room() {
+                    break;
+                }
+                if is_load {
+                    self.mem.load_queue().insert(seq);
+                }
+                port_use[rs.index()] += 1;
+                self.clusters[ci].dispatch_q.pop_front();
+                self.clusters[ci].rs[rs.index()].push(seq);
+                let at_wait = now - at;
+                self.stats.sum_dispatch_wait += at_wait;
+                let e = self.entry_mut(seq).expect("in ROB");
+                e.stage = Stage::InRs;
+                e.dispatched_at = now;
+                dispatched += 1;
+            }
+        }
+    }
+
+    /// Computes the operand-arrival cycle of `src` for a consumer on
+    /// `cluster`, applying the latency-override knobs. Returns `None`
+    /// while the producer is incomplete.
+    fn arrival(&self, src: &SrcState, cluster: u8) -> Option<u64> {
+        match *src {
+            SrcState::None => Some(0),
+            SrcState::RfReady { at } => Some(at),
+            SrcState::Waiting { .. } => None,
+            SrcState::Forwarded {
+                complete,
+                cluster: pc,
+                same_trace,
+                ..
+            } => {
+                let ov = &self.cfg.overrides;
+                let mut lat = self.cfg.forward_latency(pc, cluster);
+                if ov.no_forward_latency
+                    || (ov.no_intra_trace_latency && same_trace)
+                    || (ov.no_inter_trace_latency && !same_trace)
+                {
+                    lat = 0;
+                }
+                Some(complete + lat)
+            }
+        }
+    }
+
+    /// Ready cycle and critical-source index for an entry, honouring the
+    /// "no critical forwarding latency" idealisation.
+    fn readiness(&self, e: &Entry) -> Option<(u64, Option<usize>)> {
+        let a0 = self.arrival(&e.srcs[0], e.cluster)?;
+        let a1 = self.arrival(&e.srcs[1], e.cluster)?;
+        let has0 = !matches!(e.srcs[0], SrcState::None);
+        let has1 = !matches!(e.srcs[1], SrcState::None);
+        let critical = match (has0, has1) {
+            (false, false) => None,
+            (true, false) => Some(0),
+            (false, true) => Some(1),
+            (true, true) => Some(if a1 > a0 { 1 } else { 0 }),
+        };
+        let mut ready = a0.max(a1);
+        if self.cfg.overrides.no_critical_forward_latency {
+            if let Some(ci) = critical {
+                if let SrcState::Forwarded { complete, .. } = e.srcs[ci] {
+                    let other = if ci == 0 { a1 } else { a0 };
+                    ready = other.max(complete);
+                }
+            }
+        }
+        Some((ready, critical))
+    }
+
+    fn select_and_execute(&mut self, now: u64) {
+        let min_unresolved = self.unresolved_stores.iter().next().copied();
+        for ci in 0..self.clusters.len() {
+            for rsi in 0..5 {
+                let candidates: Vec<u64> = self.clusters[ci].rs[rsi].clone();
+                for seq in candidates {
+                    let e = self.entry(seq).expect("RS entries are in ROB");
+                    debug_assert!(matches!(e.stage, Stage::InRs));
+                    let Some((ready, critical)) = self.readiness(e) else {
+                        continue;
+                    };
+                    if ready > now {
+                        continue;
+                    }
+                    let op = e.inst.op;
+                    // No speculative disambiguation: loads wait for all
+                    // older store addresses.
+                    if op.is_load() {
+                        if let Some(ms) = min_unresolved {
+                            if ms < seq {
+                                continue;
+                            }
+                        }
+                    }
+                    if op.is_store() && !self.mem.store_buffer().has_room() {
+                        continue;
+                    }
+                    let lat = EngineConfig::opcode_latency(op);
+                    if !self.clusters[ci]
+                        .fus
+                        .try_claim(op.fu_type(), now, lat.issue)
+                    {
+                        continue;
+                    }
+                    self.begin_execution(seq, now, lat.exec, critical);
+                    self.clusters[ci].rs[rsi].retain(|&s| s != seq);
+                }
+            }
+        }
+    }
+
+    fn begin_execution(&mut self, seq: u64, now: u64, exec_lat: u64, critical: Option<usize>) {
+        // Record forwarding statistics and execution feedback first.
+        self.record_forwarding(seq, critical);
+        let (cluster, op, addr) = {
+            let e = self.entry(seq).expect("in ROB");
+            (e.cluster as usize, e.inst.op, e.mem_addr)
+        };
+        self.stats.executed_per_cluster[cluster.min(7)] += 1;
+        let complete = if op.is_load() {
+            self.stats.loads += 1;
+            let addr = addr.expect("loads carry an address");
+            match self.mem.store_buffer().check_load(seq, addr) {
+                StoreForward::Forwarded { .. } => {
+                    self.stats.store_forwards += 1;
+                    now + 2 // AGU + buffer forward
+                }
+                StoreForward::None => {
+                    self.mem.access(AccessKind::Load, addr, now + 1).ready_cycle
+                }
+            }
+        } else if op.is_store() {
+            self.stats.stores += 1;
+            let addr = addr.expect("stores carry an address");
+            self.unresolved_stores.remove(&seq);
+            self.mem.store_buffer().insert(seq, addr);
+            self.mem.access(AccessKind::Store, addr, now + 1);
+            now + 1 // address + data captured in the buffer
+        } else {
+            now + exec_lat
+        };
+        if std::env::var("CTCP_TRACE").is_ok() && now < 600 {
+            let e = self.entry(seq).expect("in ROB");
+            eprintln!(
+                "t={now} exec seq={seq} pc={:#x} {} cl={} complete={complete}",
+                e.pc, e.inst.op, e.cluster
+            );
+        }
+        let e = self.entry_mut(seq).expect("in ROB");
+        e.stage = Stage::Executing { complete };
+        e.exec_start = now;
+        let wait = now - e.dispatched_at;
+        let fu = e.inst.op.fu_type().index();
+        self.stats.sum_rs_wait += wait;
+        self.stats.rs_wait_by_fu[fu] += wait;
+        self.stats.count_by_fu[fu] += 1;
+    }
+
+    /// Builds [`ExecFeedback`] and updates forwarding statistics as `seq`
+    /// begins execution.
+    fn record_forwarding(&mut self, seq: u64, critical: Option<usize>) {
+        let e = self.entry(seq).expect("in ROB");
+        let consumer_pc = e.pc;
+        let consumer_cluster = e.cluster;
+        let has_input = e.srcs.iter().any(|s| !matches!(s, SrcState::None));
+        let critical_forwarded =
+            critical.is_some_and(|c| matches!(e.srcs[c], SrcState::Forwarded { .. }));
+
+        // Gather producer info for each forwarded source.
+        let mut producers: [Option<ProducerInfo>; 2] = [None, None];
+        for (i, s) in e.srcs.iter().enumerate() {
+            if let SrcState::Forwarded {
+                producer_seq,
+                cluster,
+                same_trace,
+                ..
+            } = *s
+            {
+                // Producer may have retired; fall back to minimal info.
+                let (ppc, role, chain, loc) = match self.entry(producer_seq) {
+                    Some(p) => (p.pc, p.profile.role, p.profile.chain_cluster, p.tc_loc),
+                    None => (0, ctcp_tracecache::ChainRole::None, None, None),
+                };
+                producers[i] = Some(ProducerInfo {
+                    pc: ppc,
+                    cluster,
+                    same_trace,
+                    role,
+                    chain_cluster: chain,
+                    tc_location: loc,
+                });
+            }
+        }
+
+        if has_input {
+            self.fwd.insts_with_inputs += 1;
+            match (critical, critical_forwarded) {
+                (Some(0), true) => self.fwd.crit_from_rs1 += 1,
+                (Some(1), true) => self.fwd.crit_from_rs2 += 1,
+                (Some(_), false) => self.fwd.crit_from_rf += 1,
+                _ => {}
+            }
+        }
+        for (i, p) in producers.iter().enumerate() {
+            let Some(p) = p else { continue };
+            if p.pc == 0 {
+                // Retired producer with no recoverable identity: count the
+                // forward but skip history.
+                self.fwd.forwarded_inputs += 1;
+            } else {
+                self.fwd.forwarded_inputs += 1;
+                self.history.record(
+                    consumer_pc,
+                    i,
+                    p.pc,
+                    critical == Some(i),
+                    !p.same_trace,
+                );
+            }
+            if critical == Some(i) {
+                self.fwd.forwarded_critical += 1;
+                if !p.same_trace {
+                    self.fwd.critical_inter_trace += 1;
+                }
+                let d = self.cfg.geometry.distance(p.cluster, consumer_cluster);
+                if d == 0 {
+                    self.fwd.critical_intra_cluster += 1;
+                }
+                self.fwd.critical_distance_sum += u64::from(d);
+            }
+        }
+
+        let e = self.entry_mut(seq).expect("in ROB");
+        e.feedback = ExecFeedback {
+            executed_cluster: consumer_cluster,
+            src_producers: producers,
+            critical_src: critical.map(|c| c as u8),
+            critical_forwarded,
+        };
+    }
+
+    fn complete(&mut self, now: u64) -> Vec<u64> {
+        let mut redirects = Vec::new();
+        let mut completed: Vec<(u64, u64, u8, u64)> = Vec::new(); // (seq, cycle, cluster, group)
+        for e in self.rob.iter_mut() {
+            if let Stage::Executing { complete } = e.stage {
+                if complete <= now {
+                    e.stage = Stage::Complete { at: complete };
+                    completed.push((e.seq, complete, e.cluster, e.group));
+                    if e.mispredicted {
+                        redirects.push(e.seq);
+                        self.stats.redirects += 1;
+                    }
+                }
+            }
+        }
+        // Wakeup broadcast: resolve waiting consumers.
+        for (pseq, cycle, cluster, pgroup) in completed {
+            for e in self.rob.iter_mut() {
+                for s in e.srcs.iter_mut() {
+                    if let SrcState::Waiting { producer_seq } = *s {
+                        if producer_seq == pseq {
+                            *s = SrcState::Forwarded {
+                                producer_seq: pseq,
+                                complete: cycle,
+                                cluster,
+                                same_trace: e.group == pgroup,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        redirects
+    }
+
+    fn retire(&mut self, now: u64) -> Vec<RetiredInst> {
+        let mut retired = Vec::new();
+        while retired.len() < self.cfg.retire_width {
+            let Some(head) = self.rob.front() else { break };
+            let Stage::Complete { at } = head.stage else {
+                break;
+            };
+            if at > now {
+                break;
+            }
+            let e = self.rob.pop_front().expect("checked front");
+            self.rob_head_seq = e.seq + 1;
+            if let Stage::Complete { at } = e.stage {
+                self.stats.sum_complete_to_retire += now - at;
+            }
+            if let Some(d) = e.inst.dest {
+                if self.rat[d.index()] == Some(e.seq) {
+                    self.rat[d.index()] = None;
+                }
+            }
+            if e.inst.op.is_store() {
+                self.mem.store_buffer().mark_retired(e.seq);
+            }
+            if e.inst.op.is_load() {
+                self.mem.load_queue().remove(e.seq);
+            }
+            self.stats.retired += 1;
+            retired.push(RetiredInst {
+                seq: e.seq,
+                pc: e.pc,
+                index: e.index,
+                inst: e.inst,
+                mem_addr: e.mem_addr,
+                taken: e.taken,
+                group: e.group,
+                from_tc: e.from_tc,
+                tc_loc: e.tc_loc,
+                profile: e.profile,
+                cluster: e.cluster,
+                feedback: e.feedback,
+                retire_cycle: now,
+            });
+        }
+        retired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctcp_isa::{Opcode, Reg};
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    fn fetched(seq: u64, inst: Instruction, slot: u8) -> FetchedInst {
+        FetchedInst {
+            seq,
+            pc: 0x1000 + seq * 4,
+            index: seq as u32,
+            inst,
+            mem_addr: None,
+            taken: None,
+            slot,
+            group: 0,
+            from_tc: false,
+            tc_loc: None,
+            profile: ProfileFields::default(),
+            mispredicted: false,
+        }
+    }
+
+    fn add(d: Reg, a: Reg, b: Reg) -> Instruction {
+        Instruction::new(Opcode::Add, Some(d), Some(a), Some(b), 0)
+    }
+
+    fn run_until_drained(engine: &mut Engine, start: u64) -> (Vec<RetiredInst>, u64) {
+        let mut retired = Vec::new();
+        let mut now = start;
+        for _ in 0..10_000 {
+            let r = engine.tick(now);
+            retired.extend(r.retired);
+            now += 1;
+            if engine.in_flight() == 0 {
+                break;
+            }
+        }
+        (retired, now)
+    }
+
+    #[test]
+    fn single_instruction_flows_through() {
+        let mut e = Engine::new(cfg(), SteeringMode::Slot);
+        e.accept(&[fetched(0, add(Reg::R1, Reg::R2, Reg::R3), 0)], 0);
+        let (retired, _) = run_until_drained(&mut e, 1);
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].seq, 0);
+        assert_eq!(retired[0].cluster, 0);
+        assert_eq!(e.stats().retired, 1);
+    }
+
+    #[test]
+    fn slot_steering_maps_slots_to_clusters() {
+        let mut e = Engine::new(cfg(), SteeringMode::Slot);
+        let group: Vec<FetchedInst> = (0..16)
+            .map(|i| fetched(i, add(Reg::int(i as u8 % 8), Reg::R9, Reg::R10), i as u8))
+            .collect();
+        e.accept(&group, 0);
+        let (retired, _) = run_until_drained(&mut e, 1);
+        assert_eq!(retired.len(), 16);
+        for r in &retired {
+            assert_eq!(u64::from(r.cluster), r.seq / 4);
+        }
+    }
+
+    #[test]
+    fn retirement_is_in_program_order() {
+        let mut e = Engine::new(cfg(), SteeringMode::Slot);
+        // A slow op first (divide), then fast dependent-free adds.
+        let mut group = vec![fetched(
+            0,
+            Instruction::new(Opcode::Div, Some(Reg::R1), Some(Reg::R2), Some(Reg::R3), 0),
+            0,
+        )];
+        for i in 1..8 {
+            group.push(fetched(i, add(Reg::int(10 + i as u8), Reg::R9, Reg::R9), i as u8));
+        }
+        e.accept(&group, 0);
+        let (retired, _) = run_until_drained(&mut e, 1);
+        let seqs: Vec<u64> = retired.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dependent_instruction_waits_for_producer() {
+        let mut e = Engine::new(cfg(), SteeringMode::Slot);
+        // producer on cluster 0 (slot 0); consumer on cluster 3 (slot 12).
+        let group = vec![
+            fetched(0, add(Reg::R1, Reg::R9, Reg::R9), 0),
+            fetched(1, add(Reg::R2, Reg::R1, Reg::R9), 12),
+        ];
+        e.accept(&group, 0);
+        let (retired, _) = run_until_drained(&mut e, 1);
+        assert_eq!(retired.len(), 2);
+        let fb = retired[1].feedback;
+        assert_eq!(fb.critical_src, Some(0));
+        assert!(fb.critical_forwarded);
+        let p = fb.src_producers[0].unwrap();
+        assert_eq!(p.cluster, 0);
+        // Distance 3 on a linear interconnect.
+        assert_eq!(e.forwarding_stats().critical_distance_sum, 3);
+        assert_eq!(e.forwarding_stats().critical_intra_cluster, 0);
+    }
+
+    #[test]
+    fn same_cluster_forwarding_is_faster_than_cross_cluster() {
+        let run = |consumer_slot: u8| -> u64 {
+            let mut e = Engine::new(cfg(), SteeringMode::Slot);
+            let group = vec![
+                fetched(0, add(Reg::R1, Reg::R9, Reg::R9), 0),
+                fetched(1, add(Reg::R2, Reg::R1, Reg::R9), consumer_slot),
+            ];
+            e.accept(&group, 0);
+            let (retired, _) = run_until_drained(&mut e, 1);
+            retired[1].retire_cycle
+        };
+        let same = run(1); // same cluster
+        let far = run(12); // 3 hops away
+        assert!(far >= same + 6, "far={far} same={same}");
+    }
+
+    #[test]
+    fn issue_time_steers_to_producer_cluster() {
+        let mut c = cfg();
+        c.steer_latency = 0;
+        let mut e = Engine::new(c, SteeringMode::IssueTime);
+        // Producer then consumer: consumer should land on the producer's
+        // cluster regardless of slots.
+        let group = vec![
+            fetched(0, add(Reg::R1, Reg::R9, Reg::R9), 0),
+            fetched(1, add(Reg::R2, Reg::R1, Reg::R9), 15),
+        ];
+        e.accept(&group, 0);
+        let (retired, _) = run_until_drained(&mut e, 1);
+        assert_eq!(retired[0].cluster, retired[1].cluster);
+    }
+
+    #[test]
+    fn issue_time_respects_per_cluster_limit() {
+        let mut e = Engine::new(cfg(), SteeringMode::IssueTime);
+        // 16 independent instructions: must spread 4 per cluster.
+        let group: Vec<FetchedInst> = (0..16)
+            .map(|i| fetched(i, add(Reg::int((i % 8) as u8), Reg::R9, Reg::R10), 0))
+            .collect();
+        e.accept(&group, 0);
+        let (retired, _) = run_until_drained(&mut e, 1);
+        let mut counts = [0; 4];
+        for r in &retired {
+            counts[r.cluster as usize] += 1;
+        }
+        assert_eq!(counts, [4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn store_load_forwarding_hits_buffer() {
+        let mut e = Engine::new(cfg(), SteeringMode::Slot);
+        let st = Instruction::new(Opcode::St, None, Some(Reg::R1), Some(Reg::R2), 0);
+        let ld = Instruction::new(Opcode::Ld, Some(Reg::R3), Some(Reg::R1), None, 0);
+        let mut g0 = fetched(0, st, 0);
+        g0.mem_addr = Some(0x9000);
+        let mut g1 = fetched(1, ld, 1);
+        g1.mem_addr = Some(0x9000);
+        e.accept(&[g0, g1], 0);
+        let (retired, _) = run_until_drained(&mut e, 1);
+        assert_eq!(retired.len(), 2);
+        assert_eq!(e.stats().store_forwards, 1);
+    }
+
+    #[test]
+    fn load_waits_for_unresolved_older_store_address() {
+        // Store whose address operand is produced late (div), followed by
+        // a load: the load must not complete before the store resolves.
+        let mut e = Engine::new(cfg(), SteeringMode::Slot);
+        let div = Instruction::new(Opcode::Div, Some(Reg::R1), Some(Reg::R2), Some(Reg::R3), 0);
+        let st = Instruction::new(Opcode::St, None, Some(Reg::R1), Some(Reg::R4), 0);
+        let ld = Instruction::new(Opcode::Ld, Some(Reg::R5), Some(Reg::R6), None, 0);
+        let mut s = fetched(1, st, 1);
+        s.mem_addr = Some(0x5000);
+        let mut l = fetched(2, ld, 2);
+        l.mem_addr = Some(0x6000);
+        e.accept(&[fetched(0, div, 0), s, l], 0);
+        let (retired, _) = run_until_drained(&mut e, 1);
+        // div takes 20 cycles; the load, though independent, retires after
+        // the store resolves -> all in order anyway; check the load's
+        // retire is not absurdly early by checking total cycles > 20.
+        assert!(retired[2].retire_cycle > 20);
+    }
+
+    #[test]
+    fn mispredicted_branch_reports_redirect() {
+        let mut e = Engine::new(cfg(), SteeringMode::Slot);
+        let br = Instruction::new(Opcode::Bne, None, Some(Reg::R1), Some(Reg::R2), 0);
+        let mut f = fetched(0, br, 0);
+        f.mispredicted = true;
+        f.taken = Some(true);
+        e.accept(&[f], 0);
+        let mut redirected = false;
+        let mut now = 1;
+        for _ in 0..100 {
+            let r = e.tick(now);
+            if !r.redirects.is_empty() {
+                assert_eq!(r.redirects, vec![0]);
+                redirected = true;
+            }
+            now += 1;
+            if e.in_flight() == 0 {
+                break;
+            }
+        }
+        assert!(redirected);
+        assert_eq!(e.stats().redirects, 1);
+    }
+
+    #[test]
+    fn rob_capacity_gates_accept() {
+        let mut c = cfg();
+        c.rob_entries = 8;
+        let e = Engine::new(c, SteeringMode::Slot);
+        assert!(e.can_accept(8));
+        assert!(!e.can_accept(9));
+    }
+
+    #[test]
+    fn rf_latency_delays_first_use() {
+        // With rf_latency = 2, an instruction renamed at cycle 0 cannot
+        // execute before cycle 2.
+        let mut e = Engine::new(cfg(), SteeringMode::Slot);
+        e.accept(&[fetched(0, add(Reg::R1, Reg::R2, Reg::R3), 0)], 0);
+        let (retired, _) = run_until_drained(&mut e, 1);
+        // execute at >= 2, complete >= 3, retire >= 3.
+        assert!(retired[0].retire_cycle >= 3);
+    }
+
+    #[test]
+    fn no_forward_latency_override_speeds_up_cross_cluster() {
+        let run = |ov: LatencyOverrides| -> u64 {
+            let mut c = cfg();
+            c.overrides = ov;
+            let mut e = Engine::new(c, SteeringMode::Slot);
+            let group = vec![
+                fetched(0, add(Reg::R1, Reg::R9, Reg::R9), 0),
+                fetched(1, add(Reg::R2, Reg::R1, Reg::R9), 12),
+            ];
+            e.accept(&group, 0);
+            let (retired, _) = run_until_drained(&mut e, 1);
+            retired[1].retire_cycle
+        };
+        use crate::LatencyOverrides;
+        let base = run(LatencyOverrides::default());
+        let ideal = run(LatencyOverrides {
+            no_forward_latency: true,
+            ..Default::default()
+        });
+        let crit = run(LatencyOverrides {
+            no_critical_forward_latency: true,
+            ..Default::default()
+        });
+        assert!(ideal < base);
+        assert_eq!(crit, ideal, "single forwarded input is the critical one");
+    }
+}

@@ -1,0 +1,84 @@
+//! Reservation station classes.
+
+use ctcp_isa::OpClass;
+
+/// The five reservation stations of one cluster (Figure 3): one for
+/// memory operations (integer and FP), one for branches, one for complex
+/// arithmetic (integer and FP), and two for simple operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RsClass {
+    /// First simple-operation station.
+    Simple0,
+    /// Second simple-operation station.
+    Simple1,
+    /// Memory operations (integer + FP).
+    Mem,
+    /// Branches.
+    Br,
+    /// Complex arithmetic (integer + FP).
+    Cpx,
+}
+
+impl RsClass {
+    /// All classes, in dense-index order.
+    pub const ALL: [RsClass; 5] = [
+        RsClass::Simple0,
+        RsClass::Simple1,
+        RsClass::Mem,
+        RsClass::Br,
+        RsClass::Cpx,
+    ];
+
+    /// Dense index in `0..5`.
+    pub fn index(self) -> usize {
+        match self {
+            RsClass::Simple0 => 0,
+            RsClass::Simple1 => 1,
+            RsClass::Mem => 2,
+            RsClass::Br => 3,
+            RsClass::Cpx => 4,
+        }
+    }
+
+    /// The station an operation class is routed to. Simple operations
+    /// alternate between the two simple stations using `balance` (e.g. a
+    /// per-cluster toggle or occupancy hint).
+    pub fn route(class: OpClass, balance: bool) -> RsClass {
+        match class {
+            OpClass::SimpleInt | OpClass::FpBasic => {
+                if balance {
+                    RsClass::Simple1
+                } else {
+                    RsClass::Simple0
+                }
+            }
+            OpClass::Load | OpClass::Store | OpClass::FpLoad | OpClass::FpStore => RsClass::Mem,
+            OpClass::Branch => RsClass::Br,
+            OpClass::ComplexInt | OpClass::FpComplex => RsClass::Cpx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_matches_figure3() {
+        assert_eq!(RsClass::route(OpClass::SimpleInt, false), RsClass::Simple0);
+        assert_eq!(RsClass::route(OpClass::SimpleInt, true), RsClass::Simple1);
+        assert_eq!(RsClass::route(OpClass::FpBasic, false), RsClass::Simple0);
+        assert_eq!(RsClass::route(OpClass::Load, false), RsClass::Mem);
+        assert_eq!(RsClass::route(OpClass::FpStore, true), RsClass::Mem);
+        assert_eq!(RsClass::route(OpClass::Branch, false), RsClass::Br);
+        assert_eq!(RsClass::route(OpClass::ComplexInt, false), RsClass::Cpx);
+        assert_eq!(RsClass::route(OpClass::FpComplex, true), RsClass::Cpx);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, c) in RsClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

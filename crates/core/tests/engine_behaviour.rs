@@ -1,0 +1,268 @@
+//! Behavioural tests of the execution engine: functional-unit blocking,
+//! memory ordering, interconnect shapes, and steering corner cases.
+
+use ctcp_core::{
+    ClusterGeometry, Engine, EngineConfig, FetchedInst, SteeringMode, Topology,
+};
+use ctcp_isa::{Instruction, Opcode, Reg};
+use ctcp_tracecache::ProfileFields;
+
+fn fetched(seq: u64, inst: Instruction, slot: u8) -> FetchedInst {
+    FetchedInst {
+        seq,
+        pc: 0x1000 + seq * 4,
+        index: seq as u32,
+        inst,
+        mem_addr: None,
+        taken: None,
+        slot,
+        group: 0,
+        from_tc: false,
+        tc_loc: None,
+        profile: ProfileFields::default(),
+        mispredicted: false,
+    }
+}
+
+fn drain(engine: &mut Engine, start: u64) -> (Vec<ctcp_core::RetiredInst>, u64) {
+    let mut retired = Vec::new();
+    let mut now = start;
+    for _ in 0..100_000 {
+        let r = engine.tick(now);
+        retired.extend(r.retired);
+        now += 1;
+        if engine.in_flight() == 0 {
+            break;
+        }
+    }
+    (retired, now)
+}
+
+fn alu(d: Reg, a: Reg, b: Reg) -> Instruction {
+    Instruction::new(Opcode::Add, Some(d), Some(a), Some(b), 0)
+}
+
+#[test]
+fn divide_blocks_its_unit_but_not_the_cluster() {
+    // Two divides on the same cluster serialise on the single CPX unit;
+    // an independent add on the same cluster proceeds immediately.
+    let mut e = Engine::new(EngineConfig::default(), SteeringMode::Slot);
+    let div = |seq, d: u8| {
+        fetched(
+            seq,
+            Instruction::new(Opcode::Div, Some(Reg::int(d)), Some(Reg::R9), Some(Reg::R10), 0),
+            0,
+        )
+    };
+    let group = vec![
+        div(0, 1),
+        div(1, 2),
+        fetched(2, alu(Reg::R3, Reg::R9, Reg::R10), 1),
+    ];
+    e.accept(&group, 0);
+    let (retired, _) = drain(&mut e, 1);
+    // The add completes long before the second divide.
+    let t_add = retired.iter().find(|r| r.seq == 2).unwrap().retire_cycle;
+    let t_div2 = retired.iter().find(|r| r.seq == 1).unwrap().retire_cycle;
+    // In-order retire: both retire when div1 does, but div1's completion
+    // dominates; check instead via cycle count: two 20-cycle blocking
+    // divides need ~40 cycles end to end.
+    assert!(t_div2 >= 40, "second divide retired at {t_div2}");
+    assert!(t_add <= t_div2);
+}
+
+#[test]
+fn ring_topology_shortens_end_to_end_forwarding() {
+    let run = |topology: Topology| -> u64 {
+        let mut cfg = EngineConfig::default();
+        cfg.geometry.topology = topology;
+        let mut e = Engine::new(cfg, SteeringMode::Slot);
+        // Producer on cluster 0, consumer on cluster 3.
+        let group = vec![
+            fetched(0, alu(Reg::R1, Reg::R9, Reg::R10), 0),
+            fetched(1, alu(Reg::R2, Reg::R1, Reg::R10), 12),
+        ];
+        e.accept(&group, 0);
+        let (retired, _) = drain(&mut e, 1);
+        retired[1].retire_cycle
+    };
+    let linear = run(Topology::Linear);
+    let ring = run(Topology::Ring);
+    // Linear distance 3 (6 cycles), ring distance 1 (2 cycles).
+    assert!(ring + 4 <= linear, "ring {ring} vs linear {linear}");
+}
+
+#[test]
+fn loads_wait_for_older_store_addresses() {
+    // Store 0's address depends on a long divide; the younger load to a
+    // *different* address must still wait (no speculative
+    // disambiguation).
+    let mut e = Engine::new(EngineConfig::default(), SteeringMode::Slot);
+    let div = Instruction::new(Opcode::Div, Some(Reg::R1), Some(Reg::R2), Some(Reg::R3), 0);
+    let st = Instruction::new(Opcode::St, None, Some(Reg::R1), Some(Reg::R4), 0);
+    let ld = Instruction::new(Opcode::Ld, Some(Reg::R5), Some(Reg::R6), None, 0);
+    let mut fst = fetched(1, st, 4);
+    fst.mem_addr = Some(0x1000);
+    let mut fld = fetched(2, ld, 8);
+    fld.mem_addr = Some(0x2000);
+    e.accept(&[fetched(0, div, 0), fst, fld], 0);
+    let (retired, _) = drain(&mut e, 1);
+    // The load completes only after the divide (20 cycles) resolves the
+    // store's address, even though its own address register was ready.
+    assert!(retired[2].retire_cycle > 20);
+}
+
+#[test]
+fn independent_loads_pipeline_through_one_mem_unit() {
+    // Four independent loads on one cluster: the single MEM unit issues
+    // one per cycle, so completion is staggered but far better than
+    // serial cache latencies.
+    let mut e = Engine::new(EngineConfig::default(), SteeringMode::Slot);
+    let mut group = Vec::new();
+    for i in 0..4u64 {
+        let ld = Instruction::new(Opcode::Ld, Some(Reg::int(1 + i as u8)), Some(Reg::R9), None, 0);
+        let mut f = fetched(i, ld, 0);
+        f.mem_addr = Some(0x4000 + i * 8);
+        group.push(f);
+    }
+    e.accept(&group, 0);
+    let (retired, cycles) = drain(&mut e, 1);
+    assert_eq!(retired.len(), 4);
+    // Cold TLB (31) + L1 miss path (~75) dominates; pipelining means the
+    // whole group finishes well under 4 full serial accesses.
+    assert!(cycles < 160, "took {cycles} cycles");
+}
+
+#[test]
+fn issue_time_balances_when_no_producers_exist() {
+    let mut e = Engine::new(EngineConfig::default(), SteeringMode::IssueTime);
+    let group: Vec<FetchedInst> = (0..16)
+        .map(|i| fetched(i, alu(Reg::int((i % 8) as u8), Reg::R20, Reg::R21), 0))
+        .collect();
+    e.accept(&group, 0);
+    let (retired, _) = drain(&mut e, 1);
+    let mut counts = [0usize; 4];
+    for r in &retired {
+        counts[r.cluster as usize] += 1;
+    }
+    assert_eq!(counts.iter().sum::<usize>(), 16);
+    assert!(counts.iter().all(|&c| c == 4), "unbalanced: {counts:?}");
+}
+
+#[test]
+fn issue_time_follows_the_late_producer() {
+    // Consumer with two producers: a fast add (slot 0 -> cluster 0) and a
+    // slow divide (slot 4 -> cluster 1). Steering should chase the
+    // divide, the critical input.
+    let mut e = Engine::new(EngineConfig::default(), SteeringMode::IssueTime);
+    e.accept(
+        &[
+            fetched(0, alu(Reg::R1, Reg::R9, Reg::R10), 0),
+            fetched(
+                1,
+                Instruction::new(Opcode::Div, Some(Reg::R2), Some(Reg::R9), Some(Reg::R10), 0),
+                0,
+            ),
+        ],
+        0,
+    );
+    // Let both steer; then send the consumer next cycle.
+    e.tick(1);
+    e.accept(&[fetched(2, alu(Reg::R3, Reg::R1, Reg::R2), 0)], 1);
+    let div_cluster = {
+        // Drain and inspect.
+        let (retired, _) = drain(&mut e, 2);
+        let div = retired.iter().find(|r| r.seq == 1).unwrap().cluster;
+        let consumer = retired.iter().find(|r| r.seq == 2).unwrap().cluster;
+        assert_eq!(
+            consumer, div,
+            "consumer should land with the slow producer"
+        );
+        div
+    };
+    let _ = div_cluster;
+}
+
+#[test]
+fn eight_cluster_geometry_works_end_to_end() {
+    let mut cfg = EngineConfig::default();
+    cfg.geometry = ClusterGeometry {
+        clusters: 8,
+        slots_per_cluster: 2,
+        topology: Topology::Linear,
+    };
+    let mut e = Engine::new(cfg, SteeringMode::Slot);
+    let group: Vec<FetchedInst> = (0..16)
+        .map(|i| fetched(i, alu(Reg::int((i % 8) as u8), Reg::R20, Reg::R21), i as u8))
+        .collect();
+    e.accept(&group, 0);
+    let (retired, _) = drain(&mut e, 1);
+    assert_eq!(retired.len(), 16);
+    for r in &retired {
+        assert_eq!(u64::from(r.cluster), r.seq / 2);
+    }
+}
+
+#[test]
+fn fp_ops_use_fp_units_with_table7_latencies() {
+    // A chain fsqrt -> fadd: 24-cycle sqrt then 2-cycle add.
+    let mut e = Engine::new(EngineConfig::default(), SteeringMode::Slot);
+    let sqrt = Instruction::new(Opcode::FSqrt, Some(Reg::fp(1)), Some(Reg::fp(0)), None, 0);
+    let fadd = Instruction::new(
+        Opcode::FAdd,
+        Some(Reg::fp(2)),
+        Some(Reg::fp(1)),
+        Some(Reg::fp(0)),
+        0,
+    );
+    e.accept(&[fetched(0, sqrt, 0), fetched(1, fadd, 1)], 0);
+    let (retired, _) = drain(&mut e, 1);
+    // RF ready at 2, sqrt completes ~26, fadd at ~28 (same cluster).
+    let t = retired[1].retire_cycle;
+    assert!((26..40).contains(&t), "fadd retired at {t}");
+}
+
+#[test]
+fn store_forwarding_beats_the_cache() {
+    let run = |forwarded: bool| -> u64 {
+        let mut e = Engine::new(EngineConfig::default(), SteeringMode::Slot);
+        let st = Instruction::new(Opcode::St, None, Some(Reg::R1), Some(Reg::R2), 0);
+        let ld = Instruction::new(Opcode::Ld, Some(Reg::R3), Some(Reg::R1), None, 0);
+        let mut fst = fetched(0, st, 0);
+        fst.mem_addr = Some(0x7000);
+        let mut fld = fetched(1, ld, 1);
+        fld.mem_addr = Some(if forwarded { 0x7000 } else { 0x9000 });
+        e.accept(&[fst, fld], 0);
+        let (retired, _) = drain(&mut e, 1);
+        retired[1].retire_cycle
+    };
+    let hit = run(true);
+    let miss = run(false);
+    assert!(hit < miss, "forwarded load {hit} vs cache load {miss}");
+}
+
+#[test]
+fn wide_dependent_chain_is_execution_serial() {
+    // A 32-long chain through one register must take >= 32 execute
+    // cycles regardless of the 16-wide front end.
+    let mut e = Engine::new(EngineConfig::default(), SteeringMode::Slot);
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    while seq < 32 {
+        let mut group = Vec::new();
+        for s in 0..16 {
+            if seq >= 32 {
+                break;
+            }
+            group.push(fetched(seq, alu(Reg::R1, Reg::R1, Reg::R2), s));
+            seq += 1;
+        }
+        while !e.can_accept(group.len()) {
+            e.tick(now);
+            now += 1;
+        }
+        e.accept(&group, now);
+    }
+    let (_, end) = drain(&mut e, now + 1);
+    assert!(end >= 32, "chain of 32 finished in {end} cycles");
+}

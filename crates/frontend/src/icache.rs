@@ -1,0 +1,116 @@
+//! L1 instruction cache.
+
+use ctcp_memory::{CacheConfig, CacheStats, SetAssocCache};
+
+/// Instruction cache geometry and latencies (defaults match Table 7:
+/// 4 KB, 4-way, 2-cycle access; misses refill from the unified L2/memory
+/// path with a fixed penalty supplied by the caller's configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ICacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+    /// Miss penalty in cycles (L2 hit assumed; instruction footprints in
+    /// the simulator fit in L2).
+    pub miss_penalty: u64,
+}
+
+impl Default for ICacheConfig {
+    fn default() -> Self {
+        ICacheConfig {
+            size_bytes: 4 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+            hit_latency: 2,
+            miss_penalty: 8,
+        }
+    }
+}
+
+/// The L1 instruction cache: returns a fetch latency per access and
+/// tracks hit/miss statistics.
+#[derive(Debug, Clone)]
+pub struct ICache {
+    inner: SetAssocCache,
+    config: ICacheConfig,
+}
+
+impl ICache {
+    /// Creates a cold instruction cache.
+    pub fn new(config: ICacheConfig) -> Self {
+        ICache {
+            inner: SetAssocCache::new(CacheConfig {
+                size_bytes: config.size_bytes,
+                assoc: config.assoc,
+                line_bytes: config.line_bytes,
+                hit_latency: config.hit_latency,
+            }),
+            config,
+        }
+    }
+
+    /// Fetches the line containing `pc`, returning the access latency
+    /// (hit latency, plus the miss penalty on a miss).
+    pub fn fetch(&mut self, pc: u64) -> u64 {
+        if self.inner.access(pc) {
+            self.config.hit_latency
+        } else {
+            self.config.hit_latency + self.config.miss_penalty
+        }
+    }
+
+    /// True if fetching `pc` and `other` touches the same cache line.
+    pub fn same_line(&self, pc: u64, other: u64) -> bool {
+        self.inner.line_addr(pc) == self.inner.line_addr(other)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ICacheConfig {
+        &self.config
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+}
+
+impl Default for ICache {
+    fn default() -> Self {
+        ICache::new(ICacheConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_latency() {
+        let mut ic = ICache::default();
+        assert_eq!(ic.fetch(0x1000), 10);
+        assert_eq!(ic.fetch(0x1004), 2); // same line
+        assert_eq!(ic.fetch(0x1040), 10); // next line
+    }
+
+    #[test]
+    fn same_line_detection() {
+        let ic = ICache::default();
+        assert!(ic.same_line(0x1000, 0x103f));
+        assert!(!ic.same_line(0x1000, 0x1040));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut ic = ICache::default();
+        ic.fetch(0);
+        ic.fetch(0);
+        assert_eq!(ic.stats().hits, 1);
+        assert_eq!(ic.stats().misses, 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # Instruction fetch front-end for the CTCP simulator
+//!
+//! Branch prediction and the conventional instruction cache path of the
+//! baseline architecture (Table 7 of Bhargava & John, ISCA 2003):
+//!
+//! * 16k-entry gshare/bimodal hybrid branch predictor,
+//! * 512-entry, 4-way branch target buffer,
+//! * return address stack,
+//! * 4 KB, 4-way, 2-cycle L1 instruction cache.
+//!
+//! The trace cache itself lives in the `ctcp-tracecache` crate; this crate
+//! provides the predictor the trace cache consults for multiple-branch
+//! prediction and the instruction cache used on trace cache misses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod icache;
+mod predictor;
+mod ras;
+
+pub use btb::{Btb, BtbConfig};
+pub use icache::{ICache, ICacheConfig};
+pub use predictor::{
+    BimodalPredictor, BranchPredictor, GsharePredictor, HybridConfig, HybridPredictor,
+    PredictorStats,
+};
+pub use ras::ReturnAddressStack;

@@ -1,0 +1,366 @@
+//! Direction predictors: bimodal, gshare, and the paper's hybrid.
+
+/// Accuracy counters for a direction predictor.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorStats {
+    /// Predictions that matched the outcome.
+    pub correct: u64,
+    /// Predictions that did not.
+    pub incorrect: u64,
+}
+
+impl PredictorStats {
+    /// Total number of predictions.
+    pub fn predictions(&self) -> u64 {
+        self.correct + self.incorrect
+    }
+
+    /// Misprediction ratio in `[0, 1]`; zero when nothing was predicted.
+    pub fn mispredict_rate(&self) -> f64 {
+        let n = self.predictions();
+        if n == 0 {
+            0.0
+        } else {
+            self.incorrect as f64 / n as f64
+        }
+    }
+}
+
+/// A conditional-branch direction predictor.
+///
+/// `predict` must not change predictor state — the simulator may predict
+/// the same branch several times per cycle (multiple-branch prediction
+/// for a trace line). Pattern-table training happens in `update`
+/// (typically at retirement); the *global history register* is advanced
+/// separately by `update_history`, which the front-end calls at fetch
+/// time with the resolved direction — the standard speculative-history
+/// arrangement, without which history-based predictors see a stale
+/// history register and cannot track per-branch patterns.
+pub trait BranchPredictor {
+    /// Predicts the direction of the branch at `pc`. Must be side-effect
+    /// free.
+    fn predict(&self, pc: u64) -> bool;
+
+    /// Trains the pattern tables with the resolved outcome of the branch
+    /// at `pc` (history registers are *not* advanced here).
+    fn update(&mut self, pc: u64, taken: bool);
+
+    /// Advances any global history with a resolved branch direction
+    /// (called once per fetched branch, in fetch order). Default: no-op.
+    fn update_history(&mut self, taken: bool) {
+        let _ = taken;
+    }
+
+    /// Accuracy counters accumulated by `update` (an update counts as
+    /// correct if `predict` would have returned the outcome at that time).
+    fn stats(&self) -> PredictorStats;
+}
+
+#[inline]
+fn counter_taken(c: u8) -> bool {
+    c >= 2
+}
+
+#[inline]
+fn counter_update(c: &mut u8, taken: bool) {
+    if taken {
+        *c = (*c + 1).min(3);
+    } else {
+        *c = c.saturating_sub(1);
+    }
+}
+
+/// A classic bimodal predictor: a table of 2-bit saturating counters
+/// indexed by PC.
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    table: Vec<u8>,
+    mask: u64,
+    stats: PredictorStats,
+}
+
+impl BimodalPredictor {
+    /// Creates a predictor with `entries` counters (power of two),
+    /// initialised to weakly taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two());
+        BimodalPredictor {
+            table: vec![2; entries],
+            mask: entries as u64 - 1,
+            stats: PredictorStats::default(),
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+}
+
+impl BranchPredictor for BimodalPredictor {
+    fn predict(&self, pc: u64) -> bool {
+        counter_taken(self.table[self.index(pc)])
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        if counter_taken(self.table[i]) == taken {
+            self.stats.correct += 1;
+        } else {
+            self.stats.incorrect += 1;
+        }
+        counter_update(&mut self.table[i], taken);
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+/// A gshare predictor: 2-bit counters indexed by PC XOR global history.
+#[derive(Debug, Clone)]
+pub struct GsharePredictor {
+    table: Vec<u8>,
+    mask: u64,
+    history: u64,
+    history_bits: u32,
+    stats: PredictorStats,
+}
+
+impl GsharePredictor {
+    /// Creates a predictor with `entries` counters (power of two) and a
+    /// global history register of `log2(entries)` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two());
+        GsharePredictor {
+            table: vec![2; entries],
+            mask: entries as u64 - 1,
+            history: 0,
+            history_bits: entries.trailing_zeros(),
+            stats: PredictorStats::default(),
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.mask) as usize
+    }
+
+    /// The current global history register value (for tests).
+    pub fn history(&self) -> u64 {
+        self.history
+    }
+}
+
+impl BranchPredictor for GsharePredictor {
+    fn predict(&self, pc: u64) -> bool {
+        counter_taken(self.table[self.index(pc)])
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        if counter_taken(self.table[i]) == taken {
+            self.stats.correct += 1;
+        } else {
+            self.stats.incorrect += 1;
+        }
+        counter_update(&mut self.table[i], taken);
+    }
+
+    fn update_history(&mut self, taken: bool) {
+        self.history = ((self.history << 1) | u64::from(taken)) & ((1 << self.history_bits) - 1);
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+/// Configuration of the hybrid predictor (defaults: 16k-entry tables,
+/// matching Table 7's "16k-entry gshare/bimodal hybrid").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridConfig {
+    /// Entries in each component table and the chooser (power of two).
+    pub entries: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig { entries: 16 * 1024 }
+    }
+}
+
+/// The baseline's hybrid predictor: gshare and bimodal components with a
+/// per-PC chooser table of 2-bit counters (McFarling-style).
+#[derive(Debug, Clone)]
+pub struct HybridPredictor {
+    gshare: GsharePredictor,
+    bimodal: BimodalPredictor,
+    chooser: Vec<u8>,
+    mask: u64,
+    stats: PredictorStats,
+}
+
+impl HybridPredictor {
+    /// Creates the hybrid with all component tables sized per `config`.
+    pub fn new(config: HybridConfig) -> Self {
+        HybridPredictor {
+            gshare: GsharePredictor::new(config.entries),
+            bimodal: BimodalPredictor::new(config.entries),
+            chooser: vec![2; config.entries],
+            mask: config.entries as u64 - 1,
+            stats: PredictorStats::default(),
+        }
+    }
+
+    #[inline]
+    fn choose_gshare(&self, pc: u64) -> bool {
+        counter_taken(self.chooser[((pc >> 2) & self.mask) as usize])
+    }
+}
+
+impl Default for HybridPredictor {
+    fn default() -> Self {
+        HybridPredictor::new(HybridConfig::default())
+    }
+}
+
+impl BranchPredictor for HybridPredictor {
+    fn predict(&self, pc: u64) -> bool {
+        if self.choose_gshare(pc) {
+            self.gshare.predict(pc)
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let final_pred = self.predict(pc);
+        if final_pred == taken {
+            self.stats.correct += 1;
+        } else {
+            self.stats.incorrect += 1;
+        }
+        let g = self.gshare.predict(pc);
+        let b = self.bimodal.predict(pc);
+        // Train the chooser toward the component that was right.
+        if g != b {
+            let i = ((pc >> 2) & self.mask) as usize;
+            counter_update(&mut self.chooser[i], g == taken);
+        }
+        self.gshare.update(pc, taken);
+        self.bimodal.update(pc, taken);
+    }
+
+    fn update_history(&mut self, taken: bool) {
+        self.gshare.update_history(taken);
+    }
+
+    fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_learns_a_bias() {
+        let mut p = BimodalPredictor::new(1024);
+        for _ in 0..10 {
+            p.update(0x1000, true);
+        }
+        assert!(p.predict(0x1000));
+        for _ in 0..10 {
+            p.update(0x1000, false);
+        }
+        assert!(!p.predict(0x1000));
+    }
+
+    #[test]
+    fn bimodal_counters_saturate() {
+        let mut p = BimodalPredictor::new(64);
+        for _ in 0..100 {
+            p.update(0x40, false);
+        }
+        // One taken flips a saturated counter to 1 (still not-taken).
+        p.update(0x40, true);
+        assert!(!p.predict(0x40));
+    }
+
+    #[test]
+    fn gshare_separates_by_history() {
+        let mut p = GsharePredictor::new(1024);
+        // Alternating pattern T,N,T,N at one PC: bimodal can't learn it,
+        // gshare can once history distinguishes the phases.
+        let mut correct = 0;
+        let mut taken = true;
+        for i in 0..400 {
+            if p.predict(0x2000) == taken && i >= 200 {
+                correct += 1;
+            }
+            p.update(0x2000, taken);
+            p.update_history(taken);
+            taken = !taken;
+        }
+        assert!(correct as f64 / 200.0 > 0.95, "gshare correct={correct}");
+    }
+
+    #[test]
+    fn predict_is_pure() {
+        let p = {
+            let mut p = GsharePredictor::new(256);
+            p.update(0x10, true);
+            p.update_history(true);
+            p
+        };
+        let a = p.predict(0x10);
+        let b = p.predict(0x10);
+        assert_eq!(a, b);
+        assert_eq!(p.history(), 1);
+    }
+
+    #[test]
+    fn hybrid_beats_components_on_mixed_workload() {
+        let mut h = HybridPredictor::new(HybridConfig { entries: 4096 });
+        // Branch A is strongly biased (bimodal-friendly); branch B
+        // alternates (gshare-friendly once history kicks in).
+        let mut taken_b = false;
+        for _ in 0..2000 {
+            h.update(0xa000, true);
+            h.update_history(true);
+            h.update(0xb000, taken_b);
+            h.update_history(taken_b);
+            taken_b = !taken_b;
+        }
+        assert!(h.predict(0xa000));
+        let rate = h.stats().mispredict_rate();
+        assert!(rate < 0.2, "hybrid mispredict rate {rate}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = BimodalPredictor::new(64);
+        p.update(0, true); // init weakly-taken: correct
+        p.update(0, false); // now strongly taken: incorrect
+        assert_eq!(p.stats().predictions(), 2);
+        assert_eq!(p.stats().correct, 1);
+        assert_eq!(p.stats().incorrect, 1);
+        assert_eq!(p.stats().mispredict_rate(), 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_panics() {
+        let _ = BimodalPredictor::new(1000);
+    }
+}

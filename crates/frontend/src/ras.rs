@@ -1,0 +1,94 @@
+//! Return address stack.
+
+/// A fixed-depth return address stack used to predict `ret` targets.
+///
+/// Overflow wraps (oldest entry is lost); underflow returns `None`.
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    stack: Vec<u64>,
+    capacity: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates an empty stack with the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        ReturnAddressStack {
+            stack: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, return_addr: u64) {
+        if self.stack.len() == self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(return_addr);
+    }
+
+    /// Pops the predicted return address (on a return).
+    pub fn pop(&mut self) -> Option<u64> {
+        self.stack.pop()
+    }
+
+    /// Peeks without popping.
+    pub fn top(&self) -> Option<u64> {
+        self.stack.last().copied()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+impl Default for ReturnAddressStack {
+    fn default() -> Self {
+        ReturnAddressStack::new(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn top_does_not_pop() {
+        let mut r = ReturnAddressStack::default();
+        r.push(42);
+        assert_eq!(r.top(), Some(42));
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,596 @@
+//! A textual assembler and disassembler for TRISC.
+//!
+//! The format is one instruction per line, `;` comments, and `name:`
+//! labels. Register names are `r0`–`r30`, `sp`, `lr`, `zero`, and
+//! `f0`–`f31`. Immediates are decimal or `0x` hexadecimal. Branch and
+//! call targets are labels; `la rD, label` materialises a label's code
+//! address (for jump tables used with `jr`).
+//!
+//! ```
+//! use ctcp_isa::asm::{assemble, disassemble};
+//!
+//! let program = assemble(
+//!     "       movi r1, 0
+//!             movi r2, 10
+//!     loop:   addi r1, r1, 1
+//!             blt  r1, r2, loop
+//!             halt",
+//! )
+//! .unwrap();
+//! assert_eq!(program.len(), 5);
+//! let text = disassemble(&program);
+//! let again = assemble(&text).unwrap();
+//! assert_eq!(program.instructions(), again.instructions());
+//! ```
+
+use crate::{Instruction, Opcode, Program, ProgramBuilder, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending text.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The kinds of assembly failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Unknown mnemonic.
+    UnknownMnemonic(String),
+    /// Unknown register name.
+    UnknownRegister(String),
+    /// An operand could not be parsed as an immediate.
+    BadImmediate(String),
+    /// Wrong operand count for the mnemonic.
+    WrongArity {
+        /// The mnemonic in question.
+        mnemonic: String,
+        /// Operands expected.
+        expected: usize,
+        /// Operands found.
+        found: usize,
+    },
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// The program failed final validation (e.g. empty).
+    Invalid(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic {m:?}"),
+            AsmErrorKind::UnknownRegister(r) => write!(f, "unknown register {r:?}"),
+            AsmErrorKind::BadImmediate(s) => write!(f, "bad immediate {s:?}"),
+            AsmErrorKind::WrongArity {
+                mnemonic,
+                expected,
+                found,
+            } => write!(f, "{mnemonic} takes {expected} operands, found {found}"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "label {l:?} defined twice"),
+            AsmErrorKind::UndefinedLabel(l) => write!(f, "label {l:?} is not defined"),
+            AsmErrorKind::Invalid(m) => write!(f, "invalid program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let err = || AsmError {
+        line,
+        kind: AsmErrorKind::UnknownRegister(tok.to_string()),
+    };
+    match tok {
+        "sp" => return Ok(Reg::SP),
+        "lr" => return Ok(Reg::LR),
+        "zero" => return Ok(Reg::ZERO),
+        _ => {}
+    }
+    let (kind, num) = tok.split_at(1);
+    let n: u8 = num.parse().map_err(|_| err())?;
+    match kind {
+        "r" if n < 32 => Ok(Reg::int(n)),
+        "f" if n < 32 => Ok(Reg::fp(n)),
+        _ => Err(err()),
+    }
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let err = || AsmError {
+        line,
+        kind: AsmErrorKind::BadImmediate(tok.to_string()),
+    };
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| err())?
+    } else {
+        body.parse::<i64>().map_err(|_| err())?
+    };
+    Ok(if neg { -v } else { v })
+}
+
+/// Assembles `source` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] pinpointing the first offending line.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    let mut labels: HashMap<String, crate::Label> = HashMap::new();
+    let mut defined: HashMap<String, usize> = HashMap::new();
+    let mut referenced: Vec<(String, usize)> = Vec::new();
+
+    let mut label_of = |name: &str, b: &mut ProgramBuilder| -> crate::Label {
+        *labels
+            .entry(name.to_string())
+            .or_insert_with(|| b.label())
+    };
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = raw;
+        if let Some(p) = text.find(';') {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                break;
+            }
+            if defined.insert(name.to_string(), line).is_some() {
+                return Err(AsmError {
+                    line,
+                    kind: AsmErrorKind::DuplicateLabel(name.to_string()),
+                });
+            }
+            let l = label_of(name, &mut b);
+            b.bind(l);
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, ops_text) = match text.find(char::is_whitespace) {
+            Some(p) => (&text[..p], text[p..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if ops_text.is_empty() {
+            Vec::new()
+        } else {
+            ops_text.split(',').map(str::trim).collect()
+        };
+        let arity = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(AsmError {
+                    line,
+                    kind: AsmErrorKind::WrongArity {
+                        mnemonic: mnemonic.to_string(),
+                        expected: n,
+                        found: ops.len(),
+                    },
+                })
+            }
+        };
+        let reg = |i: usize| parse_reg(ops[i], line);
+        let is_reg = |i: usize| parse_reg(ops[i], line).is_ok();
+
+        match mnemonic {
+            // Three-operand ALU, register or immediate second source.
+            "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "seq"
+            | "mul" | "div" => {
+                arity(3)?;
+                let op = match mnemonic {
+                    "add" => Opcode::Add,
+                    "sub" => Opcode::Sub,
+                    "and" => Opcode::And,
+                    "or" => Opcode::Or,
+                    "xor" => Opcode::Xor,
+                    "sll" => Opcode::Sll,
+                    "srl" => Opcode::Srl,
+                    "sra" => Opcode::Sra,
+                    "slt" => Opcode::Slt,
+                    "seq" => Opcode::Seq,
+                    "mul" => Opcode::Mul,
+                    _ => Opcode::Div,
+                };
+                let d = reg(0)?;
+                let a = reg(1)?;
+                if is_reg(2) {
+                    b.push(Instruction::new(op, Some(d), Some(a), Some(reg(2)?), 0));
+                } else {
+                    let imm = parse_imm(ops[2], line)?;
+                    b.push(Instruction::new(op, Some(d), Some(a), None, imm));
+                }
+            }
+            // Convenience immediate aliases.
+            "addi" | "andi" | "xori" | "slli" | "srli" => {
+                arity(3)?;
+                let op = match mnemonic {
+                    "addi" => Opcode::Add,
+                    "andi" => Opcode::And,
+                    "xori" => Opcode::Xor,
+                    "slli" => Opcode::Sll,
+                    _ => Opcode::Srl,
+                };
+                let d = reg(0)?;
+                let a = reg(1)?;
+                let imm = parse_imm(ops[2], line)?;
+                b.push(Instruction::new(op, Some(d), Some(a), None, imm));
+            }
+            "mov" => {
+                arity(2)?;
+                let d = reg(0)?;
+                let a = reg(1)?;
+                b.push(Instruction::new(Opcode::Mov, Some(d), Some(a), None, 0));
+            }
+            "movi" => {
+                arity(2)?;
+                let d = reg(0)?;
+                let imm = parse_imm(ops[1], line)?;
+                b.push(Instruction::new(Opcode::Movi, Some(d), None, None, imm));
+            }
+            "la" => {
+                arity(2)?;
+                let d = reg(0)?;
+                referenced.push((ops[1].to_string(), line));
+                let l = label_of(ops[1], &mut b);
+                b.movi_label(d, l);
+            }
+            "ld" | "fld" => {
+                arity(3)?;
+                let op = if mnemonic == "ld" { Opcode::Ld } else { Opcode::FLd };
+                let d = reg(0)?;
+                let base = reg(1)?;
+                let disp = parse_imm(ops[2], line)?;
+                b.push(Instruction::new(op, Some(d), Some(base), None, disp));
+            }
+            "st" | "fst" => {
+                arity(3)?;
+                let op = if mnemonic == "st" { Opcode::St } else { Opcode::FSt };
+                let v = reg(0)?;
+                let base = reg(1)?;
+                let disp = parse_imm(ops[2], line)?;
+                b.push(Instruction::new(op, None, Some(base), Some(v), disp));
+            }
+            "beq" | "bne" | "blt" | "bge" => {
+                arity(3)?;
+                let a = reg(0)?;
+                let c = reg(1)?;
+                referenced.push((ops[2].to_string(), line));
+                let l = label_of(ops[2], &mut b);
+                match mnemonic {
+                    "beq" => b.beq(a, c, l),
+                    "bne" => b.bne(a, c, l),
+                    "blt" => b.blt(a, c, l),
+                    _ => b.bge(a, c, l),
+                };
+            }
+            "jmp" => {
+                arity(1)?;
+                referenced.push((ops[0].to_string(), line));
+                let l = label_of(ops[0], &mut b);
+                b.jmp(l);
+            }
+            "jr" => {
+                arity(1)?;
+                let t = reg(0)?;
+                b.jr(t);
+            }
+            "call" => {
+                arity(1)?;
+                referenced.push((ops[0].to_string(), line));
+                let l = label_of(ops[0], &mut b);
+                b.call(l);
+            }
+            "ret" => {
+                arity(0)?;
+                b.ret();
+            }
+            "fadd" | "fsub" | "fmul" | "fdiv" | "fcmp" => {
+                arity(3)?;
+                let op = match mnemonic {
+                    "fadd" => Opcode::FAdd,
+                    "fsub" => Opcode::FSub,
+                    "fmul" => Opcode::FMul,
+                    "fdiv" => Opcode::FDiv,
+                    _ => Opcode::FCmp,
+                };
+                let d = reg(0)?;
+                let a = reg(1)?;
+                let c = reg(2)?;
+                b.push(Instruction::new(op, Some(d), Some(a), Some(c), 0));
+            }
+            "fsqrt" | "fmov" | "itof" | "ftoi" => {
+                arity(2)?;
+                let op = match mnemonic {
+                    "fsqrt" => Opcode::FSqrt,
+                    "fmov" => Opcode::FMov,
+                    "itof" => Opcode::ItoF,
+                    _ => Opcode::FtoI,
+                };
+                let d = reg(0)?;
+                let a = reg(1)?;
+                b.push(Instruction::new(op, Some(d), Some(a), None, 0));
+            }
+            "nop" => {
+                arity(0)?;
+                b.nop();
+            }
+            "halt" => {
+                arity(0)?;
+                b.halt();
+            }
+            other => {
+                return Err(AsmError {
+                    line,
+                    kind: AsmErrorKind::UnknownMnemonic(other.to_string()),
+                })
+            }
+        }
+    }
+
+    for (name, line) in referenced {
+        if !defined.contains_key(&name) {
+            return Err(AsmError {
+                line,
+                kind: AsmErrorKind::UndefinedLabel(name),
+            });
+        }
+    }
+    b.try_build().map_err(|e| AsmError {
+        line: 0,
+        kind: AsmErrorKind::Invalid(e.to_string()),
+    })
+}
+
+/// Disassembles a program into text that [`assemble`] accepts and that
+/// round-trips to the identical instruction sequence. Branch targets are
+/// rendered as synthetic labels `L<index>`.
+pub fn disassemble(program: &Program) -> String {
+    use std::collections::BTreeSet;
+    // Collect branch-target instruction indices.
+    let mut targets: BTreeSet<usize> = BTreeSet::new();
+    for inst in program.instructions() {
+        let direct_cti = inst.op.is_cti() && !inst.op.is_indirect();
+        if direct_cti {
+            targets.insert(inst.imm as usize);
+        }
+        if inst.op == Opcode::Movi {
+            // `la` targets: immediate equal to a valid code address.
+            if let Some(idx) = program.index_of(inst.imm as u64) {
+                targets.insert(idx);
+            }
+        }
+    }
+    let label = |idx: usize| format!("L{idx}");
+    let mut out = String::new();
+    for (i, inst) in program.instructions().iter().enumerate() {
+        if targets.contains(&i) {
+            out.push_str(&format!("{}:\n", label(i)));
+        }
+        out.push_str("    ");
+        out.push_str(&render(inst, program, &label));
+        out.push('\n');
+    }
+    out
+}
+
+fn render(inst: &Instruction, program: &Program, label: &dyn Fn(usize) -> String) -> String {
+    let r = |x: Option<Reg>| x.map(|r| r.to_string()).unwrap_or_default();
+    match inst.op {
+        Opcode::Add | Opcode::Sub | Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Sll
+        | Opcode::Srl | Opcode::Sra | Opcode::Slt | Opcode::Seq | Opcode::Mul | Opcode::Div => {
+            let name = format!("{}", inst.op);
+            match inst.src2 {
+                Some(s2) => format!("{name} {}, {}, {}", r(inst.dest), r(inst.src1), s2),
+                None => format!("{name} {}, {}, {}", r(inst.dest), r(inst.src1), inst.imm),
+            }
+        }
+        Opcode::Mov => format!("mov {}, {}", r(inst.dest), r(inst.src1)),
+        Opcode::Movi => {
+            if let Some(idx) = program.index_of(inst.imm as u64) {
+                format!("la {}, {}", r(inst.dest), label(idx))
+            } else {
+                format!("movi {}, {}", r(inst.dest), inst.imm)
+            }
+        }
+        Opcode::Ld => format!("ld {}, {}, {}", r(inst.dest), r(inst.src1), inst.imm),
+        Opcode::FLd => format!("fld {}, {}, {}", r(inst.dest), r(inst.src1), inst.imm),
+        Opcode::St => format!("st {}, {}, {}", r(inst.src2), r(inst.src1), inst.imm),
+        Opcode::FSt => format!("fst {}, {}, {}", r(inst.src2), r(inst.src1), inst.imm),
+        Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge => {
+            format!(
+                "{} {}, {}, {}",
+                inst.op,
+                r(inst.src1),
+                r(inst.src2),
+                label(inst.imm as usize)
+            )
+        }
+        Opcode::Jmp => format!("jmp {}", label(inst.imm as usize)),
+        Opcode::Jr => format!("jr {}", r(inst.src1)),
+        Opcode::Call => format!("call {}", label(inst.imm as usize)),
+        Opcode::Ret => "ret".to_string(),
+        Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv | Opcode::FCmp => {
+            format!(
+                "{} {}, {}, {}",
+                inst.op,
+                r(inst.dest),
+                r(inst.src1),
+                r(inst.src2)
+            )
+        }
+        Opcode::FSqrt | Opcode::FMov | Opcode::ItoF | Opcode::FtoI => {
+            format!("{} {}, {}", inst.op, r(inst.dest), r(inst.src1))
+        }
+        Opcode::Nop => "nop".to_string(),
+        Opcode::Halt => "halt".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Executor;
+
+    #[test]
+    fn assembles_and_runs_a_loop() {
+        let p = assemble(
+            "       movi r1, 0
+                    movi r2, 5
+            top:    addi r1, r1, 1
+                    blt  r1, r2, top
+                    halt",
+        )
+        .unwrap();
+        let mut ex = Executor::new(&p);
+        ex.by_ref().count();
+        assert_eq!(ex.reg(Reg::R1), 5);
+    }
+
+    #[test]
+    fn register_and_immediate_alu_forms() {
+        let p = assemble("add r1, r2, r3\nadd r1, r2, 42\nhalt").unwrap();
+        let i0 = p.get(0).unwrap();
+        let i1 = p.get(1).unwrap();
+        assert_eq!(i0.src2, Some(Reg::R3));
+        assert_eq!(i1.src2, None);
+        assert_eq!(i1.imm, 42);
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("movi r1, 0x10\nmovi r2, -5\nhalt").unwrap();
+        assert_eq!(p.get(0).unwrap().imm, 16);
+        assert_eq!(p.get(1).unwrap().imm, -5);
+    }
+
+    #[test]
+    fn named_registers() {
+        let p = assemble("mov sp, lr\nadd r1, zero, f3\nhalt").unwrap();
+        assert_eq!(p.get(0).unwrap().dest, Some(Reg::SP));
+        assert_eq!(p.get(0).unwrap().src1, Some(Reg::LR));
+        assert_eq!(p.get(1).unwrap().src2, Some(Reg::fp(3)));
+    }
+
+    #[test]
+    fn forward_labels_and_calls() {
+        let p = assemble(
+            "       call f
+                    halt
+            f:      movi r1, 7
+                    ret",
+        )
+        .unwrap();
+        let mut ex = Executor::new(&p);
+        ex.by_ref().count();
+        assert_eq!(ex.reg(Reg::R1), 7);
+    }
+
+    #[test]
+    fn la_builds_jump_tables() {
+        let p = assemble(
+            "       la r1, target
+                    jr r1
+                    nop
+            target: movi r2, 9
+                    halt",
+        )
+        .unwrap();
+        let mut ex = Executor::new(&p);
+        ex.by_ref().count();
+        assert_eq!(ex.reg(Reg::R2), 9);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("; header\n\n  movi r1, 1 ; trailing\n  halt\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn error_unknown_mnemonic() {
+        let e = assemble("frobnicate r1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(matches!(e.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn error_unknown_register() {
+        let e = assemble("movi r99, 0").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::UnknownRegister(_)));
+    }
+
+    #[test]
+    fn error_wrong_arity() {
+        let e = assemble("add r1, r2").unwrap_err();
+        assert!(matches!(
+            e.kind,
+            AsmErrorKind::WrongArity { expected: 3, found: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn error_duplicate_label() {
+        let e = assemble("x: nop\nx: nop\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn error_undefined_label() {
+        let e = assemble("jmp nowhere\nhalt").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::UndefinedLabel(_)));
+    }
+
+    #[test]
+    fn error_bad_immediate() {
+        let e = assemble("movi r1, banana").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadImmediate(_)));
+    }
+
+    #[test]
+    fn disassemble_round_trips() {
+        let src = "       movi r1, 0
+                    movi r2, 8
+                    movi r10, 0x8000
+            top:    slli r3, r1, 3
+                    add  r3, r3, r10
+                    st   r1, r3, 0
+                    ld   r4, r3, 0
+                    fadd f1, f2, f3
+                    addi r1, r1, 1
+                    blt  r1, r2, top
+                    call fn
+                    halt
+            fn:     ret";
+        let p = assemble(src).unwrap();
+        let text = disassemble(&p);
+        let q = assemble(&text).unwrap();
+        assert_eq!(p.instructions(), q.instructions());
+    }
+
+    #[test]
+    fn display_error_messages_are_informative() {
+        let e = assemble("add r1, r2").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 1"));
+        assert!(msg.contains("add"));
+    }
+}

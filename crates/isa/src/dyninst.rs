@@ -1,0 +1,127 @@
+//! Dynamic (executed) instructions.
+
+use crate::{Instruction, Opcode, Reg};
+
+/// Outcome of an executed control-transfer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// True if the control transfer redirected the PC (always true for
+    /// unconditional transfers).
+    pub taken: bool,
+    /// The architectural next PC (target if taken, fall-through otherwise).
+    pub next_pc: u64,
+    /// The taken-path target PC.
+    pub target: u64,
+}
+
+/// One retired, correct-path dynamic instruction: the unit of work handed
+/// from the functional executor to the timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynInst {
+    /// Global dynamic sequence number (0-based, dense).
+    pub seq: u64,
+    /// Virtual address of the instruction.
+    pub pc: u64,
+    /// Static instruction index within the program.
+    pub index: u32,
+    /// The static instruction.
+    pub inst: Instruction,
+    /// Effective byte address for memory operations.
+    pub mem_addr: Option<u64>,
+    /// Branch outcome for control-transfer instructions.
+    pub branch: Option<BranchOutcome>,
+}
+
+impl DynInst {
+    /// The opcode (shorthand for `self.inst.op`).
+    #[inline]
+    pub fn op(&self) -> Opcode {
+        self.inst.op
+    }
+
+    /// Destination register, if any.
+    #[inline]
+    pub fn dest(&self) -> Option<Reg> {
+        self.inst.dest
+    }
+
+    /// True for any control-transfer instruction.
+    #[inline]
+    pub fn is_cti(&self) -> bool {
+        self.inst.op.is_cti()
+    }
+
+    /// True if this dynamic instance was a taken control transfer.
+    #[inline]
+    pub fn taken(&self) -> bool {
+        self.branch.map_or(false, |b| b.taken)
+    }
+
+    /// The PC of the dynamically next instruction (target for taken
+    /// branches, fall-through otherwise).
+    #[inline]
+    pub fn next_pc(&self) -> u64 {
+        match self.branch {
+            Some(b) => b.next_pc,
+            None => self.pc + 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instruction;
+
+    fn dyn_inst(inst: Instruction, branch: Option<BranchOutcome>) -> DynInst {
+        DynInst {
+            seq: 0,
+            pc: 0x1000,
+            index: 0,
+            inst,
+            mem_addr: None,
+            branch,
+        }
+    }
+
+    #[test]
+    fn next_pc_falls_through_without_branch() {
+        let d = dyn_inst(Instruction::nop(), None);
+        assert_eq!(d.next_pc(), 0x1004);
+        assert!(!d.taken());
+        assert!(!d.is_cti());
+    }
+
+    #[test]
+    fn next_pc_follows_taken_branch() {
+        let br = BranchOutcome {
+            taken: true,
+            next_pc: 0x2000,
+            target: 0x2000,
+        };
+        let d = dyn_inst(
+            Instruction::new(Opcode::Bne, None, Some(Reg::R1), Some(Reg::R2), 0),
+            Some(br),
+        );
+        assert_eq!(d.next_pc(), 0x2000);
+        assert!(d.taken());
+        assert!(d.is_cti());
+        assert_eq!(d.op(), Opcode::Bne);
+        assert!(d.dest().is_none());
+    }
+
+    #[test]
+    fn not_taken_branch_falls_through() {
+        let br = BranchOutcome {
+            taken: false,
+            next_pc: 0x1004,
+            target: 0x2000,
+        };
+        let d = dyn_inst(
+            Instruction::new(Opcode::Beq, None, Some(Reg::R1), Some(Reg::R2), 0),
+            Some(br),
+        );
+        assert_eq!(d.next_pc(), 0x1004);
+        assert!(!d.taken());
+    }
+}

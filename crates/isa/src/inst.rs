@@ -1,0 +1,174 @@
+//! Static instructions.
+
+use crate::{FuType, OpClass, Opcode, Reg};
+use std::fmt;
+
+/// A static TRISC instruction.
+///
+/// Instructions have at most one destination register and two source
+/// registers plus a signed immediate. Branch targets are encoded in the
+/// immediate as an absolute instruction index within the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register, if the instruction writes one.
+    pub dest: Option<Reg>,
+    /// First source register (RS1 in the paper's terminology).
+    pub src1: Option<Reg>,
+    /// Second source register (RS2 in the paper's terminology).
+    pub src2: Option<Reg>,
+    /// Immediate: ALU immediate, memory displacement, or branch target
+    /// (absolute instruction index).
+    pub imm: i64,
+}
+
+impl Instruction {
+    /// Creates an instruction, normalising the zero register: a destination
+    /// of `Reg::ZERO` becomes `None` (the write is architecturally
+    /// invisible) while `Reg::ZERO` sources are kept (they read as zero and
+    /// never create dependencies — see [`Instruction::sources`]).
+    pub fn new(
+        op: Opcode,
+        dest: Option<Reg>,
+        src1: Option<Reg>,
+        src2: Option<Reg>,
+        imm: i64,
+    ) -> Self {
+        let dest = dest.filter(|d| !d.is_zero());
+        Instruction {
+            op,
+            dest,
+            src1,
+            src2,
+            imm,
+        }
+    }
+
+    /// A `nop`.
+    pub fn nop() -> Self {
+        Instruction::new(Opcode::Nop, None, None, None, 0)
+    }
+
+    /// Operation class (see [`OpClass`]).
+    #[inline]
+    pub fn class(&self) -> OpClass {
+        self.op.class()
+    }
+
+    /// The functional unit that executes this instruction.
+    #[inline]
+    pub fn fu_type(&self) -> FuType {
+        self.op.fu_type()
+    }
+
+    /// Source registers that create true data dependencies (the zero
+    /// register is excluded because it is not renamed and always ready).
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        [self.src1, self.src2]
+            .into_iter()
+            .flatten()
+            .filter(|r| !r.is_zero())
+    }
+
+    /// RS1 if it creates a true dependency.
+    pub fn dep_src1(&self) -> Option<Reg> {
+        self.src1.filter(|r| !r.is_zero())
+    }
+
+    /// RS2 if it creates a true dependency.
+    pub fn dep_src2(&self) -> Option<Reg> {
+        self.src2.filter(|r| !r.is_zero())
+    }
+
+    /// True if the instruction produces a register result.
+    #[inline]
+    pub fn has_dest(&self) -> bool {
+        self.dest.is_some()
+    }
+}
+
+impl Default for Instruction {
+    fn default() -> Self {
+        Instruction::nop()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                write!(f, " ")
+            } else {
+                write!(f, ", ")
+            }
+        };
+        if let Some(d) = self.dest {
+            sep(f)?;
+            write!(f, "{d}")?;
+        }
+        if let Some(s) = self.src1 {
+            sep(f)?;
+            write!(f, "{s}")?;
+        }
+        if let Some(s) = self.src2 {
+            sep(f)?;
+            write!(f, "{s}")?;
+        }
+        if self.imm != 0 || self.op == Opcode::Movi || self.op.is_cti() || self.op.is_mem() {
+            sep(f)?;
+            write!(f, "{}", self.imm)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_dest_is_discarded() {
+        let i = Instruction::new(
+            Opcode::Add,
+            Some(Reg::ZERO),
+            Some(Reg::R1),
+            Some(Reg::R2),
+            0,
+        );
+        assert!(i.dest.is_none());
+        assert!(!i.has_dest());
+    }
+
+    #[test]
+    fn zero_sources_create_no_dependencies() {
+        let i = Instruction::new(
+            Opcode::Add,
+            Some(Reg::R3),
+            Some(Reg::ZERO),
+            Some(Reg::R2),
+            0,
+        );
+        let deps: Vec<_> = i.sources().collect();
+        assert_eq!(deps, vec![Reg::R2]);
+        assert!(i.dep_src1().is_none());
+        assert_eq!(i.dep_src2(), Some(Reg::R2));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let i = Instruction::new(Opcode::Ld, Some(Reg::R1), Some(Reg::R2), None, 16);
+        let s = i.to_string();
+        assert!(s.contains("ld"));
+        assert!(s.contains("r1"));
+        assert!(s.contains("16"));
+    }
+
+    #[test]
+    fn default_is_nop() {
+        assert_eq!(Instruction::default().op, Opcode::Nop);
+    }
+}

@@ -1,0 +1,289 @@
+//! Opcodes, operation classes, and functional-unit types.
+
+use std::fmt;
+
+/// The TRISC opcodes.
+///
+/// The set intentionally mirrors the mix the paper's evaluation cares about:
+/// simple integer ALU operations, complex integer multiply/divide, integer
+/// and floating-point memory operations, branches, and basic/complex
+/// floating-point arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Opcode {
+    // -- simple integer (ALU units) -----------------------------------
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    /// Set dest to 1 if src1 < src2 (signed), else 0.
+    Slt,
+    /// Set dest to 1 if src1 == src2, else 0.
+    Seq,
+    /// dest = src1 (register move; encoded as ALU op).
+    Mov,
+    /// dest = imm (load immediate; encoded as ALU op).
+    Movi,
+    // -- complex integer (CPX unit) ------------------------------------
+    Mul,
+    Div,
+    // -- integer memory (MEM unit) --------------------------------------
+    /// dest = mem[src1 + imm]
+    Ld,
+    /// mem[src1 + imm] = src2
+    St,
+    // -- branches (BR unit) ----------------------------------------------
+    /// Branch to `imm` if src1 == src2.
+    Beq,
+    /// Branch to `imm` if src1 != src2.
+    Bne,
+    /// Branch to `imm` if src1 < src2 (signed).
+    Blt,
+    /// Branch to `imm` if src1 >= src2 (signed).
+    Bge,
+    /// Unconditional direct jump to `imm`.
+    Jmp,
+    /// Indirect jump to the address in src1.
+    Jr,
+    /// Direct call: LR = return address; jump to `imm`.
+    Call,
+    /// Return: jump to the address in LR.
+    Ret,
+    // -- floating point basic (FP unit) ----------------------------------
+    FAdd,
+    FSub,
+    /// dest = 1 if fsrc1 < fsrc2 else 0 (integer dest).
+    FCmp,
+    FMov,
+    /// Convert integer src1 to FP dest.
+    ItoF,
+    /// Convert FP src1 to integer dest (truncating).
+    FtoI,
+    // -- floating point complex (FP-CPX unit) -----------------------------
+    FMul,
+    FDiv,
+    FSqrt,
+    // -- floating point memory (FP-MEM unit) ------------------------------
+    /// fdest = mem[src1 + imm] (bit pattern reinterpreted as f64)
+    FLd,
+    /// mem[src1 + imm] = fsrc2
+    FSt,
+    // -- pseudo ----------------------------------------------------------
+    /// No operation.
+    Nop,
+    /// Stop the program.
+    Halt,
+}
+
+impl Opcode {
+    /// The broad class of this opcode, which determines which reservation
+    /// station and functional unit executes it.
+    pub fn class(self) -> OpClass {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Seq | Mov | Movi | Nop => {
+                OpClass::SimpleInt
+            }
+            Mul | Div => OpClass::ComplexInt,
+            Ld => OpClass::Load,
+            St => OpClass::Store,
+            Beq | Bne | Blt | Bge | Jmp | Jr | Call | Ret | Halt => OpClass::Branch,
+            FAdd | FSub | FCmp | FMov | ItoF | FtoI => OpClass::FpBasic,
+            FMul | FDiv | FSqrt => OpClass::FpComplex,
+            FLd => OpClass::FpLoad,
+            FSt => OpClass::FpStore,
+        }
+    }
+
+    /// The special-purpose functional unit that executes this opcode.
+    pub fn fu_type(self) -> FuType {
+        self.class().fu_type()
+    }
+
+    /// True for conditional branches (taken or not-taken at run time).
+    pub fn is_conditional_branch(self) -> bool {
+        matches!(self, Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge)
+    }
+
+    /// True for any control-transfer instruction, conditional or not.
+    pub fn is_cti(self) -> bool {
+        self.class() == OpClass::Branch && self != Opcode::Halt
+    }
+
+    /// True for indirect control transfers whose target comes from a
+    /// register (`Jr`, `Ret`).
+    pub fn is_indirect(self) -> bool {
+        matches!(self, Opcode::Jr | Opcode::Ret)
+    }
+
+    /// True for loads and stores of either register file.
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self.class(),
+            OpClass::Load | OpClass::Store | OpClass::FpLoad | OpClass::FpStore
+        )
+    }
+
+    /// True for loads (integer or FP).
+    pub fn is_load(self) -> bool {
+        matches!(self.class(), OpClass::Load | OpClass::FpLoad)
+    }
+
+    /// True for stores (integer or FP).
+    pub fn is_store(self) -> bool {
+        matches!(self.class(), OpClass::Store | OpClass::FpStore)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = format!("{self:?}").to_lowercase();
+        f.write_str(&s)
+    }
+}
+
+/// Operation classes: the granularity at which execution latency and
+/// reservation-station routing are decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum OpClass {
+    SimpleInt,
+    ComplexInt,
+    Load,
+    Store,
+    Branch,
+    FpBasic,
+    FpComplex,
+    FpLoad,
+    FpStore,
+}
+
+impl OpClass {
+    /// Maps the class to the paper's special-purpose functional unit type.
+    pub fn fu_type(self) -> FuType {
+        match self {
+            OpClass::SimpleInt => FuType::Alu,
+            OpClass::ComplexInt => FuType::Cpx,
+            OpClass::Load | OpClass::Store => FuType::Mem,
+            OpClass::Branch => FuType::Br,
+            OpClass::FpBasic => FuType::Fp,
+            OpClass::FpComplex => FuType::FpCpx,
+            OpClass::FpLoad | OpClass::FpStore => FuType::FpMem,
+        }
+    }
+}
+
+/// The eight special-purpose functional units of one cluster (Figure 3 of
+/// the paper): two ALUs, one integer memory unit, one branch unit, one
+/// complex integer unit, one basic FP unit, one complex FP unit, and one FP
+/// memory unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuType {
+    /// Simple integer unit (2 per cluster).
+    Alu,
+    /// Integer memory unit.
+    Mem,
+    /// Branch unit.
+    Br,
+    /// Complex integer unit (multiply/divide).
+    Cpx,
+    /// Basic floating-point unit.
+    Fp,
+    /// Complex floating-point unit (multiply/divide/sqrt).
+    FpCpx,
+    /// Floating-point memory unit.
+    FpMem,
+}
+
+impl FuType {
+    /// All functional-unit types, in a fixed order usable for table indexing.
+    pub const ALL: [FuType; 7] = [
+        FuType::Alu,
+        FuType::Mem,
+        FuType::Br,
+        FuType::Cpx,
+        FuType::Fp,
+        FuType::FpCpx,
+        FuType::FpMem,
+    ];
+
+    /// Dense index in `0..7`.
+    pub fn index(self) -> usize {
+        match self {
+            FuType::Alu => 0,
+            FuType::Mem => 1,
+            FuType::Br => 2,
+            FuType::Cpx => 3,
+            FuType::Fp => 4,
+            FuType::FpCpx => 5,
+            FuType::FpMem => 6,
+        }
+    }
+}
+
+impl fmt::Display for FuType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuType::Alu => "alu",
+            FuType::Mem => "mem",
+            FuType::Br => "br",
+            FuType::Cpx => "cpx",
+            FuType::Fp => "fp",
+            FuType::FpCpx => "fpcpx",
+            FuType::FpMem => "fpmem",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_classification() {
+        assert!(Opcode::Beq.is_conditional_branch());
+        assert!(!Opcode::Jmp.is_conditional_branch());
+        assert!(Opcode::Jmp.is_cti());
+        assert!(Opcode::Ret.is_cti());
+        assert!(Opcode::Ret.is_indirect());
+        assert!(!Opcode::Halt.is_cti());
+        assert!(!Opcode::Add.is_cti());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Opcode::Ld.is_load());
+        assert!(Opcode::FLd.is_load());
+        assert!(Opcode::St.is_store());
+        assert!(Opcode::FSt.is_store());
+        assert!(Opcode::Ld.is_mem());
+        assert!(!Opcode::Add.is_mem());
+    }
+
+    #[test]
+    fn fu_mapping_matches_paper() {
+        assert_eq!(Opcode::Add.fu_type(), FuType::Alu);
+        assert_eq!(Opcode::Mul.fu_type(), FuType::Cpx);
+        assert_eq!(Opcode::Ld.fu_type(), FuType::Mem);
+        assert_eq!(Opcode::St.fu_type(), FuType::Mem);
+        assert_eq!(Opcode::Beq.fu_type(), FuType::Br);
+        assert_eq!(Opcode::FAdd.fu_type(), FuType::Fp);
+        assert_eq!(Opcode::FDiv.fu_type(), FuType::FpCpx);
+        assert_eq!(Opcode::FLd.fu_type(), FuType::FpMem);
+    }
+
+    #[test]
+    fn fu_index_is_dense_and_unique() {
+        let mut seen = [false; 7];
+        for fu in FuType::ALL {
+            assert!(!seen[fu.index()]);
+            seen[fu.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

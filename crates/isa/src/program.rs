@@ -1,0 +1,588 @@
+//! Programs and the program builder.
+
+use crate::{Instruction, Opcode, Reg};
+use std::fmt;
+
+/// Base virtual address of the text segment; instruction `i` lives at
+/// `TEXT_BASE + 4 * i`.
+pub const TEXT_BASE: u64 = 0x1000;
+
+/// An executable TRISC program: a flat sequence of instructions with
+/// branch targets resolved to absolute instruction indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Instruction>,
+}
+
+impl Program {
+    /// Wraps a raw instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::EmptyProgram`] for an empty sequence and
+    /// [`ProgramError::BadTarget`] if any direct control transfer targets
+    /// an instruction index outside the program.
+    pub fn new(insts: Vec<Instruction>) -> Result<Self, ProgramError> {
+        if insts.is_empty() {
+            return Err(ProgramError::EmptyProgram);
+        }
+        let n = insts.len() as i64;
+        for (idx, inst) in insts.iter().enumerate() {
+            let is_direct_cti = inst.op.is_cti() && !inst.op.is_indirect();
+            if is_direct_cti && (inst.imm < 0 || inst.imm >= n) {
+                return Err(ProgramError::BadTarget {
+                    inst: idx,
+                    target: inst.imm,
+                });
+            }
+        }
+        Ok(Program { insts })
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program has no instructions (never true for a
+    /// successfully constructed `Program`).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at index `idx`, if in range.
+    pub fn get(&self, idx: usize) -> Option<&Instruction> {
+        self.insts.get(idx)
+    }
+
+    /// All instructions in program order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.insts
+    }
+
+    /// The virtual address of instruction `idx`.
+    #[inline]
+    pub fn pc_of(idx: usize) -> u64 {
+        TEXT_BASE + 4 * idx as u64
+    }
+
+    /// The instruction index of virtual address `pc`, if it is a valid
+    /// text address for this program.
+    pub fn index_of(&self, pc: u64) -> Option<usize> {
+        if pc < TEXT_BASE || (pc - TEXT_BASE) % 4 != 0 {
+            return None;
+        }
+        let idx = ((pc - TEXT_BASE) / 4) as usize;
+        (idx < self.insts.len()).then_some(idx)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{:#06x}: {}", Program::pc_of(i), inst)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced while constructing a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The instruction sequence was empty.
+    EmptyProgram,
+    /// A direct branch targets an instruction outside the program.
+    BadTarget {
+        /// Index of the offending branch.
+        inst: usize,
+        /// The out-of-range target.
+        target: i64,
+    },
+    /// A label was used as a branch target but never bound.
+    UnboundLabel(Label),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::EmptyProgram => write!(f, "program has no instructions"),
+            ProgramError::BadTarget { inst, target } => {
+                write!(f, "instruction {inst} branches to invalid target {target}")
+            }
+            ProgramError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// An opaque branch-target label handed out by [`ProgramBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental builder for [`Program`]s with forward-reference labels.
+///
+/// # Example
+///
+/// ```
+/// use ctcp_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// let done = b.label();
+/// b.movi(Reg::R1, 5);
+/// b.beq(Reg::R1, Reg::ZERO, done);  // forward reference
+/// b.addi(Reg::R1, Reg::R1, -1);
+/// b.bind(done);
+/// b.halt();
+/// let program = b.build();
+/// assert_eq!(program.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Instruction>,
+    /// Bound position of each label.
+    labels: Vec<Option<usize>>,
+    /// (instruction index, label) pairs awaiting resolution.
+    fixups: Vec<(usize, Label)>,
+    /// Like `fixups`, but the immediate receives the label's *PC* rather
+    /// than its instruction index (for jump tables).
+    pc_fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insts.len());
+    }
+
+    /// Allocates a label already bound to the next instruction.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Instruction) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn emit(&mut self, op: Opcode, d: Option<Reg>, s1: Option<Reg>, s2: Option<Reg>, imm: i64) {
+        self.insts.push(Instruction::new(op, d, s1, s2, imm));
+    }
+
+    fn emit_branch(&mut self, op: Opcode, s1: Option<Reg>, s2: Option<Reg>, target: Label) {
+        let idx = self.insts.len();
+        self.fixups.push((idx, target));
+        self.insts.push(Instruction::new(op, None, s1, s2, 0));
+    }
+
+    // ---- three-operand ALU ------------------------------------------------
+
+    /// `dest = a + b`
+    pub fn add(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Add, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = a - b`
+    pub fn sub(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Sub, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = a & b`
+    pub fn and(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::And, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = a | b`
+    pub fn or(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Or, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = a ^ b`
+    pub fn xor(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Xor, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = a << (b & 63)`
+    pub fn sll(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Sll, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = (a as u64) >> (b & 63)`
+    pub fn srl(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Srl, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = a >> (b & 63)` (arithmetic)
+    pub fn sra(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Sra, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = (a < b) as i64` (signed)
+    pub fn slt(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Slt, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = (a == b) as i64`
+    pub fn seq(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Seq, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = a * b` (complex integer)
+    pub fn mul(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Mul, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = a / b` (complex integer; division by zero yields 0)
+    pub fn div(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Div, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    // ---- immediates and moves ----------------------------------------------
+
+    /// `dest = a + imm`
+    pub fn addi(&mut self, dest: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::Add, Some(dest), Some(a), None, imm);
+        self
+    }
+
+    /// `dest = a & imm`
+    pub fn andi(&mut self, dest: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::And, Some(dest), Some(a), None, imm);
+        self
+    }
+
+    /// `dest = a ^ imm`
+    pub fn xori(&mut self, dest: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::Xor, Some(dest), Some(a), None, imm);
+        self
+    }
+
+    /// `dest = a << imm`
+    pub fn slli(&mut self, dest: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::Sll, Some(dest), Some(a), None, imm);
+        self
+    }
+
+    /// `dest = (a as u64) >> imm`
+    pub fn srli(&mut self, dest: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::Srl, Some(dest), Some(a), None, imm);
+        self
+    }
+
+    /// `dest = imm`
+    pub fn movi(&mut self, dest: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::Movi, Some(dest), None, None, imm);
+        self
+    }
+
+    /// `dest = pc_of(target)` — materialises a code address, e.g. to build
+    /// a jump table for [`ProgramBuilder::jr`].
+    pub fn movi_label(&mut self, dest: Reg, target: Label) -> &mut Self {
+        let idx = self.insts.len();
+        self.pc_fixups.push((idx, target));
+        self.emit(Opcode::Movi, Some(dest), None, None, 0);
+        self
+    }
+
+    /// `dest = src`
+    pub fn mov(&mut self, dest: Reg, src: Reg) -> &mut Self {
+        self.emit(Opcode::Mov, Some(dest), Some(src), None, 0);
+        self
+    }
+
+    // ---- memory -------------------------------------------------------------
+
+    /// `dest = mem[base + disp]`
+    pub fn ld(&mut self, dest: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.emit(Opcode::Ld, Some(dest), Some(base), None, disp);
+        self
+    }
+
+    /// `mem[base + disp] = value`
+    pub fn st(&mut self, value: Reg, base: Reg, disp: i64) -> &mut Self {
+        self.emit(Opcode::St, None, Some(base), Some(value), disp);
+        self
+    }
+
+    /// `fdest = mem[base + disp]`
+    pub fn fld(&mut self, dest: Reg, base: Reg, disp: i64) -> &mut Self {
+        debug_assert!(dest.is_fp());
+        self.emit(Opcode::FLd, Some(dest), Some(base), None, disp);
+        self
+    }
+
+    /// `mem[base + disp] = fvalue`
+    pub fn fst(&mut self, value: Reg, base: Reg, disp: i64) -> &mut Self {
+        debug_assert!(value.is_fp());
+        self.emit(Opcode::FSt, None, Some(base), Some(value), disp);
+        self
+    }
+
+    // ---- floating point -------------------------------------------------------
+
+    /// `dest = a + b` (FP)
+    pub fn fadd(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::FAdd, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = a - b` (FP)
+    pub fn fsub(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::FSub, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = a * b` (FP, complex unit)
+    pub fn fmul(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::FMul, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = a / b` (FP, complex unit; division by zero yields 0.0)
+    pub fn fdiv(&mut self, dest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::FDiv, Some(dest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `dest = sqrt(a)` (FP, complex unit)
+    pub fn fsqrt(&mut self, dest: Reg, a: Reg) -> &mut Self {
+        self.emit(Opcode::FSqrt, Some(dest), Some(a), None, 0);
+        self
+    }
+
+    /// `idest = (fa < fb) as i64`
+    pub fn fcmp(&mut self, idest: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::FCmp, Some(idest), Some(a), Some(b), 0);
+        self
+    }
+
+    /// `fdest = isrc as f64`
+    pub fn itof(&mut self, fdest: Reg, isrc: Reg) -> &mut Self {
+        self.emit(Opcode::ItoF, Some(fdest), Some(isrc), None, 0);
+        self
+    }
+
+    /// `idest = fsrc as i64` (truncating)
+    pub fn ftoi(&mut self, idest: Reg, fsrc: Reg) -> &mut Self {
+        self.emit(Opcode::FtoI, Some(idest), Some(fsrc), None, 0);
+        self
+    }
+
+    // ---- control flow -----------------------------------------------------------
+
+    /// Branch to `target` if `a == b`.
+    pub fn beq(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.emit_branch(Opcode::Beq, Some(a), Some(b), target);
+        self
+    }
+
+    /// Branch to `target` if `a != b`.
+    pub fn bne(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.emit_branch(Opcode::Bne, Some(a), Some(b), target);
+        self
+    }
+
+    /// Branch to `target` if `a < b` (signed).
+    pub fn blt(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.emit_branch(Opcode::Blt, Some(a), Some(b), target);
+        self
+    }
+
+    /// Branch to `target` if `a >= b` (signed).
+    pub fn bge(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+        self.emit_branch(Opcode::Bge, Some(a), Some(b), target);
+        self
+    }
+
+    /// Unconditional jump to `target`.
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.emit_branch(Opcode::Jmp, None, None, target);
+        self
+    }
+
+    /// Indirect jump to the address held in `target_reg`.
+    pub fn jr(&mut self, target_reg: Reg) -> &mut Self {
+        self.emit(Opcode::Jr, None, Some(target_reg), None, 0);
+        self
+    }
+
+    /// Call `target`, writing the return address to [`Reg::LR`].
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        let idx = self.insts.len();
+        self.fixups.push((idx, target));
+        self.insts
+            .push(Instruction::new(Opcode::Call, Some(Reg::LR), None, None, 0));
+        self
+    }
+
+    /// Return to the address held in [`Reg::LR`].
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Opcode::Ret, None, Some(Reg::LR), None, 0);
+        self
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Opcode::Nop, None, None, None, 0);
+        self
+    }
+
+    /// Stop the program.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Opcode::Halt, None, None, None, 0);
+        self
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::UnboundLabel`] if a referenced label was
+    /// never bound, plus any [`Program::new`] validation error.
+    pub fn try_build(mut self) -> Result<Program, ProgramError> {
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label.0].ok_or(ProgramError::UnboundLabel(label))?;
+            self.insts[idx].imm = target as i64;
+        }
+        for (idx, label) in std::mem::take(&mut self.pc_fixups) {
+            let target = self.labels[label.0].ok_or(ProgramError::UnboundLabel(label))?;
+            self.insts[idx].imm = Program::pc_of(target) as i64;
+        }
+        Program::new(self.insts)
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any error [`ProgramBuilder::try_build`] would return.
+    pub fn build(self) -> Program {
+        self.try_build().expect("invalid program")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let fwd = b.label();
+        let back = b.here(); // index 0
+        b.movi(Reg::R1, 1);
+        b.beq(Reg::R1, Reg::ZERO, fwd);
+        b.jmp(back);
+        b.bind(fwd);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.get(1).unwrap().imm, 3); // beq -> halt at idx 3 ... wait
+    }
+
+    #[test]
+    fn label_targets_point_at_bound_instruction() {
+        let mut b = ProgramBuilder::new();
+        let done = b.label();
+        b.movi(Reg::R1, 5); // 0
+        b.jmp(done); // 1
+        b.nop(); // 2
+        b.bind(done);
+        b.halt(); // 3
+        let p = b.build();
+        assert_eq!(p.get(1).unwrap().imm, 3);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.jmp(l);
+        assert!(matches!(
+            b.try_build(),
+            Err(ProgramError::UnboundLabel(_))
+        ));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        let b = ProgramBuilder::new();
+        assert_eq!(b.try_build().unwrap_err(), ProgramError::EmptyProgram);
+    }
+
+    #[test]
+    fn out_of_range_target_is_an_error() {
+        let insts = vec![Instruction::new(Opcode::Jmp, None, None, None, 99)];
+        assert!(matches!(
+            Program::new(insts),
+            Err(ProgramError::BadTarget { inst: 0, target: 99 })
+        ));
+    }
+
+    #[test]
+    fn pc_index_round_trip() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..10 {
+            b.nop();
+        }
+        b.halt();
+        let p = b.build();
+        for i in 0..p.len() {
+            assert_eq!(p.index_of(Program::pc_of(i)), Some(i));
+        }
+        assert_eq!(p.index_of(TEXT_BASE - 4), None);
+        assert_eq!(p.index_of(TEXT_BASE + 1), None);
+        assert_eq!(p.index_of(Program::pc_of(p.len())), None);
+    }
+
+    #[test]
+    fn display_lists_every_instruction() {
+        let mut b = ProgramBuilder::new();
+        b.movi(Reg::R1, 7);
+        b.halt();
+        let p = b.build();
+        let s = p.to_string();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

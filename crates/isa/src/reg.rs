@@ -1,0 +1,177 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// An architectural register: 32 integer registers (`R0`–`R31`) and
+/// 32 floating-point registers (`F0`–`F31`).
+///
+/// `R31` is hardwired to zero (Alpha convention): writes are discarded and
+/// reads always return zero. `R30` is used by [`crate::ProgramBuilder`] as
+/// the link register for `call`/`ret`, and `R29` as the stack pointer, but
+/// nothing in the ISA enforces this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+#[allow(missing_docs)]
+impl Reg {
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    pub const R13: Reg = Reg(13);
+    pub const R14: Reg = Reg(14);
+    pub const R15: Reg = Reg(15);
+    pub const R16: Reg = Reg(16);
+    pub const R17: Reg = Reg(17);
+    pub const R18: Reg = Reg(18);
+    pub const R19: Reg = Reg(19);
+    pub const R20: Reg = Reg(20);
+    pub const R21: Reg = Reg(21);
+    pub const R22: Reg = Reg(22);
+    pub const R23: Reg = Reg(23);
+    pub const R24: Reg = Reg(24);
+    pub const R25: Reg = Reg(25);
+    pub const R26: Reg = Reg(26);
+    pub const R27: Reg = Reg(27);
+    pub const R28: Reg = Reg(28);
+    /// Conventional stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Conventional link register (written by `call`, read by `ret`).
+    pub const LR: Reg = Reg(30);
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg(31);
+}
+
+impl Reg {
+    /// Number of integer architectural registers.
+    pub const NUM_INT: usize = 32;
+    /// Number of floating-point architectural registers.
+    pub const NUM_FP: usize = 32;
+    /// Total number of architectural registers (int + fp).
+    pub const NUM: usize = Self::NUM_INT + Self::NUM_FP;
+
+    /// Returns the `n`-th integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn int(n: u8) -> Reg {
+        assert!(n < 32, "integer register index {n} out of range");
+        Reg(n)
+    }
+
+    /// Returns the `n`-th floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn fp(n: u8) -> Reg {
+        assert!(n < 32, "fp register index {n} out of range");
+        Reg(32 + n)
+    }
+
+    /// Dense index in `0..Reg::NUM`, usable as a table index (e.g. for a
+    /// register alias table).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a register from a dense index produced by [`Reg::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Reg::NUM`.
+    pub fn from_index(index: usize) -> Reg {
+        assert!(index < Self::NUM, "register index {index} out of range");
+        Reg(index as u8)
+    }
+
+    /// True for `R0`–`R31`.
+    #[inline]
+    pub fn is_int(self) -> bool {
+        self.0 < 32
+    }
+
+    /// True for `F0`–`F31`.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        self.0 >= 32
+    }
+
+    /// True only for the hardwired zero register [`Reg::ZERO`].
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.0 - 32)
+        } else if self.is_zero() {
+            write!(f, "zero")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_ranges_do_not_overlap() {
+        for n in 0..32 {
+            assert!(Reg::int(n).is_int());
+            assert!(!Reg::int(n).is_fp());
+            assert!(Reg::fp(n).is_fp());
+            assert!(!Reg::fp(n).is_int());
+            assert_ne!(Reg::int(n), Reg::fp(n));
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for i in 0..Reg::NUM {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::R1.is_zero());
+        assert_eq!(Reg::int(31), Reg::ZERO);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R5.to_string(), "r5");
+        assert_eq!(Reg::fp(3).to_string(), "f3");
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+    }
+
+    #[test]
+    #[should_panic]
+    fn int_out_of_range_panics() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_out_of_range_panics() {
+        let _ = Reg::from_index(Reg::NUM);
+    }
+}

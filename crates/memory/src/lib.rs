@@ -1,0 +1,34 @@
+//! # Data memory hierarchy for the CTCP simulator
+//!
+//! Models the data-side memory system of the baseline architecture
+//! (Table 7 of Bhargava & John, ISCA 2003):
+//!
+//! * L1 data cache: 4-way, 32 KB, 2-cycle access, non-blocking with
+//!   16 MSHRs and 4 ports,
+//! * L2 unified cache: 4-way, 1 MB, +8 cycles,
+//! * D-TLB: 128-entry, 4-way, 1-cycle hit, 30-cycle miss,
+//! * 32-entry store buffer with load forwarding,
+//! * 32-entry load queue with no speculative disambiguation,
+//! * infinite main memory at +65 cycles.
+//!
+//! The central type is [`DataMemory`], which composes the pieces and
+//! returns an access latency for each load or store the execution core
+//! performs. The generic [`SetAssocCache`] model is also used by the
+//! instruction cache in the front-end crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+mod load_queue;
+mod mshr;
+mod store_buffer;
+mod tlb;
+
+pub use cache::{CacheConfig, CacheStats, SetAssocCache};
+pub use hierarchy::{AccessKind, AccessResult, DataMemory, MemoryConfig};
+pub use load_queue::LoadQueue;
+pub use mshr::MshrFile;
+pub use store_buffer::{StoreBuffer, StoreForward};
+pub use tlb::{Tlb, TlbConfig};

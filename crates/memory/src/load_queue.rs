@@ -1,0 +1,103 @@
+//! Load queue.
+
+use std::collections::VecDeque;
+
+/// A load queue (default 32 entries, per Table 7) tracking in-flight loads.
+///
+/// The paper's load queue performs **no speculative disambiguation**: a
+/// load may not issue while an older store's address is still unknown. The
+/// queue itself only tracks occupancy and ordering; the issue-time check
+/// against unresolved stores is made by the execution core, which knows
+/// store address-generation status.
+#[derive(Debug, Clone)]
+pub struct LoadQueue {
+    capacity: usize,
+    loads: VecDeque<u64>,
+}
+
+impl LoadQueue {
+    /// Creates an empty queue with room for `capacity` loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        LoadQueue {
+            capacity,
+            loads: VecDeque::new(),
+        }
+    }
+
+    /// True if a new load can be inserted.
+    pub fn has_room(&self) -> bool {
+        self.loads.len() < self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// True when no loads are queued.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Inserts a load by sequence number (allocated at dispatch; clusters
+    /// dispatch independently, so insertion order may not be sequence
+    /// order). Returns `false` when full.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        if !self.has_room() {
+            return false;
+        }
+        self.loads.push_back(seq);
+        true
+    }
+
+    /// Removes a completed or retired load.
+    pub fn remove(&mut self, seq: u64) {
+        if let Some(pos) = self.loads.iter().position(|&s| s == seq) {
+            self.loads.remove(pos);
+        }
+    }
+
+    /// Removes all loads with sequence ≥ `seq` (pipeline flush).
+    pub fn squash_younger(&mut self, seq: u64) {
+        self.loads.retain(|&s| s < seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_enforced() {
+        let mut lq = LoadQueue::new(2);
+        assert!(lq.insert(1));
+        assert!(lq.insert(2));
+        assert!(!lq.insert(3));
+        assert_eq!(lq.len(), 2);
+    }
+
+    #[test]
+    fn remove_frees_room() {
+        let mut lq = LoadQueue::new(1);
+        lq.insert(7);
+        assert!(!lq.has_room());
+        lq.remove(7);
+        assert!(lq.has_room());
+        assert!(lq.is_empty());
+    }
+
+    #[test]
+    fn squash_younger_keeps_older() {
+        let mut lq = LoadQueue::new(8);
+        for s in [1, 3, 5, 7] {
+            lq.insert(s);
+        }
+        lq.squash_younger(5);
+        assert_eq!(lq.len(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! # The whole-processor CTCP simulator
+//!
+//! Wires the front-end (branch predictor, BTB, RAS, instruction cache),
+//! the trace cache and fill unit, the clustered out-of-order engine, and
+//! the data memory system into a cycle-level model of the paper's
+//! baseline architecture (Table 7), then exposes an experiment API used
+//! by every table and figure reproduction.
+//!
+//! ## Example
+//!
+//! ```
+//! use ctcp_sim::{SimConfig, Simulation, Strategy};
+//! use ctcp_workload::Benchmark;
+//!
+//! let program = Benchmark::by_name("gzip").unwrap().program();
+//! let mut config = SimConfig::default();
+//! config.max_insts = 20_000;
+//! config.strategy = Strategy::Fdrt { pinning: true };
+//! let report = Simulation::new(&program, config).run();
+//! assert!(report.ipc > 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod processor;
+mod report;
+mod stream;
+
+pub use config::{SimConfig, Strategy};
+pub use processor::{run_with_strategy, Simulation};
+pub use report::{harmonic_mean, SimReport};

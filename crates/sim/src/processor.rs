@@ -1,0 +1,504 @@
+//! The cycle loop: fetch → deliver → execute → retire → fill.
+
+use crate::report::SimReport;
+use crate::stream::InstStream;
+use crate::{SimConfig, Strategy};
+use ctcp_core::assign::RetireTimeStrategy;
+use ctcp_core::{Engine, FetchedInst};
+use ctcp_frontend::{BranchPredictor, Btb, HybridPredictor, ICache, ReturnAddressStack};
+use ctcp_isa::{DynInst, Executor, Opcode, Program};
+use ctcp_tracecache::{
+    FillUnit, PendingInst, TcLocation, TraceCache, TraceHead, TraceLine, TraceSlot,
+};
+use std::collections::VecDeque;
+
+/// Maximum fetch groups buffered between fetch and rename.
+const DELIVERY_DEPTH: usize = 8;
+
+/// A configured simulation of one program. Create with
+/// [`Simulation::new`], run to completion with [`Simulation::run`].
+pub struct Simulation<'p> {
+    cfg: SimConfig,
+    stream: InstStream<'p>,
+    predictor: HybridPredictor,
+    btb: Btb,
+    ras: ReturnAddressStack,
+    icache: ICache,
+    tc: TraceCache,
+    fill: FillUnit,
+    engine: Engine,
+    retire_strategy: RetireTimeStrategy,
+    delivery: VecDeque<(u64, Vec<FetchedInst>)>,
+    installs: VecDeque<(u64, TraceLine)>,
+    now: u64,
+    fetch_resume: u64,
+    waiting_redirect: Option<u64>,
+    group_ctr: u64,
+    // statistics
+    insts_from_tc: u64,
+    insts_from_icache: u64,
+    cond_branches: u64,
+    cond_mispredicts: u64,
+    indirect_mispredicts: u64,
+    retired: u64,
+    last_group: Option<(u64, bool)>,
+}
+
+impl<'p> Simulation<'p> {
+    /// Builds a cold simulation of `program` under `config`.
+    pub fn new(program: &'p Program, config: SimConfig) -> Self {
+        let cfg = config.normalized();
+        let engine = Engine::new(cfg.engine, cfg.strategy.steering_mode());
+        Simulation {
+            stream: InstStream::new(Executor::new(program)),
+            predictor: HybridPredictor::new(cfg.predictor),
+            btb: Btb::new(cfg.btb),
+            ras: ReturnAddressStack::new(cfg.ras_depth),
+            icache: ICache::new(cfg.icache),
+            tc: TraceCache::new(cfg.trace_cache),
+            fill: FillUnit::new(cfg.fill),
+            engine,
+            retire_strategy: cfg.strategy.retire_time(),
+            delivery: VecDeque::new(),
+            installs: VecDeque::new(),
+            now: 0,
+            fetch_resume: 0,
+            waiting_redirect: None,
+            group_ctr: 0,
+            insts_from_tc: 0,
+            insts_from_icache: 0,
+            cond_branches: 0,
+            cond_mispredicts: 0,
+            indirect_mispredicts: 0,
+            retired: 0,
+            last_group: None,
+            cfg,
+        }
+    }
+
+    /// Runs to completion (instruction budget reached or program drained)
+    /// and reports.
+    pub fn run(mut self) -> SimReport {
+        // Generous safety bound: nothing sensible needs more cycles.
+        let cycle_cap = self
+            .cfg
+            .max_insts
+            .saturating_mul(400)
+            .saturating_add(2_000_000);
+        while self.retired < self.cfg.max_insts && self.now < cycle_cap {
+            self.step();
+            if self.pipeline_empty() {
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    fn pipeline_empty(&mut self) -> bool {
+        self.stream.is_exhausted()
+            && self.delivery.is_empty()
+            && self.engine.in_flight() == 0
+    }
+
+    fn step(&mut self) {
+        self.now += 1;
+        let now = self.now;
+
+        // 1. Trace installs that have cleared the fill-unit latency.
+        while self
+            .installs
+            .front()
+            .is_some_and(|(at, _)| *at <= now)
+        {
+            let (_, line) = self.installs.pop_front().expect("checked front");
+            self.tc.install(line);
+        }
+
+        // 2. Fetch one group.
+        if self.waiting_redirect.is_none()
+            && now >= self.fetch_resume
+            && self.delivery.len() < DELIVERY_DEPTH
+        {
+            self.fetch(now);
+        }
+
+        // 3. Deliver the oldest group to rename if the engine has room.
+        if let Some((at, group)) = self.delivery.front() {
+            if *at <= now && self.engine.can_accept(group.len()) {
+                let (_, group) = self.delivery.pop_front().expect("checked front");
+                self.engine.accept(&group, now);
+            }
+        }
+
+        // 4. Execute one cycle.
+        let result = self.engine.tick(now);
+
+        // 5. Resume fetch once the awaited mispredicted branch resolves.
+        if let Some(seq) = self.waiting_redirect {
+            if result.redirects.contains(&seq) {
+                self.waiting_redirect = None;
+                self.fetch_resume = now + 1;
+            }
+        }
+
+        // 6. Retire: feed the fill unit. (The predictor is trained at
+        // fetch, where the correct-path model already knows the outcome
+        // and the gshare history register still matches the prediction's
+        // index — equivalent to retire-time training with a checkpointed
+        // history.)
+        for r in result.retired {
+            let pending = PendingInst {
+                seq: r.seq,
+                index: r.index,
+                pc: r.pc,
+                inst: r.inst,
+                profile: r.profile,
+                tc_loc: r.tc_loc,
+                feedback: r.feedback,
+                taken: r.taken,
+            };
+            // Trace selection: traces begin at fetch-group heads — a
+            // trace-cache line being rebuilt, or a fetch address that
+            // missed the trace cache — so constructed traces start at
+            // PCs fetch will request again.
+            let head = if self.last_group.map(|(g, _)| g) != Some(r.group) {
+                if r.from_tc {
+                    TraceHead::TraceCacheLine
+                } else {
+                    TraceHead::TraceCacheMiss
+                }
+            } else {
+                TraceHead::None
+            };
+            self.last_group = Some((r.group, r.from_tc));
+            for raw in self.fill.push(pending, head) {
+                self.build_and_install(raw, now);
+            }
+            self.retired += 1;
+            if self.retired >= self.cfg.max_insts {
+                break;
+            }
+        }
+    }
+
+    /// Runs retire-time assignment on a finalised trace and schedules its
+    /// installation.
+    fn build_and_install(&mut self, mut raw: ctcp_tracecache::RawTrace, now: u64) {
+        let placement =
+            self.retire_strategy
+                .assign(&mut raw, &self.cfg.engine.geometry, &mut self.tc);
+        let line = TraceLine::from_raw(&raw, &placement, self.cfg.trace_cache.line_capacity);
+        self.installs.push_back((now + self.fill.latency(), line));
+    }
+
+    /// Predicts one fetched control transfer. Returns `true` when the
+    /// front-end mispredicts it (direction or target).
+    fn predict_cti(&mut self, d: &DynInst) -> bool {
+        let Some(br) = d.branch else { return false };
+        match d.op() {
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge => {
+                self.cond_branches += 1;
+                let p = self.predictor.predict(d.pc);
+                self.predictor.update(d.pc, br.taken);
+                self.predictor.update_history(br.taken);
+                if p != br.taken {
+                    self.cond_mispredicts += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Opcode::Jmp => false,
+            Opcode::Call => {
+                self.ras.push(d.pc + 4);
+                false
+            }
+            Opcode::Ret => {
+                let predicted = self.ras.pop();
+                if predicted != Some(br.target) {
+                    self.indirect_mispredicts += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Opcode::Jr => {
+                let predicted = self.btb.lookup(d.pc);
+                self.btb.update(d.pc, br.target);
+                if predicted != Some(br.target) {
+                    self.indirect_mispredicts += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn fetch(&mut self, now: u64) {
+        let Some(d0) = self.stream.peek(0) else { return };
+        let pc = d0.pc;
+
+        // Trace cache lookup with multiple-branch prediction.
+        let predictor = &self.predictor;
+        let line_info: Option<(u64, Vec<(u8, TraceSlot)>)> = self
+            .tc
+            .lookup(pc, |bpc| predictor.predict(bpc))
+            .map(|line| {
+                (
+                    line.id,
+                    line.logical_iter().map(|(p, s)| (p, *s)).collect(),
+                )
+            });
+
+        let fetch_width = self.cfg.engine.geometry.total_slots();
+        let group_id = self.group_ctr;
+        self.group_ctr += 1;
+        let mut group: Vec<FetchedInst> = Vec::new();
+        let mut mispredicted_seq: Option<u64> = None;
+
+        let (latency, from_tc) = match line_info {
+            Some((line_id, slots)) => {
+                for (phys, slot) in slots {
+                    let matches = self
+                        .stream
+                        .peek(0)
+                        .is_some_and(|d| d.pc == slot.pc);
+                    if !matches {
+                        break;
+                    }
+                    let d = self.stream.pop().expect("peeked");
+                    let mis = self.predict_cti(&d);
+                    group.push(FetchedInst {
+                        seq: d.seq,
+                        pc: d.pc,
+                        index: d.index,
+                        inst: d.inst,
+                        mem_addr: d.mem_addr,
+                        taken: d.branch.map(|b| b.taken),
+                        slot: phys,
+                        group: group_id,
+                        from_tc: true,
+                        tc_loc: Some(TcLocation {
+                            line_id,
+                            slot: phys,
+                        }),
+                        profile: slot.profile,
+                        mispredicted: mis,
+                    });
+                    if mis {
+                        mispredicted_seq = Some(d.seq);
+                        break;
+                    }
+                }
+                self.insts_from_tc += group.len() as u64;
+                (self.cfg.trace_cache.access_latency, true)
+            }
+            None => {
+                // Conventional fetch: sequential instructions up to the
+                // first taken (or mispredicted) control transfer.
+                let lat = self.icache.fetch(pc);
+                while group.len() < fetch_width {
+                    let Some(d) = self.stream.peek(0) else { break };
+                    // Contiguity: a second cache line is allowed, but a
+                    // taken transfer always ends the group below, so this
+                    // simply consumes the fall-through path.
+                    let d = *d;
+                    self.stream.pop();
+                    let mis = self.predict_cti(&d);
+                    let taken = d.taken();
+                    group.push(FetchedInst {
+                        seq: d.seq,
+                        pc: d.pc,
+                        index: d.index,
+                        inst: d.inst,
+                        mem_addr: d.mem_addr,
+                        taken: d.branch.map(|b| b.taken),
+                        slot: group.len() as u8,
+                        group: group_id,
+                        from_tc: false,
+                        tc_loc: None,
+                        profile: Default::default(),
+                        mispredicted: mis,
+                    });
+                    if mis {
+                        mispredicted_seq = Some(d.seq);
+                        break;
+                    }
+                    if taken || d.op() == Opcode::Halt {
+                        break;
+                    }
+                }
+                self.insts_from_icache += group.len() as u64;
+                // An instruction-cache miss stalls fetch for its duration.
+                if lat > self.cfg.icache.hit_latency {
+                    self.fetch_resume = now + lat;
+                }
+                (lat, false)
+            }
+        };
+        let _ = from_tc;
+
+        if group.is_empty() {
+            return;
+        }
+        if let Some(seq) = mispredicted_seq {
+            self.waiting_redirect = Some(seq);
+        }
+        let deliver_at = now + latency + self.cfg.decode_stages;
+        self.delivery.push_back((deliver_at, group));
+    }
+
+    fn finish(mut self) -> SimReport {
+        // Flush the partial trace so trace-size statistics are complete.
+        let _ = self.fill.flush();
+        let fwd = *self.engine.forwarding_stats();
+        let hist = self.engine.producer_history();
+        let repeat_all = [hist.repeat_rate_all(0), hist.repeat_rate_all(1)];
+        let repeat_critical_inter = [
+            hist.repeat_rate_critical_inter(0),
+            hist.repeat_rate_critical_inter(1),
+        ];
+        let fdrt = self.retire_strategy.fdrt_stats().copied();
+        let cycles = self.now.max(1);
+        SimReport {
+            strategy: self.cfg.strategy.name(),
+            cycles,
+            instructions: self.retired,
+            insts_from_tc: self.insts_from_tc,
+            insts_from_icache: self.insts_from_icache,
+            traces_built: self.fill.traces_built(),
+            insts_in_traces: self.fill.insts_buffered(),
+            cond_branches: self.cond_branches,
+            cond_mispredicts: self.cond_mispredicts,
+            indirect_mispredicts: self.indirect_mispredicts,
+            fwd,
+            repeat_all,
+            repeat_critical_inter,
+            fdrt,
+            engine: self.engine.stats(),
+            trace_cache: self.tc.stats(),
+            l1d: self.engine.memory().l1_stats(),
+            icache: self.icache.stats(),
+            ipc: self.retired as f64 / cycles as f64,
+        }
+    }
+}
+
+/// Convenience: run `strategy` on `program` with otherwise-default
+/// configuration and `max_insts` instructions.
+pub fn run_with_strategy(program: &Program, strategy: Strategy, max_insts: u64) -> SimReport {
+    let config = SimConfig {
+        strategy,
+        max_insts,
+        ..SimConfig::default()
+    };
+    Simulation::new(program, config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctcp_isa::{ProgramBuilder, Reg};
+
+    fn loop_program(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.movi(Reg::R1, 0);
+        b.movi(Reg::R2, iters);
+        let top = b.here();
+        b.addi(Reg::R3, Reg::R1, 5);
+        b.add(Reg::R4, Reg::R3, Reg::R3);
+        b.xor(Reg::R5, Reg::R4, Reg::R3);
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.blt(Reg::R1, Reg::R2, top);
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn tiny_program_completes() {
+        let p = loop_program(100);
+        let cfg = SimConfig {
+            max_insts: 10_000,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(&p, cfg).run();
+        // 2 setup + 100 * 5 + 1 halt = 503 instructions.
+        assert_eq!(r.instructions, 503);
+        assert!(r.cycles > 0);
+        assert!(r.ipc > 0.2, "ipc={}", r.ipc);
+    }
+
+    #[test]
+    fn instruction_budget_truncates() {
+        let p = loop_program(1_000_000);
+        let cfg = SimConfig {
+            max_insts: 5_000,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(&p, cfg).run();
+        assert_eq!(r.instructions, 5_000);
+    }
+
+    #[test]
+    fn trace_cache_warms_up_on_a_loop() {
+        let p = loop_program(5_000);
+        let cfg = SimConfig {
+            max_insts: 20_000,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(&p, cfg).run();
+        assert!(
+            r.tc_inst_fraction() > 0.5,
+            "tc fraction {}",
+            r.tc_inst_fraction()
+        );
+        assert!(r.trace_cache.hits > 100);
+        assert!(r.avg_trace_size() > 4.0);
+    }
+
+    #[test]
+    fn predictable_loop_has_low_mispredict_rate() {
+        let p = loop_program(5_000);
+        let cfg = SimConfig {
+            max_insts: 20_000,
+            ..SimConfig::default()
+        };
+        let r = Simulation::new(&p, cfg).run();
+        assert!(
+            r.mispredict_rate() < 0.05,
+            "mispredict rate {}",
+            r.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn all_strategies_run_the_same_instructions() {
+        let p = loop_program(2_000);
+        let n = ctcp_isa::Executor::new(&p).count() as u64;
+        for strategy in [
+            Strategy::Baseline,
+            Strategy::IssueTime { latency: 0 },
+            Strategy::IssueTime { latency: 4 },
+            Strategy::Friendly { middle_bias: false },
+            Strategy::Fdrt { pinning: true },
+            Strategy::Fdrt { pinning: false },
+        ] {
+            let r = run_with_strategy(&p, strategy, 1_000_000);
+            assert_eq!(r.instructions, n, "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn fdrt_reports_stats() {
+        let p = loop_program(3_000);
+        let r = run_with_strategy(&p, Strategy::Fdrt { pinning: true }, 15_000);
+        let stats = r.fdrt.expect("fdrt stats present");
+        let total: u64 = stats.options.iter().sum::<u64>() + stats.skipped;
+        assert!(total > 1_000);
+        assert!(r.fdrt.is_some());
+        let base = run_with_strategy(&p, Strategy::Baseline, 15_000);
+        assert!(base.fdrt.is_none());
+    }
+}

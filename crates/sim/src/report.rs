@@ -1,0 +1,171 @@
+//! Simulation results.
+
+use ctcp_core::assign::FdrtStats;
+use ctcp_core::{EngineStats, ForwardingStats};
+use ctcp_memory::CacheStats;
+use ctcp_tracecache::TraceCacheStats;
+
+/// Everything a finished simulation reports — the superset of what any
+/// table or figure of the paper needs.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Instructions fetched from the trace cache.
+    pub insts_from_tc: u64,
+    /// Instructions fetched from the instruction cache.
+    pub insts_from_icache: u64,
+    /// Traces built by the fill unit.
+    pub traces_built: u64,
+    /// Instructions collected into traces (the fill unit idles between
+    /// trace heads, so this can be less than `instructions`).
+    pub insts_in_traces: u64,
+    /// Conditional-branch mispredictions observed at fetch.
+    pub cond_mispredicts: u64,
+    /// Conditional branches fetched.
+    pub cond_branches: u64,
+    /// Indirect-target mispredictions observed at fetch.
+    pub indirect_mispredicts: u64,
+    /// Forwarding statistics (Tables 2/8, Figure 4).
+    pub fwd: ForwardingStats,
+    /// Producer repeat rates per source, all inputs (Table 3).
+    pub repeat_all: [f64; 2],
+    /// Producer repeat rates per source, critical inter-trace inputs.
+    pub repeat_critical_inter: [f64; 2],
+    /// FDRT statistics (Figure 7, Tables 9/10), when the strategy is FDRT.
+    pub fdrt: Option<FdrtStats>,
+    /// Engine counters.
+    pub engine: EngineStats,
+    /// Trace cache statistics.
+    pub trace_cache: TraceCacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// Instruction cache statistics.
+    pub icache: CacheStats,
+    /// Instructions per cycle.
+    pub ipc: f64,
+}
+
+impl SimReport {
+    /// Fraction of retired instructions fetched from the trace cache
+    /// (Table 1 "% TC Instr").
+    pub fn tc_inst_fraction(&self) -> f64 {
+        let total = self.insts_from_tc + self.insts_from_icache;
+        if total == 0 {
+            0.0
+        } else {
+            self.insts_from_tc as f64 / total as f64
+        }
+    }
+
+    /// Average instructions per fill-unit trace (Table 1 "Trace Size").
+    pub fn avg_trace_size(&self) -> f64 {
+        if self.traces_built == 0 {
+            0.0
+        } else {
+            self.insts_in_traces as f64 / self.traces_built as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Speedup of `self` relative to `base` (execution-time ratio at
+    /// equal instruction counts).
+    pub fn speedup_over(&self, base: &SimReport) -> f64 {
+        assert!(self.cycles > 0 && base.cycles > 0);
+        base.cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Harmonic mean of a slice of speedups (the paper's average).
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let denom: f64 = xs.iter().map(|x| 1.0 / x).sum();
+    xs.len() as f64 / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert!((harmonic_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let hm = harmonic_mean(&[1.0, 2.0]);
+        assert!((hm - 4.0 / 3.0).abs() < 1e-12);
+        // Harmonic mean is dominated by the slowest member.
+        assert!(harmonic_mean(&[1.0, 10.0]) < 5.5);
+    }
+}
+
+#[cfg(test)]
+mod report_tests {
+    use super::*;
+
+    fn blank() -> SimReport {
+        SimReport {
+            strategy: "base".into(),
+            cycles: 100,
+            instructions: 200,
+            insts_from_tc: 150,
+            insts_from_icache: 50,
+            traces_built: 20,
+            insts_in_traces: 180,
+            cond_branches: 40,
+            cond_mispredicts: 4,
+            indirect_mispredicts: 0,
+            fwd: ForwardingStats::default(),
+            repeat_all: [0.0; 2],
+            repeat_critical_inter: [0.0; 2],
+            fdrt: None,
+            engine: EngineStats::default(),
+            trace_cache: TraceCacheStats::default(),
+            l1d: CacheStats::default(),
+            icache: CacheStats::default(),
+            ipc: 2.0,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = blank();
+        assert_eq!(r.tc_inst_fraction(), 0.75);
+        assert_eq!(r.avg_trace_size(), 9.0);
+        assert_eq!(r.mispredict_rate(), 0.1);
+    }
+
+    #[test]
+    fn speedup_is_a_cycle_ratio() {
+        let base = blank();
+        let mut fast = blank();
+        fast.cycles = 80;
+        assert!((fast.speedup_over(&base) - 1.25).abs() < 1e-12);
+        assert!((base.speedup_over(&fast) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_do_not_panic() {
+        let mut r = blank();
+        r.insts_from_tc = 0;
+        r.insts_from_icache = 0;
+        r.traces_built = 0;
+        r.cond_branches = 0;
+        assert_eq!(r.tc_inst_fraction(), 0.0);
+        assert_eq!(r.avg_trace_size(), 0.0);
+        assert_eq!(r.mispredict_rate(), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Buffered lookahead over the functional executor's dynamic stream.
+
+use ctcp_isa::{DynInst, Executor};
+use std::collections::VecDeque;
+
+/// A lookahead window over the correct-path dynamic instruction stream.
+/// The fetch stage peeks ahead to match trace-cache lines against the
+/// upcoming path, then consumes what it fetched.
+pub(crate) struct InstStream<'p> {
+    exec: Executor<'p>,
+    buf: VecDeque<DynInst>,
+    exhausted: bool,
+}
+
+impl<'p> InstStream<'p> {
+    pub(crate) fn new(exec: Executor<'p>) -> Self {
+        InstStream {
+            exec,
+            buf: VecDeque::new(),
+            exhausted: false,
+        }
+    }
+
+    /// Peeks `k` instructions ahead (0 = next).
+    pub(crate) fn peek(&mut self, k: usize) -> Option<&DynInst> {
+        while self.buf.len() <= k && !self.exhausted {
+            match self.exec.next() {
+                Some(d) => self.buf.push_back(d),
+                None => self.exhausted = true,
+            }
+        }
+        self.buf.get(k)
+    }
+
+    /// Consumes the next instruction.
+    pub(crate) fn pop(&mut self) -> Option<DynInst> {
+        if self.buf.is_empty() {
+            self.peek(0)?;
+        }
+        self.buf.pop_front()
+    }
+
+    /// True once every instruction has been consumed.
+    pub(crate) fn is_exhausted(&mut self) -> bool {
+        self.peek(0).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctcp_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn peek_then_pop_preserves_order() {
+        let mut b = ProgramBuilder::new();
+        b.movi(Reg::R1, 1);
+        b.movi(Reg::R2, 2);
+        b.movi(Reg::R3, 3);
+        b.halt();
+        let p = b.build();
+        let mut s = InstStream::new(Executor::new(&p));
+        assert_eq!(s.peek(2).unwrap().seq, 2);
+        assert_eq!(s.peek(0).unwrap().seq, 0);
+        assert_eq!(s.pop().unwrap().seq, 0);
+        assert_eq!(s.peek(0).unwrap().seq, 1);
+        assert_eq!(s.pop().unwrap().seq, 1);
+        assert_eq!(s.pop().unwrap().seq, 2);
+        assert_eq!(s.pop().unwrap().seq, 3); // halt
+        assert!(s.pop().is_none());
+        assert!(s.is_exhausted());
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-instruction run-time profile fields stored in the trace cache, and
+//! the execution feedback the core reports at retirement.
+
+/// The 2-bit leader/follower value of §4.2: whether the instruction is a
+/// cluster-chain leader, a follower, or neither.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChainRole {
+    /// Not part of any cluster chain.
+    #[default]
+    None,
+    /// First instruction of a cluster chain; its suggested cluster is
+    /// pinned.
+    Leader,
+    /// Subsequent link of a chain, inheriting the leader's cluster.
+    Follower,
+}
+
+impl ChainRole {
+    /// True for leaders and followers.
+    pub fn is_chain_member(self) -> bool {
+        self != ChainRole::None
+    }
+}
+
+/// The per-instruction profile stored in a trace cache line: the chain
+/// cluster (2 bits) and leader/follower value (2 bits) of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfileFields {
+    /// Leader / follower / none.
+    pub role: ChainRole,
+    /// Suggested destination cluster for this chain (only meaningful for
+    /// chain members).
+    pub chain_cluster: Option<u8>,
+}
+
+impl ProfileFields {
+    /// True if this instruction belongs to a cluster chain with a known
+    /// suggested cluster.
+    pub fn is_chain_member(&self) -> bool {
+        self.role.is_chain_member() && self.chain_cluster.is_some()
+    }
+}
+
+/// Identifies one slot of one resident trace cache line, so the feedback
+/// mechanism can update profile fields in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcLocation {
+    /// Unique id of the line (assigned at install).
+    pub line_id: u64,
+    /// Physical slot within the line.
+    pub slot: u8,
+}
+
+/// What the execution core learned about one source operand's forwarding
+/// producer, reported to the fill unit at the consumer's retirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProducerInfo {
+    /// Producer's static PC.
+    pub pc: u64,
+    /// Cluster the producer executed on.
+    pub cluster: u8,
+    /// True if producer and consumer were fetched in the same trace.
+    pub same_trace: bool,
+    /// Producer's chain role at the time it forwarded.
+    pub role: ChainRole,
+    /// Producer's chain cluster at the time it forwarded.
+    pub chain_cluster: Option<u8>,
+    /// Where the producer's profile lives in the trace cache, if it was
+    /// fetched from a still-identifiable line.
+    pub tc_location: Option<TcLocation>,
+}
+
+/// Execution feedback for one retired instruction: which inputs were
+/// data-forwarded, by whom, and which input arrived last (was *critical*).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecFeedback {
+    /// Cluster the instruction executed on.
+    pub executed_cluster: u8,
+    /// Forwarding producer of RS1/RS2, if the operand was satisfied by
+    /// data forwarding rather than the register file.
+    pub src_producers: [Option<ProducerInfo>; 2],
+    /// Index (0 = RS1, 1 = RS2) of the critical (last-arriving) input, if
+    /// the instruction had any register inputs.
+    pub critical_src: Option<u8>,
+    /// True if the critical input was satisfied by data forwarding.
+    pub critical_forwarded: bool,
+}
+
+impl ExecFeedback {
+    /// The forwarding producer of the critical input, if the critical
+    /// input was forwarded.
+    pub fn critical_producer(&self) -> Option<&ProducerInfo> {
+        if !self.critical_forwarded {
+            return None;
+        }
+        self.critical_src
+            .and_then(|s| self.src_producers[s as usize].as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_not_chain_member() {
+        let p = ProfileFields::default();
+        assert_eq!(p.role, ChainRole::None);
+        assert!(!p.is_chain_member());
+    }
+
+    #[test]
+    fn chain_membership_requires_cluster() {
+        let p = ProfileFields {
+            role: ChainRole::Leader,
+            chain_cluster: None,
+        };
+        assert!(!p.is_chain_member());
+        let p = ProfileFields {
+            role: ChainRole::Leader,
+            chain_cluster: Some(2),
+        };
+        assert!(p.is_chain_member());
+    }
+
+    #[test]
+    fn critical_producer_resolution() {
+        let prod = ProducerInfo {
+            pc: 0x100,
+            cluster: 1,
+            same_trace: false,
+            role: ChainRole::None,
+            chain_cluster: None,
+            tc_location: None,
+        };
+        let fb = ExecFeedback {
+            executed_cluster: 0,
+            src_producers: [Some(prod), None],
+            critical_src: Some(0),
+            critical_forwarded: true,
+        };
+        assert_eq!(fb.critical_producer().unwrap().pc, 0x100);
+
+        let fb_rf = ExecFeedback {
+            critical_forwarded: false,
+            ..fb
+        };
+        assert!(fb_rf.critical_producer().is_none());
+    }
+}

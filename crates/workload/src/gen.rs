@@ -1,0 +1,568 @@
+//! The program generator.
+
+use crate::WorkloadParams;
+use ctcp_isa::{Label, Program, ProgramBuilder, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Base address of the generated program's working set.
+const WS_BASE: i64 = 0x10_0000;
+/// Base address of the indirect-dispatch jump table.
+const TABLE_BASE: i64 = 0x8_0000;
+/// Maximum nodes initialised in the pointer-chase chain.
+const MAX_CHAIN_NODES: i64 = 2048;
+/// Outer-loop iteration bound (effectively infinite; simulations truncate
+/// by instruction count).
+const OUTER_ITERS: i64 = 1 << 30;
+
+// Register conventions inside generated code.
+const DATA_REGS: [Reg; 12] = [
+    Reg::R1,
+    Reg::R2,
+    Reg::R3,
+    Reg::R4,
+    Reg::R5,
+    Reg::R6,
+    Reg::R7,
+    Reg::R8,
+    Reg::R22,
+    Reg::R23,
+    Reg::R24,
+    Reg::R25,
+];
+const RNG_REG: Reg = Reg::R9; // xorshift state
+const BASE_REG: Reg = Reg::R10; // working-set base
+const CHASE_REG: Reg = Reg::R11; // pointer-chase cursor
+const TRIP_REG: Reg = Reg::R12; // inner loop counter
+const OUTER_REG: Reg = Reg::R13; // outer loop counter
+const TABLE_REG: Reg = Reg::R14; // dispatch table base
+const T0: Reg = Reg::R15; // scratch
+const T1: Reg = Reg::R16; // scratch
+const T2: Reg = Reg::R17; // scratch
+/// Long-lived value registers: written once per outer-loop iteration, so
+/// reads almost always come from the register file.
+const STABLE_REGS: [Reg; 4] = [Reg::R18, Reg::R19, Reg::R20, Reg::R21];
+
+/// Generates a program from `params` (deterministic in `params.seed`).
+///
+/// # Panics
+///
+/// Panics if the parameters fail [`WorkloadParams::validate`].
+pub fn generate(params: &WorkloadParams) -> Program {
+    params.validate();
+    let mut g = Gen {
+        b: ProgramBuilder::new(),
+        rng: SmallRng::seed_from_u64(params.seed ^ 0x5DEECE66D),
+        p: *params,
+        next_data: 0,
+        chains: vec![None; params.ilp_chains],
+        cur_chain: 0,
+        last_fp_dest: None,
+    };
+    g.emit_program();
+    g.b.build()
+}
+
+struct Gen {
+    b: ProgramBuilder,
+    rng: SmallRng,
+    p: WorkloadParams,
+    next_data: usize,
+    /// Last destination of each interleaved dependency chain.
+    chains: Vec<Option<Reg>>,
+    /// Chain the next operation extends (round-robin).
+    cur_chain: usize,
+    last_fp_dest: Option<Reg>,
+}
+
+impl Gen {
+    fn emit_program(&mut self) {
+        self.emit_init();
+
+        let kernel_labels: Vec<Label> = (0..self.p.kernels).map(|_| self.b.label()).collect();
+
+        // Main loop.
+        self.b.movi(OUTER_REG, 0);
+        let main_top = self.b.here();
+        // Refresh the long-lived registers once per outer iteration.
+        for (i, r) in STABLE_REGS.iter().enumerate() {
+            self.b.addi(*r, OUTER_REG, 0x40 + (i as i64) * 0x11);
+        }
+        if self.p.use_calls {
+            for &k in &kernel_labels {
+                self.b.call(k);
+            }
+        } else {
+            for i in 0..self.p.kernels {
+                self.emit_kernel_body(i);
+            }
+        }
+        self.b.addi(OUTER_REG, OUTER_REG, 1);
+        self.b.movi(T0, OUTER_ITERS);
+        self.b.blt(OUTER_REG, T0, main_top);
+        self.b.halt();
+
+        // Kernel functions (only reachable via call).
+        if self.p.use_calls {
+            for (i, &k) in kernel_labels.iter().enumerate() {
+                self.b.bind(k);
+                self.emit_kernel_body(i);
+                self.b.ret();
+            }
+        } else {
+            // Labels must still be bound; they are unused.
+            for &k in &kernel_labels {
+                self.b.bind(k);
+            }
+            self.b.halt();
+        }
+    }
+
+    /// Initialisation: xorshift seed, pointer-chase chain, dispatch table.
+    fn emit_init(&mut self) {
+        let seed = (self.rng.gen::<u32>() as i64) | 1;
+        self.b.movi(RNG_REG, seed);
+        self.b.movi(BASE_REG, WS_BASE);
+
+        // Pointer-chase chain through the lower half of the working set:
+        // node_i at BASE + ((i * stride) & half_mask) * 8, closed into a
+        // cycle.
+        let half_words = (self.p.working_set_words / 2).max(2) as i64;
+        let nodes = half_words.min(MAX_CHAIN_NODES);
+        let stride = ((half_words / 3) | 1).max(1);
+        let mask = half_words - 1;
+
+        self.b.movi(Reg::R1, 0); // i
+        self.b.movi(Reg::R2, nodes);
+        self.b.movi(Reg::R3, WS_BASE); // cur = node_0
+        self.b.movi(Reg::R5, stride);
+        let init_top = self.b.here();
+        self.b.addi(Reg::R4, Reg::R1, 1);
+        self.b.mul(Reg::R4, Reg::R4, Reg::R5);
+        self.b.andi(Reg::R4, Reg::R4, mask);
+        self.b.slli(Reg::R4, Reg::R4, 3);
+        self.b.add(Reg::R4, Reg::R4, BASE_REG);
+        self.b.st(Reg::R4, Reg::R3, 0); // next pointer
+        self.b.mov(Reg::R3, Reg::R4);
+        self.b.addi(Reg::R1, Reg::R1, 1);
+        self.b.blt(Reg::R1, Reg::R2, init_top);
+        // Close the cycle.
+        self.b.st(BASE_REG, Reg::R3, 0);
+        self.b.movi(CHASE_REG, WS_BASE);
+
+        // Data registers start with distinct values.
+        for (i, r) in DATA_REGS.iter().enumerate() {
+            self.b.movi(*r, (i as i64 + 3) * 0x1234_5);
+        }
+        // FP registers seeded from integers.
+        for i in 0..4 {
+            self.b.itof(Reg::fp(i), DATA_REGS[i as usize]);
+        }
+
+        // Dispatch table (if any) is filled by each kernel's own handler
+        // labels; reserve the base register here.
+        self.b.movi(TABLE_REG, TABLE_BASE);
+    }
+
+    /// One kernel: an inner loop whose body is `blocks_per_kernel` basic
+    /// blocks, optionally entered through an indirect dispatch.
+    fn emit_kernel_body(&mut self, kernel_idx: usize) {
+        let trip =
+            self.rng.gen_range(i64::from(self.p.trip_count.0)..=i64::from(self.p.trip_count.1));
+
+        // Indirect dispatch setup: fill this kernel's slice of the jump
+        // table with handler addresses (done once per kernel invocation;
+        // cheap and keeps the generator simple).
+        let dispatch = self.p.dispatch_targets;
+        let handler_labels: Vec<Label> = match dispatch {
+            Some(k) => (0..k).map(|_| self.b.label()).collect(),
+            None => Vec::new(),
+        };
+        if let Some(k) = dispatch {
+            let table_off = (kernel_idx * k * 8) as i64;
+            for (j, &h) in handler_labels.iter().enumerate() {
+                self.b.movi_label(T0, h);
+                self.b.st(T0, TABLE_REG, table_off + (j * 8) as i64);
+            }
+        }
+
+        self.b.movi(TRIP_REG, trip);
+        let loop_top = self.b.here();
+
+        if let Some(k) = dispatch {
+            // idx = rng & (k-1); target = table[kernel][idx]; jr target
+            self.emit_xorshift();
+            self.b.andi(T0, RNG_REG, (k - 1) as i64);
+            self.b.slli(T0, T0, 3);
+            self.b.add(T0, T0, TABLE_REG);
+            self.b
+                .ld(T1, T0, (kernel_idx * k * 8) as i64);
+            self.b.jr(T1);
+            let join = self.b.label();
+            for &h in &handler_labels {
+                self.b.bind(h);
+                self.emit_block(false);
+                self.b.jmp(join);
+            }
+            self.b.bind(join);
+        }
+
+        for blk in 0..self.p.blocks_per_kernel {
+            let last = blk + 1 == self.p.blocks_per_kernel;
+            self.emit_block(!last);
+        }
+
+        self.b.addi(TRIP_REG, TRIP_REG, -1);
+        self.b.bne(TRIP_REG, Reg::ZERO, loop_top);
+    }
+
+    /// A basic block of operations, optionally terminated by a forward
+    /// conditional branch over a short "then" region.
+    fn emit_block(&mut self, with_terminator: bool) {
+        let (lo, hi) = self.p.ops_per_block;
+        let n = self.rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            self.emit_op();
+        }
+        if !with_terminator {
+            return;
+        }
+        if self.rng.gen_bool(self.p.unpredictable_branch_fraction) {
+            self.emit_data_dependent_branch();
+        } else {
+            self.emit_structured_branch();
+        }
+    }
+
+    /// A data-dependent forward branch: taken with `taken_prob`, driven by
+    /// the xorshift state, so it is hard to predict.
+    fn emit_data_dependent_branch(&mut self) {
+        self.emit_xorshift();
+        // t = ((rng >> 4) & 255) < threshold  (threshold = taken_prob*256)
+        let threshold = ((1.0 - self.p.taken_prob) * 256.0).round() as i64;
+        self.b.srli(T0, RNG_REG, 4);
+        self.b.andi(T0, T0, 255);
+        self.b.movi(T1, threshold.clamp(0, 256));
+        self.b.slt(T0, T0, T1);
+        let skip = self.b.label();
+        self.b.beq(T0, Reg::ZERO, skip);
+        // A short "then" region.
+        for _ in 0..self.rng.gen_range(1..=3) {
+            self.emit_op();
+        }
+        self.b.bind(skip);
+    }
+
+    /// A structured (predictable) branch: either strongly biased on data
+    /// (rarely taken) or periodic with a long period, so two-bit counters
+    /// and history predictors do well on it.
+    fn emit_structured_branch(&mut self) {
+        if self.rng.gen_bool(0.6) {
+            // Rarely-taken data test (~4%).
+            self.emit_xorshift();
+            self.b.srli(T0, RNG_REG, 9);
+            self.b.andi(T0, T0, 255);
+            self.b.movi(T1, 10);
+            self.b.slt(T0, T0, T1);
+            let skip = self.b.label();
+            self.b.beq(T0, Reg::ZERO, skip);
+            for _ in 0..self.rng.gen_range(1..=3) {
+                self.emit_op();
+            }
+            self.b.bind(skip);
+        } else {
+            let period = [8i64, 16][self.rng.gen_range(0..2)];
+            self.b.andi(T0, TRIP_REG, period - 1);
+            let skip = self.b.label();
+            self.b.bne(T0, Reg::ZERO, skip);
+            for _ in 0..self.rng.gen_range(1..=3) {
+                self.emit_op();
+            }
+            self.b.bind(skip);
+        }
+    }
+
+    /// xorshift64 step on the RNG register (three simple-op pairs).
+    fn emit_xorshift(&mut self) {
+        self.b.slli(T2, RNG_REG, 13);
+        self.b.xor(RNG_REG, RNG_REG, T2);
+        self.b.srli(T2, RNG_REG, 7);
+        self.b.xor(RNG_REG, RNG_REG, T2);
+        self.b.slli(T2, RNG_REG, 17);
+        self.b.xor(RNG_REG, RNG_REG, T2);
+    }
+
+    fn pick_data_reg(&mut self) -> Reg {
+        DATA_REGS[self.rng.gen_range(0..DATA_REGS.len())]
+    }
+
+    fn next_dest(&mut self) -> Reg {
+        let r = DATA_REGS[self.next_data];
+        self.next_data = (self.next_data + 1) % DATA_REGS.len();
+        r
+    }
+
+    /// Records a produced value as the tail of the current chain.
+    fn note_dest(&mut self, d: Reg) {
+        self.chains[self.cur_chain] = Some(d);
+    }
+
+    /// A dependent source: the tail of the current chain. Because the
+    /// generator round-robins over `ilp_chains` independent chains (like
+    /// a compiler scheduling for ILP), a chain's links are spaced several
+    /// instructions apart in program order.
+    fn chain_src(&mut self) -> Reg {
+        if self.rng.gen_bool(self.p.dep_chain_bias) {
+            self.chains[self.cur_chain].unwrap_or(RNG_REG)
+        } else if self.rng.gen_bool(self.p.stable_src_fraction) {
+            STABLE_REGS[self.rng.gen_range(0..STABLE_REGS.len())]
+        } else {
+            self.pick_data_reg()
+        }
+    }
+
+    /// One operation, drawn from the configured mix. Operations rotate
+    /// round-robin over the interleaved dependency chains.
+    fn emit_op(&mut self) {
+        self.cur_chain = (self.cur_chain + 1) % self.chains.len();
+        if self.rng.gen_bool(self.p.mem_fraction) {
+            self.emit_mem_op();
+        } else if self.rng.gen_bool(self.p.fp_fraction) {
+            self.emit_fp_op();
+        } else if self.rng.gen_bool(self.p.complex_fraction) {
+            self.emit_complex_op();
+        } else {
+            self.emit_simple_op();
+        }
+    }
+
+    /// A second operand: stable registers with the configured bias,
+    /// otherwise a rotating data register.
+    fn other_src(&mut self) -> Reg {
+        if self.rng.gen_bool(self.p.stable_src_fraction) {
+            STABLE_REGS[self.rng.gen_range(0..STABLE_REGS.len())]
+        } else {
+            self.pick_data_reg()
+        }
+    }
+
+    fn emit_simple_op(&mut self) {
+        let d = self.next_dest();
+        let a = self.chain_src();
+        let b = self.other_src();
+        match self.rng.gen_range(0..7) {
+            0 => self.b.add(d, a, b),
+            1 => self.b.sub(d, a, b),
+            2 => self.b.xor(d, a, b),
+            3 => self.b.and(d, a, b),
+            4 => self.b.or(d, a, b),
+            5 => self.b.addi(d, a, self.rng.gen_range(-64..64)),
+            _ => self.b.slli(d, a, self.rng.gen_range(1..8)),
+        };
+        self.note_dest(d);
+    }
+
+    fn emit_complex_op(&mut self) {
+        let d = self.next_dest();
+        let a = self.chain_src();
+        let b = self.other_src();
+        if self.rng.gen_bool(0.03) {
+            self.b.div(d, a, b);
+        } else {
+            self.b.mul(d, a, b);
+        }
+        self.note_dest(d);
+    }
+
+    fn emit_fp_op(&mut self) {
+        let d = Reg::fp(self.rng.gen_range(0..8));
+        let a = self
+            .last_fp_dest
+            .filter(|_| self.rng.gen_bool(self.p.dep_chain_bias))
+            .unwrap_or(Reg::fp(self.rng.gen_range(0..4)));
+        let b = Reg::fp(self.rng.gen_range(0..4));
+        match self.rng.gen_range(0..5) {
+            0 => self.b.fadd(d, a, b),
+            1 => self.b.fsub(d, a, b),
+            2 => self.b.fmul(d, a, b),
+            3 => self.b.fadd(d, a, b),
+            _ => {
+                // Couple the integer and FP domains.
+                let i = self.chain_src();
+                self.b.itof(d, i)
+            }
+        };
+        self.last_fp_dest = Some(d);
+    }
+
+    fn emit_mem_op(&mut self) {
+        let ws_bytes = (self.p.working_set_words * 8) as i64;
+        let half = ws_bytes / 2;
+        if self.rng.gen_bool(self.p.store_fraction) {
+            // Stores stay in the upper half so the chase chain survives.
+            let v = self.chain_src();
+            if self.rng.gen_bool(self.p.irregular_index_fraction) {
+                self.b.andi(T0, RNG_REG, self.p.working_set_words as i64 / 2 - 1);
+                self.b.slli(T0, T0, 3);
+                self.b.add(T0, T0, BASE_REG);
+                self.b.st(v, T0, half);
+            } else {
+                let off = self.rng.gen_range(0..half / 8) * 8;
+                self.b.st(v, BASE_REG, half + off);
+            }
+        } else if self.rng.gen_bool(self.p.chase_fraction) {
+            // Pointer chase: the load feeds the next load's address.
+            self.b.ld(CHASE_REG, CHASE_REG, 0);
+            self.note_dest(CHASE_REG);
+        } else {
+            let d = self.next_dest();
+            if self.rng.gen_bool(self.p.irregular_index_fraction) {
+                self.b.andi(T0, RNG_REG, self.p.working_set_words as i64 - 1);
+                self.b.slli(T0, T0, 3);
+                self.b.add(T0, T0, BASE_REG);
+                self.b.ld(d, T0, 0);
+            } else {
+                let off = self.rng.gen_range(0..ws_bytes / 8) * 8;
+                self.b.ld(d, BASE_REG, off);
+            }
+            self.note_dest(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctcp_isa::Executor;
+
+    fn run_count(p: &WorkloadParams, n: usize) -> usize {
+        let prog = generate(p);
+        let mut ex = Executor::new(&prog);
+        let mut count = 0;
+        for _ in 0..n {
+            if ex.next().is_none() {
+                break;
+            }
+            count += 1;
+        }
+        assert!(ex.error().is_none(), "executor error: {:?}", ex.error());
+        count
+    }
+
+    #[test]
+    fn default_program_runs_long() {
+        let n = run_count(&WorkloadParams::default(), 100_000);
+        assert_eq!(n, 100_000, "program should not halt early");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = WorkloadParams::default();
+        let a = generate(&p);
+        let b = generate(&p);
+        assert_eq!(a.instructions(), b.instructions());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&WorkloadParams::default());
+        let b = generate(&WorkloadParams {
+            seed: 99,
+            ..WorkloadParams::default()
+        });
+        assert_ne!(a.instructions(), b.instructions());
+    }
+
+    #[test]
+    fn dispatch_workload_executes_indirect_jumps() {
+        let p = WorkloadParams {
+            dispatch_targets: Some(8),
+            ..WorkloadParams::default()
+        };
+        let prog = generate(&p);
+        let mut ex = Executor::new(&prog);
+        let mut indirect = 0;
+        for d in ex.by_ref().take(50_000) {
+            if d.op() == ctcp_isa::Opcode::Jr {
+                indirect += 1;
+            }
+        }
+        assert!(indirect > 10, "expected indirect dispatches, saw {indirect}");
+    }
+
+    #[test]
+    fn pointer_chase_workload_issues_dependent_loads() {
+        let p = WorkloadParams {
+            chase_fraction: 0.8,
+            mem_fraction: 0.5,
+            ..WorkloadParams::default()
+        };
+        let prog = generate(&p);
+        let ex = Executor::new(&prog);
+        let mut chase_loads = 0;
+        for d in ex.take(50_000) {
+            if d.op() == ctcp_isa::Opcode::Ld
+                && d.inst.dest == Some(CHASE_REG)
+                && d.inst.src1 == Some(CHASE_REG)
+            {
+                chase_loads += 1;
+                // The cursor must stay inside the working set.
+                let addr = d.mem_addr.unwrap();
+                assert!(addr >= WS_BASE as u64);
+            }
+        }
+        assert!(chase_loads > 100, "saw only {chase_loads} chase loads");
+    }
+
+    #[test]
+    fn fp_workload_contains_fp_ops() {
+        let p = WorkloadParams {
+            fp_fraction: 0.6,
+            ..WorkloadParams::default()
+        };
+        let prog = generate(&p);
+        let fp = prog
+            .instructions()
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.class(),
+                    ctcp_isa::OpClass::FpBasic | ctcp_isa::OpClass::FpComplex
+                )
+            })
+            .count();
+        assert!(fp > 20, "expected FP instructions, found {fp}");
+    }
+
+    #[test]
+    fn taken_prob_shapes_branch_behaviour() {
+        let rate = |tp: f64| -> f64 {
+            let p = WorkloadParams {
+                unpredictable_branch_fraction: 1.0,
+                taken_prob: tp,
+                seed: 7,
+                ..WorkloadParams::default()
+            };
+            let prog = generate(&p);
+            let ex = Executor::new(&prog);
+            let (mut taken, mut total) = (0u64, 0u64);
+            for d in ex.take(80_000) {
+                if d.op() == ctcp_isa::Opcode::Beq {
+                    total += 1;
+                    if d.taken() {
+                        taken += 1;
+                    }
+                }
+            }
+            assert!(total > 100);
+            taken as f64 / total as f64
+        };
+        // The skip branch is taken with probability ~taken_prob.
+        let low = rate(0.2);
+        let high = rate(0.8);
+        assert!(
+            high > low + 0.3,
+            "taken rate should rise with taken_prob: {low} vs {high}"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # Synthetic benchmark generators
+//!
+//! The paper evaluates on precompiled Alpha binaries of SPEC CINT2000
+//! (MinneSPEC inputs) and 14 MediaBench programs. Those binaries are not
+//! reproducible here, so this crate generates *synthetic* TRISC programs
+//! whose dynamic behaviour mimics each workload class: dependency-chain
+//! shape, branch predictability, memory footprint and access pattern,
+//! instruction mix (integer / complex / FP / memory), call and indirect
+//! dispatch rates.
+//!
+//! Cluster-assignment quality depends on exactly these properties — the
+//! mix of intra- vs inter-trace dependencies, producer stability, and
+//! forwarding criticality — so the generators preserve the behaviours the
+//! paper's evaluation exercises, even though absolute IPC differs from
+//! the original testbed (see DESIGN.md for the substitution argument).
+//!
+//! ## Example
+//!
+//! ```
+//! use ctcp_workload::Benchmark;
+//!
+//! let bench = Benchmark::spec_focus()[0]; // bzip2-class workload
+//! let program = bench.program();
+//! assert!(program.len() > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod params;
+mod suites;
+
+pub use gen::generate;
+pub use params::WorkloadParams;
+pub use suites::{Benchmark, Suite};

@@ -1,0 +1,157 @@
+//! Workload parameterisation.
+
+/// Knobs controlling the character of a generated program.
+///
+/// The defaults describe a bland integer workload; the presets in
+/// [`crate::Benchmark`] tune them per benchmark class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// RNG seed: same seed, same program.
+    pub seed: u64,
+    /// Number of distinct inner-loop kernels (static code footprint).
+    pub kernels: usize,
+    /// Basic blocks per kernel body.
+    pub blocks_per_kernel: usize,
+    /// Arithmetic/memory operations per basic block (min, max).
+    pub ops_per_block: (usize, usize),
+    /// Inner-loop trip count range per kernel invocation.
+    pub trip_count: (u32, u32),
+    /// Probability that a block terminator is a *data-dependent* branch
+    /// (hard to predict) rather than a well-structured one.
+    pub unpredictable_branch_fraction: f64,
+    /// Taken probability of data-dependent branches.
+    pub taken_prob: f64,
+    /// Fraction of ops that touch memory.
+    pub mem_fraction: f64,
+    /// Of memory ops, the fraction that are stores.
+    pub store_fraction: f64,
+    /// Of loads, the fraction that pointer-chase (load feeds next
+    /// address).
+    pub chase_fraction: f64,
+    /// Of loads/stores, the fraction using data-dependent (irregular)
+    /// indices instead of static offsets.
+    pub irregular_index_fraction: f64,
+    /// Working-set size in 8-byte words (power of two). Determines cache
+    /// behaviour.
+    pub working_set_words: u64,
+    /// Fraction of arithmetic ops that are floating point.
+    pub fp_fraction: f64,
+    /// Fraction of arithmetic ops that are complex (multiply/divide).
+    pub complex_fraction: f64,
+    /// Probability an op's input comes from a recently produced value
+    /// (short dependency distance / long chains) rather than a stable
+    /// loop-carried register.
+    pub dep_chain_bias: f64,
+    /// Number of independent dependency chains interleaved by the
+    /// "compiler schedule" (2–6). Real compiled code interleaves chains
+    /// for ILP, so a chain's links are spaced `ilp_chains` instructions
+    /// apart — which is what makes slot-based baseline steering split
+    /// chains across clusters (the paper's base sees only ~40%%
+    /// intra-cluster forwarding).
+    pub ilp_chains: usize,
+    /// Of non-chained inputs, the fraction drawn from long-lived
+    /// registers (loop invariants, bases): these producers have usually
+    /// retired, so the value reads from the register file — this knob
+    /// shapes the paper's Figure 4 "From RF" share.
+    pub stable_src_fraction: f64,
+    /// Invoke kernels through `call`/`ret` (vs inline jumps).
+    pub use_calls: bool,
+    /// If set, each kernel iteration dispatches through an indirect jump
+    /// table of this many targets (interpreter-like workloads).
+    pub dispatch_targets: Option<usize>,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            seed: 1,
+            kernels: 4,
+            blocks_per_kernel: 4,
+            ops_per_block: (3, 7),
+            trip_count: (8, 32),
+            unpredictable_branch_fraction: 0.2,
+            taken_prob: 0.5,
+            mem_fraction: 0.3,
+            store_fraction: 0.35,
+            chase_fraction: 0.0,
+            irregular_index_fraction: 0.2,
+            working_set_words: 1 << 12, // 32 KB
+            fp_fraction: 0.0,
+            complex_fraction: 0.05,
+            dep_chain_bias: 0.6,
+            ilp_chains: 3,
+            stable_src_fraction: 0.45,
+            use_calls: true,
+            dispatch_targets: None,
+        }
+    }
+}
+
+impl WorkloadParams {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fraction is outside `[0, 1]`, a range is inverted, or
+    /// the working set is not a power of two.
+    pub fn validate(&self) {
+        for (name, f) in [
+            ("unpredictable_branch_fraction", self.unpredictable_branch_fraction),
+            ("taken_prob", self.taken_prob),
+            ("mem_fraction", self.mem_fraction),
+            ("store_fraction", self.store_fraction),
+            ("chase_fraction", self.chase_fraction),
+            ("irregular_index_fraction", self.irregular_index_fraction),
+            ("fp_fraction", self.fp_fraction),
+            ("complex_fraction", self.complex_fraction),
+            ("dep_chain_bias", self.dep_chain_bias),
+            ("stable_src_fraction", self.stable_src_fraction),
+        ] {
+            assert!((0.0..=1.0).contains(&f), "{name} out of range: {f}");
+        }
+        assert!(self.kernels > 0 && self.blocks_per_kernel > 0);
+        assert!(
+            (1..=8).contains(&self.ilp_chains),
+            "ilp_chains must be in 1..=8"
+        );
+        assert!(self.ops_per_block.0 >= 1 && self.ops_per_block.0 <= self.ops_per_block.1);
+        assert!(self.trip_count.0 >= 1 && self.trip_count.0 <= self.trip_count.1);
+        assert!(
+            self.working_set_words.is_power_of_two(),
+            "working set must be a power of two"
+        );
+        if let Some(k) = self.dispatch_targets {
+            assert!(k.is_power_of_two() && k >= 2, "dispatch table must be 2^n >= 2");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_validate() {
+        WorkloadParams::default().validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_fraction_panics() {
+        let p = WorkloadParams {
+            mem_fraction: 1.5,
+            ..WorkloadParams::default()
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_pow2_working_set_panics() {
+        let p = WorkloadParams {
+            working_set_words: 1000,
+            ..WorkloadParams::default()
+        };
+        p.validate();
+    }
+}

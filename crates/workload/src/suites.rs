@@ -1,0 +1,499 @@
+//! Benchmark presets: 12 SPEC CINT2000-class and 14 MediaBench-class
+//! synthetic workloads.
+
+use crate::{generate, WorkloadParams};
+use ctcp_isa::Program;
+
+/// Which suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// SPEC CINT2000-class workload.
+    SpecInt,
+    /// MediaBench-class workload.
+    MediaBench,
+}
+
+/// A named synthetic benchmark: a [`WorkloadParams`] preset mimicking one
+/// of the paper's programs.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// The paper's benchmark name this preset mimics.
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    params: WorkloadParams,
+}
+
+impl Benchmark {
+    /// The generator parameters.
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// Generates the program (deterministic).
+    pub fn program(&self) -> Program {
+        generate(&self.params)
+    }
+
+    /// Finds a benchmark by name across both suites.
+    pub fn by_name(name: &str) -> Option<Benchmark> {
+        Self::spec_all()
+            .into_iter()
+            .chain(Self::mediabench())
+            .find(|b| b.name == name)
+    }
+
+    /// The six SPECint benchmarks the paper analyses in depth (Table 6):
+    /// bzip2, eon, gzip, perlbmk, twolf, vpr.
+    pub fn spec_focus() -> Vec<Benchmark> {
+        ["bzip2", "eon", "gzip", "perlbmk", "twolf", "vpr"]
+            .iter()
+            .map(|n| Self::by_name_in(Self::spec_all(), n))
+            .collect()
+    }
+
+    fn by_name_in(list: Vec<Benchmark>, name: &str) -> Benchmark {
+        list.into_iter()
+            .find(|b| b.name == name)
+            .expect("known benchmark name")
+    }
+
+    /// All 12 SPEC CINT2000-class benchmarks (Figure 9).
+    pub fn spec_all() -> Vec<Benchmark> {
+        let d = WorkloadParams::default;
+        let mk = |name, params| Benchmark {
+            name,
+            suite: Suite::SpecInt,
+            params,
+        };
+        vec![
+            // Compression: biased loops plus genuinely data-dependent
+            // decisions, modest working set, integer-only.
+            mk(
+                "bzip2",
+                WorkloadParams {
+                    seed: 0xb21b,
+                    kernels: 4,
+                    blocks_per_kernel: 5,
+                    unpredictable_branch_fraction: 0.22,
+                    taken_prob: 0.4,
+                    mem_fraction: 0.25,
+                    working_set_words: 1 << 12, // 32 KB (MinneSPEC-scale)
+                    dep_chain_bias: 0.8,
+                    ilp_chains: 4,
+                    stable_src_fraction: 0.3,
+                    irregular_index_fraction: 0.3,
+                    ..d()
+                },
+            ),
+            // Chess: shift/mask bit tricks, predictable search loops.
+            mk(
+                "crafty",
+                WorkloadParams {
+                    seed: 0xc4af,
+                    kernels: 6,
+                    unpredictable_branch_fraction: 0.12,
+                    mem_fraction: 0.22,
+                    working_set_words: 1 << 13,
+                    dep_chain_bias: 0.75,
+                    complex_fraction: 0.03,
+                    ..d()
+                },
+            ),
+            // Ray tracer (C++): FP-heavy, call-heavy, predictable.
+            mk(
+                "eon",
+                WorkloadParams {
+                    seed: 0xe0e1,
+                    kernels: 8,
+                    blocks_per_kernel: 3,
+                    unpredictable_branch_fraction: 0.08,
+                    mem_fraction: 0.26,
+                    fp_fraction: 0.3,
+                    complex_fraction: 0.08,
+                    working_set_words: 1 << 12,
+                    dep_chain_bias: 0.75,
+                    ilp_chains: 4,
+                    stable_src_fraction: 0.32,
+                    ..d()
+                },
+            ),
+            // Group theory interpreter: integer, mul-heavy, branchy.
+            mk(
+                "gap",
+                WorkloadParams {
+                    seed: 0x6a9,
+                    kernels: 5,
+                    unpredictable_branch_fraction: 0.15,
+                    complex_fraction: 0.15,
+                    mem_fraction: 0.3,
+                    working_set_words: 1 << 14,
+                    ..d()
+                },
+            ),
+            // Compiler: large static footprint, branchy, some indirect.
+            mk(
+                "gcc",
+                WorkloadParams {
+                    seed: 0x6cc,
+                    kernels: 10,
+                    blocks_per_kernel: 6,
+                    ops_per_block: (3, 8),
+                    unpredictable_branch_fraction: 0.18,
+                    mem_fraction: 0.3,
+                    working_set_words: 1 << 14,
+                    dispatch_targets: Some(8),
+                    dep_chain_bias: 0.55,
+                    ..d()
+                },
+            ),
+            // Compression, lighter than bzip2.
+            mk(
+                "gzip",
+                WorkloadParams {
+                    seed: 0x671b,
+                    kernels: 3,
+                    blocks_per_kernel: 4,
+                    unpredictable_branch_fraction: 0.15,
+                    taken_prob: 0.45,
+                    mem_fraction: 0.28,
+                    working_set_words: 1 << 12, // 32 KB
+                    dep_chain_bias: 0.75,
+                    ilp_chains: 3,
+                    stable_src_fraction: 0.35,
+                    ..d()
+                },
+            ),
+            // Network simplex: pointer chasing over a huge working set.
+            mk(
+                "mcf",
+                WorkloadParams {
+                    seed: 0x3cf,
+                    kernels: 3,
+                    unpredictable_branch_fraction: 0.18,
+                    mem_fraction: 0.45,
+                    chase_fraction: 0.5,
+                    irregular_index_fraction: 0.6,
+                    working_set_words: 1 << 17, // 1 MB
+                    dep_chain_bias: 0.6,
+                    ..d()
+                },
+            ),
+            // Link grammar parser: branchy, recursive flavour.
+            mk(
+                "parser",
+                WorkloadParams {
+                    seed: 0xa45e,
+                    kernels: 6,
+                    blocks_per_kernel: 5,
+                    unpredictable_branch_fraction: 0.22,
+                    mem_fraction: 0.33,
+                    chase_fraction: 0.2,
+                    working_set_words: 1 << 13,
+                    ..d()
+                },
+            ),
+            // Perl interpreter: indirect dispatch over many op handlers.
+            mk(
+                "perlbmk",
+                WorkloadParams {
+                    seed: 0xe41,
+                    kernels: 4,
+                    blocks_per_kernel: 3,
+                    ops_per_block: (3, 7),
+                    unpredictable_branch_fraction: 0.15,
+                    mem_fraction: 0.3,
+                    working_set_words: 1 << 12,
+                    dispatch_targets: Some(16),
+                    dep_chain_bias: 0.7,
+                    ilp_chains: 3,
+                    stable_src_fraction: 0.35,
+                    ..d()
+                },
+            ),
+            // Place & route (timberwolf): pointer-chasing, data-dependent.
+            mk(
+                "twolf",
+                WorkloadParams {
+                    seed: 0x2bf,
+                    kernels: 5,
+                    unpredictable_branch_fraction: 0.28,
+                    taken_prob: 0.5,
+                    mem_fraction: 0.32,
+                    chase_fraction: 0.25,
+                    irregular_index_fraction: 0.4,
+                    working_set_words: 1 << 12, // MinneSPEC-scale
+                    dep_chain_bias: 0.75,
+                    ilp_chains: 3,
+                    stable_src_fraction: 0.35,
+                    ..d()
+                },
+            ),
+            // OO database: call-heavy, balanced loads/stores, predictable.
+            mk(
+                "vortex",
+                WorkloadParams {
+                    seed: 0x9042,
+                    kernels: 8,
+                    blocks_per_kernel: 4,
+                    unpredictable_branch_fraction: 0.08,
+                    mem_fraction: 0.4,
+                    store_fraction: 0.45,
+                    working_set_words: 1 << 14,
+                    ..d()
+                },
+            ),
+            // FPGA place & route: mix of chasing and arithmetic cost
+            // functions (small FP component).
+            mk(
+                "vpr",
+                WorkloadParams {
+                    seed: 0x44e,
+                    kernels: 5,
+                    unpredictable_branch_fraction: 0.24,
+                    mem_fraction: 0.3,
+                    chase_fraction: 0.2,
+                    irregular_index_fraction: 0.35,
+                    fp_fraction: 0.12,
+                    working_set_words: 1 << 12,
+                    dep_chain_bias: 0.75,
+                    ilp_chains: 4,
+                    stable_src_fraction: 0.35,
+                    ..d()
+                },
+            ),
+        ]
+    }
+
+    /// The 14 MediaBench-class benchmarks used in prior four-cluster work
+    /// (Figure 9). Media kernels are loop-dominated with predictable
+    /// branches and high ILP.
+    pub fn mediabench() -> Vec<Benchmark> {
+        let mk = |name, params| Benchmark {
+            name,
+            suite: Suite::MediaBench,
+            params,
+        };
+        // A common media-kernel base: tight predictable loops, small
+        // working sets, long arithmetic chains over loaded samples.
+        let base = WorkloadParams {
+            kernels: 2,
+            blocks_per_kernel: 3,
+            ops_per_block: (4, 9),
+            trip_count: (32, 128),
+            unpredictable_branch_fraction: 0.08,
+            mem_fraction: 0.3,
+            store_fraction: 0.4,
+            working_set_words: 1 << 11, // 16 KB
+            dep_chain_bias: 0.6,
+            use_calls: true,
+            ..WorkloadParams::default()
+        };
+        vec![
+            mk(
+                "adpcm_enc",
+                WorkloadParams {
+                    seed: 0xad01,
+                    kernels: 1,
+                    dep_chain_bias: 0.85, // bit-serial coder: deep chains
+                    mem_fraction: 0.2,
+                    unpredictable_branch_fraction: 0.25,
+                    ..base
+                },
+            ),
+            mk(
+                "adpcm_dec",
+                WorkloadParams {
+                    seed: 0xad02,
+                    kernels: 1,
+                    dep_chain_bias: 0.85,
+                    mem_fraction: 0.2,
+                    unpredictable_branch_fraction: 0.2,
+                    ..base
+                },
+            ),
+            mk(
+                "epic",
+                WorkloadParams {
+                    seed: 0xe41c,
+                    fp_fraction: 0.35,
+                    complex_fraction: 0.1,
+                    working_set_words: 1 << 13,
+                    ..base
+                },
+            ),
+            mk(
+                "unepic",
+                WorkloadParams {
+                    seed: 0xe41d,
+                    fp_fraction: 0.3,
+                    working_set_words: 1 << 13,
+                    ..base
+                },
+            ),
+            mk(
+                "g721_enc",
+                WorkloadParams {
+                    seed: 0x6721,
+                    complex_fraction: 0.18, // integer DSP multiplies
+                    dep_chain_bias: 0.75,
+                    ..base
+                },
+            ),
+            mk(
+                "g721_dec",
+                WorkloadParams {
+                    seed: 0x6722,
+                    complex_fraction: 0.18,
+                    dep_chain_bias: 0.75,
+                    ..base
+                },
+            ),
+            // Ghostscript: the outlier — branchy and indirect, more like
+            // an integer SPEC program.
+            mk(
+                "gs",
+                WorkloadParams {
+                    seed: 0x6500,
+                    kernels: 6,
+                    blocks_per_kernel: 5,
+                    ops_per_block: (3, 8),
+                    unpredictable_branch_fraction: 0.35,
+                    dispatch_targets: Some(8),
+                    working_set_words: 1 << 13,
+                    ..base
+                },
+            ),
+            mk(
+                "jpeg_enc",
+                WorkloadParams {
+                    seed: 0x04e6,
+                    complex_fraction: 0.2, // DCT multiplies
+                    dep_chain_bias: 0.45,  // high ILP
+                    mem_fraction: 0.35,
+                    ..base
+                },
+            ),
+            mk(
+                "jpeg_dec",
+                WorkloadParams {
+                    seed: 0x04e7,
+                    complex_fraction: 0.2,
+                    dep_chain_bias: 0.45,
+                    mem_fraction: 0.35,
+                    ..base
+                },
+            ),
+            // 3-D rendering: FP-dominated.
+            mk(
+                "mesa",
+                WorkloadParams {
+                    seed: 0x3e5a,
+                    fp_fraction: 0.55,
+                    complex_fraction: 0.15,
+                    working_set_words: 1 << 13,
+                    ..base
+                },
+            ),
+            mk(
+                "mpeg2_enc",
+                WorkloadParams {
+                    seed: 0x3e61,
+                    kernels: 3,
+                    dep_chain_bias: 0.4, // motion estimation: wide ILP
+                    mem_fraction: 0.4,
+                    working_set_words: 1 << 13,
+                    ..base
+                },
+            ),
+            mk(
+                "mpeg2_dec",
+                WorkloadParams {
+                    seed: 0x3e62,
+                    kernels: 3,
+                    dep_chain_bias: 0.4,
+                    mem_fraction: 0.4,
+                    working_set_words: 1 << 13,
+                    ..base
+                },
+            ),
+            // Elliptic-curve crypto: xor/shift chains, very serial.
+            mk(
+                "pegwit",
+                WorkloadParams {
+                    seed: 0xe691,
+                    kernels: 2,
+                    dep_chain_bias: 0.9,
+                    mem_fraction: 0.18,
+                    complex_fraction: 0.1,
+                    ..base
+                },
+            ),
+            // Speech recognition front-end: FP filters.
+            mk(
+                "rasta",
+                WorkloadParams {
+                    seed: 0x4a57,
+                    fp_fraction: 0.45,
+                    complex_fraction: 0.12,
+                    dep_chain_bias: 0.7,
+                    ..base
+                },
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_the_paper() {
+        assert_eq!(Benchmark::spec_all().len(), 12);
+        assert_eq!(Benchmark::mediabench().len(), 14);
+        assert_eq!(Benchmark::spec_focus().len(), 6);
+    }
+
+    #[test]
+    fn focus_names_match_table6() {
+        let names: Vec<&str> = Benchmark::spec_focus().iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["bzip2", "eon", "gzip", "perlbmk", "twolf", "vpr"]);
+    }
+
+    #[test]
+    fn all_benchmarks_generate_valid_programs() {
+        for b in Benchmark::spec_all().into_iter().chain(Benchmark::mediabench()) {
+            let p = b.program();
+            assert!(p.len() > 50, "{} too small", b.name);
+            // And they run without executor errors.
+            let mut ex = ctcp_isa::Executor::new(&p);
+            for _ in 0..20_000 {
+                if ex.next().is_none() {
+                    break;
+                }
+            }
+            assert!(ex.error().is_none(), "{} run error", b.name);
+            assert!(!ex.halted(), "{} halted prematurely", b.name);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_both_suites() {
+        assert!(Benchmark::by_name("bzip2").is_some());
+        assert!(Benchmark::by_name("mesa").is_some());
+        assert!(Benchmark::by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn seeds_are_unique() {
+        let mut seeds: Vec<u64> = Benchmark::spec_all()
+            .into_iter()
+            .chain(Benchmark::mediabench())
+            .map(|b| b.params().seed)
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 26);
+    }
+}

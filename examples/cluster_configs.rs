@@ -1,0 +1,52 @@
+//! The paper's §5.6 robustness study in miniature: run FDRT against the
+//! baseline on alternative cluster organisations — a ring ("mesh")
+//! interconnect, a one-cycle forwarding hop, and an eight-wide
+//! two-cluster machine.
+//!
+//! Run with: `cargo run --release --example cluster_configs`
+
+use ctcp_core::Topology;
+use ctcp_sim::{harmonic_mean, SimConfig, Simulation, Strategy};
+use ctcp_workload::Benchmark;
+
+fn config(strategy: Strategy, variant: &str) -> SimConfig {
+    let mut c = SimConfig {
+        strategy,
+        max_insts: 100_000,
+        ..SimConfig::default()
+    };
+    match variant {
+        "baseline 4x4 linear" => {}
+        "ring interconnect" => c.engine.geometry.topology = Topology::Ring,
+        "one-cycle hop" => c.engine.hop_latency = 1,
+        "8-wide, 2 clusters" => {
+            c.engine.geometry.clusters = 2;
+            c.engine.rename_width = 8;
+            c.engine.retire_width = 8;
+            c.engine.rob_entries = 64;
+        }
+        other => unreachable!("unknown variant {other}"),
+    }
+    c
+}
+
+fn main() {
+    let variants = [
+        "baseline 4x4 linear",
+        "ring interconnect",
+        "one-cycle hop",
+        "8-wide, 2 clusters",
+    ];
+    println!("FDRT speedup over each configuration's own slot-steered base:");
+    for v in variants {
+        let mut speedups = Vec::new();
+        for b in Benchmark::spec_focus() {
+            let program = b.program();
+            let base = Simulation::new(&program, config(Strategy::Baseline, v)).run();
+            let fdrt =
+                Simulation::new(&program, config(Strategy::Fdrt { pinning: true }, v)).run();
+            speedups.push(fdrt.speedup_over(&base));
+        }
+        println!("  {v:<22} HM speedup {:.3}", harmonic_mean(&speedups));
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's Figure 5 idealisation study on one benchmark: how much
+//! performance is lost to each kind of dependency latency?
+//!
+//! Run with: `cargo run --release --example latency_study [benchmark]`
+
+use ctcp_core::LatencyOverrides;
+use ctcp_sim::{SimConfig, Simulation, Strategy};
+use ctcp_workload::Benchmark;
+
+fn run(bench: &Benchmark, overrides: LatencyOverrides, rf_latency: u64) -> f64 {
+    let program = bench.program();
+    let mut config = SimConfig {
+        strategy: Strategy::Baseline,
+        max_insts: 150_000,
+        ..SimConfig::default()
+    };
+    config.engine.overrides = overrides;
+    config.engine.rf_latency = rf_latency;
+    Simulation::new(&program, config).run().ipc
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gzip".into());
+    let bench = Benchmark::by_name(&name).expect("known benchmark");
+    println!("latency sensitivity of {} (speedup over base):", bench.name);
+
+    let base = run(&bench, LatencyOverrides::default(), 2);
+    let cases: [(&str, LatencyOverrides, u64); 5] = [
+        (
+            "no forwarding latency",
+            LatencyOverrides {
+                no_forward_latency: true,
+                ..Default::default()
+            },
+            2,
+        ),
+        (
+            "no critical fwd latency",
+            LatencyOverrides {
+                no_critical_forward_latency: true,
+                ..Default::default()
+            },
+            2,
+        ),
+        (
+            "no intra-trace latency",
+            LatencyOverrides {
+                no_intra_trace_latency: true,
+                ..Default::default()
+            },
+            2,
+        ),
+        (
+            "no inter-trace latency",
+            LatencyOverrides {
+                no_inter_trace_latency: true,
+                ..Default::default()
+            },
+            2,
+        ),
+        ("no register-file latency", LatencyOverrides::default(), 0),
+    ];
+    for (label, ov, rf) in cases {
+        let ipc = run(&bench, ov, rf);
+        println!("  {label:<26} {:.3}", ipc / base);
+    }
+    println!(
+        "\nThe paper's observation: removing only the critical input's\n\
+         forwarding latency recovers most of the ideal gain, and the\n\
+         register file latency is immaterial — both should hold above."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: simulate one benchmark under every cluster-assignment
+//! strategy and print speedups over the baseline.
+//!
+//! Run with: `cargo run --release --example quickstart [benchmark]`
+
+use ctcp_sim::{run_with_strategy, Strategy};
+use ctcp_workload::Benchmark;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gzip".into());
+    let bench = Benchmark::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name:?}; try one of:");
+        for b in Benchmark::spec_all().iter().chain(&Benchmark::mediabench()) {
+            eprintln!("  {}", b.name);
+        }
+        std::process::exit(2);
+    });
+    let program = bench.program();
+    let n = 150_000;
+
+    println!(
+        "benchmark: {} ({} static instructions, {} simulated)",
+        bench.name,
+        program.len(),
+        n
+    );
+    let base = run_with_strategy(&program, Strategy::Baseline, n);
+    println!(
+        "{:<16} ipc {:.3}                tc {:>5.1}%  intra-cluster fwd {:>5.1}%  fwd distance {:.2}",
+        "base",
+        base.ipc,
+        100.0 * base.tc_inst_fraction(),
+        100.0 * base.fwd.intra_cluster_fraction(),
+        base.fwd.mean_distance()
+    );
+    for strategy in [
+        Strategy::IssueTime { latency: 0 },
+        Strategy::IssueTime { latency: 4 },
+        Strategy::Friendly { middle_bias: false },
+        Strategy::Fdrt { pinning: true },
+    ] {
+        let r = run_with_strategy(&program, strategy, n);
+        println!(
+            "{:<16} ipc {:.3} speedup {:.3}                intra-cluster fwd {:>5.1}%  fwd distance {:.2}",
+            r.strategy,
+            r.ipc,
+            r.speedup_over(&base),
+            100.0 * r.fwd.intra_cluster_fraction(),
+            r.fwd.mean_distance()
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # ctcp — a clustered trace cache processor simulator
+//!
+//! A from-scratch, cycle-level reproduction of **Bhargava & John,
+//! "Improving Dynamic Cluster Assignment for Clustered Trace Cache
+//! Processors" (ISCA 2003)**: a 16-wide out-of-order processor built from
+//! four 4-wide execution clusters fed by a trace cache, with all four of
+//! the paper's dynamic cluster-assignment strategies — baseline slot
+//! steering, issue-time dependency steering, Friendly et al.'s retire-time
+//! reordering, and the proposed feedback-directed retire-time (FDRT)
+//! strategy with inter-trace cluster chaining.
+//!
+//! This crate is a facade: it re-exports the workspace crates under one
+//! name. See the individual crates for details:
+//!
+//! * [`isa`] — the TRISC instruction set and functional executor,
+//! * [`workload`] — synthetic SPECint/MediaBench-class benchmark
+//!   generators,
+//! * [`frontend`] — branch prediction and the instruction cache,
+//! * [`tracecache`] — the trace cache and fill unit,
+//! * [`memory`] — the data memory hierarchy,
+//! * [`core`] — the clustered out-of-order engine and assignment
+//!   strategies,
+//! * [`sim`] — the whole-processor simulator and experiment API.
+//!
+//! ## Example
+//!
+//! ```
+//! use ctcp::sim::{run_with_strategy, Strategy};
+//! use ctcp::workload::Benchmark;
+//!
+//! let program = Benchmark::by_name("gzip").unwrap().program();
+//! let base = run_with_strategy(&program, Strategy::Baseline, 20_000);
+//! let fdrt = run_with_strategy(&program, Strategy::Fdrt { pinning: true }, 20_000);
+//! assert!(fdrt.instructions == base.instructions);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ctcp_core as core;
+pub use ctcp_frontend as frontend;
+pub use ctcp_isa as isa;
+pub use ctcp_memory as memory;
+pub use ctcp_sim as sim;
+pub use ctcp_tracecache as tracecache;
+pub use ctcp_workload as workload;

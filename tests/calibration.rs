@@ -1,0 +1,121 @@
+//! Calibration regression tests: the synthetic workloads must stay in
+//! the regime where the paper's evaluation is meaningful. These bounds
+//! are deliberately loose — they catch a workload or simulator change
+//! that breaks the reproduction, not run-to-run noise.
+
+use ctcp::sim::{run_with_strategy, SimConfig, Simulation, Strategy};
+use ctcp::workload::Benchmark;
+
+const N: u64 = 60_000;
+
+#[test]
+fn focus_benchmarks_look_like_the_papers_table1_and_2() {
+    for b in Benchmark::spec_focus() {
+        let p = b.program();
+        let r = run_with_strategy(&p, Strategy::Baseline, N);
+        // Table 1 regime: trace cache supplies most instructions, traces
+        // span multiple blocks.
+        assert!(
+            r.tc_inst_fraction() > 0.70,
+            "{}: %TC {:.2}",
+            b.name,
+            r.tc_inst_fraction()
+        );
+        assert!(
+            (6.0..=16.0).contains(&r.avg_trace_size()),
+            "{}: trace size {:.1}",
+            b.name,
+            r.avg_trace_size()
+        );
+        // Era-appropriate conditional misprediction rates.
+        assert!(
+            r.mispredict_rate() < 0.15,
+            "{}: mispredict {:.3}",
+            b.name,
+            r.mispredict_rate()
+        );
+        // Table 2 regime: most forwarded dependencies are critical and a
+        // material fraction are inter-trace.
+        assert!(
+            r.fwd.critical_fraction() > 0.6,
+            "{}: critical fraction {:.2}",
+            b.name,
+            r.fwd.critical_fraction()
+        );
+        assert!(
+            (0.10..=0.50).contains(&r.fwd.inter_trace_fraction()),
+            "{}: inter-trace {:.2}",
+            b.name,
+            r.fwd.inter_trace_fraction()
+        );
+    }
+}
+
+#[test]
+fn forwarding_latency_matters_in_the_baseline() {
+    // The six focus benchmarks were chosen by the paper for their
+    // forwarding-latency sensitivity; removing all forwarding latency
+    // must be worth at least 20 % on each.
+    for b in Benchmark::spec_focus() {
+        let p = b.program();
+        let base = run_with_strategy(&p, Strategy::Baseline, N);
+        let mut c = SimConfig {
+            strategy: Strategy::Baseline,
+            max_insts: N,
+            ..SimConfig::default()
+        };
+        c.engine.overrides.no_forward_latency = true;
+        let ideal = Simulation::new(&p, c).run();
+        let speedup = ideal.speedup_over(&base);
+        assert!(
+            speedup > 1.20,
+            "{}: no-forwarding speedup only {:.3}",
+            b.name,
+            speedup
+        );
+    }
+}
+
+#[test]
+fn fdrt_wins_on_the_focus_harmonic_mean() {
+    // The headline reproduction: FDRT clearly above base and above
+    // Friendly on the harmonic mean (the paper: +11.5 % vs +3.1 %).
+    let mut fdrt_speedups = Vec::new();
+    let mut friendly_speedups = Vec::new();
+    for b in Benchmark::spec_focus() {
+        let p = b.program();
+        let base = run_with_strategy(&p, Strategy::Baseline, N);
+        let fdrt = run_with_strategy(&p, Strategy::Fdrt { pinning: true }, N);
+        let friendly = run_with_strategy(&p, Strategy::Friendly { middle_bias: false }, N);
+        fdrt_speedups.push(fdrt.speedup_over(&base));
+        friendly_speedups.push(friendly.speedup_over(&base));
+    }
+    let fdrt_hm = ctcp::sim::harmonic_mean(&fdrt_speedups);
+    let friendly_hm = ctcp::sim::harmonic_mean(&friendly_speedups);
+    assert!(fdrt_hm > 1.03, "FDRT HM {:.3}", fdrt_hm);
+    assert!(
+        fdrt_hm > friendly_hm,
+        "FDRT {:.3} should beat Friendly {:.3}",
+        fdrt_hm,
+        friendly_hm
+    );
+}
+
+#[test]
+fn fdrt_option_distribution_is_paper_shaped() {
+    // Figure 7 regime: option A dominates, chains (B+C) are a meaningful
+    // minority, skipped stays small.
+    for b in Benchmark::spec_focus() {
+        let p = b.program();
+        let r = run_with_strategy(&p, Strategy::Fdrt { pinning: true }, N);
+        let d = r.fdrt.expect("fdrt stats").option_distribution();
+        assert!(d[0] > 0.25, "{}: option A {:.2}", b.name, d[0]);
+        assert!(
+            (0.05..=0.60).contains(&(d[1] + d[2])),
+            "{}: chains B+C {:.2}",
+            b.name,
+            d[1] + d[2]
+        );
+        assert!(d[5] < 0.15, "{}: skipped {:.2}", b.name, d[5]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests of the retire-time placement strategies: for
+//! *any* trace, every strategy must produce a valid physical placement
+//! (injective into the line, within per-cluster capacity), and chain
+//! state must evolve monotonically under pinning.
+
+use ctcp::core::assign::{
+    baseline_placement, friendly_placement, FdrtAssigner, FdrtConfig, MapChainStore,
+    SlotFillOrder,
+};
+use ctcp::core::ClusterGeometry;
+use ctcp::isa::{Instruction, Opcode, Reg};
+use ctcp::tracecache::{ChainRole, ExecFeedback, PendingInst, ProfileFields, RawTrace};
+use proptest::prelude::*;
+
+/// Generates a random (possibly dependent) instruction.
+fn arb_inst() -> impl proptest::strategy::Strategy<Value = Instruction> {
+    (0u8..5, 0u8..8, 0u8..8, 0u8..8).prop_map(|(kind, d, a, b)| {
+        let (d, a, b) = (Reg::int(d), Reg::int(a), Reg::int(b));
+        match kind {
+            0 => Instruction::new(Opcode::Add, Some(d), Some(a), Some(b), 0),
+            1 => Instruction::new(Opcode::Xor, Some(d), Some(a), Some(b), 0),
+            2 => Instruction::new(Opcode::Mul, Some(d), Some(a), Some(b), 0),
+            3 => Instruction::new(Opcode::Ld, Some(d), Some(a), None, 8),
+            _ => Instruction::new(Opcode::St, None, Some(a), Some(b), 8),
+        }
+    })
+}
+
+fn arb_trace(max_len: usize) -> impl proptest::strategy::Strategy<Value = RawTrace> {
+    proptest::collection::vec((arb_inst(), proptest::option::of(0u8..2)), 1..=max_len).prop_map(
+        |items| {
+            let insts: Vec<PendingInst> = items
+                .into_iter()
+                .enumerate()
+                .map(|(i, (inst, crit))| PendingInst {
+                    seq: i as u64,
+                    index: i as u32,
+                    pc: 0x1000 + 4 * i as u64,
+                    inst,
+                    profile: ProfileFields::default(),
+                    tc_loc: None,
+                    feedback: ExecFeedback {
+                        critical_src: crit,
+                        critical_forwarded: crit.is_some(),
+                        ..ExecFeedback::default()
+                    },
+                    taken: None,
+                })
+                .collect();
+            RawTrace::analyze(insts)
+        },
+    )
+}
+
+fn assert_valid_placement(placement: &[u8], n: usize, geom: &ClusterGeometry) {
+    assert_eq!(placement.len(), n);
+    let capacity = geom.total_slots();
+    let mut used = vec![false; capacity];
+    for &s in placement {
+        assert!((s as usize) < capacity, "slot {s} out of range");
+        assert!(!used[s as usize], "slot {s} assigned twice");
+        used[s as usize] = true;
+    }
+    // Per-cluster occupancy can never exceed slots_per_cluster by
+    // construction of slots, but check it anyway for documentation value.
+    let mut per = vec![0u8; geom.clusters as usize];
+    for &s in placement {
+        per[geom.cluster_of_slot(s) as usize] += 1;
+    }
+    assert!(per.iter().all(|&c| c <= geom.slots_per_cluster));
+}
+
+proptest! {
+    #[test]
+    fn baseline_is_the_identity(n in 1usize..=16) {
+        let p = baseline_placement(n);
+        prop_assert_eq!(p, (0..n as u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn friendly_placements_are_valid(trace in arb_trace(16)) {
+        let geom = ClusterGeometry::default();
+        for order in [SlotFillOrder::Sequential, SlotFillOrder::MiddleFirst] {
+            let p = friendly_placement(&trace, &geom, order);
+            assert_valid_placement(&p, trace.len(), &geom);
+        }
+    }
+
+    #[test]
+    fn friendly_handles_two_cluster_geometry(trace in arb_trace(8)) {
+        let geom = ClusterGeometry {
+            clusters: 2,
+            slots_per_cluster: 4,
+            ..ClusterGeometry::default()
+        };
+        let p = friendly_placement(&trace, &geom, SlotFillOrder::Sequential);
+        assert_valid_placement(&p, trace.len(), &geom);
+    }
+
+    #[test]
+    fn fdrt_placements_are_valid(traces in proptest::collection::vec(arb_trace(16), 1..6)) {
+        let geom = ClusterGeometry::default();
+        let mut assigner = FdrtAssigner::new(FdrtConfig::default());
+        let mut store = MapChainStore::new();
+        for mut t in traces {
+            let p = assigner.assign(&mut t, &geom, &mut store);
+            assert_valid_placement(&p, t.len(), &geom);
+        }
+    }
+
+    #[test]
+    fn fdrt_option_counts_are_conserved(traces in proptest::collection::vec(arb_trace(16), 1..6)) {
+        let geom = ClusterGeometry::default();
+        let mut assigner = FdrtAssigner::new(FdrtConfig::default());
+        let mut store = MapChainStore::new();
+        let mut total = 0u64;
+        for mut t in traces {
+            total += t.len() as u64;
+            assigner.assign(&mut t, &geom, &mut store);
+        }
+        let s = assigner.stats();
+        prop_assert_eq!(s.options.iter().sum::<u64>() + s.skipped, total);
+    }
+
+    #[test]
+    fn intra_trace_analysis_is_well_formed(trace in arb_trace(16)) {
+        for (i, producers) in trace.intra_producers.iter().enumerate() {
+            for p in producers.iter().flatten() {
+                // A producer is strictly older and actually writes the
+                // register the consumer reads.
+                prop_assert!((*p as usize) < i);
+                let dest = trace.insts[*p as usize].inst.dest;
+                prop_assert!(dest.is_some());
+                let consumed: Vec<_> = trace.insts[i].inst.sources().collect();
+                prop_assert!(consumed.contains(&dest.unwrap()));
+            }
+        }
+        // has_intra_consumer agrees with intra_producers.
+        for (w, &flag) in trace.has_intra_consumer.iter().enumerate() {
+            let referenced = trace
+                .intra_producers
+                .iter()
+                .any(|ps| ps.iter().flatten().any(|&p| p as usize == w));
+            prop_assert_eq!(flag, referenced);
+        }
+    }
+}
+
+#[test]
+fn pinned_chain_state_never_changes_role_back() {
+    // Once a slot is a Leader under pinning, further assigns must not
+    // demote it or move its cluster.
+    use ctcp::tracecache::TcLocation;
+    let geom = ClusterGeometry::default();
+    let mut assigner = FdrtAssigner::new(FdrtConfig::default());
+    let mut store = MapChainStore::new();
+    let loc = TcLocation { line_id: 1, slot: 0 };
+    store.insert(loc, ProfileFields::default());
+
+    for round in 0..10u8 {
+        let producer = ctcp::tracecache::ProducerInfo {
+            pc: 0x500,
+            cluster: round % 4, // producer "executes" somewhere new each time
+            same_trace: false,
+            role: ChainRole::None,
+            chain_cluster: None,
+            tc_location: Some(loc),
+        };
+        let mut insts = vec![PendingInst {
+            seq: 0,
+            index: 0,
+            pc: 0x1000,
+            inst: Instruction::new(Opcode::Add, Some(Reg::R1), Some(Reg::R2), Some(Reg::R3), 0),
+            profile: ProfileFields::default(),
+            tc_loc: None,
+            feedback: ExecFeedback {
+                executed_cluster: 0,
+                src_producers: [Some(producer), None],
+                critical_src: Some(0),
+                critical_forwarded: true,
+            },
+            taken: None,
+        }];
+        let mut t = RawTrace::analyze(std::mem::take(&mut insts));
+        assigner.assign(&mut t, &geom, &mut store);
+        let p = store.get(loc).unwrap();
+        assert_eq!(p.role, ChainRole::Leader);
+        // Cluster pinned at the first promotion (round 0 -> cluster 0).
+        assert_eq!(p.chain_cluster, Some(0));
+    }
+}

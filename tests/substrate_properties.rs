@@ -1,0 +1,140 @@
+//! Property-based tests of the substrate components: caches, store
+//! buffer, memory, executor, and workload generation.
+
+use ctcp::frontend::{BranchPredictor, HybridConfig, HybridPredictor};
+use ctcp::isa::{Executor, WordMemory};
+use ctcp::memory::{CacheConfig, SetAssocCache, StoreBuffer, StoreForward};
+use ctcp::workload::{generate, WorkloadParams};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// A word written to memory is read back until overwritten; other
+    /// words are unaffected.
+    #[test]
+    fn word_memory_matches_a_model(ops in proptest::collection::vec(
+        (0u64..1 << 20, any::<i64>(), any::<bool>()), 1..200)) {
+        let mut mem = WordMemory::new();
+        let mut model: HashMap<u64, i64> = HashMap::new();
+        for (addr, val, is_write) in ops {
+            let word = addr & !7;
+            if is_write {
+                mem.write(word, val);
+                model.insert(word, val);
+            } else {
+                let expect = model.get(&word).copied().unwrap_or(0);
+                prop_assert_eq!(mem.read(word), expect);
+            }
+        }
+    }
+
+    /// A line just accessed is always resident, and residency never
+    /// exceeds the cache's capacity in lines.
+    #[test]
+    fn cache_never_loses_the_most_recent_line(addrs in proptest::collection::vec(0u64..1 << 16, 1..300)) {
+        let mut c = SetAssocCache::new(CacheConfig {
+            size_bytes: 2048,
+            assoc: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        });
+        for a in addrs {
+            c.access(a);
+            prop_assert!(c.probe(a), "line {a:#x} evicted immediately");
+        }
+    }
+
+    /// Re-accessing the same line is always a hit (temporal locality
+    /// with no interference).
+    #[test]
+    fn back_to_back_accesses_hit(addr in 0u64..1 << 30) {
+        let mut c = SetAssocCache::new(CacheConfig {
+            size_bytes: 4096,
+            assoc: 4,
+            line_bytes: 64,
+            hit_latency: 1,
+        });
+        c.access(addr);
+        prop_assert!(c.access(addr));
+    }
+
+    /// The store buffer forwards exactly the youngest older store to the
+    /// same word, matching a brute-force model.
+    #[test]
+    fn store_buffer_matches_a_model(stores in proptest::collection::vec(
+        (0u64..64, 0u64..8), 0..20), load_seq in 30u64..100, load_addr in 0u64..8) {
+        let mut sb = StoreBuffer::new(32);
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        for (seq, slot) in stores {
+            let addr = slot * 8;
+            if sb.insert(seq, addr) {
+                model.push((seq, addr));
+            }
+        }
+        let expected = model
+            .iter()
+            .filter(|(s, a)| *s < load_seq && *a == load_addr * 8)
+            .map(|(s, _)| *s)
+            .max();
+        match sb.check_load(load_seq, load_addr * 8) {
+            StoreForward::Forwarded { store_seq } => {
+                prop_assert_eq!(Some(store_seq), expected)
+            }
+            StoreForward::None => prop_assert_eq!(expected, None),
+        }
+    }
+
+    /// The hybrid predictor eventually learns any strongly biased branch.
+    #[test]
+    fn predictor_learns_biased_branches(pc in 0u64..1 << 20, taken in any::<bool>()) {
+        let mut p = HybridPredictor::new(HybridConfig { entries: 1024 });
+        for _ in 0..8 {
+            p.update(pc * 4, taken);
+        }
+        prop_assert_eq!(p.predict(pc * 4), taken);
+    }
+
+    /// Any valid parameter combination generates a program that executes
+    /// thousands of instructions without executor errors or early halt.
+    #[test]
+    fn generated_programs_are_well_formed(
+        seed in 0u64..1 << 48,
+        kernels in 1usize..6,
+        mem_fraction in 0.0f64..0.5,
+        fp_fraction in 0.0f64..0.5,
+        chase in 0.0f64..0.8,
+        ilp in 1usize..6,
+        dispatch in proptest::option::of(1u32..4),
+    ) {
+        let params = WorkloadParams {
+            seed,
+            kernels,
+            mem_fraction,
+            fp_fraction,
+            chase_fraction: chase,
+            ilp_chains: ilp,
+            dispatch_targets: dispatch.map(|d| 1usize << d),
+            ..WorkloadParams::default()
+        };
+        let program = generate(&params);
+        let mut ex = Executor::new(&program);
+        let mut n = 0;
+        for _ in 0..5_000 {
+            match ex.next() {
+                Some(_) => n += 1,
+                None => break,
+            }
+        }
+        prop_assert!(ex.error().is_none(), "executor error {:?}", ex.error());
+        prop_assert_eq!(n, 5_000, "program halted early");
+    }
+
+    /// Generation is a pure function of the parameters.
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>()) {
+        let params = WorkloadParams { seed, ..WorkloadParams::default() };
+        let a = generate(&params);
+        let b = generate(&params);
+        prop_assert_eq!(a.instructions(), b.instructions());
+    }
+}
