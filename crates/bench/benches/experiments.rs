@@ -1,27 +1,26 @@
-//! Criterion wrappers around the paper-reproduction experiments: one
-//! bench per table/figure, at reduced instruction counts so `cargo bench`
+//! Self-timed wrappers around the paper-reproduction experiments: one
+//! case per table/figure, at reduced instruction counts so `cargo bench`
 //! terminates in minutes. Use the `repro` binary for full-length runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ctcp_bench::{run_experiment, ExperimentId, RunOptions};
+use std::time::Instant;
 
 fn quick_opts() -> RunOptions {
     RunOptions {
         max_insts: 8_000,
         suite_insts: 4_000,
+        ..RunOptions::default()
     }
 }
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper_experiments");
-    group.sample_size(10);
+fn main() {
     for id in ExperimentId::ALL {
-        group.bench_function(id.to_string(), |b| {
-            b.iter(|| run_experiment(id, quick_opts()).len())
-        });
+        let t0 = Instant::now();
+        let len = run_experiment(id, quick_opts()).len();
+        println!(
+            "{:<16} {:>10.3} ms  ({len} rendered bytes)",
+            id.to_string(),
+            t0.elapsed().as_secs_f64() * 1e3
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

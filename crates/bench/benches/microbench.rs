@@ -1,92 +1,88 @@
-//! Criterion microbenchmarks of the simulator's hot components.
+//! Self-timed microbenchmarks of the simulator's hot components.
+//!
+//! The workspace builds offline, so this is a plain `harness = false`
+//! binary rather than a Criterion bench: each case runs a warmup pass
+//! and then reports the best-of-N wall time. Run with `cargo bench
+//! --bench microbench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ctcp_frontend::{BranchPredictor, HybridPredictor};
 use ctcp_isa::Executor;
 use ctcp_memory::{AccessKind, DataMemory, MemoryConfig};
 use ctcp_sim::{SimConfig, Simulation, Strategy};
 use ctcp_tracecache::{TraceCache, TraceCacheConfig};
 use ctcp_workload::Benchmark;
+use std::time::Instant;
 
-fn bench_functional_executor(c: &mut Criterion) {
+/// Runs `f` `reps` times (after one warmup) and prints the fastest rep.
+fn bench(name: &str, reps: u32, mut f: impl FnMut() -> u64) {
+    let mut sink = f(); // warmup; keep the result alive
+    let mut best = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(f());
+        let dt = t0.elapsed();
+        best = Some(best.map_or(dt, |b: std::time::Duration| b.min(dt)));
+    }
+    println!(
+        "{name:<32} {:>10.3} ms  (best of {reps}, sink {})",
+        best.unwrap().as_secs_f64() * 1e3,
+        sink & 1
+    );
+}
+
+fn main() {
     let program = Benchmark::by_name("gzip").unwrap().program();
-    c.bench_function("executor_10k_insts", |b| {
-        b.iter(|| {
-            let ex = Executor::new(&program);
-            ex.take(10_000).count()
-        })
-    });
-}
 
-fn bench_predictor(c: &mut Criterion) {
-    c.bench_function("hybrid_predictor_10k_updates", |b| {
-        b.iter_batched(
-            HybridPredictor::default,
-            |mut p| {
-                for i in 0..10_000u64 {
-                    let pc = 0x1000 + (i % 64) * 4;
-                    let taken = (i / (1 + pc % 7)) % 2 == 0;
-                    let _ = p.predict(pc);
-                    p.update(pc, taken);
-                }
-                p
-            },
-            BatchSize::SmallInput,
-        )
+    bench("executor_10k_insts", 10, || {
+        let ex = Executor::new(&program);
+        ex.take(10_000).count() as u64
     });
-}
 
-fn bench_data_memory(c: &mut Criterion) {
-    c.bench_function("dcache_10k_accesses", |b| {
-        b.iter_batched(
-            || DataMemory::new(MemoryConfig::default()),
-            |mut m| {
-                for i in 0..10_000u64 {
-                    m.access(AccessKind::Load, (i * 72) % (1 << 18), i);
-                }
-                m
-            },
-            BatchSize::SmallInput,
-        )
+    bench("hybrid_predictor_10k_updates", 10, || {
+        let mut p = HybridPredictor::default();
+        let mut agree = 0u64;
+        for i in 0..10_000u64 {
+            let pc = 0x1000 + (i % 64) * 4;
+            let taken = (i / (1 + pc % 7)) % 2 == 0;
+            if p.predict(pc) == taken {
+                agree += 1;
+            }
+            p.update(pc, taken);
+        }
+        agree
     });
-}
 
-fn bench_trace_cache(c: &mut Criterion) {
-    c.bench_function("trace_cache_lookup_miss", |b| {
+    bench("dcache_10k_accesses", 10, || {
+        let mut m = DataMemory::new(MemoryConfig::default());
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            acc = acc.wrapping_add(
+                m.access(AccessKind::Load, (i * 72) % (1 << 18), i)
+                    .ready_cycle,
+            );
+        }
+        acc
+    });
+
+    bench("trace_cache_lookup_miss", 10, || {
         let mut tc = TraceCache::new(TraceCacheConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            tc.lookup(0x1000 + (i % 4096) * 4, |_| true).is_some()
-        })
+        let mut hits = 0u64;
+        for i in 0..100_000u64 {
+            if tc.lookup(0x1000 + (i % 4096) * 4, |_| true).is_some() {
+                hits += 1;
+            }
+        }
+        hits
     });
-}
 
-fn bench_simulation(c: &mut Criterion) {
-    let program = Benchmark::by_name("gzip").unwrap().program();
-    let mut group = c.benchmark_group("simulate_20k_insts");
-    group.sample_size(10);
     for strategy in [Strategy::Baseline, Strategy::Fdrt { pinning: true }] {
-        group.bench_function(strategy.name(), |b| {
-            b.iter(|| {
-                let cfg = SimConfig {
-                    strategy,
-                    max_insts: 20_000,
-                    ..SimConfig::default()
-                };
-                Simulation::new(&program, cfg).run().cycles
-            })
+        bench(&format!("simulate_20k[{}]", strategy.name()), 3, || {
+            let cfg = SimConfig {
+                strategy,
+                max_insts: 20_000,
+                ..SimConfig::default()
+            };
+            Simulation::new(&program, cfg).run().cycles
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_functional_executor,
-    bench_predictor,
-    bench_data_memory,
-    bench_trace_cache,
-    bench_simulation
-);
-criterion_main!(benches);

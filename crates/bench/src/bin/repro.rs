@@ -1,40 +1,53 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro <id>... [--insts N] [--suite-insts N]
+//! repro <id>... [--insts N] [--suite-insts N] [--jobs N] [--no-cache]
 //! repro all
 //! ids: table1 table2 table3 fig4 fig5 fig6 fig7 table8 table9 table10
-//!      fig8 fig9 ablation
+//!      fig8 fig9 ablation fill-latency tc-size trace-select
 //! ```
+//!
+//! All experiments share one harness: cells are simulated by `--jobs`
+//! workers (default: all cores) and memoized in `target/ctcp-results/`
+//! unless `--no-cache` is given, so identical cells across experiments
+//! and across invocations run only once. Tables go to stdout; progress
+//! and timing go to stderr. Exits non-zero if any experiment fails.
 
-use ctcp_bench::{run_experiment, ExperimentId, RunOptions};
+use ctcp_bench::{run_experiment_in, ExperimentId, RunOptions};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <id>|all [--insts N] [--suite-insts N]");
-        eprintln!("ids: {}", ids_help());
+        usage();
         std::process::exit(2);
     }
-    let mut opts = RunOptions::default();
+    let mut opts = RunOptions {
+        cache: true,
+        ..RunOptions::default()
+    };
     let mut ids: Vec<ExperimentId> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--insts" => {
                 i += 1;
-                opts.max_insts = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| bail("--insts needs a number"));
+                opts.max_insts = number(&args, i, "--insts");
             }
             "--suite-insts" => {
                 i += 1;
-                opts.suite_insts = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| bail("--suite-insts needs a number"));
+                opts.suite_insts = number(&args, i, "--suite-insts");
             }
+            "--jobs" => {
+                i += 1;
+                opts.jobs = number(&args, i, "--jobs") as usize;
+            }
+            "--no-cache" => opts.cache = false,
+            "-h" | "--help" => {
+                usage();
+                return;
+            }
+            flag if flag.starts_with('-') => bail(&format!("unknown flag: {flag}")),
             "all" => ids.extend(ExperimentId::ALL),
             other => match other.parse::<ExperimentId>() {
                 Ok(id) => ids.push(id),
@@ -43,12 +56,64 @@ fn main() {
         }
         i += 1;
     }
+    if ids.is_empty() {
+        bail("no experiment ids given");
+    }
+    // The same id listed twice (or `all` plus an explicit id) runs once,
+    // keeping its first position.
+    let mut seen = Vec::new();
+    ids.retain(|id| {
+        let new = !seen.contains(id);
+        seen.push(*id);
+        new
+    });
+
+    let mut harness = opts.harness();
+    let mut failures = 0u32;
     for id in ids {
         let started = std::time::Instant::now();
-        let out = run_experiment(id, opts);
-        println!("{out}");
-        eprintln!("[{id} took {:.1}s]\n", started.elapsed().as_secs_f64());
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_experiment_in(id, opts, &mut harness)
+        })) {
+            Ok(out) => {
+                println!("{out}");
+                eprintln!("[{id} took {:.1}s]\n", started.elapsed().as_secs_f64());
+            }
+            Err(panic) => {
+                failures += 1;
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                eprintln!(
+                    "[{id} FAILED after {:.1}s: {msg}]\n",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+        }
     }
+    if let Some(s) = harness.store_stats() {
+        eprintln!(
+            "[store: {} entries, {} hits, {} misses, {} written]",
+            s.entries, s.hits, s.misses, s.puts
+        );
+    }
+    if failures > 0 {
+        eprintln!("error: {failures} experiment(s) failed");
+        std::process::exit(1);
+    }
+}
+
+fn number(args: &[String], i: usize, flag: &str) -> u64 {
+    args.get(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| bail(&format!("{flag} needs a number")))
+}
+
+fn usage() {
+    eprintln!("usage: repro <id>|all [--insts N] [--suite-insts N] [--jobs N] [--no-cache]");
+    eprintln!("ids: {}", ids_help());
 }
 
 fn ids_help() -> String {

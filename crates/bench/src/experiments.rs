@@ -1,11 +1,23 @@
 //! One function per table/figure of the paper.
+//!
+//! Every experiment is two-phase: it first *describes* its grid of
+//! simulation cells as [`Job`]s in a [`Batch`], hands the batch to a
+//! [`Harness`] (worker pool + optional memoizing result store), and
+//! then *renders* its table from the returned reports. Rendering only
+//! reads reports by job index, so the output is byte-identical at any
+//! `--jobs` level, and identical cells shared between experiments are
+//! simulated once when a store is attached.
 
 use crate::table::{pct, ratio, Table};
 use ctcp_core::{LatencyOverrides, Topology};
-use ctcp_sim::{harmonic_mean, SimConfig, SimReport, Simulation, Strategy};
+use ctcp_harness::{Harness, Job, ResultStore};
+use ctcp_isa::Program;
+use ctcp_sim::{harmonic_mean, SimConfig, SimReport, Strategy};
 use ctcp_workload::Benchmark;
+use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Which paper artifact to regenerate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +125,12 @@ pub struct RunOptions {
     pub max_insts: u64,
     /// Instructions per simulation for the suite-wide Figure 9 runs.
     pub suite_insts: u64,
+    /// Worker threads for the harness; `0` means available parallelism,
+    /// `1` runs each cell in submission order on the calling thread.
+    pub jobs: usize,
+    /// Memoize finished cells through the on-disk result store
+    /// (`target/ctcp-results/`).
+    pub cache: bool,
 }
 
 impl Default for RunOptions {
@@ -120,7 +138,59 @@ impl Default for RunOptions {
         RunOptions {
             max_insts: 300_000,
             suite_insts: 120_000,
+            jobs: 0,
+            cache: false,
         }
+    }
+}
+
+impl RunOptions {
+    /// Builds a harness honoring these options. A store that fails to
+    /// open degrades to no memoization with a warning, never an abort.
+    pub fn harness(&self) -> Harness {
+        let mut h = Harness::new().jobs(self.jobs);
+        if self.cache {
+            match ResultStore::open(ResultStore::default_dir()) {
+                Ok(store) => h = h.with_store(store),
+                Err(e) => eprintln!("warning: result store unavailable ({e}); not caching"),
+            }
+        }
+        h
+    }
+}
+
+/// A grid of simulation cells accumulated by one experiment.
+///
+/// Programs are generated once per benchmark name and shared across
+/// the batch via [`Arc`], so describing a 100-cell grid costs one
+/// workload generation per distinct benchmark.
+struct Batch {
+    jobs: Vec<Job>,
+    programs: HashMap<&'static str, Arc<Program>>,
+}
+
+impl Batch {
+    fn new() -> Batch {
+        Batch {
+            jobs: Vec::new(),
+            programs: HashMap::new(),
+        }
+    }
+
+    /// Adds one cell and returns its index into [`Batch::run`]'s output.
+    fn add(&mut self, bench: &Benchmark, config: SimConfig) -> usize {
+        let program = self
+            .programs
+            .entry(bench.name)
+            .or_insert_with(|| Arc::new(bench.program()));
+        self.jobs
+            .push(Job::new(bench.name, Arc::clone(program), config));
+        self.jobs.len() - 1
+    }
+
+    /// Executes every cell; slot `i` of the result is cell `i`'s report.
+    fn run(self, h: &mut Harness) -> Vec<SimReport> {
+        h.run(&self.jobs)
     }
 }
 
@@ -132,35 +202,81 @@ fn base_config(max_insts: u64, strategy: Strategy) -> SimConfig {
     }
 }
 
-fn run(bench: &Benchmark, config: SimConfig) -> SimReport {
-    let program = bench.program();
-    Simulation::new(&program, config).run()
+/// Runs `config` for each benchmark and returns the reports in order.
+fn reports_for(h: &mut Harness, benches: &[Benchmark], config: SimConfig) -> Vec<SimReport> {
+    let mut batch = Batch::new();
+    for b in benches {
+        batch.add(b, config);
+    }
+    batch.run(h)
 }
 
-fn run_strategy(bench: &Benchmark, strategy: Strategy, max_insts: u64) -> SimReport {
-    run(bench, base_config(max_insts, strategy))
+/// The common "speedup over baseline" grid: one row per benchmark, one
+/// column per named configuration, each cell the cycle ratio against
+/// `base` on the same benchmark, plus a harmonic-mean footer row.
+fn speedup_grid(
+    h: &mut Harness,
+    benches: &[Benchmark],
+    columns: &[(String, SimConfig)],
+    base: SimConfig,
+) -> Table {
+    let mut batch = Batch::new();
+    let base_idx: Vec<usize> = benches.iter().map(|b| batch.add(b, base)).collect();
+    let cell_idx: Vec<Vec<usize>> = benches
+        .iter()
+        .map(|b| columns.iter().map(|(_, c)| batch.add(b, *c)).collect())
+        .collect();
+    let reports = batch.run(h);
+
+    let mut header = vec!["bench".to_string()];
+    header.extend(columns.iter().map(|(n, _)| n.clone()));
+    let mut t = Table::new(header);
+    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
+    for (bi, b) in benches.iter().enumerate() {
+        let base_r = &reports[base_idx[bi]];
+        let mut cells = vec![b.name.to_string()];
+        for (ci, &ji) in cell_idx[bi].iter().enumerate() {
+            let sp = reports[ji].speedup_over(base_r);
+            sums[ci].push(sp);
+            cells.push(ratio(sp));
+        }
+        t.row(cells);
+    }
+    let mut hm = vec!["HM".to_string()];
+    for s in &sums {
+        hm.push(ratio(harmonic_mean(s)));
+    }
+    t.row(hm);
+    t
 }
 
-/// Runs `id` and returns its rendered report (paper value columns
-/// included where the paper printed exact numbers).
+/// Runs `id` with a private harness built from `opts` and returns its
+/// rendered report.
 pub fn run_experiment(id: ExperimentId, opts: RunOptions) -> String {
+    run_experiment_in(id, opts, &mut opts.harness())
+}
+
+/// Runs `id` through an existing harness, so several experiments can
+/// share one worker pool and result store (the `repro` binary does
+/// this; identical cells across experiments then simulate only once).
+pub fn run_experiment_in(id: ExperimentId, opts: RunOptions, h: &mut Harness) -> String {
     match id {
-        ExperimentId::Table1 => table1(opts),
-        ExperimentId::Table2 => table2(opts),
-        ExperimentId::Table3 => table3(opts),
-        ExperimentId::Fig4 => fig4(opts),
-        ExperimentId::Fig5 => fig5(opts),
-        ExperimentId::Fig6 => fig6(opts),
-        ExperimentId::Fig7 => fig7(opts),
-        ExperimentId::Table8 => table8(opts),
-        ExperimentId::Table9 => table9(opts),
-        ExperimentId::Table10 => table10(opts),
-        ExperimentId::Fig8 => fig8(opts),
-        ExperimentId::Fig9 => fig9(opts),
-        ExperimentId::Ablation => ablation(opts),
-        ExperimentId::FillLatency => fill_latency(opts),
-        ExperimentId::TcSize => tc_size(opts),
-        ExperimentId::TraceSelect => trace_select(opts),
+        ExperimentId::Table1 => table1(opts, h),
+        ExperimentId::Table2 => table2(opts, h),
+        ExperimentId::Table3 => table3(opts, h),
+        ExperimentId::Fig4 => fig4(opts, h),
+        ExperimentId::Fig5 => fig5(opts, h),
+        ExperimentId::Fig6 => fig6(opts, h),
+        ExperimentId::Fig7 => fig7(opts, h),
+        ExperimentId::Table8 => table8(opts, h),
+        ExperimentId::Table9 => table9(opts, h),
+        ExperimentId::Table10 => table10(opts, h),
+        ExperimentId::Fig8 => fig8(opts, h),
+        ExperimentId::Fig9 => fig9(opts, h),
+        ExperimentId::Ablation => ablation(opts, h),
+        ExperimentId::FillLatency => fill_latency(opts, h),
+        ExperimentId::TcSize => tc_size(opts, h),
+        ExperimentId::TraceSelect => trace_select(opts, h),
     }
 }
 
@@ -174,7 +290,9 @@ const FOCUS_PAPER_TABLE1: [(&str, f64, f64); 6] = [
     ("vpr", 0.8991, 12.9),
 ];
 
-fn table1(opts: RunOptions) -> String {
+fn table1(opts: RunOptions, h: &mut Harness) -> String {
+    let benches = Benchmark::spec_focus();
+    let reports = reports_for(h, &benches, base_config(opts.max_insts, Strategy::Baseline));
     let mut t = Table::new(vec![
         "bench",
         "%TC (paper)",
@@ -182,8 +300,7 @@ fn table1(opts: RunOptions) -> String {
         "size (paper)",
         "size (ours)",
     ]);
-    for b in Benchmark::spec_focus() {
-        let r = run_strategy(&b, Strategy::Baseline, opts.max_insts);
+    for (b, r) in benches.iter().zip(&reports) {
         let paper = FOCUS_PAPER_TABLE1
             .iter()
             .find(|(n, _, _)| *n == b.name)
@@ -208,7 +325,9 @@ const PAPER_TABLE2: [(&str, f64, f64); 6] = [
     ("vpr", 0.8232, 0.2584),
 ];
 
-fn table2(opts: RunOptions) -> String {
+fn table2(opts: RunOptions, h: &mut Harness) -> String {
+    let benches = Benchmark::spec_focus();
+    let reports = reports_for(h, &benches, base_config(opts.max_insts, Strategy::Baseline));
     let mut t = Table::new(vec![
         "bench",
         "crit (paper)",
@@ -216,8 +335,7 @@ fn table2(opts: RunOptions) -> String {
         "inter-trace (paper)",
         "inter-trace (ours)",
     ]);
-    for b in Benchmark::spec_focus() {
-        let r = run_strategy(&b, Strategy::Baseline, opts.max_insts);
+    for (b, r) in benches.iter().zip(&reports) {
         let paper = PAPER_TABLE2
             .iter()
             .find(|(n, _, _)| *n == b.name)
@@ -246,7 +364,9 @@ const PAPER_TABLE3: [(&str, f64, f64, f64, f64); 6] = [
     ("vpr", 0.9853, 0.9606, 0.9564, 0.9167),
 ];
 
-fn table3(opts: RunOptions) -> String {
+fn table3(opts: RunOptions, h: &mut Harness) -> String {
+    let benches = Benchmark::spec_focus();
+    let reports = reports_for(h, &benches, base_config(opts.max_insts, Strategy::Baseline));
     let mut t = Table::new(vec![
         "bench",
         "RS1 (paper/ours)",
@@ -254,8 +374,7 @@ fn table3(opts: RunOptions) -> String {
         "inter RS1 (paper/ours)",
         "inter RS2 (paper/ours)",
     ]);
-    for b in Benchmark::spec_focus() {
-        let r = run_strategy(&b, Strategy::Baseline, opts.max_insts);
+    for (b, r) in benches.iter().zip(&reports) {
         let p = PAPER_TABLE3
             .iter()
             .find(|(n, ..)| *n == b.name)
@@ -274,11 +393,12 @@ fn table3(opts: RunOptions) -> String {
     )
 }
 
-fn fig4(opts: RunOptions) -> String {
+fn fig4(opts: RunOptions, h: &mut Harness) -> String {
     // Paper average: 44% RF, 31% RS1, 25% RS2.
+    let benches = Benchmark::spec_focus();
+    let reports = reports_for(h, &benches, base_config(opts.max_insts, Strategy::Baseline));
     let mut t = Table::new(vec!["bench", "from RF", "from RS1", "from RS2"]);
-    for b in Benchmark::spec_focus() {
-        let r = run_strategy(&b, Strategy::Baseline, opts.max_insts);
+    for (b, r) in benches.iter().zip(&reports) {
         let (rf, rs1, rs2) = r.fwd.critical_source_distribution();
         t.row(vec![b.name.to_string(), pct(rf), pct(rs1), pct(rs2)]);
     }
@@ -289,7 +409,7 @@ fn fig4(opts: RunOptions) -> String {
     )
 }
 
-fn fig5(opts: RunOptions) -> String {
+fn fig5(opts: RunOptions, h: &mut Harness) -> String {
     let variants: [(&str, LatencyOverrides, bool); 5] = [
         (
             "No Fwd Lat",
@@ -325,31 +445,23 @@ fn fig5(opts: RunOptions) -> String {
         ),
         ("No RF Lat", LatencyOverrides::default(), true),
     ];
-    let mut header = vec!["bench".to_string()];
-    header.extend(variants.iter().map(|(n, _, _)| n.to_string()));
-    let mut t = Table::new(header);
-    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-    for b in Benchmark::spec_focus() {
-        let base = run_strategy(&b, Strategy::Baseline, opts.max_insts);
-        let mut cells = vec![b.name.to_string()];
-        for (i, (_, ov, rf0)) in variants.iter().enumerate() {
+    let columns: Vec<(String, SimConfig)> = variants
+        .iter()
+        .map(|(name, ov, rf0)| {
             let mut c = base_config(opts.max_insts, Strategy::Baseline);
             c.engine.overrides = *ov;
             if *rf0 {
                 c.engine.rf_latency = 0;
             }
-            let r = run(&b, c);
-            let sp = r.speedup_over(&base);
-            sums[i].push(sp);
-            cells.push(ratio(sp));
-        }
-        t.row(cells);
-    }
-    let mut hm = vec!["HM".to_string()];
-    for s in &sums {
-        hm.push(ratio(harmonic_mean(s)));
-    }
-    t.row(hm);
+            (name.to_string(), c)
+        })
+        .collect();
+    let t = speedup_grid(
+        h,
+        &Benchmark::spec_focus(),
+        &columns,
+        base_config(opts.max_insts, Strategy::Baseline),
+    );
     format!(
         "Figure 5: speedup removing dependency latencies\n\
          (paper HMs: NoFwd 1.418, NoCrit 1.372, NoIntra 1.177, NoInter 1.155, NoRF ~1.0)\n{}",
@@ -367,28 +479,21 @@ fn fig6_strategies() -> Vec<Strategy> {
     ]
 }
 
-fn fig6(opts: RunOptions) -> String {
-    let strategies = fig6_strategies();
-    let mut header = vec!["bench".to_string()];
-    header.extend(strategies.iter().map(|s| s.name()));
-    let mut t = Table::new(header);
-    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
-    for b in Benchmark::spec_focus() {
-        let base = run_strategy(&b, Strategy::Baseline, opts.max_insts);
-        let mut cells = vec![b.name.to_string()];
-        for (i, s) in strategies.iter().enumerate() {
-            let r = run_strategy(&b, *s, opts.max_insts);
-            let sp = r.speedup_over(&base);
-            sums[i].push(sp);
-            cells.push(ratio(sp));
-        }
-        t.row(cells);
-    }
-    let mut hm = vec!["HM".to_string()];
-    for s in &sums {
-        hm.push(ratio(harmonic_mean(s)));
-    }
-    t.row(hm);
+fn strategy_columns(strategies: &[Strategy], max_insts: u64) -> Vec<(String, SimConfig)> {
+    strategies
+        .iter()
+        .map(|s| (s.name(), base_config(max_insts, *s)))
+        .collect()
+}
+
+fn fig6(opts: RunOptions, h: &mut Harness) -> String {
+    let columns = strategy_columns(&fig6_strategies(), opts.max_insts);
+    let t = speedup_grid(
+        h,
+        &Benchmark::spec_focus(),
+        &columns,
+        base_config(opts.max_insts, Strategy::Baseline),
+    );
     format!(
         "Figure 6: speedup by cluster assignment strategy\n\
          (paper HMs: issue-time(0) 1.172, issue-time(4) ~1.10, FDRT 1.115, Friendly 1.031)\n{}",
@@ -414,7 +519,27 @@ const PAPER_TABLE8B: [(&str, f64, f64, f64); 6] = [
     ("vpr", 0.97, 0.61, 0.57),
 ];
 
-fn table8(opts: RunOptions) -> String {
+fn table8(opts: RunOptions, h: &mut Harness) -> String {
+    let benches = Benchmark::spec_focus();
+    let mut batch = Batch::new();
+    let cells: Vec<[usize; 3]> = benches
+        .iter()
+        .map(|b| {
+            [
+                batch.add(b, base_config(opts.max_insts, Strategy::Baseline)),
+                batch.add(
+                    b,
+                    base_config(opts.max_insts, Strategy::Friendly { middle_bias: false }),
+                ),
+                batch.add(
+                    b,
+                    base_config(opts.max_insts, Strategy::Fdrt { pinning: true }),
+                ),
+            ]
+        })
+        .collect();
+    let reports = batch.run(h);
+
     let mut a = Table::new(vec![
         "bench",
         "base (paper/ours)",
@@ -427,10 +552,8 @@ fn table8(opts: RunOptions) -> String {
         "friendly (paper/ours)",
         "fdrt (paper/ours)",
     ]);
-    for b in Benchmark::spec_focus() {
-        let base = run_strategy(&b, Strategy::Baseline, opts.max_insts);
-        let fr = run_strategy(&b, Strategy::Friendly { middle_bias: false }, opts.max_insts);
-        let fd = run_strategy(&b, Strategy::Fdrt { pinning: true }, opts.max_insts);
+    for (b, idx) in benches.iter().zip(&cells) {
+        let [base, fr, fd] = [&reports[idx[0]], &reports[idx[1]], &reports[idx[2]]];
         let pa = PAPER_TABLE8A
             .iter()
             .find(|(n, ..)| *n == b.name)
@@ -460,11 +583,16 @@ fn table8(opts: RunOptions) -> String {
     )
 }
 
-fn fig7(opts: RunOptions) -> String {
+fn fig7(opts: RunOptions, h: &mut Harness) -> String {
     // Paper averages: A 37%, B 18%, C 9%, D 11%, E ~24%, skipped <1%.
+    let benches = Benchmark::spec_focus();
+    let reports = reports_for(
+        h,
+        &benches,
+        base_config(opts.max_insts, Strategy::Fdrt { pinning: true }),
+    );
     let mut t = Table::new(vec!["bench", "A", "B", "C", "D", "E", "skipped"]);
-    for b in Benchmark::spec_focus() {
-        let r = run_strategy(&b, Strategy::Fdrt { pinning: true }, opts.max_insts);
+    for (b, r) in benches.iter().zip(&reports) {
         let d = r.fdrt.expect("fdrt stats").option_distribution();
         t.row(vec![
             b.name.to_string(),
@@ -493,18 +621,35 @@ const PAPER_TABLE9: [(&str, f64, f64); 6] = [
     ("vpr", 0.0436, 0.0477),
 ];
 
-fn table9(opts: RunOptions) -> String {
+fn table9(opts: RunOptions, h: &mut Harness) -> String {
+    let benches = Benchmark::spec_focus();
+    let mut batch = Batch::new();
+    let cells: Vec<[usize; 2]> = benches
+        .iter()
+        .map(|b| {
+            [
+                batch.add(
+                    b,
+                    base_config(opts.max_insts, Strategy::Fdrt { pinning: true }),
+                ),
+                batch.add(
+                    b,
+                    base_config(opts.max_insts, Strategy::Fdrt { pinning: false }),
+                ),
+            ]
+        })
+        .collect();
+    let reports = batch.run(h);
+
     let mut t = Table::new(vec![
         "bench",
         "pin (paper/ours)",
         "nopin (paper/ours)",
         "chain red. (ours)",
     ]);
-    for b in Benchmark::spec_focus() {
-        let pin = run_strategy(&b, Strategy::Fdrt { pinning: true }, opts.max_insts);
-        let nopin = run_strategy(&b, Strategy::Fdrt { pinning: false }, opts.max_insts);
-        let sp = pin.fdrt.expect("stats");
-        let sn = nopin.fdrt.expect("stats");
+    for (b, idx) in benches.iter().zip(&cells) {
+        let sp = reports[idx[0]].fdrt.expect("stats");
+        let sn = reports[idx[1]].fdrt.expect("stats");
         let p = PAPER_TABLE9
             .iter()
             .find(|(n, ..)| *n == b.name)
@@ -536,11 +681,30 @@ const PAPER_TABLE10: [(&str, f64, f64); 6] = [
     ("vpr", 0.5701, 0.5634),
 ];
 
-fn table10(opts: RunOptions) -> String {
+fn table10(opts: RunOptions, h: &mut Harness) -> String {
+    let benches = Benchmark::spec_focus();
+    let mut batch = Batch::new();
+    let cells: Vec<[usize; 2]> = benches
+        .iter()
+        .map(|b| {
+            [
+                batch.add(
+                    b,
+                    base_config(opts.max_insts, Strategy::Fdrt { pinning: true }),
+                ),
+                batch.add(
+                    b,
+                    base_config(opts.max_insts, Strategy::Fdrt { pinning: false }),
+                ),
+            ]
+        })
+        .collect();
+    let reports = batch.run(h);
+
     let mut t = Table::new(vec!["bench", "pin (paper/ours)", "nopin (paper/ours)"]);
-    for b in Benchmark::spec_focus() {
-        let pin = run_strategy(&b, Strategy::Fdrt { pinning: true }, opts.max_insts);
-        let nopin = run_strategy(&b, Strategy::Fdrt { pinning: false }, opts.max_insts);
+    for (b, idx) in benches.iter().zip(&cells) {
+        let pin = &reports[idx[0]];
+        let nopin = &reports[idx[1]];
         let p = PAPER_TABLE10
             .iter()
             .find(|(n, ..)| *n == b.name)
@@ -557,7 +721,7 @@ fn table10(opts: RunOptions) -> String {
     )
 }
 
-fn fig8(opts: RunOptions) -> String {
+fn fig8(opts: RunOptions, h: &mut Harness) -> String {
     struct Variant {
         name: &'static str,
         issue_latency: u64,
@@ -595,43 +759,34 @@ fn fig8(opts: RunOptions) -> String {
          (speedups relative to each configuration's own baseline)\n",
     );
     for v in variants {
-        let mut t = Table::new(vec!["bench", "fdrt", "friendly", "issue-time"]);
-        let mut sums = [Vec::new(), Vec::new(), Vec::new()];
-        for b in Benchmark::spec_focus() {
-            let mut bc = base_config(opts.max_insts, Strategy::Baseline);
-            (v.apply)(&mut bc);
-            let base = run(&b, bc);
-            let strategies = [
-                Strategy::Fdrt { pinning: true },
-                Strategy::Friendly { middle_bias: false },
+        let strategies = [
+            ("fdrt", Strategy::Fdrt { pinning: true }),
+            ("friendly", Strategy::Friendly { middle_bias: false }),
+            (
+                "issue-time",
                 Strategy::IssueTime {
                     latency: v.issue_latency,
                 },
-            ];
-            let mut cells = vec![b.name.to_string()];
-            for (i, s) in strategies.iter().enumerate() {
+            ),
+        ];
+        let columns: Vec<(String, SimConfig)> = strategies
+            .iter()
+            .map(|(name, s)| {
                 let mut c = base_config(opts.max_insts, *s);
                 (v.apply)(&mut c);
-                let r = run(&b, c);
-                let sp = r.speedup_over(&base);
-                sums[i].push(sp);
-                cells.push(ratio(sp));
-            }
-            t.row(cells);
-        }
-        t.row(vec![
-            "HM".to_string(),
-            ratio(harmonic_mean(&sums[0])),
-            ratio(harmonic_mean(&sums[1])),
-            ratio(harmonic_mean(&sums[2])),
-        ]);
+                (name.to_string(), c)
+            })
+            .collect();
+        let mut bc = base_config(opts.max_insts, Strategy::Baseline);
+        (v.apply)(&mut bc);
+        let t = speedup_grid(h, &Benchmark::spec_focus(), &columns, bc);
         out.push_str(&format!("\n[{}]\n{}", v.name, t.render()));
     }
     out
 }
 
-fn fig9(opts: RunOptions) -> String {
-    let strategies = fig6_strategies();
+fn fig9(opts: RunOptions, h: &mut Harness) -> String {
+    let columns = strategy_columns(&fig6_strategies(), opts.suite_insts);
     let mut out = String::from(
         "Figure 9: suite-wide speedups\n\
          (paper HMs — SPECint: FDRT 1.071, issue-time 1.038, Friendly 1.019;\n\
@@ -641,58 +796,31 @@ fn fig9(opts: RunOptions) -> String {
         ("SPECint2000", Benchmark::spec_all()),
         ("MediaBench", Benchmark::mediabench()),
     ] {
-        let mut header = vec!["bench".to_string()];
-        header.extend(strategies.iter().map(|s| s.name()));
-        let mut t = Table::new(header);
-        let mut sums: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
-        for b in &suite {
-            let base = run_strategy(b, Strategy::Baseline, opts.suite_insts);
-            let mut cells = vec![b.name.to_string()];
-            for (i, s) in strategies.iter().enumerate() {
-                let r = run_strategy(b, *s, opts.suite_insts);
-                let sp = r.speedup_over(&base);
-                sums[i].push(sp);
-                cells.push(ratio(sp));
-            }
-            t.row(cells);
-        }
-        let mut hm = vec!["HM".to_string()];
-        for s in &sums {
-            hm.push(ratio(harmonic_mean(s)));
-        }
-        t.row(hm);
+        let t = speedup_grid(
+            h,
+            &suite,
+            &columns,
+            base_config(opts.suite_insts, Strategy::Baseline),
+        );
         out.push_str(&format!("\n[{suite_name}]\n{}", t.render()));
     }
     out
 }
 
-fn ablation(opts: RunOptions) -> String {
+fn ablation(opts: RunOptions, h: &mut Harness) -> String {
     let strategies = [
         Strategy::Friendly { middle_bias: false },
         Strategy::Friendly { middle_bias: true },
         Strategy::FdrtIntraOnly,
         Strategy::Fdrt { pinning: true },
     ];
-    let mut header = vec!["bench".to_string()];
-    header.extend(strategies.iter().map(|s| s.name()));
-    let mut t = Table::new(header);
-    let mut sums: Vec<Vec<f64>> = vec![Vec::new(); strategies.len()];
-    for b in Benchmark::spec_focus() {
-        let base = run_strategy(&b, Strategy::Baseline, opts.max_insts);
-        let mut cells = vec![b.name.to_string()];
-        for (i, s) in strategies.iter().enumerate() {
-            let r = run_strategy(&b, *s, opts.max_insts);
-            let sp = r.speedup_over(&base);
-            sums[i].push(sp);
-            cells.push(ratio(sp));
-        }
-        t.row(cells);
-    }
-    let mut hm = vec!["HM".to_string()];
-    for s in &sums {
-        hm.push(ratio(harmonic_mean(s)));
-    }
-    t.row(hm);
+    let columns = strategy_columns(&strategies, opts.max_insts);
+    let t = speedup_grid(
+        h,
+        &Benchmark::spec_focus(),
+        &columns,
+        base_config(opts.max_insts, Strategy::Baseline),
+    );
     format!(
         "§5.3 ablations\n\
          (paper: Friendly 1.031, Friendly-middle 1.047, FDRT-intra-only 1.057, FDRT 1.115)\n{}",
@@ -700,18 +828,33 @@ fn ablation(opts: RunOptions) -> String {
     )
 }
 
-fn fill_latency(opts: RunOptions) -> String {
+fn fill_latency(opts: RunOptions, h: &mut Harness) -> String {
     let latencies = [3u64, 10, 100, 1000];
+    let benches = Benchmark::spec_focus();
+    let mut batch = Batch::new();
+    let cells: Vec<Vec<usize>> = benches
+        .iter()
+        .map(|b| {
+            latencies
+                .iter()
+                .map(|&lat| {
+                    let mut c = base_config(opts.max_insts, Strategy::Fdrt { pinning: true });
+                    c.fill.latency = lat;
+                    batch.add(b, c)
+                })
+                .collect()
+        })
+        .collect();
+    let reports = batch.run(h);
+
     let mut header = vec!["bench".to_string()];
     header.extend(latencies.iter().map(|l| format!("lat {l}")));
     let mut t = Table::new(header);
-    for b in Benchmark::spec_focus() {
+    for (b, idx) in benches.iter().zip(&cells) {
         let mut cells = vec![b.name.to_string()];
         let mut reference = None;
-        for &lat in &latencies {
-            let mut c = base_config(opts.max_insts, Strategy::Fdrt { pinning: true });
-            c.fill.latency = lat;
-            let r = run(&b, c);
+        for &ji in idx {
+            let r = &reports[ji];
             let base = *reference.get_or_insert(r.cycles);
             cells.push(ratio(base as f64 / r.cycles as f64));
         }
@@ -726,20 +869,35 @@ fn fill_latency(opts: RunOptions) -> String {
     )
 }
 
-fn tc_size(opts: RunOptions) -> String {
+fn tc_size(opts: RunOptions, h: &mut Harness) -> String {
     let sizes = [64usize, 256, 1024, 4096];
+    let benches = Benchmark::spec_focus();
+    let mut batch = Batch::new();
+    let cells: Vec<Vec<usize>> = benches
+        .iter()
+        .map(|b| {
+            sizes
+                .iter()
+                .map(|&entries| {
+                    let mut c = base_config(opts.max_insts, Strategy::Fdrt { pinning: true });
+                    c.trace_cache.entries = entries;
+                    batch.add(b, c)
+                })
+                .collect()
+        })
+        .collect();
+    let reports = batch.run(h);
+
     let mut header = vec!["bench".to_string()];
     for s in sizes {
         header.push(format!("{s}e ipc"));
         header.push(format!("{s}e tc%"));
     }
     let mut t = Table::new(header);
-    for b in Benchmark::spec_focus() {
+    for (b, idx) in benches.iter().zip(&cells) {
         let mut cells = vec![b.name.to_string()];
-        for &entries in &sizes {
-            let mut c = base_config(opts.max_insts, Strategy::Fdrt { pinning: true });
-            c.trace_cache.entries = entries;
-            let r = run(&b, c);
+        for &ji in idx {
+            let r = &reports[ji];
             cells.push(ratio(r.ipc));
             cells.push(pct(r.tc_inst_fraction()));
         }
@@ -752,7 +910,20 @@ fn tc_size(opts: RunOptions) -> String {
     )
 }
 
-fn trace_select(opts: RunOptions) -> String {
+fn trace_select(opts: RunOptions, h: &mut Harness) -> String {
+    let benches = Benchmark::spec_focus();
+    let mut batch = Batch::new();
+    let cells: Vec<[usize; 2]> = benches
+        .iter()
+        .map(|b| {
+            let aligned = base_config(opts.max_insts, Strategy::Fdrt { pinning: true });
+            let mut free = aligned;
+            free.fill.end_at_backward_branch = false;
+            [batch.add(b, aligned), batch.add(b, free)]
+        })
+        .collect();
+    let reports = batch.run(h);
+
     let mut t = Table::new(vec![
         "bench",
         "ipc (loop-aligned)",
@@ -760,11 +931,9 @@ fn trace_select(opts: RunOptions) -> String {
         "migration (aligned)",
         "migration (free)",
     ]);
-    for b in Benchmark::spec_focus() {
-        let aligned = run(&b, base_config(opts.max_insts, Strategy::Fdrt { pinning: true }));
-        let mut c = base_config(opts.max_insts, Strategy::Fdrt { pinning: true });
-        c.fill.end_at_backward_branch = false;
-        let free = run(&b, c);
+    for (b, idx) in benches.iter().zip(&cells) {
+        let aligned = &reports[idx[0]];
+        let free = &reports[idx[1]];
         let ma = aligned.fdrt.expect("stats").migration_rate();
         let mf = free.fdrt.expect("stats").migration_rate();
         t.row(vec![
@@ -806,9 +975,35 @@ mod tests {
             RunOptions {
                 max_insts: 4_000,
                 suite_insts: 2_000,
+                ..RunOptions::default()
             },
         );
         assert!(out.contains("bzip2"));
         assert!(out.contains("Table 1"));
+    }
+
+    #[test]
+    fn shared_harness_memoizes_across_experiments() {
+        // Table 1 and Table 2 render different columns of the *same*
+        // baseline cells; through one harness with a store the second
+        // experiment should simulate nothing. The store lives in a
+        // scratch directory so the test is hermetic.
+        let dir = std::env::temp_dir().join(format!("ctcp-bench-memo-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let opts = RunOptions {
+            max_insts: 3_000,
+            suite_insts: 1_500,
+            ..RunOptions::default()
+        };
+        let mut h = Harness::new()
+            .jobs(2)
+            .progress(false)
+            .with_store(ResultStore::open(&dir).unwrap());
+        run_experiment_in(ExperimentId::Table1, opts, &mut h);
+        assert_eq!(h.last_batch().simulated, 6);
+        run_experiment_in(ExperimentId::Table2, opts, &mut h);
+        assert_eq!(h.last_batch().simulated, 0);
+        assert_eq!(h.last_batch().store_hits, 6);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

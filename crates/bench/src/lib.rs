@@ -1,8 +1,11 @@
-//! # Experiment harness
+//! # Experiment definitions
 //!
-//! Regenerates every table and figure of Bhargava & John (ISCA 2003) from
-//! the CTCP simulator. The `repro` binary drives the [`experiments`]
-//! module; Criterion benches in `benches/` time the same workloads.
+//! Regenerates every table and figure of Bhargava & John (ISCA 2003)
+//! from the CTCP simulator. Experiments describe their simulation grids
+//! as jobs and execute them through `ctcp_harness` (worker pool +
+//! memoizing result store); the `repro` binary drives the
+//! [`experiments`] module, and the self-timed benches in `benches/`
+//! time the same workloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -10,4 +13,4 @@
 pub mod experiments;
 pub mod table;
 
-pub use experiments::{run_experiment, ExperimentId, RunOptions};
+pub use experiments::{run_experiment, run_experiment_in, ExperimentId, RunOptions};

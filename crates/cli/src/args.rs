@@ -47,6 +47,55 @@ impl Default for RunArgs {
     }
 }
 
+/// Options for the `sweep` grid runner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Benchmark names to sweep (resolved against the preset suites).
+    pub benches: Vec<String>,
+    /// Strategies to sweep; a baseline cell is always added per
+    /// benchmark × geometry for the speedup column.
+    pub strategies: Vec<Strategy>,
+    /// Cluster counts to sweep.
+    pub clusters: Vec<u8>,
+    /// Interconnect topologies to sweep.
+    pub topologies: Vec<Topology>,
+    /// Instruction budget per cell.
+    pub insts: u64,
+    /// Worker threads (0 = available parallelism).
+    pub jobs: usize,
+    /// Memoize cells in the on-disk result store.
+    pub cache: bool,
+    /// Emit machine-readable CSV instead of prose.
+    pub csv: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            benches: vec![
+                "bzip2".into(),
+                "eon".into(),
+                "gzip".into(),
+                "perlbmk".into(),
+                "twolf".into(),
+                "vpr".into(),
+            ],
+            strategies: vec![
+                Strategy::IssueTime { latency: 0 },
+                Strategy::IssueTime { latency: 4 },
+                Strategy::Friendly { middle_bias: false },
+                Strategy::Fdrt { pinning: true },
+            ],
+            clusters: vec![4],
+            topologies: vec![Topology::Linear],
+            insts: 100_000,
+            jobs: 0,
+            cache: false,
+            csv: false,
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -56,6 +105,8 @@ pub enum Command {
     Run(RunArgs),
     /// Run every strategy and print a comparison table.
     Compare(RunArgs),
+    /// Run a strategies × benchmarks × geometries grid in parallel.
+    Sweep(SweepArgs),
     /// Print the disassembly of the selected program.
     Disasm(ProgramSource),
     /// Print usage.
@@ -125,6 +176,7 @@ impl Cli {
             "help" | "--help" | "-h" => Command::Help,
             "run" => Command::Run(parse_run_args(rest)?),
             "compare" => Command::Compare(parse_run_args(rest)?),
+            "sweep" => Command::Sweep(parse_sweep_args(rest)?),
             "disasm" => {
                 let ra = parse_run_args(rest)?;
                 Command::Disasm(ra.source)
@@ -172,18 +224,7 @@ fn parse_run_args(rest: &[String]) -> Result<RunArgs, CliError> {
                     .filter(|&c: &u8| (1..=8).contains(&c))
                     .ok_or_else(|| CliError(format!("bad --clusters value {v:?} (1..=8)")))?;
             }
-            "--topology" => {
-                out.topology = match value(&mut i)?.as_str() {
-                    "linear" => Topology::Linear,
-                    "ring" | "mesh" => Topology::Ring,
-                    "full" | "p2p" => Topology::FullyConnected,
-                    other => {
-                        return Err(CliError(format!(
-                            "bad --topology {other:?} (linear|ring|full)"
-                        )))
-                    }
-                };
-            }
+            "--topology" => out.topology = parse_topology(&value(&mut i)?)?,
             "--hop" => {
                 let v = value(&mut i)?;
                 out.hop_latency = v
@@ -201,6 +242,94 @@ fn parse_run_args(rest: &[String]) -> Result<RunArgs, CliError> {
     Ok(out)
 }
 
+fn parse_topology(s: &str) -> Result<Topology, CliError> {
+    match s {
+        "linear" => Ok(Topology::Linear),
+        "ring" | "mesh" => Ok(Topology::Ring),
+        "full" | "p2p" => Ok(Topology::FullyConnected),
+        other => Err(CliError(format!(
+            "bad --topology {other:?} (linear|ring|full)"
+        ))),
+    }
+}
+
+/// Splits a comma-separated list, rejecting empty elements.
+fn comma_list(flag: &str, v: &str) -> Result<Vec<String>, CliError> {
+    let parts: Vec<String> = v.split(',').map(str::to_string).collect();
+    if parts.iter().any(String::is_empty) {
+        return Err(CliError(format!("{flag} has an empty element in {v:?}")));
+    }
+    Ok(parts)
+}
+
+fn parse_sweep_args(rest: &[String]) -> Result<SweepArgs, CliError> {
+    let mut out = SweepArgs::default();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, CliError> {
+        *i += 1;
+        rest.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{} needs a value", rest[*i - 1])))
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--benches" => {
+                let v = value(&mut i)?;
+                out.benches = match v.as_str() {
+                    "focus" => SweepArgs::default().benches,
+                    // Suite keywords are resolved against the preset
+                    // lists at execution time (names only here).
+                    "spec" | "media" | "all" => vec![v.clone()],
+                    _ => comma_list("--benches", &v)?,
+                };
+            }
+            "--strategies" => {
+                let v = value(&mut i)?;
+                out.strategies = comma_list("--strategies", &v)?
+                    .iter()
+                    .map(|s| parse_strategy(s))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--clusters" => {
+                let v = value(&mut i)?;
+                out.clusters = comma_list("--clusters", &v)?
+                    .iter()
+                    .map(|c| {
+                        c.parse()
+                            .ok()
+                            .filter(|&c: &u8| (1..=8).contains(&c))
+                            .ok_or_else(|| CliError(format!("bad --clusters value {c:?} (1..=8)")))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--topology" => {
+                let v = value(&mut i)?;
+                out.topologies = comma_list("--topology", &v)?
+                    .iter()
+                    .map(|t| parse_topology(t))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--insts" => {
+                let v = value(&mut i)?;
+                out.insts = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --insts value {v:?}")))?;
+            }
+            "--jobs" => {
+                let v = value(&mut i)?;
+                out.jobs = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --jobs value {v:?}")))?;
+            }
+            "--cache" => out.cache = true,
+            "--csv" => out.csv = true,
+            other => return Err(CliError(format!("unknown flag {other:?}"))),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
 /// The usage text printed by `ctcp help`.
 pub const USAGE: &str = "\
 ctcp — clustered trace cache processor simulator
@@ -209,6 +338,7 @@ USAGE:
   ctcp list                               list benchmark presets
   ctcp run     [SOURCE] [OPTIONS]         simulate one strategy
   ctcp compare [SOURCE] [OPTIONS]         compare all strategies
+  ctcp sweep   [SWEEP OPTIONS]            run a strategy/benchmark/geometry grid
   ctcp disasm  [SOURCE]                   print program disassembly
   ctcp help                               this text
 
@@ -223,6 +353,18 @@ OPTIONS:
   --clusters N        cluster count, 1..=8 (default: 4)
   --topology T        linear | ring | full (default: linear)
   --hop N             forwarding latency per hop (default: 2)
+  --csv               machine-readable output
+
+SWEEP OPTIONS:
+  --benches B         focus | spec | media | all | name,name,...
+                      (default: the six focus benchmarks)
+  --strategies S,S    strategy list as above (default: issue0,issue4,friendly,fdrt;
+                      a baseline cell is always run per benchmark × geometry)
+  --clusters N,N      cluster counts to sweep (default: 4)
+  --topology T,T      topologies to sweep (default: linear)
+  --insts N           instruction budget per cell (default: 100000)
+  --jobs N            worker threads, 0 = all cores (default: 0)
+  --cache             memoize cells in target/ctcp-results/
   --csv               machine-readable output
 ";
 
@@ -329,5 +471,85 @@ mod tests {
             cli.command,
             Command::Disasm(ProgramSource::AsmFile("k.s".into()))
         );
+    }
+
+    #[test]
+    fn sweep_defaults() {
+        let cli = Cli::parse(["sweep"]).unwrap();
+        let Command::Sweep(a) = cli.command else {
+            panic!("expected sweep")
+        };
+        assert_eq!(a.benches.len(), 6);
+        assert_eq!(a.strategies.len(), 4);
+        assert_eq!(a.clusters, vec![4]);
+        assert_eq!(a.topologies, vec![Topology::Linear]);
+        assert_eq!(a.jobs, 0);
+        assert!(!a.cache);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn sweep_with_everything() {
+        let cli = Cli::parse([
+            "sweep",
+            "--benches",
+            "gzip,twolf",
+            "--strategies",
+            "fdrt,friendly",
+            "--clusters",
+            "2,4",
+            "--topology",
+            "linear,ring",
+            "--insts",
+            "9000",
+            "--jobs",
+            "3",
+            "--cache",
+            "--csv",
+        ])
+        .unwrap();
+        let Command::Sweep(a) = cli.command else {
+            panic!("expected sweep")
+        };
+        assert_eq!(a.benches, vec!["gzip".to_string(), "twolf".to_string()]);
+        assert_eq!(
+            a.strategies,
+            vec![
+                Strategy::Fdrt { pinning: true },
+                Strategy::Friendly { middle_bias: false }
+            ]
+        );
+        assert_eq!(a.clusters, vec![2, 4]);
+        assert_eq!(a.topologies, vec![Topology::Linear, Topology::Ring]);
+        assert_eq!(a.insts, 9_000);
+        assert_eq!(a.jobs, 3);
+        assert!(a.cache);
+        assert!(a.csv);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_lists() {
+        assert!(Cli::parse(["sweep", "--strategies", "fdrt,,base"]).is_err());
+        assert!(Cli::parse(["sweep", "--strategies", "warp"]).is_err());
+        assert!(Cli::parse(["sweep", "--clusters", "2,9"]).is_err());
+        assert!(Cli::parse(["sweep", "--topology", "torus"]).is_err());
+        assert!(Cli::parse(["sweep", "--frobnicate"]).is_err());
+        assert!(Cli::parse(["sweep", "--jobs"]).is_err());
+    }
+
+    #[test]
+    fn sweep_suite_keywords() {
+        for kw in ["spec", "media", "all"] {
+            let cli = Cli::parse(["sweep", "--benches", kw]).unwrap();
+            let Command::Sweep(a) = cli.command else {
+                panic!("expected sweep")
+            };
+            assert_eq!(a.benches, vec![kw.to_string()]);
+        }
+        let cli = Cli::parse(["sweep", "--benches", "focus"]).unwrap();
+        let Command::Sweep(a) = cli.command else {
+            panic!("expected sweep")
+        };
+        assert_eq!(a.benches.len(), 6);
     }
 }

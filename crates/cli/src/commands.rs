@@ -1,10 +1,13 @@
 //! Command execution: everything returns the text to print so it can be
 //! asserted on in tests.
 
-use crate::args::{Cli, CliError, Command, ProgramSource, RunArgs, USAGE};
+use crate::args::{Cli, CliError, Command, ProgramSource, RunArgs, SweepArgs, USAGE};
+use ctcp_core::Topology;
+use ctcp_harness::{Harness, Job, ResultStore};
 use ctcp_isa::{asm, Program};
 use ctcp_sim::{SimConfig, SimReport, Simulation, Strategy};
 use ctcp_workload::Benchmark;
+use std::sync::Arc;
 
 fn load_program(source: &ProgramSource) -> Result<Program, CliError> {
     match source {
@@ -137,7 +140,150 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        Command::Sweep(args) => sweep(args),
     }
+}
+
+fn topology_name(t: Topology) -> &'static str {
+    match t {
+        Topology::Linear => "linear",
+        Topology::Ring => "ring",
+        Topology::FullyConnected => "full",
+    }
+}
+
+/// Resolves `--benches` values: suite keywords or explicit names.
+fn resolve_benches(names: &[String]) -> Result<Vec<Benchmark>, CliError> {
+    match names {
+        [kw] if kw == "spec" => return Ok(Benchmark::spec_all()),
+        [kw] if kw == "media" => return Ok(Benchmark::mediabench()),
+        [kw] if kw == "all" => {
+            let mut all = Benchmark::spec_all();
+            all.extend(Benchmark::mediabench());
+            return Ok(all);
+        }
+        _ => {}
+    }
+    names
+        .iter()
+        .map(|n| {
+            Benchmark::by_name(n)
+                .ok_or_else(|| CliError(format!("unknown benchmark {n:?} (see `ctcp list`)")))
+        })
+        .collect()
+}
+
+/// Runs the full strategies × benchmarks × geometries grid through the
+/// harness and renders one row per cell, with each cell's speedup taken
+/// against the baseline of its own benchmark × geometry.
+fn sweep(args: &SweepArgs) -> Result<String, CliError> {
+    let benches = resolve_benches(&args.benches)?;
+    let mut harness = Harness::new().jobs(args.jobs);
+    if args.cache {
+        match ResultStore::open(ResultStore::default_dir()) {
+            Ok(store) => harness = harness.with_store(store),
+            Err(e) => eprintln!("warning: result store unavailable ({e}); not caching"),
+        }
+    }
+
+    // Describe the grid. `cells` remembers, for every non-baseline job,
+    // which (bench, geometry, strategy) it renders as and where its
+    // baseline sits in the job list.
+    struct Cell {
+        bench: &'static str,
+        clusters: u8,
+        topology: Topology,
+        job: usize,
+        base_job: usize,
+    }
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut cells: Vec<Cell> = Vec::new();
+    for b in &benches {
+        let program = Arc::new(b.program());
+        for &clusters in &args.clusters {
+            for &topology in &args.topologies {
+                let geometry_config = |strategy: Strategy| {
+                    let mut c = SimConfig {
+                        strategy,
+                        max_insts: args.insts,
+                        ..SimConfig::default()
+                    };
+                    c.engine.geometry.clusters = clusters;
+                    c.engine.geometry.topology = topology;
+                    // Scale the front end with the execution core, as the
+                    // paper does for its 8-wide/2-cluster machine: machine
+                    // width = total slots, ROB sized 8 entries per slot.
+                    let width = c.engine.geometry.total_slots();
+                    c.engine.rename_width = width;
+                    c.engine.retire_width = width;
+                    c.engine.rob_entries = 8 * width;
+                    c
+                };
+                let base_job = jobs.len();
+                jobs.push(Job::new(
+                    b.name,
+                    Arc::clone(&program),
+                    geometry_config(Strategy::Baseline),
+                ));
+                for &s in &args.strategies {
+                    cells.push(Cell {
+                        bench: b.name,
+                        clusters,
+                        topology,
+                        job: jobs.len(),
+                        base_job,
+                    });
+                    jobs.push(Job::new(b.name, Arc::clone(&program), geometry_config(s)));
+                }
+            }
+        }
+    }
+
+    let reports = harness.run(&jobs);
+
+    let mut out = String::new();
+    if args.csv {
+        out.push_str("bench,clusters,topology,strategy,ipc,speedup\n");
+        for c in &cells {
+            let r = &reports[c.job];
+            out.push_str(&format!(
+                "{},{},{},{},{:.4},{:.4}\n",
+                c.bench,
+                c.clusters,
+                topology_name(c.topology),
+                r.strategy,
+                r.ipc,
+                r.speedup_over(&reports[c.base_job])
+            ));
+        }
+    } else {
+        let stats = harness.last_batch();
+        out.push_str(&format!(
+            "sweep: {} cells ({} simulated, {} from store) in {:.1}s\n",
+            stats.total,
+            stats.simulated,
+            stats.store_hits,
+            stats.wall.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "{:<12}{:>9}{:>9}{:<2}{:<16}{:>8}{:>10}\n",
+            "bench", "clusters", "topology", "", "strategy", "ipc", "speedup"
+        ));
+        for c in &cells {
+            let r = &reports[c.job];
+            out.push_str(&format!(
+                "{:<12}{:>9}{:>9}{:<2}{:<16}{:>8.3}{:>10.3}\n",
+                c.bench,
+                c.clusters,
+                topology_name(c.topology),
+                "",
+                r.strategy,
+                r.ipc,
+                r.speedup_over(&reports[c.base_job])
+            ));
+        }
+    }
+    Ok(out)
 }
 
 fn prose_report(name: &str, r: &SimReport) -> String {
@@ -229,7 +375,14 @@ mod tests {
     #[test]
     fn run_csv_report() {
         let out = run(&[
-            "run", "--bench", "gzip", "--insts", "3000", "--strategy", "fdrt", "--csv",
+            "run",
+            "--bench",
+            "gzip",
+            "--insts",
+            "3000",
+            "--strategy",
+            "fdrt",
+            "--csv",
         ])
         .unwrap();
         let mut lines = out.lines();
@@ -262,7 +415,7 @@ mod tests {
     }
 
     #[test]
-    fn asm_file_source_runs(){
+    fn asm_file_source_runs() {
         let dir = std::env::temp_dir().join("ctcp_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("k.s");
@@ -286,10 +439,87 @@ mod tests {
     }
 
     #[test]
+    fn sweep_prose_covers_the_grid() {
+        let out = run(&[
+            "sweep",
+            "--benches",
+            "gzip",
+            "--strategies",
+            "fdrt,friendly",
+            "--clusters",
+            "2,4",
+            "--insts",
+            "3000",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        // 2 geometries × (1 base + 2 strategies) = 6 cells, 4 rendered rows.
+        assert!(out.contains("sweep: 6 cells"));
+        assert_eq!(out.matches("fdrt").count(), 2, "{out}");
+        assert_eq!(out.matches("friendly").count(), 2, "{out}");
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn sweep_csv_has_one_row_per_cell() {
+        let out = run(&[
+            "sweep",
+            "--benches",
+            "gzip,twolf",
+            "--strategies",
+            "fdrt",
+            "--insts",
+            "3000",
+            "--csv",
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "bench,clusters,topology,strategy,ipc,speedup");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("gzip,4,linear,fdrt,"));
+        assert!(lines[2].starts_with("twolf,4,linear,fdrt,"));
+    }
+
+    #[test]
+    fn sweep_output_is_independent_of_jobs() {
+        let argv = |jobs: &'static str| {
+            vec![
+                "sweep",
+                "--benches",
+                "gzip",
+                "--strategies",
+                "fdrt,issue4",
+                "--insts",
+                "3000",
+                "--csv",
+                "--jobs",
+                jobs,
+            ]
+        };
+        assert_eq!(run(&argv("1")).unwrap(), run(&argv("8")).unwrap());
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_benchmark() {
+        let err = run(&["sweep", "--benches", "nonesuch"]).unwrap_err();
+        assert!(err.0.contains("nonesuch"));
+    }
+
+    #[test]
     fn two_cluster_ring_configuration_runs() {
         let out = run(&[
-            "run", "--bench", "gzip", "--insts", "3000", "--clusters", "2", "--topology",
-            "ring", "--hop", "1",
+            "run",
+            "--bench",
+            "gzip",
+            "--insts",
+            "3000",
+            "--clusters",
+            "2",
+            "--topology",
+            "ring",
+            "--hop",
+            "1",
         ])
         .unwrap();
         assert!(out.contains("IPC"));

@@ -366,10 +366,7 @@ impl FdrtAssigner {
                 }
             }
 
-            let placed = prio
-                .iter()
-                .copied()
-                .find(|&c| counts[c as usize] < spc);
+            let placed = prio.iter().copied().find(|&c| counts[c as usize] < spc);
             match placed {
                 Some(c) => {
                     counts[c as usize] += 1;
@@ -456,7 +453,10 @@ mod tests {
     fn leader_promotion_on_inter_trace_forward() {
         let mut a = FdrtAssigner::new(FdrtConfig::default());
         let mut store = MapChainStore::new();
-        let loc = TcLocation { line_id: 7, slot: 3 };
+        let loc = TcLocation {
+            line_id: 7,
+            slot: 3,
+        };
         store.insert(loc, ProfileFields::default());
 
         let mut insts = vec![pi(0, add(Reg::R1, Reg::R2, Reg::R3))];
@@ -479,7 +479,10 @@ mod tests {
     fn pinned_leader_is_never_repinned() {
         let mut a = FdrtAssigner::new(FdrtConfig::default());
         let mut store = MapChainStore::new();
-        let loc = TcLocation { line_id: 7, slot: 3 };
+        let loc = TcLocation {
+            line_id: 7,
+            slot: 3,
+        };
         store.insert(
             loc,
             ProfileFields {
@@ -504,9 +507,15 @@ mod tests {
 
     #[test]
     fn unpinned_leader_chases_execution_cluster() {
-        let mut a = FdrtAssigner::new(FdrtConfig { pinning: false, chaining: true });
+        let mut a = FdrtAssigner::new(FdrtConfig {
+            pinning: false,
+            chaining: true,
+        });
         let mut store = MapChainStore::new();
-        let loc = TcLocation { line_id: 7, slot: 3 };
+        let loc = TcLocation {
+            line_id: 7,
+            slot: 3,
+        };
         store.insert(
             loc,
             ProfileFields {
@@ -675,7 +684,7 @@ mod tests {
             .collect();
         let mut t = RawTrace::analyze(insts);
         let placement = a.assign(&mut t, &geom(), &mut store);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for &s in &placement {
             assert!(!seen[s as usize]);
             seen[s as usize] = true;

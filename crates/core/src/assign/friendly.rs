@@ -118,11 +118,11 @@ pub(crate) fn friendly_placement_partial(
         }
     }
     let mut unplaced: Vec<usize> = skipped.to_vec();
-    for slot in 0..capacity {
+    for (slot, used) in slot_used.iter_mut().enumerate() {
         if unplaced.is_empty() {
             break;
         }
-        if slot_used[slot] {
+        if *used {
             continue;
         }
         let cluster = geom.cluster_of_slot(slot as u8);
@@ -138,7 +138,7 @@ pub(crate) fn friendly_placement_partial(
         let i = unplaced.remove(pick);
         placement[i] = slot as u8;
         cluster_of[i] = Some(cluster);
-        slot_used[slot] = true;
+        *used = true;
     }
     debug_assert!(unplaced.is_empty(), "more instructions than slots");
     placement
@@ -236,7 +236,7 @@ mod tests {
         let t = RawTrace::analyze(insts);
         for order in [SlotFillOrder::Sequential, SlotFillOrder::MiddleFirst] {
             let p = friendly_placement(&t, &geom(), order);
-            let mut seen = vec![false; 16];
+            let mut seen = [false; 16];
             for &s in &p {
                 assert!(!seen[s as usize], "duplicate slot in {p:?}");
                 seen[s as usize] = true;

@@ -19,8 +19,8 @@ mod friendly;
 
 pub use baseline::baseline_placement;
 pub use fdrt::{ChainStore, FdrtAssigner, FdrtConfig, FdrtStats, MapChainStore};
-pub use friendly::{friendly_placement, SlotFillOrder};
 pub(crate) use friendly::friendly_placement_partial;
+pub use friendly::{friendly_placement, SlotFillOrder};
 
 use crate::ClusterGeometry;
 use ctcp_tracecache::RawTrace;

@@ -107,10 +107,19 @@ impl EngineConfig {
         use ctcp_isa::Opcode::*;
         match op {
             Mul => FuLatency { exec: 3, issue: 1 },
-            Div => FuLatency { exec: 20, issue: 19 },
+            Div => FuLatency {
+                exec: 20,
+                issue: 19,
+            },
             FMul => FuLatency { exec: 3, issue: 1 },
-            FDiv => FuLatency { exec: 12, issue: 12 },
-            FSqrt => FuLatency { exec: 24, issue: 24 },
+            FDiv => FuLatency {
+                exec: 12,
+                issue: 12,
+            },
+            FSqrt => FuLatency {
+                exec: 24,
+                issue: 24,
+            },
             _ => Self::fu_latency(op.class()),
         }
     }
@@ -135,11 +144,17 @@ mod tests {
         );
         assert_eq!(
             EngineConfig::opcode_latency(Opcode::Div),
-            FuLatency { exec: 20, issue: 19 }
+            FuLatency {
+                exec: 20,
+                issue: 19
+            }
         );
         assert_eq!(
             EngineConfig::opcode_latency(Opcode::FSqrt),
-            FuLatency { exec: 24, issue: 24 }
+            FuLatency {
+                exec: 24,
+                issue: 24
+            }
         );
         assert_eq!(
             EngineConfig::opcode_latency(Opcode::FAdd),

@@ -318,12 +318,7 @@ impl Engine {
     /// latest-arriving (most critical) input is generated, subject to
     /// ≤ slots_per_cluster per cycle, falling back to the other producer,
     /// a neighbour, and finally the least-loaded cluster.
-    fn steer_issue_time(
-        &self,
-        srcs: &[SrcState; 2],
-        counts: &mut [u32],
-        slots_per: u32,
-    ) -> u8 {
+    fn steer_issue_time(&self, srcs: &[SrcState; 2], counts: &mut [u32], slots_per: u32) -> u8 {
         // (cluster, expected completion). A producer that has not begun
         // executing ranks above any executing one, ordered among its
         // peers by its opcode's execution latency — the steering
@@ -332,9 +327,9 @@ impl Engine {
         for s in srcs {
             let pc = match s {
                 SrcState::Waiting { producer_seq } => self.entry(*producer_seq).map(|e| {
-                    let estimate = e.complete_cycle().unwrap_or(
-                        u64::MAX / 2 + EngineConfig::opcode_latency(e.inst.op).exec,
-                    );
+                    let estimate = e
+                        .complete_cycle()
+                        .unwrap_or(u64::MAX / 2 + EngineConfig::opcode_latency(e.inst.op).exec);
                     (e.cluster, estimate)
                 }),
                 SrcState::Forwarded {
@@ -381,8 +376,7 @@ impl Engine {
 
     fn route_rs(&self, cluster: u8, class: ctcp_isa::OpClass) -> RsClass {
         let cl = &self.clusters[cluster as usize];
-        let balance =
-            cl.rs[RsClass::Simple1.index()].len() < cl.rs[RsClass::Simple0.index()].len();
+        let balance = cl.rs[RsClass::Simple1.index()].len() < cl.rs[RsClass::Simple0.index()].len();
         RsClass::route(class, balance)
     }
 
@@ -552,9 +546,7 @@ impl Engine {
                     self.stats.store_forwards += 1;
                     now + 2 // AGU + buffer forward
                 }
-                StoreForward::None => {
-                    self.mem.access(AccessKind::Load, addr, now + 1).ready_cycle
-                }
+                StoreForward::None => self.mem.access(AccessKind::Load, addr, now + 1).ready_cycle,
             }
         } else if op.is_store() {
             self.stats.stores += 1;
@@ -636,13 +628,8 @@ impl Engine {
                 self.fwd.forwarded_inputs += 1;
             } else {
                 self.fwd.forwarded_inputs += 1;
-                self.history.record(
-                    consumer_pc,
-                    i,
-                    p.pc,
-                    critical == Some(i),
-                    !p.same_trace,
-                );
+                self.history
+                    .record(consumer_pc, i, p.pc, critical == Some(i), !p.same_trace);
             }
             if critical == Some(i) {
                 self.fwd.forwarded_critical += 1;
@@ -827,7 +814,11 @@ mod tests {
             0,
         )];
         for i in 1..8 {
-            group.push(fetched(i, add(Reg::int(10 + i as u8), Reg::R9, Reg::R9), i as u8));
+            group.push(fetched(
+                i,
+                add(Reg::int(10 + i as u8), Reg::R9, Reg::R9),
+                i as u8,
+            ));
         }
         e.accept(&group, 0);
         let (retired, _) = run_until_drained(&mut e, 1);
@@ -949,14 +940,12 @@ mod tests {
         f.taken = Some(true);
         e.accept(&[f], 0);
         let mut redirected = false;
-        let mut now = 1;
-        for _ in 0..100 {
+        for now in 1..=100 {
             let r = e.tick(now);
             if !r.redirects.is_empty() {
                 assert_eq!(r.redirects, vec![0]);
                 redirected = true;
             }
-            now += 1;
             if e.in_flight() == 0 {
                 break;
             }

@@ -24,7 +24,6 @@ pub(crate) enum SrcState {
     },
 }
 
-
 /// Pipeline stage of an in-flight instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Stage {

@@ -1,9 +1,7 @@
 //! Behavioural tests of the execution engine: functional-unit blocking,
 //! memory ordering, interconnect shapes, and steering corner cases.
 
-use ctcp_core::{
-    ClusterGeometry, Engine, EngineConfig, FetchedInst, SteeringMode, Topology,
-};
+use ctcp_core::{ClusterGeometry, Engine, EngineConfig, FetchedInst, SteeringMode, Topology};
 use ctcp_isa::{Instruction, Opcode, Reg};
 use ctcp_tracecache::ProfileFields;
 
@@ -50,7 +48,13 @@ fn divide_blocks_its_unit_but_not_the_cluster() {
     let div = |seq, d: u8| {
         fetched(
             seq,
-            Instruction::new(Opcode::Div, Some(Reg::int(d)), Some(Reg::R9), Some(Reg::R10), 0),
+            Instruction::new(
+                Opcode::Div,
+                Some(Reg::int(d)),
+                Some(Reg::R9),
+                Some(Reg::R10),
+                0,
+            ),
             0,
         )
     };
@@ -120,7 +124,13 @@ fn independent_loads_pipeline_through_one_mem_unit() {
     let mut e = Engine::new(EngineConfig::default(), SteeringMode::Slot);
     let mut group = Vec::new();
     for i in 0..4u64 {
-        let ld = Instruction::new(Opcode::Ld, Some(Reg::int(1 + i as u8)), Some(Reg::R9), None, 0);
+        let ld = Instruction::new(
+            Opcode::Ld,
+            Some(Reg::int(1 + i as u8)),
+            Some(Reg::R9),
+            None,
+            0,
+        );
         let mut f = fetched(i, ld, 0);
         f.mem_addr = Some(0x4000 + i * 8);
         group.push(f);
@@ -174,10 +184,7 @@ fn issue_time_follows_the_late_producer() {
         let (retired, _) = drain(&mut e, 2);
         let div = retired.iter().find(|r| r.seq == 1).unwrap().cluster;
         let consumer = retired.iter().find(|r| r.seq == 2).unwrap().cluster;
-        assert_eq!(
-            consumer, div,
-            "consumer should land with the slow producer"
-        );
+        assert_eq!(consumer, div, "consumer should land with the slow producer");
         div
     };
     let _ = div_cluster;
@@ -185,11 +192,13 @@ fn issue_time_follows_the_late_producer() {
 
 #[test]
 fn eight_cluster_geometry_works_end_to_end() {
-    let mut cfg = EngineConfig::default();
-    cfg.geometry = ClusterGeometry {
-        clusters: 8,
-        slots_per_cluster: 2,
-        topology: Topology::Linear,
+    let cfg = EngineConfig {
+        geometry: ClusterGeometry {
+            clusters: 8,
+            slots_per_cluster: 2,
+            topology: Topology::Linear,
+        },
+        ..EngineConfig::default()
     };
     let mut e = Engine::new(cfg, SteeringMode::Slot);
     let group: Vec<FetchedInst> = (0..16)

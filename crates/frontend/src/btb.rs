@@ -44,7 +44,7 @@ impl Btb {
     ///
     /// Panics if `entries` is not a power-of-two multiple of `assoc`.
     pub fn new(config: BtbConfig) -> Self {
-        assert!(config.assoc > 0 && config.entries % config.assoc == 0);
+        assert!(config.assoc > 0 && config.entries.is_multiple_of(config.assoc));
         let num_sets = config.entries / config.assoc;
         assert!(num_sets.is_power_of_two());
         Btb {
@@ -70,7 +70,10 @@ impl Btb {
     #[inline]
     fn decompose(&self, pc: u64) -> (usize, u64) {
         let word = pc >> 2;
-        ((word & self.set_mask) as usize, word >> self.sets.len().trailing_zeros())
+        (
+            (word & self.set_mask) as usize,
+            word >> self.sets.len().trailing_zeros(),
+        )
     }
 
     /// Looks up the predicted target for the branch at `pc`, updating LRU

@@ -1,0 +1,453 @@
+//! # ctcp-harness — parallel sweep runner for the CTCP simulator
+//!
+//! Experiments in this workspace are grids: benchmarks × strategies ×
+//! configurations, where every cell is an independent, deterministic
+//! simulation. This crate owns the execution of those grids so the
+//! experiment code only *describes* cells and *renders* tables.
+//!
+//! ## Job model
+//!
+//! A [`Job`] is one cell: a workload name, a shared [`Program`], and a
+//! complete [`SimConfig`] (which carries the strategy and the
+//! instruction budget). [`Harness::run`] executes a batch of jobs and
+//! returns one [`SimReport`] per job **in job order**, regardless of
+//! how many worker threads ran them — reports are collected into slots
+//! indexed by job position, so downstream table rendering is
+//! byte-identical at any parallelism, and `--jobs 1` degenerates to a
+//! plain in-order loop on the calling thread.
+//!
+//! ## Memoization
+//!
+//! With a [`ResultStore`] attached, each job's content key
+//! ([`job_key`]: FNV-1a 64 over a format-version salt, the workload
+//! name, and the full `Debug` rendering of the config) is looked up
+//! before simulating; hits skip the simulator entirely, and fresh
+//! results are appended to the store's JSON-lines file as they
+//! complete. Duplicate keys *within* a batch are also coalesced: the
+//! cell is simulated once and the report is copied to every position
+//! that asked for it.
+//!
+//! ## Progress
+//!
+//! When stderr is a terminal (or when forced on), a single rewriting
+//! status line shows completed/total, jobs/sec, the wall time of the
+//! last finished job, and an ETA. Tables on stdout are never touched.
+//!
+//! ## Example
+//!
+//! ```
+//! use ctcp_harness::{Harness, Job};
+//! use ctcp_isa::{ProgramBuilder, Reg};
+//! use ctcp_sim::SimConfig;
+//! use std::sync::Arc;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let top = b.here();
+//! b.addi(Reg::R1, Reg::R1, 1);
+//! b.jmp(top);
+//! let program = Arc::new(b.build());
+//!
+//! let mut config = SimConfig::default();
+//! config.max_insts = 2_000;
+//! let jobs: Vec<Job> = (0..4)
+//!     .map(|_| Job::new("spin", Arc::clone(&program), config))
+//!     .collect();
+//!
+//! let mut harness = Harness::new().jobs(2).progress(false);
+//! let reports = harness.run(&jobs);
+//! assert_eq!(reports.len(), 4);
+//! // All four cells share one key, so only one was simulated.
+//! assert_eq!(harness.last_batch().simulated, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod progress;
+mod store;
+
+pub use store::{job_key, ResultStore, StoreStats, STORE_FORMAT_VERSION};
+
+use ctcp_isa::Program;
+use ctcp_sim::{SimConfig, SimReport, Simulation};
+use progress::Progress;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// One unit of work: simulate `program` under `config`.
+///
+/// The workload name participates in the content key and in progress
+/// output; two jobs with the same name but different programs MUST
+/// differ somewhere in `config` (in this workspace the workload seed
+/// and parameters are part of the benchmark definition, so the name
+/// uniquely determines the program).
+#[derive(Clone)]
+pub struct Job {
+    /// Benchmark name (e.g. `"gzip"`), used for keying and display.
+    pub workload: String,
+    /// The program to simulate, shared across jobs without copying.
+    pub program: Arc<Program>,
+    /// Full simulator configuration, including strategy and budget.
+    pub config: SimConfig,
+}
+
+impl Job {
+    /// Builds a job.
+    pub fn new(workload: impl Into<String>, program: Arc<Program>, config: SimConfig) -> Job {
+        Job {
+            workload: workload.into(),
+            program,
+            config,
+        }
+    }
+
+    /// The job's content key (see [`job_key`]).
+    pub fn key(&self) -> u64 {
+        job_key(&self.workload, &self.config)
+    }
+
+    fn simulate(&self) -> SimReport {
+        Simulation::new(&self.program, self.config).run()
+    }
+}
+
+/// What happened to the most recent [`Harness::run`] batch.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BatchStats {
+    /// Jobs submitted.
+    pub total: usize,
+    /// Jobs answered from the result store without simulating.
+    pub store_hits: usize,
+    /// Jobs coalesced onto an identical job earlier in the batch.
+    pub deduped: usize,
+    /// Jobs actually simulated.
+    pub simulated: usize,
+    /// Wall time of the whole batch.
+    pub wall: Duration,
+}
+
+/// A reusable batch runner: worker pool + optional memoizing store +
+/// progress reporting. See the crate docs for the overall model.
+pub struct Harness {
+    jobs: usize,
+    store: Option<ResultStore>,
+    progress: Option<bool>,
+    last: BatchStats,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// A harness with auto parallelism, no store, and auto progress.
+    pub fn new() -> Harness {
+        Harness {
+            jobs: 0,
+            store: None,
+            progress: None,
+            last: BatchStats::default(),
+        }
+    }
+
+    /// Sets the worker count. `0` means auto (available parallelism);
+    /// `1` runs every job in submission order on the calling thread.
+    pub fn jobs(mut self, n: usize) -> Harness {
+        self.jobs = n;
+        self
+    }
+
+    /// Attaches a result store; subsequent batches memoize through it.
+    pub fn with_store(mut self, store: ResultStore) -> Harness {
+        self.store = Some(store);
+        self
+    }
+
+    /// Forces progress output on or off (default: on iff stderr is a
+    /// terminal).
+    pub fn progress(mut self, on: bool) -> Harness {
+        self.progress = Some(on);
+        self
+    }
+
+    /// The worker count a batch would use right now.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Statistics for the most recent batch.
+    pub fn last_batch(&self) -> BatchStats {
+        self.last
+    }
+
+    /// Counters of the attached store, if any.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(ResultStore::stats)
+    }
+
+    /// Runs a batch and returns one report per job, in job order.
+    ///
+    /// Execution order across workers is nondeterministic, but the
+    /// returned vector is not: slot `i` always holds job `i`'s report,
+    /// and each simulation is itself deterministic, so the output is
+    /// identical for any worker count.
+    pub fn run(&mut self, jobs: &[Job]) -> Vec<SimReport> {
+        let batch_start = Instant::now();
+        let keys: Vec<u64> = jobs.iter().map(Job::key).collect();
+        let mut results: Vec<Option<SimReport>> = vec![None; jobs.len()];
+
+        // Phase 1: answer what the store already knows.
+        let mut store_hits = 0;
+        if let Some(store) = &mut self.store {
+            for (slot, &key) in results.iter_mut().zip(&keys) {
+                if let Some(report) = store.get(key) {
+                    *slot = Some(report);
+                    store_hits += 1;
+                }
+            }
+        }
+
+        // Phase 2: coalesce duplicate keys; simulate each key once.
+        let mut first_of: HashMap<u64, usize> = HashMap::new();
+        let mut pending: Vec<usize> = Vec::new();
+        let mut deduped = 0;
+        for (i, &key) in keys.iter().enumerate() {
+            if results[i].is_some() {
+                continue;
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = first_of.entry(key) {
+                e.insert(i);
+                pending.push(i);
+            } else {
+                deduped += 1;
+            }
+        }
+
+        // Phase 3: execute the pending set.
+        let workers = self.effective_jobs().min(pending.len().max(1));
+        let mut progress = Progress::new(self.progress, pending.len());
+        if workers <= 1 {
+            for (done, &i) in pending.iter().enumerate() {
+                let t = Instant::now();
+                let report = jobs[i].simulate();
+                progress.job_done(done + 1, &jobs[i].workload, t.elapsed());
+                self.record(keys[i], &jobs[i].workload, &report);
+                results[i] = Some(report);
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, SimReport, Duration)>();
+            let pending_ref = &pending;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let cursor = &cursor;
+                    scope.spawn(move || loop {
+                        let next = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = pending_ref.get(next) else {
+                            break;
+                        };
+                        let t = Instant::now();
+                        let report = jobs[i].simulate();
+                        if tx.send((i, report, t.elapsed())).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                // Collect on the submitting thread: store writes and
+                // progress stay single-threaded.
+                let mut done = 0;
+                for (i, report, took) in rx {
+                    done += 1;
+                    progress.job_done(done, &jobs[i].workload, took);
+                    self.record(keys[i], &jobs[i].workload, &report);
+                    results[i] = Some(report);
+                }
+            });
+        }
+        progress.finish();
+
+        // Phase 4: copy coalesced results into their duplicate slots.
+        for (i, &key) in keys.iter().enumerate() {
+            if results[i].is_none() {
+                let src = first_of[&key];
+                let report = results[src].clone().expect("source slot simulated");
+                results[i] = Some(report);
+            }
+        }
+
+        self.last = BatchStats {
+            total: jobs.len(),
+            store_hits,
+            deduped,
+            simulated: pending.len(),
+            wall: batch_start.elapsed(),
+        };
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
+    fn record(&mut self, key: u64, workload: &str, report: &SimReport) {
+        if let Some(store) = &mut self.store {
+            if let Err(e) = store.put(key, workload, report) {
+                // A broken store must not fail the batch; warn once per
+                // failure and continue unmemoized.
+                eprintln!("warning: result store write failed: {e}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use ctcp_isa::{Program, ProgramBuilder, Reg};
+    use ctcp_sim::{SimConfig, SimReport, Simulation};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    /// An endless loop with a little ILP and a memory access, enough to
+    /// exercise every report field; the sim's instruction budget stops it.
+    pub(crate) fn tiny_program() -> Arc<Program> {
+        let mut b = ProgramBuilder::new();
+        b.movi(Reg::R2, 0x100);
+        let top = b.here();
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.add(Reg::R3, Reg::R1, Reg::R1);
+        b.ld(Reg::R4, Reg::R2, 0);
+        b.st(Reg::R3, Reg::R2, 8);
+        b.jmp(top);
+        Arc::new(b.build())
+    }
+
+    pub(crate) fn sample_report() -> SimReport {
+        let config = SimConfig {
+            max_insts: 1_000,
+            ..SimConfig::default()
+        };
+        Simulation::new(&tiny_program(), config).run()
+    }
+
+    /// A fresh per-test scratch directory under the system temp dir.
+    pub(crate) fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ctcp-harness-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{temp_dir, tiny_program};
+    use ctcp_sim::Strategy;
+
+    fn grid(budgets: &[u64]) -> Vec<Job> {
+        let program = tiny_program();
+        let mut jobs = Vec::new();
+        for &max_insts in budgets {
+            for strategy in [
+                Strategy::Baseline,
+                Strategy::Friendly { middle_bias: false },
+                Strategy::Fdrt { pinning: true },
+            ] {
+                let config = SimConfig {
+                    max_insts,
+                    strategy,
+                    ..SimConfig::default()
+                };
+                jobs.push(Job::new("tiny", Arc::clone(&program), config));
+            }
+        }
+        jobs
+    }
+
+    fn render(reports: &[SimReport]) -> String {
+        reports
+            .iter()
+            .map(|r| format!("{r:?}\n"))
+            .collect::<String>()
+    }
+
+    #[test]
+    fn serial_and_parallel_results_are_identical() {
+        let jobs = grid(&[800, 1_600, 2_400]);
+        let serial = Harness::new().jobs(1).progress(false).run(&jobs);
+        let parallel = Harness::new().jobs(8).progress(false).run(&jobs);
+        assert_eq!(render(&serial), render(&parallel));
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs = grid(&[600, 1_200]);
+        let reports = Harness::new().jobs(4).progress(false).run(&jobs);
+        assert_eq!(reports.len(), jobs.len());
+        for (job, report) in jobs.iter().zip(&reports) {
+            assert_eq!(report.strategy, job.config.strategy.name());
+            assert_eq!(report.instructions, job.config.max_insts);
+        }
+    }
+
+    #[test]
+    fn duplicate_jobs_are_coalesced() {
+        let mut jobs = grid(&[700]);
+        jobs.extend(grid(&[700]));
+        let mut h = Harness::new().jobs(4).progress(false);
+        let reports = h.run(&jobs);
+        let stats = h.last_batch();
+        assert_eq!(stats.total, 6);
+        assert_eq!(stats.simulated, 3);
+        assert_eq!(stats.deduped, 3);
+        assert_eq!(render(&reports[..3]), render(&reports[3..]));
+    }
+
+    #[test]
+    fn warm_store_skips_all_simulation() {
+        let dir = temp_dir("warm-store");
+        let jobs = grid(&[900, 1_800]);
+
+        let mut cold = Harness::new()
+            .jobs(2)
+            .progress(false)
+            .with_store(ResultStore::open(&dir).unwrap());
+        let first = cold.run(&jobs);
+        assert_eq!(cold.last_batch().store_hits, 0);
+        assert_eq!(cold.last_batch().simulated, jobs.len());
+
+        let mut warm = Harness::new()
+            .jobs(2)
+            .progress(false)
+            .with_store(ResultStore::open(&dir).unwrap());
+        let second = warm.run(&jobs);
+        assert_eq!(warm.last_batch().store_hits, jobs.len());
+        assert_eq!(warm.last_batch().simulated, 0);
+        assert_eq!(render(&first), render(&second));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut h = Harness::new().progress(false);
+        assert!(h.run(&[]).is_empty());
+        assert_eq!(h.last_batch().total, 0);
+    }
+
+    #[test]
+    fn jobs_zero_means_auto_parallelism() {
+        assert!(Harness::new().effective_jobs() >= 1);
+        assert_eq!(Harness::new().jobs(3).effective_jobs(), 3);
+    }
+}

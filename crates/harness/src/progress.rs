@@ -1,0 +1,60 @@
+//! Live batch progress on stderr.
+//!
+//! The reporter rewrites a single status line (`\r`, no newline) as
+//! jobs complete, showing completed/total, the running jobs/sec rate,
+//! the wall time of the job that just finished, and an ETA. It is
+//! enabled by default only when stderr is a terminal, so piped and
+//! logged runs stay clean; tables on stdout are never touched.
+
+use std::io::{IsTerminal, Write};
+use std::time::{Duration, Instant};
+
+pub(crate) struct Progress {
+    enabled: bool,
+    total: usize,
+    start: Instant,
+    /// Width of the previously drawn line, so shorter updates blank it.
+    drawn: usize,
+}
+
+impl Progress {
+    /// `enabled: None` auto-detects (on iff stderr is a terminal).
+    pub(crate) fn new(enabled: Option<bool>, total: usize) -> Progress {
+        Progress {
+            enabled: enabled.unwrap_or_else(|| std::io::stderr().is_terminal()) && total > 0,
+            total,
+            start: Instant::now(),
+            drawn: 0,
+        }
+    }
+
+    /// Reports the completion of job number `done` (1-based) named
+    /// `workload`, which took `took` of wall time.
+    pub(crate) fn job_done(&mut self, done: usize, workload: &str, took: Duration) {
+        if !self.enabled {
+            return;
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = done as f64 / elapsed.max(1e-9);
+        let eta = (self.total - done) as f64 / rate.max(1e-9);
+        let line = format!(
+            "[{done}/{total}] {rate:.1} jobs/s | {workload} {took:.2}s | eta {eta:.0}s",
+            total = self.total,
+            took = took.as_secs_f64(),
+        );
+        let pad = self.drawn.saturating_sub(line.len());
+        self.drawn = line.len();
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r{line}{:pad$}", "");
+        let _ = err.flush();
+    }
+
+    /// Ends the status line so subsequent output starts cleanly.
+    pub(crate) fn finish(self) {
+        if self.enabled && self.drawn > 0 {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err);
+            let _ = err.flush();
+        }
+    }
+}

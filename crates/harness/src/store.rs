@@ -1,0 +1,264 @@
+//! Content-addressed, append-only result store.
+//!
+//! Each finished job is recorded as one JSON line under a 64-bit
+//! content key derived from the workload name and the full simulator
+//! configuration (which includes the strategy and the instruction
+//! budget). Re-running the same cell therefore finds the stored report
+//! and skips simulation entirely.
+//!
+//! ## On-disk layout
+//!
+//! The store is a directory (by default `target/ctcp-results/`)
+//! holding a single `results.jsonl`. Every line is an envelope:
+//!
+//! ```text
+//! {"v":1,"key":"<16 hex digits>","workload":"gzip","report":{...}}
+//! ```
+//!
+//! Lines are only ever appended; the newest line for a key wins at
+//! load time. Unreadable lines (truncated writes, schema drift) are
+//! skipped and simply count as cache misses — the store is a cache,
+//! never an authority.
+
+use ctcp_sim::json::Value;
+use ctcp_sim::{SimConfig, SimReport};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Version salt folded into every key. Bump when the report schema or
+/// the key derivation changes; old store contents then miss cleanly.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// The content key of one job: FNV-1a 64 over the store version, the
+/// workload name, and the `Debug` rendering of the configuration.
+///
+/// Hashing the `Debug` form means *every* config field participates —
+/// adding a field to [`SimConfig`] automatically changes the keys of
+/// affected cells, so stale results can never be returned for a config
+/// the simulator has since learned to distinguish.
+pub fn job_key(workload: &str, config: &SimConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&STORE_FORMAT_VERSION.to_le_bytes());
+    h.write(workload.as_bytes());
+    h.write(&[0]); // separator: name must not bleed into the config text
+    h.write(format!("{config:?}").as_bytes());
+    h.0
+}
+
+/// Cumulative counters for one store handle's lifetime.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StoreStats {
+    /// Distinct keys currently resident.
+    pub entries: usize,
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Reports written this session.
+    pub puts: u64,
+}
+
+/// A memoizing report store backed by one JSON-lines file.
+pub struct ResultStore {
+    path: PathBuf,
+    file: File,
+    map: HashMap<u64, SimReport>,
+    stats: StoreStats,
+}
+
+impl ResultStore {
+    /// The conventional store location, `target/ctcp-results`, relative
+    /// to the current directory.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target").join("ctcp-results")
+    }
+
+    /// Opens (creating if needed) the store in `dir` and loads every
+    /// decodable line into memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on real I/O errors (permissions, unwritable path) —
+    /// malformed lines are skipped, not fatal.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ResultStore> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("results.jsonl");
+        let mut map = HashMap::new();
+        if let Ok(existing) = File::open(&path) {
+            for line in BufReader::new(existing).lines() {
+                let line = line?;
+                if let Some((key, report)) = decode_line(&line) {
+                    map.insert(key, report);
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let entries = map.len();
+        Ok(ResultStore {
+            path,
+            file,
+            map,
+            stats: StoreStats {
+                entries,
+                ..StoreStats::default()
+            },
+        })
+    }
+
+    /// The backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Looks up `key`, counting the outcome.
+    pub fn get(&mut self, key: u64) -> Option<SimReport> {
+        match self.map.get(&key) {
+            Some(r) => {
+                self.stats.hits += 1;
+                Some(r.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records `report` under `key`, appending one line and flushing so
+    /// a killed run loses at most the in-flight report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures; the in-memory copy is kept either
+    /// way, so the current process still benefits.
+    pub fn put(&mut self, key: u64, workload: &str, report: &SimReport) -> std::io::Result<()> {
+        self.stats.puts += 1;
+        self.map.insert(key, report.clone());
+        self.stats.entries = self.map.len();
+        let line = encode_line(key, workload, report);
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()
+    }
+
+    /// Counters for this handle.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+fn encode_line(key: u64, workload: &str, report: &SimReport) -> String {
+    // The report is embedded as a parsed value, not a pre-rendered
+    // string, so the envelope stays one well-formed JSON document.
+    let report = Value::parse(&report.to_json()).expect("report encoding is valid JSON");
+    Value::Obj(vec![
+        ("v".into(), Value::u64(u64::from(STORE_FORMAT_VERSION))),
+        ("key".into(), Value::str(&format!("{key:016x}"))),
+        ("workload".into(), Value::str(workload)),
+        ("report".into(), report),
+    ])
+    .render()
+}
+
+fn decode_line(line: &str) -> Option<(u64, SimReport)> {
+    let v = Value::parse(line).ok()?;
+    if v.get("v")?.as_u64()? != u64::from(STORE_FORMAT_VERSION) {
+        return None;
+    }
+    let key = u64::from_str_radix(v.get("key")?.as_str()?, 16).ok()?;
+    let report = SimReport::from_value(v.get("report")?).ok()?;
+    Some((key, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{sample_report, temp_dir};
+
+    #[test]
+    fn keys_separate_workload_config_and_budget() {
+        let a = SimConfig::default();
+        let b = SimConfig {
+            max_insts: a.max_insts + 1,
+            ..SimConfig::default()
+        };
+        assert_ne!(job_key("gzip", &a), job_key("gcc", &a));
+        assert_ne!(job_key("gzip", &a), job_key("gzip", &b));
+        assert_eq!(job_key("gzip", &a), job_key("gzip", &a));
+    }
+
+    #[test]
+    fn put_then_get_round_trips_across_reopen() {
+        let dir = temp_dir("store-roundtrip");
+        let report = sample_report();
+        let key = job_key("unit", &SimConfig::default());
+        {
+            let mut s = ResultStore::open(&dir).unwrap();
+            assert!(s.get(key).is_none());
+            s.put(key, "unit", &report).unwrap();
+            assert_eq!(s.stats().puts, 1);
+            assert_eq!(s.stats().misses, 1);
+        }
+        let mut s = ResultStore::open(&dir).unwrap();
+        assert_eq!(s.stats().entries, 1);
+        let back = s.get(key).expect("persisted report");
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(format!("{back:?}"), format!("{report:?}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_not_fatal() {
+        let dir = temp_dir("store-corrupt");
+        let key = job_key("unit", &SimConfig::default());
+        {
+            let mut s = ResultStore::open(&dir).unwrap();
+            s.put(key, "unit", &sample_report()).unwrap();
+        }
+        // Simulate a truncated append and schema drift.
+        let path = dir.join("results.jsonl");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"v\":1,\"key\":\"00\",\"report\":{\"cycl\n");
+        text.push_str("{\"v\":999,\"key\":\"0000000000000000\",\"report\":{}}\n");
+        std::fs::write(&path, text).unwrap();
+
+        let mut s = ResultStore::open(&dir).unwrap();
+        assert_eq!(s.stats().entries, 1);
+        assert!(s.get(key).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn newest_line_wins_for_a_key() {
+        let dir = temp_dir("store-newest");
+        let key = 42u64;
+        {
+            let mut s = ResultStore::open(&dir).unwrap();
+            let mut r = sample_report();
+            s.put(key, "unit", &r).unwrap();
+            r.cycles = 777;
+            s.put(key, "unit", &r).unwrap();
+        }
+        let mut s = ResultStore::open(&dir).unwrap();
+        assert_eq!(s.get(key).unwrap().cycles, 777);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -132,9 +132,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
     let mut referenced: Vec<(String, usize)> = Vec::new();
 
     let mut label_of = |name: &str, b: &mut ProgramBuilder| -> crate::Label {
-        *labels
-            .entry(name.to_string())
-            .or_insert_with(|| b.label())
+        *labels.entry(name.to_string()).or_insert_with(|| b.label())
     };
 
     for (idx, raw) in source.lines().enumerate() {
@@ -254,7 +252,11 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
             "ld" | "fld" => {
                 arity(3)?;
-                let op = if mnemonic == "ld" { Opcode::Ld } else { Opcode::FLd };
+                let op = if mnemonic == "ld" {
+                    Opcode::Ld
+                } else {
+                    Opcode::FLd
+                };
                 let d = reg(0)?;
                 let base = reg(1)?;
                 let disp = parse_imm(ops[2], line)?;
@@ -262,7 +264,11 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
             "st" | "fst" => {
                 arity(3)?;
-                let op = if mnemonic == "st" { Opcode::St } else { Opcode::FSt };
+                let op = if mnemonic == "st" {
+                    Opcode::St
+                } else {
+                    Opcode::FSt
+                };
                 let v = reg(0)?;
                 let base = reg(1)?;
                 let disp = parse_imm(ops[2], line)?;
@@ -394,8 +400,18 @@ pub fn disassemble(program: &Program) -> String {
 fn render(inst: &Instruction, program: &Program, label: &dyn Fn(usize) -> String) -> String {
     let r = |x: Option<Reg>| x.map(|r| r.to_string()).unwrap_or_default();
     match inst.op {
-        Opcode::Add | Opcode::Sub | Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Sll
-        | Opcode::Srl | Opcode::Sra | Opcode::Slt | Opcode::Seq | Opcode::Mul | Opcode::Div => {
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::And
+        | Opcode::Or
+        | Opcode::Xor
+        | Opcode::Sll
+        | Opcode::Srl
+        | Opcode::Sra
+        | Opcode::Slt
+        | Opcode::Seq
+        | Opcode::Mul
+        | Opcode::Div => {
             let name = format!("{}", inst.op);
             match inst.src2 {
                 Some(s2) => format!("{name} {}, {}, {}", r(inst.dest), r(inst.src1), s2),
@@ -542,7 +558,11 @@ mod tests {
         let e = assemble("add r1, r2").unwrap_err();
         assert!(matches!(
             e.kind,
-            AsmErrorKind::WrongArity { expected: 3, found: 2, .. }
+            AsmErrorKind::WrongArity {
+                expected: 3,
+                found: 2,
+                ..
+            }
         ));
     }
 

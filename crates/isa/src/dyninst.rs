@@ -54,7 +54,7 @@ impl DynInst {
     /// True if this dynamic instance was a taken control transfer.
     #[inline]
     pub fn taken(&self) -> bool {
-        self.branch.map_or(false, |b| b.taken)
+        self.branch.is_some_and(|b| b.taken)
     }
 
     /// The PC of the dynamically next instruction (target for taken

@@ -69,7 +69,7 @@ impl Program {
     /// The instruction index of virtual address `pc`, if it is a valid
     /// text address for this program.
     pub fn index_of(&self, pc: u64) -> Option<usize> {
-        if pc < TEXT_BASE || (pc - TEXT_BASE) % 4 != 0 {
+        if pc < TEXT_BASE || !(pc - TEXT_BASE).is_multiple_of(4) {
             return None;
         }
         let idx = ((pc - TEXT_BASE) / 4) as usize;
@@ -539,10 +539,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let l = b.label();
         b.jmp(l);
-        assert!(matches!(
-            b.try_build(),
-            Err(ProgramError::UnboundLabel(_))
-        ));
+        assert!(matches!(b.try_build(), Err(ProgramError::UnboundLabel(_))));
     }
 
     #[test]
@@ -556,7 +553,10 @@ mod tests {
         let insts = vec![Instruction::new(Opcode::Jmp, None, None, None, 99)];
         assert!(matches!(
             Program::new(insts),
-            Err(ProgramError::BadTarget { inst: 0, target: 99 })
+            Err(ProgramError::BadTarget {
+                inst: 0,
+                target: 99
+            })
         ));
     }
 

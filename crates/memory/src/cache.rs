@@ -136,7 +136,10 @@ impl SetAssocCache {
     #[inline]
     fn decompose(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.offset_bits;
-        ((line & self.index_mask) as usize, line >> self.sets.len().trailing_zeros())
+        (
+            (line & self.index_mask) as usize,
+            line >> self.sets.len().trailing_zeros(),
+        )
     }
 
     /// The line-aligned base address of the line containing `addr`.

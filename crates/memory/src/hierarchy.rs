@@ -1,8 +1,6 @@
 //! The composed data memory system.
 
-use crate::{
-    CacheConfig, LoadQueue, MshrFile, SetAssocCache, StoreBuffer, Tlb, TlbConfig,
-};
+use crate::{CacheConfig, LoadQueue, MshrFile, SetAssocCache, StoreBuffer, Tlb, TlbConfig};
 
 /// Kind of data-memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

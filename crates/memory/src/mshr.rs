@@ -123,7 +123,7 @@ mod tests {
         let mut m = MshrFile::new(2);
         let d0 = m.allocate(0x000, 0, 10); // done 10
         let _d1 = m.allocate(0x100, 0, 20); // done 20
-        // Third distinct line must wait for the first fill (cycle 10).
+                                            // Third distinct line must wait for the first fill (cycle 10).
         let d2 = m.allocate(0x200, 0, 5);
         assert_eq!(d0, 10);
         assert_eq!(d2, 15);

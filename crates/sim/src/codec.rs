@@ -1,0 +1,412 @@
+//! JSON serialization of [`SimReport`] for the harness result store.
+//!
+//! The encoding is a flat-ish object mirroring the struct: nested stats
+//! become nested objects, fixed-size counter arrays become JSON arrays,
+//! and the optional FDRT block is `null` for non-FDRT strategies. The
+//! field set is versioned implicitly through the store's key salt, so a
+//! decode error on an old line is treated as a cache miss, never a
+//! panic.
+
+use crate::json::Value;
+use crate::report::SimReport;
+use ctcp_core::assign::FdrtStats;
+use ctcp_core::{EngineStats, ForwardingStats};
+use ctcp_memory::CacheStats;
+use ctcp_tracecache::TraceCacheStats;
+
+fn u64_arr(xs: &[u64]) -> Value {
+    Value::Arr(xs.iter().map(|&x| Value::u64(x)).collect())
+}
+
+fn f64_arr(xs: &[f64]) -> Value {
+    Value::Arr(xs.iter().map(|&x| Value::f64(x)).collect())
+}
+
+fn fwd_to_json(s: &ForwardingStats) -> Value {
+    Value::Obj(vec![
+        ("insts_with_inputs".into(), Value::u64(s.insts_with_inputs)),
+        ("crit_from_rf".into(), Value::u64(s.crit_from_rf)),
+        ("crit_from_rs1".into(), Value::u64(s.crit_from_rs1)),
+        ("crit_from_rs2".into(), Value::u64(s.crit_from_rs2)),
+        ("forwarded_inputs".into(), Value::u64(s.forwarded_inputs)),
+        (
+            "forwarded_critical".into(),
+            Value::u64(s.forwarded_critical),
+        ),
+        (
+            "critical_inter_trace".into(),
+            Value::u64(s.critical_inter_trace),
+        ),
+        (
+            "critical_intra_cluster".into(),
+            Value::u64(s.critical_intra_cluster),
+        ),
+        (
+            "critical_distance_sum".into(),
+            Value::u64(s.critical_distance_sum),
+        ),
+    ])
+}
+
+fn engine_to_json(s: &EngineStats) -> Value {
+    Value::Obj(vec![
+        ("retired".into(), Value::u64(s.retired)),
+        ("loads".into(), Value::u64(s.loads)),
+        ("stores".into(), Value::u64(s.stores)),
+        ("store_forwards".into(), Value::u64(s.store_forwards)),
+        ("rs_full_stalls".into(), Value::u64(s.rs_full_stalls)),
+        ("redirects".into(), Value::u64(s.redirects)),
+        (
+            "executed_per_cluster".into(),
+            u64_arr(&s.executed_per_cluster),
+        ),
+        ("sum_rs_wait".into(), Value::u64(s.sum_rs_wait)),
+        (
+            "sum_complete_to_retire".into(),
+            Value::u64(s.sum_complete_to_retire),
+        ),
+        ("sum_dispatch_wait".into(), Value::u64(s.sum_dispatch_wait)),
+        ("rs_wait_by_fu".into(), u64_arr(&s.rs_wait_by_fu)),
+        ("count_by_fu".into(), u64_arr(&s.count_by_fu)),
+    ])
+}
+
+fn fdrt_to_json(s: &FdrtStats) -> Value {
+    Value::Obj(vec![
+        ("options".into(), u64_arr(&s.options)),
+        ("skipped".into(), Value::u64(s.skipped)),
+        ("migrations".into(), Value::u64(s.migrations)),
+        ("migration_samples".into(), Value::u64(s.migration_samples)),
+        ("chain_migrations".into(), Value::u64(s.chain_migrations)),
+        ("chain_samples".into(), Value::u64(s.chain_samples)),
+        ("leaders_created".into(), Value::u64(s.leaders_created)),
+        ("followers_created".into(), Value::u64(s.followers_created)),
+    ])
+}
+
+fn cache_to_json(s: &CacheStats) -> Value {
+    Value::Obj(vec![
+        ("hits".into(), Value::u64(s.hits)),
+        ("misses".into(), Value::u64(s.misses)),
+    ])
+}
+
+fn tc_to_json(s: &TraceCacheStats) -> Value {
+    Value::Obj(vec![
+        ("hits".into(), Value::u64(s.hits)),
+        ("misses".into(), Value::u64(s.misses)),
+        ("installs".into(), Value::u64(s.installs)),
+        ("evictions".into(), Value::u64(s.evictions)),
+    ])
+}
+
+fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    req(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not a u64"))
+}
+
+fn req_f64(v: &Value, key: &str) -> Result<f64, String> {
+    req(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field {key:?} is not a number"))
+}
+
+fn req_u64_arr<const N: usize>(v: &Value, key: &str) -> Result<[u64; N], String> {
+    let xs = req(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("field {key:?} is not an array"))?;
+    if xs.len() != N {
+        return Err(format!("field {key:?} has {} elements, want {N}", xs.len()));
+    }
+    let mut out = [0u64; N];
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = x
+            .as_u64()
+            .ok_or_else(|| format!("field {key:?} has a non-u64 element"))?;
+    }
+    Ok(out)
+}
+
+fn req_f64_arr<const N: usize>(v: &Value, key: &str) -> Result<[f64; N], String> {
+    let xs = req(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("field {key:?} is not an array"))?;
+    if xs.len() != N {
+        return Err(format!("field {key:?} has {} elements, want {N}", xs.len()));
+    }
+    let mut out = [0f64; N];
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = x
+            .as_f64()
+            .ok_or_else(|| format!("field {key:?} has a non-number element"))?;
+    }
+    Ok(out)
+}
+
+fn fwd_from_json(v: &Value) -> Result<ForwardingStats, String> {
+    Ok(ForwardingStats {
+        insts_with_inputs: req_u64(v, "insts_with_inputs")?,
+        crit_from_rf: req_u64(v, "crit_from_rf")?,
+        crit_from_rs1: req_u64(v, "crit_from_rs1")?,
+        crit_from_rs2: req_u64(v, "crit_from_rs2")?,
+        forwarded_inputs: req_u64(v, "forwarded_inputs")?,
+        forwarded_critical: req_u64(v, "forwarded_critical")?,
+        critical_inter_trace: req_u64(v, "critical_inter_trace")?,
+        critical_intra_cluster: req_u64(v, "critical_intra_cluster")?,
+        critical_distance_sum: req_u64(v, "critical_distance_sum")?,
+    })
+}
+
+fn engine_from_json(v: &Value) -> Result<EngineStats, String> {
+    Ok(EngineStats {
+        retired: req_u64(v, "retired")?,
+        loads: req_u64(v, "loads")?,
+        stores: req_u64(v, "stores")?,
+        store_forwards: req_u64(v, "store_forwards")?,
+        rs_full_stalls: req_u64(v, "rs_full_stalls")?,
+        redirects: req_u64(v, "redirects")?,
+        executed_per_cluster: req_u64_arr(v, "executed_per_cluster")?,
+        sum_rs_wait: req_u64(v, "sum_rs_wait")?,
+        sum_complete_to_retire: req_u64(v, "sum_complete_to_retire")?,
+        sum_dispatch_wait: req_u64(v, "sum_dispatch_wait")?,
+        rs_wait_by_fu: req_u64_arr(v, "rs_wait_by_fu")?,
+        count_by_fu: req_u64_arr(v, "count_by_fu")?,
+    })
+}
+
+fn fdrt_from_json(v: &Value) -> Result<FdrtStats, String> {
+    Ok(FdrtStats {
+        options: req_u64_arr(v, "options")?,
+        skipped: req_u64(v, "skipped")?,
+        migrations: req_u64(v, "migrations")?,
+        migration_samples: req_u64(v, "migration_samples")?,
+        chain_migrations: req_u64(v, "chain_migrations")?,
+        chain_samples: req_u64(v, "chain_samples")?,
+        leaders_created: req_u64(v, "leaders_created")?,
+        followers_created: req_u64(v, "followers_created")?,
+    })
+}
+
+fn cache_from_json(v: &Value) -> Result<CacheStats, String> {
+    Ok(CacheStats {
+        hits: req_u64(v, "hits")?,
+        misses: req_u64(v, "misses")?,
+    })
+}
+
+fn tc_from_json(v: &Value) -> Result<TraceCacheStats, String> {
+    Ok(TraceCacheStats {
+        hits: req_u64(v, "hits")?,
+        misses: req_u64(v, "misses")?,
+        installs: req_u64(v, "installs")?,
+        evictions: req_u64(v, "evictions")?,
+    })
+}
+
+impl SimReport {
+    /// Encodes the report as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let fdrt = match &self.fdrt {
+            Some(s) => fdrt_to_json(s),
+            None => Value::Null,
+        };
+        Value::Obj(vec![
+            ("strategy".into(), Value::str(&self.strategy)),
+            ("cycles".into(), Value::u64(self.cycles)),
+            ("instructions".into(), Value::u64(self.instructions)),
+            ("insts_from_tc".into(), Value::u64(self.insts_from_tc)),
+            (
+                "insts_from_icache".into(),
+                Value::u64(self.insts_from_icache),
+            ),
+            ("traces_built".into(), Value::u64(self.traces_built)),
+            ("insts_in_traces".into(), Value::u64(self.insts_in_traces)),
+            ("cond_mispredicts".into(), Value::u64(self.cond_mispredicts)),
+            ("cond_branches".into(), Value::u64(self.cond_branches)),
+            (
+                "indirect_mispredicts".into(),
+                Value::u64(self.indirect_mispredicts),
+            ),
+            ("fwd".into(), fwd_to_json(&self.fwd)),
+            ("repeat_all".into(), f64_arr(&self.repeat_all)),
+            (
+                "repeat_critical_inter".into(),
+                f64_arr(&self.repeat_critical_inter),
+            ),
+            ("fdrt".into(), fdrt),
+            ("engine".into(), engine_to_json(&self.engine)),
+            ("trace_cache".into(), tc_to_json(&self.trace_cache)),
+            ("l1d".into(), cache_to_json(&self.l1d)),
+            ("icache".into(), cache_to_json(&self.icache)),
+            ("ipc".into(), Value::f64(self.ipc)),
+        ])
+        .render()
+    }
+
+    /// Decodes a report previously produced by [`SimReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed or missing
+    /// field. Callers treating stored lines as a cache should treat any
+    /// error as a miss.
+    pub fn from_json(text: &str) -> Result<SimReport, String> {
+        let v = Value::parse(text)?;
+        Self::from_value(&v)
+    }
+
+    /// Decodes a report from an already-parsed JSON value (used by the
+    /// result store, which wraps reports in an envelope object).
+    pub fn from_value(v: &Value) -> Result<SimReport, String> {
+        let fdrt = match req(v, "fdrt")? {
+            Value::Null => None,
+            other => Some(fdrt_from_json(other)?),
+        };
+        Ok(SimReport {
+            strategy: req(v, "strategy")?
+                .as_str()
+                .ok_or("field \"strategy\" is not a string")?
+                .to_string(),
+            cycles: req_u64(v, "cycles")?,
+            instructions: req_u64(v, "instructions")?,
+            insts_from_tc: req_u64(v, "insts_from_tc")?,
+            insts_from_icache: req_u64(v, "insts_from_icache")?,
+            traces_built: req_u64(v, "traces_built")?,
+            insts_in_traces: req_u64(v, "insts_in_traces")?,
+            cond_mispredicts: req_u64(v, "cond_mispredicts")?,
+            cond_branches: req_u64(v, "cond_branches")?,
+            indirect_mispredicts: req_u64(v, "indirect_mispredicts")?,
+            fwd: fwd_from_json(req(v, "fwd")?)?,
+            repeat_all: req_f64_arr(v, "repeat_all")?,
+            repeat_critical_inter: req_f64_arr(v, "repeat_critical_inter")?,
+            fdrt,
+            engine: engine_from_json(req(v, "engine")?)?,
+            trace_cache: tc_from_json(req(v, "trace_cache")?)?,
+            l1d: cache_from_json(req(v, "l1d")?)?,
+            icache: cache_from_json(req(v, "icache")?)?,
+            ipc: req_f64(v, "ipc")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(with_fdrt: bool) -> SimReport {
+        SimReport {
+            strategy: "fdrt".into(),
+            cycles: 123_456,
+            instructions: 300_000,
+            insts_from_tc: 250_000,
+            insts_from_icache: 50_000,
+            traces_built: 9_999,
+            insts_in_traces: 240_000,
+            cond_mispredicts: 1_234,
+            cond_branches: 40_000,
+            indirect_mispredicts: 17,
+            fwd: ForwardingStats {
+                insts_with_inputs: 280_000,
+                crit_from_rf: 100_000,
+                crit_from_rs1: 90_000,
+                crit_from_rs2: 90_000,
+                forwarded_inputs: 200_000,
+                forwarded_critical: 150_000,
+                critical_inter_trace: 60_000,
+                critical_intra_cluster: 45_000,
+                critical_distance_sum: 88_000,
+            },
+            repeat_all: [0.91, 0.87],
+            repeat_critical_inter: [0.93, 0.89],
+            fdrt: with_fdrt.then_some(FdrtStats {
+                options: [1, 2, 3, 4, 5],
+                skipped: 6,
+                migrations: 7,
+                migration_samples: 8,
+                chain_migrations: 9,
+                chain_samples: 10,
+                leaders_created: 11,
+                followers_created: 12,
+            }),
+            engine: EngineStats {
+                retired: 300_000,
+                loads: 70_000,
+                stores: 30_000,
+                store_forwards: 5_000,
+                rs_full_stalls: 2_000,
+                redirects: 1_300,
+                executed_per_cluster: [1, 2, 3, 4, 0, 0, 0, 0],
+                sum_rs_wait: 900_000,
+                sum_complete_to_retire: 450_000,
+                sum_dispatch_wait: 120_000,
+                rs_wait_by_fu: [1, 2, 3, 4, 5, 6, 7],
+                count_by_fu: [7, 6, 5, 4, 3, 2, 1],
+            },
+            trace_cache: TraceCacheStats {
+                hits: 10,
+                misses: 20,
+                installs: 30,
+                evictions: 40,
+            },
+            l1d: CacheStats {
+                hits: 100,
+                misses: 200,
+            },
+            icache: CacheStats {
+                hits: 300,
+                misses: 400,
+            },
+            ipc: 2.4305,
+        }
+    }
+
+    fn assert_reports_equal(a: &SimReport, b: &SimReport) {
+        // SimReport has no PartialEq (float fields); compare the stable
+        // Debug rendering, which covers every field.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn round_trip_with_fdrt() {
+        let r = sample(true);
+        let back = SimReport::from_json(&r.to_json()).unwrap();
+        assert_reports_equal(&r, &back);
+    }
+
+    #[test]
+    fn round_trip_without_fdrt() {
+        let r = sample(false);
+        let back = SimReport::from_json(&r.to_json()).unwrap();
+        assert!(back.fdrt.is_none());
+        assert_reports_equal(&r, &back);
+    }
+
+    #[test]
+    fn encoding_is_one_line() {
+        assert!(!sample(true).to_json().contains('\n'));
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let mut v = Value::parse(&sample(true).to_json()).unwrap();
+        if let Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "engine");
+        }
+        let err = SimReport::from_value(&v).unwrap_err();
+        assert!(err.contains("engine"), "{err}");
+    }
+
+    #[test]
+    fn wrong_array_lengths_are_reported() {
+        let text = sample(true)
+            .to_json()
+            .replace("\"repeat_all\":[0.91,0.87]", "\"repeat_all\":[0.91]");
+        let err = SimReport::from_json(&text).unwrap_err();
+        assert!(err.contains("repeat_all"), "{err}");
+    }
+}

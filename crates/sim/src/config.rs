@@ -66,12 +66,10 @@ impl Strategy {
             } else {
                 SlotFillOrder::Sequential
             }),
-            Strategy::Fdrt { pinning } => {
-                RetireTimeStrategy::Fdrt(FdrtAssigner::new(FdrtConfig {
-                    pinning: *pinning,
-                    chaining: true,
-                }))
-            }
+            Strategy::Fdrt { pinning } => RetireTimeStrategy::Fdrt(FdrtAssigner::new(FdrtConfig {
+                pinning: *pinning,
+                chaining: true,
+            })),
             Strategy::FdrtIntraOnly => RetireTimeStrategy::Fdrt(FdrtAssigner::new(FdrtConfig {
                 pinning: true,
                 chaining: false,

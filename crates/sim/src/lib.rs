@@ -23,7 +23,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod codec;
 mod config;
+pub mod json;
 mod processor;
 mod report;
 mod stream;

@@ -95,9 +95,7 @@ impl<'p> Simulation<'p> {
     }
 
     fn pipeline_empty(&mut self) -> bool {
-        self.stream.is_exhausted()
-            && self.delivery.is_empty()
-            && self.engine.in_flight() == 0
+        self.stream.is_exhausted() && self.delivery.is_empty() && self.engine.in_flight() == 0
     }
 
     fn step(&mut self) {
@@ -105,11 +103,7 @@ impl<'p> Simulation<'p> {
         let now = self.now;
 
         // 1. Trace installs that have cleared the fill-unit latency.
-        while self
-            .installs
-            .front()
-            .is_some_and(|(at, _)| *at <= now)
-        {
+        while self.installs.front().is_some_and(|(at, _)| *at <= now) {
             let (_, line) = self.installs.pop_front().expect("checked front");
             self.tc.install(line);
         }
@@ -237,7 +231,9 @@ impl<'p> Simulation<'p> {
     }
 
     fn fetch(&mut self, now: u64) {
-        let Some(d0) = self.stream.peek(0) else { return };
+        let Some(d0) = self.stream.peek(0) else {
+            return;
+        };
         let pc = d0.pc;
 
         // Trace cache lookup with multiple-branch prediction.
@@ -245,12 +241,7 @@ impl<'p> Simulation<'p> {
         let line_info: Option<(u64, Vec<(u8, TraceSlot)>)> = self
             .tc
             .lookup(pc, |bpc| predictor.predict(bpc))
-            .map(|line| {
-                (
-                    line.id,
-                    line.logical_iter().map(|(p, s)| (p, *s)).collect(),
-                )
-            });
+            .map(|line| (line.id, line.logical_iter().map(|(p, s)| (p, *s)).collect()));
 
         let fetch_width = self.cfg.engine.geometry.total_slots();
         let group_id = self.group_ctr;
@@ -261,10 +252,7 @@ impl<'p> Simulation<'p> {
         let (latency, from_tc) = match line_info {
             Some((line_id, slots)) => {
                 for (phys, slot) in slots {
-                    let matches = self
-                        .stream
-                        .peek(0)
-                        .is_some_and(|d| d.pc == slot.pc);
+                    let matches = self.stream.peek(0).is_some_and(|d| d.pc == slot.pc);
                     if !matches {
                         break;
                     }

@@ -78,7 +78,7 @@ impl TraceCache {
     ///
     /// Panics if the geometry is not a power-of-two number of sets.
     pub fn new(config: TraceCacheConfig) -> Self {
-        assert!(config.assoc > 0 && config.entries % config.assoc == 0);
+        assert!(config.assoc > 0 && config.entries.is_multiple_of(config.assoc));
         let num_sets = config.entries / config.assoc;
         assert!(num_sets.is_power_of_two());
         TraceCache {
@@ -145,8 +145,7 @@ impl TraceCache {
 
         // Replace a same-pc same-path line in place, keeping its id.
         if let Some(i) = set.iter().position(|w| {
-            w.line.start_pc == line.start_pc
-                && w.line.branch_path().collect::<Vec<_>>() == new_path
+            w.line.start_pc == line.start_pc && w.line.branch_path().collect::<Vec<_>>() == new_path
         }) {
             let id = set[i].line.id;
             line.id = id;
@@ -320,7 +319,10 @@ mod tests {
     fn profile_mut_updates_in_place() {
         let mut tc = TraceCache::default();
         let id = tc.install(mk_line(0x1000, &[true]));
-        let loc = TcLocation { line_id: id, slot: 0 };
+        let loc = TcLocation {
+            line_id: id,
+            slot: 0,
+        };
         {
             let p = tc.profile_mut(loc).unwrap();
             p.chain_cluster = Some(2);
@@ -331,10 +333,16 @@ mod tests {
         assert_eq!(slot.profile.chain_cluster, Some(2));
         // Empty slot and evicted line return None.
         assert!(tc
-            .profile_mut(TcLocation { line_id: id, slot: 15 })
+            .profile_mut(TcLocation {
+                line_id: id,
+                slot: 15
+            })
             .is_none());
         assert!(tc
-            .profile_mut(TcLocation { line_id: 999, slot: 0 })
+            .profile_mut(TcLocation {
+                line_id: 999,
+                slot: 0
+            })
             .is_none());
     }
 }

@@ -147,10 +147,7 @@ impl FillUnit {
         let is_indirect = inst.inst.op.is_indirect();
         let is_backward_taken = self.config.end_at_backward_branch
             && inst.taken == Some(true)
-            && inst
-                .inst
-                .op
-                .is_conditional_branch()
+            && inst.inst.op.is_conditional_branch()
             && ctcp_isa::Program::pc_of(inst.inst.imm as usize) <= inst.pc;
         self.insts_buffered += 1;
         self.pending.push(inst);
@@ -222,7 +219,9 @@ mod tests {
     #[test]
     fn idle_unit_drops_non_heads() {
         let mut fu = FillUnit::default();
-        assert!(fu.push(pi(0, Opcode::Add, None), TraceHead::None).is_empty());
+        assert!(fu
+            .push(pi(0, Opcode::Add, None), TraceHead::None)
+            .is_empty());
         assert_eq!(fu.pending_len(), 0);
         assert!(!fu.is_filling());
     }
@@ -235,7 +234,9 @@ mod tests {
             .is_empty());
         assert!(fu.is_filling());
         for i in 1..15 {
-            assert!(fu.push(pi(i, Opcode::Add, None), TraceHead::None).is_empty());
+            assert!(fu
+                .push(pi(i, Opcode::Add, None), TraceHead::None)
+                .is_empty());
         }
         let out = fu.push(pi(15, Opcode::Add, None), TraceHead::None);
         assert_eq!(out.len(), 1);

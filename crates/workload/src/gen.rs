@@ -1,9 +1,8 @@
 //! The program generator.
 
+use crate::rng::Pcg32;
 use crate::WorkloadParams;
 use ctcp_isa::{Label, Program, ProgramBuilder, Reg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Base address of the generated program's working set.
 const WS_BASE: i64 = 0x10_0000;
@@ -52,7 +51,7 @@ pub fn generate(params: &WorkloadParams) -> Program {
     params.validate();
     let mut g = Gen {
         b: ProgramBuilder::new(),
-        rng: SmallRng::seed_from_u64(params.seed ^ 0x5DEECE66D),
+        rng: Pcg32::seed_from_u64(params.seed ^ 0x5DEECE66D),
         p: *params,
         next_data: 0,
         chains: vec![None; params.ilp_chains],
@@ -65,7 +64,7 @@ pub fn generate(params: &WorkloadParams) -> Program {
 
 struct Gen {
     b: ProgramBuilder,
-    rng: SmallRng,
+    rng: Pcg32,
     p: WorkloadParams,
     next_data: usize,
     /// Last destination of each interleaved dependency chain.
@@ -120,7 +119,7 @@ impl Gen {
 
     /// Initialisation: xorshift seed, pointer-chase chain, dispatch table.
     fn emit_init(&mut self) {
-        let seed = (self.rng.gen::<u32>() as i64) | 1;
+        let seed = (self.rng.next_u32() as i64) | 1;
         self.b.movi(RNG_REG, seed);
         self.b.movi(BASE_REG, WS_BASE);
 
@@ -152,7 +151,7 @@ impl Gen {
 
         // Data registers start with distinct values.
         for (i, r) in DATA_REGS.iter().enumerate() {
-            self.b.movi(*r, (i as i64 + 3) * 0x1234_5);
+            self.b.movi(*r, (i as i64 + 3) * 0x12345);
         }
         // FP registers seeded from integers.
         for i in 0..4 {
@@ -167,8 +166,10 @@ impl Gen {
     /// One kernel: an inner loop whose body is `blocks_per_kernel` basic
     /// blocks, optionally entered through an indirect dispatch.
     fn emit_kernel_body(&mut self, kernel_idx: usize) {
-        let trip =
-            self.rng.gen_range(i64::from(self.p.trip_count.0)..=i64::from(self.p.trip_count.1));
+        let trip = self.rng.range(
+            i64::from(self.p.trip_count.0),
+            i64::from(self.p.trip_count.1) + 1,
+        );
 
         // Indirect dispatch setup: fill this kernel's slice of the jump
         // table with handler addresses (done once per kernel invocation;
@@ -195,8 +196,7 @@ impl Gen {
             self.b.andi(T0, RNG_REG, (k - 1) as i64);
             self.b.slli(T0, T0, 3);
             self.b.add(T0, T0, TABLE_REG);
-            self.b
-                .ld(T1, T0, (kernel_idx * k * 8) as i64);
+            self.b.ld(T1, T0, (kernel_idx * k * 8) as i64);
             self.b.jr(T1);
             let join = self.b.label();
             for &h in &handler_labels {
@@ -220,14 +220,14 @@ impl Gen {
     /// conditional branch over a short "then" region.
     fn emit_block(&mut self, with_terminator: bool) {
         let (lo, hi) = self.p.ops_per_block;
-        let n = self.rng.gen_range(lo..=hi);
+        let n = self.rng.range(lo as i64, hi as i64 + 1);
         for _ in 0..n {
             self.emit_op();
         }
         if !with_terminator {
             return;
         }
-        if self.rng.gen_bool(self.p.unpredictable_branch_fraction) {
+        if self.rng.chance(self.p.unpredictable_branch_fraction) {
             self.emit_data_dependent_branch();
         } else {
             self.emit_structured_branch();
@@ -247,7 +247,7 @@ impl Gen {
         let skip = self.b.label();
         self.b.beq(T0, Reg::ZERO, skip);
         // A short "then" region.
-        for _ in 0..self.rng.gen_range(1..=3) {
+        for _ in 0..self.rng.range(1, 4) {
             self.emit_op();
         }
         self.b.bind(skip);
@@ -257,7 +257,7 @@ impl Gen {
     /// (rarely taken) or periodic with a long period, so two-bit counters
     /// and history predictors do well on it.
     fn emit_structured_branch(&mut self) {
-        if self.rng.gen_bool(0.6) {
+        if self.rng.chance(0.6) {
             // Rarely-taken data test (~4%).
             self.emit_xorshift();
             self.b.srli(T0, RNG_REG, 9);
@@ -266,16 +266,16 @@ impl Gen {
             self.b.slt(T0, T0, T1);
             let skip = self.b.label();
             self.b.beq(T0, Reg::ZERO, skip);
-            for _ in 0..self.rng.gen_range(1..=3) {
+            for _ in 0..self.rng.range(1, 4) {
                 self.emit_op();
             }
             self.b.bind(skip);
         } else {
-            let period = [8i64, 16][self.rng.gen_range(0..2)];
+            let period = [8i64, 16][self.rng.index(2)];
             self.b.andi(T0, TRIP_REG, period - 1);
             let skip = self.b.label();
             self.b.bne(T0, Reg::ZERO, skip);
-            for _ in 0..self.rng.gen_range(1..=3) {
+            for _ in 0..self.rng.range(1, 4) {
                 self.emit_op();
             }
             self.b.bind(skip);
@@ -293,7 +293,7 @@ impl Gen {
     }
 
     fn pick_data_reg(&mut self) -> Reg {
-        DATA_REGS[self.rng.gen_range(0..DATA_REGS.len())]
+        DATA_REGS[self.rng.index(DATA_REGS.len())]
     }
 
     fn next_dest(&mut self) -> Reg {
@@ -312,10 +312,10 @@ impl Gen {
     /// a compiler scheduling for ILP), a chain's links are spaced several
     /// instructions apart in program order.
     fn chain_src(&mut self) -> Reg {
-        if self.rng.gen_bool(self.p.dep_chain_bias) {
+        if self.rng.chance(self.p.dep_chain_bias) {
             self.chains[self.cur_chain].unwrap_or(RNG_REG)
-        } else if self.rng.gen_bool(self.p.stable_src_fraction) {
-            STABLE_REGS[self.rng.gen_range(0..STABLE_REGS.len())]
+        } else if self.rng.chance(self.p.stable_src_fraction) {
+            STABLE_REGS[self.rng.index(STABLE_REGS.len())]
         } else {
             self.pick_data_reg()
         }
@@ -325,11 +325,11 @@ impl Gen {
     /// round-robin over the interleaved dependency chains.
     fn emit_op(&mut self) {
         self.cur_chain = (self.cur_chain + 1) % self.chains.len();
-        if self.rng.gen_bool(self.p.mem_fraction) {
+        if self.rng.chance(self.p.mem_fraction) {
             self.emit_mem_op();
-        } else if self.rng.gen_bool(self.p.fp_fraction) {
+        } else if self.rng.chance(self.p.fp_fraction) {
             self.emit_fp_op();
-        } else if self.rng.gen_bool(self.p.complex_fraction) {
+        } else if self.rng.chance(self.p.complex_fraction) {
             self.emit_complex_op();
         } else {
             self.emit_simple_op();
@@ -339,8 +339,8 @@ impl Gen {
     /// A second operand: stable registers with the configured bias,
     /// otherwise a rotating data register.
     fn other_src(&mut self) -> Reg {
-        if self.rng.gen_bool(self.p.stable_src_fraction) {
-            STABLE_REGS[self.rng.gen_range(0..STABLE_REGS.len())]
+        if self.rng.chance(self.p.stable_src_fraction) {
+            STABLE_REGS[self.rng.index(STABLE_REGS.len())]
         } else {
             self.pick_data_reg()
         }
@@ -350,14 +350,20 @@ impl Gen {
         let d = self.next_dest();
         let a = self.chain_src();
         let b = self.other_src();
-        match self.rng.gen_range(0..7) {
+        match self.rng.range(0, 7) {
             0 => self.b.add(d, a, b),
             1 => self.b.sub(d, a, b),
             2 => self.b.xor(d, a, b),
             3 => self.b.and(d, a, b),
             4 => self.b.or(d, a, b),
-            5 => self.b.addi(d, a, self.rng.gen_range(-64..64)),
-            _ => self.b.slli(d, a, self.rng.gen_range(1..8)),
+            5 => {
+                let imm = self.rng.range(-64, 64);
+                self.b.addi(d, a, imm)
+            }
+            _ => {
+                let sh = self.rng.range(1, 8);
+                self.b.slli(d, a, sh)
+            }
         };
         self.note_dest(d);
     }
@@ -366,7 +372,7 @@ impl Gen {
         let d = self.next_dest();
         let a = self.chain_src();
         let b = self.other_src();
-        if self.rng.gen_bool(0.03) {
+        if self.rng.chance(0.03) {
             self.b.div(d, a, b);
         } else {
             self.b.mul(d, a, b);
@@ -375,13 +381,14 @@ impl Gen {
     }
 
     fn emit_fp_op(&mut self) {
-        let d = Reg::fp(self.rng.gen_range(0..8));
+        let d = Reg::fp(self.rng.index(8) as u8);
+        let chain = self.rng.chance(self.p.dep_chain_bias);
         let a = self
             .last_fp_dest
-            .filter(|_| self.rng.gen_bool(self.p.dep_chain_bias))
-            .unwrap_or(Reg::fp(self.rng.gen_range(0..4)));
-        let b = Reg::fp(self.rng.gen_range(0..4));
-        match self.rng.gen_range(0..5) {
+            .filter(|_| chain)
+            .unwrap_or(Reg::fp(self.rng.index(4) as u8));
+        let b = Reg::fp(self.rng.index(4) as u8);
+        match self.rng.range(0, 5) {
             0 => self.b.fadd(d, a, b),
             1 => self.b.fsub(d, a, b),
             2 => self.b.fmul(d, a, b),
@@ -398,31 +405,33 @@ impl Gen {
     fn emit_mem_op(&mut self) {
         let ws_bytes = (self.p.working_set_words * 8) as i64;
         let half = ws_bytes / 2;
-        if self.rng.gen_bool(self.p.store_fraction) {
+        if self.rng.chance(self.p.store_fraction) {
             // Stores stay in the upper half so the chase chain survives.
             let v = self.chain_src();
-            if self.rng.gen_bool(self.p.irregular_index_fraction) {
-                self.b.andi(T0, RNG_REG, self.p.working_set_words as i64 / 2 - 1);
+            if self.rng.chance(self.p.irregular_index_fraction) {
+                self.b
+                    .andi(T0, RNG_REG, self.p.working_set_words as i64 / 2 - 1);
                 self.b.slli(T0, T0, 3);
                 self.b.add(T0, T0, BASE_REG);
                 self.b.st(v, T0, half);
             } else {
-                let off = self.rng.gen_range(0..half / 8) * 8;
+                let off = self.rng.range(0, half / 8) * 8;
                 self.b.st(v, BASE_REG, half + off);
             }
-        } else if self.rng.gen_bool(self.p.chase_fraction) {
+        } else if self.rng.chance(self.p.chase_fraction) {
             // Pointer chase: the load feeds the next load's address.
             self.b.ld(CHASE_REG, CHASE_REG, 0);
             self.note_dest(CHASE_REG);
         } else {
             let d = self.next_dest();
-            if self.rng.gen_bool(self.p.irregular_index_fraction) {
-                self.b.andi(T0, RNG_REG, self.p.working_set_words as i64 - 1);
+            if self.rng.chance(self.p.irregular_index_fraction) {
+                self.b
+                    .andi(T0, RNG_REG, self.p.working_set_words as i64 - 1);
                 self.b.slli(T0, T0, 3);
                 self.b.add(T0, T0, BASE_REG);
                 self.b.ld(d, T0, 0);
             } else {
-                let off = self.rng.gen_range(0..ws_bytes / 8) * 8;
+                let off = self.rng.range(0, ws_bytes / 8) * 8;
                 self.b.ld(d, BASE_REG, off);
             }
             self.note_dest(d);
@@ -487,7 +496,10 @@ mod tests {
                 indirect += 1;
             }
         }
-        assert!(indirect > 10, "expected indirect dispatches, saw {indirect}");
+        assert!(
+            indirect > 10,
+            "expected indirect dispatches, saw {indirect}"
+        );
     }
 
     #[test]

@@ -29,8 +29,10 @@
 
 mod gen;
 mod params;
+pub mod rng;
 mod suites;
 
 pub use gen::generate;
 pub use params::WorkloadParams;
+pub use rng::Pcg32;
 pub use suites::{Benchmark, Suite};

@@ -96,7 +96,10 @@ impl WorkloadParams {
     /// the working set is not a power of two.
     pub fn validate(&self) {
         for (name, f) in [
-            ("unpredictable_branch_fraction", self.unpredictable_branch_fraction),
+            (
+                "unpredictable_branch_fraction",
+                self.unpredictable_branch_fraction,
+            ),
             ("taken_prob", self.taken_prob),
             ("mem_fraction", self.mem_fraction),
             ("store_fraction", self.store_fraction),
@@ -121,7 +124,10 @@ impl WorkloadParams {
             "working set must be a power of two"
         );
         if let Some(k) = self.dispatch_targets {
-            assert!(k.is_power_of_two() && k >= 2, "dispatch table must be 2^n >= 2");
+            assert!(
+                k.is_power_of_two() && k >= 2,
+                "dispatch table must be 2^n >= 2"
+            );
         }
     }
 }

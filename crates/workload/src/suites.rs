@@ -458,12 +458,18 @@ mod tests {
     #[test]
     fn focus_names_match_table6() {
         let names: Vec<&str> = Benchmark::spec_focus().iter().map(|b| b.name).collect();
-        assert_eq!(names, vec!["bzip2", "eon", "gzip", "perlbmk", "twolf", "vpr"]);
+        assert_eq!(
+            names,
+            vec!["bzip2", "eon", "gzip", "perlbmk", "twolf", "vpr"]
+        );
     }
 
     #[test]
     fn all_benchmarks_generate_valid_programs() {
-        for b in Benchmark::spec_all().into_iter().chain(Benchmark::mediabench()) {
+        for b in Benchmark::spec_all()
+            .into_iter()
+            .chain(Benchmark::mediabench())
+        {
             let p = b.program();
             assert!(p.len() > 50, "{} too small", b.name);
             // And they run without executor errors.

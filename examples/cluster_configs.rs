@@ -43,8 +43,7 @@ fn main() {
         for b in Benchmark::spec_focus() {
             let program = b.program();
             let base = Simulation::new(&program, config(Strategy::Baseline, v)).run();
-            let fdrt =
-                Simulation::new(&program, config(Strategy::Fdrt { pinning: true }, v)).run();
+            let fdrt = Simulation::new(&program, config(Strategy::Fdrt { pinning: true }, v)).run();
             speedups.push(fdrt.speedup_over(&base));
         }
         println!("  {v:<22} HM speedup {:.3}", harmonic_mean(&speedups));

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification gate: everything CI would require before merge.
+#
+#   scripts/verify.sh
+#
+# Runs, in order:
+#   1. tier-1: release build + full test suite
+#   2. formatting check (cargo fmt --check)
+#   3. lint gate (cargo clippy --workspace, warnings are errors)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> verify OK"

@@ -20,7 +20,9 @@
 //! * [`memory`] — the data memory hierarchy,
 //! * [`core`] — the clustered out-of-order engine and assignment
 //!   strategies,
-//! * [`sim`] — the whole-processor simulator and experiment API.
+//! * [`sim`] — the whole-processor simulator and experiment API,
+//! * [`harness`] — the parallel sweep runner with its memoizing result
+//!   store.
 //!
 //! ## Example
 //!
@@ -39,6 +41,7 @@
 
 pub use ctcp_core as core;
 pub use ctcp_frontend as frontend;
+pub use ctcp_harness as harness;
 pub use ctcp_isa as isa;
 pub use ctcp_memory as memory;
 pub use ctcp_sim as sim;

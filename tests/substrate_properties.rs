@@ -1,119 +1,144 @@
-//! Property-based tests of the substrate components: caches, store
+//! Randomised property tests of the substrate components: caches, store
 //! buffer, memory, executor, and workload generation.
+//!
+//! These were proptest suites in earlier revisions; the workspace now
+//! builds offline, so each property runs a fixed number of cases drawn
+//! from the vendored [`Pcg32`] generator. Failures print the case seed,
+//! which reproduces the exact inputs.
 
 use ctcp::frontend::{BranchPredictor, HybridConfig, HybridPredictor};
 use ctcp::isa::{Executor, WordMemory};
 use ctcp::memory::{CacheConfig, SetAssocCache, StoreBuffer, StoreForward};
-use ctcp::workload::{generate, WorkloadParams};
-use proptest::prelude::*;
+use ctcp::workload::{generate, Pcg32, WorkloadParams};
 use std::collections::HashMap;
 
-proptest! {
-    /// A word written to memory is read back until overwritten; other
-    /// words are unaffected.
-    #[test]
-    fn word_memory_matches_a_model(ops in proptest::collection::vec(
-        (0u64..1 << 20, any::<i64>(), any::<bool>()), 1..200)) {
+const CASES: u64 = 64;
+
+/// A word written to memory is read back until overwritten; other words
+/// are unaffected.
+#[test]
+fn word_memory_matches_a_model() {
+    for case in 0..CASES {
+        let mut r = Pcg32::seed_from_u64(0x11AA ^ case);
         let mut mem = WordMemory::new();
         let mut model: HashMap<u64, i64> = HashMap::new();
-        for (addr, val, is_write) in ops {
+        for _ in 0..r.range(1, 200) {
+            let addr = r.next_u64() & ((1 << 20) - 1);
+            let val = r.next_u64() as i64;
             let word = addr & !7;
-            if is_write {
+            if r.chance(0.5) {
                 mem.write(word, val);
                 model.insert(word, val);
             } else {
                 let expect = model.get(&word).copied().unwrap_or(0);
-                prop_assert_eq!(mem.read(word), expect);
+                assert_eq!(mem.read(word), expect, "case {case} word {word:#x}");
             }
         }
     }
+}
 
-    /// A line just accessed is always resident, and residency never
-    /// exceeds the cache's capacity in lines.
-    #[test]
-    fn cache_never_loses_the_most_recent_line(addrs in proptest::collection::vec(0u64..1 << 16, 1..300)) {
+/// A line just accessed is always resident, and residency never exceeds
+/// the cache's capacity in lines.
+#[test]
+fn cache_never_loses_the_most_recent_line() {
+    for case in 0..CASES {
+        let mut r = Pcg32::seed_from_u64(0x22BB ^ case);
         let mut c = SetAssocCache::new(CacheConfig {
             size_bytes: 2048,
             assoc: 2,
             line_bytes: 64,
             hit_latency: 1,
         });
-        for a in addrs {
+        for _ in 0..r.range(1, 300) {
+            let a = r.next_u64() & ((1 << 16) - 1);
             c.access(a);
-            prop_assert!(c.probe(a), "line {a:#x} evicted immediately");
+            assert!(c.probe(a), "case {case}: line {a:#x} evicted immediately");
         }
     }
+}
 
-    /// Re-accessing the same line is always a hit (temporal locality
-    /// with no interference).
-    #[test]
-    fn back_to_back_accesses_hit(addr in 0u64..1 << 30) {
+/// Re-accessing the same line is always a hit (temporal locality with no
+/// interference).
+#[test]
+fn back_to_back_accesses_hit() {
+    let mut r = Pcg32::seed_from_u64(0x33CC);
+    for case in 0..CASES {
         let mut c = SetAssocCache::new(CacheConfig {
             size_bytes: 4096,
             assoc: 4,
             line_bytes: 64,
             hit_latency: 1,
         });
+        let addr = r.next_u64() & ((1 << 30) - 1);
         c.access(addr);
-        prop_assert!(c.access(addr));
+        assert!(c.access(addr), "case {case} addr {addr:#x}");
     }
+}
 
-    /// The store buffer forwards exactly the youngest older store to the
-    /// same word, matching a brute-force model.
-    #[test]
-    fn store_buffer_matches_a_model(stores in proptest::collection::vec(
-        (0u64..64, 0u64..8), 0..20), load_seq in 30u64..100, load_addr in 0u64..8) {
+/// The store buffer forwards exactly the youngest older store to the
+/// same word, matching a brute-force model.
+#[test]
+fn store_buffer_matches_a_model() {
+    for case in 0..CASES {
+        let mut r = Pcg32::seed_from_u64(0x44DD ^ case);
         let mut sb = StoreBuffer::new(32);
         let mut model: Vec<(u64, u64)> = Vec::new();
-        for (seq, slot) in stores {
-            let addr = slot * 8;
+        for _ in 0..r.range(0, 20) {
+            let seq = r.range(0, 64) as u64;
+            let addr = r.range(0, 8) as u64 * 8;
             if sb.insert(seq, addr) {
                 model.push((seq, addr));
             }
         }
+        let load_seq = r.range(30, 100) as u64;
+        let load_addr = r.range(0, 8) as u64 * 8;
         let expected = model
             .iter()
-            .filter(|(s, a)| *s < load_seq && *a == load_addr * 8)
+            .filter(|(s, a)| *s < load_seq && *a == load_addr)
             .map(|(s, _)| *s)
             .max();
-        match sb.check_load(load_seq, load_addr * 8) {
+        match sb.check_load(load_seq, load_addr) {
             StoreForward::Forwarded { store_seq } => {
-                prop_assert_eq!(Some(store_seq), expected)
+                assert_eq!(Some(store_seq), expected, "case {case}")
             }
-            StoreForward::None => prop_assert_eq!(expected, None),
+            StoreForward::None => assert_eq!(expected, None, "case {case}"),
         }
     }
+}
 
-    /// The hybrid predictor eventually learns any strongly biased branch.
-    #[test]
-    fn predictor_learns_biased_branches(pc in 0u64..1 << 20, taken in any::<bool>()) {
+/// The hybrid predictor eventually learns any strongly biased branch.
+#[test]
+fn predictor_learns_biased_branches() {
+    let mut r = Pcg32::seed_from_u64(0x55EE);
+    for case in 0..CASES {
+        let pc = (r.next_u64() & ((1 << 20) - 1)) * 4;
+        let taken = r.chance(0.5);
         let mut p = HybridPredictor::new(HybridConfig { entries: 1024 });
         for _ in 0..8 {
-            p.update(pc * 4, taken);
+            p.update(pc, taken);
         }
-        prop_assert_eq!(p.predict(pc * 4), taken);
+        assert_eq!(p.predict(pc), taken, "case {case} pc {pc:#x}");
     }
+}
 
-    /// Any valid parameter combination generates a program that executes
-    /// thousands of instructions without executor errors or early halt.
-    #[test]
-    fn generated_programs_are_well_formed(
-        seed in 0u64..1 << 48,
-        kernels in 1usize..6,
-        mem_fraction in 0.0f64..0.5,
-        fp_fraction in 0.0f64..0.5,
-        chase in 0.0f64..0.8,
-        ilp in 1usize..6,
-        dispatch in proptest::option::of(1u32..4),
-    ) {
+/// Any valid parameter combination generates a program that executes
+/// thousands of instructions without executor errors or early halt.
+#[test]
+fn generated_programs_are_well_formed() {
+    for case in 0..24 {
+        let mut r = Pcg32::seed_from_u64(0x66FF ^ case);
         let params = WorkloadParams {
-            seed,
-            kernels,
-            mem_fraction,
-            fp_fraction,
-            chase_fraction: chase,
-            ilp_chains: ilp,
-            dispatch_targets: dispatch.map(|d| 1usize << d),
+            seed: r.next_u64() & ((1 << 48) - 1),
+            kernels: r.range(1, 6) as usize,
+            mem_fraction: r.range(0, 50) as f64 / 100.0,
+            fp_fraction: r.range(0, 50) as f64 / 100.0,
+            chase_fraction: r.range(0, 80) as f64 / 100.0,
+            ilp_chains: r.range(1, 6) as usize,
+            dispatch_targets: if r.chance(0.5) {
+                Some(1usize << r.range(1, 4))
+            } else {
+                None
+            },
             ..WorkloadParams::default()
         };
         let program = generate(&params);
@@ -125,16 +150,26 @@ proptest! {
                 None => break,
             }
         }
-        prop_assert!(ex.error().is_none(), "executor error {:?}", ex.error());
-        prop_assert_eq!(n, 5_000, "program halted early");
+        assert!(
+            ex.error().is_none(),
+            "case {case}: executor error {:?} with {params:?}",
+            ex.error()
+        );
+        assert_eq!(n, 5_000, "case {case}: program halted early ({params:?})");
     }
+}
 
-    /// Generation is a pure function of the parameters.
-    #[test]
-    fn generation_is_deterministic(seed in any::<u64>()) {
-        let params = WorkloadParams { seed, ..WorkloadParams::default() };
+/// Generation is a pure function of the parameters.
+#[test]
+fn generation_is_deterministic() {
+    let mut r = Pcg32::seed_from_u64(0x7700);
+    for _ in 0..16 {
+        let params = WorkloadParams {
+            seed: r.next_u64(),
+            ..WorkloadParams::default()
+        };
         let a = generate(&params);
         let b = generate(&params);
-        prop_assert_eq!(a.instructions(), b.instructions());
+        assert_eq!(a.instructions(), b.instructions(), "seed {}", params.seed);
     }
 }

@@ -120,8 +120,16 @@ fn mispredictable_branches_cost_cycles() {
     let hard = build(true);
     let re = run_with_strategy(&easy, Strategy::Baseline, 1_000_000);
     let rh = run_with_strategy(&hard, Strategy::Baseline, 1_000_000);
-    assert!(re.mispredict_rate() < 0.02, "easy {:.3}", re.mispredict_rate());
-    assert!(rh.mispredict_rate() > 0.2, "hard {:.3}", rh.mispredict_rate());
+    assert!(
+        re.mispredict_rate() < 0.02,
+        "easy {:.3}",
+        re.mispredict_rate()
+    );
+    assert!(
+        rh.mispredict_rate() > 0.2,
+        "hard {:.3}",
+        rh.mispredict_rate()
+    );
     assert!(rh.ipc < re.ipc, "mispredictions should cost throughput");
 }
 
@@ -225,7 +233,10 @@ fn zero_hop_latency_is_an_upper_bound() {
 
 #[test]
 fn all_suite_benchmarks_simulate_cleanly() {
-    for b in Benchmark::spec_all().into_iter().chain(Benchmark::mediabench()) {
+    for b in Benchmark::spec_all()
+        .into_iter()
+        .chain(Benchmark::mediabench())
+    {
         let p = b.program();
         let r = run_with_strategy(&p, Strategy::Fdrt { pinning: true }, 8_000);
         assert_eq!(r.instructions, 8_000, "{} truncated", b.name);
