@@ -82,7 +82,12 @@ fn main() {
                 max_insts: 20_000,
                 ..SimConfig::default()
             };
-            Simulation::new(&program, cfg).run().cycles
+            Simulation::builder(&program)
+                .config(cfg)
+                .build()
+                .unwrap()
+                .run()
+                .cycles
         });
     }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <id>... [--insts N] [--suite-insts N] [--jobs N] [--no-cache]
+//!               [--metrics-out FILE]
 //! repro all
 //! ids: table1 table2 table3 fig4 fig5 fig6 fig7 table8 table9 table10
 //!      fig8 fig9 ablation fill-latency tc-size trace-select
@@ -12,6 +13,8 @@
 //! unless `--no-cache` is given, so identical cells across experiments
 //! and across invocations run only once. Tables go to stdout; progress
 //! and timing go to stderr. Exits non-zero if any experiment fails.
+//! `--metrics-out FILE` appends one JSONL telemetry-metrics line per
+//! freshly simulated cell (store hits emit nothing).
 
 use ctcp_bench::{run_experiment_in, ExperimentId, RunOptions};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -27,6 +30,7 @@ fn main() {
         ..RunOptions::default()
     };
     let mut ids: Vec<ExperimentId> = Vec::new();
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,6 +47,14 @@ fn main() {
                 opts.jobs = number(&args, i, "--jobs") as usize;
             }
             "--no-cache" => opts.cache = false,
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| bail("--metrics-out needs a path")),
+                );
+            }
             "-h" | "--help" => {
                 usage();
                 return;
@@ -69,6 +81,9 @@ fn main() {
     });
 
     let mut harness = opts.harness();
+    if let Some(path) = metrics_out {
+        harness = harness.metrics_out(path);
+    }
     let mut failures = 0u32;
     for id in ids {
         let started = std::time::Instant::now();
@@ -112,7 +127,10 @@ fn number(args: &[String], i: usize, flag: &str) -> u64 {
 }
 
 fn usage() {
-    eprintln!("usage: repro <id>|all [--insts N] [--suite-insts N] [--jobs N] [--no-cache]");
+    eprintln!(
+        "usage: repro <id>|all [--insts N] [--suite-insts N] [--jobs N] [--no-cache] \
+         [--metrics-out FILE]"
+    );
     eprintln!("ids: {}", ids_help());
 }
 

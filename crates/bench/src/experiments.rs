@@ -343,9 +343,9 @@ fn table2(opts: RunOptions, h: &mut Harness) -> String {
         t.row(vec![
             b.name.to_string(),
             pct(paper.1),
-            pct(r.fwd.critical_fraction()),
+            pct(r.metrics.fwd.critical_fraction()),
             pct(paper.2),
-            pct(r.fwd.inter_trace_fraction()),
+            pct(r.metrics.fwd.inter_trace_fraction()),
         ]);
     }
     format!(
@@ -381,10 +381,10 @@ fn table3(opts: RunOptions, h: &mut Harness) -> String {
             .expect("focus benchmark");
         t.row(vec![
             b.name.to_string(),
-            format!("{} / {}", pct(p.1), pct(r.repeat_all[0])),
-            format!("{} / {}", pct(p.2), pct(r.repeat_all[1])),
-            format!("{} / {}", pct(p.3), pct(r.repeat_critical_inter[0])),
-            format!("{} / {}", pct(p.4), pct(r.repeat_critical_inter[1])),
+            format!("{} / {}", pct(p.1), pct(r.metrics.repeat_all[0])),
+            format!("{} / {}", pct(p.2), pct(r.metrics.repeat_all[1])),
+            format!("{} / {}", pct(p.3), pct(r.metrics.repeat_critical_inter[0])),
+            format!("{} / {}", pct(p.4), pct(r.metrics.repeat_critical_inter[1])),
         ]);
     }
     format!(
@@ -399,7 +399,7 @@ fn fig4(opts: RunOptions, h: &mut Harness) -> String {
     let reports = reports_for(h, &benches, base_config(opts.max_insts, Strategy::Baseline));
     let mut t = Table::new(vec!["bench", "from RF", "from RS1", "from RS2"]);
     for (b, r) in benches.iter().zip(&reports) {
-        let (rf, rs1, rs2) = r.fwd.critical_source_distribution();
+        let (rf, rs1, rs2) = r.metrics.fwd.critical_source_distribution();
         t.row(vec![b.name.to_string(), pct(rf), pct(rs1), pct(rs2)]);
     }
     format!(
@@ -564,15 +564,27 @@ fn table8(opts: RunOptions, h: &mut Harness) -> String {
             .expect("focus");
         a.row(vec![
             b.name.to_string(),
-            format!("{} / {}", pct(pa.1), pct(base.fwd.intra_cluster_fraction())),
-            format!("{} / {}", pct(pa.2), pct(fr.fwd.intra_cluster_fraction())),
-            format!("{} / {}", pct(pa.3), pct(fd.fwd.intra_cluster_fraction())),
+            format!(
+                "{} / {}",
+                pct(pa.1),
+                pct(base.metrics.fwd.intra_cluster_fraction())
+            ),
+            format!(
+                "{} / {}",
+                pct(pa.2),
+                pct(fr.metrics.fwd.intra_cluster_fraction())
+            ),
+            format!(
+                "{} / {}",
+                pct(pa.3),
+                pct(fd.metrics.fwd.intra_cluster_fraction())
+            ),
         ]);
         bt.row(vec![
             b.name.to_string(),
-            format!("{:.2} / {:.2}", pb.1, base.fwd.mean_distance()),
-            format!("{:.2} / {:.2}", pb.2, fr.fwd.mean_distance()),
-            format!("{:.2} / {:.2}", pb.3, fd.fwd.mean_distance()),
+            format!("{:.2} / {:.2}", pb.1, base.metrics.fwd.mean_distance()),
+            format!("{:.2} / {:.2}", pb.2, fr.metrics.fwd.mean_distance()),
+            format!("{:.2} / {:.2}", pb.3, fd.metrics.fwd.mean_distance()),
         ]);
     }
     format!(
@@ -593,7 +605,7 @@ fn fig7(opts: RunOptions, h: &mut Harness) -> String {
     );
     let mut t = Table::new(vec!["bench", "A", "B", "C", "D", "E", "skipped"]);
     for (b, r) in benches.iter().zip(&reports) {
-        let d = r.fdrt.expect("fdrt stats").option_distribution();
+        let d = r.metrics.fdrt.expect("fdrt stats").option_distribution();
         t.row(vec![
             b.name.to_string(),
             pct(d[0]),
@@ -648,8 +660,8 @@ fn table9(opts: RunOptions, h: &mut Harness) -> String {
         "chain red. (ours)",
     ]);
     for (b, idx) in benches.iter().zip(&cells) {
-        let sp = reports[idx[0]].fdrt.expect("stats");
-        let sn = reports[idx[1]].fdrt.expect("stats");
+        let sp = reports[idx[0]].metrics.fdrt.expect("stats");
+        let sn = reports[idx[1]].metrics.fdrt.expect("stats");
         let p = PAPER_TABLE9
             .iter()
             .find(|(n, ..)| *n == b.name)
@@ -711,8 +723,16 @@ fn table10(opts: RunOptions, h: &mut Harness) -> String {
             .expect("focus");
         t.row(vec![
             b.name.to_string(),
-            format!("{} / {}", pct(p.1), pct(pin.fwd.intra_cluster_fraction())),
-            format!("{} / {}", pct(p.2), pct(nopin.fwd.intra_cluster_fraction())),
+            format!(
+                "{} / {}",
+                pct(p.1),
+                pct(pin.metrics.fwd.intra_cluster_fraction())
+            ),
+            format!(
+                "{} / {}",
+                pct(p.2),
+                pct(nopin.metrics.fwd.intra_cluster_fraction())
+            ),
         ]);
     }
     format!(
@@ -934,8 +954,8 @@ fn trace_select(opts: RunOptions, h: &mut Harness) -> String {
     for (b, idx) in benches.iter().zip(&cells) {
         let aligned = &reports[idx[0]];
         let free = &reports[idx[1]];
-        let ma = aligned.fdrt.expect("stats").migration_rate();
-        let mf = free.fdrt.expect("stats").migration_rate();
+        let ma = aligned.metrics.fdrt.expect("stats").migration_rate();
+        let mf = free.metrics.fdrt.expect("stats").migration_rate();
         t.row(vec![
             b.name.to_string(),
             ratio(aligned.ipc),

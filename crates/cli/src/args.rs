@@ -47,6 +47,37 @@ impl Default for RunArgs {
     }
 }
 
+/// Options for the `trace` pipeline-telemetry command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// Program, strategy, geometry, budget (shared with `run`).
+    pub run: RunArgs,
+    /// Chrome trace-event JSON output path.
+    pub out: String,
+    /// Optional JSONL metrics dump path.
+    pub metrics_out: Option<String>,
+    /// Record every Nth instruction's timeline (0 = metrics only).
+    pub sample: u64,
+    /// Event ring capacity (oldest events are dropped beyond this).
+    pub events: usize,
+    /// Validate the emitted trace and reconcile counters with the
+    /// report before returning.
+    pub check: bool,
+}
+
+impl Default for TraceArgs {
+    fn default() -> Self {
+        TraceArgs {
+            run: RunArgs::default(),
+            out: "ctcp-trace.json".into(),
+            metrics_out: None,
+            sample: 1,
+            events: 1 << 16,
+            check: false,
+        }
+    }
+}
+
 /// Options for the `sweep` grid runner.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepArgs {
@@ -67,6 +98,8 @@ pub struct SweepArgs {
     pub cache: bool,
     /// Emit machine-readable CSV instead of prose.
     pub csv: bool,
+    /// Stream one JSONL metrics record per simulated cell to this path.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for SweepArgs {
@@ -92,6 +125,7 @@ impl Default for SweepArgs {
             jobs: 0,
             cache: false,
             csv: false,
+            metrics_out: None,
         }
     }
 }
@@ -107,6 +141,8 @@ pub enum Command {
     Compare(RunArgs),
     /// Run a strategies × benchmarks × geometries grid in parallel.
     Sweep(SweepArgs),
+    /// Run one strategy with telemetry on and export a Chrome trace.
+    Trace(TraceArgs),
     /// Print the disassembly of the selected program.
     Disasm(ProgramSource),
     /// Print usage.
@@ -177,6 +213,7 @@ impl Cli {
             "run" => Command::Run(parse_run_args(rest)?),
             "compare" => Command::Compare(parse_run_args(rest)?),
             "sweep" => Command::Sweep(parse_sweep_args(rest)?),
+            "trace" => Command::Trace(parse_trace_args(rest)?),
             "disasm" => {
                 let ra = parse_run_args(rest)?;
                 Command::Disasm(ra.source)
@@ -239,6 +276,50 @@ fn parse_run_args(rest: &[String]) -> Result<RunArgs, CliError> {
     if let Some(s) = source {
         out.source = s;
     }
+    Ok(out)
+}
+
+fn parse_trace_args(rest: &[String]) -> Result<TraceArgs, CliError> {
+    let mut out = TraceArgs::default();
+    // Trace-specific flags are consumed here; everything else (source,
+    // strategy, geometry, budget) is collected and handed to the shared
+    // `run` parser.
+    let mut shared: Vec<String> = Vec::new();
+    let mut i = 0;
+    // A leading bare word is the benchmark name: `ctcp trace gzip`.
+    if rest.first().is_some_and(|a| !a.starts_with("--")) {
+        shared.push("--bench".into());
+        shared.push(rest[0].clone());
+        i = 1;
+    }
+    let value = |i: &mut usize| -> Result<String, CliError> {
+        *i += 1;
+        rest.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{} needs a value", rest[*i - 1])))
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => out.out = value(&mut i)?,
+            "--metrics-out" => out.metrics_out = Some(value(&mut i)?),
+            "--sample" => {
+                let v = value(&mut i)?;
+                out.sample = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --sample value {v:?}")))?;
+            }
+            "--events" => {
+                let v = value(&mut i)?;
+                out.events = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --events value {v:?}")))?;
+            }
+            "--check" => out.check = true,
+            other => shared.push(other.to_string()),
+        }
+        i += 1;
+    }
+    out.run = parse_run_args(&shared)?;
     Ok(out)
 }
 
@@ -323,6 +404,7 @@ fn parse_sweep_args(rest: &[String]) -> Result<SweepArgs, CliError> {
             }
             "--cache" => out.cache = true,
             "--csv" => out.csv = true,
+            "--metrics-out" => out.metrics_out = Some(value(&mut i)?),
             other => return Err(CliError(format!("unknown flag {other:?}"))),
         }
         i += 1;
@@ -339,6 +421,7 @@ USAGE:
   ctcp run     [SOURCE] [OPTIONS]         simulate one strategy
   ctcp compare [SOURCE] [OPTIONS]         compare all strategies
   ctcp sweep   [SWEEP OPTIONS]            run a strategy/benchmark/geometry grid
+  ctcp trace   [BENCH] [TRACE OPTIONS]    simulate with telemetry, export a trace
   ctcp disasm  [SOURCE]                   print program disassembly
   ctcp help                               this text
 
@@ -366,6 +449,17 @@ SWEEP OPTIONS:
   --jobs N            worker threads, 0 = all cores (default: 0)
   --cache             memoize cells in target/ctcp-results/
   --csv               machine-readable output
+  --metrics-out FILE  stream one JSONL metrics record per simulated cell
+
+TRACE OPTIONS (plus SOURCE and OPTIONS above):
+  --out FILE          Chrome trace-event JSON path (default: ctcp-trace.json;
+                      load via about://tracing or https://ui.perfetto.dev)
+  --metrics-out FILE  also dump counters and histograms as JSONL
+  --sample N          record every Nth instruction timeline, 0 = none (default: 1)
+  --events N          event ring capacity; oldest spans drop beyond this
+                      (default: 65536)
+  --check             validate the trace file and reconcile its counters
+                      against the simulation report
 ";
 
 #[cfg(test)]

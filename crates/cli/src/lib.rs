@@ -7,6 +7,7 @@
 //! ctcp run     --bench gzip --strategy fdrt --insts 100000
 //! ctcp run     --asm kernel.s --strategy issue0 --clusters 2
 //! ctcp compare --bench twolf --insts 50000
+//! ctcp trace   gzip --strategy fdrt --check
 //! ctcp disasm  --bench gzip | head
 //! ```
 //!
@@ -20,5 +21,5 @@
 mod args;
 mod commands;
 
-pub use args::{Cli, CliError, Command, RunArgs};
+pub use args::{Cli, CliError, Command, RunArgs, SweepArgs, TraceArgs};
 pub use commands::execute;

@@ -4,9 +4,11 @@ use crate::entry::{Entry, SrcState, Stage};
 use crate::fu::FuPool;
 use crate::{EngineConfig, ForwardingStats, ProducerHistory, RsClass};
 use ctcp_isa::Instruction;
-use ctcp_memory::{AccessKind, DataMemory, StoreForward};
+use ctcp_memory::{AccessKind, CacheStats, DataMemory, StoreForward};
+use ctcp_telemetry::{Counter, Hist, InstTimeline, NullProbe, Probe};
 use ctcp_tracecache::{ExecFeedback, ProducerInfo, ProfileFields, TcLocation};
 use std::collections::{BTreeSet, VecDeque};
+use std::rc::Rc;
 
 /// One instruction delivered by the front-end, already renamed into a
 /// fetch-group slot. `slot` determines the cluster under slot-based
@@ -110,6 +112,25 @@ pub struct EngineStats {
     pub count_by_fu: [u64; 7],
 }
 
+/// One-shot snapshot of every statistic the engine owns: the aggregate
+/// counters, the forwarding profile, the producer-repetition rates, and
+/// the data-memory cache statistics. [`Engine::metrics`] is the single
+/// source of truth consumers derive reports from — there is no need to
+/// stitch together per-subsystem accessors.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineMetrics {
+    /// Aggregate engine counters.
+    pub stats: EngineStats,
+    /// Forwarding statistics (Tables 2/8, Figure 4).
+    pub fwd: ForwardingStats,
+    /// Producer repeat rates per source, all inputs (Table 3).
+    pub repeat_all: [f64; 2],
+    /// Producer repeat rates per source, critical inter-trace inputs.
+    pub repeat_critical_inter: [f64; 2],
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+}
+
 /// How the engine picks a cluster for each instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SteeringMode {
@@ -152,6 +173,13 @@ pub struct Engine {
     stats: EngineStats,
     fwd: ForwardingStats,
     history: ProducerHistory,
+    probe: Rc<dyn Probe>,
+    /// Cached `probe.enabled()`: the telemetry-off fast path is one
+    /// branch per hook site, never a virtual call.
+    probe_on: bool,
+    /// Cached `CTCP_TRACE` env check (an env lookup per executed
+    /// instruction is measurable; the flag cannot change mid-run).
+    debug_trace: bool,
 }
 
 impl Engine {
@@ -170,7 +198,18 @@ impl Engine {
             stats: EngineStats::default(),
             fwd: ForwardingStats::default(),
             history: ProducerHistory::default(),
+            probe: Rc::new(NullProbe),
+            probe_on: false,
+            debug_trace: std::env::var("CTCP_TRACE").is_ok(),
         }
+    }
+
+    /// Attaches a telemetry probe. The engine caches
+    /// [`Probe::enabled`], so a [`NullProbe`] (the default) keeps every
+    /// hook site on a single-branch fast path.
+    pub fn set_probe(&mut self, probe: Rc<dyn Probe>) {
+        self.probe_on = probe.enabled();
+        self.probe = probe;
     }
 
     /// The configuration in use.
@@ -188,9 +227,22 @@ impl Engine {
         &self.fwd
     }
 
-    /// Producer repetition history (Table 3).
-    pub fn producer_history(&self) -> &ProducerHistory {
-        &self.history
+    /// Everything the engine measured, in one snapshot. Derive reports
+    /// from this instead of combining the individual accessors.
+    pub fn metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            stats: self.stats,
+            fwd: self.fwd,
+            repeat_all: [
+                self.history.repeat_rate_all(0),
+                self.history.repeat_rate_all(1),
+            ],
+            repeat_critical_inter: [
+                self.history.repeat_rate_critical_inter(0),
+                self.history.repeat_rate_critical_inter(1),
+            ],
+            l1d: self.mem.l1_stats(),
+        }
     }
 
     /// The data memory system (for cache statistics).
@@ -269,6 +321,7 @@ impl Engine {
                 srcs,
                 stage: Stage::AwaitDispatch { at: dispatch_at },
                 mispredicted: f.mispredicted,
+                renamed_at: now,
                 dispatched_at: 0,
                 exec_start: 0,
                 feedback: ExecFeedback::default(),
@@ -390,6 +443,13 @@ impl Engine {
         self.select_and_execute(now);
         let retired = self.retire(now);
         self.mem.drain_stores(2);
+        if self.probe_on {
+            self.probe.counter(Counter::Cycles, 1);
+            let mshrs = self.mem.mshr_in_use(now) as u64;
+            self.probe.observe(Hist::MshrOccupancy, mshrs);
+            let lq = self.mem.load_queue_len() as u64;
+            self.probe.observe(Hist::LoadQueueOccupancy, lq);
+        }
         TickResult { retired, redirects }
     }
 
@@ -491,6 +551,7 @@ impl Engine {
 
     fn select_and_execute(&mut self, now: u64) {
         let min_unresolved = self.unresolved_stores.iter().next().copied();
+        let mut issued = [0u32; 8];
         for ci in 0..self.clusters.len() {
             for rsi in 0..5 {
                 let candidates: Vec<u64> = self.clusters[ci].rs[rsi].clone();
@@ -524,8 +585,15 @@ impl Engine {
                         continue;
                     }
                     self.begin_execution(seq, now, lat.exec, critical);
+                    issued[ci.min(7)] += 1;
                     self.clusters[ci].rs[rsi].retain(|&s| s != seq);
                 }
+            }
+        }
+        if self.probe_on {
+            for ci in 0..self.clusters.len() {
+                let n = u64::from(issued[ci.min(7)]);
+                self.probe.observe(Hist::ClusterIssueOccupancy, n);
             }
         }
     }
@@ -558,7 +626,7 @@ impl Engine {
         } else {
             now + exec_lat
         };
-        if std::env::var("CTCP_TRACE").is_ok() && now < 600 {
+        if self.debug_trace && now < 600 {
             let e = self.entry(seq).expect("in ROB");
             eprintln!(
                 "t={now} exec seq={seq} pc={:#x} {} cl={} complete={complete}",
@@ -641,6 +709,10 @@ impl Engine {
                     self.fwd.critical_intra_cluster += 1;
                 }
                 self.fwd.critical_distance_sum += u64::from(d);
+                if self.probe_on {
+                    let lat = self.cfg.forward_latency(p.cluster, consumer_cluster);
+                    self.probe.observe(Hist::ForwardLatency, lat);
+                }
             }
         }
 
@@ -702,6 +774,19 @@ impl Engine {
             self.rob_head_seq = e.seq + 1;
             if let Stage::Complete { at } = e.stage {
                 self.stats.sum_complete_to_retire += now - at;
+                if self.probe_on {
+                    self.probe.counter(Counter::Retired, 1);
+                    self.probe.timeline(&InstTimeline {
+                        seq: e.seq,
+                        pc: e.pc,
+                        cluster: e.cluster,
+                        renamed_at: e.renamed_at,
+                        dispatched_at: e.dispatched_at,
+                        exec_start: e.exec_start,
+                        complete_at: at,
+                        retired_at: now,
+                    });
+                }
             }
             if let Some(d) = e.inst.dest {
                 if self.rat[d.index()] == Some(e.seq) {

@@ -61,6 +61,8 @@ pub(crate) struct Entry {
     /// The branch was mispredicted at fetch; its completion redirects the
     /// front-end.
     pub mispredicted: bool,
+    /// Cycle rename accepted the instruction into the window.
+    pub renamed_at: u64,
     /// Cycle the instruction entered a reservation station.
     pub dispatched_at: u64,
     /// Cycle execution began.

@@ -36,7 +36,9 @@ mod geometry;
 mod rs;
 
 pub use config::{EngineConfig, FuLatency, LatencyOverrides};
-pub use engine::{Engine, EngineStats, FetchedInst, RetiredInst, SteeringMode, TickResult};
+pub use engine::{
+    Engine, EngineMetrics, EngineStats, FetchedInst, RetiredInst, SteeringMode, TickResult,
+};
 pub use forwarding::{ForwardingStats, ProducerHistory};
 pub use geometry::{ClusterGeometry, Topology};
 pub use rs::RsClass;

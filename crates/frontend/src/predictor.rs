@@ -207,6 +207,12 @@ pub struct HybridPredictor {
     chooser: Vec<u8>,
     mask: u64,
     stats: PredictorStats,
+    /// Telemetry: total `predict` calls, including the multiple-branch
+    /// predictions a trace-cache lookup performs that never reach
+    /// `update`. A `Cell` because `predict` takes `&self` and must
+    /// leave prediction state untouched — a pure lookup count is not
+    /// prediction state.
+    lookups: std::cell::Cell<u64>,
 }
 
 impl HybridPredictor {
@@ -218,12 +224,20 @@ impl HybridPredictor {
             chooser: vec![2; config.entries],
             mask: config.entries as u64 - 1,
             stats: PredictorStats::default(),
+            lookups: std::cell::Cell::new(0),
         }
     }
 
     #[inline]
     fn choose_gshare(&self, pc: u64) -> bool {
         counter_taken(self.chooser[((pc >> 2) & self.mask) as usize])
+    }
+
+    /// Total direction lookups performed (telemetry; see the `lookups`
+    /// field). Unlike [`PredictorStats::predictions`], this also counts
+    /// trace-cache multi-branch predictions that are never trained.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.get()
     }
 }
 
@@ -235,6 +249,7 @@ impl Default for HybridPredictor {
 
 impl BranchPredictor for HybridPredictor {
     fn predict(&self, pc: u64) -> bool {
+        self.lookups.set(self.lookups.get() + 1);
         if self.choose_gshare(pc) {
             self.gshare.predict(pc)
         } else {
@@ -243,14 +258,16 @@ impl BranchPredictor for HybridPredictor {
     }
 
     fn update(&mut self, pc: u64, taken: bool) {
-        let final_pred = self.predict(pc);
+        let g = self.gshare.predict(pc);
+        let b = self.bimodal.predict(pc);
+        // Recompute the final prediction from the components directly:
+        // going through `predict` would count a phantom lookup.
+        let final_pred = if self.choose_gshare(pc) { g } else { b };
         if final_pred == taken {
             self.stats.correct += 1;
         } else {
             self.stats.incorrect += 1;
         }
-        let g = self.gshare.predict(pc);
-        let b = self.bimodal.predict(pc);
         // Train the chooser toward the component that was right.
         if g != b {
             let i = ((pc >> 2) & self.mask) as usize;
@@ -356,6 +373,18 @@ mod tests {
         assert_eq!(p.stats().correct, 1);
         assert_eq!(p.stats().incorrect, 1);
         assert_eq!(p.stats().mispredict_rate(), 0.5);
+    }
+
+    #[test]
+    fn hybrid_counts_lookups_but_not_updates() {
+        let mut h = HybridPredictor::new(HybridConfig { entries: 64 });
+        assert_eq!(h.lookups(), 0);
+        h.predict(0x40);
+        h.predict(0x40);
+        assert_eq!(h.lookups(), 2);
+        // Training alone performs no (counted) lookups.
+        h.update(0x40, true);
+        assert_eq!(h.lookups(), 2);
     }
 
     #[test]

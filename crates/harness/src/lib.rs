@@ -70,8 +70,12 @@ pub use store::{job_key, ResultStore, StoreStats, STORE_FORMAT_VERSION};
 
 use ctcp_isa::Program;
 use ctcp_sim::{SimConfig, SimReport, Simulation};
+use ctcp_telemetry::{metrics_line, Recorder, RecorderConfig};
 use progress::Progress;
 use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -108,8 +112,26 @@ impl Job {
         job_key(&self.workload, &self.config)
     }
 
-    fn simulate(&self) -> SimReport {
-        Simulation::new(&self.program, self.config).run()
+    /// Runs the cell. With `with_metrics` set, a metrics-only
+    /// [`Recorder`] rides along and the second element is the rendered
+    /// JSONL metrics line for this run.
+    fn simulate(&self, with_metrics: bool) -> (SimReport, Option<String>) {
+        fn built<'a>(
+            r: Result<Simulation<'a>, ctcp_sim::ConfigError>,
+            workload: &str,
+        ) -> Simulation<'a> {
+            r.unwrap_or_else(|e| panic!("job {workload:?} has an invalid configuration: {e}"))
+        }
+        let builder = Simulation::builder(&self.program).config(self.config);
+        if with_metrics {
+            let recorder = Rc::new(Recorder::new(RecorderConfig::metrics_only()));
+            let probe: Rc<dyn ctcp_telemetry::Probe> = Rc::clone(&recorder) as _;
+            let report = built(builder.probe(probe).build(), &self.workload).run();
+            let line = metrics_line(&self.workload, &report.strategy, &recorder.metrics());
+            (report, Some(line))
+        } else {
+            (built(builder.build(), &self.workload).run(), None)
+        }
     }
 }
 
@@ -134,6 +156,8 @@ pub struct Harness {
     jobs: usize,
     store: Option<ResultStore>,
     progress: Option<bool>,
+    metrics_out: Option<PathBuf>,
+    metrics_file: Option<std::fs::File>,
     last: BatchStats,
 }
 
@@ -150,6 +174,8 @@ impl Harness {
             jobs: 0,
             store: None,
             progress: None,
+            metrics_out: None,
+            metrics_file: None,
             last: BatchStats::default(),
         }
     }
@@ -164,6 +190,16 @@ impl Harness {
     /// Attaches a result store; subsequent batches memoize through it.
     pub fn with_store(mut self, store: ResultStore) -> Harness {
         self.store = Some(store);
+        self
+    }
+
+    /// Streams one JSONL metrics record per **simulated** job to `path`
+    /// (appending across batches). Jobs answered from the result store
+    /// or coalesced onto a duplicate produce no metrics line — metrics
+    /// come from a live [`Recorder`] riding along with the simulation,
+    /// which a memoized report does not have.
+    pub fn metrics_out(mut self, path: impl Into<PathBuf>) -> Harness {
+        self.metrics_out = Some(path.into());
         self
     }
 
@@ -203,6 +239,7 @@ impl Harness {
     /// identical for any worker count.
     pub fn run(&mut self, jobs: &[Job]) -> Vec<SimReport> {
         let batch_start = Instant::now();
+        let with_metrics = self.open_metrics_sink();
         let keys: Vec<u64> = jobs.iter().map(Job::key).collect();
         let mut results: Vec<Option<SimReport>> = vec![None; jobs.len()];
 
@@ -239,14 +276,16 @@ impl Harness {
         if workers <= 1 {
             for (done, &i) in pending.iter().enumerate() {
                 let t = Instant::now();
-                let report = jobs[i].simulate();
+                let (report, metrics) = jobs[i].simulate(with_metrics);
                 progress.job_done(done + 1, &jobs[i].workload, t.elapsed());
                 self.record(keys[i], &jobs[i].workload, &report);
+                self.record_metrics(metrics);
                 results[i] = Some(report);
             }
         } else {
             let cursor = AtomicUsize::new(0);
-            let (tx, rx) = mpsc::channel::<(usize, SimReport, Duration)>();
+            type Done = (usize, SimReport, Option<String>, Duration);
+            let (tx, rx) = mpsc::channel::<Done>();
             let pending_ref = &pending;
             std::thread::scope(|scope| {
                 for _ in 0..workers {
@@ -258,20 +297,21 @@ impl Harness {
                             break;
                         };
                         let t = Instant::now();
-                        let report = jobs[i].simulate();
-                        if tx.send((i, report, t.elapsed())).is_err() {
+                        let (report, metrics) = jobs[i].simulate(with_metrics);
+                        if tx.send((i, report, metrics, t.elapsed())).is_err() {
                             break;
                         }
                     });
                 }
                 drop(tx);
-                // Collect on the submitting thread: store writes and
-                // progress stay single-threaded.
+                // Collect on the submitting thread: store writes,
+                // metrics lines, and progress stay single-threaded.
                 let mut done = 0;
-                for (i, report, took) in rx {
+                for (i, report, metrics, took) in rx {
                     done += 1;
                     progress.job_done(done, &jobs[i].workload, took);
                     self.record(keys[i], &jobs[i].workload, &report);
+                    self.record_metrics(metrics);
                     results[i] = Some(report);
                 }
             });
@@ -298,6 +338,38 @@ impl Harness {
             .into_iter()
             .map(|r| r.expect("every slot filled"))
             .collect()
+    }
+
+    /// Opens (or keeps open) the metrics sink; returns whether metrics
+    /// recording is active for this batch.
+    fn open_metrics_sink(&mut self) -> bool {
+        let Some(path) = &self.metrics_out else {
+            return false;
+        };
+        if self.metrics_file.is_none() {
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                Ok(f) => self.metrics_file = Some(f),
+                Err(e) => {
+                    eprintln!("warning: cannot open metrics file {}: {e}", path.display());
+                    self.metrics_out = None;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn record_metrics(&mut self, line: Option<String>) {
+        let (Some(line), Some(f)) = (line, self.metrics_file.as_mut()) else {
+            return;
+        };
+        if let Err(e) = writeln!(f, "{line}") {
+            eprintln!("warning: metrics write failed: {e}");
+        }
     }
 
     fn record(&mut self, key: u64, workload: &str, report: &SimReport) {
@@ -337,7 +409,11 @@ pub(crate) mod testutil {
             max_insts: 1_000,
             ..SimConfig::default()
         };
-        Simulation::new(&tiny_program(), config).run()
+        Simulation::builder(&tiny_program())
+            .config(config)
+            .build()
+            .unwrap()
+            .run()
     }
 
     /// A fresh per-test scratch directory under the system temp dir.
@@ -435,6 +511,71 @@ mod tests {
         assert_eq!(warm.last_batch().store_hits, jobs.len());
         assert_eq!(warm.last_batch().simulated, 0);
         assert_eq!(render(&first), render(&second));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_out_writes_one_line_per_simulated_job() {
+        let dir = temp_dir("metrics-out");
+        let path = dir.join("metrics.jsonl");
+        let jobs = grid(&[500]); // three unique cells
+        let mut h = Harness::new().jobs(2).progress(false).metrics_out(&path);
+        let reports = h.run(&jobs);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        // Each line parses, names the workload, and its counters
+        // reconcile with the matching report.
+        for line in text.lines() {
+            let v = ctcp_sim::json::Value::parse(line).unwrap();
+            assert_eq!(v.get("workload").unwrap().as_str().unwrap(), "tiny");
+            let strategy = v.get("strategy").unwrap().as_str().unwrap();
+            let report = reports
+                .iter()
+                .find(|r| r.strategy == strategy)
+                .expect("line matches a report");
+            let counters = v.get("metrics").unwrap().get("counters").unwrap();
+            assert_eq!(
+                counters.get("retired").unwrap().as_u64().unwrap(),
+                report.metrics.engine.retired,
+                "{strategy}"
+            );
+            assert_eq!(
+                counters.get("cycles").unwrap().as_u64().unwrap(),
+                report.cycles,
+                "{strategy}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_and_coalesced_jobs_emit_no_metrics_lines() {
+        let dir = temp_dir("metrics-cached");
+        let path = dir.join("metrics.jsonl");
+        let store_dir = dir.join("store");
+        std::fs::create_dir_all(&store_dir).unwrap();
+        let mut jobs = grid(&[650]);
+        jobs.extend(grid(&[650])); // duplicates coalesce
+        let mut h = Harness::new()
+            .jobs(2)
+            .progress(false)
+            .metrics_out(&path)
+            .with_store(ResultStore::open(&store_dir).unwrap());
+        h.run(&jobs);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap().lines().count(),
+            3,
+            "only the three simulated cells produce lines"
+        );
+        // A warm second batch simulates nothing and appends nothing.
+        let mut warm = Harness::new()
+            .jobs(2)
+            .progress(false)
+            .metrics_out(&path)
+            .with_store(ResultStore::open(&store_dir).unwrap());
+        warm.run(&jobs);
+        assert_eq!(warm.last_batch().simulated, 0);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

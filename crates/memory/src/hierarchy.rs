@@ -129,6 +129,17 @@ impl DataMemory {
         &mut self.load_queue
     }
 
+    /// MSHRs still in flight at `now` (expired entries are pruned
+    /// first, so this is an exact occupancy sample).
+    pub fn mshr_in_use(&mut self, now: u64) -> usize {
+        self.mshrs.in_use(now)
+    }
+
+    /// Load-queue entries currently occupied.
+    pub fn load_queue_len(&self) -> usize {
+        self.load_queue.len()
+    }
+
     /// L1 data cache statistics.
     pub fn l1_stats(&self) -> crate::CacheStats {
         self.l1.stats()

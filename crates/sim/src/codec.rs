@@ -8,7 +8,7 @@
 //! panic.
 
 use crate::json::Value;
-use crate::report::SimReport;
+use crate::report::{MetricsSnapshot, SimReport};
 use ctcp_core::assign::FdrtStats;
 use ctcp_core::{EngineStats, ForwardingStats};
 use ctcp_memory::CacheStats;
@@ -209,9 +209,13 @@ fn tc_from_json(v: &Value) -> Result<TraceCacheStats, String> {
 }
 
 impl SimReport {
-    /// Encodes the report as a single-line JSON object.
+    /// Encodes the report as a single-line JSON object. The layout is
+    /// kept flat (metrics fields at top level, exactly as before the
+    /// [`MetricsSnapshot`] refactor) so stored lines remain readable by
+    /// both old and new binaries without a format-version bump.
     pub fn to_json(&self) -> String {
-        let fdrt = match &self.fdrt {
+        let m = &self.metrics;
+        let fdrt = match &m.fdrt {
             Some(s) => fdrt_to_json(s),
             None => Value::Null,
         };
@@ -219,30 +223,27 @@ impl SimReport {
             ("strategy".into(), Value::str(&self.strategy)),
             ("cycles".into(), Value::u64(self.cycles)),
             ("instructions".into(), Value::u64(self.instructions)),
-            ("insts_from_tc".into(), Value::u64(self.insts_from_tc)),
-            (
-                "insts_from_icache".into(),
-                Value::u64(self.insts_from_icache),
-            ),
-            ("traces_built".into(), Value::u64(self.traces_built)),
-            ("insts_in_traces".into(), Value::u64(self.insts_in_traces)),
-            ("cond_mispredicts".into(), Value::u64(self.cond_mispredicts)),
-            ("cond_branches".into(), Value::u64(self.cond_branches)),
+            ("insts_from_tc".into(), Value::u64(m.insts_from_tc)),
+            ("insts_from_icache".into(), Value::u64(m.insts_from_icache)),
+            ("traces_built".into(), Value::u64(m.traces_built)),
+            ("insts_in_traces".into(), Value::u64(m.insts_in_traces)),
+            ("cond_mispredicts".into(), Value::u64(m.cond_mispredicts)),
+            ("cond_branches".into(), Value::u64(m.cond_branches)),
             (
                 "indirect_mispredicts".into(),
-                Value::u64(self.indirect_mispredicts),
+                Value::u64(m.indirect_mispredicts),
             ),
-            ("fwd".into(), fwd_to_json(&self.fwd)),
-            ("repeat_all".into(), f64_arr(&self.repeat_all)),
+            ("fwd".into(), fwd_to_json(&m.fwd)),
+            ("repeat_all".into(), f64_arr(&m.repeat_all)),
             (
                 "repeat_critical_inter".into(),
-                f64_arr(&self.repeat_critical_inter),
+                f64_arr(&m.repeat_critical_inter),
             ),
             ("fdrt".into(), fdrt),
-            ("engine".into(), engine_to_json(&self.engine)),
-            ("trace_cache".into(), tc_to_json(&self.trace_cache)),
-            ("l1d".into(), cache_to_json(&self.l1d)),
-            ("icache".into(), cache_to_json(&self.icache)),
+            ("engine".into(), engine_to_json(&m.engine)),
+            ("trace_cache".into(), tc_to_json(&m.trace_cache)),
+            ("l1d".into(), cache_to_json(&m.l1d)),
+            ("icache".into(), cache_to_json(&m.icache)),
             ("ipc".into(), Value::f64(self.ipc)),
         ])
         .render()
@@ -274,22 +275,24 @@ impl SimReport {
                 .to_string(),
             cycles: req_u64(v, "cycles")?,
             instructions: req_u64(v, "instructions")?,
-            insts_from_tc: req_u64(v, "insts_from_tc")?,
-            insts_from_icache: req_u64(v, "insts_from_icache")?,
-            traces_built: req_u64(v, "traces_built")?,
-            insts_in_traces: req_u64(v, "insts_in_traces")?,
-            cond_mispredicts: req_u64(v, "cond_mispredicts")?,
-            cond_branches: req_u64(v, "cond_branches")?,
-            indirect_mispredicts: req_u64(v, "indirect_mispredicts")?,
-            fwd: fwd_from_json(req(v, "fwd")?)?,
-            repeat_all: req_f64_arr(v, "repeat_all")?,
-            repeat_critical_inter: req_f64_arr(v, "repeat_critical_inter")?,
-            fdrt,
-            engine: engine_from_json(req(v, "engine")?)?,
-            trace_cache: tc_from_json(req(v, "trace_cache")?)?,
-            l1d: cache_from_json(req(v, "l1d")?)?,
-            icache: cache_from_json(req(v, "icache")?)?,
             ipc: req_f64(v, "ipc")?,
+            metrics: MetricsSnapshot {
+                insts_from_tc: req_u64(v, "insts_from_tc")?,
+                insts_from_icache: req_u64(v, "insts_from_icache")?,
+                traces_built: req_u64(v, "traces_built")?,
+                insts_in_traces: req_u64(v, "insts_in_traces")?,
+                cond_mispredicts: req_u64(v, "cond_mispredicts")?,
+                cond_branches: req_u64(v, "cond_branches")?,
+                indirect_mispredicts: req_u64(v, "indirect_mispredicts")?,
+                fwd: fwd_from_json(req(v, "fwd")?)?,
+                repeat_all: req_f64_arr(v, "repeat_all")?,
+                repeat_critical_inter: req_f64_arr(v, "repeat_critical_inter")?,
+                fdrt,
+                engine: engine_from_json(req(v, "engine")?)?,
+                trace_cache: tc_from_json(req(v, "trace_cache")?)?,
+                l1d: cache_from_json(req(v, "l1d")?)?,
+                icache: cache_from_json(req(v, "icache")?)?,
+            },
         })
     }
 }
@@ -299,10 +302,7 @@ mod tests {
     use super::*;
 
     fn sample(with_fdrt: bool) -> SimReport {
-        SimReport {
-            strategy: "fdrt".into(),
-            cycles: 123_456,
-            instructions: 300_000,
+        let metrics = MetricsSnapshot {
             insts_from_tc: 250_000,
             insts_from_icache: 50_000,
             traces_built: 9_999,
@@ -361,7 +361,13 @@ mod tests {
                 hits: 300,
                 misses: 400,
             },
+        };
+        SimReport {
+            strategy: "fdrt".into(),
+            cycles: 123_456,
+            instructions: 300_000,
             ipc: 2.4305,
+            metrics,
         }
     }
 
@@ -382,7 +388,7 @@ mod tests {
     fn round_trip_without_fdrt() {
         let r = sample(false);
         let back = SimReport::from_json(&r.to_json()).unwrap();
-        assert!(back.fdrt.is_none());
+        assert!(back.metrics.fdrt.is_none());
         assert_reports_equal(&r, &back);
     }
 

@@ -6,30 +6,43 @@
 //! baseline architecture (Table 7), then exposes an experiment API used
 //! by every table and figure reproduction.
 //!
+//! Simulations are constructed through the validating
+//! [`SimBuilder`] (see [`Simulation::builder`]); attach a
+//! [`ctcp_telemetry::Recorder`] via [`SimBuilder::probe`] to capture
+//! pipeline events and metrics without perturbing the simulation.
+//!
 //! ## Example
 //!
 //! ```
-//! use ctcp_sim::{SimConfig, Simulation, Strategy};
+//! use ctcp_sim::{Simulation, Strategy};
 //! use ctcp_workload::Benchmark;
 //!
 //! let program = Benchmark::by_name("gzip").unwrap().program();
-//! let mut config = SimConfig::default();
-//! config.max_insts = 20_000;
-//! config.strategy = Strategy::Fdrt { pinning: true };
-//! let report = Simulation::new(&program, config).run();
+//! let report = Simulation::builder(&program)
+//!     .strategy(Strategy::Fdrt { pinning: true })
+//!     .max_insts(20_000)
+//!     .build()
+//!     .unwrap()
+//!     .run();
 //! assert!(report.ipc > 0.1);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod codec;
 mod config;
-pub mod json;
 mod processor;
 mod report;
 mod stream;
 
+pub use builder::{ConfigError, SimBuilder, MAX_CLUSTERS};
 pub use config::{SimConfig, Strategy};
-pub use processor::{run_with_strategy, Simulation};
-pub use report::{harmonic_mean, SimReport};
+/// JSON support re-exported from the telemetry crate (it moved there so
+/// exporters and the result store share one implementation).
+pub use ctcp_telemetry::json;
+#[allow(deprecated)]
+pub use processor::run_with_strategy;
+pub use processor::Simulation;
+pub use report::{harmonic_mean, MetricsSnapshot, SimReport};

@@ -1,22 +1,25 @@
 //! The cycle loop: fetch → deliver → execute → retire → fill.
 
-use crate::report::SimReport;
+use crate::builder::SimBuilder;
+use crate::report::{MetricsSnapshot, SimReport};
 use crate::stream::InstStream;
 use crate::{SimConfig, Strategy};
 use ctcp_core::assign::RetireTimeStrategy;
 use ctcp_core::{Engine, FetchedInst};
 use ctcp_frontend::{BranchPredictor, Btb, HybridPredictor, ICache, ReturnAddressStack};
 use ctcp_isa::{DynInst, Executor, Opcode, Program};
+use ctcp_telemetry::{Counter, Hist, Probe};
 use ctcp_tracecache::{
     FillUnit, PendingInst, TcLocation, TraceCache, TraceHead, TraceLine, TraceSlot,
 };
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 /// Maximum fetch groups buffered between fetch and rename.
 const DELIVERY_DEPTH: usize = 8;
 
 /// A configured simulation of one program. Create with
-/// [`Simulation::new`], run to completion with [`Simulation::run`].
+/// [`Simulation::builder`], run to completion with [`Simulation::run`].
 pub struct Simulation<'p> {
     cfg: SimConfig,
     stream: InstStream<'p>,
@@ -34,6 +37,9 @@ pub struct Simulation<'p> {
     fetch_resume: u64,
     waiting_redirect: Option<u64>,
     group_ctr: u64,
+    // telemetry
+    probe: Rc<dyn Probe>,
+    probe_on: bool,
     // statistics
     insts_from_tc: u64,
     insts_from_icache: u64,
@@ -45,10 +51,38 @@ pub struct Simulation<'p> {
 }
 
 impl<'p> Simulation<'p> {
+    /// Starts a validating, fluent builder over `program` — the
+    /// recommended way to construct a simulation.
+    pub fn builder(program: &'p Program) -> SimBuilder<'p> {
+        SimBuilder::new(program)
+    }
+
     /// Builds a cold simulation of `program` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails the [`SimBuilder`] geometry checks.
+    /// The builder surfaces the same problems as a typed
+    /// [`ConfigError`](crate::ConfigError) instead.
+    #[deprecated(since = "0.2.0", note = "use `Simulation::builder` instead")]
     pub fn new(program: &'p Program, config: SimConfig) -> Self {
+        match SimBuilder::new(program).config(config).build() {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid simulation configuration: {e}"),
+        }
+    }
+
+    /// Constructs the simulation from a validated configuration and a
+    /// probe. Only the builder calls this.
+    pub(crate) fn with_probe(
+        program: &'p Program,
+        config: SimConfig,
+        probe: Rc<dyn Probe>,
+    ) -> Self {
         let cfg = config.normalized();
-        let engine = Engine::new(cfg.engine, cfg.strategy.steering_mode());
+        let mut engine = Engine::new(cfg.engine, cfg.strategy.steering_mode());
+        engine.set_probe(Rc::clone(&probe));
+        let probe_on = probe.enabled();
         Simulation {
             stream: InstStream::new(Executor::new(program)),
             predictor: HybridPredictor::new(cfg.predictor),
@@ -65,6 +99,8 @@ impl<'p> Simulation<'p> {
             fetch_resume: 0,
             waiting_redirect: None,
             group_ctr: 0,
+            probe,
+            probe_on,
             insts_from_tc: 0,
             insts_from_icache: 0,
             cond_branches: 0,
@@ -182,6 +218,12 @@ impl<'p> Simulation<'p> {
             self.retire_strategy
                 .assign(&mut raw, &self.cfg.engine.geometry, &mut self.tc);
         let line = TraceLine::from_raw(&raw, &placement, self.cfg.trace_cache.line_capacity);
+        if self.probe_on {
+            self.probe.observe(Hist::TraceSize, raw.len() as u64);
+            for d in line.reorder_distances() {
+                self.probe.observe(Hist::ReorderDistance, d);
+            }
+        }
         self.installs.push_back((now + self.fill.latency(), line));
     }
 
@@ -195,12 +237,17 @@ impl<'p> Simulation<'p> {
                 let p = self.predictor.predict(d.pc);
                 self.predictor.update(d.pc, br.taken);
                 self.predictor.update_history(br.taken);
-                if p != br.taken {
+                let mis = p != br.taken;
+                if mis {
                     self.cond_mispredicts += 1;
-                    true
-                } else {
-                    false
                 }
+                if self.probe_on {
+                    self.probe.counter(Counter::CondBranches, 1);
+                    if mis {
+                        self.probe.counter(Counter::CondMispredicts, 1);
+                    }
+                }
+                mis
             }
             Opcode::Jmp => false,
             Opcode::Call => {
@@ -326,10 +373,18 @@ impl<'p> Simulation<'p> {
                 (lat, false)
             }
         };
-        let _ = from_tc;
 
         if group.is_empty() {
             return;
+        }
+        if self.probe_on {
+            let src = if from_tc {
+                Counter::InstsFromTc
+            } else {
+                Counter::InstsFromIcache
+            };
+            self.probe.counter(src, group.len() as u64);
+            self.probe.fetch_group(now, pc, group.len() as u32, from_tc);
         }
         if let Some(seq) = mispredicted_seq {
             self.waiting_redirect = Some(seq);
@@ -341,48 +396,60 @@ impl<'p> Simulation<'p> {
     fn finish(mut self) -> SimReport {
         // Flush the partial trace so trace-size statistics are complete.
         let _ = self.fill.flush();
-        let fwd = *self.engine.forwarding_stats();
-        let hist = self.engine.producer_history();
-        let repeat_all = [hist.repeat_rate_all(0), hist.repeat_rate_all(1)];
-        let repeat_critical_inter = [
-            hist.repeat_rate_critical_inter(0),
-            hist.repeat_rate_critical_inter(1),
-        ];
+        let em = self.engine.metrics();
+        let fill_stats = self.fill.stats();
+        if self.probe_on {
+            // Whole-run reconciliation counters: emitted once so an
+            // exported metrics dump can be cross-checked against the
+            // report (`ctcp trace --check` does exactly that).
+            self.probe
+                .counter(Counter::TracesBuilt, fill_stats.traces_built);
+            self.probe
+                .counter(Counter::InstsInTraces, fill_stats.insts_buffered);
+            self.probe
+                .counter(Counter::PredictorLookups, self.predictor.lookups());
+        }
         let fdrt = self.retire_strategy.fdrt_stats().copied();
         let cycles = self.now.max(1);
         SimReport {
             strategy: self.cfg.strategy.name(),
             cycles,
             instructions: self.retired,
-            insts_from_tc: self.insts_from_tc,
-            insts_from_icache: self.insts_from_icache,
-            traces_built: self.fill.traces_built(),
-            insts_in_traces: self.fill.insts_buffered(),
-            cond_branches: self.cond_branches,
-            cond_mispredicts: self.cond_mispredicts,
-            indirect_mispredicts: self.indirect_mispredicts,
-            fwd,
-            repeat_all,
-            repeat_critical_inter,
-            fdrt,
-            engine: self.engine.stats(),
-            trace_cache: self.tc.stats(),
-            l1d: self.engine.memory().l1_stats(),
-            icache: self.icache.stats(),
             ipc: self.retired as f64 / cycles as f64,
+            metrics: MetricsSnapshot {
+                insts_from_tc: self.insts_from_tc,
+                insts_from_icache: self.insts_from_icache,
+                traces_built: fill_stats.traces_built,
+                insts_in_traces: fill_stats.insts_buffered,
+                cond_branches: self.cond_branches,
+                cond_mispredicts: self.cond_mispredicts,
+                indirect_mispredicts: self.indirect_mispredicts,
+                fwd: em.fwd,
+                repeat_all: em.repeat_all,
+                repeat_critical_inter: em.repeat_critical_inter,
+                fdrt,
+                engine: em.stats,
+                trace_cache: self.tc.stats(),
+                l1d: em.l1d,
+                icache: self.icache.stats(),
+            },
         }
     }
 }
 
 /// Convenience: run `strategy` on `program` with otherwise-default
 /// configuration and `max_insts` instructions.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Simulation::builder(program).strategy(..).max_insts(..)` instead"
+)]
 pub fn run_with_strategy(program: &Program, strategy: Strategy, max_insts: u64) -> SimReport {
-    let config = SimConfig {
-        strategy,
-        max_insts,
-        ..SimConfig::default()
-    };
-    Simulation::new(program, config).run()
+    Simulation::builder(program)
+        .strategy(strategy)
+        .max_insts(max_insts)
+        .build()
+        .expect("default geometry is valid")
+        .run()
 }
 
 #[cfg(test)]
@@ -404,14 +471,19 @@ mod tests {
         b.build()
     }
 
+    fn run(p: &Program, strategy: Strategy, max_insts: u64) -> SimReport {
+        Simulation::builder(p)
+            .strategy(strategy)
+            .max_insts(max_insts)
+            .build()
+            .unwrap()
+            .run()
+    }
+
     #[test]
     fn tiny_program_completes() {
         let p = loop_program(100);
-        let cfg = SimConfig {
-            max_insts: 10_000,
-            ..SimConfig::default()
-        };
-        let r = Simulation::new(&p, cfg).run();
+        let r = run(&p, Strategy::Baseline, 10_000);
         // 2 setup + 100 * 5 + 1 halt = 503 instructions.
         assert_eq!(r.instructions, 503);
         assert!(r.cycles > 0);
@@ -421,39 +493,27 @@ mod tests {
     #[test]
     fn instruction_budget_truncates() {
         let p = loop_program(1_000_000);
-        let cfg = SimConfig {
-            max_insts: 5_000,
-            ..SimConfig::default()
-        };
-        let r = Simulation::new(&p, cfg).run();
+        let r = run(&p, Strategy::Baseline, 5_000);
         assert_eq!(r.instructions, 5_000);
     }
 
     #[test]
     fn trace_cache_warms_up_on_a_loop() {
         let p = loop_program(5_000);
-        let cfg = SimConfig {
-            max_insts: 20_000,
-            ..SimConfig::default()
-        };
-        let r = Simulation::new(&p, cfg).run();
+        let r = run(&p, Strategy::Baseline, 20_000);
         assert!(
             r.tc_inst_fraction() > 0.5,
             "tc fraction {}",
             r.tc_inst_fraction()
         );
-        assert!(r.trace_cache.hits > 100);
+        assert!(r.metrics.trace_cache.hits > 100);
         assert!(r.avg_trace_size() > 4.0);
     }
 
     #[test]
     fn predictable_loop_has_low_mispredict_rate() {
         let p = loop_program(5_000);
-        let cfg = SimConfig {
-            max_insts: 20_000,
-            ..SimConfig::default()
-        };
-        let r = Simulation::new(&p, cfg).run();
+        let r = run(&p, Strategy::Baseline, 20_000);
         assert!(
             r.mispredict_rate() < 0.05,
             "mispredict rate {}",
@@ -473,7 +533,7 @@ mod tests {
             Strategy::Fdrt { pinning: true },
             Strategy::Fdrt { pinning: false },
         ] {
-            let r = run_with_strategy(&p, strategy, 1_000_000);
+            let r = run(&p, strategy, 1_000_000);
             assert_eq!(r.instructions, n, "{}", strategy.name());
         }
     }
@@ -481,12 +541,11 @@ mod tests {
     #[test]
     fn fdrt_reports_stats() {
         let p = loop_program(3_000);
-        let r = run_with_strategy(&p, Strategy::Fdrt { pinning: true }, 15_000);
-        let stats = r.fdrt.expect("fdrt stats present");
+        let r = run(&p, Strategy::Fdrt { pinning: true }, 15_000);
+        let stats = r.metrics.fdrt.expect("fdrt stats present");
         let total: u64 = stats.options.iter().sum::<u64>() + stats.skipped;
         assert!(total > 1_000);
-        assert!(r.fdrt.is_some());
-        let base = run_with_strategy(&p, Strategy::Baseline, 15_000);
-        assert!(base.fdrt.is_none());
+        let base = run(&p, Strategy::Baseline, 15_000);
+        assert!(base.metrics.fdrt.is_none());
     }
 }

@@ -1,20 +1,22 @@
 //! Simulation results.
+//!
+//! A finished run produces a [`SimReport`]: the headline numbers
+//! (strategy, cycles, instructions, IPC) plus one [`MetricsSnapshot`]
+//! holding every counter the simulator accumulated. The snapshot is the
+//! single source of truth — the engine, trace cache, fill unit, memory
+//! system, and front end each contribute their own stats block, and all
+//! derived figures (trace-cache fraction, trace size, mispredict rate)
+//! are computed from it rather than carried as separate fields.
 
 use ctcp_core::assign::FdrtStats;
 use ctcp_core::{EngineStats, ForwardingStats};
 use ctcp_memory::CacheStats;
 use ctcp_tracecache::TraceCacheStats;
 
-/// Everything a finished simulation reports — the superset of what any
-/// table or figure of the paper needs.
-#[derive(Debug, Clone)]
-pub struct SimReport {
-    /// Strategy name.
-    pub strategy: String,
-    /// Simulated cycles.
-    pub cycles: u64,
-    /// Retired instructions.
-    pub instructions: u64,
+/// Every counter a finished simulation accumulated — the superset of
+/// what any table or figure of the paper needs, in one place.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
     /// Instructions fetched from the trace cache.
     pub insts_from_tc: u64,
     /// Instructions fetched from the instruction cache.
@@ -22,12 +24,12 @@ pub struct SimReport {
     /// Traces built by the fill unit.
     pub traces_built: u64,
     /// Instructions collected into traces (the fill unit idles between
-    /// trace heads, so this can be less than `instructions`).
+    /// trace heads, so this can be less than the retired count).
     pub insts_in_traces: u64,
-    /// Conditional-branch mispredictions observed at fetch.
-    pub cond_mispredicts: u64,
     /// Conditional branches fetched.
     pub cond_branches: u64,
+    /// Conditional-branch mispredictions observed at fetch.
+    pub cond_mispredicts: u64,
     /// Indirect-target mispredictions observed at fetch.
     pub indirect_mispredicts: u64,
     /// Forwarding statistics (Tables 2/8, Figure 4).
@@ -46,12 +48,10 @@ pub struct SimReport {
     pub l1d: CacheStats,
     /// Instruction cache statistics.
     pub icache: CacheStats,
-    /// Instructions per cycle.
-    pub ipc: f64,
 }
 
-impl SimReport {
-    /// Fraction of retired instructions fetched from the trace cache
+impl MetricsSnapshot {
+    /// Fraction of fetched instructions supplied by the trace cache
     /// (Table 1 "% TC Instr").
     pub fn tc_inst_fraction(&self) -> f64 {
         let total = self.insts_from_tc + self.insts_from_icache;
@@ -79,18 +79,62 @@ impl SimReport {
             self.cond_mispredicts as f64 / self.cond_branches as f64
         }
     }
+}
+
+/// Everything a finished simulation reports: headline numbers plus the
+/// full [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Every accumulated counter, in one snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl SimReport {
+    /// Fraction of fetched instructions supplied by the trace cache
+    /// (Table 1 "% TC Instr").
+    pub fn tc_inst_fraction(&self) -> f64 {
+        self.metrics.tc_inst_fraction()
+    }
+
+    /// Average instructions per fill-unit trace (Table 1 "Trace Size").
+    pub fn avg_trace_size(&self) -> f64 {
+        self.metrics.avg_trace_size()
+    }
+
+    /// Conditional-branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        self.metrics.mispredict_rate()
+    }
 
     /// Speedup of `self` relative to `base` (execution-time ratio at
-    /// equal instruction counts).
+    /// equal instruction counts). Returns `0.0` when either run recorded
+    /// no cycles — a degenerate report should read as "no speedup
+    /// information", not crash a sweep.
     pub fn speedup_over(&self, base: &SimReport) -> f64 {
-        assert!(self.cycles > 0 && base.cycles > 0);
+        if self.cycles == 0 || base.cycles == 0 {
+            return 0.0;
+        }
         base.cycles as f64 / self.cycles as f64
     }
 }
 
 /// Harmonic mean of a slice of speedups (the paper's average).
+///
+/// Returns `0.0` for an empty slice and for any slice containing a
+/// non-positive or non-finite entry: the harmonic mean is only defined
+/// over positive reals, and a zero entry (the [`SimReport::speedup_over`]
+/// degenerate value) would otherwise poison the sum with an infinity
+/// that silently renders as `0` — better to make the sentinel explicit.
 pub fn harmonic_mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
+    if xs.is_empty() || xs.iter().any(|x| !(x.is_finite() && *x > 0.0)) {
         return 0.0;
     }
     let denom: f64 = xs.iter().map(|x| 1.0 / x).sum();
@@ -110,6 +154,14 @@ mod tests {
         // Harmonic mean is dominated by the slowest member.
         assert!(harmonic_mean(&[1.0, 10.0]) < 5.5);
     }
+
+    #[test]
+    fn harmonic_mean_rejects_degenerate_inputs() {
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), 0.0);
+        assert_eq!(harmonic_mean(&[1.0, -2.0]), 0.0);
+        assert_eq!(harmonic_mean(&[1.0, f64::NAN]), 0.0);
+        assert_eq!(harmonic_mean(&[1.0, f64::INFINITY]), 0.0);
+    }
 }
 
 #[cfg(test)]
@@ -121,22 +173,16 @@ mod report_tests {
             strategy: "base".into(),
             cycles: 100,
             instructions: 200,
-            insts_from_tc: 150,
-            insts_from_icache: 50,
-            traces_built: 20,
-            insts_in_traces: 180,
-            cond_branches: 40,
-            cond_mispredicts: 4,
-            indirect_mispredicts: 0,
-            fwd: ForwardingStats::default(),
-            repeat_all: [0.0; 2],
-            repeat_critical_inter: [0.0; 2],
-            fdrt: None,
-            engine: EngineStats::default(),
-            trace_cache: TraceCacheStats::default(),
-            l1d: CacheStats::default(),
-            icache: CacheStats::default(),
             ipc: 2.0,
+            metrics: MetricsSnapshot {
+                insts_from_tc: 150,
+                insts_from_icache: 50,
+                traces_built: 20,
+                insts_in_traces: 180,
+                cond_branches: 40,
+                cond_mispredicts: 4,
+                ..MetricsSnapshot::default()
+            },
         }
     }
 
@@ -158,12 +204,21 @@ mod report_tests {
     }
 
     #[test]
+    fn speedup_with_zero_cycles_is_zero_not_a_panic() {
+        let base = blank();
+        let mut broken = blank();
+        broken.cycles = 0;
+        assert_eq!(broken.speedup_over(&base), 0.0);
+        assert_eq!(base.speedup_over(&broken), 0.0);
+    }
+
+    #[test]
     fn zero_denominators_do_not_panic() {
         let mut r = blank();
-        r.insts_from_tc = 0;
-        r.insts_from_icache = 0;
-        r.traces_built = 0;
-        r.cond_branches = 0;
+        r.metrics.insts_from_tc = 0;
+        r.metrics.insts_from_icache = 0;
+        r.metrics.traces_built = 0;
+        r.metrics.cond_branches = 0;
         assert_eq!(r.tc_inst_fraction(), 0.0);
         assert_eq!(r.avg_trace_size(), 0.0);
         assert_eq!(r.mispredict_rate(), 0.0);

@@ -3,7 +3,16 @@
 //! cost of steering latency.
 
 use ctcp_isa::{Program, ProgramBuilder, Reg};
-use ctcp_sim::{run_with_strategy, SimConfig, Simulation, Strategy};
+use ctcp_sim::{SimConfig, SimReport, Simulation, Strategy};
+
+fn run_with_strategy(p: &Program, strategy: Strategy, max_insts: u64) -> SimReport {
+    Simulation::builder(p)
+        .strategy(strategy)
+        .max_insts(max_insts)
+        .build()
+        .unwrap()
+        .run()
+}
 
 /// A loop whose body contains an if/else whose direction alternates
 /// deterministically: the trace cache must hold both paths
@@ -89,9 +98,9 @@ fn alternating_indirect_targets_defeat_the_btb() {
     let r = run_with_strategy(&p, Strategy::Baseline, 40_000);
     let jrs = r.instructions / 12; // roughly one jr per iteration
     assert!(
-        r.indirect_mispredicts as f64 > 0.6 * jrs as f64,
+        r.metrics.indirect_mispredicts as f64 > 0.6 * jrs as f64,
         "indirect mispredicts {} for ~{} jr's",
-        r.indirect_mispredicts,
+        r.metrics.indirect_mispredicts,
         jrs
     );
 }
@@ -124,9 +133,9 @@ fn returns_predict_through_the_ras() {
     let r = run_with_strategy(&p, Strategy::Baseline, 30_000);
     let calls = r.instructions / 8;
     assert!(
-        (r.indirect_mispredicts as f64) < 0.05 * calls as f64,
+        (r.metrics.indirect_mispredicts as f64) < 0.05 * calls as f64,
         "{} return mispredicts for ~{} calls",
-        r.indirect_mispredicts,
+        r.metrics.indirect_mispredicts,
         calls
     );
 }
@@ -156,7 +165,7 @@ fn icache_only_fetch_still_completes() {
     };
     c.trace_cache.entries = 2;
     c.trace_cache.assoc = 2;
-    let r = Simulation::new(&p, c).run();
+    let r = Simulation::builder(&p).config(c).build().unwrap().run();
     assert_eq!(r.instructions, 20_000);
     assert!(r.ipc > 0.05);
 }
@@ -173,7 +182,12 @@ fn fill_latency_changes_little_on_hot_loops() {
             ..SimConfig::default()
         };
         c.fill.latency = lat;
-        Simulation::new(&p, c).run().cycles as f64
+        Simulation::builder(&p)
+            .config(c)
+            .build()
+            .unwrap()
+            .run()
+            .cycles as f64
     };
     let fast = run_with_lat(3);
     let slow = run_with_lat(100);

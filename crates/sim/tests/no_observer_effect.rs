@@ -1,0 +1,46 @@
+//! Golden "no observer effect" test: attaching a telemetry recorder
+//! must not perturb the simulation. The report serialized through the
+//! store codec has to be byte-identical with and without a probe — any
+//! drift means a hook site leaked architectural state.
+
+use ctcp_sim::{Simulation, Strategy};
+use ctcp_telemetry::{Probe, Recorder, RecorderConfig};
+use ctcp_workload::Benchmark;
+use std::rc::Rc;
+
+#[test]
+fn attaching_a_recorder_does_not_change_the_report() {
+    for bench in ["gzip", "vortex"] {
+        let program = Benchmark::by_name(bench).unwrap().program();
+        for strategy in [Strategy::Baseline, Strategy::Fdrt { pinning: true }] {
+            let bare = Simulation::builder(&program)
+                .strategy(strategy)
+                .max_insts(30_000)
+                .build()
+                .unwrap()
+                .run();
+
+            let recorder: Rc<Recorder> = Rc::new(Recorder::new(RecorderConfig::default()));
+            let observed = Simulation::builder(&program)
+                .strategy(strategy)
+                .max_insts(30_000)
+                .probe(Rc::clone(&recorder) as Rc<dyn Probe>)
+                .build()
+                .unwrap()
+                .run();
+
+            assert_eq!(
+                bare.to_json(),
+                observed.to_json(),
+                "{bench}/{} report changed under observation",
+                strategy.name()
+            );
+            // The recorder really was live, not silently detached.
+            assert!(
+                !recorder.events().is_empty(),
+                "{bench}/{}: recorder saw no events",
+                strategy.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Chrome trace-event JSON export.
+//!
+//! The output is the "JSON array format" understood by
+//! `about://tracing` and [Perfetto]: one complete (`"ph":"X"`) event
+//! per pipeline span, with `pid` 0 and one `tid` lane per cluster plus
+//! dedicated lanes for the front end. Events are emitted sorted by
+//! `(tid, ts)` so timestamps are monotone within every lane — viewers
+//! do not require this, but it makes the file diffable and lets the
+//! validator below double as a regression test.
+//!
+//! [Perfetto]: https://perfetto.dev
+
+use crate::event::{PipeStage, SpanEvent, FETCH_LANE};
+use crate::json::Value;
+
+/// Lane (tid) assignment for one event: clusters keep their index,
+/// front-end lanes are pushed above every plausible cluster count.
+fn tid_of(ev: &SpanEvent) -> u64 {
+    u64::from(ev.cluster)
+}
+
+fn lane_name(tid: u64) -> String {
+    if tid == u64::from(FETCH_LANE) {
+        "fetch: trace cache".to_string()
+    } else if tid == u64::from(FETCH_LANE - 1) {
+        "fetch: icache".to_string()
+    } else {
+        format!("cluster {tid}")
+    }
+}
+
+/// Renders `events` as a Chrome trace-event JSON array.
+///
+/// The events need not be ordered; the exporter sorts a copy by
+/// `(tid, ts, seq)`. Thread-name metadata events (`"ph":"M"`) are
+/// emitted first so lanes are labelled in the viewer.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let mut sorted: Vec<&SpanEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (tid_of(e), e.ts, e.seq));
+
+    let mut out: Vec<Value> = Vec::new();
+    let mut lanes: Vec<u64> = sorted.iter().map(|e| tid_of(e)).collect();
+    lanes.dedup();
+    for tid in &lanes {
+        out.push(Value::Obj(vec![
+            ("name".into(), Value::str("thread_name")),
+            ("ph".into(), Value::str("M")),
+            ("pid".into(), Value::u64(0)),
+            ("tid".into(), Value::u64(*tid)),
+            (
+                "args".into(),
+                Value::Obj(vec![("name".into(), Value::str(&lane_name(*tid)))]),
+            ),
+        ]));
+    }
+    for ev in sorted {
+        let mut args = vec![("pc".into(), Value::str(&format!("{:#x}", ev.pc)))];
+        if ev.stage == PipeStage::Fetch {
+            args.push(("group_size".into(), Value::u64(ev.seq)));
+        } else {
+            args.push(("seq".into(), Value::u64(ev.seq)));
+        }
+        out.push(Value::Obj(vec![
+            ("name".into(), Value::str(ev.stage.name())),
+            ("cat".into(), Value::str("pipeline")),
+            ("ph".into(), Value::str("X")),
+            ("ts".into(), Value::u64(ev.ts)),
+            ("dur".into(), Value::u64(ev.dur.max(1))),
+            ("pid".into(), Value::u64(0)),
+            ("tid".into(), Value::u64(tid_of(ev))),
+            ("args".into(), Value::Obj(args)),
+        ]));
+    }
+    Value::Arr(out).render()
+}
+
+/// What [`validate_chrome_trace`] learned about a trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Complete (`"X"`) span events.
+    pub spans: usize,
+    /// Metadata (`"M"`) events.
+    pub metadata: usize,
+    /// Distinct `(pid, tid)` lanes.
+    pub lanes: usize,
+}
+
+/// Checks that `text` is a well-formed Chrome trace-event JSON array:
+/// every element is an object with a `ph` phase, every `"X"` event
+/// carries `name`/`ts`/`dur`/`pid`/`tid`, and `ts` is monotonically
+/// non-decreasing within each `(pid, tid)` lane.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending event.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
+    let v = Value::parse(text)?;
+    let events = v.as_arr().ok_or("trace root is not a JSON array")?;
+    let mut last_ts: Vec<((u64, u64), u64)> = Vec::new();
+    let mut summary = ChromeTraceSummary {
+        spans: 0,
+        metadata: 0,
+        lanes: 0,
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        match ph {
+            "M" => summary.metadata += 1,
+            "X" => {
+                summary.spans += 1;
+                ev.get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i}: X event missing name"))?;
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: X event missing ts"))?;
+                ev.get("dur")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: X event missing dur"))?;
+                let pid = ev
+                    .get("pid")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: X event missing pid"))?;
+                let tid = ev
+                    .get("tid")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: X event missing tid"))?;
+                match last_ts.iter_mut().find(|(lane, _)| *lane == (pid, tid)) {
+                    Some((_, last)) => {
+                        if ts < *last {
+                            return Err(format!(
+                                "event {i}: ts {ts} goes backwards in lane pid={pid} tid={tid} \
+                                 (previous ts {last})"
+                            ));
+                        }
+                        *last = ts;
+                    }
+                    None => last_ts.push(((pid, tid), ts)),
+                }
+            }
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+    summary.lanes = last_ts.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{InstTimeline, SpanEvent};
+    use crate::probe::Probe;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn exported_trace_validates_and_orders_lanes() {
+        let r = Recorder::default();
+        // Deliberately out of order and across clusters.
+        for seq in [5u64, 1, 3, 2, 4] {
+            r.timeline(&InstTimeline {
+                seq,
+                pc: 0x1000 + seq * 4,
+                cluster: (seq % 2) as u8,
+                renamed_at: seq * 10,
+                dispatched_at: seq * 10 + 1,
+                exec_start: seq * 10 + 3,
+                complete_at: seq * 10 + 6,
+                retired_at: seq * 10 + 9,
+            });
+        }
+        r.fetch_group(2, 0x1000, 8, true);
+        r.fetch_group(7, 0x1020, 4, false);
+        let text = chrome_trace(&r.events());
+        let summary = validate_chrome_trace(&text).expect("exporter output must validate");
+        assert_eq!(summary.spans, 5 * 4 + 2);
+        assert_eq!(summary.lanes, 4); // two clusters + two fetch lanes
+        assert_eq!(summary.metadata, 4);
+    }
+
+    #[test]
+    fn validator_rejects_backwards_timestamps() {
+        let mk = |ts| SpanEvent {
+            ts,
+            dur: 1,
+            stage: PipeStage::Execute,
+            seq: ts,
+            pc: 0,
+            cluster: 0,
+        };
+        // Hand-build an unsorted file: same lane, ts goes 5 then 2.
+        let bad = format!("[{},{}]", span_json(&mk(5)), span_json(&mk(2)),);
+        let err = validate_chrome_trace(&bad).unwrap_err();
+        assert!(err.contains("goes backwards"), "{err}");
+    }
+
+    fn span_json(ev: &SpanEvent) -> String {
+        Value::Obj(vec![
+            ("name".into(), Value::str(ev.stage.name())),
+            ("ph".into(), Value::str("X")),
+            ("ts".into(), Value::u64(ev.ts)),
+            ("dur".into(), Value::u64(ev.dur)),
+            ("pid".into(), Value::u64(0)),
+            ("tid".into(), Value::u64(u64::from(ev.cluster))),
+        ])
+        .render()
+    }
+
+    #[test]
+    fn validator_rejects_non_array_and_unknown_phase() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"[{"ph":"Q"}]"#).is_err());
+        assert!(validate_chrome_trace(r#"[{"ts":1}]"#).is_err());
+    }
+
+    #[test]
+    fn empty_event_set_exports_an_empty_valid_trace() {
+        let text = chrome_trace(&[]);
+        let summary = validate_chrome_trace(&text).unwrap();
+        assert_eq!(summary.spans, 0);
+        assert_eq!(summary.lanes, 0);
+    }
+}

@@ -1,10 +1,11 @@
 //! A minimal JSON value, parser, and writer.
 //!
-//! The result store serializes [`crate::SimReport`]s to JSON lines, and
-//! the workspace builds offline, so this module hand-rolls the small
-//! JSON subset the store needs: objects, arrays, strings, numbers,
-//! booleans, and null. Numbers keep their raw token so `u64` counters
-//! round-trip exactly (no detour through `f64`).
+//! The telemetry exporters, the simulator report codec, and the harness
+//! result store all serialize to JSON lines, and the workspace builds
+//! offline, so this module hand-rolls the small JSON subset they need:
+//! objects, arrays, strings, numbers, booleans, and null. Numbers keep
+//! their raw token so `u64` counters round-trip exactly (no detour
+//! through `f64`).
 
 use std::fmt::Write as _;
 
@@ -273,11 +274,24 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Copy one UTF-8 scalar (multi-byte safe).
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().unwrap();
+                    // Copy one multi-byte UTF-8 scalar. Decode from a
+                    // bounded window — validating the whole remaining
+                    // input per character is quadratic on large files.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(chunk) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()]).unwrap()
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    };
+                    let c = valid.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -375,6 +389,35 @@ mod tests {
         let v = Value::str("quote \" slash \\ tab \t nl \n ctl \u{1}");
         let back = Value::parse(&v.render()).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn multibyte_strings_round_trip() {
+        // Exercises the bounded UTF-8 decode path: 2-, 3-, and 4-byte
+        // scalars, including one flush against the end of input.
+        let v = Value::str("é ✓ 🚀");
+        let back = Value::parse(&v.render()).unwrap();
+        assert_eq!(back, v);
+        let tail = Value::parse("\"🚀\"").unwrap();
+        assert_eq!(tail.as_str(), Some("🚀"));
+    }
+
+    #[test]
+    fn large_documents_parse_in_linear_time() {
+        // A ~3 MB array of small string-bearing objects; quadratic
+        // string scanning would turn this into minutes.
+        let mut doc = String::from("[");
+        for i in 0..40_000 {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(r#"{"name":"pipeline stage","ph":"X","ts":"#);
+            doc.push_str(&i.to_string());
+            doc.push('}');
+        }
+        doc.push(']');
+        let v = Value::parse(&doc).unwrap();
+        assert_eq!(v.as_arr().unwrap().len(), 40_000);
     }
 
     #[test]

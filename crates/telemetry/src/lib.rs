@@ -1,0 +1,38 @@
+//! Pipeline telemetry for the CTCP simulator.
+//!
+//! This crate is the observability layer every other crate reports
+//! into, and it sits at the bottom of the workspace dependency graph
+//! (it depends on nothing). The pieces:
+//!
+//! - [`Probe`]: the trait hook the pipeline calls. The default
+//!   implementation of every method is a no-op, so the bundled
+//!   [`NullProbe`] costs nothing — components also cache
+//!   [`Probe::enabled`] so the off path is a single branch.
+//! - [`Metrics`]: a closed registry of typed [`Counter`]s and
+//!   fixed-bucket [`Histogram`]s ([`Hist`]) — array-indexed, no hashing
+//!   or allocation on the hot path.
+//! - [`EventRing`]: a preallocated overwrite-oldest ring of pipeline
+//!   [`SpanEvent`]s, fed from per-instruction [`InstTimeline`]s with an
+//!   interval-sampling mode for long runs.
+//! - [`Recorder`]: the accumulating [`Probe`] combining both.
+//! - Exporters: [`chrome_trace`] renders `about://tracing`-loadable
+//!   JSON (checked by [`validate_chrome_trace`]), [`metrics_line`]
+//!   renders one JSONL metrics record per job.
+//! - [`json`]: the workspace's hand-rolled JSON value (the build is
+//!   fully offline; there is no serde).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod probe;
+pub mod recorder;
+
+pub use chrome::{chrome_trace, validate_chrome_trace, ChromeTraceSummary};
+pub use event::{EventRing, InstTimeline, PipeStage, SpanEvent, FETCH_LANE};
+pub use metrics::{metrics_line, Counter, Hist, Histogram, Metrics, HIST_BUCKETS};
+pub use probe::{NullProbe, Probe};
+pub use recorder::{Recorder, RecorderConfig};

@@ -56,6 +56,17 @@ impl Default for FillUnitConfig {
     }
 }
 
+/// Aggregate fill-unit counters, reported as one snapshot so consumers
+/// do not stitch together individual accessors.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FillUnitStats {
+    /// Traces finalised.
+    pub traces_built: u64,
+    /// Instructions accepted into traces (the unit idles between trace
+    /// heads, so this can be less than retired instructions).
+    pub insts_buffered: u64,
+}
+
 /// The fill unit buffers retiring instructions and emits finalised
 /// [`RawTrace`]s. A trace ends when it holds `max_insts` instructions,
 /// `max_blocks` control transfers, an indirect control transfer (whose
@@ -103,6 +114,14 @@ impl FillUnit {
     /// Total instructions accepted into traces so far.
     pub fn insts_buffered(&self) -> u64 {
         self.insts_buffered
+    }
+
+    /// Every fill-unit counter in one snapshot.
+    pub fn stats(&self) -> FillUnitStats {
+        FillUnitStats {
+            traces_built: self.traces_built,
+            insts_buffered: self.insts_buffered,
+        }
     }
 
     /// Instructions waiting in the partial trace.

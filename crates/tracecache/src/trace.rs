@@ -223,6 +223,22 @@ impl TraceLine {
     pub fn identity_placement(n: usize) -> Vec<u8> {
         (0..n as u8).collect()
     }
+
+    /// Reorder distance of logical instruction `l`: how far the
+    /// assignment strategy moved it from its program-order slot,
+    /// `|physical - logical|`. The fill unit's reordering freedom is
+    /// what retire-time strategies trade on, so the distribution of
+    /// these distances is a direct measure of how aggressive a strategy
+    /// was.
+    pub fn reorder_distance(&self, l: usize) -> u64 {
+        u64::from(self.logical_to_phys[l]).abs_diff(l as u64)
+    }
+
+    /// Iterates the reorder distance of every instruction in the line,
+    /// in logical order.
+    pub fn reorder_distances(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len()).map(|l| self.reorder_distance(l))
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +340,20 @@ mod tests {
         let line = TraceLine::from_raw(&t, &TraceLine::identity_placement(3), 16);
         let path: Vec<bool> = line.branch_path().map(|(_, d)| d).collect();
         assert_eq!(path, vec![true, false]);
+    }
+
+    #[test]
+    fn reorder_distance_measures_displacement() {
+        let insts: Vec<_> = (0..4)
+            .map(|i| pi(i, add(Reg::R1, Reg::R2, Reg::R3), None))
+            .collect();
+        let t = RawTrace::analyze(insts);
+        let line = TraceLine::from_raw(&t, &[12u8, 0, 7, 3], 16);
+        let d: Vec<u64> = line.reorder_distances().collect();
+        assert_eq!(d, vec![12, 1, 5, 0]);
+        // Identity placement never moves anything.
+        let line = TraceLine::from_raw(&t, &TraceLine::identity_placement(4), 16);
+        assert!(line.reorder_distances().all(|d| d == 0));
     }
 
     #[test]

@@ -42,8 +42,16 @@ fn main() {
         let mut speedups = Vec::new();
         for b in Benchmark::spec_focus() {
             let program = b.program();
-            let base = Simulation::new(&program, config(Strategy::Baseline, v)).run();
-            let fdrt = Simulation::new(&program, config(Strategy::Fdrt { pinning: true }, v)).run();
+            let base = Simulation::builder(&program)
+                .config(config(Strategy::Baseline, v))
+                .build()
+                .expect("valid geometry")
+                .run();
+            let fdrt = Simulation::builder(&program)
+                .config(config(Strategy::Fdrt { pinning: true }, v))
+                .build()
+                .expect("valid geometry")
+                .run();
             speedups.push(fdrt.speedup_over(&base));
         }
         println!("  {v:<22} HM speedup {:.3}", harmonic_mean(&speedups));

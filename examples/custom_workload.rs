@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example custom_workload`
 
 use ctcp_isa::{Program, ProgramBuilder, Reg};
-use ctcp_sim::{run_with_strategy, Strategy};
+use ctcp_sim::{SimReport, Simulation, Strategy};
 
 fn histogram_kernel() -> Program {
     let mut b = ProgramBuilder::new();
@@ -58,17 +58,17 @@ fn main() {
     println!(
         "base: ipc {:.3}  intra-cluster {:.1}%  distance {:.2}",
         base.ipc,
-        100.0 * base.fwd.intra_cluster_fraction(),
-        base.fwd.mean_distance()
+        100.0 * base.metrics.fwd.intra_cluster_fraction(),
+        base.metrics.fwd.mean_distance()
     );
     println!(
         "fdrt: ipc {:.3}  intra-cluster {:.1}%  distance {:.2}  speedup {:.3}",
         fdrt.ipc,
-        100.0 * fdrt.fwd.intra_cluster_fraction(),
-        fdrt.fwd.mean_distance(),
+        100.0 * fdrt.metrics.fwd.intra_cluster_fraction(),
+        fdrt.metrics.fwd.mean_distance(),
         fdrt.speedup_over(&base)
     );
-    let stats = fdrt.fdrt.expect("FDRT statistics");
+    let stats = fdrt.metrics.fdrt.expect("FDRT statistics");
     let d = stats.option_distribution();
     println!(
         "fdrt chains: {} leaders, {} followers; migration {:.2}%",
@@ -85,4 +85,13 @@ fn main() {
         100.0 * d[4],
         100.0 * d[5]
     );
+}
+
+fn run_with_strategy(p: &ctcp_isa::Program, strategy: Strategy, max_insts: u64) -> SimReport {
+    Simulation::builder(p)
+        .strategy(strategy)
+        .max_insts(max_insts)
+        .build()
+        .expect("valid default geometry")
+        .run()
 }

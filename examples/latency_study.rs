@@ -16,7 +16,12 @@ fn run(bench: &Benchmark, overrides: LatencyOverrides, rf_latency: u64) -> f64 {
     };
     config.engine.overrides = overrides;
     config.engine.rf_latency = rf_latency;
-    Simulation::new(&program, config).run().ipc
+    Simulation::builder(&program)
+        .config(config)
+        .build()
+        .expect("valid geometry")
+        .run()
+        .ipc
 }
 
 fn main() {

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart [benchmark]`
 
-use ctcp_sim::{run_with_strategy, Strategy};
+use ctcp_sim::{SimReport, Simulation, Strategy};
 use ctcp_workload::Benchmark;
 
 fn main() {
@@ -30,8 +30,8 @@ fn main() {
         "base",
         base.ipc,
         100.0 * base.tc_inst_fraction(),
-        100.0 * base.fwd.intra_cluster_fraction(),
-        base.fwd.mean_distance()
+        100.0 * base.metrics.fwd.intra_cluster_fraction(),
+        base.metrics.fwd.mean_distance()
     );
     for strategy in [
         Strategy::IssueTime { latency: 0 },
@@ -45,8 +45,17 @@ fn main() {
             r.strategy,
             r.ipc,
             r.speedup_over(&base),
-            100.0 * r.fwd.intra_cluster_fraction(),
-            r.fwd.mean_distance()
+            100.0 * r.metrics.fwd.intra_cluster_fraction(),
+            r.metrics.fwd.mean_distance()
         );
     }
+}
+
+fn run_with_strategy(p: &ctcp_isa::Program, strategy: Strategy, max_insts: u64) -> SimReport {
+    Simulation::builder(p)
+        .strategy(strategy)
+        .max_insts(max_insts)
+        .build()
+        .expect("valid default geometry")
+        .run()
 }

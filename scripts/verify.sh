@@ -7,6 +7,10 @@
 #   1. tier-1: release build + full test suite
 #   2. formatting check (cargo fmt --check)
 #   3. lint gate (cargo clippy --workspace, warnings are errors)
+#   4. telemetry smoke: `ctcp trace --check` validates the Chrome trace
+#      and reconciles its counters against the report
+#   5. perf smoke: wall-time of a fixed sweep, recorded into
+#      BENCH_baseline.json to track the perf trajectory over time
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,5 +25,31 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ctcp trace smoke (exporter validity + counter reconciliation)"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/ctcp trace gzip --strategy fdrt --insts 50000 \
+    --out "$smoke_dir/trace.json" --metrics-out "$smoke_dir/metrics.jsonl" --check
+test -s "$smoke_dir/trace.json"
+test -s "$smoke_dir/metrics.jsonl"
+
+echo "==> perf smoke (fixed sweep wall-time -> BENCH_baseline.json)"
+# Fixed workload: no-probe sweep, single-threaded so the number tracks
+# simulator speed rather than host core count; no cache so it always
+# simulates.
+start_ns=$(date +%s%N)
+./target/release/ctcp sweep --benches gzip,twolf --strategies baseline,fdrt \
+    --insts 50000 --jobs 1 >/dev/null
+end_ns=$(date +%s%N)
+wall_ms=$(( (end_ns - start_ns) / 1000000 ))
+cat > BENCH_baseline.json <<EOF
+{
+  "bench": "sweep gzip,twolf x baseline,fdrt --insts 50000 --jobs 1",
+  "wall_ms": $wall_ms,
+  "recorded_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+}
+EOF
+echo "perf smoke: ${wall_ms} ms (recorded in BENCH_baseline.json)"
 
 echo "==> verify OK"

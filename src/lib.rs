@@ -22,17 +22,29 @@
 //!   strategies,
 //! * [`sim`] — the whole-processor simulator and experiment API,
 //! * [`harness`] — the parallel sweep runner with its memoizing result
-//!   store.
+//!   store,
+//! * [`telemetry`] — the zero-overhead-when-off pipeline observability
+//!   layer (metrics registry, event recorder, exporters).
 //!
 //! ## Example
 //!
 //! ```
-//! use ctcp::sim::{run_with_strategy, Strategy};
+//! use ctcp::sim::{Simulation, Strategy};
 //! use ctcp::workload::Benchmark;
 //!
 //! let program = Benchmark::by_name("gzip").unwrap().program();
-//! let base = run_with_strategy(&program, Strategy::Baseline, 20_000);
-//! let fdrt = run_with_strategy(&program, Strategy::Fdrt { pinning: true }, 20_000);
+//! let base = Simulation::builder(&program)
+//!     .strategy(Strategy::Baseline)
+//!     .max_insts(20_000)
+//!     .build()
+//!     .unwrap()
+//!     .run();
+//! let fdrt = Simulation::builder(&program)
+//!     .strategy(Strategy::Fdrt { pinning: true })
+//!     .max_insts(20_000)
+//!     .build()
+//!     .unwrap()
+//!     .run();
 //! assert!(fdrt.instructions == base.instructions);
 //! ```
 
@@ -45,5 +57,6 @@ pub use ctcp_harness as harness;
 pub use ctcp_isa as isa;
 pub use ctcp_memory as memory;
 pub use ctcp_sim as sim;
+pub use ctcp_telemetry as telemetry;
 pub use ctcp_tracecache as tracecache;
 pub use ctcp_workload as workload;

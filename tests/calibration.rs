@@ -3,10 +3,20 @@
 //! are deliberately loose — they catch a workload or simulator change
 //! that breaks the reproduction, not run-to-run noise.
 
-use ctcp::sim::{run_with_strategy, SimConfig, Simulation, Strategy};
+use ctcp::sim::{SimConfig, SimReport, Simulation, Strategy};
 use ctcp::workload::Benchmark;
 
 const N: u64 = 60_000;
+
+/// Local shim over the builder API with the old free-function shape.
+fn run_with_strategy(p: &ctcp::isa::Program, strategy: Strategy, max_insts: u64) -> SimReport {
+    Simulation::builder(p)
+        .strategy(strategy)
+        .max_insts(max_insts)
+        .build()
+        .expect("valid default geometry")
+        .run()
+}
 
 #[test]
 fn focus_benchmarks_look_like_the_papers_table1_and_2() {
@@ -37,16 +47,16 @@ fn focus_benchmarks_look_like_the_papers_table1_and_2() {
         // Table 2 regime: most forwarded dependencies are critical and a
         // material fraction are inter-trace.
         assert!(
-            r.fwd.critical_fraction() > 0.6,
+            r.metrics.fwd.critical_fraction() > 0.6,
             "{}: critical fraction {:.2}",
             b.name,
-            r.fwd.critical_fraction()
+            r.metrics.fwd.critical_fraction()
         );
         assert!(
-            (0.10..=0.50).contains(&r.fwd.inter_trace_fraction()),
+            (0.10..=0.50).contains(&r.metrics.fwd.inter_trace_fraction()),
             "{}: inter-trace {:.2}",
             b.name,
-            r.fwd.inter_trace_fraction()
+            r.metrics.fwd.inter_trace_fraction()
         );
     }
 }
@@ -65,7 +75,7 @@ fn forwarding_latency_matters_in_the_baseline() {
             ..SimConfig::default()
         };
         c.engine.overrides.no_forward_latency = true;
-        let ideal = Simulation::new(&p, c).run();
+        let ideal = Simulation::builder(&p).config(c).build().unwrap().run();
         let speedup = ideal.speedup_over(&base);
         assert!(
             speedup > 1.20,
@@ -108,7 +118,7 @@ fn fdrt_option_distribution_is_paper_shaped() {
     for b in Benchmark::spec_focus() {
         let p = b.program();
         let r = run_with_strategy(&p, Strategy::Fdrt { pinning: true }, N);
-        let d = r.fdrt.expect("fdrt stats").option_distribution();
+        let d = r.metrics.fdrt.expect("fdrt stats").option_distribution();
         assert!(d[0] > 0.25, "{}: option A {:.2}", b.name, d[0]);
         assert!(
             (0.05..=0.60).contains(&(d[1] + d[2])),

@@ -45,8 +45,8 @@ fn table(jobs: &[Job], reports: &[SimReport]) -> String {
                 r.cycles,
                 r.ipc,
                 r.tc_inst_fraction(),
-                r.fwd.intra_cluster_fraction(),
-                r.fwd.mean_distance()
+                r.metrics.fwd.intra_cluster_fraction(),
+                r.metrics.fwd.mean_distance()
             )
         })
         .collect()

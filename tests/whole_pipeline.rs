@@ -2,7 +2,7 @@
 //! the fetch → execute → retire → fill loop, for every strategy.
 
 use ctcp::isa::{Executor, ProgramBuilder, Reg};
-use ctcp::sim::{run_with_strategy, SimConfig, Simulation, Strategy};
+use ctcp::sim::{SimConfig, SimReport, Simulation, Strategy};
 use ctcp::workload::Benchmark;
 
 const ALL_STRATEGIES: [Strategy; 7] = [
@@ -14,6 +14,16 @@ const ALL_STRATEGIES: [Strategy; 7] = [
     Strategy::Fdrt { pinning: true },
     Strategy::Fdrt { pinning: false },
 ];
+
+/// Local shim over the builder API with the old free-function shape.
+fn run_with_strategy(p: &ctcp::isa::Program, strategy: Strategy, max_insts: u64) -> SimReport {
+    Simulation::builder(p)
+        .strategy(strategy)
+        .max_insts(max_insts)
+        .build()
+        .expect("valid default geometry")
+        .run()
+}
 
 /// A small program mixing arithmetic, memory, calls, and loops.
 fn mixed_program() -> ctcp::isa::Program {
@@ -61,8 +71,8 @@ fn simulation_is_deterministic() {
         let b = run_with_strategy(&p, s, 10_000);
         assert_eq!(a.cycles, b.cycles, "{}", s.name());
         assert_eq!(a.instructions, b.instructions);
-        assert_eq!(a.insts_from_tc, b.insts_from_tc);
-        assert_eq!(a.cond_mispredicts, b.cond_mispredicts);
+        assert_eq!(a.metrics.insts_from_tc, b.metrics.insts_from_tc);
+        assert_eq!(a.metrics.cond_mispredicts, b.metrics.cond_mispredicts);
     }
 }
 
@@ -140,18 +150,18 @@ fn fdrt_improves_forwarding_locality_on_focus_benchmarks() {
         let base = run_with_strategy(&p, Strategy::Baseline, 40_000);
         let fdrt = run_with_strategy(&p, Strategy::Fdrt { pinning: true }, 40_000);
         assert!(
-            fdrt.fwd.intra_cluster_fraction() > base.fwd.intra_cluster_fraction(),
+            fdrt.metrics.fwd.intra_cluster_fraction() > base.metrics.fwd.intra_cluster_fraction(),
             "{}: fdrt {:.3} <= base {:.3}",
             b.name,
-            fdrt.fwd.intra_cluster_fraction(),
-            base.fwd.intra_cluster_fraction()
+            fdrt.metrics.fwd.intra_cluster_fraction(),
+            base.metrics.fwd.intra_cluster_fraction()
         );
         assert!(
-            fdrt.fwd.mean_distance() < base.fwd.mean_distance(),
+            fdrt.metrics.fwd.mean_distance() < base.metrics.fwd.mean_distance(),
             "{}: fdrt distance {:.3} >= base {:.3}",
             b.name,
-            fdrt.fwd.mean_distance(),
-            base.fwd.mean_distance()
+            fdrt.metrics.fwd.mean_distance(),
+            base.metrics.fwd.mean_distance()
         );
     }
 }
@@ -162,8 +172,8 @@ fn pinning_reduces_chain_migration() {
         let p = b.program();
         let pin = run_with_strategy(&p, Strategy::Fdrt { pinning: true }, 60_000);
         let nopin = run_with_strategy(&p, Strategy::Fdrt { pinning: false }, 60_000);
-        let sp = pin.fdrt.expect("stats");
-        let sn = nopin.fdrt.expect("stats");
+        let sp = pin.metrics.fdrt.expect("stats");
+        let sn = nopin.metrics.fdrt.expect("stats");
         assert!(
             sp.chain_migration_rate() < sn.chain_migration_rate(),
             "{}: pin {:.3} >= nopin {:.3}",
@@ -188,7 +198,11 @@ fn ideal_wide_machine_beats_narrow_machine() {
         ..SimConfig::default()
     };
     wide_ideal.engine.overrides.no_forward_latency = true;
-    let wide = Simulation::new(&p, wide_ideal).run();
+    let wide = Simulation::builder(&p)
+        .config(wide_ideal)
+        .build()
+        .unwrap()
+        .run();
 
     let mut narrow_cfg = SimConfig {
         strategy: Strategy::Baseline,
@@ -199,7 +213,11 @@ fn ideal_wide_machine_beats_narrow_machine() {
     narrow_cfg.engine.rename_width = 8;
     narrow_cfg.engine.retire_width = 8;
     narrow_cfg.engine.rob_entries = 64;
-    let narrow = Simulation::new(&p, narrow_cfg).run();
+    let narrow = Simulation::builder(&p)
+        .config(narrow_cfg)
+        .build()
+        .unwrap()
+        .run();
     assert!(
         narrow.ipc < wide.ipc,
         "8-wide {:.3} should lose to an ideal 16-wide {:.3}",
@@ -220,7 +238,7 @@ fn zero_hop_latency_is_an_upper_bound() {
             ..SimConfig::default()
         };
         c.engine.overrides.no_forward_latency = true;
-        let ideal = Simulation::new(&p, c).run();
+        let ideal = Simulation::builder(&p).config(c).build().unwrap().run();
         assert!(
             ideal.cycles <= real.cycles,
             "{}: ideal {} > real {}",
