@@ -5,11 +5,12 @@
 //! and then reports the best-of-N wall time. Run with `cargo bench
 //! --bench microbench`.
 
+use ctcp_core::{Engine, EngineConfig, FetchedInst, SteeringMode, TickResult};
 use ctcp_frontend::{BranchPredictor, HybridPredictor};
-use ctcp_isa::Executor;
+use ctcp_isa::{Executor, Instruction, Opcode, Reg};
 use ctcp_memory::{AccessKind, DataMemory, MemoryConfig};
 use ctcp_sim::{SimConfig, Simulation, Strategy};
-use ctcp_tracecache::{TraceCache, TraceCacheConfig};
+use ctcp_tracecache::{ProfileFields, TraceCache, TraceCacheConfig};
 use ctcp_workload::Benchmark;
 use std::time::Instant;
 
@@ -28,6 +29,51 @@ fn bench(name: &str, reps: u32, mut f: impl FnMut() -> u64) {
         best.unwrap().as_secs_f64() * 1e3,
         sink & 1
     );
+}
+
+fn fetched(seq: u64, group: u64, slot: usize, inst: Instruction) -> FetchedInst {
+    FetchedInst {
+        seq,
+        pc: 0x1000 + seq * 4,
+        index: seq as u32,
+        inst,
+        mem_addr: None,
+        taken: None,
+        slot: slot as u8,
+        group,
+        from_tc: false,
+        tc_loc: None,
+        profile: ProfileFields::default(),
+        mispredicted: false,
+    }
+}
+
+/// Times `cycles` engine ticks under a synthetic fetch stream, once per
+/// scheduler, so the legacy scan and the event-driven paths can be
+/// compared on the same wakeup/completion pattern.
+fn sched_bench(name: &str, cycles: u64, make: impl Fn(usize) -> Instruction + Copy) {
+    for legacy in [true, false] {
+        let tag = if legacy { "legacy" } else { "event" };
+        bench(&format!("{name}[{tag}]"), 5, || {
+            let mut engine = Engine::new(EngineConfig::default(), SteeringMode::Slot);
+            engine.set_legacy_scheduler(legacy);
+            let mut out = TickResult::default();
+            let (mut seq, mut group) = (0u64, 0u64);
+            let mut retired = 0u64;
+            for now in 0..cycles {
+                if engine.can_accept(16) {
+                    let g: [FetchedInst; 16] =
+                        std::array::from_fn(|i| fetched(seq + i as u64, group, i, make(i)));
+                    engine.accept(&g, now);
+                    seq += 16;
+                    group += 1;
+                }
+                engine.tick_into(now, &mut out);
+                retired += out.retired.len() as u64;
+            }
+            retired
+        });
+    }
 }
 
 fn main() {
@@ -75,19 +121,77 @@ fn main() {
         hits
     });
 
+    // Scheduler microbenches: the same synthetic fetch stream driven
+    // through the legacy scan-per-cycle scheduler and the event-driven
+    // one. Each case isolates one of the costs the rewrite attacks.
+
+    // ROB pressure: long-latency producers keep the window full, so the
+    // legacy per-cycle completion/select scans walk ~128 entries while
+    // the indexed path touches only the instructions that change state.
+    sched_bench("sched_rob_pressure_20k", 20_000, |i| {
+        if i == 0 {
+            Instruction::new(Opcode::Div, Some(Reg::int(0)), Some(Reg::int(1)), None, 0)
+        } else {
+            Instruction::new(
+                Opcode::Add,
+                Some(Reg::int((i % 8) as u8)),
+                Some(Reg::int(0)),
+                None,
+                0,
+            )
+        }
+    });
+
+    // Wakeup fan-out: fifteen consumers per group all wait on one div,
+    // stressing the completion broadcast (legacy: finishers x ROB x
+    // sources; event: one wakeup-list drain).
+    sched_bench("sched_wakeup_fanout_20k", 20_000, |i| {
+        if i == 0 {
+            Instruction::new(Opcode::Div, Some(Reg::int(7)), Some(Reg::int(1)), None, 0)
+        } else {
+            Instruction::new(
+                Opcode::Add,
+                Some(Reg::int((i % 4) as u8)),
+                Some(Reg::int(7)),
+                Some(Reg::int(7)),
+                0,
+            )
+        }
+    });
+
+    // Completion pop: independent ops with mixed latencies spread
+    // completions across cycles, stressing find-the-finishers (legacy:
+    // full ROB scan per cycle; event: pop the wheel's current slot).
+    sched_bench("sched_completion_pop_20k", 20_000, |i| {
+        let op = match i % 3 {
+            0 => Opcode::Add,
+            1 => Opcode::Mul,
+            _ => Opcode::Div,
+        };
+        Instruction::new(op, Some(Reg::int((i % 8) as u8)), None, None, 0)
+    });
+
     for strategy in [Strategy::Baseline, Strategy::Fdrt { pinning: true }] {
-        bench(&format!("simulate_20k[{}]", strategy.name()), 3, || {
-            let cfg = SimConfig {
-                strategy,
-                max_insts: 20_000,
-                ..SimConfig::default()
-            };
-            Simulation::builder(&program)
-                .config(cfg)
-                .build()
-                .unwrap()
-                .run()
-                .cycles
-        });
+        for legacy in [true, false] {
+            let tag = if legacy { "legacy" } else { "event" };
+            bench(
+                &format!("simulate_20k[{}/{tag}]", strategy.name()),
+                3,
+                || {
+                    let cfg = SimConfig {
+                        strategy,
+                        max_insts: 20_000,
+                        ..SimConfig::default()
+                    };
+                    Simulation::builder(&program)
+                        .config(cfg)
+                        .legacy_scheduler(legacy)
+                        .build()
+                        .unwrap()
+                        .run()
+                        .cycles
+                },
+            );
+        }
     }
 }

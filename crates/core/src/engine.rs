@@ -1,7 +1,17 @@
 //! The clustered out-of-order execution engine.
+//!
+//! Scheduling is event-driven: completions live in a calendar queue
+//! (popped exactly when due), wakeups traverse per-producer consumer
+//! lists built at rename, and selectable instructions sit in per-RS
+//! ready queues keyed by their operand-arrival cycle. The original
+//! scan-per-cycle scheduler is retained as a runtime-selectable
+//! determinism oracle (see [`Engine::set_legacy_scheduler`]); both
+//! paths produce cycle-for-cycle identical results.
 
 use crate::entry::{Entry, SrcState, Stage};
 use crate::fu::FuPool;
+use crate::rob::Rob;
+use crate::sched::{CompletionWheel, ReadyQueue};
 use crate::{EngineConfig, ForwardingStats, ProducerHistory, RsClass};
 use ctcp_isa::Instruction;
 use ctcp_memory::{AccessKind, CacheStats, DataMemory, StoreForward};
@@ -142,9 +152,20 @@ pub enum SteeringMode {
     IssueTime,
 }
 
+/// A producer that just completed, as seen by the consumers it wakes.
+struct Completed {
+    seq: u64,
+    at: u64,
+    cluster: u8,
+    group: u64,
+}
+
 struct ClusterState {
     dispatch_q: VecDeque<u64>,
+    /// Legacy scheduler only: flat per-RS candidate lists.
     rs: [Vec<u64>; 5],
+    /// Event scheduler only: per-RS ready/pending queues.
+    queues: [ReadyQueue; 5],
     fus: FuPool,
 }
 
@@ -153,6 +174,7 @@ impl ClusterState {
         ClusterState {
             dispatch_q: VecDeque::new(),
             rs: Default::default(),
+            queues: Default::default(),
             fus: FuPool::new(),
         }
     }
@@ -164,8 +186,7 @@ impl ClusterState {
 pub struct Engine {
     cfg: EngineConfig,
     mode: SteeringMode,
-    rob: VecDeque<Entry>,
-    rob_head_seq: u64,
+    rob: Rob,
     rat: [Option<u64>; ctcp_isa::Reg::NUM],
     clusters: Vec<ClusterState>,
     mem: DataMemory,
@@ -180,18 +201,31 @@ pub struct Engine {
     /// Cached `CTCP_TRACE` env check (an env lookup per executed
     /// instruction is measurable; the flag cannot change mid-run).
     debug_trace: bool,
+    /// Event-driven scheduling (the default). `false` selects the
+    /// legacy scan-per-cycle path, kept as a determinism oracle.
+    event_driven: bool,
+    /// Calendar queue of `(complete_cycle, seq)` execution completions.
+    wheel: CompletionWheel,
+    /// Scratch for the wheel's per-cycle drain (reused every tick).
+    scratch_events: Vec<(u64, u64)>,
+    /// Recycled consumer-list allocations: completion returns each
+    /// entry's list here; rename takes them back out.
+    consumer_pool: Vec<Vec<(u64, u8)>>,
+    /// Scratch for issue-time steering's per-group cluster counts.
+    steer_counts: Vec<u32>,
 }
 
 impl Engine {
-    /// Creates an empty engine.
+    /// Creates an empty engine. The scheduler defaults to event-driven;
+    /// set `CTCP_SCHED=legacy` in the environment (or call
+    /// [`Engine::set_legacy_scheduler`]) to select the scan oracle.
     pub fn new(cfg: EngineConfig, mode: SteeringMode) -> Self {
         let n = cfg.geometry.clusters as usize;
         Engine {
             mem: DataMemory::new(cfg.memory),
             cfg,
             mode,
-            rob: VecDeque::with_capacity(cfg.rob_entries),
-            rob_head_seq: 0,
+            rob: Rob::with_capacity(cfg.rob_entries),
             rat: [None; ctcp_isa::Reg::NUM],
             clusters: (0..n).map(|_| ClusterState::new()).collect(),
             unresolved_stores: BTreeSet::new(),
@@ -201,7 +235,29 @@ impl Engine {
             probe: Rc::new(NullProbe),
             probe_on: false,
             debug_trace: std::env::var("CTCP_TRACE").is_ok(),
+            event_driven: std::env::var("CTCP_SCHED").map_or(true, |v| v != "legacy"),
+            wheel: CompletionWheel::new(),
+            scratch_events: Vec::new(),
+            consumer_pool: Vec::new(),
+            steer_counts: Vec::new(),
         }
+    }
+
+    /// Selects the legacy scan-per-cycle scheduler (`legacy = true`) or
+    /// the event-driven one. The scan path is the determinism oracle:
+    /// differential tests run both and require byte-identical reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if instructions have already been accepted — the two
+    /// schedulers keep different bookkeeping and cannot be swapped
+    /// mid-flight.
+    pub fn set_legacy_scheduler(&mut self, legacy: bool) {
+        assert!(
+            self.rob.is_empty() && self.stats.retired == 0,
+            "scheduler must be selected before the first fetch group"
+        );
+        self.event_driven = !legacy;
     }
 
     /// Attaches a telemetry probe. The engine caches
@@ -262,14 +318,12 @@ impl Engine {
 
     #[inline]
     fn entry(&self, seq: u64) -> Option<&Entry> {
-        let off = seq.checked_sub(self.rob_head_seq)? as usize;
-        self.rob.get(off)
+        self.rob.get(seq)
     }
 
     #[inline]
     fn entry_mut(&mut self, seq: u64) -> Option<&mut Entry> {
-        let off = seq.checked_sub(self.rob_head_seq)? as usize;
-        self.rob.get_mut(off)
+        self.rob.get_mut(seq)
     }
 
     /// Renames and steers one fetch group at cycle `now`. Call
@@ -282,12 +336,28 @@ impl Engine {
     pub fn accept(&mut self, group: &[FetchedInst], now: u64) {
         assert!(self.can_accept(group.len()), "caller must check can_accept");
         // Issue-time steering balances within the cycle's group.
-        let mut cycle_counts = vec![0u32; self.cfg.geometry.clusters as usize];
+        let mut cycle_counts = std::mem::take(&mut self.steer_counts);
+        cycle_counts.clear();
+        cycle_counts.resize(self.cfg.geometry.clusters as usize, 0);
         let slots_per = u32::from(self.cfg.geometry.slots_per_cluster);
         for f in group {
-            let expected = self.rob_head_seq + self.rob.len() as u64;
+            let expected = self.rob.next_seq();
             assert_eq!(f.seq, expected, "sequence numbers must be dense");
             let srcs = self.resolve_sources(&f.inst, f.group, now);
+            if self.event_driven {
+                // Register this consumer on each still-executing
+                // producer's wakeup list; completion resolves exactly
+                // these sources instead of broadcasting over the ROB.
+                for (i, s) in srcs.iter().enumerate() {
+                    if let SrcState::Waiting { producer_seq } = *s {
+                        self.rob
+                            .get_mut(producer_seq)
+                            .expect("RAT points at in-ROB producer")
+                            .consumers
+                            .push((f.seq, i as u8));
+                    }
+                }
+            }
             let cluster = match self.mode {
                 SteeringMode::Slot => self.cfg.geometry.cluster_of_slot(f.slot),
                 SteeringMode::IssueTime => {
@@ -325,6 +395,10 @@ impl Engine {
                 dispatched_at: 0,
                 exec_start: 0,
                 feedback: ExecFeedback::default(),
+                consumers: self
+                    .consumer_pool
+                    .pop()
+                    .unwrap_or_else(|| Vec::with_capacity(4)),
             };
             if let Some(d) = f.inst.dest {
                 self.rat[d.index()] = Some(f.seq);
@@ -332,6 +406,7 @@ impl Engine {
             self.clusters[cluster as usize].dispatch_q.push_back(f.seq);
             self.rob.push_back(entry);
         }
+        self.steer_counts = cycle_counts;
     }
 
     fn resolve_sources(&self, inst: &Instruction, group: u64, now: u64) -> [SrcState; 2] {
@@ -376,7 +451,8 @@ impl Engine {
         // executing ranks above any executing one, ordered among its
         // peers by its opcode's execution latency — the steering
         // hardware's cheap criticality estimate.
-        let mut producers: Vec<(u8, u64)> = Vec::with_capacity(2);
+        let mut producers = [(0u8, 0u64); 2];
+        let mut np = 0;
         for s in srcs {
             let pc = match s {
                 SrcState::Waiting { producer_seq } => self.entry(*producer_seq).map(|e| {
@@ -391,29 +467,35 @@ impl Engine {
                 _ => None,
             };
             if let Some(p) = pc {
-                producers.push(p);
+                producers[np] = p;
+                np += 1;
             }
         }
         // Latest-completing producer first: that input is the one worth
-        // being next to.
-        producers.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-        let mut candidates: Vec<u8> = Vec::with_capacity(4);
-        for (c, _) in &producers {
-            if !candidates.contains(c) {
-                candidates.push(*c);
+        // being next to (stable on ties, like the old sort).
+        if np == 2 && producers[1].1 > producers[0].1 {
+            producers.swap(0, 1);
+        }
+        let mut candidates = [0u8; 8];
+        let mut nc = 0;
+        for &(c, _) in &producers[..np] {
+            if !candidates[..nc].contains(&c) {
+                candidates[nc] = c;
+                nc += 1;
             }
         }
-        if let Some(&first) = candidates.first() {
-            for nb in self.cfg.geometry.neighbors(first) {
-                if !candidates.contains(&nb) {
-                    candidates.push(nb);
+        if nc > 0 {
+            for nb in self.cfg.geometry.neighbors(candidates[0]) {
+                if nc < candidates.len() && !candidates[..nc].contains(&nb) {
+                    candidates[nc] = nb;
+                    nc += 1;
                 }
             }
         }
-        for c in &candidates {
-            if counts[*c as usize] < slots_per {
-                counts[*c as usize] += 1;
-                return *c;
+        for &c in &candidates[..nc] {
+            if counts[c as usize] < slots_per {
+                counts[c as usize] += 1;
+                return c;
             }
         }
         // Balance: least-loaded this cycle, most central first on ties.
@@ -427,21 +509,49 @@ impl Engine {
         c
     }
 
+    /// Occupancy of one reservation station, whichever scheduler owns it.
+    #[inline]
+    fn station_len(&self, ci: usize, rsi: usize) -> usize {
+        if self.event_driven {
+            self.clusters[ci].queues[rsi].occupancy
+        } else {
+            self.clusters[ci].rs[rsi].len()
+        }
+    }
+
     fn route_rs(&self, cluster: u8, class: ctcp_isa::OpClass) -> RsClass {
-        let cl = &self.clusters[cluster as usize];
-        let balance = cl.rs[RsClass::Simple1.index()].len() < cl.rs[RsClass::Simple0.index()].len();
+        let ci = cluster as usize;
+        let balance = self.station_len(ci, RsClass::Simple1.index())
+            < self.station_len(ci, RsClass::Simple0.index());
         RsClass::route(class, balance)
     }
 
-    /// Advances the back-end by one cycle.
+    /// Advances the back-end by one cycle, allocating a fresh
+    /// [`TickResult`]. Prefer [`Engine::tick_into`] on hot paths.
     pub fn tick(&mut self, now: u64) -> TickResult {
+        let mut out = TickResult::default();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// Advances the back-end by one cycle, reusing the caller's buffers:
+    /// `out` is cleared and refilled, so a caller that holds one
+    /// `TickResult` across cycles pays no per-cycle allocation.
+    pub fn tick_into(&mut self, now: u64, out: &mut TickResult) {
+        out.retired.clear();
+        out.redirects.clear();
         self.dispatch(now);
-        // Complete (and broadcast wakeups) before select so that a result
+        // Complete (and wake consumers) before select so that a result
         // produced at cycle `now` can be consumed intra-cluster at `now` —
         // the paper's "same cycle as instruction dispatch" forwarding.
-        let redirects = self.complete(now);
-        self.select_and_execute(now);
-        let retired = self.retire(now);
+        if self.event_driven {
+            self.complete_event(now, &mut out.redirects);
+            self.select_event(now);
+        } else {
+            self.complete_scan(now, &mut out.redirects);
+            self.select_scan(now);
+        }
+        self.retire_into(now, &mut out.retired);
         self.mem.drain_stores(2);
         if self.probe_on {
             self.probe.counter(Counter::Cycles, 1);
@@ -449,8 +559,11 @@ impl Engine {
             self.probe.observe(Hist::MshrOccupancy, mshrs);
             let lq = self.mem.load_queue_len() as u64;
             self.probe.observe(Hist::LoadQueueOccupancy, lq);
+            for ci in 0..self.clusters.len() {
+                let occ = (0..5).map(|rsi| self.station_len(ci, rsi)).sum::<usize>();
+                self.probe.observe(Hist::RsOccupancy, occ as u64);
+            }
         }
-        TickResult { retired, redirects }
     }
 
     fn dispatch(&mut self, now: u64) {
@@ -472,7 +585,7 @@ impl Engine {
                 }
                 let rs = entry.rs;
                 let is_load = entry.inst.op.is_load();
-                if self.clusters[ci].rs[rs.index()].len() >= self.cfg.rs_entries
+                if self.station_len(ci, rs.index()) >= self.cfg.rs_entries
                     || port_use[rs.index()] >= self.cfg.rs_write_ports
                 {
                     self.stats.rs_full_stalls += 1;
@@ -486,12 +599,30 @@ impl Engine {
                 }
                 port_use[rs.index()] += 1;
                 self.clusters[ci].dispatch_q.pop_front();
-                self.clusters[ci].rs[rs.index()].push(seq);
                 let at_wait = now - at;
                 self.stats.sum_dispatch_wait += at_wait;
                 let e = self.entry_mut(seq).expect("in ROB");
                 e.stage = Stage::InRs;
                 e.dispatched_at = now;
+                if self.event_driven {
+                    self.clusters[ci].queues[rs.index()].occupancy += 1;
+                    // If every operand is already resolved, the ready
+                    // cycle is final: file it now. Otherwise the last
+                    // producer's wakeup will file it.
+                    let ready_at = {
+                        let e = self.entry(seq).expect("in ROB");
+                        if e.srcs.iter().any(|s| matches!(s, SrcState::Waiting { .. })) {
+                            None
+                        } else {
+                            Some(self.readiness(e).expect("no waiting sources").0)
+                        }
+                    };
+                    if let Some(at) = ready_at {
+                        self.clusters[ci].queues[rs.index()].push_at(at, seq, now);
+                    }
+                } else {
+                    self.clusters[ci].rs[rs.index()].push(seq);
+                }
                 dispatched += 1;
             }
         }
@@ -549,47 +680,92 @@ impl Engine {
         Some((ready, critical))
     }
 
-    fn select_and_execute(&mut self, now: u64) {
+    /// Issue checks shared by both schedulers. `seq` must sit in a
+    /// reservation station of cluster `ci`. Returns `true` when
+    /// execution began (the caller removes it from its station).
+    fn try_issue(&mut self, seq: u64, now: u64, min_unresolved: Option<u64>, ci: usize) -> bool {
+        let e = self.entry(seq).expect("RS entries are in ROB");
+        debug_assert!(matches!(e.stage, Stage::InRs));
+        let Some((ready, critical)) = self.readiness(e) else {
+            return false;
+        };
+        if ready > now {
+            return false;
+        }
+        let op = e.inst.op;
+        // No speculative disambiguation: loads wait for all older store
+        // addresses.
+        if op.is_load() {
+            if let Some(ms) = min_unresolved {
+                if ms < seq {
+                    return false;
+                }
+            }
+        }
+        if op.is_store() && !self.mem.store_buffer().has_room() {
+            return false;
+        }
+        let lat = EngineConfig::opcode_latency(op);
+        if !self.clusters[ci]
+            .fus
+            .try_claim(op.fu_type(), now, lat.issue)
+        {
+            return false;
+        }
+        self.begin_execution(seq, now, lat.exec, critical);
+        true
+    }
+
+    /// Legacy select: poll `readiness()` on every station resident.
+    fn select_scan(&mut self, now: u64) {
         let min_unresolved = self.unresolved_stores.iter().next().copied();
         let mut issued = [0u32; 8];
         for ci in 0..self.clusters.len() {
             for rsi in 0..5 {
                 let candidates: Vec<u64> = self.clusters[ci].rs[rsi].clone();
                 for seq in candidates {
-                    let e = self.entry(seq).expect("RS entries are in ROB");
-                    debug_assert!(matches!(e.stage, Stage::InRs));
-                    let Some((ready, critical)) = self.readiness(e) else {
-                        continue;
-                    };
-                    if ready > now {
-                        continue;
+                    if self.try_issue(seq, now, min_unresolved, ci) {
+                        issued[ci.min(7)] += 1;
+                        self.clusters[ci].rs[rsi].retain(|&s| s != seq);
                     }
-                    let op = e.inst.op;
-                    // No speculative disambiguation: loads wait for all
-                    // older store addresses.
-                    if op.is_load() {
-                        if let Some(ms) = min_unresolved {
-                            if ms < seq {
-                                continue;
-                            }
-                        }
-                    }
-                    if op.is_store() && !self.mem.store_buffer().has_room() {
-                        continue;
-                    }
-                    let lat = EngineConfig::opcode_latency(op);
-                    if !self.clusters[ci]
-                        .fus
-                        .try_claim(op.fu_type(), now, lat.issue)
-                    {
-                        continue;
-                    }
-                    self.begin_execution(seq, now, lat.exec, critical);
-                    issued[ci.min(7)] += 1;
-                    self.clusters[ci].rs[rsi].retain(|&s| s != seq);
                 }
             }
         }
+        self.observe_issue(&issued);
+    }
+
+    /// Event-driven select: only entries whose operands have arrived are
+    /// visited; non-issuers (FU or memory structural hazards) stay via
+    /// in-place compaction instead of O(n) `retain` removals.
+    fn select_event(&mut self, now: u64) {
+        let min_unresolved = self.unresolved_stores.iter().next().copied();
+        let mut issued = [0u32; 8];
+        for ci in 0..self.clusters.len() {
+            for rsi in 0..5 {
+                self.clusters[ci].queues[rsi].promote(now);
+                if self.clusters[ci].queues[rsi].ready.is_empty() {
+                    continue;
+                }
+                let mut ready = std::mem::take(&mut self.clusters[ci].queues[rsi].ready);
+                let mut keep = 0;
+                for i in 0..ready.len() {
+                    let seq = ready[i];
+                    if self.try_issue(seq, now, min_unresolved, ci) {
+                        issued[ci.min(7)] += 1;
+                        self.clusters[ci].queues[rsi].occupancy -= 1;
+                    } else {
+                        ready[keep] = seq;
+                        keep += 1;
+                    }
+                }
+                ready.truncate(keep);
+                self.clusters[ci].queues[rsi].ready = ready;
+            }
+        }
+        self.observe_issue(&issued);
+    }
+
+    fn observe_issue(&mut self, issued: &[u32; 8]) {
         if self.probe_on {
             for ci in 0..self.clusters.len() {
                 let n = u64::from(issued[ci.min(7)]);
@@ -632,6 +808,12 @@ impl Engine {
                 "t={now} exec seq={seq} pc={:#x} {} cl={} complete={complete}",
                 e.pc, e.inst.op, e.cluster
             );
+        }
+        if self.event_driven {
+            // Every completion cycle the memory system can produce is
+            // strictly in the future, so the wheel never misses one.
+            debug_assert!(complete > now);
+            self.wheel.schedule(complete, seq);
         }
         let e = self.entry_mut(seq).expect("in ROB");
         e.stage = Stage::Executing { complete };
@@ -725,8 +907,9 @@ impl Engine {
         };
     }
 
-    fn complete(&mut self, now: u64) -> Vec<u64> {
-        let mut redirects = Vec::new();
+    /// Legacy complete: scan the ROB for finishers, then broadcast each
+    /// finisher against every entry's sources.
+    fn complete_scan(&mut self, now: u64, redirects: &mut Vec<u64>) {
         let mut completed: Vec<(u64, u64, u8, u64)> = Vec::new(); // (seq, cycle, cluster, group)
         for e in self.rob.iter_mut() {
             if let Stage::Executing { complete } = e.stage {
@@ -741,6 +924,8 @@ impl Engine {
             }
         }
         // Wakeup broadcast: resolve waiting consumers.
+        let n = completed.len() as u64;
+        let mut woken = 0u64;
         for (pseq, cycle, cluster, pgroup) in completed {
             for e in self.rob.iter_mut() {
                 for s in e.srcs.iter_mut() {
@@ -752,16 +937,100 @@ impl Engine {
                                 cluster,
                                 same_trace: e.group == pgroup,
                             };
+                            woken += 1;
                         }
                     }
                 }
             }
         }
-        redirects
+        self.note_completions(n, woken);
     }
 
-    fn retire(&mut self, now: u64) -> Vec<RetiredInst> {
-        let mut retired = Vec::new();
+    /// Event-driven complete: pop exactly the instructions finishing in
+    /// `(last_tick, now]` from the wheel and wake only their registered
+    /// consumers.
+    fn complete_event(&mut self, now: u64, redirects: &mut Vec<u64>) {
+        let mut events = std::mem::take(&mut self.scratch_events);
+        events.clear();
+        self.wheel.drain_into(now, &mut events);
+        let mut woken = 0u64;
+        for &(at, seq) in &events {
+            let e = self
+                .rob
+                .get_mut(seq)
+                .expect("completing entries are in ROB");
+            debug_assert!(matches!(e.stage, Stage::Executing { complete } if complete == at));
+            e.stage = Stage::Complete { at };
+            let (pcluster, pgroup) = (e.cluster, e.group);
+            if e.mispredicted {
+                redirects.push(seq);
+                self.stats.redirects += 1;
+            }
+            let producer = Completed {
+                seq,
+                at,
+                cluster: pcluster,
+                group: pgroup,
+            };
+            let consumers = std::mem::take(&mut e.consumers);
+            for &(cseq, si) in &consumers {
+                self.wake(cseq, usize::from(si), &producer, now);
+            }
+            woken += consumers.len() as u64;
+            let mut recycled = consumers;
+            recycled.clear();
+            self.consumer_pool.push(recycled);
+        }
+        // The wheel surfaces one cycle's completions in issue order; the
+        // legacy scan reported them in program order. Sort so the two
+        // paths stay observably identical.
+        redirects.sort_unstable();
+        self.note_completions(events.len() as u64, woken);
+        self.scratch_events = events;
+    }
+
+    /// Resolves consumer `cseq`'s source `si` against `producer`, and
+    /// files the consumer in its ready queue if that was its last
+    /// outstanding operand.
+    fn wake(&mut self, cseq: u64, si: usize, producer: &Completed, now: u64) {
+        let c = self
+            .rob
+            .get_mut(cseq)
+            .expect("registered consumers cannot retire before their producer");
+        debug_assert!(
+            matches!(c.srcs[si], SrcState::Waiting { producer_seq } if producer_seq == producer.seq)
+        );
+        c.srcs[si] = SrcState::Forwarded {
+            producer_seq: producer.seq,
+            complete: producer.at,
+            cluster: producer.cluster,
+            same_trace: c.group == producer.group,
+        };
+        let in_rs = matches!(c.stage, Stage::InRs);
+        let resolved = !c.srcs.iter().any(|s| matches!(s, SrcState::Waiting { .. }));
+        if !(in_rs && resolved) {
+            // Not dispatched yet (dispatch files it) or still waiting on
+            // another producer (that wakeup files it).
+            return;
+        }
+        let (ccl, crs) = (c.cluster as usize, c.rs.index());
+        let c = self.rob.get(cseq).expect("in ROB");
+        let (ready_at, _) = self.readiness(c).expect("all sources resolved");
+        self.clusters[ccl].queues[crs].push_at(ready_at, cseq, now);
+    }
+
+    fn note_completions(&mut self, completions: u64, woken: u64) {
+        if self.probe_on {
+            if completions > 0 {
+                self.probe.counter(Counter::SchedCompletions, completions);
+            }
+            if woken > 0 {
+                self.probe.counter(Counter::SchedWakeups, woken);
+            }
+        }
+    }
+
+    fn retire_into(&mut self, now: u64, retired: &mut Vec<RetiredInst>) {
         while retired.len() < self.cfg.retire_width {
             let Some(head) = self.rob.front() else { break };
             let Stage::Complete { at } = head.stage else {
@@ -771,7 +1040,6 @@ impl Engine {
                 break;
             }
             let e = self.rob.pop_front().expect("checked front");
-            self.rob_head_seq = e.seq + 1;
             if let Stage::Complete { at } = e.stage {
                 self.stats.sum_complete_to_retire += now - at;
                 if self.probe_on {
@@ -816,7 +1084,6 @@ impl Engine {
                 retire_cycle: now,
             });
         }
-        retired
     }
 }
 
@@ -862,6 +1129,59 @@ mod tests {
             }
         }
         (retired, now)
+    }
+
+    /// Runs the same fetch groups through a legacy-scan engine and an
+    /// event-driven engine in lockstep, asserting identical per-cycle
+    /// results and identical final statistics. Returns the retired
+    /// stream (from the event engine).
+    fn assert_schedulers_agree(
+        cfg: EngineConfig,
+        mode: SteeringMode,
+        groups: &[Vec<FetchedInst>],
+    ) -> Vec<RetiredInst> {
+        let mut legacy = Engine::new(cfg, mode);
+        legacy.set_legacy_scheduler(true);
+        let mut event = Engine::new(cfg, mode);
+        event.set_legacy_scheduler(false);
+        let mut gi = 0;
+        let mut retired = Vec::new();
+        for now in 0..50_000u64 {
+            assert_eq!(
+                legacy.in_flight(),
+                event.in_flight(),
+                "in-flight diverged at cycle {now}"
+            );
+            if gi < groups.len() && legacy.can_accept(groups[gi].len()) {
+                legacy.accept(&groups[gi], now);
+                event.accept(&groups[gi], now);
+                gi += 1;
+            }
+            let rl = legacy.tick(now);
+            let re = event.tick(now);
+            assert_eq!(
+                format!("{rl:?}"),
+                format!("{re:?}"),
+                "tick result diverged at cycle {now}"
+            );
+            retired.extend(re.retired);
+            if gi == groups.len() && event.in_flight() == 0 {
+                break;
+            }
+        }
+        assert_eq!(legacy.in_flight(), 0, "legacy engine did not drain");
+        assert_eq!(event.in_flight(), 0, "event engine did not drain");
+        assert_eq!(
+            format!("{:?}", legacy.stats()),
+            format!("{:?}", event.stats()),
+            "engine stats diverged"
+        );
+        assert_eq!(
+            format!("{:?}", legacy.forwarding_stats()),
+            format!("{:?}", event.forwarding_stats()),
+            "forwarding stats diverged"
+        );
+        retired
     }
 
     #[test]
@@ -1017,6 +1337,164 @@ mod tests {
     }
 
     #[test]
+    fn loads_wait_on_older_unresolved_store_across_clusters() {
+        // The store's address is produced late (div) on cluster 0;
+        // younger loads sit on clusters 1..3 with their own (disjoint)
+        // addresses. Without speculative disambiguation none of them may
+        // begin execution until the store's address resolves — and the
+        // ready-queue scheduler must reproduce the scan scheduler's
+        // behaviour cycle for cycle while they wait.
+        let div = Instruction::new(Opcode::Div, Some(Reg::R1), Some(Reg::R2), Some(Reg::R3), 0);
+        let st = Instruction::new(Opcode::St, None, Some(Reg::R1), Some(Reg::R4), 0);
+        let mut s = fetched(1, st, 1);
+        s.mem_addr = Some(0x5000);
+        let mut group = vec![fetched(0, div, 0), s];
+        for i in 0..3u64 {
+            let ld = Instruction::new(
+                Opcode::Ld,
+                Some(Reg::int(5 + i as u8)),
+                Some(Reg::R9),
+                None,
+                0,
+            );
+            let mut l = fetched(2 + i, ld, (4 * (i + 1)) as u8); // clusters 1, 2, 3
+            l.mem_addr = Some(0x6000 + 0x100 * i);
+            group.push(l);
+        }
+        let retired = assert_schedulers_agree(cfg(), SteeringMode::Slot, &[group]);
+        assert_eq!(retired.len(), 5);
+        // The div (latency 20) gates the store; every load must retire
+        // after the store's address resolved, despite disjoint addresses
+        // and free load ports on their clusters.
+        let store_retire = retired[1].retire_cycle;
+        for r in &retired[2..] {
+            assert!(r.cluster >= 1, "loads sit on remote clusters");
+            assert!(
+                r.retire_cycle >= store_retire && r.retire_cycle > 20,
+                "load seq {} retired at {} before the store resolved",
+                r.seq,
+                r.retire_cycle
+            );
+        }
+    }
+
+    #[test]
+    fn schedulers_agree_on_cross_cluster_chains() {
+        // Mixed-latency dependency chains spanning clusters, several
+        // groups deep, under slot steering.
+        let mut groups = Vec::new();
+        let mut seq = 0u64;
+        for g in 0..6u64 {
+            let mut group = Vec::new();
+            for i in 0..8u64 {
+                let slot = ((i * 3 + g) % 16) as u8;
+                let inst = match i % 4 {
+                    0 => Instruction::new(
+                        Opcode::Div,
+                        Some(Reg::int((i % 8) as u8)),
+                        Some(Reg::R9),
+                        Some(Reg::R10),
+                        0,
+                    ),
+                    1 => Instruction::new(
+                        Opcode::Mul,
+                        Some(Reg::int((i % 8) as u8)),
+                        Some(Reg::int(((i + 3) % 8) as u8)),
+                        Some(Reg::R9),
+                        0,
+                    ),
+                    _ => add(
+                        Reg::int((i % 8) as u8),
+                        Reg::int(((i + 1) % 8) as u8),
+                        Reg::int(((i + 5) % 8) as u8),
+                    ),
+                };
+                let mut f = fetched(seq, inst, slot);
+                f.group = g;
+                group.push(f);
+                seq += 1;
+            }
+            groups.push(group);
+        }
+        assert_schedulers_agree(cfg(), SteeringMode::Slot, &groups);
+        assert_schedulers_agree(cfg(), SteeringMode::IssueTime, &groups);
+    }
+
+    #[test]
+    fn schedulers_agree_on_random_mix() {
+        // Deterministic LCG-generated soup of ALU ops, loads, stores and
+        // branches across many fetch groups, run under both steering
+        // modes. This is the broadest engine-level differential net; the
+        // sim-level test covers full benchmarks.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut groups = Vec::new();
+        let mut seq = 0u64;
+        for g in 0..40u64 {
+            let n = 1 + (rnd() % 16);
+            let mut group = Vec::new();
+            for _ in 0..n {
+                let d = Reg::int((rnd() % 8) as u8);
+                let a = Reg::int((rnd() % 12) as u8);
+                let b = Reg::int((rnd() % 12) as u8);
+                let slot = (seq % 16) as u8;
+                let mut f = match rnd() % 10 {
+                    0 => fetched(
+                        seq,
+                        Instruction::new(Opcode::Div, Some(d), Some(a), Some(b), 0),
+                        slot,
+                    ),
+                    1 | 2 => {
+                        let mut f = fetched(
+                            seq,
+                            Instruction::new(Opcode::Ld, Some(d), Some(a), None, 0),
+                            slot,
+                        );
+                        f.mem_addr = Some((rnd() % 0x4000) * 8);
+                        f
+                    }
+                    3 => {
+                        let mut f = fetched(
+                            seq,
+                            Instruction::new(Opcode::St, None, Some(a), Some(b), 0),
+                            slot,
+                        );
+                        f.mem_addr = Some((rnd() % 0x4000) * 8);
+                        f
+                    }
+                    4 => {
+                        let mut f = fetched(
+                            seq,
+                            Instruction::new(Opcode::Bne, None, Some(a), Some(b), 0),
+                            slot,
+                        );
+                        f.taken = Some(rnd() % 2 == 0);
+                        f.mispredicted = rnd() % 4 == 0;
+                        f
+                    }
+                    5 => fetched(
+                        seq,
+                        Instruction::new(Opcode::Mul, Some(d), Some(a), Some(b), 0),
+                        slot,
+                    ),
+                    _ => fetched(seq, add(d, a, b), slot),
+                };
+                f.group = g;
+                group.push(f);
+                seq += 1;
+            }
+            groups.push(group);
+        }
+        assert_schedulers_agree(cfg(), SteeringMode::Slot, &groups);
+        assert_schedulers_agree(cfg(), SteeringMode::IssueTime, &groups);
+    }
+
+    #[test]
     fn mispredicted_branch_reports_redirect() {
         let mut e = Engine::new(cfg(), SteeringMode::Slot);
         let br = Instruction::new(Opcode::Bne, None, Some(Reg::R1), Some(Reg::R2), 0);
@@ -1085,5 +1563,52 @@ mod tests {
         });
         assert!(ideal < base);
         assert_eq!(crit, ideal, "single forwarded input is the critical one");
+    }
+
+    #[test]
+    fn latency_overrides_agree_across_schedulers() {
+        use crate::LatencyOverrides;
+        for ov in [
+            LatencyOverrides {
+                no_forward_latency: true,
+                ..Default::default()
+            },
+            LatencyOverrides {
+                no_intra_trace_latency: true,
+                ..Default::default()
+            },
+            LatencyOverrides {
+                no_inter_trace_latency: true,
+                ..Default::default()
+            },
+            LatencyOverrides {
+                no_critical_forward_latency: true,
+                ..Default::default()
+            },
+        ] {
+            let mut c = cfg();
+            c.overrides = ov;
+            let mut groups = Vec::new();
+            for g in 0..4u64 {
+                let group: Vec<FetchedInst> = (0..8u64)
+                    .map(|i| {
+                        let seq = g * 8 + i;
+                        let mut f = fetched(
+                            seq,
+                            add(
+                                Reg::int((seq % 8) as u8),
+                                Reg::int(((seq + 2) % 8) as u8),
+                                Reg::int(((seq + 5) % 10) as u8),
+                            ),
+                            ((seq * 5) % 16) as u8,
+                        );
+                        f.group = g;
+                        f
+                    })
+                    .collect();
+                groups.push(group);
+            }
+            assert_schedulers_agree(c, SteeringMode::Slot, &groups);
+        }
     }
 }

@@ -69,6 +69,12 @@ pub(crate) struct Entry {
     pub exec_start: u64,
     /// Execution feedback being accumulated for the fill unit.
     pub feedback: ctcp_tracecache::ExecFeedback,
+    /// Wakeup list: `(consumer_seq, src_index)` pairs registered at
+    /// rename for each in-flight instruction still waiting on this
+    /// entry's result. Completion resolves exactly these sources, so no
+    /// ROB-wide broadcast is needed. Drained (and the allocation
+    /// recycled) when this entry completes.
+    pub consumers: Vec<(u64, u8)>,
 }
 
 impl Entry {

@@ -33,7 +33,9 @@ mod entry;
 mod forwarding;
 mod fu;
 mod geometry;
+mod rob;
 mod rs;
+mod sched;
 
 pub use config::{EngineConfig, FuLatency, LatencyOverrides};
 pub use engine::{

@@ -1,0 +1,213 @@
+//! Event-driven scheduling structures: the completion wheel and the
+//! per-reservation-station ready queues.
+//!
+//! Both exist to remove the per-cycle O(ROB) scans from the engine's
+//! `complete` and `select_and_execute` phases. A finish cycle is fixed
+//! the moment execution begins, so completions live in a calendar queue
+//! ([`CompletionWheel`]) and are popped exactly when due. A source's
+//! arrival cycle is fixed the moment its last producer completes (or at
+//! dispatch when nothing is outstanding), so selectable instructions
+//! live in [`ReadyQueue`]s keyed by that cycle instead of being
+//! re-polled with `readiness()` every cycle.
+
+/// Number of slots in the completion wheel. Must comfortably exceed the
+/// longest single-instruction latency (worst case is a load that misses
+/// to memory plus MSHR queueing, well under 200 cycles), so events
+/// almost never sit more than one lap out.
+const WHEEL_SLOTS: usize = 256;
+
+/// A calendar queue of `(complete_cycle, seq)` events keyed by finish
+/// cycle modulo [`WHEEL_SLOTS`]. Each slot holds the events for every
+/// lap, with a residual check on drain, so multi-lap latencies are
+/// correct (just slightly slower to pop).
+pub(crate) struct CompletionWheel {
+    slots: Vec<Vec<(u64, u64)>>,
+    /// Last cycle fully drained; events are only scheduled after it.
+    cursor: u64,
+    len: usize,
+}
+
+impl CompletionWheel {
+    pub(crate) fn new() -> Self {
+        CompletionWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Schedules `seq` to complete at `complete`, which must be in the
+    /// future relative to the last `drain_into` call.
+    pub(crate) fn schedule(&mut self, complete: u64, seq: u64) {
+        debug_assert!(
+            complete > self.cursor,
+            "completion at {complete} scheduled after cycle {} was drained",
+            self.cursor
+        );
+        self.slots[(complete as usize) % WHEEL_SLOTS].push((complete, seq));
+        self.len += 1;
+    }
+
+    /// Appends every event due in `(cursor, now]` to `out`, ordered by
+    /// cycle (events within one cycle keep their scheduling order).
+    pub(crate) fn drain_into(&mut self, now: u64, out: &mut Vec<(u64, u64)>) {
+        if now <= self.cursor {
+            return;
+        }
+        if self.len == 0 {
+            self.cursor = now;
+            return;
+        }
+        if now - self.cursor >= WHEEL_SLOTS as u64 {
+            // Catch-up path for a caller that skipped far ahead: one pass
+            // over every slot, then sort for a deterministic cycle order.
+            let start = out.len();
+            for slot in &mut self.slots {
+                let mut keep = 0;
+                for i in 0..slot.len() {
+                    let ev = slot[i];
+                    if ev.0 <= now {
+                        out.push(ev);
+                    } else {
+                        slot[keep] = ev;
+                        keep += 1;
+                    }
+                }
+                slot.truncate(keep);
+            }
+            self.len -= out.len() - start;
+            out[start..].sort_unstable();
+            self.cursor = now;
+            return;
+        }
+        for cycle in (self.cursor + 1)..=now {
+            let slot = &mut self.slots[(cycle as usize) % WHEEL_SLOTS];
+            if slot.is_empty() {
+                continue;
+            }
+            // Residual entries from later laps stay; in-place compaction
+            // avoids any per-cycle allocation.
+            let mut keep = 0;
+            for i in 0..slot.len() {
+                let ev = slot[i];
+                if ev.0 == cycle {
+                    out.push(ev);
+                    self.len -= 1;
+                } else {
+                    slot[keep] = ev;
+                    keep += 1;
+                }
+            }
+            slot.truncate(keep);
+        }
+        self.cursor = now;
+    }
+}
+
+/// Instructions in one reservation station, partitioned by whether
+/// their operands have arrived. `ready` is kept in ascending sequence
+/// order so selection visits candidates in the same (program) order the
+/// legacy scan did; `pending` is ordered by `(ready_at, seq)` so
+/// promotion is a prefix drain.
+#[derive(Debug, Default)]
+pub(crate) struct ReadyQueue {
+    /// Entries occupying this station (ready + pending + blocked); this
+    /// is what dispatch checks against `rs_entries`.
+    pub(crate) occupancy: usize,
+    /// Selectable now (operands arrived), ascending seq.
+    pub(crate) ready: Vec<u64>,
+    /// Operands arrive at a known future cycle, ascending `(at, seq)`.
+    pending: Vec<(u64, u64)>,
+}
+
+impl ReadyQueue {
+    /// Files `seq`, whose operands arrive at `ready_at`, under the
+    /// current cycle `now`. Does not touch `occupancy` — that tracks
+    /// station residency, which starts at dispatch.
+    pub(crate) fn push_at(&mut self, ready_at: u64, seq: u64, now: u64) {
+        if ready_at <= now {
+            let i = self.ready.partition_point(|&s| s < seq);
+            self.ready.insert(i, seq);
+        } else {
+            let key = (ready_at, seq);
+            let i = self.pending.partition_point(|&p| p < key);
+            self.pending.insert(i, key);
+        }
+    }
+
+    /// Moves every pending entry whose arrival cycle has come into the
+    /// ready list.
+    pub(crate) fn promote(&mut self, now: u64) {
+        let n = self.pending.partition_point(|&(at, _)| at <= now);
+        for idx in 0..n {
+            let seq = self.pending[idx].1;
+            let i = self.ready.partition_point(|&s| s < seq);
+            self.ready.insert(i, seq);
+        }
+        self.pending.drain(..n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_pops_exactly_whats_due_in_order() {
+        let mut w = CompletionWheel::new();
+        w.schedule(3, 30);
+        w.schedule(1, 10);
+        w.schedule(2, 20);
+        w.schedule(1, 11);
+        let mut out = Vec::new();
+        w.drain_into(2, &mut out);
+        assert_eq!(out, vec![(1, 10), (1, 11), (2, 20)]);
+        out.clear();
+        w.drain_into(2, &mut out);
+        assert!(out.is_empty(), "re-draining the same cycle yields nothing");
+        w.drain_into(3, &mut out);
+        assert_eq!(out, vec![(3, 30)]);
+    }
+
+    #[test]
+    fn wheel_keeps_multi_lap_residents() {
+        let mut w = CompletionWheel::new();
+        let far = 5 + WHEEL_SLOTS as u64; // same slot as cycle 5, next lap
+        w.schedule(far, 99);
+        w.schedule(5, 1);
+        let mut out = Vec::new();
+        w.drain_into(5, &mut out);
+        assert_eq!(out, vec![(5, 1)]);
+        out.clear();
+        w.drain_into(far - 1, &mut out);
+        assert!(out.is_empty());
+        w.drain_into(far, &mut out);
+        assert_eq!(out, vec![(far, 99)]);
+    }
+
+    #[test]
+    fn wheel_catch_up_path_sorts_by_cycle() {
+        let mut w = CompletionWheel::new();
+        w.schedule(300, 3);
+        w.schedule(7, 7);
+        w.schedule(150, 1);
+        let mut out = Vec::new();
+        // Jump well past a full lap in one call.
+        w.drain_into(1000, &mut out);
+        assert_eq!(out, vec![(7, 7), (150, 1), (300, 3)]);
+    }
+
+    #[test]
+    fn ready_queue_promotes_in_seq_order() {
+        let mut q = ReadyQueue::default();
+        q.push_at(5, 42, 0); // future -> pending
+        q.push_at(0, 7, 0); // already ready
+        q.push_at(5, 13, 0);
+        q.push_at(3, 99, 0);
+        assert_eq!(q.ready, vec![7]);
+        q.promote(4);
+        assert_eq!(q.ready, vec![7, 99]);
+        q.promote(5);
+        assert_eq!(q.ready, vec![7, 13, 42, 99]);
+    }
+}

@@ -100,6 +100,7 @@ pub struct SimBuilder<'p> {
     program: &'p Program,
     cfg: SimConfig,
     probe: Option<Rc<dyn Probe>>,
+    legacy_scheduler: Option<bool>,
 }
 
 impl<'p> SimBuilder<'p> {
@@ -109,6 +110,7 @@ impl<'p> SimBuilder<'p> {
             program,
             cfg: SimConfig::default(),
             probe: None,
+            legacy_scheduler: None,
         }
     }
 
@@ -164,6 +166,18 @@ impl<'p> SimBuilder<'p> {
         self
     }
 
+    /// Selects the engine's legacy scan-per-cycle scheduler instead of
+    /// the event-driven one. The scan path is kept as a determinism
+    /// oracle: differential tests run both schedulers and require
+    /// byte-identical reports, so this knob exists for validation and
+    /// debugging, not performance. Deliberately *not* part of
+    /// [`SimConfig`] — it cannot change simulation results, so it must
+    /// not perturb result-store cache keys (which hash the config).
+    pub fn legacy_scheduler(mut self, legacy: bool) -> Self {
+        self.legacy_scheduler = Some(legacy);
+        self
+    }
+
     /// Validates the configuration and constructs the simulation.
     ///
     /// # Errors
@@ -200,6 +214,7 @@ impl<'p> SimBuilder<'p> {
             self.cfg,
             self.probe
                 .unwrap_or_else(|| Rc::new(ctcp_telemetry::NullProbe)),
+            self.legacy_scheduler,
         ))
     }
 }
@@ -293,6 +308,59 @@ mod tests {
         .to_string();
         assert!(msg.contains("rename width 8"), "{msg}");
         assert!(msg.contains("16 slots"), "{msg}");
+    }
+
+    #[test]
+    fn deprecated_constructor_validates_like_the_builder() {
+        // `Simulation::new` must route through the builder: the same
+        // invalid geometry that the builder rejects with a typed error
+        // has to surface from the shim as a panic carrying that error's
+        // message — not slip through unvalidated.
+        let p = tiny();
+        for (cfg, _name) in [
+            (
+                {
+                    let mut c = SimConfig::default();
+                    c.engine.geometry.clusters = 0;
+                    c
+                },
+                "zero clusters",
+            ),
+            (
+                {
+                    let mut c = SimConfig::default();
+                    c.engine.rob_entries = 8;
+                    c
+                },
+                "tiny rob",
+            ),
+        ] {
+            let builder_err = Simulation::builder(&p).config(cfg).build().err().unwrap();
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {})); // silence expected panic
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[allow(deprecated)]
+                let _ = Simulation::new(&p, cfg);
+            }));
+            std::panic::set_hook(hook);
+            let payload = result.expect_err("invalid config must not build");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic message is a String");
+            assert_eq!(
+                msg,
+                format!("invalid simulation configuration: {builder_err}")
+            );
+        }
+    }
+
+    #[test]
+    fn deprecated_run_with_strategy_routes_through_builder() {
+        let p = tiny();
+        #[allow(deprecated)]
+        let r = crate::run_with_strategy(&p, Strategy::Baseline, 100);
+        assert_eq!(r.instructions, 2);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::report::{MetricsSnapshot, SimReport};
 use crate::stream::InstStream;
 use crate::{SimConfig, Strategy};
 use ctcp_core::assign::RetireTimeStrategy;
-use ctcp_core::{Engine, FetchedInst};
+use ctcp_core::{Engine, FetchedInst, TickResult};
 use ctcp_frontend::{BranchPredictor, Btb, HybridPredictor, ICache, ReturnAddressStack};
 use ctcp_isa::{DynInst, Executor, Opcode, Program};
 use ctcp_telemetry::{Counter, Hist, Probe};
@@ -31,6 +31,8 @@ pub struct Simulation<'p> {
     fill: FillUnit,
     engine: Engine,
     retire_strategy: RetireTimeStrategy,
+    /// Reused across cycles so `Engine::tick_into` never allocates.
+    tick_buf: TickResult,
     delivery: VecDeque<(u64, Vec<FetchedInst>)>,
     installs: VecDeque<(u64, TraceLine)>,
     now: u64,
@@ -78,9 +80,13 @@ impl<'p> Simulation<'p> {
         program: &'p Program,
         config: SimConfig,
         probe: Rc<dyn Probe>,
+        legacy_scheduler: Option<bool>,
     ) -> Self {
         let cfg = config.normalized();
         let mut engine = Engine::new(cfg.engine, cfg.strategy.steering_mode());
+        if let Some(legacy) = legacy_scheduler {
+            engine.set_legacy_scheduler(legacy);
+        }
         engine.set_probe(Rc::clone(&probe));
         let probe_on = probe.enabled();
         Simulation {
@@ -93,6 +99,7 @@ impl<'p> Simulation<'p> {
             fill: FillUnit::new(cfg.fill),
             engine,
             retire_strategy: cfg.strategy.retire_time(),
+            tick_buf: TickResult::default(),
             delivery: VecDeque::new(),
             installs: VecDeque::new(),
             now: 0,
@@ -160,8 +167,11 @@ impl<'p> Simulation<'p> {
             }
         }
 
-        // 4. Execute one cycle.
-        let result = self.engine.tick(now);
+        // 4. Execute one cycle into the reused buffer (no per-cycle
+        // allocation; taken locally to keep the borrow checker happy
+        // around the fill-unit calls below).
+        let mut result = std::mem::take(&mut self.tick_buf);
+        self.engine.tick_into(now, &mut result);
 
         // 5. Resume fetch once the awaited mispredicted branch resolves.
         if let Some(seq) = self.waiting_redirect {
@@ -176,7 +186,7 @@ impl<'p> Simulation<'p> {
         // and the gshare history register still matches the prediction's
         // index — equivalent to retire-time training with a checkpointed
         // history.)
-        for r in result.retired {
+        for r in result.retired.drain(..) {
             let pending = PendingInst {
                 seq: r.seq,
                 index: r.index,
@@ -209,6 +219,9 @@ impl<'p> Simulation<'p> {
                 break;
             }
         }
+        // The drain clears the buffer (even on a budget-truncated break)
+        // while its capacity survives for the next cycle.
+        self.tick_buf = result;
     }
 
     /// Runs retire-time assignment on a finalised trace and schedules its

@@ -36,11 +36,17 @@ pub enum Counter {
     EventsSampled,
     /// Pipeline events overwritten because the ring was full.
     EventsDropped,
+    /// Instructions whose execution completed (scheduler completion
+    /// events; equals the completion-wheel pops on the event path).
+    SchedCompletions,
+    /// Source operands resolved by a producer's completion (wakeup
+    /// fan-out; one per `Waiting → Forwarded` transition).
+    SchedWakeups,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 14] = [
         Counter::Cycles,
         Counter::Retired,
         Counter::FetchGroups,
@@ -53,6 +59,8 @@ impl Counter {
         Counter::PredictorLookups,
         Counter::EventsSampled,
         Counter::EventsDropped,
+        Counter::SchedCompletions,
+        Counter::SchedWakeups,
     ];
 
     /// Number of distinct counters.
@@ -73,6 +81,8 @@ impl Counter {
             Counter::PredictorLookups => "predictor_lookups",
             Counter::EventsSampled => "events_sampled",
             Counter::EventsDropped => "events_dropped",
+            Counter::SchedCompletions => "sched_completions",
+            Counter::SchedWakeups => "sched_wakeups",
         }
     }
 
@@ -100,17 +110,21 @@ pub enum Hist {
     MshrOccupancy,
     /// Load-queue entries, sampled once per cycle.
     LoadQueueOccupancy,
+    /// Reservation-station residents per cluster, sampled once per
+    /// cluster per cycle (all five stations summed).
+    RsOccupancy,
 }
 
 impl Hist {
     /// Every histogram, in export order.
-    pub const ALL: [Hist; 6] = [
+    pub const ALL: [Hist; 7] = [
         Hist::ClusterIssueOccupancy,
         Hist::ForwardLatency,
         Hist::TraceSize,
         Hist::ReorderDistance,
         Hist::MshrOccupancy,
         Hist::LoadQueueOccupancy,
+        Hist::RsOccupancy,
     ];
 
     /// Number of distinct histograms.
@@ -125,6 +139,7 @@ impl Hist {
             Hist::ReorderDistance => "reorder_distance",
             Hist::MshrOccupancy => "mshr_occupancy",
             Hist::LoadQueueOccupancy => "load_queue_occupancy",
+            Hist::RsOccupancy => "rs_occupancy",
         }
     }
 
