@@ -130,6 +130,26 @@ impl Default for SweepArgs {
     }
 }
 
+/// Maintenance action for the on-disk result store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreAction {
+    /// Read-only integrity scan; exits non-zero if corruption is found.
+    Verify,
+    /// Rewrite to one line per key (newest wins), quarantining damage.
+    Compact,
+    /// Compact, then delete the quarantine file.
+    Gc,
+}
+
+/// Options for the `store` maintenance command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreArgs {
+    /// What to do to the store.
+    pub action: StoreAction,
+    /// Store directory; `None` means the default `target/ctcp-results`.
+    pub dir: Option<String>,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -145,6 +165,8 @@ pub enum Command {
     Trace(TraceArgs),
     /// Print the disassembly of the selected program.
     Disasm(ProgramSource),
+    /// Inspect or maintain the on-disk result store.
+    Store(StoreArgs),
     /// Print usage.
     Help,
 }
@@ -214,6 +236,7 @@ impl Cli {
             "compare" => Command::Compare(parse_run_args(rest)?),
             "sweep" => Command::Sweep(parse_sweep_args(rest)?),
             "trace" => Command::Trace(parse_trace_args(rest)?),
+            "store" => Command::Store(parse_store_args(rest)?),
             "disasm" => {
                 let ra = parse_run_args(rest)?;
                 Command::Disasm(ra.source)
@@ -323,6 +346,41 @@ fn parse_trace_args(rest: &[String]) -> Result<TraceArgs, CliError> {
     Ok(out)
 }
 
+fn parse_store_args(rest: &[String]) -> Result<StoreArgs, CliError> {
+    let Some(action) = rest.first() else {
+        return Err(CliError(
+            "store needs an action (verify|compact|gc)".to_string(),
+        ));
+    };
+    let action = match action.as_str() {
+        "verify" => StoreAction::Verify,
+        "compact" => StoreAction::Compact,
+        "gc" => StoreAction::Gc,
+        other => {
+            return Err(CliError(format!(
+                "unknown store action {other:?} (verify|compact|gc)"
+            )))
+        }
+    };
+    let mut dir = None;
+    let mut i = 1;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--dir" => {
+                i += 1;
+                dir = Some(
+                    rest.get(i)
+                        .cloned()
+                        .ok_or_else(|| CliError("--dir needs a value".to_string()))?,
+                );
+            }
+            other => return Err(CliError(format!("unknown flag {other:?}"))),
+        }
+        i += 1;
+    }
+    Ok(StoreArgs { action, dir })
+}
+
 fn parse_topology(s: &str) -> Result<Topology, CliError> {
     match s {
         "linear" => Ok(Topology::Linear),
@@ -423,6 +481,7 @@ USAGE:
   ctcp sweep   [SWEEP OPTIONS]            run a strategy/benchmark/geometry grid
   ctcp trace   [BENCH] [TRACE OPTIONS]    simulate with telemetry, export a trace
   ctcp disasm  [SOURCE]                   print program disassembly
+  ctcp store   ACTION [--dir D]           inspect or maintain the result store
   ctcp help                               this text
 
 SOURCE:
@@ -450,6 +509,14 @@ SWEEP OPTIONS:
   --cache             memoize cells in target/ctcp-results/
   --csv               machine-readable output
   --metrics-out FILE  stream one JSONL metrics record per simulated cell
+
+STORE ACTIONS (sweep exits non-zero when any cell fails; so does
+`store verify` on corruption):
+  verify              read-only integrity scan of the result store
+  compact             rewrite to one line per key (newest wins),
+                      quarantining corrupt lines
+  gc                  compact, then delete the quarantine file
+  --dir D             store directory (default: target/ctcp-results)
 
 TRACE OPTIONS (plus SOURCE and OPTIONS above):
   --out FILE          Chrome trace-event JSON path (default: ctcp-trace.json;
@@ -629,6 +696,38 @@ mod tests {
         assert!(Cli::parse(["sweep", "--topology", "torus"]).is_err());
         assert!(Cli::parse(["sweep", "--frobnicate"]).is_err());
         assert!(Cli::parse(["sweep", "--jobs"]).is_err());
+    }
+
+    #[test]
+    fn store_actions_parse() {
+        for (word, action) in [
+            ("verify", StoreAction::Verify),
+            ("compact", StoreAction::Compact),
+            ("gc", StoreAction::Gc),
+        ] {
+            let cli = Cli::parse(["store", word]).unwrap();
+            assert_eq!(
+                cli.command,
+                Command::Store(StoreArgs { action, dir: None }),
+                "{word}"
+            );
+        }
+        let cli = Cli::parse(["store", "verify", "--dir", "/tmp/s"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Store(StoreArgs {
+                action: StoreAction::Verify,
+                dir: Some("/tmp/s".into()),
+            })
+        );
+    }
+
+    #[test]
+    fn store_rejects_bad_forms() {
+        assert!(Cli::parse(["store"]).is_err());
+        assert!(Cli::parse(["store", "polish"]).is_err());
+        assert!(Cli::parse(["store", "verify", "--dir"]).is_err());
+        assert!(Cli::parse(["store", "verify", "--frobnicate"]).is_err());
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Command execution: everything returns the text to print so it can be
 //! asserted on in tests.
 
-use crate::args::{Cli, CliError, Command, ProgramSource, RunArgs, SweepArgs, TraceArgs, USAGE};
+use crate::args::{
+    Cli, CliError, Command, ProgramSource, RunArgs, StoreAction, StoreArgs, SweepArgs, TraceArgs,
+    USAGE,
+};
 use ctcp_core::Topology;
-use ctcp_harness::{Harness, Job, ResultStore};
+use ctcp_harness::{failure_table, Harness, Job, ResultStore};
 use ctcp_isa::{asm, Program};
 use ctcp_sim::{SimConfig, SimReport, Simulation, Strategy};
 use ctcp_telemetry::{
@@ -11,6 +14,7 @@ use ctcp_telemetry::{
     RecorderConfig,
 };
 use ctcp_workload::Benchmark;
+use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -53,7 +57,9 @@ fn build_sim<'p>(
 }
 
 fn simulate(program: &Program, args: &RunArgs, strategy: Strategy) -> Result<SimReport, CliError> {
-    Ok(build_sim(program, config(args, strategy), None)?.run())
+    build_sim(program, config(args, strategy), None)?
+        .try_run()
+        .map_err(|e| CliError(e.to_string()))
 }
 
 fn describe(source: &ProgramSource) -> String {
@@ -63,14 +69,66 @@ fn describe(source: &ProgramSource) -> String {
     }
 }
 
+/// What a command produced: the text for stdout plus the exit code the
+/// binary should end with.
+///
+/// Commands that partially fail — a sweep with crashed cells, a store
+/// verify that finds corruption — still have output worth printing, so
+/// they cannot be squeezed into `Result<String, CliError>`; the exit
+/// code rides alongside the text instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOutcome {
+    /// Text to print to stdout.
+    pub output: String,
+    /// Process exit code: `0` on full success, `1` when any sweep job
+    /// failed or `store verify` found corruption.
+    pub exit_code: i32,
+}
+
+impl CliOutcome {
+    fn ok(output: String) -> CliOutcome {
+        CliOutcome {
+            output,
+            exit_code: 0,
+        }
+    }
+}
+
 /// Executes a parsed command line and returns what to print.
+///
+/// Thin wrapper over [`execute_outcome`] that drops the exit code —
+/// convenient for tests and callers that only care about the text.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] for unknown benchmarks, unreadable or invalid
 /// assembly files.
 pub fn execute(cli: &Cli) -> Result<String, CliError> {
+    execute_outcome(cli).map(|o| o.output)
+}
+
+/// Executes a parsed command line and returns what to print together
+/// with the exit code to end the process with.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown benchmarks, unreadable or invalid
+/// assembly files. Partial failures (crashed sweep cells, store
+/// corruption) are *not* errors: their output still renders, and the
+/// failure surfaces through [`CliOutcome::exit_code`].
+pub fn execute_outcome(cli: &Cli) -> Result<CliOutcome, CliError> {
     match &cli.command {
+        Command::Sweep(args) => sweep(args),
+        Command::Store(args) => store_cmd(args),
+        _ => plain_text(cli).map(CliOutcome::ok),
+    }
+}
+
+/// The commands whose output carries no exit-code nuance: they either
+/// fully succeed or fail with a [`CliError`].
+fn plain_text(cli: &Cli) -> Result<String, CliError> {
+    match &cli.command {
+        Command::Sweep(_) | Command::Store(_) => unreachable!("handled by execute_outcome"),
         Command::Help => Ok(USAGE.to_string()),
         Command::List => {
             let mut out = String::from("SPECint2000-class presets:\n");
@@ -158,7 +216,6 @@ pub fn execute(cli: &Cli) -> Result<String, CliError> {
             }
             Ok(out)
         }
-        Command::Sweep(args) => sweep(args),
         Command::Trace(args) => trace(args),
     }
 }
@@ -176,7 +233,9 @@ fn trace(args: &TraceArgs) -> Result<String, CliError> {
         sample_every: args.sample,
     }));
     let probe: Rc<dyn Probe> = Rc::clone(&recorder) as _;
-    let r = build_sim(&program, config(&args.run, args.run.strategy), Some(probe))?.run();
+    let r = build_sim(&program, config(&args.run, args.run.strategy), Some(probe))?
+        .try_run()
+        .map_err(|e| CliError(e.to_string()))?;
 
     let events = recorder.events();
     let chrome = chrome_trace(&events);
@@ -305,7 +364,11 @@ fn resolve_benches(names: &[String]) -> Result<Vec<Benchmark>, CliError> {
 /// Runs the full strategies × benchmarks × geometries grid through the
 /// harness and renders one row per cell, with each cell's speedup taken
 /// against the baseline of its own benchmark × geometry.
-fn sweep(args: &SweepArgs) -> Result<String, CliError> {
+///
+/// Failed cells don't sink the sweep: every cell whose own job *and*
+/// baseline both produced a report still renders, a failure table is
+/// appended after the normal output, and the exit code goes non-zero.
+fn sweep(args: &SweepArgs) -> Result<CliOutcome, CliError> {
     let benches = resolve_benches(&args.benches)?;
     let mut harness = Harness::new().jobs(args.jobs);
     if let Some(path) = &args.metrics_out {
@@ -371,13 +434,16 @@ fn sweep(args: &SweepArgs) -> Result<String, CliError> {
         }
     }
 
-    let reports = harness.run(&jobs);
+    let outcomes = harness.try_run(&jobs);
 
     let mut out = String::new();
     if args.csv {
         out.push_str("bench,clusters,topology,strategy,ipc,speedup\n");
         for c in &cells {
-            let r = &reports[c.job];
+            let (Some(r), Some(base)) = (outcomes[c.job].report(), outcomes[c.base_job].report())
+            else {
+                continue; // this cell is in the failure table instead
+            };
             out.push_str(&format!(
                 "{},{},{},{},{:.4},{:.4}\n",
                 c.bench,
@@ -385,7 +451,7 @@ fn sweep(args: &SweepArgs) -> Result<String, CliError> {
                 topology_name(c.topology),
                 r.strategy,
                 r.ipc,
-                r.speedup_over(&reports[c.base_job])
+                r.speedup_over(base)
             ));
         }
     } else {
@@ -402,7 +468,10 @@ fn sweep(args: &SweepArgs) -> Result<String, CliError> {
             "bench", "clusters", "topology", "", "strategy", "ipc", "speedup"
         ));
         for c in &cells {
-            let r = &reports[c.job];
+            let (Some(r), Some(base)) = (outcomes[c.job].report(), outcomes[c.base_job].report())
+            else {
+                continue; // this cell is in the failure table instead
+            };
             out.push_str(&format!(
                 "{:<12}{:>9}{:>9}{:<2}{:<16}{:>8.3}{:>10.3}\n",
                 c.bench,
@@ -411,11 +480,74 @@ fn sweep(args: &SweepArgs) -> Result<String, CliError> {
                 "",
                 r.strategy,
                 r.ipc,
-                r.speedup_over(&reports[c.base_job])
+                r.speedup_over(base)
             ));
         }
     }
-    Ok(out)
+    // On the all-success path this appends nothing, keeping the output
+    // byte-identical to a fault-free sweep.
+    let mut exit_code = 0;
+    if let Some(table) = failure_table(&outcomes) {
+        out.push_str(&table);
+        exit_code = 1;
+    }
+    Ok(CliOutcome {
+        output: out,
+        exit_code,
+    })
+}
+
+/// Executes `ctcp store verify|compact|gc`.
+fn store_cmd(args: &StoreArgs) -> Result<CliOutcome, CliError> {
+    let dir = args
+        .dir
+        .as_ref()
+        .map(PathBuf::from)
+        .unwrap_or_else(ResultStore::default_dir);
+    let io_err = |e: std::io::Error| CliError(format!("store {}: {e}", dir.display()));
+    match args.action {
+        StoreAction::Verify => {
+            let r = ctcp_harness::verify(&dir).map_err(io_err)?;
+            let output = format!(
+                "store {}: {} lines — {} valid ({} entries), {} stale, {} corrupt\n",
+                dir.display(),
+                r.lines,
+                r.valid,
+                r.entries,
+                r.stale,
+                r.corrupt
+            );
+            Ok(CliOutcome {
+                output,
+                exit_code: i32::from(r.corrupt > 0),
+            })
+        }
+        StoreAction::Compact => {
+            let r = ctcp_harness::compact(&dir).map_err(io_err)?;
+            Ok(CliOutcome::ok(format!(
+                "store {}: kept {} lines ({} superseded, {} stale dropped, {} quarantined)\n",
+                dir.display(),
+                r.kept,
+                r.superseded,
+                r.stale,
+                r.quarantined
+            )))
+        }
+        StoreAction::Gc => {
+            let r = ctcp_harness::gc(&dir).map_err(io_err)?;
+            let c = r.compact;
+            Ok(CliOutcome::ok(format!(
+                "store {}: kept {} lines ({} superseded, {} stale dropped, {} quarantined); \
+                 quarantine cleared ({} bytes)\n",
+                dir.display(),
+                c.kept,
+                c.superseded,
+                c.stale,
+                c.quarantined,
+                r.quarantine_bytes
+            )))
+        }
+    }
 }
 
 fn prose_report(name: &str, r: &SimReport) -> String {
@@ -482,6 +614,10 @@ mod tests {
 
     fn run(argv: &[&str]) -> Result<String, CliError> {
         execute(&Cli::parse(argv.iter().copied()).unwrap())
+    }
+
+    fn run_outcome(argv: &[&str]) -> CliOutcome {
+        execute_outcome(&Cli::parse(argv.iter().copied()).unwrap()).unwrap()
     }
 
     #[test]
@@ -724,6 +860,89 @@ mod tests {
             assert!(ctcp_sim::json::Value::parse(line).is_ok());
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_subcommand_round_trips_verify_compact_gc() {
+        let dir = std::env::temp_dir().join(format!("ctcp_cli_store_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = dir.to_str().unwrap();
+        // Seed two entries through the harness, as a cached sweep would.
+        {
+            let program = Arc::new(Benchmark::by_name("gzip").unwrap().program());
+            let mk = |strategy: Strategy| {
+                let cfg = SimConfig {
+                    max_insts: 1_500,
+                    strategy,
+                    ..SimConfig::default()
+                };
+                Job::new("gzip", Arc::clone(&program), cfg)
+            };
+            let mut h = Harness::new()
+                .jobs(1)
+                .progress(false)
+                .with_store(ResultStore::open(&dir).unwrap());
+            let outcomes =
+                h.try_run(&[mk(Strategy::Baseline), mk(Strategy::Fdrt { pinning: true })]);
+            assert!(outcomes.iter().all(|o| o.report().is_some()));
+        }
+        // Tear the file the way a crash mid-append would.
+        let path = dir.join("results.jsonl");
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"v\":2,\"key\":\"torn");
+        std::fs::write(&path, text).unwrap();
+
+        let verify = run_outcome(&["store", "verify", "--dir", d]);
+        assert_eq!(verify.exit_code, 1, "{}", verify.output);
+        assert!(verify.output.contains("1 corrupt"), "{}", verify.output);
+
+        let compact = run_outcome(&["store", "compact", "--dir", d]);
+        assert_eq!(compact.exit_code, 0);
+        assert!(
+            compact.output.contains("kept 2 lines"),
+            "{}",
+            compact.output
+        );
+        assert!(
+            compact.output.contains("1 quarantined"),
+            "{}",
+            compact.output
+        );
+
+        let clean = run_outcome(&["store", "verify", "--dir", d]);
+        assert_eq!(clean.exit_code, 0, "{}", clean.output);
+        assert!(clean.output.contains("0 corrupt"), "{}", clean.output);
+
+        let gc = run_outcome(&["store", "gc", "--dir", d]);
+        assert_eq!(gc.exit_code, 0);
+        assert!(gc.output.contains("quarantine cleared"), "{}", gc.output);
+        assert!(!dir.join("results.quarantine.jsonl").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_verify_of_an_absent_store_is_an_empty_success() {
+        let dir = std::env::temp_dir().join(format!("ctcp_cli_nostore_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let out = run_outcome(&["store", "verify", "--dir", dir.to_str().unwrap()]);
+        assert_eq!(out.exit_code, 0);
+        assert!(out.output.contains("0 lines"), "{}", out.output);
+    }
+
+    #[test]
+    fn fault_free_sweep_exits_zero() {
+        let out = run_outcome(&[
+            "sweep",
+            "--benches",
+            "gzip",
+            "--strategies",
+            "fdrt",
+            "--insts",
+            "2000",
+        ]);
+        assert_eq!(out.exit_code, 0);
+        assert!(!out.output.contains("jobs failed"), "{}", out.output);
     }
 
     #[test]

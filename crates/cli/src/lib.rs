@@ -21,5 +21,5 @@
 mod args;
 mod commands;
 
-pub use args::{Cli, CliError, Command, RunArgs, SweepArgs, TraceArgs};
-pub use commands::execute;
+pub use args::{Cli, CliError, Command, RunArgs, StoreAction, StoreArgs, SweepArgs, TraceArgs};
+pub use commands::{execute, execute_outcome, CliOutcome};

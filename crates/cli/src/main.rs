@@ -1,6 +1,6 @@
 //! The `ctcp` binary.
 
-use ctcp_cli::{execute, Cli};
+use ctcp_cli::{execute_outcome, Cli};
 
 fn main() {
     let cli = match Cli::parse(std::env::args().skip(1)) {
@@ -11,8 +11,15 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match execute(&cli) {
-        Ok(out) => print!("{out}"),
+    match execute_outcome(&cli) {
+        Ok(outcome) => {
+            // Partial failures (crashed sweep cells, store corruption)
+            // still print their output before the non-zero exit.
+            print!("{}", outcome.output);
+            if outcome.exit_code != 0 {
+                std::process::exit(outcome.exit_code);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

@@ -311,6 +311,26 @@ impl Engine {
         self.rob.len()
     }
 
+    /// Snapshots the macroscopic pipeline state at cycle `now` — what
+    /// the retire-progress watchdog dumps when it aborts a wedged run.
+    pub fn diagnostic(&self, now: u64) -> crate::PipelineDiagnostic {
+        let head = self.rob.front();
+        crate::PipelineDiagnostic {
+            cycle: now,
+            retired: self.stats.retired,
+            in_flight: self.rob.len(),
+            head_seq: head.map(|e| e.seq),
+            head_stage: head.map(|e| format!("{:?}", e.stage)),
+            head_cluster: head.map(|e| e.cluster),
+            clusters: (0..self.clusters.len())
+                .map(|ci| crate::ClusterOccupancy {
+                    dispatch: self.clusters[ci].dispatch_q.len(),
+                    stations: (0..5).map(|rsi| self.station_len(ci, rsi)).sum(),
+                })
+                .collect(),
+        }
+    }
+
     /// True if a fetch group of `n` instructions can be accepted now.
     pub fn can_accept(&self, n: usize) -> bool {
         n <= self.cfg.rename_width && self.rob.len() + n <= self.cfg.rob_entries

@@ -28,6 +28,7 @@
 
 pub mod assign;
 mod config;
+mod diag;
 mod engine;
 mod entry;
 mod forwarding;
@@ -38,6 +39,7 @@ mod rs;
 mod sched;
 
 pub use config::{EngineConfig, FuLatency, LatencyOverrides};
+pub use diag::{ClusterOccupancy, PipelineDiagnostic};
 pub use engine::{
     Engine, EngineMetrics, EngineStats, FetchedInst, RetiredInst, SteeringMode, TickResult,
 };

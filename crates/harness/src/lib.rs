@@ -27,6 +27,18 @@
 //! cell is simulated once and the report is copied to every position
 //! that asked for it.
 //!
+//! ## Fault tolerance
+//!
+//! Every job runs behind an isolation boundary: a panic (simulator
+//! bug), a typed simulation abort (watchdog trip, cycle budget), an
+//! invalid configuration, or an optional wall-clock timeout fails
+//! *that job* — never the worker, never the batch. [`Harness::try_run`]
+//! returns one [`JobOutcome`] per job; transient failures (panics,
+//! timeouts) are retried with linear backoff ([`Harness::retries`]).
+//! The infallible [`Harness::run`] keeps its historical signature by
+//! panicking with the rendered [`failure_table`] — but only after the
+//! whole batch has run and every successful cell is in the store.
+//!
 //! ## Progress
 //!
 //! When stderr is a terminal (or when forced on), a single rewriting
@@ -66,19 +78,31 @@
 mod progress;
 mod store;
 
-pub use store::{job_key, ResultStore, StoreStats, STORE_FORMAT_VERSION};
+pub use store::{
+    compact, crc32, gc, job_key, verify, CompactReport, GcReport, ResultStore, StoreStats,
+    VerifyReport, STORE_FORMAT_VERSION,
+};
 
 use ctcp_isa::Program;
-use ctcp_sim::{SimConfig, SimReport, Simulation};
-use ctcp_telemetry::{metrics_line, Recorder, RecorderConfig};
+use ctcp_sim::{SimConfig, SimError, SimReport, Simulation};
+use ctcp_telemetry::{failpoint, metrics_line, Counter, Metrics, Recorder, RecorderConfig};
 use progress::Progress;
 use std::collections::HashMap;
 use std::io::Write;
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+/// Transient failures (panics, timeouts) are re-attempted this many
+/// times by default; see [`Harness::retries`].
+pub const DEFAULT_RETRIES: u32 = 1;
+
+/// Linear backoff unit between re-attempts of a transient failure:
+/// attempt `n` sleeps `n *` this first.
+const RETRY_BACKOFF: Duration = Duration::from_millis(25);
 
 /// One unit of work: simulate `program` under `config`.
 ///
@@ -112,26 +136,262 @@ impl Job {
         job_key(&self.workload, &self.config)
     }
 
-    /// Runs the cell. With `with_metrics` set, a metrics-only
-    /// [`Recorder`] rides along and the second element is the rendered
-    /// JSONL metrics line for this run.
-    fn simulate(&self, with_metrics: bool) -> (SimReport, Option<String>) {
-        fn built<'a>(
-            r: Result<Simulation<'a>, ctcp_sim::ConfigError>,
-            workload: &str,
-        ) -> Simulation<'a> {
-            r.unwrap_or_else(|e| panic!("job {workload:?} has an invalid configuration: {e}"))
+    /// Runs the cell, surfacing every way it can fail as a typed
+    /// [`JobError`] — an invalid configuration is a *job* defect, never
+    /// grounds to panic a shared worker thread. With `with_metrics`
+    /// set, a metrics-only [`Recorder`] rides along and the second
+    /// element is the rendered JSONL metrics line for this run.
+    fn try_simulate(&self, with_metrics: bool) -> Result<(SimReport, Option<String>), JobError> {
+        // Fault injection: the `job-panic` fail point panics inside the
+        // job body — exactly where a simulator bug would — so the
+        // isolation layer can be exercised end-to-end. The optional
+        // argument `workload[:strategy]` confines the blast radius to
+        // one cell of a sweep.
+        if failpoint::is_active("job-panic") && self.matches_fail_point() {
+            panic!(
+                "fail point job-panic: injected failure in {}/{}",
+                self.workload,
+                self.config.strategy.name()
+            );
         }
+        let invalid = |e: ctcp_sim::ConfigError| JobError::InvalidConfig(e.to_string());
         let builder = Simulation::builder(&self.program).config(self.config);
         if with_metrics {
             let recorder = Rc::new(Recorder::new(RecorderConfig::metrics_only()));
             let probe: Rc<dyn ctcp_telemetry::Probe> = Rc::clone(&recorder) as _;
-            let report = built(builder.probe(probe).build(), &self.workload).run();
+            let report = builder
+                .probe(probe)
+                .build()
+                .map_err(invalid)?
+                .try_run()
+                .map_err(JobError::Sim)?;
             let line = metrics_line(&self.workload, &report.strategy, &recorder.metrics());
-            (report, Some(line))
+            Ok((report, Some(line)))
         } else {
-            (built(builder.build(), &self.workload).run(), None)
+            let report = builder
+                .build()
+                .map_err(invalid)?
+                .try_run()
+                .map_err(JobError::Sim)?;
+            Ok((report, None))
         }
+    }
+
+    /// Whether the `job-panic` fail point's argument selects this job.
+    /// No argument selects every job; `workload` or `workload:strategy`
+    /// (strategy as rendered by `Strategy::name`) narrows it.
+    fn matches_fail_point(&self) -> bool {
+        match failpoint::arg("job-panic") {
+            None => true,
+            Some(arg) => {
+                let (workload, strategy) = match arg.split_once(':') {
+                    Some((w, s)) => (w, Some(s)),
+                    None => (arg.as_str(), None),
+                };
+                workload == self.workload
+                    && strategy.is_none_or(|s| s == self.config.strategy.name())
+            }
+        }
+    }
+}
+
+/// Why one job could not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The configuration failed [`SimBuilder`](ctcp_sim::SimBuilder)
+    /// validation (rendered [`ConfigError`](ctcp_sim::ConfigError)).
+    /// Deterministic: never retried.
+    InvalidConfig(String),
+    /// The simulation aborted with a typed [`SimError`] (watchdog trip
+    /// or cycle-budget exhaustion). Deterministic: never retried.
+    Sim(SimError),
+    /// The job panicked — a simulator bug, caught at the isolation
+    /// boundary so it cannot take the worker (or the batch) down.
+    /// Treated as transient and retried.
+    Panic(String),
+    /// The job exceeded the harness's per-job wall-clock timeout.
+    /// Treated as transient and retried.
+    Timeout {
+        /// The configured limit that was exceeded.
+        limit: Duration,
+    },
+}
+
+impl JobError {
+    /// Whether a retry could plausibly change the outcome.
+    fn is_transient(&self) -> bool {
+        matches!(self, JobError::Panic(_) | JobError::Timeout { .. })
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            JobError::Sim(e) => write!(f, "simulation aborted: {e}"),
+            JobError::Panic(msg) => write!(f, "panic: {msg}"),
+            JobError::Timeout { limit } => {
+                write!(f, "timed out after {:.1}s", limit.as_secs_f64())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A failed job together with its identity and retry history — enough
+/// to render one row of a failure table without the original `Job`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The job's workload name.
+    pub workload: String,
+    /// The job's strategy, as rendered by `Strategy::name`.
+    pub strategy: String,
+    /// The final error, after any retries.
+    pub error: JobError,
+    /// Re-attempts performed before giving up (or succeeding — a
+    /// failure here means none of them worked).
+    pub retries: u32,
+}
+
+/// What one job of a batch came to. Slot `i` of
+/// [`Harness::try_run`]'s result describes job `i`, always.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// The job produced a report — simulated, memoized, or copied from
+    /// an identical job in the same batch. Boxed so the failure
+    /// variants don't pay for the report's size.
+    Ok(Box<SimReport>),
+    /// The job (and every retry) failed.
+    Failed(JobFailure),
+    /// The job was coalesced onto the identical job at index `source`,
+    /// which itself failed — so this one was never attempted.
+    Skipped {
+        /// Index of the failed job this one was coalesced onto.
+        source: usize,
+    },
+}
+
+impl JobOutcome {
+    /// The report, when the job produced one.
+    pub fn report(&self) -> Option<&SimReport> {
+        match self {
+            JobOutcome::Ok(r) => Some(r.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// The failure, when the job failed outright (not [`Skipped`]).
+    ///
+    /// [`Skipped`]: JobOutcome::Skipped
+    pub fn failure(&self) -> Option<&JobFailure> {
+        match self {
+            JobOutcome::Failed(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Renders the failure rows of a batch — one line per [`Failed`] or
+/// [`Skipped`] outcome, prefixed by a `N of M jobs failed:` heading —
+/// or `None` when every job succeeded. [`Harness::run`] panics with
+/// this text; `ctcp sweep` prints it before exiting non-zero.
+///
+/// [`Failed`]: JobOutcome::Failed
+/// [`Skipped`]: JobOutcome::Skipped
+pub fn failure_table(outcomes: &[JobOutcome]) -> Option<String> {
+    let broken = outcomes
+        .iter()
+        .filter(|o| !matches!(o, JobOutcome::Ok(_)))
+        .count();
+    if broken == 0 {
+        return None;
+    }
+    let mut out = format!("{broken} of {} jobs failed:\n", outcomes.len());
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            JobOutcome::Ok(_) => {}
+            JobOutcome::Failed(f) => {
+                out.push_str(&format!(
+                    "  #{i} {}/{}: {} [retries: {}]\n",
+                    f.workload, f.strategy, f.error, f.retries
+                ));
+            }
+            JobOutcome::Skipped { source } => {
+                out.push_str(&format!("  #{i} skipped (duplicate of failed #{source})\n"));
+            }
+        }
+    }
+    Some(out)
+}
+
+/// One protected attempt at a job: panics are caught at this boundary
+/// and, when `timeout` is set, the attempt is abandoned after the
+/// limit. Abandonment is advisory — the simulation keeps running on a
+/// detached thread until its own watchdog or cycle budget stops it —
+/// but the *batch* moves on immediately.
+fn attempt(
+    job: &Job,
+    with_metrics: bool,
+    timeout: Option<Duration>,
+) -> Result<(SimReport, Option<String>), JobError> {
+    let protected = move |job: &Job| match std::panic::catch_unwind(AssertUnwindSafe(|| {
+        job.try_simulate(with_metrics)
+    })) {
+        Ok(r) => r,
+        // `&*`: downcast the payload, not the box holding it.
+        Err(payload) => Err(JobError::Panic(panic_message(&*payload))),
+    };
+    let Some(limit) = timeout else {
+        return protected(job);
+    };
+    let (tx, rx) = mpsc::channel();
+    let detached = job.clone();
+    std::thread::spawn(move || {
+        let _ = tx.send(protected(&detached));
+    });
+    match rx.recv_timeout(limit) {
+        Ok(result) => result,
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(JobError::Timeout { limit }),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Err(JobError::Panic("job thread died without reporting".into()))
+        }
+    }
+}
+
+/// Runs a job with the retry policy: transient failures re-attempt up
+/// to `max_retries` times with linear backoff; deterministic failures
+/// return immediately. The second element is the number of retries
+/// actually performed.
+fn execute(
+    job: &Job,
+    with_metrics: bool,
+    timeout: Option<Duration>,
+    max_retries: u32,
+) -> (Result<(SimReport, Option<String>), JobError>, u32) {
+    let mut retries = 0;
+    loop {
+        match attempt(job, with_metrics, timeout) {
+            Ok(ok) => return (Ok(ok), retries),
+            Err(e) => {
+                if !e.is_transient() || retries >= max_retries {
+                    return (Err(e), retries);
+                }
+                retries += 1;
+                std::thread::sleep(RETRY_BACKOFF * retries);
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".into()
     }
 }
 
@@ -146,6 +406,11 @@ pub struct BatchStats {
     pub deduped: usize,
     /// Jobs actually simulated.
     pub simulated: usize,
+    /// Jobs that failed after exhausting their retries.
+    pub failed: usize,
+    /// Jobs never attempted because the identical job they coalesced
+    /// onto failed.
+    pub skipped: usize,
     /// Wall time of the whole batch.
     pub wall: Duration,
 }
@@ -158,6 +423,9 @@ pub struct Harness {
     progress: Option<bool>,
     metrics_out: Option<PathBuf>,
     metrics_file: Option<std::fs::File>,
+    retries: u32,
+    job_timeout: Option<Duration>,
+    telemetry: Metrics,
     last: BatchStats,
 }
 
@@ -176,6 +444,9 @@ impl Harness {
             progress: None,
             metrics_out: None,
             metrics_file: None,
+            retries: DEFAULT_RETRIES,
+            job_timeout: None,
+            telemetry: Metrics::new(),
             last: BatchStats::default(),
         }
     }
@@ -189,7 +460,30 @@ impl Harness {
 
     /// Attaches a result store; subsequent batches memoize through it.
     pub fn with_store(mut self, store: ResultStore) -> Harness {
+        self.telemetry
+            .add(Counter::StoreQuarantined, store.stats().quarantined);
         self.store = Some(store);
+        self
+    }
+
+    /// Sets how many times a *transient* job failure (panic, timeout)
+    /// is re-attempted before the job is reported as
+    /// [`JobOutcome::Failed`]. Deterministic failures — invalid
+    /// configuration, watchdog trips — are never retried. Defaults to
+    /// [`DEFAULT_RETRIES`]; `0` disables retrying.
+    pub fn retries(mut self, n: u32) -> Harness {
+        self.retries = n;
+        self
+    }
+
+    /// Sets an advisory per-job wall-clock timeout. An attempt that
+    /// exceeds it is abandoned (the simulation winds down on a
+    /// detached thread under its own watchdog) and counts as a
+    /// transient [`JobError::Timeout`]. Off by default: the
+    /// simulator-level watchdog and cycle budget already bound every
+    /// healthy job.
+    pub fn job_timeout(mut self, limit: Duration) -> Harness {
+        self.job_timeout = Some(limit);
         self
     }
 
@@ -231,24 +525,64 @@ impl Harness {
         self.store.as_ref().map(ResultStore::stats)
     }
 
+    /// The harness's own telemetry: `harness_job_failures`,
+    /// `harness_retries` and `store_quarantined` counters, accumulated
+    /// across batches.
+    pub fn telemetry(&self) -> &Metrics {
+        &self.telemetry
+    }
+
     /// Runs a batch and returns one report per job, in job order.
     ///
     /// Execution order across workers is nondeterministic, but the
     /// returned vector is not: slot `i` always holds job `i`'s report,
     /// and each simulation is itself deterministic, so the output is
     /// identical for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered [`failure_table`] when any job fails —
+    /// but only **after** the whole batch has run, so every successful
+    /// cell has already been memoized into the store and counted.
+    /// Callers that want to keep going (the sweep command does) use
+    /// [`Harness::try_run`] and handle the failures as data.
     pub fn run(&mut self, jobs: &[Job]) -> Vec<SimReport> {
+        let outcomes = self.try_run(jobs);
+        if let Some(table) = failure_table(&outcomes) {
+            panic!("{table}");
+        }
+        outcomes
+            .into_iter()
+            .map(|o| match o {
+                JobOutcome::Ok(r) => *r,
+                _ => unreachable!("failure_table was None"),
+            })
+            .collect()
+    }
+
+    /// Runs a batch with per-job fault isolation and returns one
+    /// [`JobOutcome`] per job, in job order.
+    ///
+    /// Each job runs behind a `catch_unwind` boundary (plus an optional
+    /// wall-clock timeout), so one wedged or crashing cell cannot take
+    /// down the batch: the remaining jobs still run, successful results
+    /// still reach the result store, and the failure comes back as
+    /// [`JobOutcome::Failed`] carrying the [`JobError`] and retry
+    /// count. Transient failures are retried per
+    /// [`Harness::retries`]. On the all-success path the outcomes are
+    /// exactly the reports [`Harness::run`] returns, in the same order.
+    pub fn try_run(&mut self, jobs: &[Job]) -> Vec<JobOutcome> {
         let batch_start = Instant::now();
         let with_metrics = self.open_metrics_sink();
         let keys: Vec<u64> = jobs.iter().map(Job::key).collect();
-        let mut results: Vec<Option<SimReport>> = vec![None; jobs.len()];
+        let mut results: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
 
         // Phase 1: answer what the store already knows.
         let mut store_hits = 0;
         if let Some(store) = &mut self.store {
             for (slot, &key) in results.iter_mut().zip(&keys) {
                 if let Some(report) = store.get(key) {
-                    *slot = Some(report);
+                    *slot = Some(JobOutcome::Ok(Box::new(report)));
                     store_hits += 1;
                 }
             }
@@ -273,18 +607,22 @@ impl Harness {
         // Phase 3: execute the pending set.
         let workers = self.effective_jobs().min(pending.len().max(1));
         let mut progress = Progress::new(self.progress, pending.len());
+        let (retries, timeout) = (self.retries, self.job_timeout);
         if workers <= 1 {
             for (done, &i) in pending.iter().enumerate() {
                 let t = Instant::now();
-                let (report, metrics) = jobs[i].simulate(with_metrics);
+                let (result, used) = execute(&jobs[i], with_metrics, timeout, retries);
                 progress.job_done(done + 1, &jobs[i].workload, t.elapsed());
-                self.record(keys[i], &jobs[i].workload, &report);
-                self.record_metrics(metrics);
-                results[i] = Some(report);
+                results[i] = Some(self.collect(&jobs[i], keys[i], result, used));
             }
         } else {
             let cursor = AtomicUsize::new(0);
-            type Done = (usize, SimReport, Option<String>, Duration);
+            type Done = (
+                usize,
+                Result<(SimReport, Option<String>), JobError>,
+                u32,
+                Duration,
+            );
             let (tx, rx) = mpsc::channel::<Done>();
             let pending_ref = &pending;
             std::thread::scope(|scope| {
@@ -297,8 +635,8 @@ impl Harness {
                             break;
                         };
                         let t = Instant::now();
-                        let (report, metrics) = jobs[i].simulate(with_metrics);
-                        if tx.send((i, report, metrics, t.elapsed())).is_err() {
+                        let (result, used) = execute(&jobs[i], with_metrics, timeout, retries);
+                        if tx.send((i, result, used, t.elapsed())).is_err() {
                             break;
                         }
                     });
@@ -307,37 +645,76 @@ impl Harness {
                 // Collect on the submitting thread: store writes,
                 // metrics lines, and progress stay single-threaded.
                 let mut done = 0;
-                for (i, report, metrics, took) in rx {
+                for (i, result, used, took) in rx {
                     done += 1;
                     progress.job_done(done, &jobs[i].workload, took);
-                    self.record(keys[i], &jobs[i].workload, &report);
-                    self.record_metrics(metrics);
-                    results[i] = Some(report);
+                    results[i] = Some(self.collect(&jobs[i], keys[i], result, used));
                 }
             });
         }
         progress.finish();
 
-        // Phase 4: copy coalesced results into their duplicate slots.
+        // Phase 4: copy coalesced outcomes into their duplicate slots.
         for (i, &key) in keys.iter().enumerate() {
             if results[i].is_none() {
                 let src = first_of[&key];
-                let report = results[src].clone().expect("source slot simulated");
-                results[i] = Some(report);
+                results[i] = Some(match results[src].as_ref().expect("source slot ran") {
+                    JobOutcome::Ok(report) => JobOutcome::Ok(report.clone()),
+                    _ => JobOutcome::Skipped { source: src },
+                });
             }
         }
 
+        let outcomes: Vec<JobOutcome> = results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect();
         self.last = BatchStats {
             total: jobs.len(),
             store_hits,
             deduped,
             simulated: pending.len(),
+            failed: outcomes
+                .iter()
+                .filter(|o| matches!(o, JobOutcome::Failed(_)))
+                .count(),
+            skipped: outcomes
+                .iter()
+                .filter(|o| matches!(o, JobOutcome::Skipped { .. }))
+                .count(),
             wall: batch_start.elapsed(),
         };
-        results
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect()
+        outcomes
+    }
+
+    /// Books one finished attempt: store write and metrics line on
+    /// success, failure telemetry otherwise. Runs on the submitting
+    /// thread only.
+    fn collect(
+        &mut self,
+        job: &Job,
+        key: u64,
+        result: Result<(SimReport, Option<String>), JobError>,
+        retries_used: u32,
+    ) -> JobOutcome {
+        self.telemetry
+            .add(Counter::HarnessRetries, u64::from(retries_used));
+        match result {
+            Ok((report, metrics)) => {
+                self.record(key, &job.workload, &report);
+                self.record_metrics(metrics);
+                JobOutcome::Ok(Box::new(report))
+            }
+            Err(error) => {
+                self.telemetry.add(Counter::HarnessJobFailures, 1);
+                JobOutcome::Failed(JobFailure {
+                    workload: job.workload.clone(),
+                    strategy: job.config.strategy.name(),
+                    error,
+                    retries: retries_used,
+                })
+            }
+        }
     }
 
     /// Opens (or keeps open) the metrics sink; returns whether metrics
@@ -577,6 +954,123 @@ mod tests {
         assert_eq!(warm.last_batch().simulated, 0);
         assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalid_config_fails_typed_and_spares_the_batch() {
+        // One poisoned cell in a parallel batch: it must come back as
+        // JobOutcome::Failed(InvalidConfig) — not panic a worker — and
+        // every healthy cell must still produce its report.
+        let mut jobs = grid(&[700]);
+        let mut bad = SimConfig {
+            max_insts: 700,
+            ..SimConfig::default()
+        };
+        bad.engine.geometry.clusters = 0;
+        jobs.insert(1, Job::new("tiny", tiny_program(), bad));
+        let mut h = Harness::new().jobs(4).progress(false);
+        let outcomes = h.try_run(&jobs);
+        assert_eq!(outcomes.len(), 4);
+        let failure = outcomes[1].failure().expect("bad cell fails");
+        assert_eq!(
+            failure.error,
+            JobError::InvalidConfig("cluster geometry has zero clusters".into())
+        );
+        assert_eq!(failure.retries, 0, "deterministic failures never retry");
+        for (i, o) in outcomes.iter().enumerate() {
+            if i != 1 {
+                assert!(o.report().is_some(), "healthy cell {i} still ran");
+            }
+        }
+        assert_eq!(h.last_batch().failed, 1);
+        assert_eq!(
+            h.telemetry()
+                .get(ctcp_telemetry::Counter::HarnessJobFailures),
+            1
+        );
+        let table = failure_table(&outcomes).expect("table for a failed batch");
+        assert!(table.starts_with("1 of 4 jobs failed:"), "{table}");
+        assert!(table.contains("invalid configuration"), "{table}");
+    }
+
+    #[test]
+    fn run_panics_with_the_failure_table_after_the_batch() {
+        let dir = temp_dir("run-panics-late");
+        let mut jobs = grid(&[750]);
+        let mut bad = SimConfig {
+            max_insts: 750,
+            ..SimConfig::default()
+        };
+        bad.engine.geometry.slots_per_cluster = 0;
+        jobs.push(Job::new("tiny", tiny_program(), bad));
+        let mut h = Harness::new()
+            .jobs(2)
+            .progress(false)
+            .with_store(ResultStore::open(&dir).unwrap());
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panic
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| h.run(&jobs)));
+        std::panic::set_hook(hook);
+        let payload = result.expect_err("run() must panic when a job failed");
+        let msg = panic_message(&*payload);
+        assert!(msg.starts_with("1 of 4 jobs failed:"), "{msg}");
+        // The batch finished first: all three healthy cells were
+        // memoized before the panic surfaced.
+        drop(h);
+        let mut warm = Harness::new()
+            .jobs(1)
+            .progress(false)
+            .with_store(ResultStore::open(&dir).unwrap());
+        warm.try_run(&grid(&[750]));
+        assert_eq!(warm.last_batch().store_hits, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slow_jobs_time_out_as_transient_failures() {
+        // A job this large takes well over a millisecond per attempt,
+        // so a 1 ms advisory timeout must abandon it — twice, because
+        // timeouts are transient and the default policy retries once.
+        let config = SimConfig {
+            max_insts: 2_000_000,
+            ..SimConfig::default()
+        };
+        let jobs = [Job::new("tiny", tiny_program(), config)];
+        let mut h = Harness::new()
+            .jobs(1)
+            .progress(false)
+            .job_timeout(Duration::from_millis(1));
+        let outcomes = h.try_run(&jobs);
+        let failure = outcomes[0].failure().expect("job times out");
+        assert_eq!(
+            failure.error,
+            JobError::Timeout {
+                limit: Duration::from_millis(1)
+            }
+        );
+        assert_eq!(failure.retries, DEFAULT_RETRIES);
+        assert_eq!(
+            h.telemetry().get(ctcp_telemetry::Counter::HarnessRetries),
+            u64::from(DEFAULT_RETRIES)
+        );
+    }
+
+    #[test]
+    fn duplicates_of_a_failed_job_are_skipped() {
+        let mut bad = SimConfig::default();
+        bad.engine.geometry.clusters = 0;
+        let jobs = [
+            Job::new("tiny", tiny_program(), bad),
+            Job::new("tiny", tiny_program(), bad),
+        ];
+        let outcomes = Harness::new().jobs(1).progress(false).try_run(&jobs);
+        assert!(outcomes[0].failure().is_some());
+        assert!(matches!(outcomes[1], JobOutcome::Skipped { source: 0 }));
+        let table = failure_table(&outcomes).unwrap();
+        assert!(
+            table.contains("skipped (duplicate of failed #0)"),
+            "{table}"
+        );
     }
 
     #[test]

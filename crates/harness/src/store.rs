@@ -1,4 +1,4 @@
-//! Content-addressed, append-only result store.
+//! Content-addressed, append-only, self-healing result store.
 //!
 //! Each finished job is recorded as one JSON line under a 64-bit
 //! content key derived from the workload name and the full simulator
@@ -9,27 +9,51 @@
 //! ## On-disk layout
 //!
 //! The store is a directory (by default `target/ctcp-results/`)
-//! holding a single `results.jsonl`. Every line is an envelope:
+//! holding a single `results.jsonl`. Every line is an envelope whose
+//! last field is a CRC-32 of everything before it:
 //!
 //! ```text
-//! {"v":1,"key":"<16 hex digits>","workload":"gzip","report":{...}}
+//! {"v":2,"key":"<16 hex digits>","workload":"gzip","report":{...},"crc":"<8 hex>"}
 //! ```
 //!
 //! Lines are only ever appended; the newest line for a key wins at
-//! load time. Unreadable lines (truncated writes, schema drift) are
-//! skipped and simply count as cache misses — the store is a cache,
-//! never an authority.
+//! load time. The store is a cache, never an authority — but it is a
+//! *self-healing* cache:
+//!
+//! * **corrupt** lines (unparseable JSON, CRC mismatch, malformed key,
+//!   undecodable report) are moved to `results.quarantine.jsonl` at
+//!   open time and the main file is atomically rewritten without them,
+//!   so one torn write from a killed run never degrades every later
+//!   load, and the evidence survives for inspection;
+//! * **stale** lines (older format versions) are kept in place and
+//!   simply miss — their keys changed with the version salt anyway;
+//! * an **advisory lock file** (`results.lock`) warns when two
+//!   processes share one store directory; the store still proceeds,
+//!   because appends are line-atomic in practice and corruption is
+//!   recoverable by construction.
+//!
+//! Offline maintenance lives in [`verify`], [`compact`] and [`gc`],
+//! surfaced as `ctcp store` subcommands.
 
 use ctcp_sim::json::Value;
 use ctcp_sim::{SimConfig, SimReport};
+use ctcp_telemetry::failpoint;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
 /// Version salt folded into every key. Bump when the report schema or
-/// the key derivation changes; old store contents then miss cleanly.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+/// the envelope (v2 added the CRC field) changes; old store contents
+/// then miss cleanly.
+pub const STORE_FORMAT_VERSION: u32 = 2;
+
+/// File name of the store itself, inside the store directory.
+const STORE_FILE: &str = "results.jsonl";
+/// File name corrupt lines are moved to, inside the store directory.
+const QUARANTINE_FILE: &str = "results.quarantine.jsonl";
+/// Advisory lock file, inside the store directory.
+const LOCK_FILE: &str = "results.lock";
 
 struct Fnv(u64);
 
@@ -62,6 +86,36 @@ pub fn job_key(workload: &str, config: &SimConfig) -> u64 {
     h.0
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `bytes` —
+/// the checksum zlib and PNG use. Hand-rolled because the build is
+/// fully offline; the 256-entry table is built at compile time.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    };
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 /// Cumulative counters for one store handle's lifetime.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct StoreStats {
@@ -73,6 +127,9 @@ pub struct StoreStats {
     pub misses: u64,
     /// Reports written this session.
     pub puts: u64,
+    /// Corrupt lines moved to the quarantine file when this handle
+    /// opened the store.
+    pub quarantined: u64,
 }
 
 /// A memoizing report store backed by one JSON-lines file.
@@ -81,6 +138,9 @@ pub struct ResultStore {
     file: File,
     map: HashMap<u64, SimReport>,
     stats: StoreStats,
+    /// Held for the handle's lifetime; the OS drops the lock with it.
+    /// `None` when another process holds it (advisory — we proceed).
+    _lock: Option<File>,
 }
 
 impl ResultStore {
@@ -90,25 +150,49 @@ impl ResultStore {
         PathBuf::from("target").join("ctcp-results")
     }
 
-    /// Opens (creating if needed) the store in `dir` and loads every
-    /// decodable line into memory.
+    /// Opens (creating if needed) the store in `dir`, loads every
+    /// decodable line into memory, and self-heals: corrupt lines are
+    /// appended to `results.quarantine.jsonl` and the main file is
+    /// atomically rewritten without them.
     ///
     /// # Errors
     ///
     /// Fails only on real I/O errors (permissions, unwritable path) —
-    /// malformed lines are skipped, not fatal.
+    /// malformed lines are quarantined, not fatal.
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ResultStore> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        let path = dir.join("results.jsonl");
+        let lock = acquire_lock(dir);
+        let path = dir.join(STORE_FILE);
         let mut map = HashMap::new();
+        let mut clean: Vec<String> = Vec::new();
+        let mut corrupt: Vec<String> = Vec::new();
         if let Ok(existing) = File::open(&path) {
             for line in BufReader::new(existing).lines() {
                 let line = line?;
-                if let Some((key, report)) = decode_line(&line) {
-                    map.insert(key, report);
+                match classify_line(&line) {
+                    Line::Valid { key, report } => {
+                        map.insert(key, *report);
+                        clean.push(line);
+                    }
+                    Line::Stale => clean.push(line),
+                    Line::Blank => {}
+                    Line::Corrupt => corrupt.push(line),
                 }
             }
+        }
+        let quarantined = corrupt.len() as u64;
+        if !corrupt.is_empty() {
+            let mut q = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join(QUARANTINE_FILE))?;
+            for line in &corrupt {
+                q.write_all(line.as_bytes())?;
+                q.write_all(b"\n")?;
+            }
+            q.flush()?;
+            atomic_rewrite(&path, &clean)?;
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let entries = map.len();
@@ -118,8 +202,10 @@ impl ResultStore {
             map,
             stats: StoreStats {
                 entries,
+                quarantined,
                 ..StoreStats::default()
             },
+            _lock: lock,
         })
     }
 
@@ -154,6 +240,13 @@ impl ResultStore {
         self.map.insert(key, report.clone());
         self.stats.entries = self.map.len();
         let line = encode_line(key, workload, report);
+        // Fault injection: the `store-truncate` fail point models a
+        // crash mid-append — half the bytes land, no newline. The next
+        // open must quarantine the torn line, not choke on it.
+        if failpoint::is_active("store-truncate") {
+            self.file.write_all(&line.as_bytes()[..line.len() / 2])?;
+            return self.file.flush();
+        }
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
         self.file.flush()
@@ -165,33 +258,309 @@ impl ResultStore {
     }
 }
 
+/// Takes (or reports on) the advisory lock for `dir`. Conflicts warn
+/// on stderr and proceed: the lock exists to flag accidental
+/// concurrent sweeps sharing a store, not to serialise them — appends
+/// are line-atomic in practice and open-time healing recovers the rest.
+fn acquire_lock(dir: &Path) -> Option<File> {
+    let lf = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false) // the file is a pure lock token; never clobber it
+        .open(dir.join(LOCK_FILE))
+        .ok()?;
+    match lf.try_lock() {
+        Ok(()) => Some(lf),
+        Err(_) => {
+            eprintln!(
+                "warning: result store {} appears to be in use by another process; \
+                 proceeding (the lock is advisory)",
+                dir.display()
+            );
+            None
+        }
+    }
+}
+
+/// Atomically replaces `path` with `lines` via a temp file + rename,
+/// so a crash mid-rewrite leaves either the old file or the new one —
+/// never a half-written store.
+fn atomic_rewrite(path: &Path, lines: &[String]) -> std::io::Result<()> {
+    let tmp = path.with_extension("jsonl.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        for line in lines {
+            f.write_all(line.as_bytes())?;
+            f.write_all(b"\n")?;
+        }
+        f.flush()?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 fn encode_line(key: u64, workload: &str, report: &SimReport) -> String {
     // The report is embedded as a parsed value, not a pre-rendered
     // string, so the envelope stays one well-formed JSON document.
     let report = Value::parse(&report.to_json()).expect("report encoding is valid JSON");
-    Value::Obj(vec![
+    let mut body = Value::Obj(vec![
         ("v".into(), Value::u64(u64::from(STORE_FORMAT_VERSION))),
         ("key".into(), Value::str(&format!("{key:016x}"))),
         ("workload".into(), Value::str(workload)),
         ("report".into(), report),
     ])
-    .render()
+    .render();
+    // The CRC covers the raw bytes before its own field, so a verifier
+    // works on the line as written — no re-rendering, no float drift.
+    assert_eq!(body.pop(), Some('}'));
+    let crc = crc32(body.as_bytes());
+    body.push_str(&format!(",\"crc\":\"{crc:08x}\"}}"));
+    body
 }
 
-fn decode_line(line: &str) -> Option<(u64, SimReport)> {
-    let v = Value::parse(line).ok()?;
-    if v.get("v")?.as_u64()? != u64::from(STORE_FORMAT_VERSION) {
+/// What one raw store line turned out to be.
+enum Line {
+    /// A current-version envelope with a matching checksum. The report
+    /// is boxed so the common no-payload variants stay enum-cheap.
+    Valid {
+        /// The content key the line stores.
+        key: u64,
+        /// The decoded report.
+        report: Box<SimReport>,
+    },
+    /// Well-formed but from an older format version: skipped, kept.
+    Stale,
+    /// Whitespace only (e.g. an editor's trailing newline): ignored.
+    Blank,
+    /// Torn, bit-rotted or malformed: quarantined.
+    Corrupt,
+}
+
+/// Splits a v2 line into (bytes-the-CRC-covers, stored CRC).
+fn split_crc(line: &str) -> Option<(&str, u32)> {
+    let tail = line.strip_suffix('}')?;
+    // The envelope's own crc field is rendered last, so the final
+    // occurrence is always it — even if the report contained the text.
+    let idx = tail.rfind(",\"crc\":\"")?;
+    let hex = tail[idx..].strip_prefix(",\"crc\":\"")?.strip_suffix('"')?;
+    if hex.len() != 8 {
         return None;
     }
-    let key = u64::from_str_radix(v.get("key")?.as_str()?, 16).ok()?;
-    let report = SimReport::from_value(v.get("report")?).ok()?;
-    Some((key, report))
+    Some((&tail[..idx], u32::from_str_radix(hex, 16).ok()?))
+}
+
+fn classify_line(line: &str) -> Line {
+    if line.trim().is_empty() {
+        return Line::Blank;
+    }
+    let Ok(v) = Value::parse(line) else {
+        return Line::Corrupt;
+    };
+    let Some(ver) = v.get("v").and_then(Value::as_u64) else {
+        return Line::Corrupt;
+    };
+    if ver != u64::from(STORE_FORMAT_VERSION) {
+        return Line::Stale;
+    }
+    let Some((covered, stored)) = split_crc(line) else {
+        return Line::Corrupt;
+    };
+    if crc32(covered.as_bytes()) != stored {
+        return Line::Corrupt;
+    }
+    let Some(key) = v
+        .get("key")
+        .and_then(Value::as_str)
+        .filter(|s| s.len() == 16)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+    else {
+        return Line::Corrupt;
+    };
+    let Some(report) = v.get("report").and_then(|r| SimReport::from_value(r).ok()) else {
+        return Line::Corrupt;
+    };
+    Line::Valid {
+        key,
+        report: Box::new(report),
+    }
+}
+
+/// What [`verify`] found in a store directory.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Non-blank lines scanned.
+    pub lines: usize,
+    /// Current-version lines with matching checksums.
+    pub valid: usize,
+    /// Well-formed lines from older format versions.
+    pub stale: usize,
+    /// Torn, bit-rotted or malformed lines.
+    pub corrupt: usize,
+    /// Distinct keys the valid lines resolve to.
+    pub entries: usize,
+}
+
+/// Read-only integrity scan of the store in `dir`. Touches nothing:
+/// no quarantine, no healing — safe to run concurrently with a sweep.
+///
+/// # Errors
+///
+/// Propagates real I/O errors; a missing store file verifies as empty.
+pub fn verify(dir: impl AsRef<Path>) -> std::io::Result<VerifyReport> {
+    let path = dir.as_ref().join(STORE_FILE);
+    let mut rep = VerifyReport::default();
+    let Ok(existing) = File::open(&path) else {
+        return Ok(rep);
+    };
+    let mut keys = std::collections::HashSet::new();
+    for line in BufReader::new(existing).lines() {
+        match classify_line(&line?) {
+            Line::Valid { key, .. } => {
+                rep.lines += 1;
+                rep.valid += 1;
+                keys.insert(key);
+            }
+            Line::Stale => {
+                rep.lines += 1;
+                rep.stale += 1;
+            }
+            Line::Blank => {}
+            Line::Corrupt => {
+                rep.lines += 1;
+                rep.corrupt += 1;
+            }
+        }
+    }
+    rep.entries = keys.len();
+    Ok(rep)
+}
+
+/// What [`compact`] did to a store directory.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Lines kept (one per distinct key — the newest).
+    pub kept: usize,
+    /// Valid lines dropped because a newer line held the same key.
+    pub superseded: usize,
+    /// Old-format lines dropped (their keys can never hit again).
+    pub stale: usize,
+    /// Corrupt lines moved to the quarantine file.
+    pub quarantined: usize,
+}
+
+/// Rewrites the store in `dir` down to one line per key — the newest —
+/// dropping stale-version lines and quarantining corrupt ones. The
+/// rewrite is atomic (temp file + rename); surviving lines keep their
+/// original bytes and relative order.
+///
+/// # Errors
+///
+/// Propagates real I/O errors; a missing store file compacts to empty.
+pub fn compact(dir: impl AsRef<Path>) -> std::io::Result<CompactReport> {
+    let dir = dir.as_ref();
+    let path = dir.join(STORE_FILE);
+    let mut rep = CompactReport::default();
+    let Ok(existing) = File::open(&path) else {
+        return Ok(rep);
+    };
+    // (key, raw line) per valid line, in file order; last wins.
+    let mut valid: Vec<(u64, String)> = Vec::new();
+    let mut corrupt: Vec<String> = Vec::new();
+    for line in BufReader::new(existing).lines() {
+        let line = line?;
+        match classify_line(&line) {
+            Line::Valid { key, .. } => valid.push((key, line)),
+            Line::Stale => rep.stale += 1,
+            Line::Blank => {}
+            Line::Corrupt => corrupt.push(line),
+        }
+    }
+    rep.quarantined = corrupt.len();
+    if !corrupt.is_empty() {
+        let mut q = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(QUARANTINE_FILE))?;
+        for line in &corrupt {
+            q.write_all(line.as_bytes())?;
+            q.write_all(b"\n")?;
+        }
+        q.flush()?;
+    }
+    // Keep only each key's final occurrence, preserving its position.
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    for (i, (key, _)) in valid.iter().enumerate() {
+        last.insert(*key, i);
+    }
+    let kept: Vec<String> = valid
+        .iter()
+        .enumerate()
+        .filter(|(i, (key, _))| last[key] == *i)
+        .map(|(_, (_, line))| line.clone())
+        .collect();
+    rep.kept = kept.len();
+    rep.superseded = valid.len() - kept.len();
+    atomic_rewrite(&path, &kept)?;
+    Ok(rep)
+}
+
+/// What [`gc`] reclaimed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GcReport {
+    /// The compaction that ran first.
+    pub compact: CompactReport,
+    /// Bytes of quarantined evidence deleted.
+    pub quarantine_bytes: u64,
+}
+
+/// Full garbage collection: [`compact`], then delete the quarantine
+/// file — use once quarantined lines have been inspected (or given up
+/// on).
+///
+/// # Errors
+///
+/// Propagates real I/O errors from either step.
+pub fn gc(dir: impl AsRef<Path>) -> std::io::Result<GcReport> {
+    let dir = dir.as_ref();
+    let compact = compact(dir)?;
+    let qpath = dir.join(QUARANTINE_FILE);
+    let quarantine_bytes = match std::fs::metadata(&qpath) {
+        Ok(m) => {
+            std::fs::remove_file(&qpath)?;
+            m.len()
+        }
+        Err(_) => 0,
+    };
+    Ok(GcReport {
+        compact,
+        quarantine_bytes,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::{sample_report, temp_dir};
+
+    fn store_path(dir: &Path) -> PathBuf {
+        dir.join(STORE_FILE)
+    }
+
+    fn quarantine_path(dir: &Path) -> PathBuf {
+        dir.join(QUARANTINE_FILE)
+    }
+
+    /// A syntactically perfect envelope whose only defect is the one
+    /// under test — so each test isolates one classification rule.
+    fn forged_line(key_field: &str) -> String {
+        let mut body = format!(
+            "{{\"v\":{STORE_FORMAT_VERSION},\"key\":\"{key_field}\",\
+             \"workload\":\"unit\",\"report\":{{}}"
+        );
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!(",\"crc\":\"{crc:08x}\"}}"));
+        body
+    }
 
     #[test]
     fn keys_separate_workload_config_and_budget() {
@@ -203,6 +572,25 @@ mod tests {
         assert_ne!(job_key("gzip", &a), job_key("gcc", &a));
         assert_ne!(job_key("gzip", &a), job_key("gzip", &b));
         assert_eq!(job_key("gzip", &a), job_key("gzip", &a));
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE check value: crc32(b"123456789).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn envelope_carries_version_and_checksum() {
+        let line = encode_line(0xabcd, "unit", &sample_report());
+        assert!(line.starts_with(&format!("{{\"v\":{STORE_FORMAT_VERSION},")));
+        let (covered, stored) = split_crc(&line).expect("crc field present");
+        assert_eq!(crc32(covered.as_bytes()), stored);
+        assert!(matches!(
+            classify_line(&line),
+            Line::Valid { key: 0xabcd, .. }
+        ));
     }
 
     #[test]
@@ -219,6 +607,7 @@ mod tests {
         }
         let mut s = ResultStore::open(&dir).unwrap();
         assert_eq!(s.stats().entries, 1);
+        assert_eq!(s.stats().quarantined, 0);
         let back = s.get(key).expect("persisted report");
         assert_eq!(s.stats().hits, 1);
         assert_eq!(format!("{back:?}"), format!("{report:?}"));
@@ -226,23 +615,71 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_lines_are_skipped_not_fatal() {
-        let dir = temp_dir("store-corrupt");
+    fn truncated_final_line_is_quarantined_and_healed() {
+        let dir = temp_dir("store-truncated");
         let key = job_key("unit", &SimConfig::default());
         {
             let mut s = ResultStore::open(&dir).unwrap();
             s.put(key, "unit", &sample_report()).unwrap();
         }
-        // Simulate a truncated append and schema drift.
-        let path = dir.join("results.jsonl");
-        let mut text = std::fs::read_to_string(&path).unwrap();
-        text.push_str("{\"v\":1,\"key\":\"00\",\"report\":{\"cycl\n");
-        text.push_str("{\"v\":999,\"key\":\"0000000000000000\",\"report\":{}}\n");
-        std::fs::write(&path, text).unwrap();
+        // Crash mid-append: the last line stops half way, no newline.
+        let torn = {
+            let full = encode_line(99, "unit", &sample_report());
+            full[..full.len() / 2].to_string()
+        };
+        let mut text = std::fs::read_to_string(store_path(&dir)).unwrap();
+        text.push_str(&torn);
+        std::fs::write(store_path(&dir), &text).unwrap();
 
         let mut s = ResultStore::open(&dir).unwrap();
-        assert_eq!(s.stats().entries, 1);
+        assert_eq!(s.stats().entries, 1, "good line survives");
+        assert_eq!(s.stats().quarantined, 1);
         assert!(s.get(key).is_some());
+        assert!(s.get(99).is_none(), "torn line must miss");
+        drop(s);
+        // Healing: the torn line moved to quarantine, main file clean.
+        let q = std::fs::read_to_string(quarantine_path(&dir)).unwrap();
+        assert_eq!(q, format!("{torn}\n"));
+        let healed = verify(&dir).unwrap();
+        assert_eq!((healed.valid, healed.corrupt), (1, 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_hex_key_and_crc_mismatch_are_corrupt() {
+        // A non-hex key behind a *valid* checksum: the key rule itself
+        // must reject it.
+        assert!(matches!(
+            classify_line(&forged_line("zzzzzzzzzzzzzzzz")),
+            Line::Corrupt
+        ));
+        // Wrong-length key, also behind a valid checksum.
+        assert!(matches!(classify_line(&forged_line("00ff")), Line::Corrupt));
+        // A single flipped byte in an otherwise perfect line.
+        let line = encode_line(7, "unit", &sample_report()).replace("\"workload\"", "\"workloaD\"");
+        assert!(matches!(classify_line(&line), Line::Corrupt));
+    }
+
+    #[test]
+    fn mixed_version_lines_miss_without_quarantine() {
+        let dir = temp_dir("store-mixed");
+        let key = job_key("unit", &SimConfig::default());
+        // A v1-era line (no CRC): well-formed, just old.
+        let old = "{\"v\":1,\"key\":\"000000000000002a\",\"workload\":\"unit\",\"report\":{}}";
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(store_path(&dir), format!("{old}\n")).unwrap();
+        {
+            let mut s = ResultStore::open(&dir).unwrap();
+            assert_eq!(s.stats().entries, 0, "stale line must miss");
+            assert_eq!(s.stats().quarantined, 0, "stale is not corrupt");
+            assert!(s.get(0x2a).is_none());
+            s.put(key, "unit", &sample_report()).unwrap();
+        }
+        // The stale line is preserved in place alongside the new one.
+        let text = std::fs::read_to_string(store_path(&dir)).unwrap();
+        assert!(text.starts_with(old));
+        let rep = verify(&dir).unwrap();
+        assert_eq!((rep.valid, rep.stale, rep.corrupt), (1, 1, 0));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -259,6 +696,73 @@ mod tests {
         }
         let mut s = ResultStore::open(&dir).unwrap();
         assert_eq!(s.get(key).unwrap().cycles, 777);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_keeps_newest_per_key_and_round_trips() {
+        let dir = temp_dir("store-compact");
+        {
+            let mut s = ResultStore::open(&dir).unwrap();
+            let mut r = sample_report();
+            s.put(1, "unit", &r).unwrap();
+            s.put(2, "unit", &r).unwrap();
+            r.cycles = 777;
+            s.put(1, "unit", &r).unwrap();
+        }
+        // Add one stale and one corrupt line for compact to dispose of.
+        let mut text = std::fs::read_to_string(store_path(&dir)).unwrap();
+        text.push_str("{\"v\":1,\"key\":\"0000000000000001\",\"workload\":\"u\",\"report\":{}}\n");
+        text.push_str("{\"v\":2,\"key\":\"00\n");
+        std::fs::write(store_path(&dir), &text).unwrap();
+
+        let rep = compact(&dir).unwrap();
+        assert_eq!(rep.kept, 2);
+        assert_eq!(rep.superseded, 1);
+        assert_eq!(rep.stale, 1);
+        assert_eq!(rep.quarantined, 1);
+
+        // Round trip: the compacted store still answers both keys, the
+        // newest value won, and a second compact is a no-op.
+        let mut s = ResultStore::open(&dir).unwrap();
+        assert_eq!(s.stats().entries, 2);
+        assert_eq!(s.stats().quarantined, 0);
+        assert_eq!(s.get(1).unwrap().cycles, 777);
+        assert!(s.get(2).is_some());
+        drop(s);
+        assert_eq!(
+            compact(&dir).unwrap(),
+            CompactReport {
+                kept: 2,
+                ..CompactReport::default()
+            }
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_removes_the_quarantine_file() {
+        let dir = temp_dir("store-gc");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(store_path(&dir), "{\"v\":2,\"key\":\"00\n").unwrap();
+        let rep = gc(&dir).unwrap();
+        assert_eq!(rep.compact.quarantined, 1);
+        assert!(rep.quarantine_bytes > 0);
+        assert!(!quarantine_path(&dir).exists());
+        assert_eq!(verify(&dir).unwrap(), VerifyReport::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_is_read_only() {
+        let dir = temp_dir("store-verify-ro");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = "{\"v\":2,\"key\":\"00\n";
+        std::fs::write(store_path(&dir), text).unwrap();
+        let rep = verify(&dir).unwrap();
+        assert_eq!((rep.lines, rep.corrupt), (1, 1));
+        assert_eq!(std::fs::read_to_string(store_path(&dir)).unwrap(), text);
+        assert!(!quarantine_path(&dir).exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

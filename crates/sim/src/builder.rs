@@ -101,6 +101,8 @@ pub struct SimBuilder<'p> {
     cfg: SimConfig,
     probe: Option<Rc<dyn Probe>>,
     legacy_scheduler: Option<bool>,
+    watchdog_stall: Option<u64>,
+    cycle_budget: Option<u64>,
 }
 
 impl<'p> SimBuilder<'p> {
@@ -111,6 +113,8 @@ impl<'p> SimBuilder<'p> {
             cfg: SimConfig::default(),
             probe: None,
             legacy_scheduler: None,
+            watchdog_stall: None,
+            cycle_budget: None,
         }
     }
 
@@ -178,6 +182,30 @@ impl<'p> SimBuilder<'p> {
         self
     }
 
+    /// Overrides the retire-progress watchdog threshold: a run that
+    /// goes `cycles` consecutive cycles without retiring anything
+    /// (while work is still pending) aborts with
+    /// [`SimError`](crate::SimError)`::Livelock` from
+    /// [`Simulation::try_run`]. `0` disables the watchdog. Defaults to
+    /// [`DEFAULT_WATCHDOG_STALL_LIMIT`](crate::DEFAULT_WATCHDOG_STALL_LIMIT).
+    /// Like [`legacy_scheduler`](Self::legacy_scheduler), deliberately
+    /// *not* part of [`SimConfig`]: it cannot change a healthy run's
+    /// results, so it must not perturb result-store cache keys.
+    pub fn watchdog_stall_limit(mut self, cycles: u64) -> Self {
+        self.watchdog_stall = Some(cycles);
+        self
+    }
+
+    /// Overrides the total cycle budget (default `max_insts * 400 +
+    /// 2_000_000`): exceeding it aborts with
+    /// [`SimError`](crate::SimError)`::CycleBudget`. Also outside
+    /// [`SimConfig`], for the same cache-key reason as
+    /// [`watchdog_stall_limit`](Self::watchdog_stall_limit).
+    pub fn cycle_budget(mut self, cycles: u64) -> Self {
+        self.cycle_budget = Some(cycles);
+        self
+    }
+
     /// Validates the configuration and constructs the simulation.
     ///
     /// # Errors
@@ -215,6 +243,8 @@ impl<'p> SimBuilder<'p> {
             self.probe
                 .unwrap_or_else(|| Rc::new(ctcp_telemetry::NullProbe)),
             self.legacy_scheduler,
+            self.watchdog_stall,
+            self.cycle_budget,
         ))
     }
 }

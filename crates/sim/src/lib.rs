@@ -33,16 +33,21 @@
 mod builder;
 mod codec;
 mod config;
+mod error;
 mod processor;
 mod report;
 mod stream;
 
 pub use builder::{ConfigError, SimBuilder, MAX_CLUSTERS};
 pub use config::{SimConfig, Strategy};
+/// Pipeline snapshot carried by watchdog errors, re-exported so callers
+/// matching on [`SimError`] need not depend on `ctcp-core` directly.
+pub use ctcp_core::{ClusterOccupancy, PipelineDiagnostic};
 /// JSON support re-exported from the telemetry crate (it moved there so
 /// exporters and the result store share one implementation).
 pub use ctcp_telemetry::json;
+pub use error::SimError;
 #[allow(deprecated)]
 pub use processor::run_with_strategy;
-pub use processor::Simulation;
+pub use processor::{Simulation, DEFAULT_WATCHDOG_STALL_LIMIT};
 pub use report::{harmonic_mean, MetricsSnapshot, SimReport};

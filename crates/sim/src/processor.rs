@@ -3,7 +3,7 @@
 use crate::builder::SimBuilder;
 use crate::report::{MetricsSnapshot, SimReport};
 use crate::stream::InstStream;
-use crate::{SimConfig, Strategy};
+use crate::{SimConfig, SimError, Strategy};
 use ctcp_core::assign::RetireTimeStrategy;
 use ctcp_core::{Engine, FetchedInst, TickResult};
 use ctcp_frontend::{BranchPredictor, Btb, HybridPredictor, ICache, ReturnAddressStack};
@@ -17,6 +17,15 @@ use std::rc::Rc;
 
 /// Maximum fetch groups buffered between fetch and rename.
 const DELIVERY_DEPTH: usize = 8;
+
+/// Default retire-progress watchdog threshold: a simulation that goes
+/// this many consecutive cycles without retiring a single instruction
+/// (while work is still pending) is declared livelocked. Even the
+/// deepest legitimate stall in this model — a chain of memory misses
+/// behind a mispredicted branch — resolves within a few hundred cycles,
+/// so five orders of magnitude of headroom keeps false trips impossible
+/// while still aborting a wedged pipeline in well under a second.
+pub const DEFAULT_WATCHDOG_STALL_LIMIT: u64 = 100_000;
 
 /// A configured simulation of one program. Create with
 /// [`Simulation::builder`], run to completion with [`Simulation::run`].
@@ -42,6 +51,11 @@ pub struct Simulation<'p> {
     // telemetry
     probe: Rc<dyn Probe>,
     probe_on: bool,
+    // robustness
+    watchdog_stall: u64,
+    cycle_budget: Option<u64>,
+    /// Cached at construction: the `stall-retire` fail point was armed.
+    stall_retire_fp: bool,
     // statistics
     insts_from_tc: u64,
     insts_from_icache: u64,
@@ -81,6 +95,8 @@ impl<'p> Simulation<'p> {
         config: SimConfig,
         probe: Rc<dyn Probe>,
         legacy_scheduler: Option<bool>,
+        watchdog_stall: Option<u64>,
+        cycle_budget: Option<u64>,
     ) -> Self {
         let cfg = config.normalized();
         let mut engine = Engine::new(cfg.engine, cfg.strategy.steering_mode());
@@ -108,6 +124,9 @@ impl<'p> Simulation<'p> {
             group_ctr: 0,
             probe,
             probe_on,
+            watchdog_stall: watchdog_stall.unwrap_or(DEFAULT_WATCHDOG_STALL_LIMIT),
+            cycle_budget,
+            stall_retire_fp: ctcp_telemetry::failpoint::is_active("stall-retire"),
             insts_from_tc: 0,
             insts_from_icache: 0,
             cond_branches: 0,
@@ -121,20 +140,79 @@ impl<'p> Simulation<'p> {
 
     /// Runs to completion (instruction budget reached or program drained)
     /// and reports.
-    pub fn run(mut self) -> SimReport {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run aborts — the watchdog trips or the cycle budget
+    /// is exhausted. Callers that want to handle aborts as data (the
+    /// sweep harness does, so one wedged cell cannot take down a batch)
+    /// use [`Simulation::try_run`] instead.
+    pub fn run(self) -> SimReport {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("simulation aborted: {e}"))
+    }
+
+    /// Runs to completion and reports, or returns a typed [`SimError`]
+    /// when the run cannot finish.
+    ///
+    /// Two guards watch the cycle loop:
+    ///
+    /// * a **retire-progress watchdog** — no instruction retired for
+    ///   [`DEFAULT_WATCHDOG_STALL_LIMIT`] consecutive cycles (override
+    ///   via [`SimBuilder::watchdog_stall_limit`]) while work is still
+    ///   pending aborts with [`SimError::Livelock`];
+    /// * a **total cycle budget** — by default `max_insts * 400 +
+    ///   2_000_000` cycles (override via [`SimBuilder::cycle_budget`]);
+    ///   exceeding it aborts with [`SimError::CycleBudget`] instead of
+    ///   silently truncating the run into a misleading report.
+    ///
+    /// Both errors carry a [`ctcp_core::PipelineDiagnostic`] naming the
+    /// instruction the machine stopped behind, and both bump the
+    /// `watchdog_trips` telemetry counter when a probe is attached.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Livelock`] or [`SimError::CycleBudget`], as above.
+    pub fn try_run(mut self) -> Result<SimReport, SimError> {
         // Generous safety bound: nothing sensible needs more cycles.
-        let cycle_cap = self
-            .cfg
-            .max_insts
-            .saturating_mul(400)
-            .saturating_add(2_000_000);
+        let cycle_cap = self.cycle_budget.unwrap_or_else(|| {
+            self.cfg
+                .max_insts
+                .saturating_mul(400)
+                .saturating_add(2_000_000)
+        });
+        let stall_limit = self.watchdog_stall;
+        let mut last_progress = 0u64;
+        let mut last_retired = 0u64;
         while self.retired < self.cfg.max_insts && self.now < cycle_cap {
             self.step();
             if self.pipeline_empty() {
                 break;
             }
+            if self.retired > last_retired {
+                last_retired = self.retired;
+                last_progress = self.now;
+            } else if stall_limit > 0 && self.now - last_progress >= stall_limit {
+                if self.probe_on {
+                    self.probe.counter(Counter::WatchdogTrips, 1);
+                }
+                return Err(SimError::Livelock {
+                    stalled_for: self.now - last_progress,
+                    diagnostic: self.engine.diagnostic(self.now),
+                });
+            }
         }
-        self.finish()
+        if self.retired < self.cfg.max_insts && !self.pipeline_empty() {
+            if self.probe_on {
+                self.probe.counter(Counter::WatchdogTrips, 1);
+            }
+            return Err(SimError::CycleBudget {
+                budget: cycle_cap,
+                max_insts: self.cfg.max_insts,
+                diagnostic: self.engine.diagnostic(self.now),
+            });
+        }
+        Ok(self.finish())
     }
 
     fn pipeline_empty(&mut self) -> bool {
@@ -179,6 +257,13 @@ impl<'p> Simulation<'p> {
                 self.waiting_redirect = None;
                 self.fetch_resume = now + 1;
             }
+        }
+
+        // Fault injection: the `stall-retire` fail point swallows this
+        // cycle's retirements, freezing retire progress so the watchdog
+        // path can be exercised end-to-end.
+        if self.stall_retire_fp {
+            result.retired.clear();
         }
 
         // 6. Retire: feed the fill unit. (The predictor is trained at
@@ -508,6 +593,34 @@ mod tests {
         let p = loop_program(1_000_000);
         let r = run(&p, Strategy::Baseline, 5_000);
         assert_eq!(r.instructions, 5_000);
+    }
+
+    #[test]
+    fn cycle_budget_exhaustion_is_a_typed_error() {
+        // 200 cycles is nowhere near enough to retire a million
+        // instructions, so the budget guard must fire — with the budget
+        // and target in the error, not a silently truncated report.
+        let p = loop_program(1_000_000);
+        let err = Simulation::builder(&p)
+            .max_insts(1_000_000)
+            .cycle_budget(200)
+            .build()
+            .unwrap()
+            .try_run()
+            .expect_err("budget must be exhausted");
+        match err {
+            crate::SimError::CycleBudget {
+                budget,
+                max_insts,
+                ref diagnostic,
+            } => {
+                assert_eq!(budget, 200);
+                assert_eq!(max_insts, 1_000_000);
+                assert_eq!(diagnostic.cycle, 200);
+                assert!(diagnostic.in_flight > 0);
+            }
+            other => panic!("expected CycleBudget, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Crash-injection tests for the retire-progress watchdog.
+//!
+//! The `stall-retire` fail point (see `ctcp_telemetry::failpoint`)
+//! swallows every retirement inside the cycle loop, wedging the
+//! simulation exactly the way a steering or scheduling bug would.
+//! These tests prove the watchdog converts that hang into a typed
+//! [`SimError::Livelock`] carrying a useful diagnostic — instead of
+//! spinning until the generic cycle cap.
+//!
+//! Fail-point state is process-global and `Simulation` samples it at
+//! construction, so every test here — including the no-fault control —
+//! serialises on one mutex to keep an armed point from leaking into a
+//! neighbour's build.
+
+use ctcp_isa::{Program, ProgramBuilder, Reg};
+use ctcp_sim::{SimError, Simulation};
+use ctcp_telemetry::{failpoint, Counter, Recorder, RecorderConfig};
+use std::rc::Rc;
+use std::sync::{Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialises the test and guarantees the fail point is disarmed on
+/// entry and on exit (even when the test panics).
+fn exclusive() -> (MutexGuard<'static, ()>, impl Drop) {
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            failpoint::set(None);
+        }
+    }
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    failpoint::set(None);
+    (guard, Disarm)
+}
+
+fn loop_program(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.movi(Reg::R1, 0);
+    b.movi(Reg::R2, iters);
+    let top = b.here();
+    b.addi(Reg::R3, Reg::R1, 5);
+    b.add(Reg::R4, Reg::R3, Reg::R3);
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.blt(Reg::R1, Reg::R2, top);
+    b.halt();
+    b.build()
+}
+
+#[test]
+fn stalled_retire_returns_livelock_with_diagnostic() {
+    let _x = exclusive();
+    failpoint::set(Some("stall-retire"));
+    let p = loop_program(1_000_000);
+    let err = Simulation::builder(&p)
+        .max_insts(10_000)
+        .watchdog_stall_limit(2_000)
+        .build()
+        .unwrap()
+        .try_run()
+        .expect_err("a stalled pipeline must trip the watchdog");
+    let rendered = err.to_string();
+    let SimError::Livelock {
+        stalled_for,
+        diagnostic,
+    } = err
+    else {
+        panic!("expected Livelock, got {err:?}");
+    };
+    assert!(stalled_for >= 2_000, "stalled_for={stalled_for}");
+    // The diagnostic names the cycle, the head-of-ROB instruction the
+    // machine is stuck behind, and per-cluster occupancy.
+    assert_eq!(diagnostic.cycle, stalled_for, "no retirement ever happened");
+    assert!(rendered.contains("livelock"), "{rendered}");
+    assert!(
+        rendered.contains(&format!("cycle {}", diagnostic.cycle)),
+        "{rendered}"
+    );
+    assert!(rendered.contains("rob head seq"), "{rendered}");
+    assert!(
+        rendered.contains("occupancy (dispatch+rs) c0:"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn watchdog_trip_bumps_the_telemetry_counter() {
+    let _x = exclusive();
+    failpoint::set(Some("stall-retire"));
+    let p = loop_program(1_000_000);
+    let rec = Rc::new(Recorder::new(RecorderConfig::metrics_only()));
+    let err = Simulation::builder(&p)
+        .max_insts(10_000)
+        .watchdog_stall_limit(1_000)
+        .probe(Rc::clone(&rec) as Rc<dyn ctcp_telemetry::Probe>)
+        .build()
+        .unwrap()
+        .try_run();
+    assert!(matches!(err, Err(SimError::Livelock { .. })), "{err:?}");
+    assert_eq!(rec.metrics().get(Counter::WatchdogTrips), 1);
+}
+
+#[test]
+fn run_wrapper_panics_with_the_rendered_error() {
+    let _x = exclusive();
+    failpoint::set(Some("stall-retire"));
+    let p = loop_program(1_000_000);
+    let sim = Simulation::builder(&p)
+        .max_insts(10_000)
+        .watchdog_stall_limit(500)
+        .build()
+        .unwrap();
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // silence expected panic
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()));
+    std::panic::set_hook(hook);
+    let payload = result.expect_err("run() must panic on a watchdog trip");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic message is a String");
+    assert!(msg.starts_with("simulation aborted: livelock"), "{msg}");
+}
+
+#[test]
+fn healthy_run_never_trips_a_tight_watchdog() {
+    let _x = exclusive();
+    // A 300-cycle stall limit is far below the default yet far above
+    // any legitimate retire gap in this tiny loop: a false-positive
+    // watchdog would fail here.
+    let p = loop_program(2_000);
+    let report = Simulation::builder(&p)
+        .max_insts(8_000)
+        .watchdog_stall_limit(300)
+        .build()
+        .unwrap()
+        .try_run()
+        .expect("healthy run must not trip the watchdog");
+    assert_eq!(report.instructions, 8_000);
+}
+
+#[test]
+fn zero_stall_limit_disables_the_watchdog() {
+    let _x = exclusive();
+    failpoint::set(Some("stall-retire"));
+    // With the watchdog off, the only guard left is the cycle budget —
+    // the stalled run must end in CycleBudget, not Livelock.
+    let p = loop_program(1_000_000);
+    let err = Simulation::builder(&p)
+        .max_insts(10_000)
+        .watchdog_stall_limit(0)
+        .cycle_budget(3_000)
+        .build()
+        .unwrap()
+        .try_run()
+        .expect_err("stalled run with a finite budget must abort");
+    assert!(
+        matches!(err, SimError::CycleBudget { budget: 3_000, .. }),
+        "{err:?}"
+    );
+}

@@ -20,12 +20,15 @@
 //!   renders one JSONL metrics record per job.
 //! - [`json`]: the workspace's hand-rolled JSON value (the build is
 //!   fully offline; there is no serde).
+//! - [`failpoint`]: named fault-injection sites (`CTCP_FAIL_POINT`)
+//!   used by the crash-injection tests and the verify smoke.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chrome;
 pub mod event;
+pub mod failpoint;
 pub mod json;
 pub mod metrics;
 pub mod probe;

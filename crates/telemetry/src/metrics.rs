@@ -42,11 +42,20 @@ pub enum Counter {
     /// Source operands resolved by a producer's completion (wakeup
     /// fan-out; one per `Waiting → Forwarded` transition).
     SchedWakeups,
+    /// Retire-progress watchdog trips (a simulation aborted with
+    /// `SimError::Livelock` instead of spinning forever).
+    WatchdogTrips,
+    /// Harness jobs whose final outcome was a failure (after retries).
+    HarnessJobFailures,
+    /// Harness job re-executions after a transient failure.
+    HarnessRetries,
+    /// Result-store lines quarantined as corrupt at load time.
+    StoreQuarantined,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 18] = [
         Counter::Cycles,
         Counter::Retired,
         Counter::FetchGroups,
@@ -61,6 +70,10 @@ impl Counter {
         Counter::EventsDropped,
         Counter::SchedCompletions,
         Counter::SchedWakeups,
+        Counter::WatchdogTrips,
+        Counter::HarnessJobFailures,
+        Counter::HarnessRetries,
+        Counter::StoreQuarantined,
     ];
 
     /// Number of distinct counters.
@@ -83,6 +96,10 @@ impl Counter {
             Counter::EventsDropped => "events_dropped",
             Counter::SchedCompletions => "sched_completions",
             Counter::SchedWakeups => "sched_wakeups",
+            Counter::WatchdogTrips => "watchdog_trips",
+            Counter::HarnessJobFailures => "harness_job_failures",
+            Counter::HarnessRetries => "harness_retries",
+            Counter::StoreQuarantined => "store_quarantined",
         }
     }
 

@@ -11,6 +11,9 @@
 #      and reconciles its counters against the report
 #   5. perf smoke: wall-time of a fixed sweep, recorded into
 #      BENCH_baseline.json to track the perf trajectory over time
+#   6. crash-injection smoke: a fail point panics one sweep cell; the
+#      batch must finish, render the survivors, exit non-zero, and
+#      leave a store that `ctcp store verify` passes clean
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,6 +54,25 @@ cat > BENCH_baseline.json <<EOF
 }
 EOF
 echo "perf smoke: ${wall_ms} ms (recorded in BENCH_baseline.json)"
+
+echo "==> crash-injection smoke (fail point panics one sweep cell)"
+# The injected panic kills the twolf/fdrt cell (after one retry); the
+# sweep must still complete, render the surviving gzip rows, append the
+# failure table, and exit non-zero. Successes are cached in an
+# isolated store (cwd-relative target/ctcp-results under the smoke
+# dir), which must then verify clean.
+if (cd "$smoke_dir" && CTCP_FAIL_POINT=job-panic=twolf:fdrt \
+    "$OLDPWD/target/release/ctcp" sweep \
+        --benches gzip,twolf --strategies fdrt --insts 20000 \
+        --jobs 2 --cache > sweep-crash.out 2>/dev/null); then
+    echo "FAIL: sweep with an injected crash must exit non-zero" >&2
+    exit 1
+fi
+grep -q "^gzip" "$smoke_dir/sweep-crash.out"
+grep -q "twolf/fdrt: panic:" "$smoke_dir/sweep-crash.out"
+
+echo "==> result store verify (post-crash store must be clean)"
+./target/release/ctcp store verify --dir "$smoke_dir/target/ctcp-results"
 
 echo "==> engine perf gate (scheduler-bound sweep -> BENCH_engine.json)"
 # Scheduler-bound workload: enough instructions that the engine's
