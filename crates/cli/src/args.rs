@@ -100,6 +100,9 @@ pub struct SweepArgs {
     pub csv: bool,
     /// Stream one JSONL metrics record per simulated cell to this path.
     pub metrics_out: Option<String>,
+    /// Collect per-cell CPI stacks and append a strategy × benchmark
+    /// attribution table after the speedup table.
+    pub attrib: bool,
 }
 
 impl Default for SweepArgs {
@@ -126,6 +129,37 @@ impl Default for SweepArgs {
             cache: false,
             csv: false,
             metrics_out: None,
+            attrib: false,
+        }
+    }
+}
+
+/// Options for the `analyze` cycle-attribution command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeArgs {
+    /// Program, geometry, budget (shared with `run`; the shared
+    /// `--strategy` is ignored — analyze runs its own strategy list).
+    pub run: RunArgs,
+    /// Strategies to attribute, in report order.
+    pub strategies: Vec<Strategy>,
+    /// Emit the full attribution as one JSON document.
+    pub json: bool,
+    /// How many critical-path edges to report per strategy.
+    pub top: usize,
+}
+
+impl Default for AnalyzeArgs {
+    fn default() -> Self {
+        AnalyzeArgs {
+            run: RunArgs::default(),
+            strategies: vec![
+                Strategy::Baseline,
+                Strategy::IssueTime { latency: 4 },
+                Strategy::Friendly { middle_bias: false },
+                Strategy::Fdrt { pinning: true },
+            ],
+            json: false,
+            top: 8,
         }
     }
 }
@@ -163,6 +197,9 @@ pub enum Command {
     Sweep(SweepArgs),
     /// Run one strategy with telemetry on and export a Chrome trace.
     Trace(TraceArgs),
+    /// Attribute every cycle of retire bandwidth per strategy: CPI
+    /// stack, per-cluster utilization, top critical-path edges.
+    Analyze(AnalyzeArgs),
     /// Print the disassembly of the selected program.
     Disasm(ProgramSource),
     /// Inspect or maintain the on-disk result store.
@@ -236,6 +273,7 @@ impl Cli {
             "compare" => Command::Compare(parse_run_args(rest)?),
             "sweep" => Command::Sweep(parse_sweep_args(rest)?),
             "trace" => Command::Trace(parse_trace_args(rest)?),
+            "analyze" => Command::Analyze(parse_analyze_args(rest)?),
             "store" => Command::Store(parse_store_args(rest)?),
             "disasm" => {
                 let ra = parse_run_args(rest)?;
@@ -338,6 +376,48 @@ fn parse_trace_args(rest: &[String]) -> Result<TraceArgs, CliError> {
                     .map_err(|_| CliError(format!("bad --events value {v:?}")))?;
             }
             "--check" => out.check = true,
+            other => shared.push(other.to_string()),
+        }
+        i += 1;
+    }
+    out.run = parse_run_args(&shared)?;
+    Ok(out)
+}
+
+fn parse_analyze_args(rest: &[String]) -> Result<AnalyzeArgs, CliError> {
+    let mut out = AnalyzeArgs::default();
+    // Analyze-specific flags are consumed here; everything else
+    // (source, geometry, budget) goes to the shared `run` parser.
+    let mut shared: Vec<String> = Vec::new();
+    let mut i = 0;
+    // A leading bare word is the benchmark name: `ctcp analyze gzip`.
+    if rest.first().is_some_and(|a| !a.starts_with("--")) {
+        shared.push("--bench".into());
+        shared.push(rest[0].clone());
+        i = 1;
+    }
+    let value = |i: &mut usize| -> Result<String, CliError> {
+        *i += 1;
+        rest.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{} needs a value", rest[*i - 1])))
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--strategy" | "--strategies" => {
+                let v = value(&mut i)?;
+                out.strategies = comma_list("--strategies", &v)?
+                    .iter()
+                    .map(|s| parse_strategy(s))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--json" => out.json = true,
+            "--top" => {
+                let v = value(&mut i)?;
+                out.top = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --top value {v:?}")))?;
+            }
             other => shared.push(other.to_string()),
         }
         i += 1;
@@ -463,6 +543,7 @@ fn parse_sweep_args(rest: &[String]) -> Result<SweepArgs, CliError> {
             "--cache" => out.cache = true,
             "--csv" => out.csv = true,
             "--metrics-out" => out.metrics_out = Some(value(&mut i)?),
+            "--attrib" => out.attrib = true,
             other => return Err(CliError(format!("unknown flag {other:?}"))),
         }
         i += 1;
@@ -480,6 +561,8 @@ USAGE:
   ctcp compare [SOURCE] [OPTIONS]         compare all strategies
   ctcp sweep   [SWEEP OPTIONS]            run a strategy/benchmark/geometry grid
   ctcp trace   [BENCH] [TRACE OPTIONS]    simulate with telemetry, export a trace
+  ctcp analyze [BENCH] [ANALYZE OPTIONS]  attribute cycles: CPI stack, utilization,
+                                          critical-path edges, per strategy
   ctcp disasm  [SOURCE]                   print program disassembly
   ctcp store   ACTION [--dir D]           inspect or maintain the result store
   ctcp help                               this text
@@ -509,6 +592,8 @@ SWEEP OPTIONS:
   --cache             memoize cells in target/ctcp-results/
   --csv               machine-readable output
   --metrics-out FILE  stream one JSONL metrics record per simulated cell
+  --attrib            collect per-cell CPI stacks and append a strategy ×
+                      benchmark attribution table
 
 STORE ACTIONS (sweep exits non-zero when any cell fails; so does
 `store verify` on corruption):
@@ -526,7 +611,15 @@ TRACE OPTIONS (plus SOURCE and OPTIONS above):
   --events N          event ring capacity; oldest spans drop beyond this
                       (default: 65536)
   --check             validate the trace file and reconcile its counters
-                      against the simulation report
+                      against the simulation report (includes flow-event
+                      pairing for inter-cluster forwards)
+
+ANALYZE OPTIONS (plus SOURCE and OPTIONS above):
+  --strategies S,S    strategies to attribute
+                      (default: base,issue4,friendly,fdrt)
+  --top N             critical-path edges to report per strategy (default: 8)
+  --json              emit the full attribution as one JSON document
+  --csv               CPI-stack rows as CSV
 ";
 
 #[cfg(test)]
@@ -696,6 +789,70 @@ mod tests {
         assert!(Cli::parse(["sweep", "--topology", "torus"]).is_err());
         assert!(Cli::parse(["sweep", "--frobnicate"]).is_err());
         assert!(Cli::parse(["sweep", "--jobs"]).is_err());
+    }
+
+    #[test]
+    fn analyze_defaults() {
+        let cli = Cli::parse(["analyze"]).unwrap();
+        let Command::Analyze(a) = cli.command else {
+            panic!("expected analyze")
+        };
+        assert_eq!(a.run.source, ProgramSource::Bench("gzip".into()));
+        assert_eq!(a.strategies.len(), 4);
+        assert_eq!(a.strategies[0], Strategy::Baseline);
+        assert_eq!(a.top, 8);
+        assert!(!a.json);
+        assert!(!a.run.csv);
+    }
+
+    #[test]
+    fn analyze_with_everything() {
+        let cli = Cli::parse([
+            "analyze",
+            "twolf",
+            "--strategies",
+            "base,fdrt",
+            "--top",
+            "3",
+            "--insts",
+            "5000",
+            "--clusters",
+            "2",
+            "--json",
+        ])
+        .unwrap();
+        let Command::Analyze(a) = cli.command else {
+            panic!("expected analyze")
+        };
+        assert_eq!(a.run.source, ProgramSource::Bench("twolf".into()));
+        assert_eq!(
+            a.strategies,
+            vec![Strategy::Baseline, Strategy::Fdrt { pinning: true }]
+        );
+        assert_eq!(a.top, 3);
+        assert_eq!(a.run.insts, 5_000);
+        assert_eq!(a.run.clusters, 2);
+        assert!(a.json);
+    }
+
+    #[test]
+    fn analyze_rejects_bad_forms() {
+        assert!(Cli::parse(["analyze", "--strategies", "warp"]).is_err());
+        assert!(Cli::parse(["analyze", "--top", "many"]).is_err());
+        assert!(Cli::parse(["analyze", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn sweep_attrib_flag() {
+        let cli = Cli::parse(["sweep", "--attrib"]).unwrap();
+        let Command::Sweep(a) = cli.command else {
+            panic!("expected sweep")
+        };
+        assert!(a.attrib);
+        let Command::Sweep(a) = Cli::parse(["sweep"]).unwrap().command else {
+            panic!("expected sweep")
+        };
+        assert!(!a.attrib);
     }
 
     #[test]

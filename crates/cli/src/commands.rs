@@ -2,18 +2,19 @@
 //! asserted on in tests.
 
 use crate::args::{
-    Cli, CliError, Command, ProgramSource, RunArgs, StoreAction, StoreArgs, SweepArgs, TraceArgs,
-    USAGE,
+    AnalyzeArgs, Cli, CliError, Command, ProgramSource, RunArgs, StoreAction, StoreArgs, SweepArgs,
+    TraceArgs, USAGE,
 };
 use ctcp_core::Topology;
 use ctcp_harness::{failure_table, Harness, Job, ResultStore};
 use ctcp_isa::{asm, Program};
 use ctcp_sim::{SimConfig, SimReport, Simulation, Strategy};
 use ctcp_telemetry::{
-    chrome_trace, metrics_line, validate_chrome_trace, Counter, Metrics, Probe, Recorder,
-    RecorderConfig,
+    chrome_trace_with_flows, metrics_line, validate_chrome_trace, Counter, Metrics, PipeStage,
+    Probe, Recorder, RecorderConfig, RetireSlotKind,
 };
 use ctcp_workload::Benchmark;
+use std::collections::HashSet;
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -217,6 +218,7 @@ fn plain_text(cli: &Cli) -> Result<String, CliError> {
             Ok(out)
         }
         Command::Trace(args) => trace(args),
+        Command::Analyze(args) => analyze(args),
     }
 }
 
@@ -231,6 +233,7 @@ fn trace(args: &TraceArgs) -> Result<String, CliError> {
     let recorder = Rc::new(Recorder::new(RecorderConfig {
         event_capacity: args.events,
         sample_every: args.sample,
+        collect_attrib: false,
     }));
     let probe: Rc<dyn Probe> = Rc::clone(&recorder) as _;
     let r = build_sim(&program, config(&args.run, args.run.strategy), Some(probe))?
@@ -238,7 +241,17 @@ fn trace(args: &TraceArgs) -> Result<String, CliError> {
         .map_err(|e| CliError(e.to_string()))?;
 
     let events = recorder.events();
-    let chrome = chrome_trace(&events);
+    // A flow arrow needs its consumer's retire span to anchor to; drop
+    // flows whose instruction fell out of the event ring, so the
+    // exported file always satisfies the --check pairing rules.
+    let retired: HashSet<u64> = events
+        .iter()
+        .filter(|e| e.stage == PipeStage::Retire)
+        .map(|e| e.seq)
+        .collect();
+    let mut flows = recorder.flows();
+    flows.retain(|f| retired.contains(&f.seq));
+    let chrome = chrome_trace_with_flows(&events, &flows);
     std::fs::write(&args.out, &chrome)
         .map_err(|e| CliError(format!("cannot write {:?}: {e}", args.out)))?;
     let metrics = recorder.metrics();
@@ -250,10 +263,11 @@ fn trace(args: &TraceArgs) -> Result<String, CliError> {
         r.strategy, r.instructions, r.cycles, r.ipc
     ));
     out.push_str(&format!(
-        "trace: {} spans ({} dropped) -> {}
+        "trace: {} spans ({} dropped), {} inter-cluster flows -> {}
 ",
         events.len(),
         recorder.dropped_events(),
+        flows.len(),
         args.out
     ));
     if let Some(path) = &args.metrics_out {
@@ -276,12 +290,134 @@ fn trace(args: &TraceArgs) -> Result<String, CliError> {
             .map_err(|e| CliError(format!("invalid chrome trace: {e}")))?;
         reconcile(&metrics, &r).map_err(CliError)?;
         out.push_str(&format!(
-            "check: valid trace ({} spans, {} lanes), counters reconcile with the report
+            "check: valid trace ({} spans, {} lanes, {} flows), counters reconcile with the report
 ",
-            summary.spans, summary.lanes
+            summary.spans, summary.lanes, summary.flows
         ));
     }
     Ok(out)
+}
+
+/// Runs each requested strategy with an attribution-collecting
+/// [`Recorder`] and renders, per strategy: the retirement-driven CPI
+/// stack, per-cluster utilization, and the top critical-path edges with
+/// the fraction of critical edges that cross clusters.
+fn analyze(args: &AnalyzeArgs) -> Result<String, CliError> {
+    let program = load_program(&args.run.source)?;
+    let name = describe(&args.run.source);
+    let mut results: Vec<SimReport> = Vec::new();
+    for &s in &args.strategies {
+        let recorder = Rc::new(Recorder::new(RecorderConfig::attrib()));
+        let probe: Rc<dyn Probe> = Rc::clone(&recorder) as _;
+        let mut r = build_sim(&program, config(&args.run, s), Some(probe))?
+            .try_run()
+            .map_err(|e| CliError(e.to_string()))?;
+        r.attrib = Some(recorder.attrib_report_top(args.top));
+        results.push(r);
+    }
+    if args.json {
+        Ok(analyze_json(&name, args, &results))
+    } else if args.run.csv {
+        Ok(analyze_csv(&name, &results))
+    } else {
+        Ok(analyze_prose(&name, args, &results))
+    }
+}
+
+fn analyze_json(name: &str, args: &AnalyzeArgs, results: &[SimReport]) -> String {
+    use ctcp_sim::json::Value;
+    let strategies: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            let a = r.attrib.as_ref().expect("analyze attaches attribution");
+            let clusters = usize::from(args.run.clusters);
+            let per_cluster: Vec<Value> = r.metrics.engine.executed_per_cluster[..clusters]
+                .iter()
+                .map(|&n| Value::u64(n))
+                .collect();
+            Value::Obj(vec![
+                ("strategy".into(), Value::str(&r.strategy)),
+                ("cycles".into(), Value::u64(r.cycles)),
+                ("instructions".into(), Value::u64(r.instructions)),
+                ("ipc".into(), Value::f64(r.ipc)),
+                ("executed_per_cluster".into(), Value::Arr(per_cluster)),
+                ("attrib".into(), a.to_value()),
+            ])
+        })
+        .collect();
+    let mut text = Value::Obj(vec![
+        ("bench".into(), Value::str(name)),
+        ("strategies".into(), Value::Arr(strategies)),
+    ])
+    .render();
+    text.push('\n');
+    text
+}
+
+fn analyze_csv(name: &str, results: &[SimReport]) -> String {
+    let mut out = String::from(
+        "bench,strategy,cycles,ipc,base,inter_cluster,rs_dispatch,fetch,\
+         branch_mispredict,memory,cross_cluster\n",
+    );
+    for r in results {
+        let a = r.attrib.as_ref().expect("analyze attaches attribution");
+        out.push_str(&format!("{name},{},{},{:.4}", r.strategy, r.cycles, r.ipc));
+        for kind in RetireSlotKind::ALL {
+            out.push_str(&format!(",{:.4}", a.stack.fraction(kind)));
+        }
+        out.push_str(&format!(",{:.4}\n", a.critical.cross_fraction()));
+    }
+    out
+}
+
+fn analyze_prose(name: &str, args: &AnalyzeArgs, results: &[SimReport]) -> String {
+    let mut out = format!(
+        "{name} — cycle attribution, {} clusters, {} instruction budget\n",
+        args.run.clusters, args.run.insts
+    );
+    for r in results {
+        let a = r.attrib.as_ref().expect("analyze attaches attribution");
+        out.push_str(&format!(
+            "\n{}: {} cycles, IPC {:.3}\n",
+            r.strategy, r.cycles, r.ipc
+        ));
+        out.push_str("  CPI stack (fraction of retire slots):\n");
+        for kind in RetireSlotKind::ALL {
+            out.push_str(&format!(
+                "    {:<18}{:>6.1}%\n",
+                kind.name(),
+                100.0 * a.stack.fraction(kind)
+            ));
+        }
+        let executed = &r.metrics.engine.executed_per_cluster[..usize::from(args.run.clusters)];
+        let total: u64 = executed.iter().sum();
+        out.push_str("  cluster utilization:");
+        for (ci, &n) in executed.iter().enumerate() {
+            let share = if total == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / total as f64
+            };
+            out.push_str(&format!(" c{ci} {share:.0}%"));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "  critical path: {} edges, {:.1}% cross-cluster\n",
+            a.critical.edges,
+            100.0 * a.critical.cross_fraction()
+        ));
+        for e in &a.critical.top {
+            out.push_str(&format!(
+                "    {:#06x} -> {:#06x}  {} hop{}  {}x\n",
+                e.from_pc,
+                e.to_pc,
+                e.hops,
+                if e.hops == 1 { "" } else { "s" },
+                e.count
+            ));
+        }
+    }
+    out
 }
 
 /// Cross-checks the live telemetry counters against the report's own
@@ -370,7 +506,7 @@ fn resolve_benches(names: &[String]) -> Result<Vec<Benchmark>, CliError> {
 /// appended after the normal output, and the exit code goes non-zero.
 fn sweep(args: &SweepArgs) -> Result<CliOutcome, CliError> {
     let benches = resolve_benches(&args.benches)?;
-    let mut harness = Harness::new().jobs(args.jobs);
+    let mut harness = Harness::new().jobs(args.jobs).attrib(args.attrib);
     if let Some(path) = &args.metrics_out {
         harness = harness.metrics_out(path);
     }
@@ -482,6 +618,80 @@ fn sweep(args: &SweepArgs) -> Result<CliOutcome, CliError> {
                 r.ipc,
                 r.speedup_over(base)
             ));
+        }
+    }
+    if args.attrib {
+        // The attribution table: one row per cell (baselines included,
+        // once per benchmark × geometry), CPI-stack fractions plus the
+        // share of critical-path edges that cross clusters.
+        let mut printed_base: HashSet<usize> = HashSet::new();
+        let mut rows: Vec<(&Cell, usize, bool)> = Vec::new();
+        for c in &cells {
+            if printed_base.insert(c.base_job) {
+                rows.push((c, c.base_job, true));
+            }
+            rows.push((c, c.job, false));
+        }
+        if args.csv {
+            out.push_str(
+                "\nbench,clusters,topology,strategy,cycles,base,inter_cluster,\
+                 rs_dispatch,fetch,branch_mispredict,memory,cross_cluster\n",
+            );
+        } else {
+            out.push_str(
+                "\nattribution (fraction of retire slots; xedges = critical-path \
+                 edges crossing clusters):\n",
+            );
+            out.push_str(&format!(
+                "{:<12}{:>9}{:>9}{:<2}{:<16}{:>7}{:>7}{:>7}{:>7}{:>7}{:>7}{:>8}\n",
+                "bench",
+                "clusters",
+                "topology",
+                "",
+                "strategy",
+                "base",
+                "xdelay",
+                "rs",
+                "fetch",
+                "bmiss",
+                "mem",
+                "xedges"
+            ));
+        }
+        for (c, job, _is_base) in rows {
+            let Some(r) = outcomes[job].report() else {
+                continue; // this cell is in the failure table instead
+            };
+            let Some(a) = r.attrib.as_ref() else {
+                continue; // defensive: attrib batches always attach one
+            };
+            if args.csv {
+                out.push_str(&format!(
+                    "{},{},{},{},{}",
+                    c.bench,
+                    c.clusters,
+                    topology_name(c.topology),
+                    r.strategy,
+                    r.cycles
+                ));
+                for kind in RetireSlotKind::ALL {
+                    out.push_str(&format!(",{:.4}", a.stack.fraction(kind)));
+                }
+                out.push_str(&format!(",{:.4}\n", a.critical.cross_fraction()));
+            } else {
+                out.push_str(&format!(
+                    "{:<12}{:>9}{:>9}{:<2}{:<16}",
+                    c.bench,
+                    c.clusters,
+                    topology_name(c.topology),
+                    "",
+                    r.strategy
+                ));
+                for kind in RetireSlotKind::ALL {
+                    out.push_str(&format!("{:>6.1}%", 100.0 * a.stack.fraction(kind)));
+                }
+                out.push_str(&format!("{:>7.1}%\n", 100.0 * a.critical.cross_fraction()));
+            }
         }
     }
     // On the all-success path this appends nothing, keeping the output
@@ -943,6 +1153,105 @@ mod tests {
         ]);
         assert_eq!(out.exit_code, 0);
         assert!(!out.output.contains("jobs failed"), "{}", out.output);
+    }
+
+    #[test]
+    fn analyze_prose_reports_stack_utilization_and_edges() {
+        let out = run(&[
+            "analyze",
+            "gzip",
+            "--strategies",
+            "base,fdrt",
+            "--insts",
+            "4000",
+        ])
+        .unwrap();
+        assert!(out.contains("cycle attribution"), "{out}");
+        assert!(out.contains("CPI stack"), "{out}");
+        assert!(out.contains("inter_cluster"), "{out}");
+        assert!(out.contains("cluster utilization: c0"), "{out}");
+        assert!(out.contains("critical path:"), "{out}");
+        assert!(out.contains("\nbase:"), "{out}");
+        assert!(out.contains("\nfdrt:"), "{out}");
+    }
+
+    #[test]
+    fn analyze_json_stack_conserves_retire_bandwidth() {
+        let out = run(&[
+            "analyze",
+            "gzip",
+            "--strategies",
+            "base",
+            "--insts",
+            "3000",
+            "--json",
+        ])
+        .unwrap();
+        let v = ctcp_sim::json::Value::parse(out.trim()).unwrap();
+        assert_eq!(v.get("bench").unwrap().as_str().unwrap(), "gzip");
+        let strategies = v.get("strategies").unwrap().as_arr().unwrap();
+        assert_eq!(strategies.len(), 1);
+        let s = &strategies[0];
+        let cycles = s.get("cycles").unwrap().as_u64().unwrap();
+        let stack = s.get("attrib").unwrap().get("stack").unwrap();
+        assert_eq!(stack.get("cycles").unwrap().as_u64().unwrap(), cycles);
+        let slots = stack.get("slots").unwrap();
+        let total: u64 = [
+            "base",
+            "inter_cluster",
+            "rs_dispatch",
+            "fetch",
+            "branch_mispredict",
+            "memory",
+        ]
+        .iter()
+        .map(|k| slots.get(k).unwrap().as_u64().unwrap())
+        .sum();
+        let width = SimConfig::default().engine.retire_width as u64;
+        assert_eq!(total, cycles * width, "stack must conserve every slot");
+    }
+
+    #[test]
+    fn analyze_csv_has_one_row_per_strategy() {
+        let out = run(&[
+            "analyze",
+            "gzip",
+            "--strategies",
+            "base,fdrt",
+            "--insts",
+            "3000",
+            "--csv",
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("bench,strategy,cycles,ipc,base,inter_cluster"));
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("gzip,base,"));
+        assert!(lines[2].starts_with("gzip,fdrt,"));
+    }
+
+    #[test]
+    fn sweep_attrib_appends_the_attribution_table() {
+        let out = run(&[
+            "sweep",
+            "--benches",
+            "gzip",
+            "--strategies",
+            "fdrt",
+            "--insts",
+            "2000",
+            "--attrib",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("attribution (fraction of retire slots"),
+            "{out}"
+        );
+        // Base + fdrt rows in the attribution table, on top of the two
+        // occurrences in the speedup table.
+        let tail = out.split("attribution").nth(1).unwrap();
+        assert!(tail.contains("base"), "{out}");
+        assert!(tail.contains("fdrt"), "{out}");
     }
 
     #[test]

@@ -15,7 +15,9 @@ use crate::sched::{CompletionWheel, ReadyQueue};
 use crate::{EngineConfig, ForwardingStats, ProducerHistory, RsClass};
 use ctcp_isa::Instruction;
 use ctcp_memory::{AccessKind, CacheStats, DataMemory, StoreForward};
-use ctcp_telemetry::{Counter, Hist, InstTimeline, NullProbe, Probe};
+use ctcp_telemetry::{
+    Counter, Hist, InstAttrib, InstTimeline, NullProbe, Probe, RetireSlotKind, SrcAttrib, SrcKind,
+};
 use ctcp_tracecache::{ExecFeedback, ProducerInfo, ProfileFields, TcLocation};
 use std::collections::{BTreeSet, VecDeque};
 use std::rc::Rc;
@@ -166,6 +168,12 @@ struct ClusterState {
     rs: [Vec<u64>; 5],
     /// Event scheduler only: per-RS ready/pending queues.
     queues: [ReadyQueue; 5],
+    /// Station residency, maintained identically by both schedulers
+    /// (incremented at dispatch, decremented at issue): the single
+    /// source every occupancy read — dispatch back-pressure, routing,
+    /// diagnostics, and the `rs_occupancy` histogram — samples, so the
+    /// telemetry cannot diverge between scheduler implementations.
+    station_occ: [usize; 5],
     fus: FuPool,
 }
 
@@ -175,6 +183,7 @@ impl ClusterState {
             dispatch_q: VecDeque::new(),
             rs: Default::default(),
             queues: Default::default(),
+            station_occ: [0; 5],
             fus: FuPool::new(),
         }
     }
@@ -529,14 +538,12 @@ impl Engine {
         c
     }
 
-    /// Occupancy of one reservation station, whichever scheduler owns it.
+    /// Occupancy of one reservation station. Reads the shared residency
+    /// counter both schedulers maintain at the same points (dispatch,
+    /// issue), so every consumer samples scheduler-independent state.
     #[inline]
     fn station_len(&self, ci: usize, rsi: usize) -> usize {
-        if self.event_driven {
-            self.clusters[ci].queues[rsi].occupancy
-        } else {
-            self.clusters[ci].rs[rsi].len()
-        }
+        self.clusters[ci].station_occ[rsi]
     }
 
     fn route_rs(&self, cluster: u8, class: ctcp_isa::OpClass) -> RsClass {
@@ -624,8 +631,8 @@ impl Engine {
                 let e = self.entry_mut(seq).expect("in ROB");
                 e.stage = Stage::InRs;
                 e.dispatched_at = now;
+                self.clusters[ci].station_occ[rs.index()] += 1;
                 if self.event_driven {
-                    self.clusters[ci].queues[rs.index()].occupancy += 1;
                     // If every operand is already resolved, the ready
                     // cycle is final: file it now. Otherwise the last
                     // producer's wakeup will file it.
@@ -747,6 +754,7 @@ impl Engine {
                     if self.try_issue(seq, now, min_unresolved, ci) {
                         issued[ci.min(7)] += 1;
                         self.clusters[ci].rs[rsi].retain(|&s| s != seq);
+                        self.clusters[ci].station_occ[rsi] -= 1;
                     }
                 }
             }
@@ -772,7 +780,7 @@ impl Engine {
                     let seq = ready[i];
                     if self.try_issue(seq, now, min_unresolved, ci) {
                         issued[ci.min(7)] += 1;
-                        self.clusters[ci].queues[rsi].occupancy -= 1;
+                        self.clusters[ci].station_occ[rsi] -= 1;
                     } else {
                         ready[keep] = seq;
                         keep += 1;
@@ -1050,6 +1058,104 @@ impl Engine {
         }
     }
 
+    /// Builds the attribution record for a retiring entry: stage stamps
+    /// plus per-source operand provenance (register file vs same-cluster
+    /// bypass vs inter-cluster forward). Probe-on path only.
+    fn attrib_of(&self, e: &Entry, complete_at: u64, now: u64) -> InstAttrib {
+        let mut srcs = [SrcAttrib::default(); 2];
+        for (i, s) in e.srcs.iter().enumerate() {
+            srcs[i] = match *s {
+                SrcState::None => SrcAttrib::default(),
+                SrcState::RfReady { at } => SrcAttrib {
+                    kind: SrcKind::RegFile,
+                    arrival: at,
+                    ..SrcAttrib::default()
+                },
+                // Unreachable at retire (producers are older and must
+                // have completed), kept total for safety.
+                SrcState::Waiting { producer_seq } => SrcAttrib {
+                    kind: SrcKind::RegFile,
+                    producer_seq,
+                    ..SrcAttrib::default()
+                },
+                SrcState::Forwarded {
+                    producer_seq,
+                    complete,
+                    cluster,
+                    ..
+                } => {
+                    let hops = self.cfg.geometry.distance(cluster, e.cluster);
+                    SrcAttrib {
+                        kind: if hops == 0 {
+                            SrcKind::Bypass
+                        } else {
+                            SrcKind::Forward
+                        },
+                        producer_seq,
+                        producer_cluster: cluster,
+                        hops,
+                        complete,
+                        arrival: self.arrival(s, e.cluster).unwrap_or(complete),
+                    }
+                }
+            };
+        }
+        InstAttrib {
+            seq: e.seq,
+            pc: e.pc,
+            cluster: e.cluster,
+            renamed_at: e.renamed_at,
+            dispatched_at: e.dispatched_at,
+            exec_start: e.exec_start,
+            complete_at,
+            retired_at: now,
+            srcs,
+            critical_src: e.feedback.critical_src.map(usize::from),
+        }
+    }
+
+    /// Classifies what the ROB head is waiting on at cycle `now` — the
+    /// blame bucket for a retire slot that went unused this cycle.
+    /// Returns `None` when the ROB is empty (the caller distinguishes
+    /// the front-end causes: mispredict squash vs fetch starvation).
+    ///
+    /// Priority order (first match wins): an undispatched head is
+    /// RS/dispatch pressure; a head in a station waiting on a critical
+    /// operand still crossing the interconnect is inter-cluster delay;
+    /// a head executing a load is memory; a head with arrived operands
+    /// that has not issued is RS/dispatch (structural) pressure;
+    /// everything else is base in-order drain.
+    pub fn head_blame(&self, now: u64) -> Option<RetireSlotKind> {
+        let head = self.rob.front()?;
+        Some(match head.stage {
+            Stage::AwaitDispatch { .. } => RetireSlotKind::RsDispatch,
+            Stage::Complete { .. } => RetireSlotKind::Base,
+            Stage::Executing { .. } => {
+                if head.inst.op.is_load() {
+                    RetireSlotKind::Memory
+                } else {
+                    RetireSlotKind::Base
+                }
+            }
+            Stage::InRs => match self.readiness(head) {
+                Some((ready, critical)) if ready > now => {
+                    let in_transit = critical.map(|c| head.srcs[c]).is_some_and(|s| {
+                        matches!(s, SrcState::Forwarded { cluster, .. }
+                            if self.cfg.geometry.distance(cluster, head.cluster) > 0)
+                    });
+                    if in_transit {
+                        RetireSlotKind::InterCluster
+                    } else {
+                        RetireSlotKind::Base
+                    }
+                }
+                // Operands arrived (or a source is still unresolved,
+                // which cannot happen at the head): structural pressure.
+                _ => RetireSlotKind::RsDispatch,
+            },
+        })
+    }
+
     fn retire_into(&mut self, now: u64, retired: &mut Vec<RetiredInst>) {
         while retired.len() < self.cfg.retire_width {
             let Some(head) = self.rob.front() else { break };
@@ -1074,6 +1180,7 @@ impl Engine {
                         complete_at: at,
                         retired_at: now,
                     });
+                    self.probe.retire_attrib(&self.attrib_of(&e, at, now));
                 }
             }
             if let Some(d) = e.inst.dest {

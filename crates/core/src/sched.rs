@@ -111,9 +111,6 @@ impl CompletionWheel {
 /// promotion is a prefix drain.
 #[derive(Debug, Default)]
 pub(crate) struct ReadyQueue {
-    /// Entries occupying this station (ready + pending + blocked); this
-    /// is what dispatch checks against `rs_entries`.
-    pub(crate) occupancy: usize,
     /// Selectable now (operands arrived), ascending seq.
     pub(crate) ready: Vec<u64>,
     /// Operands arrive at a known future cycle, ascending `(at, seq)`.
@@ -122,8 +119,9 @@ pub(crate) struct ReadyQueue {
 
 impl ReadyQueue {
     /// Files `seq`, whose operands arrive at `ready_at`, under the
-    /// current cycle `now`. Does not touch `occupancy` — that tracks
-    /// station residency, which starts at dispatch.
+    /// current cycle `now`. Station residency is tracked separately by
+    /// the engine's shared per-station counters, which both schedulers
+    /// maintain — this queue only orders selectable work.
     pub(crate) fn push_at(&mut self, ready_at: u64, seq: u64, now: u64) {
         if ready_at <= now {
             let i = self.ready.partition_point(|&s| s < seq);

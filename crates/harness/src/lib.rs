@@ -140,8 +140,15 @@ impl Job {
     /// [`JobError`] — an invalid configuration is a *job* defect, never
     /// grounds to panic a shared worker thread. With `with_metrics`
     /// set, a metrics-only [`Recorder`] rides along and the second
-    /// element is the rendered JSONL metrics line for this run.
-    fn try_simulate(&self, with_metrics: bool) -> Result<(SimReport, Option<String>), JobError> {
+    /// element is the rendered JSONL metrics line for this run. With
+    /// `with_attrib` set, the same recorder also accumulates the CPI
+    /// stack and per-instruction lifecycle records, and the report
+    /// comes back with `attrib` attached.
+    fn try_simulate(
+        &self,
+        with_metrics: bool,
+        with_attrib: bool,
+    ) -> Result<(SimReport, Option<String>), JobError> {
         // Fault injection: the `job-panic` fail point panics inside the
         // job body — exactly where a simulator bug would — so the
         // isolation layer can be exercised end-to-end. The optional
@@ -156,17 +163,26 @@ impl Job {
         }
         let invalid = |e: ctcp_sim::ConfigError| JobError::InvalidConfig(e.to_string());
         let builder = Simulation::builder(&self.program).config(self.config);
-        if with_metrics {
-            let recorder = Rc::new(Recorder::new(RecorderConfig::metrics_only()));
+        if with_metrics || with_attrib {
+            // One recorder serves both requests: metrics accumulate
+            // unconditionally, lifecycle records only when asked for.
+            let recorder = Rc::new(Recorder::new(RecorderConfig {
+                collect_attrib: with_attrib,
+                ..RecorderConfig::metrics_only()
+            }));
             let probe: Rc<dyn ctcp_telemetry::Probe> = Rc::clone(&recorder) as _;
-            let report = builder
+            let mut report = builder
                 .probe(probe)
                 .build()
                 .map_err(invalid)?
                 .try_run()
                 .map_err(JobError::Sim)?;
-            let line = metrics_line(&self.workload, &report.strategy, &recorder.metrics());
-            Ok((report, Some(line)))
+            if with_attrib {
+                report.attrib = Some(recorder.attrib_report());
+            }
+            let line = with_metrics
+                .then(|| metrics_line(&self.workload, &report.strategy, &recorder.metrics()));
+            Ok((report, line))
         } else {
             let report = builder
                 .build()
@@ -333,10 +349,11 @@ pub fn failure_table(outcomes: &[JobOutcome]) -> Option<String> {
 fn attempt(
     job: &Job,
     with_metrics: bool,
+    with_attrib: bool,
     timeout: Option<Duration>,
 ) -> Result<(SimReport, Option<String>), JobError> {
     let protected = move |job: &Job| match std::panic::catch_unwind(AssertUnwindSafe(|| {
-        job.try_simulate(with_metrics)
+        job.try_simulate(with_metrics, with_attrib)
     })) {
         Ok(r) => r,
         // `&*`: downcast the payload, not the box holding it.
@@ -366,12 +383,13 @@ fn attempt(
 fn execute(
     job: &Job,
     with_metrics: bool,
+    with_attrib: bool,
     timeout: Option<Duration>,
     max_retries: u32,
 ) -> (Result<(SimReport, Option<String>), JobError>, u32) {
     let mut retries = 0;
     loop {
-        match attempt(job, with_metrics, timeout) {
+        match attempt(job, with_metrics, with_attrib, timeout) {
             Ok(ok) => return (Ok(ok), retries),
             Err(e) => {
                 if !e.is_transient() || retries >= max_retries {
@@ -423,6 +441,7 @@ pub struct Harness {
     progress: Option<bool>,
     metrics_out: Option<PathBuf>,
     metrics_file: Option<std::fs::File>,
+    attrib: bool,
     retries: u32,
     job_timeout: Option<Duration>,
     telemetry: Metrics,
@@ -444,6 +463,7 @@ impl Harness {
             progress: None,
             metrics_out: None,
             metrics_file: None,
+            attrib: false,
             retries: DEFAULT_RETRIES,
             job_timeout: None,
             telemetry: Metrics::new(),
@@ -494,6 +514,20 @@ impl Harness {
     /// which a memoized report does not have.
     pub fn metrics_out(mut self, path: impl Into<PathBuf>) -> Harness {
         self.metrics_out = Some(path.into());
+        self
+    }
+
+    /// Turns on cycle attribution: every simulated job carries an
+    /// attribution-collecting [`Recorder`] and its report comes back
+    /// with [`SimReport::attrib`](ctcp_sim::SimReport) populated (a CPI
+    /// stack plus critical-path summary). Store lines written before
+    /// attribution existed — or by non-attrib runs — do not satisfy an
+    /// attrib batch: such hits are rejected, the cell is re-simulated,
+    /// and the refreshed line (a superset) overwrites the old one, so
+    /// later batches of either kind hit. Off by default: attribution
+    /// records cost memory proportional to the instruction budget.
+    pub fn attrib(mut self, on: bool) -> Harness {
+        self.attrib = on;
         self
     }
 
@@ -574,16 +608,21 @@ impl Harness {
     pub fn try_run(&mut self, jobs: &[Job]) -> Vec<JobOutcome> {
         let batch_start = Instant::now();
         let with_metrics = self.open_metrics_sink();
+        let with_attrib = self.attrib;
         let keys: Vec<u64> = jobs.iter().map(Job::key).collect();
         let mut results: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
 
-        // Phase 1: answer what the store already knows.
+        // Phase 1: answer what the store already knows. An attrib batch
+        // only accepts lines that carry attribution — anything older is
+        // left to re-simulate (and the fresh superset overwrites it).
         let mut store_hits = 0;
         if let Some(store) = &mut self.store {
             for (slot, &key) in results.iter_mut().zip(&keys) {
                 if let Some(report) = store.get(key) {
-                    *slot = Some(JobOutcome::Ok(Box::new(report)));
-                    store_hits += 1;
+                    if !with_attrib || report.attrib.is_some() {
+                        *slot = Some(JobOutcome::Ok(Box::new(report)));
+                        store_hits += 1;
+                    }
                 }
             }
         }
@@ -611,7 +650,7 @@ impl Harness {
         if workers <= 1 {
             for (done, &i) in pending.iter().enumerate() {
                 let t = Instant::now();
-                let (result, used) = execute(&jobs[i], with_metrics, timeout, retries);
+                let (result, used) = execute(&jobs[i], with_metrics, with_attrib, timeout, retries);
                 progress.job_done(done + 1, &jobs[i].workload, t.elapsed());
                 results[i] = Some(self.collect(&jobs[i], keys[i], result, used));
             }
@@ -635,7 +674,8 @@ impl Harness {
                             break;
                         };
                         let t = Instant::now();
-                        let (result, used) = execute(&jobs[i], with_metrics, timeout, retries);
+                        let (result, used) =
+                            execute(&jobs[i], with_metrics, with_attrib, timeout, retries);
                         if tx.send((i, result, used, t.elapsed())).is_err() {
                             break;
                         }
@@ -953,6 +993,51 @@ mod tests {
         warm.run(&jobs);
         assert_eq!(warm.last_batch().simulated, 0);
         assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn attrib_batches_attach_stacks_and_reject_plain_store_lines() {
+        let dir = temp_dir("attrib-store");
+        let jobs = grid(&[850]);
+        let width = jobs[0].config.engine.retire_width as u64;
+
+        // A plain batch populates the store without attribution.
+        let mut plain = Harness::new()
+            .jobs(1)
+            .progress(false)
+            .with_store(ResultStore::open(&dir).unwrap());
+        let first = plain.run(&jobs);
+        assert!(first.iter().all(|r| r.attrib.is_none()));
+        drop(plain);
+
+        // An attrib batch must not accept those hits: it re-simulates
+        // and overwrites the lines with attribution-bearing supersets.
+        let mut h = Harness::new()
+            .jobs(1)
+            .progress(false)
+            .attrib(true)
+            .with_store(ResultStore::open(&dir).unwrap());
+        let reports = h.run(&jobs);
+        assert_eq!(h.last_batch().store_hits, 0, "plain lines must miss");
+        assert_eq!(h.last_batch().simulated, jobs.len());
+        for (r, p) in reports.iter().zip(&first) {
+            assert_eq!(r.cycles, p.cycles, "attribution must not perturb timing");
+            let a = r.attrib.as_ref().expect("attrib batch attaches stacks");
+            assert_eq!(a.stack.cycles, r.cycles);
+            assert_eq!(a.stack.total(), r.cycles * width, "stack conserves");
+        }
+        drop(h);
+
+        // The refreshed lines now satisfy attrib batches too.
+        let mut warm = Harness::new()
+            .jobs(1)
+            .progress(false)
+            .attrib(true)
+            .with_store(ResultStore::open(&dir).unwrap());
+        warm.run(&jobs);
+        assert_eq!(warm.last_batch().store_hits, jobs.len());
+        assert_eq!(warm.last_batch().simulated, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

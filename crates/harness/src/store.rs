@@ -13,7 +13,7 @@
 //! last field is a CRC-32 of everything before it:
 //!
 //! ```text
-//! {"v":2,"key":"<16 hex digits>","workload":"gzip","report":{...},"crc":"<8 hex>"}
+//! {"v":3,"key":"<16 hex digits>","workload":"gzip","report":{...},"crc":"<8 hex>"}
 //! ```
 //!
 //! Lines are only ever appended; the newest line for a key wins at
@@ -44,9 +44,11 @@ use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
 /// Version salt folded into every key. Bump when the report schema or
-/// the envelope (v2 added the CRC field) changes; old store contents
-/// then miss cleanly.
-pub const STORE_FORMAT_VERSION: u32 = 2;
+/// the envelope changes; old store contents then miss cleanly. History:
+/// v2 added the CRC field; v3 added the optional per-cell attribution
+/// payload (`report.attrib`), reusing the v2 CRC machinery unchanged —
+/// v2 lines are classified [`Line::Stale`] and simply miss.
+pub const STORE_FORMAT_VERSION: u32 = 3;
 
 /// File name of the store itself, inside the store directory.
 const STORE_FILE: &str = "results.jsonl";
@@ -681,6 +683,18 @@ mod tests {
         let rep = verify(&dir).unwrap();
         assert_eq!((rep.valid, rep.stale, rep.corrupt), (1, 1, 0));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_lines_are_stale_not_corrupt() {
+        // A pre-attribution (v2) envelope, checksum and all: it must
+        // classify as stale — a clean miss, never quarantine fodder.
+        let mut body = String::from(
+            "{\"v\":2,\"key\":\"000000000000002a\",\"workload\":\"unit\",\"report\":{}",
+        );
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!(",\"crc\":\"{crc:08x}\"}}"));
+        assert!(matches!(classify_line(&body), Line::Stale));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::report::{MetricsSnapshot, SimReport};
 use ctcp_core::assign::FdrtStats;
 use ctcp_core::{EngineStats, ForwardingStats};
 use ctcp_memory::CacheStats;
+use ctcp_telemetry::AttribReport;
 use ctcp_tracecache::TraceCacheStats;
 
 fn u64_arr(xs: &[u64]) -> Value {
@@ -244,6 +245,13 @@ impl SimReport {
             ("trace_cache".into(), tc_to_json(&m.trace_cache)),
             ("l1d".into(), cache_to_json(&m.l1d)),
             ("icache".into(), cache_to_json(&m.icache)),
+            (
+                "attrib".into(),
+                match &self.attrib {
+                    Some(a) => a.to_value(),
+                    None => Value::Null,
+                },
+            ),
             ("ipc".into(), Value::f64(self.ipc)),
         ])
         .render()
@@ -267,6 +275,12 @@ impl SimReport {
         let fdrt = match req(v, "fdrt")? {
             Value::Null => None,
             other => Some(fdrt_from_json(other)?),
+        };
+        // Tolerate absence (not just null): lines written before the
+        // attribution layer existed simply decode with no attribution.
+        let attrib = match v.get("attrib") {
+            None | Some(Value::Null) => None,
+            Some(other) => Some(AttribReport::from_value(other)?),
         };
         Ok(SimReport {
             strategy: req(v, "strategy")?
@@ -293,6 +307,7 @@ impl SimReport {
                 l1d: cache_from_json(req(v, "l1d")?)?,
                 icache: cache_from_json(req(v, "icache")?)?,
             },
+            attrib,
         })
     }
 }
@@ -368,6 +383,7 @@ mod tests {
             instructions: 300_000,
             ipc: 2.4305,
             metrics,
+            attrib: None,
         }
     }
 
@@ -390,6 +406,43 @@ mod tests {
         let back = SimReport::from_json(&r.to_json()).unwrap();
         assert!(back.metrics.fdrt.is_none());
         assert_reports_equal(&r, &back);
+    }
+
+    #[test]
+    fn round_trip_with_attrib() {
+        use ctcp_telemetry::{CritEdge, CriticalSummary};
+        let mut r = sample(false);
+        let mut report = AttribReport::default();
+        report
+            .stack
+            .charge(3, 1, ctcp_telemetry::RetireSlotKind::InterCluster);
+        report
+            .stack
+            .charge(4, 0, ctcp_telemetry::RetireSlotKind::Base);
+        report.critical = CriticalSummary {
+            edges: 12,
+            cross_cluster: 5,
+            top: vec![CritEdge {
+                from_pc: 0x40,
+                to_pc: 0x80,
+                hops: 2,
+                count: 4,
+            }],
+        };
+        r.attrib = Some(report);
+        let back = SimReport::from_json(&r.to_json()).unwrap();
+        assert_reports_equal(&r, &back);
+    }
+
+    #[test]
+    fn lines_without_attrib_still_decode() {
+        // Pre-attribution store lines have no "attrib" key at all.
+        let mut v = Value::parse(&sample(true).to_json()).unwrap();
+        if let Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "attrib");
+        }
+        let back = SimReport::from_value(&v).unwrap();
+        assert!(back.attrib.is_none());
     }
 
     #[test]

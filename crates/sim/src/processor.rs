@@ -8,7 +8,7 @@ use ctcp_core::assign::RetireTimeStrategy;
 use ctcp_core::{Engine, FetchedInst, TickResult};
 use ctcp_frontend::{BranchPredictor, Btb, HybridPredictor, ICache, ReturnAddressStack};
 use ctcp_isa::{DynInst, Executor, Opcode, Program};
-use ctcp_telemetry::{Counter, Hist, Probe};
+use ctcp_telemetry::{Counter, Hist, Probe, RetireSlotKind};
 use ctcp_tracecache::{
     FillUnit, PendingInst, TcLocation, TraceCache, TraceHead, TraceLine, TraceSlot,
 };
@@ -248,8 +248,29 @@ impl<'p> Simulation<'p> {
         // 4. Execute one cycle into the reused buffer (no per-cycle
         // allocation; taken locally to keep the borrow checker happy
         // around the fill-unit calls below).
+        let awaiting_redirect = self.waiting_redirect.is_some();
         let mut result = std::mem::take(&mut self.tick_buf);
         self.engine.tick_into(now, &mut result);
+
+        // Cycle accounting: every retire slot this cycle is either used
+        // or charged to one blame bucket — the engine classifies a
+        // non-empty ROB by what its head waits on; an empty ROB is the
+        // front end's fault (squash refetch vs fetch starvation).
+        if self.probe_on {
+            let width = self.cfg.engine.retire_width as u64;
+            let used = result.retired.len() as u64;
+            let stalled = width.saturating_sub(used);
+            let stall = if stalled == 0 {
+                RetireSlotKind::Base
+            } else {
+                self.engine.head_blame(now).unwrap_or(if awaiting_redirect {
+                    RetireSlotKind::BranchMispredict
+                } else {
+                    RetireSlotKind::FetchMiss
+                })
+            };
+            self.probe.retire_slots(now, used, stalled, stall);
+        }
 
         // 5. Resume fetch once the awaited mispredicted branch resolves.
         if let Some(seq) = self.waiting_redirect {
@@ -531,6 +552,7 @@ impl<'p> Simulation<'p> {
                 l1d: em.l1d,
                 icache: self.icache.stats(),
             },
+            attrib: None,
         }
     }
 }

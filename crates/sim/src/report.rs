@@ -11,6 +11,7 @@
 use ctcp_core::assign::FdrtStats;
 use ctcp_core::{EngineStats, ForwardingStats};
 use ctcp_memory::CacheStats;
+use ctcp_telemetry::AttribReport;
 use ctcp_tracecache::TraceCacheStats;
 
 /// Every counter a finished simulation accumulated — the superset of
@@ -95,6 +96,10 @@ pub struct SimReport {
     pub ipc: f64,
     /// Every accumulated counter, in one snapshot.
     pub metrics: MetricsSnapshot,
+    /// Cycle attribution (CPI stack + critical-path summary), attached
+    /// by attribution-enabled runs (`ctcp analyze`, `ctcp sweep
+    /// --attrib`); `None` for plain runs.
+    pub attrib: Option<AttribReport>,
 }
 
 impl SimReport {
@@ -183,6 +188,7 @@ mod report_tests {
                 cond_mispredicts: 4,
                 ..MetricsSnapshot::default()
             },
+            attrib: None,
         }
     }
 

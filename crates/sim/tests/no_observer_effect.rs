@@ -44,3 +44,50 @@ fn attaching_a_recorder_does_not_change_the_report() {
         }
     }
 }
+
+#[test]
+fn attrib_collection_does_not_change_the_report() {
+    // Same golden rule for the attribution layer: collecting lifecycle
+    // records and the CPI stack must be invisible to the architecture.
+    for bench in ["gzip", "vortex"] {
+        let program = Benchmark::by_name(bench).unwrap().program();
+        for strategy in [Strategy::Baseline, Strategy::Fdrt { pinning: true }] {
+            let bare = Simulation::builder(&program)
+                .strategy(strategy)
+                .max_insts(30_000)
+                .build()
+                .unwrap()
+                .run();
+
+            let recorder: Rc<Recorder> = Rc::new(Recorder::new(RecorderConfig::attrib()));
+            let observed = Simulation::builder(&program)
+                .strategy(strategy)
+                .max_insts(30_000)
+                .probe(Rc::clone(&recorder) as Rc<dyn Probe>)
+                .build()
+                .unwrap()
+                .run();
+
+            assert_eq!(
+                bare.to_json(),
+                observed.to_json(),
+                "{bench}/{} report changed under attribution",
+                strategy.name()
+            );
+            // The attribution really accumulated: every cycle's retire
+            // bandwidth is classified somewhere.
+            let attrib = recorder.attrib_report();
+            assert_eq!(
+                attrib.stack.cycles,
+                observed.cycles,
+                "{bench}/{}: stack covers every cycle",
+                strategy.name()
+            );
+            assert!(
+                attrib.stack.total() > 0,
+                "{bench}/{}: attribution recorder saw nothing",
+                strategy.name()
+            );
+        }
+    }
+}

@@ -52,6 +52,18 @@ fn event_scheduler_matches_legacy_scan_byte_for_byte() {
                 "{bench}/{}: probe metrics diverged between schedulers",
                 strategy.name()
             );
+            // Histogram-level equality, spelled out per histogram: both
+            // schedulers must sample every distribution (rs_occupancy
+            // included) at the same per-cycle points, not merely agree
+            // on scalar counters.
+            for h in ctcp_telemetry::Hist::ALL {
+                assert_eq!(
+                    legacy_metrics.hist(h),
+                    event_metrics.hist(h),
+                    "{bench}/{}: histogram {h:?} diverged between schedulers",
+                    strategy.name()
+                );
+            }
         }
     }
 }

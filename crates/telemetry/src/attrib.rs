@@ -1,0 +1,553 @@
+//! Per-instruction cycle attribution.
+//!
+//! Three pieces live here, all downstream of the [`Probe`] hooks the
+//! engine fires at retirement:
+//!
+//! * [`InstAttrib`] — one lifecycle record per retired instruction:
+//!   stage cycle stamps plus, per source operand, *where the value came
+//!   from* (register file, same-cluster bypass, or an inter-cluster
+//!   forward and its hop count).
+//! * [`CpiStack`] — the retirement-driven cycle accounting. Every cycle
+//!   the machine owns `retire_width` retire slots; each slot either
+//!   retires an instruction (charged to *base*) or stalls, and the
+//!   stalled slots are charged to exactly one of five blame buckets
+//!   keyed by what the ROB head was waiting for.
+//! * [`walk_critical_path`] — a last-arriving-operand walker over the
+//!   lifecycle records that reports how many critical dependence edges
+//!   crossed a cluster boundary, the paper's core mechanism.
+//!
+//! [`Probe`]: crate::probe::Probe
+
+use crate::json::Value;
+use std::collections::HashMap;
+
+/// Blame bucket for one cycle-slot of retire bandwidth.
+///
+/// Classification is by priority at the ROB head (first match wins):
+/// an empty ROB is a front-end problem (*branch-mispredict* while
+/// refetching after a squash, *fetch/trace-miss* otherwise); a head
+/// waiting on an operand still crossing the interconnect is
+/// *inter-cluster-delay*; a head executing a load is *memory*; a head
+/// with ready operands that has not issued (or not dispatched) is
+/// *RS/dispatch-stall*; everything else — including slots that did
+/// retire an instruction — is *base*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetireSlotKind {
+    /// The slot retired an instruction, or stalled on plain in-order
+    /// drain (head completing this cycle, register-file read latency).
+    Base,
+    /// Head waits on an operand in flight on the inter-cluster
+    /// interconnect.
+    InterCluster,
+    /// Head has its operands but has not won a dispatch port or an
+    /// issue slot (structural/RS pressure).
+    RsDispatch,
+    /// ROB empty because fetch could not supply instructions (icache or
+    /// trace-cache miss, delivery bubble).
+    FetchMiss,
+    /// ROB empty because fetch is squashed awaiting a mispredicted
+    /// branch redirect.
+    BranchMispredict,
+    /// Head is a load still executing (cache miss / MSHR queueing).
+    Memory,
+}
+
+impl RetireSlotKind {
+    /// Every bucket, in export order.
+    pub const ALL: [RetireSlotKind; 6] = [
+        RetireSlotKind::Base,
+        RetireSlotKind::InterCluster,
+        RetireSlotKind::RsDispatch,
+        RetireSlotKind::FetchMiss,
+        RetireSlotKind::BranchMispredict,
+        RetireSlotKind::Memory,
+    ];
+
+    /// Number of distinct buckets.
+    pub const COUNT: usize = RetireSlotKind::ALL.len();
+
+    /// The stable snake_case name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            RetireSlotKind::Base => "base",
+            RetireSlotKind::InterCluster => "inter_cluster",
+            RetireSlotKind::RsDispatch => "rs_dispatch",
+            RetireSlotKind::FetchMiss => "fetch",
+            RetireSlotKind::BranchMispredict => "branch_mispredict",
+            RetireSlotKind::Memory => "memory",
+        }
+    }
+
+    /// The bucket's slot in [`CpiStack::slots`].
+    pub fn index(self) -> usize {
+        // Variant order matches `ALL`, so the discriminant is the slot.
+        self as usize
+    }
+}
+
+/// Where a source operand's value came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SrcKind {
+    /// The instruction has no register source in this slot.
+    #[default]
+    Absent,
+    /// Read from the register file (producer already retired or value
+    /// architectural at rename).
+    RegFile,
+    /// Bypassed from a producer on the *same* cluster (zero hops).
+    Bypass,
+    /// Forwarded from a producer on *another* cluster across the
+    /// interconnect.
+    Forward,
+}
+
+impl SrcKind {
+    /// The stable snake_case name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            SrcKind::Absent => "absent",
+            SrcKind::RegFile => "reg_file",
+            SrcKind::Bypass => "bypass",
+            SrcKind::Forward => "forward",
+        }
+    }
+}
+
+/// Provenance of one source operand of a retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SrcAttrib {
+    /// How the value reached the consumer.
+    pub kind: SrcKind,
+    /// Producer's sequence number (0 when `kind` is `Absent`/`RegFile`
+    /// with no in-window producer).
+    pub producer_seq: u64,
+    /// Cluster the producer executed on (meaningful for
+    /// `Bypass`/`Forward`).
+    pub producer_cluster: u8,
+    /// Interconnect hops the value crossed (0 for everything but
+    /// `Forward`).
+    pub hops: u8,
+    /// Cycle the producer's result completed (0 when not applicable).
+    pub complete: u64,
+    /// Cycle the value became usable at the consumer's cluster.
+    pub arrival: u64,
+}
+
+/// One retired instruction's lifecycle, as handed to
+/// [`Probe::retire_attrib`](crate::probe::Probe::retire_attrib).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstAttrib {
+    /// Global dynamic sequence number (dense, program order).
+    pub seq: u64,
+    /// Program counter.
+    pub pc: u64,
+    /// Cluster the instruction executed on.
+    pub cluster: u8,
+    /// Cycle rename accepted the instruction into the window.
+    pub renamed_at: u64,
+    /// Cycle the instruction won a dispatch port into its RS.
+    pub dispatched_at: u64,
+    /// Cycle execution began (issue).
+    pub exec_start: u64,
+    /// Cycle the result completed.
+    pub complete_at: u64,
+    /// Cycle the instruction retired.
+    pub retired_at: u64,
+    /// Provenance of each source operand.
+    pub srcs: [SrcAttrib; 2],
+    /// Which source arrived last and gated issue, when any did.
+    pub critical_src: Option<usize>,
+}
+
+/// The retirement-driven CPI stack: every cycle-slot of retire
+/// bandwidth charged to exactly one [`RetireSlotKind`], so the slots
+/// always sum to `cycles * retire_width`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CpiStack {
+    /// Slot counts indexed by [`RetireSlotKind::index`].
+    pub slots: [u64; RetireSlotKind::COUNT],
+    /// Cycles accounted (one [`charge`](CpiStack::charge) call each).
+    pub cycles: u64,
+}
+
+impl CpiStack {
+    /// Accounts one cycle: `retired` slots to *base* and `stalled`
+    /// slots to `stall`.
+    pub fn charge(&mut self, retired: u64, stalled: u64, stall: RetireSlotKind) {
+        self.slots[RetireSlotKind::Base.index()] += retired;
+        self.slots[stall.index()] += stalled;
+        self.cycles += 1;
+    }
+
+    /// Sum of every slot — must equal `cycles * retire_width`.
+    pub fn total(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    /// The count charged to `kind`.
+    pub fn get(&self, kind: RetireSlotKind) -> u64 {
+        self.slots[kind.index()]
+    }
+
+    /// Fraction of all slots charged to `kind` (0.0 when empty).
+    pub fn fraction(&self, kind: RetireSlotKind) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(kind) as f64 / total as f64
+        }
+    }
+
+    /// Renders the stack as `{"cycles": n, "slots": {name: n, ...}}`.
+    pub fn to_value(&self) -> Value {
+        let slots = RetireSlotKind::ALL
+            .iter()
+            .map(|&k| (k.name().to_string(), Value::u64(self.get(k))))
+            .collect();
+        Value::Obj(vec![
+            ("cycles".into(), Value::u64(self.cycles)),
+            ("slots".into(), Value::Obj(slots)),
+        ])
+    }
+
+    /// Parses [`CpiStack::to_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_value(v: &Value) -> Result<CpiStack, String> {
+        let cycles = v
+            .get("cycles")
+            .and_then(Value::as_u64)
+            .ok_or("cpi stack: missing cycles")?;
+        let slots_obj = v.get("slots").ok_or("cpi stack: missing slots")?;
+        let mut slots = [0u64; RetireSlotKind::COUNT];
+        for k in RetireSlotKind::ALL {
+            slots[k.index()] = slots_obj
+                .get(k.name())
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("cpi stack: missing slot {}", k.name()))?;
+        }
+        Ok(CpiStack { slots, cycles })
+    }
+}
+
+/// One aggregated critical-path dependence edge (producer PC →
+/// consumer PC) and how often the walker crossed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CritEdge {
+    /// Producer's program counter.
+    pub from_pc: u64,
+    /// Consumer's program counter.
+    pub to_pc: u64,
+    /// Interconnect hops between the two clusters (0 = same cluster).
+    pub hops: u8,
+    /// Dynamic traversals of this edge.
+    pub count: u64,
+}
+
+/// What the critical-path walker found.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CriticalSummary {
+    /// Dynamic dependence edges walked.
+    pub edges: u64,
+    /// Of those, edges whose value crossed a cluster boundary.
+    pub cross_cluster: u64,
+    /// The hottest static edges, by dynamic count (descending).
+    pub top: Vec<CritEdge>,
+}
+
+impl CriticalSummary {
+    /// Fraction of critical edges that crossed clusters (0.0 when the
+    /// walk found no edges).
+    pub fn cross_fraction(&self) -> f64 {
+        if self.edges == 0 {
+            0.0
+        } else {
+            self.cross_cluster as f64 / self.edges as f64
+        }
+    }
+
+    /// Renders the summary as JSON.
+    pub fn to_value(&self) -> Value {
+        let top = self
+            .top
+            .iter()
+            .map(|e| {
+                Value::Obj(vec![
+                    ("from_pc".into(), Value::u64(e.from_pc)),
+                    ("to_pc".into(), Value::u64(e.to_pc)),
+                    ("hops".into(), Value::u64(u64::from(e.hops))),
+                    ("count".into(), Value::u64(e.count)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("edges".into(), Value::u64(self.edges)),
+            ("cross_cluster".into(), Value::u64(self.cross_cluster)),
+            ("top".into(), Value::Arr(top)),
+        ])
+    }
+
+    /// Parses [`CriticalSummary::to_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_value(v: &Value) -> Result<CriticalSummary, String> {
+        let edges = v
+            .get("edges")
+            .and_then(Value::as_u64)
+            .ok_or("critical summary: missing edges")?;
+        let cross_cluster = v
+            .get("cross_cluster")
+            .and_then(Value::as_u64)
+            .ok_or("critical summary: missing cross_cluster")?;
+        let raw = v
+            .get("top")
+            .and_then(Value::as_arr)
+            .ok_or("critical summary: missing top")?;
+        let mut top = Vec::with_capacity(raw.len());
+        for (i, e) in raw.iter().enumerate() {
+            let field = |name: &str| {
+                e.get(name)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("critical summary: edge {i} missing {name}"))
+            };
+            top.push(CritEdge {
+                from_pc: field("from_pc")?,
+                to_pc: field("to_pc")?,
+                hops: field("hops")? as u8,
+                count: field("count")?,
+            });
+        }
+        Ok(CriticalSummary {
+            edges,
+            cross_cluster,
+            top,
+        })
+    }
+}
+
+/// A run's full attribution result: the CPI stack plus the critical-
+/// path summary. Attached to a `SimReport` by attribution-enabled runs
+/// and persisted through the harness result store.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttribReport {
+    /// The retirement-driven CPI stack.
+    pub stack: CpiStack,
+    /// The last-arriving-operand critical-path summary.
+    pub critical: CriticalSummary,
+}
+
+impl AttribReport {
+    /// Renders the report as JSON.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("stack".into(), self.stack.to_value()),
+            ("critical".into(), self.critical.to_value()),
+        ])
+    }
+
+    /// Parses [`AttribReport::to_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed field.
+    pub fn from_value(v: &Value) -> Result<AttribReport, String> {
+        Ok(AttribReport {
+            stack: CpiStack::from_value(v.get("stack").ok_or("attrib: missing stack")?)?,
+            critical: CriticalSummary::from_value(
+                v.get("critical").ok_or("attrib: missing critical")?,
+            )?,
+        })
+    }
+}
+
+/// Walks the last-arriving-operand critical path backwards through
+/// `records` (which must be in ascending `seq` order — retirement
+/// order guarantees this).
+///
+/// Starting from the last retired instruction, the walker follows the
+/// critical (last-arriving) source to its producer whenever that value
+/// was bypassed or forwarded from an in-window producer, counting one
+/// dependence edge per hop of the walk. When the chain breaks — the
+/// head of a dependence chain reads the register file, or has no
+/// critical source — the walk restarts from the instruction preceding
+/// the break point, so the whole run decomposes into chain segments.
+pub fn walk_critical_path(records: &[InstAttrib], top_n: usize) -> CriticalSummary {
+    let mut edge_counts: HashMap<(u64, u64, u8), u64> = HashMap::new();
+    let mut edges = 0u64;
+    let mut cross_cluster = 0u64;
+
+    let mut idx = match records.len() {
+        0 => return CriticalSummary::default(),
+        n => n - 1,
+    };
+    loop {
+        let cur = &records[idx];
+        let producer_idx = cur
+            .critical_src
+            .map(|c| cur.srcs[c])
+            .filter(|s| matches!(s.kind, SrcKind::Bypass | SrcKind::Forward))
+            .and_then(|s| {
+                records
+                    .binary_search_by_key(&s.producer_seq, |r| r.seq)
+                    .ok()
+                    .map(|pi| (pi, s.hops))
+            });
+        match producer_idx {
+            Some((pi, hops)) if pi < idx => {
+                let producer = &records[pi];
+                edges += 1;
+                if hops > 0 {
+                    cross_cluster += 1;
+                }
+                *edge_counts.entry((producer.pc, cur.pc, hops)).or_insert(0) += 1;
+                idx = pi;
+            }
+            _ => {
+                // Chain head (or a producer outside the record window):
+                // resume from the instruction just before it.
+                if idx == 0 {
+                    break;
+                }
+                idx -= 1;
+            }
+        }
+    }
+
+    let mut top: Vec<CritEdge> = edge_counts
+        .into_iter()
+        .map(|((from_pc, to_pc, hops), count)| CritEdge {
+            from_pc,
+            to_pc,
+            hops,
+            count,
+        })
+        .collect();
+    top.sort_by(|a, b| {
+        b.count
+            .cmp(&a.count)
+            .then(a.from_pc.cmp(&b.from_pc))
+            .then(a.to_pc.cmp(&b.to_pc))
+    });
+    top.truncate(top_n);
+    CriticalSummary {
+        edges,
+        cross_cluster,
+        top,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, pc: u64, critical: Option<(usize, SrcAttrib)>) -> InstAttrib {
+        let mut srcs = [SrcAttrib::default(); 2];
+        let critical_src = critical.map(|(i, s)| {
+            srcs[i] = s;
+            i
+        });
+        InstAttrib {
+            seq,
+            pc,
+            cluster: 0,
+            renamed_at: seq,
+            dispatched_at: seq + 1,
+            exec_start: seq + 2,
+            complete_at: seq + 3,
+            retired_at: seq + 4,
+            srcs,
+            critical_src,
+        }
+    }
+
+    fn fwd(producer_seq: u64, hops: u8) -> SrcAttrib {
+        SrcAttrib {
+            kind: if hops == 0 {
+                SrcKind::Bypass
+            } else {
+                SrcKind::Forward
+            },
+            producer_seq,
+            producer_cluster: hops,
+            hops,
+            complete: 0,
+            arrival: 0,
+        }
+    }
+
+    #[test]
+    fn stack_charges_and_conserves() {
+        let mut s = CpiStack::default();
+        s.charge(3, 13, RetireSlotKind::InterCluster);
+        s.charge(16, 0, RetireSlotKind::Base);
+        s.charge(0, 16, RetireSlotKind::Memory);
+        assert_eq!(s.cycles, 3);
+        assert_eq!(s.total(), 48);
+        assert_eq!(s.get(RetireSlotKind::Base), 19);
+        assert_eq!(s.get(RetireSlotKind::InterCluster), 13);
+        assert_eq!(s.get(RetireSlotKind::Memory), 16);
+        assert!((s.fraction(RetireSlotKind::Memory) - 16.0 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stack_json_round_trips() {
+        let mut s = CpiStack::default();
+        s.charge(5, 11, RetireSlotKind::FetchMiss);
+        let back = CpiStack::from_value(&s.to_value()).unwrap();
+        assert_eq!(back, s);
+        assert!(CpiStack::from_value(&Value::Obj(vec![])).is_err());
+    }
+
+    #[test]
+    fn walker_follows_chains_and_counts_crossings() {
+        // 0 -> 1 (cross, 2 hops) -> 2 (same cluster) ; 3 independent.
+        let records = vec![
+            rec(0, 0x100, None),
+            rec(1, 0x104, Some((0, fwd(0, 2)))),
+            rec(2, 0x108, Some((1, fwd(1, 0)))),
+            rec(3, 0x10c, None),
+        ];
+        let s = walk_critical_path(&records, 8);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.cross_cluster, 1);
+        assert!((s.cross_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(s.top.len(), 2);
+        // Deterministic order: equal counts break ties by from_pc.
+        assert_eq!(s.top[0].from_pc, 0x100);
+        assert_eq!(s.top[1].from_pc, 0x104);
+    }
+
+    #[test]
+    fn walker_handles_empty_and_missing_producers() {
+        assert_eq!(walk_critical_path(&[], 4), CriticalSummary::default());
+        // Producer seq 99 is outside the window: no edge, walk restarts.
+        let records = vec![rec(5, 0x100, None), rec(6, 0x104, Some((0, fwd(99, 1))))];
+        let s = walk_critical_path(&records, 4);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.cross_cluster, 0);
+    }
+
+    #[test]
+    fn attrib_report_json_round_trips() {
+        let mut r = AttribReport::default();
+        r.stack.charge(4, 12, RetireSlotKind::BranchMispredict);
+        r.critical = CriticalSummary {
+            edges: 10,
+            cross_cluster: 3,
+            top: vec![CritEdge {
+                from_pc: 0x40,
+                to_pc: 0x44,
+                hops: 1,
+                count: 7,
+            }],
+        };
+        let text = r.to_value().render();
+        let back = AttribReport::from_value(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+}

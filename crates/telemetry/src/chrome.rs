@@ -10,8 +10,9 @@
 //!
 //! [Perfetto]: https://perfetto.dev
 
-use crate::event::{PipeStage, SpanEvent, FETCH_LANE};
+use crate::event::{FlowEvent, PipeStage, SpanEvent, FETCH_LANE};
 use crate::json::Value;
+use std::collections::{HashMap, HashSet};
 
 /// Lane (tid) assignment for one event: clusters keep their index,
 /// front-end lanes are pushed above every plausible cluster count.
@@ -35,6 +36,14 @@ fn lane_name(tid: u64) -> String {
 /// `(tid, ts, seq)`. Thread-name metadata events (`"ph":"M"`) are
 /// emitted first so lanes are labelled in the viewer.
 pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    chrome_trace_with_flows(events, &[])
+}
+
+/// Renders `events` plus inter-cluster forward `flows` as a Chrome
+/// trace-event JSON array. Each flow becomes a `"s"`/`"f"` pair tying
+/// the producer's completion on its cluster lane to the value's arrival
+/// on the consumer's lane — the viewer draws them as arrows.
+pub fn chrome_trace_with_flows(events: &[SpanEvent], flows: &[FlowEvent]) -> String {
     let mut sorted: Vec<&SpanEvent> = events.iter().collect();
     sorted.sort_by_key(|e| (tid_of(e), e.ts, e.seq));
 
@@ -71,6 +80,35 @@ pub fn chrome_trace(events: &[SpanEvent]) -> String {
             ("args".into(), Value::Obj(args)),
         ]));
     }
+    let mut flows: Vec<&FlowEvent> = flows.iter().collect();
+    flows.sort_by_key(|f| f.id);
+    for f in flows {
+        let args = Value::Obj(vec![
+            ("seq".into(), Value::u64(f.seq)),
+            ("pc".into(), Value::str(&format!("{:#x}", f.pc))),
+        ]);
+        out.push(Value::Obj(vec![
+            ("name".into(), Value::str("forward")),
+            ("cat".into(), Value::str("forward")),
+            ("ph".into(), Value::str("s")),
+            ("ts".into(), Value::u64(f.from_ts)),
+            ("pid".into(), Value::u64(0)),
+            ("tid".into(), Value::u64(u64::from(f.from_cluster))),
+            ("id".into(), Value::u64(f.id)),
+            ("args".into(), args.clone()),
+        ]));
+        out.push(Value::Obj(vec![
+            ("name".into(), Value::str("forward")),
+            ("cat".into(), Value::str("forward")),
+            ("ph".into(), Value::str("f")),
+            ("bp".into(), Value::str("e")),
+            ("ts".into(), Value::u64(f.to_ts)),
+            ("pid".into(), Value::u64(0)),
+            ("tid".into(), Value::u64(u64::from(f.to_cluster))),
+            ("id".into(), Value::u64(f.id)),
+            ("args".into(), args),
+        ]));
+    }
     Value::Arr(out).render()
 }
 
@@ -83,12 +121,17 @@ pub struct ChromeTraceSummary {
     pub metadata: usize,
     /// Distinct `(pid, tid)` lanes.
     pub lanes: usize,
+    /// Matched flow (`"s"`/`"f"`) pairs — inter-cluster forwards.
+    pub flows: usize,
 }
 
 /// Checks that `text` is a well-formed Chrome trace-event JSON array:
 /// every element is an object with a `ph` phase, every `"X"` event
-/// carries `name`/`ts`/`dur`/`pid`/`tid`, and `ts` is monotonically
-/// non-decreasing within each `(pid, tid)` lane.
+/// carries `name`/`ts`/`dur`/`pid`/`tid`, `ts` is monotonically
+/// non-decreasing within each `(pid, tid)` lane, and every flow
+/// (`"s"`/`"f"`) is a matched pair — same id, start no later than
+/// finish, and a consumer that actually retired (its `seq` has a
+/// `"retire"` span in the file).
 ///
 /// # Errors
 ///
@@ -97,10 +140,14 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
     let v = Value::parse(text)?;
     let events = v.as_arr().ok_or("trace root is not a JSON array")?;
     let mut last_ts: Vec<((u64, u64), u64)> = Vec::new();
+    let mut flow_starts: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut flow_ends: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut retired_seqs: HashSet<u64> = HashSet::new();
     let mut summary = ChromeTraceSummary {
         spans: 0,
         metadata: 0,
         lanes: 0,
+        flows: 0,
     };
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
@@ -111,9 +158,19 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
             "M" => summary.metadata += 1,
             "X" => {
                 summary.spans += 1;
-                ev.get("name")
+                let name = ev
+                    .get("name")
                     .and_then(Value::as_str)
                     .ok_or_else(|| format!("event {i}: X event missing name"))?;
+                if name == "retire" {
+                    if let Some(seq) = ev
+                        .get("args")
+                        .and_then(|a| a.get("seq"))
+                        .and_then(Value::as_u64)
+                    {
+                        retired_seqs.insert(seq);
+                    }
+                }
                 let ts = ev
                     .get("ts")
                     .and_then(Value::as_u64)
@@ -142,9 +199,67 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
                     None => last_ts.push(((pid, tid), ts)),
                 }
             }
+            "s" | "f" => {
+                ev.get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i}: flow event missing name"))?;
+                let id = ev
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: flow event missing id"))?;
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: flow event missing ts"))?;
+                ev.get("pid")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: flow event missing pid"))?;
+                ev.get("tid")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: flow event missing tid"))?;
+                let seq = ev
+                    .get("args")
+                    .and_then(|a| a.get("seq"))
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("event {i}: flow event missing args.seq"))?;
+                let map = if ph == "s" {
+                    &mut flow_starts
+                } else {
+                    &mut flow_ends
+                };
+                if map.insert(id, (ts, seq)).is_some() {
+                    return Err(format!("event {i}: duplicate flow {ph:?} for id {id}"));
+                }
+            }
             other => return Err(format!("event {i}: unknown phase {other:?}")),
         }
     }
+    for (id, (ts_s, seq_s)) in &flow_starts {
+        let Some((ts_f, seq_f)) = flow_ends.get(id) else {
+            return Err(format!("flow {id}: start without matching finish"));
+        };
+        if seq_f != seq_s {
+            return Err(format!(
+                "flow {id}: start seq {seq_s} does not match finish seq {seq_f}"
+            ));
+        }
+        if ts_f < ts_s {
+            return Err(format!(
+                "flow {id}: finish ts {ts_f} precedes start ts {ts_s}"
+            ));
+        }
+        if !retired_seqs.contains(seq_s) {
+            return Err(format!(
+                "flow {id}: consumer seq {seq_s} has no retire span in the trace"
+            ));
+        }
+    }
+    for id in flow_ends.keys() {
+        if !flow_starts.contains_key(id) {
+            return Err(format!("flow {id}: finish without matching start"));
+        }
+    }
+    summary.flows = flow_starts.len();
     summary.lanes = last_ts.len();
     Ok(summary)
 }
@@ -214,6 +329,48 @@ mod tests {
         assert!(validate_chrome_trace("{}").is_err());
         assert!(validate_chrome_trace(r#"[{"ph":"Q"}]"#).is_err());
         assert!(validate_chrome_trace(r#"[{"ts":1}]"#).is_err());
+    }
+
+    #[test]
+    fn flow_events_pair_and_require_a_retired_consumer() {
+        use crate::event::FlowEvent;
+        let retire = SpanEvent {
+            ts: 10,
+            dur: 2,
+            stage: PipeStage::Retire,
+            seq: 3,
+            pc: 0x40,
+            cluster: 1,
+        };
+        let flow = FlowEvent {
+            id: 1,
+            from_ts: 4,
+            from_cluster: 0,
+            to_ts: 8,
+            to_cluster: 1,
+            seq: 3,
+            pc: 0x40,
+        };
+        let text = chrome_trace_with_flows(&[retire], &[flow]);
+        let summary = validate_chrome_trace(&text).expect("flow trace must validate");
+        assert_eq!(summary.flows, 1);
+        assert_eq!(summary.spans, 1);
+
+        // A flow whose consumer never retired must be rejected.
+        let orphan = FlowEvent { seq: 99, ..flow };
+        let err = validate_chrome_trace(&chrome_trace_with_flows(&[retire], &[orphan]))
+            .expect_err("orphan flow must fail");
+        assert!(err.contains("no retire span"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_unmatched_flow_halves() {
+        let s = r#"[{"name":"forward","ph":"s","ts":1,"pid":0,"tid":0,"id":7,"args":{"seq":1}}]"#;
+        let err = validate_chrome_trace(s).unwrap_err();
+        assert!(err.contains("start without matching finish"), "{err}");
+        let f = r#"[{"name":"forward","ph":"f","ts":1,"pid":0,"tid":0,"id":7,"args":{"seq":1}}]"#;
+        let err = validate_chrome_trace(f).unwrap_err();
+        assert!(err.contains("finish without matching start"), "{err}");
     }
 
     #[test]

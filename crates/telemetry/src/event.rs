@@ -78,6 +78,27 @@ pub struct InstTimeline {
     pub retired_at: u64,
 }
 
+/// One inter-cluster operand forward, rendered into Chrome traces as a
+/// flow (`"s"`/`"f"`) arrow from the producer's completion on its
+/// cluster lane to the value's arrival on the consumer's lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEvent {
+    /// Unique flow id within one trace file.
+    pub id: u64,
+    /// Cycle the producer's result completed (arrow tail).
+    pub from_ts: u64,
+    /// Cluster the producer executed on.
+    pub from_cluster: u8,
+    /// Cycle the value arrived at the consumer's cluster (arrow head).
+    pub to_ts: u64,
+    /// Cluster the consumer executed on.
+    pub to_cluster: u8,
+    /// The consumer's sequence number (ties the arrow to its spans).
+    pub seq: u64,
+    /// The consumer's program counter.
+    pub pc: u64,
+}
+
 /// A fixed-capacity overwrite-oldest ring of [`SpanEvent`]s.
 #[derive(Debug)]
 pub struct EventRing {

@@ -14,6 +14,9 @@
 //! - [`EventRing`]: a preallocated overwrite-oldest ring of pipeline
 //!   [`SpanEvent`]s, fed from per-instruction [`InstTimeline`]s with an
 //!   interval-sampling mode for long runs.
+//! - [`attrib`]: per-instruction lifecycle records ([`InstAttrib`]),
+//!   the retirement-driven [`CpiStack`], and the critical-path walker
+//!   behind `ctcp analyze`.
 //! - [`Recorder`]: the accumulating [`Probe`] combining both.
 //! - Exporters: [`chrome_trace`] renders `about://tracing`-loadable
 //!   JSON (checked by [`validate_chrome_trace`]), [`metrics_line`]
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod chrome;
 pub mod event;
 pub mod failpoint;
@@ -34,8 +38,14 @@ pub mod metrics;
 pub mod probe;
 pub mod recorder;
 
-pub use chrome::{chrome_trace, validate_chrome_trace, ChromeTraceSummary};
-pub use event::{EventRing, InstTimeline, PipeStage, SpanEvent, FETCH_LANE};
+pub use attrib::{
+    walk_critical_path, AttribReport, CpiStack, CritEdge, CriticalSummary, InstAttrib,
+    RetireSlotKind, SrcAttrib, SrcKind,
+};
+pub use chrome::{
+    chrome_trace, chrome_trace_with_flows, validate_chrome_trace, ChromeTraceSummary,
+};
+pub use event::{EventRing, FlowEvent, InstTimeline, PipeStage, SpanEvent, FETCH_LANE};
 pub use metrics::{metrics_line, Counter, Hist, Histogram, Metrics, HIST_BUCKETS};
 pub use probe::{NullProbe, Probe};
 pub use recorder::{Recorder, RecorderConfig};

@@ -210,6 +210,25 @@ impl Histogram {
         }
     }
 
+    /// The `p`-th percentile bucket value (`p` in percent, e.g. 95.0):
+    /// the smallest bucket whose cumulative count covers at least
+    /// `p/100` of all observations. Returns 0 when empty; values
+    /// clamped into the last bucket report `HIST_BUCKETS - 1`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return i as u64;
+            }
+        }
+        (HIST_BUCKETS - 1) as u64
+    }
+
     fn to_value(&self) -> Value {
         let last = self
             .counts
@@ -219,6 +238,9 @@ impl Histogram {
         Value::Obj(vec![
             ("total".into(), Value::u64(self.total)),
             ("sum".into(), Value::u64(self.sum)),
+            ("p50".into(), Value::u64(self.percentile(50.0))),
+            ("p95".into(), Value::u64(self.percentile(95.0))),
+            ("p99".into(), Value::u64(self.percentile(99.0))),
             (
                 "counts".into(),
                 Value::Arr(self.counts[..last].iter().map(|&c| Value::u64(c)).collect()),
@@ -324,6 +346,53 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(95.0), 0);
+        assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn single_bucket_histogram_percentiles_are_that_bucket() {
+        let mut h = Histogram::default();
+        for _ in 0..7 {
+            h.observe(5);
+        }
+        assert_eq!(h.percentile(50.0), 5);
+        assert_eq!(h.percentile(95.0), 5);
+        assert_eq!(h.percentile(99.0), 5);
+    }
+
+    #[test]
+    fn saturated_histogram_percentiles_clamp_to_last_bucket() {
+        let mut h = Histogram::default();
+        for v in [100u64, 200, 5000] {
+            h.observe(v);
+        }
+        let last = (HIST_BUCKETS - 1) as u64;
+        assert_eq!(h.percentile(50.0), last);
+        assert_eq!(h.percentile(99.0), last);
+    }
+
+    #[test]
+    fn percentiles_split_a_mixed_distribution() {
+        let mut h = Histogram::default();
+        // 90 observations of 1, 9 of 10, 1 of 31.
+        for _ in 0..90 {
+            h.observe(1);
+        }
+        for _ in 0..9 {
+            h.observe(10);
+        }
+        h.observe(31);
+        assert_eq!(h.percentile(50.0), 1);
+        assert_eq!(h.percentile(95.0), 10);
+        assert_eq!(h.percentile(99.0), 10);
+        assert_eq!(h.percentile(100.0), 31);
+    }
+
+    #[test]
     fn counters_accumulate_by_name() {
         let mut m = Metrics::new();
         m.add(Counter::Retired, 10);
@@ -353,6 +422,8 @@ mod tests {
             .unwrap();
         assert_eq!(ts.get("total").unwrap().as_u64(), Some(1));
         assert_eq!(ts.get("sum").unwrap().as_u64(), Some(12));
+        assert_eq!(ts.get("p50").unwrap().as_u64(), Some(12));
+        assert_eq!(ts.get("p99").unwrap().as_u64(), Some(12));
         assert_eq!(ts.get("counts").unwrap().as_arr().unwrap().len(), 13);
     }
 

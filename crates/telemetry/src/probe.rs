@@ -5,6 +5,7 @@
 //! nothing. Components additionally cache `enabled()` at attach time so
 //! the *off* path costs one branch per hook site, not a virtual call.
 
+use crate::attrib::{InstAttrib, RetireSlotKind};
 use crate::event::InstTimeline;
 use crate::metrics::{Counter, Hist};
 
@@ -41,6 +42,18 @@ pub trait Probe {
     fn timeline(&self, t: &InstTimeline) {
         let _ = t;
     }
+
+    /// Reports one retired instruction's lifecycle and operand
+    /// provenance for cycle attribution.
+    fn retire_attrib(&self, rec: &InstAttrib) {
+        let _ = rec;
+    }
+
+    /// Accounts one cycle of retire bandwidth: `retired` slots used
+    /// and `stalled` slots lost to `stall` at cycle `now`.
+    fn retire_slots(&self, now: u64, retired: u64, stalled: u64, stall: RetireSlotKind) {
+        let _ = (now, retired, stalled, stall);
+    }
 }
 
 /// The default sink: observes nothing, costs nothing.
@@ -70,5 +83,18 @@ mod tests {
             complete_at: 4,
             retired_at: 5,
         });
+        p.retire_attrib(&InstAttrib {
+            seq: 1,
+            pc: 0x40,
+            cluster: 0,
+            renamed_at: 1,
+            dispatched_at: 2,
+            exec_start: 3,
+            complete_at: 4,
+            retired_at: 5,
+            srcs: [crate::attrib::SrcAttrib::default(); 2],
+            critical_src: None,
+        });
+        p.retire_slots(5, 4, 12, RetireSlotKind::InterCluster);
     }
 }

@@ -1,9 +1,16 @@
 //! The accumulating probe implementation.
 
-use crate::event::{EventRing, InstTimeline, PipeStage, SpanEvent, FETCH_LANE};
+use crate::attrib::{
+    walk_critical_path, AttribReport, CpiStack, InstAttrib, RetireSlotKind, SrcKind,
+};
+use crate::event::{EventRing, FlowEvent, InstTimeline, PipeStage, SpanEvent, FETCH_LANE};
 use crate::metrics::{Counter, Hist, Metrics};
 use crate::probe::Probe;
 use std::cell::RefCell;
+
+/// Static edges reported by [`Recorder::attrib_report`]'s critical-path
+/// summary.
+const CRITICAL_TOP_N: usize = 8;
 
 /// Capture settings for a [`Recorder`].
 #[derive(Debug, Clone, Copy)]
@@ -14,6 +21,10 @@ pub struct RecorderConfig {
     /// instruction (1 = all). 0 disables the event trace entirely and
     /// keeps only metrics — the right mode for long sweeps.
     pub sample_every: u64,
+    /// Keep every per-instruction attribution record so
+    /// [`Recorder::attrib_report`] can run the critical-path walker.
+    /// The CPI stack accumulates regardless of this flag.
+    pub collect_attrib: bool,
 }
 
 impl Default for RecorderConfig {
@@ -21,6 +32,7 @@ impl Default for RecorderConfig {
         RecorderConfig {
             event_capacity: 1 << 16,
             sample_every: 1,
+            collect_attrib: false,
         }
     }
 }
@@ -31,6 +43,17 @@ impl RecorderConfig {
         RecorderConfig {
             event_capacity: 0,
             sample_every: 0,
+            collect_attrib: false,
+        }
+    }
+
+    /// An attribution configuration: no event ring, but full lifecycle
+    /// records for the CPI stack and critical-path walker.
+    pub fn attrib() -> RecorderConfig {
+        RecorderConfig {
+            event_capacity: 0,
+            sample_every: 0,
+            collect_attrib: true,
         }
     }
 }
@@ -39,6 +62,11 @@ struct Inner {
     metrics: Metrics,
     ring: EventRing,
     sample_every: u64,
+    collect_attrib: bool,
+    stack: CpiStack,
+    records: Vec<InstAttrib>,
+    flows: Vec<FlowEvent>,
+    next_flow_id: u64,
 }
 
 /// A [`Probe`] that accumulates metrics and a ring-buffered event
@@ -57,6 +85,11 @@ impl Recorder {
                 metrics: Metrics::new(),
                 ring: EventRing::new(cfg.event_capacity),
                 sample_every: cfg.sample_every,
+                collect_attrib: cfg.collect_attrib,
+                stack: CpiStack::default(),
+                records: Vec::new(),
+                flows: Vec::new(),
+                next_flow_id: 0,
             }),
         }
     }
@@ -83,6 +116,35 @@ impl Recorder {
     /// Events lost to ring overwriting.
     pub fn dropped_events(&self) -> u64 {
         self.inner.borrow().ring.dropped()
+    }
+
+    /// The accumulated CPI stack (empty unless the pipeline fired
+    /// [`Probe::retire_slots`]).
+    pub fn cpi_stack(&self) -> CpiStack {
+        self.inner.borrow().stack.clone()
+    }
+
+    /// Inter-cluster forward flows derived from sampled instructions,
+    /// for Chrome-trace export.
+    pub fn flows(&self) -> Vec<FlowEvent> {
+        self.inner.borrow().flows.clone()
+    }
+
+    /// The full attribution result: the CPI stack plus the critical-
+    /// path walk over the collected lifecycle records (empty unless
+    /// constructed with [`RecorderConfig::collect_attrib`]).
+    pub fn attrib_report(&self) -> AttribReport {
+        self.attrib_report_top(CRITICAL_TOP_N)
+    }
+
+    /// [`Recorder::attrib_report`] with a caller-chosen cap on how many
+    /// critical-path edges are kept.
+    pub fn attrib_report_top(&self, top_n: usize) -> AttribReport {
+        let inner = self.inner.borrow();
+        AttribReport {
+            stack: inner.stack.clone(),
+            critical: walk_critical_path(&inner.records, top_n),
+        }
     }
 }
 
@@ -147,6 +209,41 @@ impl Probe for Recorder {
             });
         }
     }
+
+    fn retire_attrib(&self, rec: &InstAttrib) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.collect_attrib {
+            inner.records.push(*rec);
+        }
+        // Flow arrows ride the sampled event trace: one per forwarded
+        // (cross-cluster) source of each sampled instruction.
+        if inner.sample_every == 0 || !rec.seq.is_multiple_of(inner.sample_every) {
+            return;
+        }
+        for src in rec.srcs {
+            if src.kind != SrcKind::Forward {
+                continue;
+            }
+            let id = inner.next_flow_id;
+            inner.next_flow_id += 1;
+            inner.flows.push(FlowEvent {
+                id,
+                from_ts: src.complete,
+                from_cluster: src.producer_cluster,
+                to_ts: src.arrival.max(src.complete),
+                to_cluster: rec.cluster,
+                seq: rec.seq,
+                pc: rec.pc,
+            });
+        }
+    }
+
+    fn retire_slots(&self, _now: u64, retired: u64, stalled: u64, stall: RetireSlotKind) {
+        self.inner
+            .borrow_mut()
+            .stack
+            .charge(retired, stalled, stall);
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +281,7 @@ mod tests {
         let r = Recorder::new(RecorderConfig {
             event_capacity: 1024,
             sample_every: 10,
+            collect_attrib: false,
         });
         for seq in 1..=100 {
             r.timeline(&timeline(seq));
@@ -203,10 +301,94 @@ mod tests {
     }
 
     #[test]
+    fn attrib_recorder_accumulates_stack_and_records() {
+        use crate::attrib::{SrcAttrib, SrcKind};
+        let r = Recorder::new(RecorderConfig::attrib());
+        r.retire_slots(1, 16, 0, RetireSlotKind::Base);
+        r.retire_slots(2, 3, 13, RetireSlotKind::InterCluster);
+        let mk = |seq: u64, src: SrcAttrib, critical: Option<usize>| InstAttrib {
+            seq,
+            pc: 0x100 + seq * 4,
+            cluster: 1,
+            renamed_at: seq,
+            dispatched_at: seq + 1,
+            exec_start: seq + 3,
+            complete_at: seq + 5,
+            retired_at: seq + 8,
+            srcs: [src, SrcAttrib::default()],
+            critical_src: critical,
+        };
+        r.retire_attrib(&mk(1, SrcAttrib::default(), None));
+        r.retire_attrib(&mk(
+            2,
+            SrcAttrib {
+                kind: SrcKind::Forward,
+                producer_seq: 1,
+                producer_cluster: 0,
+                hops: 2,
+                complete: 6,
+                arrival: 10,
+            },
+            Some(0),
+        ));
+        let report = r.attrib_report();
+        assert_eq!(report.stack.cycles, 2);
+        assert_eq!(report.stack.total(), 32);
+        assert_eq!(report.stack.get(RetireSlotKind::InterCluster), 13);
+        assert_eq!(report.critical.edges, 1);
+        assert_eq!(report.critical.cross_cluster, 1);
+        // attrib mode samples no events, so no flows are derived.
+        assert!(r.flows().is_empty());
+    }
+
+    #[test]
+    fn sampled_forward_sources_become_flows() {
+        use crate::attrib::{SrcAttrib, SrcKind};
+        let r = Recorder::default(); // sample_every = 1
+        r.retire_attrib(&InstAttrib {
+            seq: 4,
+            pc: 0x200,
+            cluster: 3,
+            renamed_at: 1,
+            dispatched_at: 2,
+            exec_start: 12,
+            complete_at: 13,
+            retired_at: 15,
+            srcs: [
+                SrcAttrib {
+                    kind: SrcKind::Forward,
+                    producer_seq: 2,
+                    producer_cluster: 0,
+                    hops: 3,
+                    complete: 5,
+                    arrival: 11,
+                },
+                SrcAttrib {
+                    kind: SrcKind::Bypass,
+                    producer_seq: 3,
+                    producer_cluster: 3,
+                    hops: 0,
+                    complete: 9,
+                    arrival: 9,
+                },
+            ],
+            critical_src: Some(0),
+        });
+        let flows = r.flows();
+        assert_eq!(flows.len(), 1, "only the cross-cluster source flows");
+        assert_eq!(flows[0].from_cluster, 0);
+        assert_eq!(flows[0].to_cluster, 3);
+        assert_eq!(flows[0].from_ts, 5);
+        assert_eq!(flows[0].to_ts, 11);
+        assert_eq!(flows[0].seq, 4);
+    }
+
+    #[test]
     fn dropped_counter_matches_ring_after_snapshot() {
         let r = Recorder::new(RecorderConfig {
             event_capacity: 4,
             sample_every: 1,
+            collect_attrib: false,
         });
         for seq in 1..=3 {
             r.timeline(&timeline(seq)); // 12 spans into a 4-slot ring

@@ -9,9 +9,11 @@
 #   3. lint gate (cargo clippy --workspace, warnings are errors)
 #   4. telemetry smoke: `ctcp trace --check` validates the Chrome trace
 #      and reconciles its counters against the report
-#   5. perf smoke: wall-time of a fixed sweep, recorded into
+#   5. attribution smoke: `ctcp analyze --json` must emit non-empty CPI
+#      stacks and `ctcp sweep --attrib` must append the attribution table
+#   6. perf smoke: wall-time of a fixed sweep, recorded into
 #      BENCH_baseline.json to track the perf trajectory over time
-#   6. crash-injection smoke: a fail point panics one sweep cell; the
+#   7. crash-injection smoke: a fail point panics one sweep cell; the
 #      batch must finish, render the survivors, exit non-zero, and
 #      leave a store that `ctcp store verify` passes clean
 set -euo pipefail
@@ -36,6 +38,21 @@ trap 'rm -rf "$smoke_dir"' EXIT
     --out "$smoke_dir/trace.json" --metrics-out "$smoke_dir/metrics.jsonl" --check
 test -s "$smoke_dir/trace.json"
 test -s "$smoke_dir/metrics.jsonl"
+
+echo "==> attribution smoke (ctcp analyze --json + sweep --attrib)"
+./target/release/ctcp analyze gzip --strategies base,fdrt --insts 20000 --json \
+    > "$smoke_dir/analyze.json"
+test -s "$smoke_dir/analyze.json"
+grep -q '"attrib":{"stack":{"cycles":' "$smoke_dir/analyze.json"
+grep -q '"inter_cluster":' "$smoke_dir/analyze.json"
+# Non-empty stacks: no strategy may report a zero-cycle CPI stack.
+if grep -q '"cycles":0,"slots"' "$smoke_dir/analyze.json"; then
+    echo "FAIL: analyze emitted an empty CPI stack" >&2
+    exit 1
+fi
+./target/release/ctcp sweep --benches gzip --strategies baseline,fdrt \
+    --insts 20000 --jobs 1 --attrib > "$smoke_dir/sweep-attrib.out"
+grep -q "attribution (fraction of retire slots" "$smoke_dir/sweep-attrib.out"
 
 echo "==> perf smoke (fixed sweep wall-time -> BENCH_baseline.json)"
 # Fixed workload: no-probe sweep, single-threaded so the number tracks
