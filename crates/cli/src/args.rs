@@ -184,6 +184,51 @@ pub struct StoreArgs {
     pub dir: Option<String>,
 }
 
+/// Options for the `serve` resident-daemon command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Address to listen on; port `0` picks an ephemeral port (the
+    /// daemon prints the bound address either way).
+    pub addr: String,
+    /// Worker threads per batch (0 = available parallelism).
+    pub jobs: usize,
+    /// Result-store directory; `None` means the default
+    /// `target/ctcp-results`.
+    pub dir: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: "127.0.0.1:0".into(),
+            jobs: 0,
+            dir: None,
+        }
+    }
+}
+
+/// What `ctcp client` asks a running daemon to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Run a sweep remotely, streaming progress back.
+    Sweep(SweepArgs),
+    /// Run a cycle-attribution analysis remotely.
+    Analyze(AnalyzeArgs),
+    /// Print the daemon's status document (queue depth, counters).
+    Status,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
+}
+
+/// Options for the `client` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientArgs {
+    /// Daemon address, as printed by `ctcp serve` (always required).
+    pub addr: String,
+    /// What to ask the daemon to do.
+    pub action: ClientAction,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -204,6 +249,10 @@ pub enum Command {
     Disasm(ProgramSource),
     /// Inspect or maintain the on-disk result store.
     Store(StoreArgs),
+    /// Run the resident sweep service (daemon).
+    Serve(ServeArgs),
+    /// Talk to a running sweep service.
+    Client(ClientArgs),
     /// Print usage.
     Help,
 }
@@ -275,6 +324,8 @@ impl Cli {
             "trace" => Command::Trace(parse_trace_args(rest)?),
             "analyze" => Command::Analyze(parse_analyze_args(rest)?),
             "store" => Command::Store(parse_store_args(rest)?),
+            "serve" => Command::Serve(parse_serve_args(rest)?),
+            "client" => Command::Client(parse_client_args(rest)?),
             "disasm" => {
                 let ra = parse_run_args(rest)?;
                 Command::Disasm(ra.source)
@@ -461,7 +512,86 @@ fn parse_store_args(rest: &[String]) -> Result<StoreArgs, CliError> {
     Ok(StoreArgs { action, dir })
 }
 
-fn parse_topology(s: &str) -> Result<Topology, CliError> {
+fn parse_serve_args(rest: &[String]) -> Result<ServeArgs, CliError> {
+    let mut out = ServeArgs::default();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, CliError> {
+        *i += 1;
+        rest.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{} needs a value", rest[*i - 1])))
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--addr" => out.addr = value(&mut i)?,
+            "--jobs" => {
+                let v = value(&mut i)?;
+                out.jobs = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --jobs value {v:?}")))?;
+            }
+            "--dir" => out.dir = Some(value(&mut i)?),
+            other => return Err(CliError(format!("unknown flag {other:?}"))),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn parse_client_args(rest: &[String]) -> Result<ClientArgs, CliError> {
+    let Some(action) = rest.first() else {
+        return Err(CliError(
+            "client needs an action (sweep|analyze|status|shutdown)".to_string(),
+        ));
+    };
+    // `--addr` belongs to the client itself; everything after it is the
+    // remote command line, handed to the matching one-shot parser so
+    // the local and remote flag spellings never diverge.
+    let mut addr: Option<String> = None;
+    let mut remote: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < rest.len() {
+        if rest[i] == "--addr" {
+            i += 1;
+            addr = Some(
+                rest.get(i)
+                    .cloned()
+                    .ok_or_else(|| CliError("--addr needs a value".to_string()))?,
+            );
+        } else {
+            remote.push(rest[i].clone());
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        return Err(CliError(
+            "client needs --addr HOST:PORT (as printed by `ctcp serve`)".to_string(),
+        ));
+    };
+    let action = match action.as_str() {
+        "sweep" => ClientAction::Sweep(parse_sweep_args(&remote)?),
+        "analyze" => ClientAction::Analyze(parse_analyze_args(&remote)?),
+        "status" | "shutdown" => {
+            if let Some(extra) = remote.first() {
+                return Err(CliError(format!("unexpected argument {extra:?}")));
+            }
+            if action == "status" {
+                ClientAction::Status
+            } else {
+                ClientAction::Shutdown
+            }
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown client action {other:?} (sweep|analyze|status|shutdown)"
+            )))
+        }
+    };
+    Ok(ClientArgs { addr, action })
+}
+
+/// Parses a topology name as accepted by `--topology`.
+pub(crate) fn parse_topology(s: &str) -> Result<Topology, CliError> {
     match s {
         "linear" => Ok(Topology::Linear),
         "ring" | "mesh" => Ok(Topology::Ring),
@@ -565,6 +695,8 @@ USAGE:
                                           critical-path edges, per strategy
   ctcp disasm  [SOURCE]                   print program disassembly
   ctcp store   ACTION [--dir D]           inspect or maintain the result store
+  ctcp serve   [SERVE OPTIONS]            run the resident sweep service
+  ctcp client  ACTION --addr A [...]      talk to a running sweep service
   ctcp help                               this text
 
 SOURCE:
@@ -602,6 +734,21 @@ STORE ACTIONS (sweep exits non-zero when any cell fails; so does
                       quarantining corrupt lines
   gc                  compact, then delete the quarantine file
   --dir D             store directory (default: target/ctcp-results)
+
+SERVE OPTIONS:
+  --addr A            listen address (default 127.0.0.1:0 — an ephemeral
+                      port; the bound address is printed either way)
+  --jobs N            worker threads per batch, 0 = all cores (default: 0)
+  --dir D             result-store directory (default: target/ctcp-results)
+
+CLIENT ACTIONS (all need --addr HOST:PORT, as printed by `ctcp serve`):
+  sweep [SWEEP OPTIONS]      run a sweep remotely; progress streams to
+                             stderr, the rendered table to stdout
+                             (--jobs/--cache/--metrics-out are daemon-side
+                             and ignored here)
+  analyze [ANALYZE OPTIONS]  run a cycle attribution remotely (--bench only)
+  status                     print the daemon's status JSON
+  shutdown                   drain in-flight batches and exit
 
 TRACE OPTIONS (plus SOURCE and OPTIONS above):
   --out FILE          Chrome trace-event JSON path (default: ctcp-trace.json;
@@ -885,6 +1032,85 @@ mod tests {
         assert!(Cli::parse(["store", "polish"]).is_err());
         assert!(Cli::parse(["store", "verify", "--dir"]).is_err());
         assert!(Cli::parse(["store", "verify", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let cli = Cli::parse(["serve"]).unwrap();
+        assert_eq!(cli.command, Command::Serve(ServeArgs::default()));
+        let cli = Cli::parse([
+            "serve",
+            "--addr",
+            "127.0.0.1:7199",
+            "--jobs",
+            "3",
+            "--dir",
+            "/tmp/s",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve(ServeArgs {
+                addr: "127.0.0.1:7199".into(),
+                jobs: 3,
+                dir: Some("/tmp/s".into()),
+            })
+        );
+        assert!(Cli::parse(["serve", "--jobs", "many"]).is_err());
+        assert!(Cli::parse(["serve", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn client_actions_parse() {
+        let cli = Cli::parse(["client", "status", "--addr", "127.0.0.1:1"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Client(ClientArgs {
+                addr: "127.0.0.1:1".into(),
+                action: ClientAction::Status,
+            })
+        );
+        let cli = Cli::parse(["client", "shutdown", "--addr", "h:2"]).unwrap();
+        let Command::Client(a) = cli.command else {
+            panic!("expected client")
+        };
+        assert_eq!(a.action, ClientAction::Shutdown);
+        // The remote command line reuses the one-shot sweep parser,
+        // with --addr extracted wherever it appears.
+        let cli = Cli::parse([
+            "client",
+            "sweep",
+            "--benches",
+            "gzip",
+            "--addr",
+            "h:3",
+            "--csv",
+        ])
+        .unwrap();
+        let Command::Client(a) = cli.command else {
+            panic!("expected client")
+        };
+        assert_eq!(a.addr, "h:3");
+        let ClientAction::Sweep(sw) = a.action else {
+            panic!("expected sweep action")
+        };
+        assert_eq!(sw.benches, vec!["gzip".to_string()]);
+        assert!(sw.csv);
+        let cli = Cli::parse(["client", "analyze", "gzip", "--addr", "h:4"]).unwrap();
+        let Command::Client(a) = cli.command else {
+            panic!("expected client")
+        };
+        assert!(matches!(a.action, ClientAction::Analyze(_)));
+    }
+
+    #[test]
+    fn client_rejects_bad_forms() {
+        assert!(Cli::parse(["client"]).is_err());
+        assert!(Cli::parse(["client", "ping", "--addr", "h:1"]).is_err());
+        assert!(Cli::parse(["client", "sweep"]).is_err(), "--addr required");
+        assert!(Cli::parse(["client", "status", "--addr"]).is_err());
+        assert!(Cli::parse(["client", "status", "--addr", "h:1", "extra"]).is_err());
+        assert!(Cli::parse(["client", "sweep", "--addr", "h:1", "--clusters", "9"]).is_err());
     }
 
     #[test]

@@ -2,22 +2,27 @@
 //! asserted on in tests.
 
 use crate::args::{
-    AnalyzeArgs, Cli, CliError, Command, ProgramSource, RunArgs, StoreAction, StoreArgs, SweepArgs,
-    TraceArgs, USAGE,
+    AnalyzeArgs, Cli, CliError, ClientAction, ClientArgs, Command, ProgramSource, RunArgs,
+    ServeArgs, StoreAction, StoreArgs, SweepArgs, TraceArgs, USAGE,
 };
+use crate::wire;
 use ctcp_core::Topology;
-use ctcp_harness::{failure_table, Harness, Job, ResultStore};
+use ctcp_harness::{failure_table, Harness, Job, ProgressSink, ResultStore, StderrProgress};
 use ctcp_isa::{asm, Program};
+use ctcp_serve::{http, Handler, RequestKind, RunResult, Service};
 use ctcp_sim::{SimConfig, SimReport, Simulation, Strategy};
+use ctcp_telemetry::json::Value;
 use ctcp_telemetry::{
     chrome_trace_with_flows, metrics_line, validate_chrome_trace, Counter, Metrics, PipeStage,
     Probe, Recorder, RecorderConfig, RetireSlotKind,
 };
 use ctcp_workload::Benchmark;
 use std::collections::HashSet;
+use std::io::Write;
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn load_program(source: &ProgramSource) -> Result<Program, CliError> {
     match source {
@@ -121,6 +126,8 @@ pub fn execute_outcome(cli: &Cli) -> Result<CliOutcome, CliError> {
     match &cli.command {
         Command::Sweep(args) => sweep(args),
         Command::Store(args) => store_cmd(args),
+        Command::Serve(args) => serve_cmd(args),
+        Command::Client(args) => client_cmd(args),
         _ => plain_text(cli).map(CliOutcome::ok),
     }
 }
@@ -129,7 +136,9 @@ pub fn execute_outcome(cli: &Cli) -> Result<CliOutcome, CliError> {
 /// fully succeed or fail with a [`CliError`].
 fn plain_text(cli: &Cli) -> Result<String, CliError> {
     match &cli.command {
-        Command::Sweep(_) | Command::Store(_) => unreachable!("handled by execute_outcome"),
+        Command::Sweep(_) | Command::Store(_) | Command::Serve(_) | Command::Client(_) => {
+            unreachable!("handled by execute_outcome")
+        }
         Command::Help => Ok(USAGE.to_string()),
         Command::List => {
             let mut out = String::from("SPECint2000-class presets:\n");
@@ -303,16 +312,27 @@ fn trace(args: &TraceArgs) -> Result<String, CliError> {
 /// stack, per-cluster utilization, and the top critical-path edges with
 /// the fraction of critical edges that cross clusters.
 fn analyze(args: &AnalyzeArgs) -> Result<String, CliError> {
+    analyze_with_progress(args, &mut |_, _, _| {})
+}
+
+/// [`analyze`] with a per-strategy completion callback
+/// `(done, total, strategy)` — the sweep service forwards it to the
+/// requesting client as progress events.
+fn analyze_with_progress(
+    args: &AnalyzeArgs,
+    progress: &mut dyn FnMut(usize, usize, &str),
+) -> Result<String, CliError> {
     let program = load_program(&args.run.source)?;
     let name = describe(&args.run.source);
     let mut results: Vec<SimReport> = Vec::new();
-    for &s in &args.strategies {
+    for (done, &s) in args.strategies.iter().enumerate() {
         let recorder = Rc::new(Recorder::new(RecorderConfig::attrib()));
         let probe: Rc<dyn Probe> = Rc::clone(&recorder) as _;
         let mut r = build_sim(&program, config(&args.run, s), Some(probe))?
             .try_run()
             .map_err(|e| CliError(e.to_string()))?;
         r.attrib = Some(recorder.attrib_report_top(args.top));
+        progress(done + 1, args.strategies.len(), &r.strategy);
         results.push(r);
     }
     if args.json {
@@ -505,7 +525,6 @@ fn resolve_benches(names: &[String]) -> Result<Vec<Benchmark>, CliError> {
 /// baseline both produced a report still renders, a failure table is
 /// appended after the normal output, and the exit code goes non-zero.
 fn sweep(args: &SweepArgs) -> Result<CliOutcome, CliError> {
-    let benches = resolve_benches(&args.benches)?;
     let mut harness = Harness::new().jobs(args.jobs).attrib(args.attrib);
     if let Some(path) = &args.metrics_out {
         harness = harness.metrics_out(path);
@@ -516,6 +535,24 @@ fn sweep(args: &SweepArgs) -> Result<CliOutcome, CliError> {
             Err(e) => eprintln!("warning: result store unavailable ({e}); not caching"),
         }
     }
+    // The default sink reproduces the historical stderr status line
+    // byte for byte (auto-enabled only when stderr is a terminal).
+    let mut sink = StderrProgress::new(None);
+    run_sweep(args, &mut harness, &mut sink)
+}
+
+/// The sweep body shared by the one-shot command and the resident
+/// service: builds the grid, runs it through `harness` (whose worker
+/// count, store, and attribution mode the caller has already
+/// configured), and renders the tables. Per-cell progress goes to
+/// `sink`; the rendering itself is progress-free, so the output is
+/// byte-identical however the batch was watched.
+fn run_sweep(
+    args: &SweepArgs,
+    harness: &mut Harness,
+    sink: &mut dyn ProgressSink,
+) -> Result<CliOutcome, CliError> {
+    let benches = resolve_benches(&args.benches)?;
 
     // Describe the grid. `cells` remembers, for every non-baseline job,
     // which (bench, geometry, strategy) it renders as and where its
@@ -570,7 +607,7 @@ fn sweep(args: &SweepArgs) -> Result<CliOutcome, CliError> {
         }
     }
 
-    let outcomes = harness.try_run(&jobs);
+    let outcomes = harness.try_run_with_progress(&jobs, sink);
 
     let mut out = String::new();
     if args.csv {
@@ -757,6 +794,238 @@ fn store_cmd(args: &StoreArgs) -> Result<CliOutcome, CliError> {
                 r.quarantine_bytes
             )))
         }
+    }
+}
+
+/// Adapts the harness's [`ProgressSink`] to the sweep service's wire
+/// events: every simulated cell becomes one NDJSON `progress` chunk on
+/// the requesting client's response stream.
+struct EventSink<'a> {
+    emit: &'a mut dyn FnMut(&Value),
+    total: usize,
+}
+
+impl ProgressSink for EventSink<'_> {
+    fn batch_start(&mut self, total: usize) {
+        self.total = total;
+        (self.emit)(&Value::Obj(vec![
+            ("event".into(), Value::str("batch_start")),
+            ("total".into(), Value::u64(total as u64)),
+        ]));
+    }
+
+    fn cell_done(&mut self, done: usize, workload: &str, took: Duration) {
+        (self.emit)(&Value::Obj(vec![
+            ("event".into(), Value::str("progress")),
+            ("done".into(), Value::u64(done as u64)),
+            ("total".into(), Value::u64(self.total as u64)),
+            ("workload".into(), Value::str(workload)),
+            ("took_s".into(), Value::f64(took.as_secs_f64())),
+        ]));
+    }
+
+    fn batch_end(&mut self) {}
+}
+
+/// A request the daemon could not run (bad body, unknown benchmark):
+/// reported in-band as a failed result, the same exit code the
+/// one-shot CLI uses for argument errors.
+fn error_result(e: CliError) -> RunResult {
+    RunResult {
+        output: format!("error: {e}\n"),
+        exit_code: 2,
+        cache_hits: 0,
+        simulated: 0,
+    }
+}
+
+/// The execution backend behind `ctcp serve`: one persistent
+/// [`Harness`] — and through it one warm, sharded [`ResultStore`] —
+/// shared by every client for the daemon's lifetime.
+struct CliHandler {
+    harness: Harness,
+}
+
+impl Handler for CliHandler {
+    fn run(
+        &mut self,
+        kind: RequestKind,
+        body: &Value,
+        progress: &mut dyn FnMut(&Value),
+    ) -> RunResult {
+        match kind {
+            RequestKind::Sweep => {
+                let args = match wire::sweep_from_json(body) {
+                    Ok(a) => a,
+                    Err(e) => return error_result(e),
+                };
+                // Builder methods consume the harness; take it out,
+                // reconfigure for this batch, and put it back — the
+                // store (the warm cache) rides along untouched.
+                self.harness = std::mem::take(&mut self.harness).attrib(args.attrib);
+                let mut sink = EventSink {
+                    emit: progress,
+                    total: 0,
+                };
+                match run_sweep(&args, &mut self.harness, &mut sink) {
+                    Ok(outcome) => {
+                        let stats = self.harness.last_batch();
+                        RunResult {
+                            output: outcome.output,
+                            exit_code: outcome.exit_code,
+                            cache_hits: stats.store_hits as u64,
+                            simulated: stats.simulated as u64,
+                        }
+                    }
+                    Err(e) => error_result(e),
+                }
+            }
+            RequestKind::Analyze => {
+                let args = match wire::analyze_from_json(body) {
+                    Ok(a) => a,
+                    Err(e) => return error_result(e),
+                };
+                let mut emit = |done: usize, total: usize, strategy: &str| {
+                    progress(&Value::Obj(vec![
+                        ("event".into(), Value::str("progress")),
+                        ("done".into(), Value::u64(done as u64)),
+                        ("total".into(), Value::u64(total as u64)),
+                        ("workload".into(), Value::str(strategy)),
+                    ]));
+                };
+                match analyze_with_progress(&args, &mut emit) {
+                    Ok(output) => RunResult {
+                        output,
+                        exit_code: 0,
+                        cache_hits: 0,
+                        simulated: args.strategies.len() as u64,
+                    },
+                    Err(e) => error_result(e),
+                }
+            }
+        }
+    }
+}
+
+/// Executes `ctcp serve`: binds the address, prints it (port 0 binds
+/// an ephemeral port, so scripts parse this line), and blocks serving
+/// requests until a client asks for shutdown. The returned output is
+/// the post-drain summary.
+fn serve_cmd(args: &ServeArgs) -> Result<CliOutcome, CliError> {
+    let dir = args
+        .dir
+        .as_ref()
+        .map(PathBuf::from)
+        .unwrap_or_else(ResultStore::default_dir);
+    let store = ResultStore::open(&dir)
+        .map_err(|e| CliError(format!("cannot open result store {}: {e}", dir.display())))?;
+    let harness = Harness::new().jobs(args.jobs).with_store(store);
+    let service = Service::bind(&args.addr, Box::new(CliHandler { harness }))
+        .map_err(|e| CliError(format!("cannot bind {}: {e}", args.addr)))?;
+    // Printed and flushed before blocking, not returned with the
+    // command's output: clients need the address while the daemon runs.
+    println!("ctcp serve: listening on {}", service.local_addr());
+    let _ = std::io::stdout().flush();
+    let summary = service
+        .run()
+        .map_err(|e| CliError(format!("serve failed: {e}")))?;
+    Ok(CliOutcome::ok(format!(
+        "ctcp serve: drained after {} requests ({} queued, {} cache hits)\n",
+        summary.requests, summary.queued, summary.cache_hits
+    )))
+}
+
+/// Executes `ctcp client`: one request to a running daemon. Batch
+/// actions stream progress to stderr as it arrives and return the
+/// daemon's rendered output (and exit code) as the command's own.
+fn client_cmd(args: &ClientArgs) -> Result<CliOutcome, CliError> {
+    let addr = args.addr.as_str();
+    match &args.action {
+        ClientAction::Status => client_document(addr, "GET", "/status"),
+        ClientAction::Shutdown => client_document(addr, "POST", "/shutdown"),
+        ClientAction::Sweep(sweep) => client_batch(addr, "/sweep", &wire::sweep_to_json(sweep)),
+        ClientAction::Analyze(analyze) => {
+            client_batch(addr, "/analyze", &wire::analyze_to_json(analyze)?)
+        }
+    }
+}
+
+/// A single-document request (`status`, `shutdown`): the whole body is
+/// the output.
+fn client_document(addr: &str, method: &str, path: &str) -> Result<CliOutcome, CliError> {
+    let resp = http::request(addr, method, path, b"", &mut |_| {})
+        .map_err(|e| CliError(format!("cannot reach a daemon at {addr}: {e}")))?;
+    let mut output = String::from_utf8_lossy(&resp.body).into_owned();
+    if resp.status != 200 {
+        return Err(CliError(format!(
+            "daemon at {addr} answered {}: {}",
+            resp.status,
+            output.trim()
+        )));
+    }
+    if !output.ends_with('\n') {
+        output.push('\n');
+    }
+    Ok(CliOutcome::ok(output))
+}
+
+/// A streaming batch request (`sweep`, `analyze`): progress events are
+/// printed to stderr as chunks arrive; the final `result` event's
+/// rendered output and exit code become the command's.
+fn client_batch(addr: &str, path: &str, body: &Value) -> Result<CliOutcome, CliError> {
+    let payload = body.render();
+    let mut pending = String::new();
+    let mut result: Option<(String, i32)> = None;
+    let resp = http::request(addr, "POST", path, payload.as_bytes(), &mut |chunk| {
+        // Chunk boundaries are not guaranteed to align with events:
+        // buffer and emit only complete lines.
+        pending.push_str(&String::from_utf8_lossy(chunk));
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            client_event(line.trim(), &mut result);
+        }
+    })
+    .map_err(|e| CliError(format!("cannot reach a daemon at {addr}: {e}")))?;
+    if resp.status != 200 {
+        return Err(CliError(format!(
+            "daemon at {addr} answered {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body).trim()
+        )));
+    }
+    let (output, exit_code) = result.ok_or_else(|| {
+        CliError(format!(
+            "daemon at {addr} closed the stream without a result"
+        ))
+    })?;
+    Ok(CliOutcome { output, exit_code })
+}
+
+/// Handles one NDJSON event from the daemon's response stream.
+fn client_event(line: &str, result: &mut Option<(String, i32)>) {
+    let Ok(v) = Value::parse(line) else {
+        return; // tolerate unknown framing rather than aborting the stream
+    };
+    match v.get("event").and_then(Value::as_str) {
+        Some("result") => {
+            let output = v
+                .get("output")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string();
+            let code = v.get("exit_code").and_then(Value::as_u64).unwrap_or(1);
+            *result = Some((output, i32::try_from(code).unwrap_or(1)));
+        }
+        Some("progress") => {
+            let done = v.get("done").and_then(Value::as_u64).unwrap_or(0);
+            let total = v.get("total").and_then(Value::as_u64).unwrap_or(0);
+            let workload = v.get("workload").and_then(Value::as_str).unwrap_or("?");
+            match v.get("took_s").and_then(Value::as_f64) {
+                Some(took) => eprintln!("[{done}/{total}] {workload} {took:.2}s"),
+                None => eprintln!("[{done}/{total}] {workload}"),
+            }
+        }
+        _ => {} // batch_start and future event kinds are informational
     }
 }
 
@@ -1097,11 +1366,14 @@ mod tests {
                 h.try_run(&[mk(Strategy::Baseline), mk(Strategy::Fdrt { pinning: true })]);
             assert!(outcomes.iter().all(|o| o.report().is_some()));
         }
-        // Tear the file the way a crash mid-append would.
-        let path = dir.join("results.jsonl");
-        let mut text = std::fs::read_to_string(&path).unwrap();
+        // Tear a shard file the way a crash mid-append would.
+        let shard = (0..ctcp_harness::STORE_SHARDS)
+            .map(|i| dir.join(format!("shard-{i}.jsonl")))
+            .find(|p| p.exists())
+            .expect("the seeded store has at least one shard file");
+        let mut text = std::fs::read_to_string(&shard).unwrap();
         text.push_str("{\"v\":2,\"key\":\"torn");
-        std::fs::write(&path, text).unwrap();
+        std::fs::write(&shard, text).unwrap();
 
         let verify = run_outcome(&["store", "verify", "--dir", d]);
         assert_eq!(verify.exit_code, 1, "{}", verify.output);
@@ -1128,6 +1400,9 @@ mod tests {
         assert_eq!(gc.exit_code, 0);
         assert!(gc.output.contains("quarantine cleared"), "{}", gc.output);
         assert!(!dir.join("results.quarantine.jsonl").exists());
+        for i in 0..ctcp_harness::STORE_SHARDS {
+            assert!(!dir.join(format!("shard-{i}.quarantine.jsonl")).exists());
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

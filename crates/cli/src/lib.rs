@@ -20,6 +20,10 @@
 
 mod args;
 mod commands;
+mod wire;
 
-pub use args::{Cli, CliError, Command, RunArgs, StoreAction, StoreArgs, SweepArgs, TraceArgs};
+pub use args::{
+    Cli, CliError, ClientAction, ClientArgs, Command, RunArgs, ServeArgs, StoreAction, StoreArgs,
+    SweepArgs, TraceArgs,
+};
 pub use commands::{execute, execute_outcome, CliOutcome};

@@ -1,0 +1,177 @@
+//! End-to-end exercise of the resident sweep service: a real `ctcp
+//! serve` daemon on an ephemeral port, driven by real `ctcp client`
+//! processes.
+//!
+//! The test asserts the service's three core promises:
+//! 1. a remote sweep's stdout is byte-identical to the one-shot
+//!    `ctcp sweep` command's;
+//! 2. overlapping grids from different clients share the daemon's warm
+//!    cache (visible in the `serve_cache_hits` counter);
+//! 3. shutdown drains cleanly — the daemon exits zero, prints its
+//!    summary, leaves a populated sharded store with no lock tokens,
+//!    and stops listening.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ctcp")
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn ctcp binary")
+}
+
+fn stdout_of(out: &std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "exit {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+/// Spawns the daemon and reads its bound address off the first stdout
+/// line; the returned reader still holds the rest of the stream.
+fn spawn_daemon(store_dir: &Path) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut daemon = Command::new(bin())
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "2",
+            "--dir",
+            store_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    let mut reader = BufReader::new(daemon.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listening line");
+    assert!(line.contains("listening on "), "{line}");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address after 'listening on'")
+        .to_string();
+    (daemon, addr, reader)
+}
+
+#[test]
+fn daemon_round_trips_sweeps_shares_its_cache_and_drains() {
+    let dir = std::env::temp_dir().join(format!("ctcp-serve-e2e-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_dir = dir.join("store");
+    let (mut daemon, addr, mut daemon_out) = spawn_daemon(&store_dir);
+
+    // 1. Remote sweep output is byte-identical to the one-shot CLI's.
+    //    CSV mode: the prose header counts wall time and store hits,
+    //    which legitimately differ between a cold CLI and a warm
+    //    daemon; the table itself must not.
+    let grid = [
+        "--benches",
+        "gzip",
+        "--strategies",
+        "fdrt",
+        "--insts",
+        "2000",
+        "--csv",
+    ];
+    let mut client_argv = vec!["client", "sweep", "--addr", addr.as_str()];
+    client_argv.extend_from_slice(&grid);
+    let mut oneshot_argv = vec!["sweep"];
+    oneshot_argv.extend_from_slice(&grid);
+    let remote = stdout_of(&run(&client_argv));
+    let oneshot = stdout_of(&run(&oneshot_argv));
+    assert_eq!(remote, oneshot, "remote sweep must render identically");
+
+    // 2. A second client with an overlapping grid: the gzip cells
+    //    (baseline + fdrt) were memoized by the first sweep, so they
+    //    come back from the daemon's warm cache.
+    let wide = stdout_of(&run(&[
+        "client",
+        "sweep",
+        "--addr",
+        &addr,
+        "--benches",
+        "gzip,twolf",
+        "--strategies",
+        "fdrt",
+        "--insts",
+        "2000",
+        "--csv",
+    ]));
+    let wide_oneshot = stdout_of(&run(&[
+        "sweep",
+        "--benches",
+        "gzip,twolf",
+        "--strategies",
+        "fdrt",
+        "--insts",
+        "2000",
+        "--csv",
+    ]));
+    assert_eq!(wide, wide_oneshot, "overlap must not perturb the output");
+
+    let status = stdout_of(&run(&["client", "status", "--addr", &addr]));
+    let v = ctcp_telemetry::json::Value::parse(status.trim()).expect("status is JSON");
+    let counters = v.get("counters").expect("counters object");
+    let cache_hits = counters
+        .get("serve_cache_hits")
+        .and_then(ctcp_telemetry::json::Value::as_u64)
+        .expect("serve_cache_hits counter");
+    assert_eq!(
+        cache_hits, 2,
+        "the second sweep's two gzip cells are cache hits: {status}"
+    );
+    assert!(
+        counters.get("serve_requests").is_some(),
+        "status exposes the request counter: {status}"
+    );
+
+    // 3. Shutdown drains: daemon exits zero with its summary printed,
+    //    the sharded store is populated, no lock tokens remain, and
+    //    the port is closed.
+    stdout_of(&run(&["client", "shutdown", "--addr", &addr]));
+    let code = daemon.wait().expect("daemon exit");
+    assert!(code.success(), "daemon must exit cleanly, got {code:?}");
+    let mut rest = String::new();
+    daemon_out.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("drained after"), "{rest}");
+
+    let shard_lines: usize = (0..ctcp_harness::STORE_SHARDS)
+        .filter_map(|i| std::fs::read_to_string(store_dir.join(format!("shard-{i}.jsonl"))).ok())
+        .map(|text| text.lines().count())
+        .sum();
+    assert_eq!(
+        shard_lines, 4,
+        "gzip and twolf, baseline and fdrt, memoized exactly once each"
+    );
+    let leftover_locks: Vec<_> = std::fs::read_dir(&store_dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".lock"))
+        .collect();
+    assert!(
+        leftover_locks.is_empty(),
+        "orphaned locks: {leftover_locks:?}"
+    );
+
+    let refused = run(&["client", "status", "--addr", &addr]);
+    assert!(
+        !refused.status.success(),
+        "the drained daemon must not be listening"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -78,15 +78,15 @@
 mod progress;
 mod store;
 
+pub use progress::{NullProgress, ProgressSink, StderrProgress};
 pub use store::{
-    compact, crc32, gc, job_key, verify, CompactReport, GcReport, ResultStore, StoreStats,
-    VerifyReport, STORE_FORMAT_VERSION,
+    compact, crc32, gc, job_key, shard_of, verify, CompactReport, GcReport, ResultStore,
+    StoreStats, VerifyReport, STORE_FORMAT_VERSION, STORE_SHARDS,
 };
 
 use ctcp_isa::Program;
 use ctcp_sim::{SimConfig, SimError, SimReport, Simulation};
 use ctcp_telemetry::{failpoint, metrics_line, Counter, Metrics, Recorder, RecorderConfig};
-use progress::Progress;
 use std::collections::HashMap;
 use std::io::Write;
 use std::panic::AssertUnwindSafe;
@@ -606,6 +606,24 @@ impl Harness {
     /// [`Harness::retries`]. On the all-success path the outcomes are
     /// exactly the reports [`Harness::run`] returns, in the same order.
     pub fn try_run(&mut self, jobs: &[Job]) -> Vec<JobOutcome> {
+        let mut sink = StderrProgress::new(self.progress);
+        self.try_run_with_progress(jobs, &mut sink)
+    }
+
+    /// [`Harness::try_run`] with per-cell progress routed to `sink`
+    /// instead of the default stderr status line.
+    ///
+    /// The sink is called on the submitting thread only — never
+    /// concurrently — once per *simulated* cell in completion order
+    /// (store hits and coalesced duplicates produce no call), bracketed
+    /// by [`ProgressSink::batch_start`] and [`ProgressSink::batch_end`].
+    /// The sweep service uses this to forward a batch's progress to the
+    /// requesting client rather than the daemon's own stderr.
+    pub fn try_run_with_progress(
+        &mut self,
+        jobs: &[Job],
+        sink: &mut dyn ProgressSink,
+    ) -> Vec<JobOutcome> {
         let batch_start = Instant::now();
         let with_metrics = self.open_metrics_sink();
         let with_attrib = self.attrib;
@@ -645,13 +663,13 @@ impl Harness {
 
         // Phase 3: execute the pending set.
         let workers = self.effective_jobs().min(pending.len().max(1));
-        let mut progress = Progress::new(self.progress, pending.len());
+        sink.batch_start(pending.len());
         let (retries, timeout) = (self.retries, self.job_timeout);
         if workers <= 1 {
             for (done, &i) in pending.iter().enumerate() {
                 let t = Instant::now();
                 let (result, used) = execute(&jobs[i], with_metrics, with_attrib, timeout, retries);
-                progress.job_done(done + 1, &jobs[i].workload, t.elapsed());
+                sink.cell_done(done + 1, &jobs[i].workload, t.elapsed());
                 results[i] = Some(self.collect(&jobs[i], keys[i], result, used));
             }
         } else {
@@ -687,12 +705,12 @@ impl Harness {
                 let mut done = 0;
                 for (i, result, used, took) in rx {
                     done += 1;
-                    progress.job_done(done, &jobs[i].workload, took);
+                    sink.cell_done(done, &jobs[i].workload, took);
                     results[i] = Some(self.collect(&jobs[i], keys[i], result, used));
                 }
             });
         }
-        progress.finish();
+        sink.batch_end();
 
         // Phase 4: copy coalesced outcomes into their duplicate slots.
         for (i, &key) in keys.iter().enumerate() {

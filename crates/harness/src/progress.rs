@@ -1,15 +1,52 @@
-//! Live batch progress on stderr.
+//! Per-cell progress reporting, routed through a sink trait.
 //!
-//! The reporter rewrites a single status line (`\r`, no newline) as
-//! jobs complete, showing completed/total, the running jobs/sec rate,
-//! the wall time of the job that just finished, and an ETA. It is
-//! enabled by default only when stderr is a terminal, so piped and
-//! logged runs stay clean; tables on stdout are never touched.
+//! The harness does not know who is watching a batch: a human at a
+//! terminal wants a rewriting stderr status line, while the sweep
+//! service (`ctcp-serve`) wants each finished cell forwarded to the
+//! requesting client instead of landing on the daemon's own stderr.
+//! [`ProgressSink`] is that seam; [`StderrProgress`] is the default
+//! implementation and preserves the historical CLI output byte for
+//! byte, and [`NullProgress`] discards everything.
 
 use std::io::{IsTerminal, Write};
 use std::time::{Duration, Instant};
 
-pub(crate) struct Progress {
+/// Observer of one batch's execution, called on the submitting thread
+/// only (never concurrently). A batch is bracketed by
+/// [`batch_start`](ProgressSink::batch_start) and
+/// [`batch_end`](ProgressSink::batch_end); every *simulated* cell (not
+/// store hits, not coalesced duplicates) produces one
+/// [`cell_done`](ProgressSink::cell_done) in completion order.
+pub trait ProgressSink {
+    /// A batch of `total` to-be-simulated cells is starting.
+    fn batch_start(&mut self, total: usize);
+    /// Cell number `done` (1-based, in completion order) named
+    /// `workload` finished after `took` of wall time.
+    fn cell_done(&mut self, done: usize, workload: &str, took: Duration);
+    /// The batch finished; flush any partial output.
+    fn batch_end(&mut self);
+}
+
+/// A sink that discards every report.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullProgress;
+
+impl ProgressSink for NullProgress {
+    fn batch_start(&mut self, _total: usize) {}
+    fn cell_done(&mut self, _done: usize, _workload: &str, _took: Duration) {}
+    fn batch_end(&mut self) {}
+}
+
+/// Live batch progress on stderr — the historical harness behaviour.
+///
+/// The reporter rewrites a single status line (`\r`, no newline) as
+/// jobs complete, showing completed/total, the running jobs/sec rate,
+/// the wall time of the job that just finished, and an ETA. It is
+/// enabled by default only when stderr is a terminal, so piped and
+/// logged runs stay clean; tables on stdout are never touched.
+pub struct StderrProgress {
+    /// `None` auto-detects at batch start (on iff stderr is a terminal).
+    forced: Option<bool>,
     enabled: bool,
     total: usize,
     start: Instant,
@@ -17,20 +54,31 @@ pub(crate) struct Progress {
     drawn: usize,
 }
 
-impl Progress {
-    /// `enabled: None` auto-detects (on iff stderr is a terminal).
-    pub(crate) fn new(enabled: Option<bool>, total: usize) -> Progress {
-        Progress {
-            enabled: enabled.unwrap_or_else(|| std::io::stderr().is_terminal()) && total > 0,
-            total,
+impl StderrProgress {
+    /// `forced: None` auto-detects (on iff stderr is a terminal).
+    pub fn new(forced: Option<bool>) -> StderrProgress {
+        StderrProgress {
+            forced,
+            enabled: false,
+            total: 0,
             start: Instant::now(),
             drawn: 0,
         }
     }
+}
 
-    /// Reports the completion of job number `done` (1-based) named
-    /// `workload`, which took `took` of wall time.
-    pub(crate) fn job_done(&mut self, done: usize, workload: &str, took: Duration) {
+impl ProgressSink for StderrProgress {
+    fn batch_start(&mut self, total: usize) {
+        self.enabled = self
+            .forced
+            .unwrap_or_else(|| std::io::stderr().is_terminal())
+            && total > 0;
+        self.total = total;
+        self.start = Instant::now();
+        self.drawn = 0;
+    }
+
+    fn cell_done(&mut self, done: usize, workload: &str, took: Duration) {
         if !self.enabled {
             return;
         }
@@ -49,12 +97,12 @@ impl Progress {
         let _ = err.flush();
     }
 
-    /// Ends the status line so subsequent output starts cleanly.
-    pub(crate) fn finish(self) {
+    fn batch_end(&mut self) {
         if self.enabled && self.drawn > 0 {
             let mut err = std::io::stderr().lock();
             let _ = writeln!(err);
             let _ = err.flush();
         }
+        self.drawn = 0;
     }
 }

@@ -1,4 +1,4 @@
-//! Content-addressed, append-only, self-healing result store.
+//! Content-addressed, append-only, self-healing, *sharded* result store.
 //!
 //! Each finished job is recorded as one JSON line under a 64-bit
 //! content key derived from the workload name and the full simulator
@@ -8,32 +8,49 @@
 //!
 //! ## On-disk layout
 //!
-//! The store is a directory (by default `target/ctcp-results/`)
-//! holding a single `results.jsonl`. Every line is an envelope whose
-//! last field is a CRC-32 of everything before it:
+//! The store is a directory (by default `target/ctcp-results/`) holding
+//! [`STORE_SHARDS`] hash-partitioned JSON-lines files, `shard-0.jsonl`
+//! … `shard-7.jsonl`; a key's envelope lives in the shard [`shard_of`]
+//! names. Every line is an envelope whose last field is a CRC-32 of
+//! everything before it:
 //!
 //! ```text
 //! {"v":3,"key":"<16 hex digits>","workload":"gzip","report":{...},"crc":"<8 hex>"}
 //! ```
 //!
 //! Lines are only ever appended; the newest line for a key wins at
-//! load time. The store is a cache, never an authority — but it is a
-//! *self-healing* cache:
+//! load time, when every decodable line is folded into an in-memory
+//! index keyed by the (already uniformly distributed) content key, so
+//! cache probes are a single O(1) map lookup. The store is a cache,
+//! never an authority — but it is a *self-healing* cache:
 //!
 //! * **corrupt** lines (unparseable JSON, CRC mismatch, malformed key,
-//!   undecodable report) are moved to `results.quarantine.jsonl` at
-//!   open time and the main file is atomically rewritten without them,
-//!   so one torn write from a killed run never degrades every later
-//!   load, and the evidence survives for inspection;
+//!   undecodable report) are moved to that shard's
+//!   `shard-N.quarantine.jsonl` at open time and the shard is
+//!   atomically rewritten without them, so one torn write from a killed
+//!   run never degrades every later load, and the evidence survives
+//!   for inspection;
 //! * **stale** lines (older format versions) are kept in place and
 //!   simply miss — their keys changed with the version salt anyway;
-//! * an **advisory lock file** (`results.lock`) warns when two
-//!   processes share one store directory; the store still proceeds,
-//!   because appends are line-atomic in practice and corruption is
-//!   recoverable by construction.
+//! * appends take that shard's **advisory lock** (`shard-N.lock`) just
+//!   long enough for one single-`write` append, so concurrent writers
+//!   — harness worker pools, multiple service clients — only contend
+//!   when they land on the same shard. Lock files are pure tokens and
+//!   are removed best-effort when the last handle drops.
+//!
+//! ## Legacy single-file stores
+//!
+//! Earlier releases kept everything in one `results.jsonl` under one
+//! whole-store lock. [`ResultStore::open`] and [`compact`] migrate such
+//! a directory transparently: each legacy line is routed to the shard
+//! its key names (corrupt lines go to `results.quarantine.jsonl`), then
+//! the legacy file and its `results.lock` are deleted. [`verify`] is
+//! read-only and scans the legacy file in place instead.
 //!
 //! Offline maintenance lives in [`verify`], [`compact`] and [`gc`],
-//! surfaced as `ctcp store` subcommands.
+//! surfaced as `ctcp store` subcommands. `compact` and `gc` work one
+//! shard at a time under that shard's lock only, so a concurrent
+//! reader or writer on another shard is never blocked.
 
 use ctcp_sim::json::Value;
 use ctcp_sim::{SimConfig, SimReport};
@@ -50,12 +67,36 @@ use std::path::{Path, PathBuf};
 /// v2 lines are classified [`Line::Stale`] and simply miss.
 pub const STORE_FORMAT_VERSION: u32 = 3;
 
-/// File name of the store itself, inside the store directory.
-const STORE_FILE: &str = "results.jsonl";
-/// File name corrupt lines are moved to, inside the store directory.
-const QUARANTINE_FILE: &str = "results.quarantine.jsonl";
-/// Advisory lock file, inside the store directory.
-const LOCK_FILE: &str = "results.lock";
+/// Number of hash-partitioned shard files in a store directory. Eight
+/// keeps per-shard lock contention negligible at the harness's worker
+/// counts while leaving the directory human-inspectable.
+pub const STORE_SHARDS: usize = 8;
+
+/// The shard holding `key`'s envelope. Folds the high half into the
+/// low so all 64 key bits participate, then reduces modulo
+/// [`STORE_SHARDS`].
+pub fn shard_of(key: u64) -> usize {
+    ((key ^ (key >> 32)) % STORE_SHARDS as u64) as usize
+}
+
+/// Store file of the legacy single-file layout, migrated on open.
+const LEGACY_STORE_FILE: &str = "results.jsonl";
+/// Quarantine target for corrupt lines found during legacy migration.
+const LEGACY_QUARANTINE_FILE: &str = "results.quarantine.jsonl";
+/// Whole-store lock of the legacy layout, deleted with the store file.
+const LEGACY_LOCK_FILE: &str = "results.lock";
+
+fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.jsonl"))
+}
+
+fn shard_quarantine_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.quarantine.jsonl"))
+}
+
+fn shard_lock_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.lock"))
+}
 
 struct Fnv(u64);
 
@@ -118,6 +159,32 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !c
 }
 
+/// Pass-through hasher for the in-memory index. Store keys are already
+/// FNV-1a 64 outputs — uniformly distributed by construction — so
+/// rehashing them on every probe buys nothing.
+#[derive(Debug, Default, Clone, Copy)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Correctness fallback only; `HashMap<u64, _>` uses `write_u64`.
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// The in-memory index: content key → newest decoded report.
+type KeyIndex = HashMap<u64, SimReport, std::hash::BuildHasherDefault<KeyHasher>>;
+
 /// Cumulative counters for one store handle's lifetime.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct StoreStats {
@@ -129,20 +196,25 @@ pub struct StoreStats {
     pub misses: u64,
     /// Reports written this session.
     pub puts: u64,
-    /// Corrupt lines moved to the quarantine file when this handle
+    /// Corrupt lines moved to quarantine files when this handle
     /// opened the store.
     pub quarantined: u64,
 }
 
-/// A memoizing report store backed by one JSON-lines file.
-pub struct ResultStore {
-    path: PathBuf,
+/// One open shard: the append handle plus its advisory lock token.
+struct Shard {
     file: File,
-    map: HashMap<u64, SimReport>,
+    lock: File,
+    lock_path: PathBuf,
+}
+
+/// A memoizing report store backed by hash-partitioned JSON-lines
+/// shard files with an in-memory key index.
+pub struct ResultStore {
+    dir: PathBuf,
+    shards: Vec<Shard>,
+    map: KeyIndex,
     stats: StoreStats,
-    /// Held for the handle's lifetime; the OS drops the lock with it.
-    /// `None` when another process holds it (advisory — we proceed).
-    _lock: Option<File>,
 }
 
 impl ResultStore {
@@ -152,10 +224,11 @@ impl ResultStore {
         PathBuf::from("target").join("ctcp-results")
     }
 
-    /// Opens (creating if needed) the store in `dir`, loads every
-    /// decodable line into memory, and self-heals: corrupt lines are
-    /// appended to `results.quarantine.jsonl` and the main file is
-    /// atomically rewritten without them.
+    /// Opens (creating if needed) the store in `dir`, migrates any
+    /// legacy single-file store into the sharded layout, loads every
+    /// decodable line into the in-memory index, and self-heals:
+    /// corrupt lines are appended to that shard's quarantine file and
+    /// the shard is atomically rewritten without them.
     ///
     /// # Errors
     ///
@@ -164,59 +237,57 @@ impl ResultStore {
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ResultStore> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        let lock = acquire_lock(dir);
-        let path = dir.join(STORE_FILE);
-        let mut map = HashMap::new();
-        let mut clean: Vec<String> = Vec::new();
-        let mut corrupt: Vec<String> = Vec::new();
-        if let Ok(existing) = File::open(&path) {
-            for line in BufReader::new(existing).lines() {
-                let line = line?;
-                match classify_line(&line) {
-                    Line::Valid { key, report } => {
-                        map.insert(key, *report);
-                        clean.push(line);
-                    }
-                    Line::Stale => clean.push(line),
-                    Line::Blank => {}
-                    Line::Corrupt => corrupt.push(line),
-                }
+        let mut quarantined = migrate_legacy(dir)?;
+        let mut map = KeyIndex::default();
+        let mut shards = Vec::with_capacity(STORE_SHARDS);
+        for i in 0..STORE_SHARDS {
+            let path = shard_path(dir, i);
+            let lock_path = shard_lock_path(dir, i);
+            let lock = open_lock(&lock_path)?;
+            // First pass, lock-free: the common case is a clean shard,
+            // and a clean open must never block behind maintenance or
+            // another handle's append on this shard.
+            if !scan_shard(&path, &mut map)?.1.is_empty() {
+                // Damage found. Re-scan *under the shard lock* so the
+                // heal rewrite cannot race a concurrent append (a line
+                // landing between a lock-free scan and the rewrite
+                // would otherwise be silently dropped).
+                lock.lock()?;
+                let healed = (|| {
+                    let (clean, corrupt) = scan_shard(&path, &mut map)?;
+                    quarantined += corrupt.len() as u64;
+                    append_lines(&shard_quarantine_path(dir, i), &corrupt)?;
+                    atomic_rewrite(&path, &clean)
+                })();
+                let _ = lock.unlock();
+                healed?;
             }
+            let file = OpenOptions::new().create(true).append(true).open(&path)?;
+            shards.push(Shard {
+                file,
+                lock,
+                lock_path,
+            });
         }
-        let quarantined = corrupt.len() as u64;
-        if !corrupt.is_empty() {
-            let mut q = OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(dir.join(QUARANTINE_FILE))?;
-            for line in &corrupt {
-                q.write_all(line.as_bytes())?;
-                q.write_all(b"\n")?;
-            }
-            q.flush()?;
-            atomic_rewrite(&path, &clean)?;
-        }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let entries = map.len();
         Ok(ResultStore {
-            path,
-            file,
+            dir: dir.to_path_buf(),
+            shards,
             map,
             stats: StoreStats {
                 entries,
                 quarantined,
                 ..StoreStats::default()
             },
-            _lock: lock,
         })
     }
 
-    /// The backing file.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// The store directory this handle is backed by.
+    pub fn dir(&self) -> &Path {
+        &self.dir
     }
 
-    /// Looks up `key`, counting the outcome.
+    /// Looks up `key` in the in-memory index, counting the outcome.
     pub fn get(&mut self, key: u64) -> Option<SimReport> {
         match self.map.get(&key) {
             Some(r) => {
@@ -230,8 +301,10 @@ impl ResultStore {
         }
     }
 
-    /// Records `report` under `key`, appending one line and flushing so
-    /// a killed run loses at most the in-flight report.
+    /// Records `report` under `key`: one line appended to the key's
+    /// shard in a single write under that shard's advisory lock, then
+    /// flushed, so a killed run loses at most the in-flight report and
+    /// concurrent writers never interleave bytes within a line.
     ///
     /// # Errors
     ///
@@ -241,17 +314,23 @@ impl ResultStore {
         self.stats.puts += 1;
         self.map.insert(key, report.clone());
         self.stats.entries = self.map.len();
-        let line = encode_line(key, workload, report);
+        let mut line = encode_line(key, workload, report);
+        line.push('\n');
+        let shard = shard_of(key);
+        let Shard { file, lock, .. } = &mut self.shards[shard];
         // Fault injection: the `store-truncate` fail point models a
-        // crash mid-append — half the bytes land, no newline. The next
-        // open must quarantine the torn line, not choke on it.
-        if failpoint::is_active("store-truncate") {
-            self.file.write_all(&line.as_bytes()[..line.len() / 2])?;
-            return self.file.flush();
+        // crash mid-append — half the bytes land, no newline. An
+        // argument restricts the tear to that one shard index, so a
+        // test can wound a single shard while the others stay clean.
+        // The next open must quarantine the torn line, not choke on it.
+        if truncate_armed_for(shard) {
+            file.write_all(&line.as_bytes()[..line.len() / 2])?;
+            return file.flush();
         }
-        self.file.write_all(line.as_bytes())?;
-        self.file.write_all(b"\n")?;
-        self.file.flush()
+        lock.lock()?;
+        let appended = file.write_all(line.as_bytes()).and_then(|()| file.flush());
+        let _ = lock.unlock();
+        appended
     }
 
     /// Counters for this handle.
@@ -260,28 +339,125 @@ impl ResultStore {
     }
 }
 
-/// Takes (or reports on) the advisory lock for `dir`. Conflicts warn
-/// on stderr and proceed: the lock exists to flag accidental
-/// concurrent sweeps sharing a store, not to serialise them — appends
-/// are line-atomic in practice and open-time healing recovers the rest.
-fn acquire_lock(dir: &Path) -> Option<File> {
-    let lf = OpenOptions::new()
+impl Drop for ResultStore {
+    /// Best-effort lock-file cleanup. A shard lock file is a pure
+    /// token, so the last handle out removes it; `try_lock` skips the
+    /// window where another handle is mid-append (that handle's own
+    /// drop will collect the file instead).
+    fn drop(&mut self) {
+        for s in &self.shards {
+            if s.lock.try_lock().is_ok() {
+                let _ = std::fs::remove_file(&s.lock_path);
+                let _ = s.lock.unlock();
+            }
+        }
+    }
+}
+
+/// True when the `store-truncate` fail point should tear writes to
+/// `shard`: armed bare it tears every shard, armed with a numeric
+/// argument it tears only that shard index.
+fn truncate_armed_for(shard: usize) -> bool {
+    match failpoint::arg("store-truncate") {
+        None => false,
+        Some(a) if a.is_empty() => true,
+        Some(a) => a.parse::<usize>().ok() == Some(shard),
+    }
+}
+
+/// Reads one shard file, folding valid reports into `map` (newest line
+/// wins) and returning its `(clean, corrupt)` lines. A missing shard
+/// scans as empty.
+fn scan_shard(path: &Path, map: &mut KeyIndex) -> std::io::Result<(Vec<String>, Vec<String>)> {
+    let mut clean: Vec<String> = Vec::new();
+    let mut corrupt: Vec<String> = Vec::new();
+    if let Ok(existing) = File::open(path) {
+        for line in BufReader::new(existing).lines() {
+            let line = line?;
+            match classify_line(&line) {
+                Line::Valid { key, report } => {
+                    map.insert(key, *report);
+                    clean.push(line);
+                }
+                Line::Stale => clean.push(line),
+                Line::Blank => {}
+                Line::Corrupt => corrupt.push(line),
+            }
+        }
+    }
+    Ok((clean, corrupt))
+}
+
+/// Opens (creating if needed) a lock-token file without truncating it.
+fn open_lock(path: &Path) -> std::io::Result<File> {
+    OpenOptions::new()
         .create(true)
         .write(true)
         .truncate(false) // the file is a pure lock token; never clobber it
-        .open(dir.join(LOCK_FILE))
-        .ok()?;
-    match lf.try_lock() {
-        Ok(()) => Some(lf),
-        Err(_) => {
-            eprintln!(
-                "warning: result store {} appears to be in use by another process; \
-                 proceeding (the lock is advisory)",
-                dir.display()
-            );
-            None
+        .open(path)
+}
+
+/// Appends `lines` to `path` in one write.
+fn append_lines(path: &Path, lines: &[String]) -> std::io::Result<()> {
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    let mut buf = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for line in lines {
+        buf.push_str(line);
+        buf.push('\n');
+    }
+    f.write_all(buf.as_bytes())?;
+    f.flush()
+}
+
+/// Routes a legacy single-file `results.jsonl` into the sharded
+/// layout: valid lines go to the shard their key names, stale lines
+/// follow their declared key (preserved in place, as before),
+/// undecodable lines are quarantined to `results.quarantine.jsonl`.
+/// The legacy store file and its whole-store lock are then deleted.
+/// Returns the number of lines quarantined; a directory with no legacy
+/// file is a no-op.
+fn migrate_legacy(dir: &Path) -> std::io::Result<u64> {
+    let legacy = dir.join(LEGACY_STORE_FILE);
+    let Ok(existing) = File::open(&legacy) else {
+        return Ok(0);
+    };
+    let mut buckets: Vec<Vec<String>> = (0..STORE_SHARDS).map(|_| Vec::new()).collect();
+    let mut corrupt: Vec<String> = Vec::new();
+    for line in BufReader::new(existing).lines() {
+        let line = line?;
+        match classify_line(&line) {
+            Line::Valid { key, .. } => buckets[shard_of(key)].push(line),
+            Line::Stale => match declared_key(&line) {
+                Some(key) => buckets[shard_of(key)].push(line),
+                None => corrupt.push(line),
+            },
+            Line::Blank => {}
+            Line::Corrupt => corrupt.push(line),
         }
     }
+    let quarantined = corrupt.len() as u64;
+    if !corrupt.is_empty() {
+        append_lines(&dir.join(LEGACY_QUARANTINE_FILE), &corrupt)?;
+    }
+    for (i, lines) in buckets.iter().enumerate() {
+        if !lines.is_empty() {
+            append_lines(&shard_path(dir, i), lines)?;
+        }
+    }
+    std::fs::remove_file(&legacy)?;
+    let _ = std::fs::remove_file(dir.join(LEGACY_LOCK_FILE));
+    Ok(quarantined)
+}
+
+/// The key a well-formed envelope *claims*, without validating it —
+/// how stale (old-version) lines are routed to a shard.
+fn declared_key(line: &str) -> Option<u64> {
+    let v = Value::parse(line).ok()?;
+    let hex = v.get("key")?.as_str()?;
+    if hex.is_empty() || hex.len() > 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
 }
 
 /// Atomically replaces `path` with `lines` via a temp file + rename,
@@ -402,34 +578,40 @@ pub struct VerifyReport {
     pub entries: usize,
 }
 
-/// Read-only integrity scan of the store in `dir`. Touches nothing:
-/// no quarantine, no healing — safe to run concurrently with a sweep.
+/// Read-only integrity scan of the store in `dir`: every shard file,
+/// plus any unmigrated legacy `results.jsonl` in place. Touches
+/// nothing — no quarantine, no healing, no migration, no locks — so it
+/// is safe to run concurrently with a sweep.
 ///
 /// # Errors
 ///
-/// Propagates real I/O errors; a missing store file verifies as empty.
+/// Propagates real I/O errors; a missing store verifies as empty.
 pub fn verify(dir: impl AsRef<Path>) -> std::io::Result<VerifyReport> {
-    let path = dir.as_ref().join(STORE_FILE);
+    let dir = dir.as_ref();
     let mut rep = VerifyReport::default();
-    let Ok(existing) = File::open(&path) else {
-        return Ok(rep);
-    };
     let mut keys = std::collections::HashSet::new();
-    for line in BufReader::new(existing).lines() {
-        match classify_line(&line?) {
-            Line::Valid { key, .. } => {
-                rep.lines += 1;
-                rep.valid += 1;
-                keys.insert(key);
-            }
-            Line::Stale => {
-                rep.lines += 1;
-                rep.stale += 1;
-            }
-            Line::Blank => {}
-            Line::Corrupt => {
-                rep.lines += 1;
-                rep.corrupt += 1;
+    let mut paths = vec![dir.join(LEGACY_STORE_FILE)];
+    paths.extend((0..STORE_SHARDS).map(|i| shard_path(dir, i)));
+    for path in paths {
+        let Ok(existing) = File::open(&path) else {
+            continue;
+        };
+        for line in BufReader::new(existing).lines() {
+            match classify_line(&line?) {
+                Line::Valid { key, .. } => {
+                    rep.lines += 1;
+                    rep.valid += 1;
+                    keys.insert(key);
+                }
+                Line::Stale => {
+                    rep.lines += 1;
+                    rep.stale += 1;
+                }
+                Line::Blank => {}
+                Line::Corrupt => {
+                    rep.lines += 1;
+                    rep.corrupt += 1;
+                }
             }
         }
     }
@@ -446,48 +628,78 @@ pub struct CompactReport {
     pub superseded: usize,
     /// Old-format lines dropped (their keys can never hit again).
     pub stale: usize,
-    /// Corrupt lines moved to the quarantine file.
+    /// Corrupt lines moved to quarantine files.
     pub quarantined: usize,
 }
 
 /// Rewrites the store in `dir` down to one line per key — the newest —
-/// dropping stale-version lines and quarantining corrupt ones. The
-/// rewrite is atomic (temp file + rename); surviving lines keep their
-/// original bytes and relative order.
+/// dropping stale-version lines and quarantining corrupt ones. A
+/// legacy single-file store is migrated into the sharded layout first,
+/// then each shard is processed independently under its own advisory
+/// lock, so a concurrent reader or writer on another shard is never
+/// blocked. Each rewrite is atomic (temp file + rename); surviving
+/// lines keep their original bytes and relative order.
 ///
 /// # Errors
 ///
-/// Propagates real I/O errors; a missing store file compacts to empty.
+/// Propagates real I/O errors; a missing store compacts to empty.
 pub fn compact(dir: impl AsRef<Path>) -> std::io::Result<CompactReport> {
     let dir = dir.as_ref();
-    let path = dir.join(STORE_FILE);
     let mut rep = CompactReport::default();
-    let Ok(existing) = File::open(&path) else {
-        return Ok(rep);
+    rep.quarantined += migrate_legacy(dir)? as usize;
+    for i in 0..STORE_SHARDS {
+        compact_shard(dir, i, &mut rep)?;
+    }
+    Ok(rep)
+}
+
+/// Compacts one shard under its own lock (held across the read and the
+/// rewrite, so a concurrent append cannot fall between them). The lock
+/// file is removed afterwards if no other handle holds it.
+fn compact_shard(dir: &Path, shard: usize, rep: &mut CompactReport) -> std::io::Result<()> {
+    let path = shard_path(dir, shard);
+    if !path.exists() {
+        return Ok(());
+    }
+    let lock_path = shard_lock_path(dir, shard);
+    let lock = open_lock(&lock_path)?;
+    lock.lock()?;
+    let compacted = compact_shard_locked(dir, shard, &path, rep);
+    let _ = lock.unlock();
+    // Token cleanup, same protocol as `ResultStore::drop`.
+    if lock.try_lock().is_ok() {
+        let _ = std::fs::remove_file(&lock_path);
+        let _ = lock.unlock();
+    }
+    compacted
+}
+
+fn compact_shard_locked(
+    dir: &Path,
+    shard: usize,
+    path: &Path,
+    rep: &mut CompactReport,
+) -> std::io::Result<()> {
+    let Ok(existing) = File::open(path) else {
+        return Ok(());
     };
     // (key, raw line) per valid line, in file order; last wins.
     let mut valid: Vec<(u64, String)> = Vec::new();
     let mut corrupt: Vec<String> = Vec::new();
+    let mut stale = 0usize;
     for line in BufReader::new(existing).lines() {
         let line = line?;
         match classify_line(&line) {
             Line::Valid { key, .. } => valid.push((key, line)),
-            Line::Stale => rep.stale += 1,
+            Line::Stale => stale += 1,
             Line::Blank => {}
             Line::Corrupt => corrupt.push(line),
         }
     }
-    rep.quarantined = corrupt.len();
+    rep.stale += stale;
+    rep.quarantined += corrupt.len();
     if !corrupt.is_empty() {
-        let mut q = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(dir.join(QUARANTINE_FILE))?;
-        for line in &corrupt {
-            q.write_all(line.as_bytes())?;
-            q.write_all(b"\n")?;
-        }
-        q.flush()?;
+        append_lines(&shard_quarantine_path(dir, shard), &corrupt)?;
     }
     // Keep only each key's final occurrence, preserving its position.
     let mut last: HashMap<u64, usize> = HashMap::new();
@@ -500,10 +712,9 @@ pub fn compact(dir: impl AsRef<Path>) -> std::io::Result<CompactReport> {
         .filter(|(i, (key, _))| last[key] == *i)
         .map(|(_, (_, line))| line.clone())
         .collect();
-    rep.kept = kept.len();
-    rep.superseded = valid.len() - kept.len();
-    atomic_rewrite(&path, &kept)?;
-    Ok(rep)
+    rep.kept += kept.len();
+    rep.superseded += valid.len() - kept.len();
+    atomic_rewrite(path, &kept)
 }
 
 /// What [`gc`] reclaimed.
@@ -515,9 +726,9 @@ pub struct GcReport {
     pub quarantine_bytes: u64,
 }
 
-/// Full garbage collection: [`compact`], then delete the quarantine
-/// file — use once quarantined lines have been inspected (or given up
-/// on).
+/// Full garbage collection: [`compact`], then delete every quarantine
+/// file (per-shard and legacy) — use once quarantined lines have been
+/// inspected (or given up on).
 ///
 /// # Errors
 ///
@@ -525,14 +736,15 @@ pub struct GcReport {
 pub fn gc(dir: impl AsRef<Path>) -> std::io::Result<GcReport> {
     let dir = dir.as_ref();
     let compact = compact(dir)?;
-    let qpath = dir.join(QUARANTINE_FILE);
-    let quarantine_bytes = match std::fs::metadata(&qpath) {
-        Ok(m) => {
+    let mut quarantine_bytes = 0u64;
+    let mut qpaths = vec![dir.join(LEGACY_QUARANTINE_FILE)];
+    qpaths.extend((0..STORE_SHARDS).map(|i| shard_quarantine_path(dir, i)));
+    for qpath in qpaths {
+        if let Ok(m) = std::fs::metadata(&qpath) {
             std::fs::remove_file(&qpath)?;
-            m.len()
+            quarantine_bytes += m.len();
         }
-        Err(_) => 0,
-    };
+    }
     Ok(GcReport {
         compact,
         quarantine_bytes,
@@ -544,12 +756,12 @@ mod tests {
     use super::*;
     use crate::testutil::{sample_report, temp_dir};
 
-    fn store_path(dir: &Path) -> PathBuf {
-        dir.join(STORE_FILE)
+    fn legacy_path(dir: &Path) -> PathBuf {
+        dir.join(LEGACY_STORE_FILE)
     }
 
-    fn quarantine_path(dir: &Path) -> PathBuf {
-        dir.join(QUARANTINE_FILE)
+    fn legacy_quarantine(dir: &Path) -> PathBuf {
+        dir.join(LEGACY_QUARANTINE_FILE)
     }
 
     /// A syntactically perfect envelope whose only defect is the one
@@ -581,6 +793,16 @@ mod tests {
         // The canonical IEEE check value: crc32(b"123456789).
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn shard_of_is_total_and_uses_the_high_half() {
+        for key in 0..256u64 {
+            assert!(shard_of(key) < STORE_SHARDS);
+        }
+        // Two keys differing only above bit 32 must be able to land in
+        // different shards — the fold makes the high half matter.
+        assert_ne!(shard_of(0), shard_of(1 << 32));
     }
 
     #[test]
@@ -617,6 +839,22 @@ mod tests {
     }
 
     #[test]
+    fn dropping_every_handle_removes_lock_tokens() {
+        let dir = temp_dir("store-lock-cleanup");
+        {
+            let mut s = ResultStore::open(&dir).unwrap();
+            s.put(7, "unit", &sample_report()).unwrap();
+        }
+        for i in 0..STORE_SHARDS {
+            assert!(
+                !shard_lock_path(&dir, i).exists(),
+                "lock token {i} must be cleaned up on drop"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn truncated_final_line_is_quarantined_and_healed() {
         let dir = temp_dir("store-truncated");
         let key = job_key("unit", &SimConfig::default());
@@ -624,14 +862,16 @@ mod tests {
             let mut s = ResultStore::open(&dir).unwrap();
             s.put(key, "unit", &sample_report()).unwrap();
         }
-        // Crash mid-append: the last line stops half way, no newline.
+        // Crash mid-append: the last line of key 99's shard stops half
+        // way, no newline.
         let torn = {
             let full = encode_line(99, "unit", &sample_report());
             full[..full.len() / 2].to_string()
         };
-        let mut text = std::fs::read_to_string(store_path(&dir)).unwrap();
+        let shard = shard_path(&dir, shard_of(99));
+        let mut text = std::fs::read_to_string(&shard).unwrap_or_default();
         text.push_str(&torn);
-        std::fs::write(store_path(&dir), &text).unwrap();
+        std::fs::write(&shard, &text).unwrap();
 
         let mut s = ResultStore::open(&dir).unwrap();
         assert_eq!(s.stats().entries, 1, "good line survives");
@@ -639,8 +879,9 @@ mod tests {
         assert!(s.get(key).is_some());
         assert!(s.get(99).is_none(), "torn line must miss");
         drop(s);
-        // Healing: the torn line moved to quarantine, main file clean.
-        let q = std::fs::read_to_string(quarantine_path(&dir)).unwrap();
+        // Healing: the torn line moved to its shard's quarantine, and
+        // the shard itself is clean again.
+        let q = std::fs::read_to_string(shard_quarantine_path(&dir, shard_of(99))).unwrap();
         assert_eq!(q, format!("{torn}\n"));
         let healed = verify(&dir).unwrap();
         assert_eq!((healed.valid, healed.corrupt), (1, 0));
@@ -663,13 +904,54 @@ mod tests {
     }
 
     #[test]
+    fn legacy_single_file_store_migrates_into_shards() {
+        let dir = temp_dir("store-migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A legacy directory: valid v3 lines in one results.jsonl plus
+        // the old whole-store lock token.
+        let keys = [1u64, 2, 1 << 32, 0xdead_beef_cafe];
+        let mut text = String::new();
+        for &k in &keys {
+            text.push_str(&encode_line(k, "unit", &sample_report()));
+            text.push('\n');
+        }
+        std::fs::write(legacy_path(&dir), &text).unwrap();
+        std::fs::write(dir.join(LEGACY_LOCK_FILE), "").unwrap();
+
+        let mut s = ResultStore::open(&dir).unwrap();
+        assert_eq!(s.stats().entries, keys.len());
+        assert_eq!(s.stats().quarantined, 0);
+        for &k in &keys {
+            assert!(s.get(k).is_some(), "key {k:#x} must survive migration");
+        }
+        drop(s);
+        assert!(!legacy_path(&dir).exists(), "legacy store file removed");
+        assert!(
+            !dir.join(LEGACY_LOCK_FILE).exists(),
+            "legacy lock removed with it"
+        );
+        for &k in &keys {
+            let text = std::fs::read_to_string(shard_path(&dir, shard_of(k))).unwrap();
+            assert!(
+                text.contains(&format!("{k:016x}")),
+                "key {k:#x} routed to its shard"
+            );
+        }
+        // Migration is idempotent: a second open sees a sharded store.
+        let s = ResultStore::open(&dir).unwrap();
+        assert_eq!(s.stats().entries, keys.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn mixed_version_lines_miss_without_quarantine() {
         let dir = temp_dir("store-mixed");
         let key = job_key("unit", &SimConfig::default());
-        // A v1-era line (no CRC): well-formed, just old.
+        // A v1-era line (no CRC) in a legacy store: well-formed, just
+        // old. Migration routes it by its declared key.
         let old = "{\"v\":1,\"key\":\"000000000000002a\",\"workload\":\"unit\",\"report\":{}}";
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(store_path(&dir), format!("{old}\n")).unwrap();
+        std::fs::write(legacy_path(&dir), format!("{old}\n")).unwrap();
         {
             let mut s = ResultStore::open(&dir).unwrap();
             assert_eq!(s.stats().entries, 0, "stale line must miss");
@@ -677,8 +959,9 @@ mod tests {
             assert!(s.get(0x2a).is_none());
             s.put(key, "unit", &sample_report()).unwrap();
         }
-        // The stale line is preserved in place alongside the new one.
-        let text = std::fs::read_to_string(store_path(&dir)).unwrap();
+        // The stale line is preserved — now in the shard its declared
+        // key (0x2a) routes to.
+        let text = std::fs::read_to_string(shard_path(&dir, shard_of(0x2a))).unwrap();
         assert!(text.starts_with(old));
         let rep = verify(&dir).unwrap();
         assert_eq!((rep.valid, rep.stale, rep.corrupt), (1, 1, 0));
@@ -724,11 +1007,13 @@ mod tests {
             r.cycles = 777;
             s.put(1, "unit", &r).unwrap();
         }
-        // Add one stale and one corrupt line for compact to dispose of.
-        let mut text = std::fs::read_to_string(store_path(&dir)).unwrap();
+        // Add one stale and one corrupt line (to key 1's shard) for
+        // compact to dispose of.
+        let shard = shard_path(&dir, shard_of(1));
+        let mut text = std::fs::read_to_string(&shard).unwrap();
         text.push_str("{\"v\":1,\"key\":\"0000000000000001\",\"workload\":\"u\",\"report\":{}}\n");
         text.push_str("{\"v\":2,\"key\":\"00\n");
-        std::fs::write(store_path(&dir), &text).unwrap();
+        std::fs::write(&shard, &text).unwrap();
 
         let rep = compact(&dir).unwrap();
         assert_eq!(rep.kept, 2);
@@ -751,18 +1036,41 @@ mod tests {
                 ..CompactReport::default()
             }
         );
+        // compact's transient shard locks are cleaned up behind it.
+        for i in 0..STORE_SHARDS {
+            assert!(!shard_lock_path(&dir, i).exists());
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn gc_removes_the_quarantine_file() {
+    fn compact_migrates_a_legacy_store_first() {
+        let dir = temp_dir("store-compact-legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut text = encode_line(5, "unit", &sample_report());
+        text.push('\n');
+        text.push_str(&encode_line(5, "unit", &sample_report()));
+        text.push('\n');
+        std::fs::write(legacy_path(&dir), &text).unwrap();
+        let rep = compact(&dir).unwrap();
+        assert_eq!((rep.kept, rep.superseded), (1, 1));
+        assert!(!legacy_path(&dir).exists());
+        assert_eq!(verify(&dir).unwrap().entries, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_removes_the_quarantine_files() {
         let dir = temp_dir("store-gc");
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(store_path(&dir), "{\"v\":2,\"key\":\"00\n").unwrap();
+        std::fs::write(legacy_path(&dir), "{\"v\":2,\"key\":\"00\n").unwrap();
         let rep = gc(&dir).unwrap();
         assert_eq!(rep.compact.quarantined, 1);
         assert!(rep.quarantine_bytes > 0);
-        assert!(!quarantine_path(&dir).exists());
+        assert!(!legacy_quarantine(&dir).exists());
+        for i in 0..STORE_SHARDS {
+            assert!(!shard_quarantine_path(&dir, i).exists());
+        }
         assert_eq!(verify(&dir).unwrap(), VerifyReport::default());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -772,11 +1080,12 @@ mod tests {
         let dir = temp_dir("store-verify-ro");
         std::fs::create_dir_all(&dir).unwrap();
         let text = "{\"v\":2,\"key\":\"00\n";
-        std::fs::write(store_path(&dir), text).unwrap();
+        std::fs::write(legacy_path(&dir), text).unwrap();
         let rep = verify(&dir).unwrap();
         assert_eq!((rep.lines, rep.corrupt), (1, 1));
-        assert_eq!(std::fs::read_to_string(store_path(&dir)).unwrap(), text);
-        assert!(!quarantine_path(&dir).exists());
+        // No migration, no quarantine, no healing: bytes untouched.
+        assert_eq!(std::fs::read_to_string(legacy_path(&dir)).unwrap(), text);
+        assert!(!legacy_quarantine(&dir).exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,30 @@
+//! # ctcp-serve — the resident sweep service
+//!
+//! A one-shot `ctcp sweep` pays full process startup for every grid
+//! and holds its warm memoized cache for exactly one invocation. This
+//! crate turns the harness into a *service*: a long-running daemon
+//! (`ctcp serve --addr 127.0.0.1:PORT`) that accepts sweep and analyze
+//! requests over a hand-rolled, offline-safe HTTP/1.1 + JSON protocol,
+//! runs them through one persistent execution backend, streams
+//! per-cell progress back as chunked NDJSON, and lets every connected
+//! client share the same warm in-memory result cache backed by the
+//! sharded result store in `ctcp-harness`.
+//!
+//! The crate deliberately depends on nothing but `std::net` and
+//! `ctcp-telemetry` (for the JSON value and the service counters). The
+//! simulator side plugs in through the [`Handler`] trait — the CLI
+//! implements it around a persistent `Harness`, and tests implement it
+//! with mocks — so the wire layer, queueing, counters and drain logic
+//! are all testable without running a single simulation.
+//!
+//! See [`http`] for the wire protocol and [`service`] for routing,
+//! queue semantics and the graceful-drain contract; DESIGN.md §7f in
+//! the repository root documents both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod service;
+
+pub use service::{Handler, RequestKind, RunResult, Service, ServiceSummary};

@@ -1,0 +1,418 @@
+//! The resident sweep service: accept loop, request routing, queueing,
+//! counters, and graceful drain.
+//!
+//! The service itself knows nothing about simulators. It owns a
+//! [`Handler`] — the CLI plugs in one wrapping a persistent
+//! `ctcp-harness` `Harness` with its warm result store — and routes
+//! HTTP requests at it:
+//!
+//! | request           | behaviour                                          |
+//! |-------------------|----------------------------------------------------|
+//! | `POST /sweep`     | runs a sweep, streaming NDJSON progress chunks     |
+//! | `POST /analyze`   | same, for an attribution analysis                  |
+//! | `GET /status`     | queue depth, busy flag, service counters           |
+//! | `POST /shutdown`  | begins a graceful drain                            |
+//!
+//! Batches serialise on the handler: one runs at a time, later
+//! requests queue on the handler mutex (counted in `serve_queued`,
+//! visible live as `queue_depth`). `/status` never queues — it probes
+//! the mutex and reports `busy` instead of waiting. Shutdown is a
+//! *drain*: the accept loop stops taking work, every in-flight
+//! connection thread is joined, and because the handler memoizes each
+//! cell as it finishes, nothing already computed is lost even if a
+//! client vanished mid-batch.
+
+use crate::http;
+use ctcp_telemetry::json::Value;
+use ctcp_telemetry::{Counter, Metrics};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+
+/// What kind of batch a request asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A strategy × benchmark sweep (`POST /sweep`).
+    Sweep,
+    /// A per-strategy attribution analysis (`POST /analyze`).
+    Analyze,
+}
+
+/// What one handled batch produced.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The rendered output, byte-identical to the one-shot CLI's.
+    pub output: String,
+    /// The exit code the one-shot CLI would have returned.
+    pub exit_code: i32,
+    /// Cells answered from the warm shared cache.
+    pub cache_hits: u64,
+    /// Cells actually simulated.
+    pub simulated: u64,
+}
+
+/// The execution backend behind the service — implemented by the CLI
+/// around a persistent harness, mocked in tests.
+pub trait Handler: Send {
+    /// Runs the batch described by `body` (a parsed JSON object),
+    /// emitting progress events through `progress` as cells finish.
+    /// A malformed body should come back as a `RunResult` with a
+    /// non-zero `exit_code` and the parse error as `output`.
+    fn run(
+        &mut self,
+        kind: RequestKind,
+        body: &Value,
+        progress: &mut dyn FnMut(&Value),
+    ) -> RunResult;
+}
+
+/// Counter totals for one service lifetime, reported when the drain
+/// completes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceSummary {
+    /// Requests accepted (all routes).
+    pub requests: u64,
+    /// Batch requests that had to queue behind a running batch.
+    pub queued: u64,
+    /// Sweep cells answered from the warm shared cache.
+    pub cache_hits: u64,
+}
+
+struct Inner {
+    handler: Mutex<Box<dyn Handler>>,
+    metrics: Mutex<Metrics>,
+    /// Batch requests currently waiting on the handler mutex.
+    queue_depth: AtomicUsize,
+    /// Set by `/shutdown`; the accept loop stops taking connections.
+    draining: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// Mutex access that survives a poisoned lock: a panicking batch must
+/// not wedge the whole daemon.
+fn relock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A bound, not-yet-running sweep service.
+pub struct Service {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Service {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// wires `handler` behind it. The listener is live — connections
+    /// queue in the OS backlog — but nothing is served until
+    /// [`run`](Service::run).
+    ///
+    /// # Errors
+    ///
+    /// Bind failures (address in use, permission).
+    pub fn bind(addr: &str, handler: Box<dyn Handler>) -> io::Result<Service> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Service {
+            listener,
+            inner: Arc::new(Inner {
+                handler: Mutex::new(handler),
+                metrics: Mutex::new(Metrics::new()),
+                queue_depth: AtomicUsize::new(0),
+                draining: AtomicBool::new(false),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address — the actual port when bound to port 0.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Serves until a `/shutdown` request, then drains: the accept
+    /// loop stops, every in-flight connection thread is joined (their
+    /// batches run to completion), and the counter totals are
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop failures only; per-connection errors (a peer
+    /// hanging up mid-stream) are contained in that connection's
+    /// thread.
+    pub fn run(self) -> io::Result<ServiceSummary> {
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if self.inner.draining.load(Ordering::Acquire) {
+                break;
+            }
+            let inner = Arc::clone(&self.inner);
+            workers.push(std::thread::spawn(move || {
+                let _ = handle_connection(stream, &inner);
+            }));
+            // Reap finished threads so a long-lived daemon does not
+            // accumulate one handle per connection ever served.
+            let (done, running) = workers.into_iter().partition(|w| w.is_finished());
+            workers = running;
+            for w in done {
+                let _ = w.join();
+            }
+        }
+        // Graceful drain: in-flight batches finish (and memoize) even
+        // though no new connections are accepted.
+        for w in workers {
+            let _ = w.join();
+        }
+        let m = relock(&self.inner.metrics);
+        Ok(ServiceSummary {
+            requests: m.get(Counter::ServeRequests),
+            queued: m.get(Counter::ServeQueued),
+            cache_hits: m.get(Counter::ServeCacheHits),
+        })
+    }
+}
+
+fn handle_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let req = match http::read_request(&mut reader) {
+        Ok(Some(req)) => req,
+        Ok(None) => return Ok(()), // connected and left
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return http::write_response(&mut out, 400, "text/plain", e.to_string().as_bytes());
+        }
+        Err(e) => return Err(e),
+    };
+    relock(&inner.metrics).add(Counter::ServeRequests, 1);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/sweep") => run_batch(RequestKind::Sweep, &req, &mut out, inner),
+        ("POST", "/analyze") => run_batch(RequestKind::Analyze, &req, &mut out, inner),
+        ("GET", "/status") => status(&mut out, inner),
+        ("POST", "/shutdown") => shutdown(&mut out, inner),
+        _ => http::write_response(&mut out, 404, "text/plain", b"unknown route"),
+    }
+}
+
+fn run_batch(
+    kind: RequestKind,
+    req: &http::Request,
+    out: &mut TcpStream,
+    inner: &Inner,
+) -> io::Result<()> {
+    let body = match req.body_str().map(Value::parse) {
+        Some(Ok(v)) => v,
+        _ => return http::write_response(out, 400, "text/plain", b"body is not valid JSON"),
+    };
+    // Batches serialise on the handler; a contended acquire is a queued
+    // request, visible live in /status while it waits.
+    let mut handler = match inner.handler.try_lock() {
+        Ok(guard) => guard,
+        Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            relock(&inner.metrics).add(Counter::ServeQueued, 1);
+            inner.queue_depth.fetch_add(1, Ordering::SeqCst);
+            let guard = relock(&inner.handler);
+            inner.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            guard
+        }
+    };
+    let mut w = http::ChunkedWriter::start(&mut *out, 200, "application/x-ndjson")?;
+    // Progress write failures are deliberately swallowed: a client
+    // hanging up must not abort the batch — every finished cell is
+    // already memoized in the shared store, which is the drain
+    // guarantee `/shutdown` relies on.
+    let result = handler.run(kind, &body, &mut |event| {
+        let mut line = event.render();
+        line.push('\n');
+        let _ = w.chunk(line.as_bytes());
+    });
+    drop(handler);
+    relock(&inner.metrics).add(Counter::ServeCacheHits, result.cache_hits);
+    let mut line = Value::Obj(vec![
+        ("event".into(), Value::str("result")),
+        (
+            "exit_code".into(),
+            Value::u64(result.exit_code.unsigned_abs().into()),
+        ),
+        ("cache_hits".into(), Value::u64(result.cache_hits)),
+        ("simulated".into(), Value::u64(result.simulated)),
+        ("output".into(), Value::str(&result.output)),
+    ])
+    .render();
+    line.push('\n');
+    w.chunk(line.as_bytes())?;
+    w.finish()
+}
+
+fn status(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
+    // Probe, never wait: status must answer instantly even while a
+    // long batch holds the handler.
+    let busy = match inner.handler.try_lock() {
+        Ok(_) | Err(TryLockError::Poisoned(_)) => false,
+        Err(TryLockError::WouldBlock) => true,
+    };
+    let m = relock(&inner.metrics);
+    let body = Value::Obj(vec![
+        ("status".into(), Value::str("ok")),
+        ("busy".into(), Value::Bool(busy)),
+        (
+            "queue_depth".into(),
+            Value::u64(inner.queue_depth.load(Ordering::SeqCst) as u64),
+        ),
+        (
+            "counters".into(),
+            Value::Obj(
+                [
+                    Counter::ServeRequests,
+                    Counter::ServeQueued,
+                    Counter::ServeCacheHits,
+                ]
+                .iter()
+                .map(|&c| (c.name().to_string(), Value::u64(m.get(c))))
+                .collect(),
+            ),
+        ),
+    ])
+    .render();
+    drop(m);
+    http::write_response(out, 200, "application/json", body.as_bytes())
+}
+
+fn shutdown(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
+    http::write_response(out, 200, "application/json", b"{\"draining\":true}")?;
+    inner.draining.store(true, Ordering::Release);
+    // The accept loop is blocked in accept(); poke it awake so it can
+    // observe the flag and begin the drain.
+    let _ = TcpStream::connect(inner.addr);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A handler that "runs" a two-cell batch instantly, echoing the
+    /// request back and reporting one cache hit per prior run of the
+    /// same body — enough to exercise streaming, queueing and drain.
+    struct MockHandler {
+        seen: Vec<String>,
+    }
+
+    impl Handler for MockHandler {
+        fn run(
+            &mut self,
+            kind: RequestKind,
+            body: &Value,
+            progress: &mut dyn FnMut(&Value),
+        ) -> RunResult {
+            let rendered = body.render();
+            let hits = self.seen.iter().filter(|b| **b == rendered).count() as u64;
+            self.seen.push(rendered.clone());
+            for done in 1..=2u64 {
+                progress(&Value::Obj(vec![
+                    ("event".into(), Value::str("progress")),
+                    ("done".into(), Value::u64(done)),
+                    ("total".into(), Value::u64(2)),
+                ]));
+            }
+            RunResult {
+                output: format!("{kind:?}: {rendered}"),
+                exit_code: 0,
+                cache_hits: hits * 2,
+                simulated: 2 - hits.min(2),
+            }
+        }
+    }
+
+    fn start_service() -> (String, std::thread::JoinHandle<ServiceSummary>) {
+        let svc = Service::bind("127.0.0.1:0", Box::new(MockHandler { seen: Vec::new() }))
+            .expect("bind ephemeral port");
+        let addr = svc.local_addr().to_string();
+        let worker = std::thread::spawn(move || svc.run().expect("service run"));
+        (addr, worker)
+    }
+
+    fn parse_events(body: &[u8]) -> Vec<Value> {
+        std::str::from_utf8(body)
+            .unwrap()
+            .lines()
+            .map(|l| Value::parse(l).expect("each line is JSON"))
+            .collect()
+    }
+
+    #[test]
+    fn sweep_streams_progress_then_result() {
+        let (addr, worker) = start_service();
+        let mut chunks = 0usize;
+        let resp = http::request(&addr, "POST", "/sweep", b"{\"grid\":1}", &mut |_| {
+            chunks += 1
+        })
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(chunks >= 3, "2 progress + 1 result, each its own chunk");
+        let events = parse_events(&resp.body);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].get("event").unwrap().as_str(), Some("progress"));
+        let result = &events[2];
+        assert_eq!(result.get("event").unwrap().as_str(), Some("result"));
+        assert_eq!(result.get("exit_code").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            result.get("output").unwrap().as_str(),
+            Some("Sweep: {\"grid\":1}")
+        );
+
+        // Same body again: the handler reports its cells as cache hits
+        // and the service accounts them.
+        let resp = http::request(&addr, "POST", "/sweep", b"{\"grid\":1}", &mut |_| {}).unwrap();
+        let events = parse_events(&resp.body);
+        assert_eq!(events[2].get("cache_hits").unwrap().as_u64(), Some(2));
+
+        let resp = http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 200);
+        let summary = worker.join().unwrap();
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.cache_hits, 2);
+    }
+
+    #[test]
+    fn status_reports_counters_and_unknown_routes_404() {
+        let (addr, worker) = start_service();
+        let resp = http::request(&addr, "POST", "/analyze", b"{}", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 200);
+        let resp = http::request(&addr, "GET", "/status", b"", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 200);
+        let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("busy"), Some(&Value::Bool(false)));
+        assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(0));
+        let counters = v.get("counters").unwrap();
+        assert_eq!(
+            counters.get("serve_requests").unwrap().as_u64(),
+            Some(2),
+            "the status request itself is counted"
+        );
+        let resp = http::request(&addr, "GET", "/nope", b"", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 404);
+        let resp = http::request(&addr, "POST", "/sweep", b"not json", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 400);
+        http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_and_stops_accepting() {
+        let (addr, worker) = start_service();
+        let resp = http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 200);
+        let summary = worker.join().unwrap();
+        assert_eq!(summary.requests, 1);
+        // The listener is gone: a fresh connection is refused (or at
+        // best connects to nothing and sees EOF/reset).
+        assert!(http::request(&addr, "GET", "/status", b"", &mut |_| {}).is_err());
+    }
+}

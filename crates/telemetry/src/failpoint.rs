@@ -24,7 +24,7 @@
 //! |------------------|------------------------------|--------------------------------|
 //! | `job-panic`      | `ctcp_harness::Job::simulate` | panics the worker running the matching `workload[:strategy]` cell (no arg = every cell) |
 //! | `stall-retire`   | `ctcp_sim` cycle loop        | drops all retirements, stalling the pipeline until the watchdog trips |
-//! | `store-truncate` | `ctcp_harness` result store  | writes only half of each appended envelope, simulating a crash mid-write |
+//! | `store-truncate` | `ctcp_harness` result store  | writes only half of each appended envelope, simulating a crash mid-write; a numeric arg (`store-truncate=3`) tears only that shard index |
 //!
 //! ## Test use
 //!

@@ -51,11 +51,17 @@ pub enum Counter {
     HarnessRetries,
     /// Result-store lines quarantined as corrupt at load time.
     StoreQuarantined,
+    /// Requests accepted by the sweep service (`ctcp serve`).
+    ServeRequests,
+    /// Service requests that had to queue behind a running batch.
+    ServeQueued,
+    /// Sweep cells the service answered from its warm shared cache.
+    ServeCacheHits,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 21] = [
         Counter::Cycles,
         Counter::Retired,
         Counter::FetchGroups,
@@ -74,6 +80,9 @@ impl Counter {
         Counter::HarnessJobFailures,
         Counter::HarnessRetries,
         Counter::StoreQuarantined,
+        Counter::ServeRequests,
+        Counter::ServeQueued,
+        Counter::ServeCacheHits,
     ];
 
     /// Number of distinct counters.
@@ -100,6 +109,9 @@ impl Counter {
             Counter::HarnessJobFailures => "harness_job_failures",
             Counter::HarnessRetries => "harness_retries",
             Counter::StoreQuarantined => "store_quarantined",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeQueued => "serve_queued",
+            Counter::ServeCacheHits => "serve_cache_hits",
         }
     }
 

@@ -16,6 +16,10 @@
 #   7. crash-injection smoke: a fail point panics one sweep cell; the
 #      batch must finish, render the survivors, exit non-zero, and
 #      leave a store that `ctcp store verify` passes clean
+#   8. serve smoke: a real daemon on an ephemeral port serves a client
+#      sweep byte-identical to the one-shot CLI, answers /status,
+#      drains on shutdown, and leaves a populated sharded store with
+#      no leftover socket or lock tokens
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -143,5 +147,48 @@ cat > BENCH_engine.json <<EOF
 EOF
 echo "engine perf gate: event ${engine_ms} ms, legacy ${legacy_ms} ms" \
      "(gate: ${limit_ms} ms)"
+
+echo "==> serve smoke (daemon round-trip, status, drain)"
+serve_store="$smoke_dir/serve-store"
+./target/release/ctcp serve --addr 127.0.0.1:0 --jobs 2 --dir "$serve_store" \
+    > "$smoke_dir/serve.out" 2>/dev/null &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 50); do
+    serve_addr=$(sed -n 's/.*listening on //p' "$smoke_dir/serve.out" | head -n1)
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "FAIL: daemon never printed its listening address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+./target/release/ctcp client sweep --addr "$serve_addr" \
+    --benches gzip --strategies fdrt --insts 20000 --csv \
+    > "$smoke_dir/serve-sweep.csv" 2>/dev/null
+./target/release/ctcp sweep --benches gzip --strategies fdrt --insts 20000 --csv \
+    > "$smoke_dir/oneshot-sweep.csv"
+cmp "$smoke_dir/serve-sweep.csv" "$smoke_dir/oneshot-sweep.csv"
+./target/release/ctcp client status --addr "$serve_addr" \
+    > "$smoke_dir/serve-status.json"
+grep -q '"serve_requests"' "$smoke_dir/serve-status.json"
+./target/release/ctcp client shutdown --addr "$serve_addr" >/dev/null
+if ! wait "$serve_pid"; then
+    echo "FAIL: daemon did not exit cleanly on shutdown" >&2
+    exit 1
+fi
+grep -q "drained after" "$smoke_dir/serve.out"
+# The drained store must hold the sweep's cells, sharded, with no
+# leftover lock tokens; the socket must be closed.
+cat "$serve_store"/shard-*.jsonl | grep -q .
+if ls "$serve_store"/*.lock >/dev/null 2>&1; then
+    echo "FAIL: orphaned lock tokens left in the serve store" >&2
+    exit 1
+fi
+if ./target/release/ctcp client status --addr "$serve_addr" >/dev/null 2>&1; then
+    echo "FAIL: daemon still listening after drain" >&2
+    exit 1
+fi
 
 echo "==> verify OK"

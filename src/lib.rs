@@ -23,6 +23,8 @@
 //! * [`sim`] — the whole-processor simulator and experiment API,
 //! * [`harness`] — the parallel sweep runner with its memoizing result
 //!   store,
+//! * [`serve`] — the resident sweep service (hand-rolled HTTP/1.1 over
+//!   `std::net`, streaming progress, shared warm cache),
 //! * [`telemetry`] — the zero-overhead-when-off pipeline observability
 //!   layer (metrics registry, event recorder, exporters).
 //!
@@ -56,6 +58,7 @@ pub use ctcp_frontend as frontend;
 pub use ctcp_harness as harness;
 pub use ctcp_isa as isa;
 pub use ctcp_memory as memory;
+pub use ctcp_serve as serve;
 pub use ctcp_sim as sim;
 pub use ctcp_telemetry as telemetry;
 pub use ctcp_tracecache as tracecache;
