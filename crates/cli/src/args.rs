@@ -2,6 +2,7 @@
 //! dependencies).
 
 use ctcp_core::Topology;
+use ctcp_harness::SweepSpec;
 use ctcp_sim::Strategy;
 use std::fmt;
 
@@ -21,8 +22,11 @@ pub struct RunArgs {
     pub source: ProgramSource,
     /// Strategy (only used by `run`).
     pub strategy: Strategy,
-    /// Instruction budget.
+    /// Timed instruction budget.
     pub insts: u64,
+    /// Instructions to fast-forward (functional warmup, no timing)
+    /// before the timed phase.
+    pub warmup: u64,
     /// Number of clusters.
     pub clusters: u8,
     /// Interconnect topology.
@@ -39,6 +43,7 @@ impl Default for RunArgs {
             source: ProgramSource::Bench("gzip".into()),
             strategy: Strategy::Baseline,
             insts: 100_000,
+            warmup: 0,
             clusters: 4,
             topology: Topology::Linear,
             hop_latency: 2,
@@ -78,20 +83,15 @@ impl Default for TraceArgs {
     }
 }
 
-/// Options for the `sweep` grid runner.
-#[derive(Debug, Clone, PartialEq)]
+/// Options for the `sweep` grid runner: the grid itself is a
+/// [`SweepSpec`] (the same type the wire codec and the harness consume),
+/// plus execution and rendering knobs that never cross the wire.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SweepArgs {
-    /// Benchmark names to sweep (resolved against the preset suites).
-    pub benches: Vec<String>,
-    /// Strategies to sweep; a baseline cell is always added per
-    /// benchmark × geometry for the speedup column.
-    pub strategies: Vec<Strategy>,
-    /// Cluster counts to sweep.
-    pub clusters: Vec<u8>,
-    /// Interconnect topologies to sweep.
-    pub topologies: Vec<Topology>,
-    /// Instruction budget per cell.
-    pub insts: u64,
+    /// The grid: benchmarks × strategies × geometries, with the
+    /// warmup/measurement budget. Benchmark names may still be suite
+    /// keywords (`spec`/`media`/`all`) — resolved at execution time.
+    pub spec: SweepSpec,
     /// Worker threads (0 = available parallelism).
     pub jobs: usize,
     /// Memoize cells in the on-disk result store.
@@ -103,35 +103,6 @@ pub struct SweepArgs {
     /// Collect per-cell CPI stacks and append a strategy × benchmark
     /// attribution table after the speedup table.
     pub attrib: bool,
-}
-
-impl Default for SweepArgs {
-    fn default() -> Self {
-        SweepArgs {
-            benches: vec![
-                "bzip2".into(),
-                "eon".into(),
-                "gzip".into(),
-                "perlbmk".into(),
-                "twolf".into(),
-                "vpr".into(),
-            ],
-            strategies: vec![
-                Strategy::IssueTime { latency: 0 },
-                Strategy::IssueTime { latency: 4 },
-                Strategy::Friendly { middle_bias: false },
-                Strategy::Fdrt { pinning: true },
-            ],
-            clusters: vec![4],
-            topologies: vec![Topology::Linear],
-            insts: 100_000,
-            jobs: 0,
-            cache: false,
-            csv: false,
-            metrics_out: None,
-            attrib: false,
-        }
-    }
 }
 
 /// Options for the `analyze` cycle-attribution command.
@@ -364,6 +335,12 @@ fn parse_run_args(rest: &[String]) -> Result<RunArgs, CliError> {
                 out.insts = v
                     .parse()
                     .map_err(|_| CliError(format!("bad --insts value {v:?}")))?;
+            }
+            "--warmup" => {
+                let v = value(&mut i)?;
+                out.warmup = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --warmup value {v:?}")))?;
             }
             "--clusters" => {
                 let v = value(&mut i)?;
@@ -624,8 +601,8 @@ fn parse_sweep_args(rest: &[String]) -> Result<SweepArgs, CliError> {
         match rest[i].as_str() {
             "--benches" => {
                 let v = value(&mut i)?;
-                out.benches = match v.as_str() {
-                    "focus" => SweepArgs::default().benches,
+                out.spec.benches = match v.as_str() {
+                    "focus" => SweepSpec::default().benches,
                     // Suite keywords are resolved against the preset
                     // lists at execution time (names only here).
                     "spec" | "media" | "all" => vec![v.clone()],
@@ -634,14 +611,14 @@ fn parse_sweep_args(rest: &[String]) -> Result<SweepArgs, CliError> {
             }
             "--strategies" => {
                 let v = value(&mut i)?;
-                out.strategies = comma_list("--strategies", &v)?
+                out.spec.strategies = comma_list("--strategies", &v)?
                     .iter()
                     .map(|s| parse_strategy(s))
                     .collect::<Result<_, _>>()?;
             }
             "--clusters" => {
                 let v = value(&mut i)?;
-                out.clusters = comma_list("--clusters", &v)?
+                out.spec.clusters = comma_list("--clusters", &v)?
                     .iter()
                     .map(|c| {
                         c.parse()
@@ -653,16 +630,22 @@ fn parse_sweep_args(rest: &[String]) -> Result<SweepArgs, CliError> {
             }
             "--topology" => {
                 let v = value(&mut i)?;
-                out.topologies = comma_list("--topology", &v)?
+                out.spec.topologies = comma_list("--topology", &v)?
                     .iter()
                     .map(|t| parse_topology(t))
                     .collect::<Result<_, _>>()?;
             }
             "--insts" => {
                 let v = value(&mut i)?;
-                out.insts = v
+                out.spec.insts = v
                     .parse()
                     .map_err(|_| CliError(format!("bad --insts value {v:?}")))?;
+            }
+            "--warmup" => {
+                let v = value(&mut i)?;
+                out.spec.warmup = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --warmup value {v:?}")))?;
             }
             "--jobs" => {
                 let v = value(&mut i)?;
@@ -706,7 +689,9 @@ SOURCE:
 OPTIONS:
   --strategy S        base | issue0 | issue4 | friendly | friendly-mid |
                       fdrt | fdrt-nopin | fdrt-intra   (default: base)
-  --insts N           instruction budget (default: 100000)
+  --insts N           timed instruction budget (default: 100000)
+  --warmup N          fast-forward N instructions (functional warmup, no
+                      timing) before the timed phase (default: 0)
   --clusters N        cluster count, 1..=8 (default: 4)
   --topology T        linear | ring | full (default: linear)
   --hop N             forwarding latency per hop (default: 2)
@@ -719,7 +704,9 @@ SWEEP OPTIONS:
                       a baseline cell is always run per benchmark × geometry)
   --clusters N,N      cluster counts to sweep (default: 4)
   --topology T,T      topologies to sweep (default: linear)
-  --insts N           instruction budget per cell (default: 100000)
+  --insts N           timed instruction budget per cell (default: 100000)
+  --warmup N          fast-forward N instructions per cell before timing
+                      (default: 0)
   --jobs N            worker threads, 0 = all cores (default: 0)
   --cache             memoize cells in target/ctcp-results/
   --csv               machine-readable output
@@ -807,6 +794,8 @@ mod tests {
             "fdrt",
             "--insts",
             "5000",
+            "--warmup",
+            "2000",
             "--clusters",
             "2",
             "--topology",
@@ -822,6 +811,7 @@ mod tests {
         assert_eq!(a.source, ProgramSource::Bench("twolf".into()));
         assert_eq!(a.strategy, Strategy::Fdrt { pinning: true });
         assert_eq!(a.insts, 5_000);
+        assert_eq!(a.warmup, 2_000);
         assert_eq!(a.clusters, 2);
         assert_eq!(a.topology, Topology::Ring);
         assert_eq!(a.hop_latency, 1);
@@ -880,10 +870,12 @@ mod tests {
         let Command::Sweep(a) = cli.command else {
             panic!("expected sweep")
         };
-        assert_eq!(a.benches.len(), 6);
-        assert_eq!(a.strategies.len(), 4);
-        assert_eq!(a.clusters, vec![4]);
-        assert_eq!(a.topologies, vec![Topology::Linear]);
+        assert_eq!(a.spec, SweepSpec::default());
+        assert_eq!(a.spec.benches.len(), 6);
+        assert_eq!(a.spec.strategies.len(), 4);
+        assert_eq!(a.spec.clusters, vec![4]);
+        assert_eq!(a.spec.topologies, vec![Topology::Linear]);
+        assert_eq!(a.spec.warmup, 0);
         assert_eq!(a.jobs, 0);
         assert!(!a.cache);
         assert!(!a.csv);
@@ -903,6 +895,8 @@ mod tests {
             "linear,ring",
             "--insts",
             "9000",
+            "--warmup",
+            "2500",
             "--jobs",
             "3",
             "--cache",
@@ -912,17 +906,21 @@ mod tests {
         let Command::Sweep(a) = cli.command else {
             panic!("expected sweep")
         };
-        assert_eq!(a.benches, vec!["gzip".to_string(), "twolf".to_string()]);
         assert_eq!(
-            a.strategies,
+            a.spec.benches,
+            vec!["gzip".to_string(), "twolf".to_string()]
+        );
+        assert_eq!(
+            a.spec.strategies,
             vec![
                 Strategy::Fdrt { pinning: true },
                 Strategy::Friendly { middle_bias: false }
             ]
         );
-        assert_eq!(a.clusters, vec![2, 4]);
-        assert_eq!(a.topologies, vec![Topology::Linear, Topology::Ring]);
-        assert_eq!(a.insts, 9_000);
+        assert_eq!(a.spec.clusters, vec![2, 4]);
+        assert_eq!(a.spec.topologies, vec![Topology::Linear, Topology::Ring]);
+        assert_eq!(a.spec.insts, 9_000);
+        assert_eq!(a.spec.warmup, 2_500);
         assert_eq!(a.jobs, 3);
         assert!(a.cache);
         assert!(a.csv);
@@ -936,6 +934,8 @@ mod tests {
         assert!(Cli::parse(["sweep", "--topology", "torus"]).is_err());
         assert!(Cli::parse(["sweep", "--frobnicate"]).is_err());
         assert!(Cli::parse(["sweep", "--jobs"]).is_err());
+        assert!(Cli::parse(["sweep", "--warmup", "soon"]).is_err());
+        assert!(Cli::parse(["run", "--warmup", "soon"]).is_err());
     }
 
     #[test]
@@ -1094,7 +1094,7 @@ mod tests {
         let ClientAction::Sweep(sw) = a.action else {
             panic!("expected sweep action")
         };
-        assert_eq!(sw.benches, vec!["gzip".to_string()]);
+        assert_eq!(sw.spec.benches, vec!["gzip".to_string()]);
         assert!(sw.csv);
         let cli = Cli::parse(["client", "analyze", "gzip", "--addr", "h:4"]).unwrap();
         let Command::Client(a) = cli.command else {
@@ -1120,12 +1120,12 @@ mod tests {
             let Command::Sweep(a) = cli.command else {
                 panic!("expected sweep")
             };
-            assert_eq!(a.benches, vec![kw.to_string()]);
+            assert_eq!(a.spec.benches, vec![kw.to_string()]);
         }
         let cli = Cli::parse(["sweep", "--benches", "focus"]).unwrap();
         let Command::Sweep(a) = cli.command else {
             panic!("expected sweep")
         };
-        assert_eq!(a.benches.len(), 6);
+        assert_eq!(a.spec.benches.len(), 6);
     }
 }

@@ -7,7 +7,9 @@ use crate::args::{
 };
 use crate::wire;
 use ctcp_core::Topology;
-use ctcp_harness::{failure_table, Harness, Job, ProgressSink, ResultStore, StderrProgress};
+use ctcp_harness::{
+    failure_table, Harness, Job, ProgressSink, ResultStore, StderrProgress, SweepCell, SweepSpec,
+};
 use ctcp_isa::{asm, Program};
 use ctcp_serve::{http, Handler, RequestKind, RunResult, Service};
 use ctcp_sim::{SimConfig, SimReport, Simulation, Strategy};
@@ -17,7 +19,7 @@ use ctcp_telemetry::{
     Probe, Recorder, RecorderConfig, RetireSlotKind,
 };
 use ctcp_workload::Benchmark;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::PathBuf;
 use std::rc::Rc;
@@ -41,6 +43,7 @@ fn config(args: &RunArgs, strategy: Strategy) -> SimConfig {
     let mut c = SimConfig {
         strategy,
         max_insts: args.insts,
+        warmup_insts: args.warmup,
         ..SimConfig::default()
     };
     c.engine.geometry.clusters = args.clusters;
@@ -552,67 +555,33 @@ fn run_sweep(
     harness: &mut Harness,
     sink: &mut dyn ProgressSink,
 ) -> Result<CliOutcome, CliError> {
-    let benches = resolve_benches(&args.benches)?;
+    let benches = resolve_benches(&args.spec.benches)?;
 
-    // Describe the grid. `cells` remembers, for every non-baseline job,
-    // which (bench, geometry, strategy) it renders as and where its
-    // baseline sits in the job list.
-    struct Cell {
-        bench: &'static str,
-        clusters: u8,
-        topology: Topology,
-        job: usize,
-        base_job: usize,
-    }
-    let mut jobs: Vec<Job> = Vec::new();
-    let mut cells: Vec<Cell> = Vec::new();
-    for b in &benches {
-        let program = Arc::new(b.program());
-        for &clusters in &args.clusters {
-            for &topology in &args.topologies {
-                let geometry_config = |strategy: Strategy| {
-                    let mut c = SimConfig {
-                        strategy,
-                        max_insts: args.insts,
-                        ..SimConfig::default()
-                    };
-                    c.engine.geometry.clusters = clusters;
-                    c.engine.geometry.topology = topology;
-                    // Scale the front end with the execution core, as the
-                    // paper does for its 8-wide/2-cluster machine: machine
-                    // width = total slots, ROB sized 8 entries per slot.
-                    let width = c.engine.geometry.total_slots();
-                    c.engine.rename_width = width;
-                    c.engine.retire_width = width;
-                    c.engine.rob_entries = 8 * width;
-                    c
-                };
-                let base_job = jobs.len();
-                jobs.push(Job::new(
-                    b.name,
-                    Arc::clone(&program),
-                    geometry_config(Strategy::Baseline),
-                ));
-                for &s in &args.strategies {
-                    cells.push(Cell {
-                        bench: b.name,
-                        clusters,
-                        topology,
-                        job: jobs.len(),
-                        base_job,
-                    });
-                    jobs.push(Job::new(b.name, Arc::clone(&program), geometry_config(s)));
-                }
-            }
-        }
-    }
+    // Resolve suite keywords into explicit names, then let the spec
+    // unroll the grid — the same expansion every surface (CLI, wire,
+    // harness) agrees on, including the geometry scaling per cell.
+    let spec = SweepSpec {
+        benches: benches.iter().map(|b| b.name.to_string()).collect(),
+        ..args.spec.clone()
+    };
+    let plan = spec.expand().map_err(|e| CliError(e.to_string()))?;
+    let programs: HashMap<&str, Arc<Program>> = benches
+        .iter()
+        .map(|b| (b.name, Arc::new(b.program())))
+        .collect();
+    let jobs: Vec<Job> = plan
+        .jobs
+        .iter()
+        .map(|(bench, cfg)| Job::new(bench.clone(), Arc::clone(&programs[bench.as_str()]), *cfg))
+        .collect();
+    let cells = &plan.cells;
 
     let outcomes = harness.try_run_with_progress(&jobs, sink);
 
     let mut out = String::new();
     if args.csv {
         out.push_str("bench,clusters,topology,strategy,ipc,speedup\n");
-        for c in &cells {
+        for c in cells {
             let (Some(r), Some(base)) = (outcomes[c.job].report(), outcomes[c.base_job].report())
             else {
                 continue; // this cell is in the failure table instead
@@ -640,7 +609,7 @@ fn run_sweep(
             "{:<12}{:>9}{:>9}{:<2}{:<16}{:>8}{:>10}\n",
             "bench", "clusters", "topology", "", "strategy", "ipc", "speedup"
         ));
-        for c in &cells {
+        for c in cells {
             let (Some(r), Some(base)) = (outcomes[c.job].report(), outcomes[c.base_job].report())
             else {
                 continue; // this cell is in the failure table instead
@@ -662,8 +631,8 @@ fn run_sweep(
         // once per benchmark × geometry), CPI-stack fractions plus the
         // share of critical-path edges that cross clusters.
         let mut printed_base: HashSet<usize> = HashSet::new();
-        let mut rows: Vec<(&Cell, usize, bool)> = Vec::new();
-        for c in &cells {
+        let mut rows: Vec<(&SweepCell, usize, bool)> = Vec::new();
+        for c in cells {
             if printed_base.insert(c.base_job) {
                 rows.push((c, c.base_job, true));
             }

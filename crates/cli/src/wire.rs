@@ -18,6 +18,7 @@ use crate::args::{
     parse_strategy, parse_topology, AnalyzeArgs, CliError, ProgramSource, SweepArgs,
 };
 use ctcp_core::Topology;
+use ctcp_harness::SweepSpec;
 use ctcp_sim::Strategy;
 use ctcp_telemetry::json::Value;
 
@@ -51,24 +52,36 @@ fn str_arr<T, F: Fn(&T) -> String>(items: &[T], f: F) -> Value {
 
 /// Encodes a sweep request body.
 pub fn sweep_to_json(a: &SweepArgs) -> Value {
-    Value::Obj(vec![
-        ("benches".into(), str_arr(&a.benches, Clone::clone)),
+    let mut fields = vec![
+        ("benches".into(), str_arr(&a.spec.benches, Clone::clone)),
         (
             "strategies".into(),
-            str_arr(&a.strategies, |&s| strategy_cli_name(s).to_string()),
+            str_arr(&a.spec.strategies, |&s| strategy_cli_name(s).to_string()),
         ),
         (
             "clusters".into(),
-            Value::Arr(a.clusters.iter().map(|&c| Value::u64(c.into())).collect()),
+            Value::Arr(
+                a.spec
+                    .clusters
+                    .iter()
+                    .map(|&c| Value::u64(c.into()))
+                    .collect(),
+            ),
         ),
         (
             "topologies".into(),
-            str_arr(&a.topologies, |&t| topology_cli_name(t).to_string()),
+            str_arr(&a.spec.topologies, |&t| topology_cli_name(t).to_string()),
         ),
-        ("insts".into(), Value::u64(a.insts)),
+        ("insts".into(), Value::u64(a.spec.insts)),
         ("csv".into(), Value::Bool(a.csv)),
         ("attrib".into(), Value::Bool(a.attrib)),
-    ])
+    ];
+    // Warmup post-dates the v1 body: emit only when set so a warmup-free
+    // request renders byte-identically to what older daemons expect.
+    if a.spec.warmup != 0 {
+        fields.push(("warmup".into(), Value::u64(a.spec.warmup)));
+    }
+    Value::Obj(fields)
 }
 
 fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, CliError> {
@@ -124,12 +137,22 @@ pub fn sweep_from_json(v: &Value) -> Result<SweepArgs, CliError> {
                 .ok_or_else(|| CliError(format!("bad cluster count {} (1..=8)", c.render())))
         })
         .collect::<Result<_, _>>()?;
+    // Absent means zero: warmup-free bodies predate the field.
+    let warmup = match v.get("warmup") {
+        None => 0,
+        Some(w) => w
+            .as_u64()
+            .ok_or_else(|| CliError("\"warmup\" must be an unsigned integer".into()))?,
+    };
     Ok(SweepArgs {
-        benches: str_list(v, "benches")?,
-        strategies,
-        clusters,
-        topologies,
-        insts: u64_field(v, "insts")?,
+        spec: SweepSpec {
+            benches: str_list(v, "benches")?,
+            strategies,
+            clusters,
+            topologies,
+            insts: u64_field(v, "insts")?,
+            warmup,
+        },
         csv: bool_field(v, "csv")?,
         attrib: bool_field(v, "attrib")?,
         // Daemon-side knobs: fixed at daemon start, never on the wire.
@@ -225,14 +248,17 @@ mod tests {
     #[test]
     fn sweep_args_round_trip_through_json() {
         let mut args = SweepArgs {
-            benches: vec!["gzip".into(), "twolf".into()],
-            strategies: vec![
-                Strategy::Fdrt { pinning: true },
-                Strategy::Friendly { middle_bias: true },
-            ],
-            clusters: vec![2, 4],
-            topologies: vec![Topology::Ring, Topology::FullyConnected],
-            insts: 12_345,
+            spec: SweepSpec {
+                benches: vec!["gzip".into(), "twolf".into()],
+                strategies: vec![
+                    Strategy::Fdrt { pinning: true },
+                    Strategy::Friendly { middle_bias: true },
+                ],
+                clusters: vec![2, 4],
+                topologies: vec![Topology::Ring, Topology::FullyConnected],
+                insts: 12_345,
+                warmup: 6_000,
+            },
             csv: true,
             attrib: true,
             // Daemon-side knobs are dropped by the codec.
@@ -246,6 +272,30 @@ mod tests {
         args.cache = false;
         args.metrics_out = None;
         assert_eq!(decoded, args);
+    }
+
+    #[test]
+    fn warmup_free_bodies_stay_byte_identical() {
+        // A spec with warmup 0 must render exactly the pre-warmup body
+        // (no "warmup" key) and such bodies must decode to warmup 0.
+        let args = SweepArgs {
+            spec: SweepSpec {
+                benches: vec!["gzip".into()],
+                strategies: vec![Strategy::Fdrt { pinning: true }],
+                clusters: vec![4],
+                topologies: vec![Topology::Linear],
+                insts: 1_000,
+                warmup: 0,
+            },
+            ..SweepArgs::default()
+        };
+        let rendered = sweep_to_json(&args).render();
+        assert!(!rendered.contains("warmup"), "{rendered}");
+        let decoded = sweep_from_json(&Value::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(decoded.spec.warmup, 0);
+        // And a bad warmup value is a clean decode error.
+        let bad = rendered.replacen('{', "{\"warmup\":\"soon\",", 1);
+        assert!(sweep_from_json(&Value::parse(&bad).unwrap()).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! determinism oracle (see [`Engine::set_legacy_scheduler`]); both
 //! paths produce cycle-for-cycle identical results.
 
+use crate::arena::{ConsumerArena, EngineArena, NIL};
 use crate::entry::{Entry, SrcState, Stage};
 use crate::fu::FuPool;
 use crate::rob::Rob;
@@ -178,13 +179,42 @@ struct ClusterState {
 }
 
 impl ClusterState {
-    fn new() -> Self {
+    /// A cluster built from recycled queue storage (cleared here); the
+    /// arena's pools run dry harmlessly — missing pieces are allocated
+    /// fresh.
+    fn from_arena(arena: &mut EngineArena) -> Self {
+        let take_seq = |arena: &mut EngineArena| arena.seq_lists.pop().unwrap_or_default();
+        let take_queue = |arena: &mut EngineArena| {
+            ReadyQueue::from_parts(
+                arena.seq_lists.pop().unwrap_or_default(),
+                arena.pending_lists.pop().unwrap_or_default(),
+            )
+        };
+        let mut dispatch_q = arena.dispatch_qs.pop().unwrap_or_default();
+        dispatch_q.clear();
+        let mut rs: [Vec<u64>; 5] = std::array::from_fn(|_| take_seq(arena));
+        for list in &mut rs {
+            list.clear();
+        }
         ClusterState {
-            dispatch_q: VecDeque::new(),
-            rs: Default::default(),
-            queues: Default::default(),
+            dispatch_q,
+            rs,
+            queues: std::array::from_fn(|_| take_queue(arena)),
             station_occ: [0; 5],
             fus: FuPool::new(),
+        }
+    }
+
+    /// Returns the cluster's queue storage to the arena's pools.
+    fn into_arena(self, arena: &mut EngineArena) {
+        arena.dispatch_qs.push(self.dispatch_q);
+        for list in self.rs {
+            arena.seq_lists.push(list);
+        }
+        for q in self.queues {
+            let (ready, pending) = q.into_parts();
+            arena.seq_lists.push(ready);
+            arena.pending_lists.push(pending);
         }
     }
 }
@@ -217,9 +247,12 @@ pub struct Engine {
     wheel: CompletionWheel,
     /// Scratch for the wheel's per-cycle drain (reused every tick).
     scratch_events: Vec<(u64, u64)>,
-    /// Recycled consumer-list allocations: completion returns each
-    /// entry's list here; rename takes them back out.
-    consumer_pool: Vec<Vec<(u64, u8)>>,
+    /// Struct-of-arrays slab holding every entry's wakeup chain; entries
+    /// carry `cons_head`/`cons_tail` handles into it.
+    consumers: ConsumerArena,
+    /// Scratch for one producer's drained wakeup chain (reused every
+    /// completion).
+    scratch_wakes: Vec<(u64, u8)>,
     /// Scratch for issue-time steering's per-group cluster counts.
     steer_counts: Vec<u32>,
 }
@@ -229,14 +262,39 @@ impl Engine {
     /// set `CTCP_SCHED=legacy` in the environment (or call
     /// [`Engine::set_legacy_scheduler`]) to select the scan oracle.
     pub fn new(cfg: EngineConfig, mode: SteeringMode) -> Self {
+        Engine::with_arena(cfg, mode, EngineArena::default())
+    }
+
+    /// Creates an empty engine out of recycled storage. Behaviourally
+    /// identical to [`Engine::new`]: every piece of the arena is cleared
+    /// before use (capacities are kept), so no state can leak from the
+    /// previous run. Harvest the storage back with
+    /// [`Engine::into_arena`] when the run ends.
+    pub fn with_arena(cfg: EngineConfig, mode: SteeringMode, mut arena: EngineArena) -> Self {
         let n = cfg.geometry.clusters as usize;
+        let clusters = (0..n)
+            .map(|_| ClusterState::from_arena(&mut arena))
+            .collect();
+        let EngineArena {
+            entries,
+            mut consumers,
+            wheel_slots,
+            mut events,
+            mut wakes,
+            mut steer_counts,
+            ..
+        } = arena;
+        consumers.clear();
+        events.clear();
+        wakes.clear();
+        steer_counts.clear();
         Engine {
             mem: DataMemory::new(cfg.memory),
             cfg,
             mode,
-            rob: Rob::with_capacity(cfg.rob_entries),
+            rob: Rob::from_storage(entries, cfg.rob_entries),
             rat: [None; ctcp_isa::Reg::NUM],
-            clusters: (0..n).map(|_| ClusterState::new()).collect(),
+            clusters,
             unresolved_stores: BTreeSet::new(),
             stats: EngineStats::default(),
             fwd: ForwardingStats::default(),
@@ -245,11 +303,31 @@ impl Engine {
             probe_on: false,
             debug_trace: std::env::var("CTCP_TRACE").is_ok(),
             event_driven: std::env::var("CTCP_SCHED").map_or(true, |v| v != "legacy"),
-            wheel: CompletionWheel::new(),
-            scratch_events: Vec::new(),
-            consumer_pool: Vec::new(),
-            steer_counts: Vec::new(),
+            wheel: CompletionWheel::from_slots(wheel_slots),
+            scratch_events: events,
+            consumers,
+            scratch_wakes: wakes,
+            steer_counts,
         }
+    }
+
+    /// Tears the engine down to its recyclable storage so the next
+    /// [`Engine::with_arena`] construction starts with warm, already-
+    /// grown allocations instead of a cold heap.
+    pub fn into_arena(self) -> EngineArena {
+        let mut arena = EngineArena {
+            entries: self.rob.into_storage(),
+            consumers: self.consumers,
+            wheel_slots: self.wheel.into_slots(),
+            events: self.scratch_events,
+            wakes: self.scratch_wakes,
+            steer_counts: self.steer_counts,
+            ..EngineArena::default()
+        };
+        for c in self.clusters {
+            c.into_arena(&mut arena);
+        }
+        arena
     }
 
     /// Selects the legacy scan-per-cycle scheduler (`legacy = true`) or
@@ -379,11 +457,12 @@ impl Engine {
                 // these sources instead of broadcasting over the ROB.
                 for (i, s) in srcs.iter().enumerate() {
                     if let SrcState::Waiting { producer_seq } = *s {
-                        self.rob
+                        let p = self
+                            .rob
                             .get_mut(producer_seq)
-                            .expect("RAT points at in-ROB producer")
-                            .consumers
-                            .push((f.seq, i as u8));
+                            .expect("RAT points at in-ROB producer");
+                        self.consumers
+                            .append(&mut p.cons_head, &mut p.cons_tail, f.seq, i as u8);
                     }
                 }
             }
@@ -424,10 +503,8 @@ impl Engine {
                 dispatched_at: 0,
                 exec_start: 0,
                 feedback: ExecFeedback::default(),
-                consumers: self
-                    .consumer_pool
-                    .pop()
-                    .unwrap_or_else(|| Vec::with_capacity(4)),
+                cons_head: NIL,
+                cons_tail: NIL,
             };
             if let Some(d) = f.inst.dest {
                 self.rat[d.index()] = Some(f.seq);
@@ -979,6 +1056,7 @@ impl Engine {
     /// consumers.
     fn complete_event(&mut self, now: u64, redirects: &mut Vec<u64>) {
         let mut events = std::mem::take(&mut self.scratch_events);
+        let mut wakes = std::mem::take(&mut self.scratch_wakes);
         events.clear();
         self.wheel.drain_into(now, &mut events);
         let mut woken = 0u64;
@@ -1000,14 +1078,15 @@ impl Engine {
                 cluster: pcluster,
                 group: pgroup,
             };
-            let consumers = std::mem::take(&mut e.consumers);
-            for &(cseq, si) in &consumers {
+            let chain = e.cons_head;
+            e.cons_head = NIL;
+            e.cons_tail = NIL;
+            wakes.clear();
+            self.consumers.drain_into(chain, &mut wakes);
+            for &(cseq, si) in &wakes {
                 self.wake(cseq, usize::from(si), &producer, now);
             }
-            woken += consumers.len() as u64;
-            let mut recycled = consumers;
-            recycled.clear();
-            self.consumer_pool.push(recycled);
+            woken += wakes.len() as u64;
         }
         // The wheel surfaces one cycle's completions in issue order; the
         // legacy scan reported them in program order. Sort so the two
@@ -1015,6 +1094,7 @@ impl Engine {
         redirects.sort_unstable();
         self.note_completions(events.len() as u64, woken);
         self.scratch_events = events;
+        self.scratch_wakes = wakes;
     }
 
     /// Resolves consumer `cseq`'s source `si` against `producer`, and

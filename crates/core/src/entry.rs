@@ -69,12 +69,17 @@ pub(crate) struct Entry {
     pub exec_start: u64,
     /// Execution feedback being accumulated for the fill unit.
     pub feedback: ctcp_tracecache::ExecFeedback,
-    /// Wakeup list: `(consumer_seq, src_index)` pairs registered at
-    /// rename for each in-flight instruction still waiting on this
-    /// entry's result. Completion resolves exactly these sources, so no
-    /// ROB-wide broadcast is needed. Drained (and the allocation
-    /// recycled) when this entry completes.
-    pub consumers: Vec<(u64, u8)>,
+    /// Head of this entry's wakeup chain in the engine's
+    /// [`ConsumerArena`](crate::arena::ConsumerArena): the
+    /// `(consumer_seq, src_index)` registrations made at rename for each
+    /// in-flight instruction still waiting on this entry's result.
+    /// Completion resolves exactly these sources, so no ROB-wide
+    /// broadcast is needed. `NIL` when empty; drained (nodes returned to
+    /// the slab's free list) when this entry completes.
+    pub cons_head: u32,
+    /// Tail of the wakeup chain, so registration appends in O(1) and the
+    /// drain preserves insertion order.
+    pub cons_tail: u32,
 }
 
 impl Entry {

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 pub mod assign;
 mod config;
 mod diag;
@@ -38,6 +39,7 @@ mod rob;
 mod rs;
 mod sched;
 
+pub use arena::EngineArena;
 pub use config::{EngineConfig, FuLatency, LatencyOverrides};
 pub use diag::{ClusterOccupancy, PipelineDiagnostic};
 pub use engine::{

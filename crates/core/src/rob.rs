@@ -16,11 +16,25 @@ pub(crate) struct Rob {
 
 impl Rob {
     /// An empty ROB that can hold `capacity` entries without growing.
+    #[cfg(test)]
     pub(crate) fn with_capacity(capacity: usize) -> Self {
+        Rob::from_storage(VecDeque::with_capacity(capacity), capacity)
+    }
+
+    /// An empty ROB built from recycled ring storage (cleared here),
+    /// grown if needed so `capacity` entries fit without reallocating.
+    pub(crate) fn from_storage(mut entries: VecDeque<Entry>, capacity: usize) -> Self {
+        entries.clear();
+        entries.reserve(capacity);
         Rob {
-            entries: VecDeque::with_capacity(capacity),
+            entries,
             head_seq: 0,
         }
+    }
+
+    /// Tears the ROB down to its raw ring storage for arena recycling.
+    pub(crate) fn into_storage(self) -> VecDeque<Entry> {
+        self.entries
     }
 
     /// Number of in-flight entries.
@@ -109,7 +123,8 @@ mod tests {
             dispatched_at: 0,
             exec_start: 0,
             feedback: Default::default(),
-            consumers: Vec::new(),
+            cons_head: u32::MAX,
+            cons_tail: u32::MAX,
         }
     }
 

@@ -28,12 +28,30 @@ pub(crate) struct CompletionWheel {
 }
 
 impl CompletionWheel {
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
+        CompletionWheel::from_slots(Vec::new())
+    }
+
+    /// An empty wheel built from recycled slot storage: each recycled
+    /// slot vector is cleared (capacity kept) and the slot count is
+    /// topped back up to [`WHEEL_SLOTS`].
+    pub(crate) fn from_slots(mut slots: Vec<Vec<(u64, u64)>>) -> Self {
+        for slot in &mut slots {
+            slot.clear();
+        }
+        slots.resize_with(WHEEL_SLOTS, Vec::new);
+        slots.truncate(WHEEL_SLOTS);
         CompletionWheel {
-            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            slots,
             cursor: 0,
             len: 0,
         }
+    }
+
+    /// Tears the wheel down to its slot storage for arena recycling.
+    pub(crate) fn into_slots(self) -> Vec<Vec<(u64, u64)>> {
+        self.slots
     }
 
     /// Schedules `seq` to complete at `complete`, which must be in the
@@ -118,6 +136,18 @@ pub(crate) struct ReadyQueue {
 }
 
 impl ReadyQueue {
+    /// An empty queue built from recycled list storage (cleared here).
+    pub(crate) fn from_parts(mut ready: Vec<u64>, mut pending: Vec<(u64, u64)>) -> Self {
+        ready.clear();
+        pending.clear();
+        ReadyQueue { ready, pending }
+    }
+
+    /// Tears the queue down to its list storage for arena recycling.
+    pub(crate) fn into_parts(self) -> (Vec<u64>, Vec<(u64, u64)>) {
+        (self.ready, self.pending)
+    }
+
     /// Files `seq`, whose operands arrive at `ready_at`, under the
     /// current cycle `now`. Station residency is tracked separately by
     /// the engine's shared per-station counters, which both schedulers

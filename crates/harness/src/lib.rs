@@ -27,6 +27,17 @@
 //! cell is simulated once and the report is copied to every position
 //! that asked for it.
 //!
+//! ## Batched execution
+//!
+//! Workers are resident [`BatchRunner`]s: consecutive cells executed by
+//! one worker recycle a single engine arena and share fast-forward
+//! warmup checkpoints keyed by `(program, warmup_instructions)`, so a
+//! sweep pays for allocation and warmup once per worker rather than
+//! once per cell. Reports are byte-identical to the historical
+//! one-simulation-per-job path, which `CTCP_BATCH=off` restores for A/B
+//! timing; a configured [`Harness::job_timeout`] also falls back to it,
+//! because timed attempts run on detached threads.
+//!
 //! ## Fault tolerance
 //!
 //! Every job runs behind an isolation boundary: a panic (simulator
@@ -76,16 +87,18 @@
 #![warn(missing_docs)]
 
 mod progress;
+mod spec;
 mod store;
 
 pub use progress::{NullProgress, ProgressSink, StderrProgress};
+pub use spec::{SpecError, SweepCell, SweepPlan, SweepSpec};
 pub use store::{
     compact, crc32, gc, job_key, shard_of, verify, CompactReport, GcReport, ResultStore,
     StoreStats, VerifyReport, STORE_FORMAT_VERSION, STORE_SHARDS,
 };
 
 use ctcp_isa::Program;
-use ctcp_sim::{SimConfig, SimError, SimReport, Simulation};
+use ctcp_sim::{BatchError, BatchRunner, SimBuilder, SimConfig, SimError, SimReport, Simulation};
 use ctcp_telemetry::{failpoint, metrics_line, Counter, Metrics, Recorder, RecorderConfig};
 use std::collections::HashMap;
 use std::io::Write;
@@ -149,6 +162,21 @@ impl Job {
         with_metrics: bool,
         with_attrib: bool,
     ) -> Result<(SimReport, Option<String>), JobError> {
+        self.try_simulate_with(None, with_metrics, with_attrib)
+    }
+
+    /// [`Job::try_simulate`] with an optional worker-local
+    /// [`BatchRunner`]: when one is passed, the simulation is built
+    /// through it so the engine arena is recycled across cells and the
+    /// fast-forward checkpoint for `(program, warmup)` is captured once
+    /// and reused. Reports are byte-identical either way — the runner
+    /// only changes *where* the engine's memory comes from.
+    fn try_simulate_with<'p>(
+        &'p self,
+        runner: Option<&mut BatchRunner<'p>>,
+        with_metrics: bool,
+        with_attrib: bool,
+    ) -> Result<(SimReport, Option<String>), JobError> {
         // Fault injection: the `job-panic` fail point panics inside the
         // job body — exactly where a simulator bug would — so the
         // isolation layer can be exercised end-to-end. The optional
@@ -161,7 +189,6 @@ impl Job {
                 self.config.strategy.name()
             );
         }
-        let invalid = |e: ctcp_sim::ConfigError| JobError::InvalidConfig(e.to_string());
         let builder = Simulation::builder(&self.program).config(self.config);
         if with_metrics || with_attrib {
             // One recorder serves both requests: metrics accumulate
@@ -171,12 +198,7 @@ impl Job {
                 ..RecorderConfig::metrics_only()
             }));
             let probe: Rc<dyn ctcp_telemetry::Probe> = Rc::clone(&recorder) as _;
-            let mut report = builder
-                .probe(probe)
-                .build()
-                .map_err(invalid)?
-                .try_run()
-                .map_err(JobError::Sim)?;
+            let mut report = run_builder(runner, builder.probe(probe))?;
             if with_attrib {
                 report.attrib = Some(recorder.attrib_report());
             }
@@ -184,12 +206,7 @@ impl Job {
                 .then(|| metrics_line(&self.workload, &report.strategy, &recorder.metrics()));
             Ok((report, line))
         } else {
-            let report = builder
-                .build()
-                .map_err(invalid)?
-                .try_run()
-                .map_err(JobError::Sim)?;
-            Ok((report, None))
+            Ok((run_builder(runner, builder)?, None))
         }
     }
 
@@ -390,6 +407,66 @@ fn execute(
     let mut retries = 0;
     loop {
         match attempt(job, with_metrics, with_attrib, timeout) {
+            Ok(ok) => return (Ok(ok), retries),
+            Err(e) => {
+                if !e.is_transient() || retries >= max_retries {
+                    return (Err(e), retries);
+                }
+                retries += 1;
+                std::thread::sleep(RETRY_BACKOFF * retries);
+            }
+        }
+    }
+}
+
+/// Builds and runs one configured simulation, either through a
+/// [`BatchRunner`] (arena recycling + shared warmup checkpoints) or
+/// standalone, normalizing both failure shapes onto [`JobError`].
+fn run_builder<'p>(
+    runner: Option<&mut BatchRunner<'p>>,
+    builder: SimBuilder<'p>,
+) -> Result<SimReport, JobError> {
+    match runner {
+        Some(runner) => runner.try_run(builder).map_err(|e| match e {
+            BatchError::Config(c) => JobError::InvalidConfig(c.to_string()),
+            BatchError::Sim(s) => JobError::Sim(s),
+        }),
+        None => builder
+            .build()
+            .map_err(|e| JobError::InvalidConfig(e.to_string()))?
+            .try_run()
+            .map_err(JobError::Sim),
+    }
+}
+
+/// The batched counterpart of [`execute`]: runs `job` through a
+/// worker-local [`BatchRunner`] with the same retry policy and the same
+/// `catch_unwind` isolation boundary. A panic resets the runner — its
+/// arena and checkpoint may have been torn mid-flight — so the retry
+/// (and every later cell on this worker) starts from clean state.
+/// Timeouts are not supported here: the detached-thread timeout path
+/// would move the runner off-thread, so the harness falls back to
+/// [`execute`] whenever a job timeout is configured.
+fn execute_batched<'p>(
+    runner: &mut BatchRunner<'p>,
+    job: &'p Job,
+    with_metrics: bool,
+    with_attrib: bool,
+    max_retries: u32,
+) -> (Result<(SimReport, Option<String>), JobError>, u32) {
+    let mut retries = 0;
+    loop {
+        let reborrow = &mut *runner;
+        let result = match std::panic::catch_unwind(AssertUnwindSafe(move || {
+            job.try_simulate_with(Some(reborrow), with_metrics, with_attrib)
+        })) {
+            Ok(r) => r,
+            Err(payload) => {
+                *runner = BatchRunner::new();
+                Err(JobError::Panic(panic_message(&*payload)))
+            }
+        };
+        match result {
             Ok(ok) => return (Ok(ok), retries),
             Err(e) => {
                 if !e.is_transient() || retries >= max_retries {
@@ -661,14 +738,27 @@ impl Harness {
             }
         }
 
-        // Phase 3: execute the pending set.
+        // Phase 3: execute the pending set. Each worker (or the calling
+        // thread at `--jobs 1`) owns one BatchRunner, so consecutive
+        // cells on that worker reuse one engine arena and share
+        // fast-forward checkpoints. Batching is on by default; a
+        // configured job timeout disables it (the timeout path detaches
+        // the attempt onto a fresh thread), and `CTCP_BATCH=off` forces
+        // the historical one-simulation-per-job path for A/B timing.
+        let batching =
+            self.job_timeout.is_none() && std::env::var("CTCP_BATCH").map_or(true, |v| v != "off");
         let workers = self.effective_jobs().min(pending.len().max(1));
         sink.batch_start(pending.len());
         let (retries, timeout) = (self.retries, self.job_timeout);
         if workers <= 1 {
+            let mut runner = BatchRunner::new();
             for (done, &i) in pending.iter().enumerate() {
                 let t = Instant::now();
-                let (result, used) = execute(&jobs[i], with_metrics, with_attrib, timeout, retries);
+                let (result, used) = if batching {
+                    execute_batched(&mut runner, &jobs[i], with_metrics, with_attrib, retries)
+                } else {
+                    execute(&jobs[i], with_metrics, with_attrib, timeout, retries)
+                };
                 sink.cell_done(done + 1, &jobs[i].workload, t.elapsed());
                 results[i] = Some(self.collect(&jobs[i], keys[i], result, used));
             }
@@ -686,16 +776,28 @@ impl Harness {
                 for _ in 0..workers {
                     let tx = tx.clone();
                     let cursor = &cursor;
-                    scope.spawn(move || loop {
-                        let next = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&i) = pending_ref.get(next) else {
-                            break;
-                        };
-                        let t = Instant::now();
-                        let (result, used) =
-                            execute(&jobs[i], with_metrics, with_attrib, timeout, retries);
-                        if tx.send((i, result, used, t.elapsed())).is_err() {
-                            break;
+                    scope.spawn(move || {
+                        let mut runner = BatchRunner::new();
+                        loop {
+                            let next = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = pending_ref.get(next) else {
+                                break;
+                            };
+                            let t = Instant::now();
+                            let (result, used) = if batching {
+                                execute_batched(
+                                    &mut runner,
+                                    &jobs[i],
+                                    with_metrics,
+                                    with_attrib,
+                                    retries,
+                                )
+                            } else {
+                                execute(&jobs[i], with_metrics, with_attrib, timeout, retries)
+                            };
+                            if tx.send((i, result, used, t.elapsed())).is_err() {
+                                break;
+                            }
                         }
                     });
                 }
@@ -891,6 +993,39 @@ mod tests {
             .iter()
             .map(|r| format!("{r:?}\n"))
             .collect::<String>()
+    }
+
+    #[test]
+    fn batched_results_match_direct_simulation() {
+        // Harness workers batch by default: one resident BatchRunner
+        // per worker recycles the engine arena across cells and shares
+        // fast-forward checkpoints. The reports must be byte-identical
+        // to building each simulation directly, warmup cells included.
+        let program = tiny_program();
+        let mut jobs = grid(&[800, 1_600]);
+        for (warmup, max_insts) in [(500u64, 1_000u64), (500, 1_200), (900, 1_000)] {
+            // The first two cells share (program, warmup) but are
+            // distinct jobs, so the checkpoint-reuse path runs — not
+            // just the capture path.
+            let config = SimConfig {
+                max_insts,
+                warmup_insts: warmup,
+                ..SimConfig::default()
+            };
+            jobs.push(Job::new("tiny", Arc::clone(&program), config));
+        }
+        let batched = Harness::new().jobs(1).progress(false).run(&jobs);
+        let direct: Vec<SimReport> = jobs
+            .iter()
+            .map(|j| {
+                Simulation::builder(&j.program)
+                    .config(j.config)
+                    .build()
+                    .unwrap()
+                    .run()
+            })
+            .collect();
+        assert_eq!(render(&batched), render(&direct));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! everything before it:
 //!
 //! ```text
-//! {"v":3,"key":"<16 hex digits>","workload":"gzip","report":{...},"crc":"<8 hex>"}
+//! {"v":4,"key":"<16 hex digits>","workload":"gzip","report":{...},"crc":"<8 hex>"}
 //! ```
 //!
 //! Lines are only ever appended; the newest line for a key wins at
@@ -63,9 +63,12 @@ use std::path::{Path, PathBuf};
 /// Version salt folded into every key. Bump when the report schema or
 /// the envelope changes; old store contents then miss cleanly. History:
 /// v2 added the CRC field; v3 added the optional per-cell attribution
-/// payload (`report.attrib`), reusing the v2 CRC machinery unchanged —
-/// v2 lines are classified [`Line::Stale`] and simply miss.
-pub const STORE_FORMAT_VERSION: u32 = 3;
+/// payload (`report.attrib`), reusing the v2 CRC machinery unchanged;
+/// v4 added the warmup/measure split (`SimConfig::warmup_insts`) — a
+/// v3 line records a run whose whole budget was timed, which is not
+/// the same cell as a warmed-up run, so v3 lines are classified
+/// [`Line::Stale`] and simply miss.
+pub const STORE_FORMAT_VERSION: u32 = 4;
 
 /// Number of hash-partitioned shard files in a store directory. Eight
 /// keeps per-shard lock contention negligible at the harness's worker
@@ -789,6 +792,36 @@ mod tests {
     }
 
     #[test]
+    fn keys_separate_warmup_from_measurement_budget() {
+        // A warmed-up run and an all-timed run of the same total budget
+        // are different cells: the key (via the config's Debug form)
+        // and the shard routing must both see the split.
+        let cold = SimConfig {
+            max_insts: 10_000,
+            ..SimConfig::default()
+        };
+        let warmed = SimConfig {
+            warmup_insts: 5_000,
+            ..cold
+        };
+        let (ka, kb) = (job_key("gzip", &cold), job_key("gzip", &warmed));
+        assert_ne!(ka, kb);
+        assert!(shard_of(ka) < STORE_SHARDS && shard_of(kb) < STORE_SHARDS);
+    }
+
+    #[test]
+    fn v3_pre_warmup_lines_are_stale_not_corrupt() {
+        // A v3 (pre warmup/measure split) envelope, checksum and all:
+        // it must miss as stale — its timing covered the whole budget.
+        let mut body = String::from(
+            "{\"v\":3,\"key\":\"000000000000002a\",\"workload\":\"unit\",\"report\":{}",
+        );
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!(",\"crc\":\"{crc:08x}\"}}"));
+        assert!(matches!(classify_line(&body), Line::Stale));
+    }
+
+    #[test]
     fn crc32_matches_the_reference_vector() {
         // The canonical IEEE check value: crc32(b"123456789).
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
@@ -907,7 +940,8 @@ mod tests {
     fn legacy_single_file_store_migrates_into_shards() {
         let dir = temp_dir("store-migrate");
         std::fs::create_dir_all(&dir).unwrap();
-        // A legacy directory: valid v3 lines in one results.jsonl plus
+        // A legacy directory: valid current-version lines in one
+        // results.jsonl plus
         // the old whole-store lock token.
         let keys = [1u64, 2, 1 << 32, 0xdead_beef_cafe];
         let mut text = String::new();

@@ -1,15 +1,16 @@
 //! Fluent, validating construction of a [`Simulation`].
 //!
-//! [`SimBuilder`] is the front door of the simulator API: it owns a
-//! [`SimConfig`], exposes fluent setters for the commonly swept knobs,
-//! and — unlike the deprecated [`Simulation::new`] — *validates* the
-//! cluster geometry before any state is allocated, returning a typed
-//! [`ConfigError`] instead of letting a nonsensical configuration
-//! livelock the cycle loop or index out of bounds deep in the engine.
+//! [`SimBuilder`] is the front door of the simulator API — the *only*
+//! construction path: it owns a [`SimConfig`], exposes fluent setters
+//! for the commonly swept knobs, and *validates* the cluster geometry
+//! before any state is allocated, returning a typed [`ConfigError`]
+//! instead of letting a nonsensical configuration livelock the cycle
+//! loop or index out of bounds deep in the engine.
 
+use crate::checkpoint::Checkpoint;
 use crate::processor::Simulation;
 use crate::{SimConfig, Strategy};
-use ctcp_core::Topology;
+use ctcp_core::{EngineArena, Topology};
 use ctcp_isa::Program;
 use ctcp_telemetry::Probe;
 use std::rc::Rc;
@@ -97,12 +98,14 @@ impl std::error::Error for ConfigError {}
 /// assert!(report.ipc > 0.1);
 /// ```
 pub struct SimBuilder<'p> {
-    program: &'p Program,
-    cfg: SimConfig,
-    probe: Option<Rc<dyn Probe>>,
-    legacy_scheduler: Option<bool>,
-    watchdog_stall: Option<u64>,
-    cycle_budget: Option<u64>,
+    pub(crate) program: &'p Program,
+    pub(crate) cfg: SimConfig,
+    pub(crate) probe: Option<Rc<dyn Probe>>,
+    pub(crate) legacy_scheduler: Option<bool>,
+    pub(crate) watchdog_stall: Option<u64>,
+    pub(crate) cycle_budget: Option<u64>,
+    pub(crate) arena: Option<EngineArena>,
+    pub(crate) resume: Option<Checkpoint<'p>>,
 }
 
 impl<'p> SimBuilder<'p> {
@@ -115,6 +118,8 @@ impl<'p> SimBuilder<'p> {
             legacy_scheduler: None,
             watchdog_stall: None,
             cycle_budget: None,
+            arena: None,
+            resume: None,
         }
     }
 
@@ -134,6 +139,44 @@ impl<'p> SimBuilder<'p> {
     /// Stops the simulation after `max_insts` retired instructions.
     pub fn max_insts(mut self, max_insts: u64) -> Self {
         self.cfg.max_insts = max_insts;
+        self
+    }
+
+    /// Functionally executes (no timing) the first `insts` instructions
+    /// before the timed phase begins — the ChampSim-style warmup /
+    /// simulation split. The report covers only the timed phase;
+    /// predictors and caches start cold at the warmup boundary. Part of
+    /// [`SimConfig`] (unlike the result-neutral knobs below) because it
+    /// changes results and so must perturb result-store cache keys.
+    pub fn warmup_instructions(mut self, insts: u64) -> Self {
+        self.cfg.warmup_insts = insts;
+        self
+    }
+
+    /// Alias for [`max_insts`](Self::max_insts) matching the
+    /// [`warmup_instructions`](Self::warmup_instructions) vocabulary:
+    /// how many instructions the *timed* phase retires.
+    pub fn simulation_instructions(self, insts: u64) -> Self {
+        self.max_insts(insts)
+    }
+
+    /// Resumes the timed phase from a previously captured warmup
+    /// [`Checkpoint`] instead of fast-forwarding again. Also adopts the
+    /// checkpoint's warmup budget into the configuration, so the result
+    /// (and its cache key) is identical to calling
+    /// [`warmup_instructions`](Self::warmup_instructions) with the same
+    /// count — the checkpoint is purely an execution shortcut.
+    pub fn resume_from(mut self, checkpoint: &Checkpoint<'p>) -> Self {
+        self.cfg.warmup_insts = checkpoint.requested;
+        self.resume = Some(checkpoint.clone());
+        self
+    }
+
+    /// Seeds the engine with recycled arena storage. Construction-only
+    /// plumbing for [`BatchRunner`](crate::BatchRunner), behaviourally
+    /// inert: every arena piece is cleared before use.
+    pub(crate) fn arena(mut self, arena: EngineArena) -> Self {
+        self.arena = Some(arena);
         self
     }
 
@@ -237,15 +280,7 @@ impl<'p> SimBuilder<'p> {
                 total_slots,
             });
         }
-        Ok(Simulation::with_probe(
-            self.program,
-            self.cfg,
-            self.probe
-                .unwrap_or_else(|| Rc::new(ctcp_telemetry::NullProbe)),
-            self.legacy_scheduler,
-            self.watchdog_stall,
-            self.cycle_budget,
-        ))
+        Ok(Simulation::from_builder(self))
     }
 }
 
@@ -338,59 +373,6 @@ mod tests {
         .to_string();
         assert!(msg.contains("rename width 8"), "{msg}");
         assert!(msg.contains("16 slots"), "{msg}");
-    }
-
-    #[test]
-    fn deprecated_constructor_validates_like_the_builder() {
-        // `Simulation::new` must route through the builder: the same
-        // invalid geometry that the builder rejects with a typed error
-        // has to surface from the shim as a panic carrying that error's
-        // message — not slip through unvalidated.
-        let p = tiny();
-        for (cfg, _name) in [
-            (
-                {
-                    let mut c = SimConfig::default();
-                    c.engine.geometry.clusters = 0;
-                    c
-                },
-                "zero clusters",
-            ),
-            (
-                {
-                    let mut c = SimConfig::default();
-                    c.engine.rob_entries = 8;
-                    c
-                },
-                "tiny rob",
-            ),
-        ] {
-            let builder_err = Simulation::builder(&p).config(cfg).build().err().unwrap();
-            let hook = std::panic::take_hook();
-            std::panic::set_hook(Box::new(|_| {})); // silence expected panic
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                #[allow(deprecated)]
-                let _ = Simulation::new(&p, cfg);
-            }));
-            std::panic::set_hook(hook);
-            let payload = result.expect_err("invalid config must not build");
-            let msg = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .expect("panic message is a String");
-            assert_eq!(
-                msg,
-                format!("invalid simulation configuration: {builder_err}")
-            );
-        }
-    }
-
-    #[test]
-    fn deprecated_run_with_strategy_routes_through_builder() {
-        let p = tiny();
-        #[allow(deprecated)]
-        let r = crate::run_with_strategy(&p, Strategy::Baseline, 100);
-        assert_eq!(r.instructions, 2);
     }
 
     #[test]

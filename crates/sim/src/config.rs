@@ -103,6 +103,10 @@ pub struct SimConfig {
     pub decode_stages: u64,
     /// Stop after this many retired instructions.
     pub max_insts: u64,
+    /// Functionally execute (no timing) this many instructions before
+    /// the timed phase begins. The report covers only the timed phase;
+    /// predictors and caches start cold at the warmup boundary.
+    pub warmup_insts: u64,
 }
 
 impl Default for SimConfig {
@@ -118,6 +122,7 @@ impl Default for SimConfig {
             strategy: Strategy::Baseline,
             decode_stages: 1,
             max_insts: 100_000,
+            warmup_insts: 0,
         }
     }
 }

@@ -30,7 +30,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod builder;
+mod checkpoint;
 mod codec;
 mod config;
 mod error;
@@ -38,8 +40,13 @@ mod processor;
 mod report;
 mod stream;
 
+pub use batch::{BatchError, BatchRunner};
 pub use builder::{ConfigError, SimBuilder, MAX_CLUSTERS};
+pub use checkpoint::Checkpoint;
 pub use config::{SimConfig, Strategy};
+/// Interconnect topology, re-exported so sweep descriptions (e.g. the
+/// harness's `SweepSpec`) can name it without a `ctcp-core` dependency.
+pub use ctcp_core::Topology;
 /// Pipeline snapshot carried by watchdog errors, re-exported so callers
 /// matching on [`SimError`] need not depend on `ctcp-core` directly.
 pub use ctcp_core::{ClusterOccupancy, PipelineDiagnostic};
@@ -47,7 +54,5 @@ pub use ctcp_core::{ClusterOccupancy, PipelineDiagnostic};
 /// exporters and the result store share one implementation).
 pub use ctcp_telemetry::json;
 pub use error::SimError;
-#[allow(deprecated)]
-pub use processor::run_with_strategy;
 pub use processor::{Simulation, DEFAULT_WATCHDOG_STALL_LIMIT};
 pub use report::{harmonic_mean, MetricsSnapshot, SimReport};

@@ -3,9 +3,9 @@
 use crate::builder::SimBuilder;
 use crate::report::{MetricsSnapshot, SimReport};
 use crate::stream::InstStream;
-use crate::{SimConfig, SimError, Strategy};
+use crate::{SimConfig, SimError};
 use ctcp_core::assign::RetireTimeStrategy;
-use ctcp_core::{Engine, FetchedInst, TickResult};
+use ctcp_core::{Engine, EngineArena, FetchedInst, TickResult};
 use ctcp_frontend::{BranchPredictor, Btb, HybridPredictor, ICache, ReturnAddressStack};
 use ctcp_isa::{DynInst, Executor, Opcode, Program};
 use ctcp_telemetry::{Counter, Hist, Probe, RetireSlotKind};
@@ -32,6 +32,10 @@ pub const DEFAULT_WATCHDOG_STALL_LIMIT: u64 = 100_000;
 pub struct Simulation<'p> {
     cfg: SimConfig,
     stream: InstStream<'p>,
+    /// Instructions consumed by the warmup fast-forward. The engine
+    /// requires sequence numbers dense from 0, so fetch renumbers the
+    /// stream's absolute `seq` by this base for the timed phase.
+    seq_base: u64,
     predictor: HybridPredictor,
     btb: Btb,
     ras: ReturnAddressStack,
@@ -73,40 +77,46 @@ impl<'p> Simulation<'p> {
         SimBuilder::new(program)
     }
 
-    /// Builds a cold simulation of `program` under `config`.
+    /// Constructs the simulation from a validated builder. Only
+    /// [`SimBuilder::build`] calls this.
     ///
-    /// # Panics
-    ///
-    /// Panics when `config` fails the [`SimBuilder`] geometry checks.
-    /// The builder surfaces the same problems as a typed
-    /// [`ConfigError`](crate::ConfigError) instead.
-    #[deprecated(since = "0.2.0", note = "use `Simulation::builder` instead")]
-    pub fn new(program: &'p Program, config: SimConfig) -> Self {
-        match SimBuilder::new(program).config(config).build() {
-            Ok(sim) => sim,
-            Err(e) => panic!("invalid simulation configuration: {e}"),
-        }
-    }
-
-    /// Constructs the simulation from a validated configuration and a
-    /// probe. Only the builder calls this.
-    pub(crate) fn with_probe(
-        program: &'p Program,
-        config: SimConfig,
-        probe: Rc<dyn Probe>,
-        legacy_scheduler: Option<bool>,
-        watchdog_stall: Option<u64>,
-        cycle_budget: Option<u64>,
-    ) -> Self {
-        let cfg = config.normalized();
-        let mut engine = Engine::new(cfg.engine, cfg.strategy.steering_mode());
-        if let Some(legacy) = legacy_scheduler {
+    /// The warmup phase runs here: either by fast-forwarding the fresh
+    /// stream (pure functional execution, no timing state touched) or by
+    /// adopting a pre-captured [`Checkpoint`](crate::Checkpoint) clone,
+    /// which is bit-identical because fast-forward is deterministic in
+    /// the program and the instruction count.
+    pub(crate) fn from_builder(b: SimBuilder<'p>) -> Self {
+        let cfg = b.cfg.normalized();
+        let mut engine = Engine::with_arena(
+            cfg.engine,
+            cfg.strategy.steering_mode(),
+            b.arena.unwrap_or_default(),
+        );
+        if let Some(legacy) = b.legacy_scheduler {
             engine.set_legacy_scheduler(legacy);
         }
+        let probe = b
+            .probe
+            .unwrap_or_else(|| Rc::new(ctcp_telemetry::NullProbe));
         engine.set_probe(Rc::clone(&probe));
         let probe_on = probe.enabled();
+        let (stream, seq_base) = match b.resume {
+            Some(ck) => {
+                debug_assert_eq!(
+                    ck.requested, cfg.warmup_insts,
+                    "resume_from keeps the config and checkpoint in lockstep"
+                );
+                (ck.stream, ck.skipped)
+            }
+            None => {
+                let mut stream = InstStream::new(Executor::new(b.program));
+                let skipped = stream.fast_forward(cfg.warmup_insts);
+                (stream, skipped)
+            }
+        };
         Simulation {
-            stream: InstStream::new(Executor::new(program)),
+            stream,
+            seq_base,
             predictor: HybridPredictor::new(cfg.predictor),
             btb: Btb::new(cfg.btb),
             ras: ReturnAddressStack::new(cfg.ras_depth),
@@ -124,8 +134,8 @@ impl<'p> Simulation<'p> {
             group_ctr: 0,
             probe,
             probe_on,
-            watchdog_stall: watchdog_stall.unwrap_or(DEFAULT_WATCHDOG_STALL_LIMIT),
-            cycle_budget,
+            watchdog_stall: b.watchdog_stall.unwrap_or(DEFAULT_WATCHDOG_STALL_LIMIT),
+            cycle_budget: b.cycle_budget,
             stall_retire_fp: ctcp_telemetry::failpoint::is_active("stall-retire"),
             insts_from_tc: 0,
             insts_from_icache: 0,
@@ -174,6 +184,24 @@ impl<'p> Simulation<'p> {
     ///
     /// [`SimError::Livelock`] or [`SimError::CycleBudget`], as above.
     pub fn try_run(mut self) -> Result<SimReport, SimError> {
+        self.run_loop()?;
+        Ok(self.finish())
+    }
+
+    /// Like [`try_run`](Self::try_run), but also harvests the engine's
+    /// recyclable storage so a [`BatchRunner`](crate::BatchRunner) can
+    /// seed the next cell with warm allocations — on the error path too.
+    pub(crate) fn try_run_reclaiming(mut self) -> (Result<SimReport, SimError>, EngineArena) {
+        match self.run_loop() {
+            Ok(()) => {
+                let (report, arena) = self.finish_reclaiming();
+                (Ok(report), arena)
+            }
+            Err(e) => (Err(e), self.engine.into_arena()),
+        }
+    }
+
+    fn run_loop(&mut self) -> Result<(), SimError> {
         // Generous safety bound: nothing sensible needs more cycles.
         let cycle_cap = self.cycle_budget.unwrap_or_else(|| {
             self.cfg
@@ -212,7 +240,7 @@ impl<'p> Simulation<'p> {
                 diagnostic: self.engine.diagnostic(self.now),
             });
         }
-        Ok(self.finish())
+        Ok(())
     }
 
     fn pipeline_empty(&mut self) -> bool {
@@ -423,9 +451,10 @@ impl<'p> Simulation<'p> {
                         break;
                     }
                     let d = self.stream.pop().expect("peeked");
+                    let seq = d.seq - self.seq_base;
                     let mis = self.predict_cti(&d);
                     group.push(FetchedInst {
-                        seq: d.seq,
+                        seq,
                         pc: d.pc,
                         index: d.index,
                         inst: d.inst,
@@ -442,7 +471,7 @@ impl<'p> Simulation<'p> {
                         mispredicted: mis,
                     });
                     if mis {
-                        mispredicted_seq = Some(d.seq);
+                        mispredicted_seq = Some(seq);
                         break;
                     }
                 }
@@ -460,10 +489,11 @@ impl<'p> Simulation<'p> {
                     // simply consumes the fall-through path.
                     let d = *d;
                     self.stream.pop();
+                    let seq = d.seq - self.seq_base;
                     let mis = self.predict_cti(&d);
                     let taken = d.taken();
                     group.push(FetchedInst {
-                        seq: d.seq,
+                        seq,
                         pc: d.pc,
                         index: d.index,
                         inst: d.inst,
@@ -477,7 +507,7 @@ impl<'p> Simulation<'p> {
                         mispredicted: mis,
                     });
                     if mis {
-                        mispredicted_seq = Some(d.seq);
+                        mispredicted_seq = Some(seq);
                         break;
                     }
                     if taken || d.op() == Opcode::Halt {
@@ -512,7 +542,11 @@ impl<'p> Simulation<'p> {
         self.delivery.push_back((deliver_at, group));
     }
 
-    fn finish(mut self) -> SimReport {
+    fn finish(self) -> SimReport {
+        self.finish_reclaiming().0
+    }
+
+    fn finish_reclaiming(mut self) -> (SimReport, EngineArena) {
         // Flush the partial trace so trace-size statistics are complete.
         let _ = self.fill.flush();
         let em = self.engine.metrics();
@@ -530,7 +564,7 @@ impl<'p> Simulation<'p> {
         }
         let fdrt = self.retire_strategy.fdrt_stats().copied();
         let cycles = self.now.max(1);
-        SimReport {
+        let report = SimReport {
             strategy: self.cfg.strategy.name(),
             cycles,
             instructions: self.retired,
@@ -553,28 +587,15 @@ impl<'p> Simulation<'p> {
                 icache: self.icache.stats(),
             },
             attrib: None,
-        }
+        };
+        (report, self.engine.into_arena())
     }
-}
-
-/// Convenience: run `strategy` on `program` with otherwise-default
-/// configuration and `max_insts` instructions.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Simulation::builder(program).strategy(..).max_insts(..)` instead"
-)]
-pub fn run_with_strategy(program: &Program, strategy: Strategy, max_insts: u64) -> SimReport {
-    Simulation::builder(program)
-        .strategy(strategy)
-        .max_insts(max_insts)
-        .build()
-        .expect("default geometry is valid")
-        .run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Strategy;
     use ctcp_isa::{ProgramBuilder, Reg};
 
     fn loop_program(iters: i64) -> Program {

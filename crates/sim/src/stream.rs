@@ -6,6 +6,12 @@ use std::collections::VecDeque;
 /// A lookahead window over the correct-path dynamic instruction stream.
 /// The fetch stage peeks ahead to match trace-cache lines against the
 /// upcoming path, then consumes what it fetched.
+///
+/// `Clone` snapshots the full functional state (architectural registers,
+/// data memory image, lookahead buffer), which is what makes warmup
+/// checkpoints cheap: cloning a fast-forwarded stream resumes from the
+/// warmup boundary without re-executing it.
+#[derive(Clone)]
 pub(crate) struct InstStream<'p> {
     exec: Executor<'p>,
     buf: VecDeque<DynInst>,
@@ -43,6 +49,17 @@ impl<'p> InstStream<'p> {
     /// True once every instruction has been consumed.
     pub(crate) fn is_exhausted(&mut self) -> bool {
         self.peek(0).is_none()
+    }
+
+    /// Functionally executes (and discards) up to `n` instructions —
+    /// the warmup fast-forward. Returns how many were actually skipped,
+    /// which is less than `n` only if the program ends first.
+    pub(crate) fn fast_forward(&mut self, n: u64) -> u64 {
+        let mut skipped = 0;
+        while skipped < n && self.pop().is_some() {
+            skipped += 1;
+        }
+        skipped
     }
 }
 

@@ -16,7 +16,11 @@
 #   7. crash-injection smoke: a fail point panics one sweep cell; the
 #      batch must finish, render the survivors, exit non-zero, and
 #      leave a store that `ctcp store verify` passes clean
-#   8. serve smoke: a real daemon on an ephemeral port serves a client
+#   8. batch throughput gate: a warmup-heavy 96-cell sweep batched vs
+#      CTCP_BATCH=off, recorded into BENCH_batch.json; batched must be
+#      >= 2x the unbatched cells/sec and within 125% of the committed
+#      reference
+#   9. serve smoke: a real daemon on an ephemeral port serves a client
 #      sweep byte-identical to the one-shot CLI, answers /status,
 #      drains on shutdown, and leaves a populated sharded store with
 #      no leftover socket or lock tokens
@@ -147,6 +151,60 @@ cat > BENCH_engine.json <<EOF
 EOF
 echo "engine perf gate: event ${engine_ms} ms, legacy ${legacy_ms} ms" \
      "(gate: ${limit_ms} ms)"
+
+echo "==> batch throughput gate (batched vs unbatched sweep -> BENCH_batch.json)"
+# Warmup-heavy grid: 96 cells (2 benches x 2 cluster counts x 3
+# topologies x [baseline + 7 strategies]), each fast-forwarding 1M
+# instructions before a short timed phase. Batched workers capture one
+# warmup checkpoint per (program, warmup) and recycle engine arenas;
+# CTCP_BATCH=off forces the one-cell-at-a-time path on the identical
+# grid. Best of 3 each to shed host noise. The batched path must be at
+# least 2x the unbatched cells/sec and within 125% of the committed
+# reference.
+batch_cells=96
+batch_bench="sweep gzip,twolf x 7 strategies x {2,4} clusters x 3 topologies --warmup 1000000 --insts 2000 --jobs 1 (best of 3)"
+batch_sweep() {
+    ./target/release/ctcp sweep --benches gzip,twolf \
+        --strategies issue0,issue4,friendly,friendly-mid,fdrt,fdrt-nopin,fdrt-intra \
+        --clusters 2,4 --topology linear,ring,full \
+        --warmup 1000000 --insts 2000 --jobs 1 >/dev/null
+}
+unbatched_sweep() {
+    CTCP_BATCH=off batch_sweep
+}
+batched_ms=$(best_of_3 batch_sweep)
+unbatched_ms=$(best_of_3 unbatched_sweep)
+if [ "$unbatched_ms" -lt $(( batched_ms * 2 )) ]; then
+    echo "FAIL: batched sweep (${batched_ms} ms) is not 2x faster than" \
+         "unbatched (${unbatched_ms} ms)" >&2
+    exit 1
+fi
+cells_per_sec=$(( batch_cells * 1000 / batched_ms ))
+speedup_x100=$(( unbatched_ms * 100 / batched_ms ))
+batch_ref_ms=$(sed -n 's/.*"gate_ref_ms": \([0-9]*\).*/\1/p' BENCH_batch.json 2>/dev/null || true)
+if [ -z "${batch_ref_ms}" ]; then
+    batch_ref_ms=$batched_ms
+fi
+batch_limit_ms=$(( batch_ref_ms * 125 / 100 ))
+if [ "$batched_ms" -gt "$batch_limit_ms" ]; then
+    echo "FAIL: batched sweep took ${batched_ms} ms > ${batch_limit_ms} ms" \
+         "(125% of committed reference ${batch_ref_ms} ms)" >&2
+    exit 1
+fi
+cat > BENCH_batch.json <<EOF
+{
+  "bench": "$batch_bench",
+  "cells": $batch_cells,
+  "batched_ms": $batched_ms,
+  "unbatched_ms": $unbatched_ms,
+  "cells_per_sec": $cells_per_sec,
+  "speedup_x100": $speedup_x100,
+  "gate_ref_ms": $batch_ref_ms,
+  "recorded_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+}
+EOF
+echo "batch throughput gate: batched ${batched_ms} ms, unbatched ${unbatched_ms} ms" \
+     "(${cells_per_sec} cells/s, speedup ${speedup_x100}%)"
 
 echo "==> serve smoke (daemon round-trip, status, drain)"
 serve_store="$smoke_dir/serve-store"
