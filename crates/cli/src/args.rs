@@ -161,8 +161,13 @@ pub struct ServeArgs {
     /// Address to listen on; port `0` picks an ephemeral port (the
     /// daemon prints the bound address either way).
     pub addr: String,
-    /// Worker threads per batch (0 = available parallelism).
+    /// Resident worker threads in the shared cell pool (0 = available
+    /// parallelism).
     pub jobs: usize,
+    /// Admission bound on queued (not yet running) cells across all
+    /// in-flight requests; a batch that would push past it is refused
+    /// with a typed `503`. `0` = unbounded.
+    pub max_queue: usize,
     /// Result-store directory; `None` means the default
     /// `target/ctcp-results`.
     pub dir: Option<String>,
@@ -173,6 +178,7 @@ impl Default for ServeArgs {
         ServeArgs {
             addr: "127.0.0.1:0".into(),
             jobs: 0,
+            max_queue: 0,
             dir: None,
         }
     }
@@ -507,6 +513,12 @@ fn parse_serve_args(rest: &[String]) -> Result<ServeArgs, CliError> {
                     .parse()
                     .map_err(|_| CliError(format!("bad --jobs value {v:?}")))?;
             }
+            "--max-queue" => {
+                let v = value(&mut i)?;
+                out.max_queue = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --max-queue value {v:?}")))?;
+            }
             "--dir" => out.dir = Some(value(&mut i)?),
             other => return Err(CliError(format!("unknown flag {other:?}"))),
         }
@@ -725,7 +737,10 @@ STORE ACTIONS (sweep exits non-zero when any cell fails; so does
 SERVE OPTIONS:
   --addr A            listen address (default 127.0.0.1:0 — an ephemeral
                       port; the bound address is printed either way)
-  --jobs N            worker threads per batch, 0 = all cores (default: 0)
+  --jobs N            resident worker threads shared by all clients,
+                      0 = all cores (default: 0)
+  --max-queue N       refuse batches that would leave more than N cells
+                      queued (503; 0 = unbounded, the default)
   --dir D             result-store directory (default: target/ctcp-results)
 
 CLIENT ACTIONS (all need --addr HOST:PORT, as printed by `ctcp serve`):
@@ -1044,6 +1059,8 @@ mod tests {
             "127.0.0.1:7199",
             "--jobs",
             "3",
+            "--max-queue",
+            "64",
             "--dir",
             "/tmp/s",
         ])
@@ -1053,10 +1070,12 @@ mod tests {
             Command::Serve(ServeArgs {
                 addr: "127.0.0.1:7199".into(),
                 jobs: 3,
+                max_queue: 64,
                 dir: Some("/tmp/s".into()),
             })
         );
         assert!(Cli::parse(["serve", "--jobs", "many"]).is_err());
+        assert!(Cli::parse(["serve", "--max-queue", "lots"]).is_err());
         assert!(Cli::parse(["serve", "--frobnicate"]).is_err());
     }
 

@@ -8,10 +8,11 @@ use crate::args::{
 use crate::wire;
 use ctcp_core::Topology;
 use ctcp_harness::{
-    failure_table, Harness, Job, ProgressSink, ResultStore, StderrProgress, SweepCell, SweepSpec,
+    failure_table, CellScheduler, Harness, Job, ProgressSink, ResultStore, Saturated,
+    StderrProgress, SweepCell, SweepSpec,
 };
 use ctcp_isa::{asm, Program};
-use ctcp_serve::{http, Handler, RequestKind, RunResult, Service};
+use ctcp_serve::{http, Handler, HandlerError, HandlerStats, RequestKind, RunResult, Service};
 use ctcp_sim::{SimConfig, SimReport, Simulation, Strategy};
 use ctcp_telemetry::json::Value;
 use ctcp_telemetry::{
@@ -23,6 +24,7 @@ use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::PathBuf;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -541,7 +543,27 @@ fn sweep(args: &SweepArgs) -> Result<CliOutcome, CliError> {
     // The default sink reproduces the historical stderr status line
     // byte for byte (auto-enabled only when stderr is a terminal).
     let mut sink = StderrProgress::new(None);
-    run_sweep(args, &mut harness, &mut sink)
+    run_sweep(args, &mut harness, &mut sink).map_err(|e| match e {
+        SweepError::Cli(e) => e,
+        // One-shot sweeps have no shared scheduler, so admission can
+        // never refuse them; keep the arm total anyway.
+        SweepError::Saturated(s) => CliError(format!("rejected: {s}")),
+    })
+}
+
+/// Why [`run_sweep`] stopped: an ordinary CLI error (bad benchmark,
+/// bad grid) rendered in-band, or a typed admission refusal from the
+/// shared scheduler that the daemon must turn into a `503` *before*
+/// anything has been streamed.
+enum SweepError {
+    Cli(CliError),
+    Saturated(Saturated),
+}
+
+impl From<CliError> for SweepError {
+    fn from(e: CliError) -> SweepError {
+        SweepError::Cli(e)
+    }
 }
 
 /// The sweep body shared by the one-shot command and the resident
@@ -554,7 +576,7 @@ fn run_sweep(
     args: &SweepArgs,
     harness: &mut Harness,
     sink: &mut dyn ProgressSink,
-) -> Result<CliOutcome, CliError> {
+) -> Result<CliOutcome, SweepError> {
     let benches = resolve_benches(&args.spec.benches)?;
 
     // Resolve suite keywords into explicit names, then let the spec
@@ -576,7 +598,9 @@ fn run_sweep(
         .collect();
     let cells = &plan.cells;
 
-    let outcomes = harness.try_run_with_progress(&jobs, sink);
+    let outcomes = harness
+        .try_run_admitted(&jobs, sink)
+        .map_err(SweepError::Saturated)?;
 
     let mut out = String::new();
     if args.csv {
@@ -768,23 +792,35 @@ fn store_cmd(args: &StoreArgs) -> Result<CliOutcome, CliError> {
 
 /// Adapts the harness's [`ProgressSink`] to the sweep service's wire
 /// events: every simulated cell becomes one NDJSON `progress` chunk on
-/// the requesting client's response stream.
+/// the requesting client's response stream. The emit callback reports
+/// whether the client is still listening; the first `false` trips the
+/// cancel token, so the shared scheduler drops this request's queued
+/// cells (running cells finish and memoize).
 struct EventSink<'a> {
-    emit: &'a mut dyn FnMut(&Value),
+    emit: &'a mut dyn FnMut(&Value) -> bool,
+    cancel: &'a AtomicBool,
     total: usize,
+}
+
+impl EventSink<'_> {
+    fn send(&mut self, event: &Value) {
+        if !(self.emit)(event) {
+            self.cancel.store(true, Ordering::Relaxed);
+        }
+    }
 }
 
 impl ProgressSink for EventSink<'_> {
     fn batch_start(&mut self, total: usize) {
         self.total = total;
-        (self.emit)(&Value::Obj(vec![
+        self.send(&Value::Obj(vec![
             ("event".into(), Value::str("batch_start")),
             ("total".into(), Value::u64(total as u64)),
         ]));
     }
 
     fn cell_done(&mut self, done: usize, workload: &str, took: Duration) {
-        (self.emit)(&Value::Obj(vec![
+        self.send(&Value::Obj(vec![
             ("event".into(), Value::str("progress")),
             ("done".into(), Value::u64(done as u64)),
             ("total".into(), Value::u64(self.total as u64)),
@@ -805,57 +841,78 @@ fn error_result(e: CliError) -> RunResult {
         exit_code: 2,
         cache_hits: 0,
         simulated: 0,
+        cancelled: 0,
     }
 }
 
-/// The execution backend behind `ctcp serve`: one persistent
-/// [`Harness`] — and through it one warm, sharded [`ResultStore`] —
-/// shared by every client for the daemon's lifetime.
+/// The execution backend behind `ctcp serve`: one shared
+/// [`CellScheduler`] (the resident worker pool every client's cells
+/// interleave on, fairly) and one shared, sharded [`ResultStore`] (the
+/// warm cache). Both are cheap `Clone` handles, so each request builds
+/// a throwaway [`Harness`] around them on its own connection thread —
+/// `run` takes `&self` and requests execute concurrently.
 struct CliHandler {
-    harness: Harness,
+    store: ResultStore,
+    sched: CellScheduler,
 }
 
 impl Handler for CliHandler {
     fn run(
-        &mut self,
+        &self,
         kind: RequestKind,
         body: &Value,
-        progress: &mut dyn FnMut(&Value),
-    ) -> RunResult {
+        progress: &mut dyn FnMut(&Value) -> bool,
+    ) -> Result<RunResult, HandlerError> {
         match kind {
             RequestKind::Sweep => {
                 let args = match wire::sweep_from_json(body) {
                     Ok(a) => a,
-                    Err(e) => return error_result(e),
+                    Err(e) => return Ok(error_result(e)),
                 };
-                // Builder methods consume the harness; take it out,
-                // reconfigure for this batch, and put it back — the
-                // store (the warm cache) rides along untouched.
-                self.harness = std::mem::take(&mut self.harness).attrib(args.attrib);
+                // A fresh per-request harness over the shared handles:
+                // phase 1 answers warm cells straight from the store
+                // (never touching the queue), the rest are submitted to
+                // the shared pool and stream back as they finish.
+                let cancel = Arc::new(AtomicBool::new(false));
+                let mut harness = Harness::new()
+                    .attrib(args.attrib)
+                    .with_store(self.store.clone())
+                    .with_scheduler(self.sched.clone())
+                    .cancel_token(Arc::clone(&cancel));
                 let mut sink = EventSink {
                     emit: progress,
+                    cancel: &cancel,
                     total: 0,
                 };
-                match run_sweep(&args, &mut self.harness, &mut sink) {
+                match run_sweep(&args, &mut harness, &mut sink) {
                     Ok(outcome) => {
-                        let stats = self.harness.last_batch();
-                        RunResult {
+                        let stats = harness.last_batch();
+                        Ok(RunResult {
                             output: outcome.output,
                             exit_code: outcome.exit_code,
                             cache_hits: stats.store_hits as u64,
                             simulated: stats.simulated as u64,
-                        }
+                            cancelled: stats.cancelled as u64,
+                        })
                     }
-                    Err(e) => error_result(e),
+                    Err(SweepError::Saturated(s)) => Err(HandlerError::Saturated {
+                        queued: s.queued,
+                        wanted: s.wanted,
+                        limit: s.limit,
+                    }),
+                    Err(SweepError::Cli(e)) => Ok(error_result(e)),
                 }
             }
             RequestKind::Analyze => {
                 let args = match wire::analyze_from_json(body) {
                     Ok(a) => a,
-                    Err(e) => return error_result(e),
+                    Err(e) => return Ok(error_result(e)),
                 };
+                // Analyses run inline on this connection's thread —
+                // they never queue behind sweep cells, which is the
+                // fairness guarantee for small interactive requests.
                 let mut emit = |done: usize, total: usize, strategy: &str| {
-                    progress(&Value::Obj(vec![
+                    let _ = progress(&Value::Obj(vec![
                         ("event".into(), Value::str("progress")),
                         ("done".into(), Value::u64(done as u64)),
                         ("total".into(), Value::u64(total as u64)),
@@ -863,16 +920,31 @@ impl Handler for CliHandler {
                     ]));
                 };
                 match analyze_with_progress(&args, &mut emit) {
-                    Ok(output) => RunResult {
+                    Ok(output) => Ok(RunResult {
                         output,
                         exit_code: 0,
                         cache_hits: 0,
                         simulated: args.strategies.len() as u64,
-                    },
-                    Err(e) => error_result(e),
+                        cancelled: 0,
+                    }),
+                    Err(e) => Ok(error_result(e)),
                 }
             }
         }
+    }
+
+    fn stats(&self) -> HandlerStats {
+        let s = self.sched.stats();
+        HandlerStats {
+            workers: s.workers,
+            queued_cells: s.queued,
+            running_cells: s.running,
+            cancelled_cells: s.cancelled,
+        }
+    }
+
+    fn quiesce(&self) {
+        self.sched.shutdown();
     }
 }
 
@@ -888,19 +960,30 @@ fn serve_cmd(args: &ServeArgs) -> Result<CliOutcome, CliError> {
         .unwrap_or_else(ResultStore::default_dir);
     let store = ResultStore::open(&dir)
         .map_err(|e| CliError(format!("cannot open result store {}: {e}", dir.display())))?;
-    let harness = Harness::new().jobs(args.jobs).with_store(store);
-    let service = Service::bind(&args.addr, Box::new(CliHandler { harness }))
+    // One resident worker pool for the daemon's lifetime; every
+    // client's cells interleave on it round-robin, and `--max-queue`
+    // bounds how much work admission control will accept at once.
+    let sched = CellScheduler::start(args.jobs, args.max_queue);
+    let service = Service::bind(&args.addr, Box::new(CliHandler { store, sched }))
         .map_err(|e| CliError(format!("cannot bind {}: {e}", args.addr)))?;
     // Printed and flushed before blocking, not returned with the
     // command's output: clients need the address while the daemon runs.
     println!("ctcp serve: listening on {}", service.local_addr());
     let _ = std::io::stdout().flush();
+    // Service::run quiesces the handler — and through it the shared
+    // pool — after the last connection thread is joined, so every
+    // admitted cell has run and memoized by the time this returns.
     let summary = service
         .run()
         .map_err(|e| CliError(format!("serve failed: {e}")))?;
     Ok(CliOutcome::ok(format!(
-        "ctcp serve: drained after {} requests ({} queued, {} cache hits)\n",
-        summary.requests, summary.queued, summary.cache_hits
+        "ctcp serve: drained after {} requests ({} concurrent, {} cache hits, \
+         {} rejected, {} cells cancelled)\n",
+        summary.requests,
+        summary.queued,
+        summary.cache_hits,
+        summary.rejected,
+        summary.cancelled_cells
     )))
 }
 
@@ -955,6 +1038,9 @@ fn client_batch(addr: &str, path: &str, body: &Value) -> Result<CliOutcome, CliE
         }
     })
     .map_err(|e| CliError(format!("cannot reach a daemon at {addr}: {e}")))?;
+    if resp.status == 503 {
+        return Err(CliError(saturated_message(addr, &resp.body)));
+    }
     if resp.status != 200 {
         return Err(CliError(format!(
             "daemon at {addr} answered {}: {}",
@@ -968,6 +1054,25 @@ fn client_batch(addr: &str, path: &str, body: &Value) -> Result<CliOutcome, CliE
         ))
     })?;
     Ok(CliOutcome { output, exit_code })
+}
+
+/// Renders the daemon's typed `503` admission-refusal body: a clear
+/// "busy, try again" rather than a generic protocol error.
+fn saturated_message(addr: &str, body: &[u8]) -> String {
+    let text = String::from_utf8_lossy(body);
+    if let Ok(v) = Value::parse(text.trim()) {
+        if v.get("error").and_then(Value::as_str) == Some("saturated") {
+            let field = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+            return format!(
+                "daemon at {addr} is saturated ({} cells queued + {} requested > limit {}); \
+                 retry when the queue drains",
+                field("queued"),
+                field("wanted"),
+                field("limit")
+            );
+        }
+    }
+    format!("daemon at {addr} answered 503: {}", text.trim())
 }
 
 /// Handles one NDJSON event from the daemon's response stream.

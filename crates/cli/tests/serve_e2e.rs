@@ -2,12 +2,16 @@
 //! serve` daemon on an ephemeral port, driven by real `ctcp client`
 //! processes.
 //!
-//! The test asserts the service's three core promises:
+//! The tests assert the service's core promises:
 //! 1. a remote sweep's stdout is byte-identical to the one-shot
-//!    `ctcp sweep` command's;
+//!    `ctcp sweep` command's — including under concurrency, for every
+//!    request shape (sweep, sweep --attrib, analyze);
 //! 2. overlapping grids from different clients share the daemon's warm
 //!    cache (visible in the `serve_cache_hits` counter);
-//! 3. shutdown drains cleanly — the daemon exits zero, prints its
+//! 3. the shared cell scheduler interleaves fairly: a tiny request is
+//!    never starved behind a long warmup-heavy sweep;
+//! 4. shutdown drains cleanly — even racing in-flight clients, no
+//!    admitted cell is lost, the daemon exits zero, prints its
 //!    summary, leaves a populated sharded store with no lock tokens,
 //!    and stops listening.
 
@@ -38,14 +42,17 @@ fn stdout_of(out: &std::process::Output) -> String {
 
 /// Spawns the daemon and reads its bound address off the first stdout
 /// line; the returned reader still holds the rest of the stream.
-fn spawn_daemon(store_dir: &Path) -> (Child, String, BufReader<std::process::ChildStdout>) {
+fn spawn_daemon(
+    store_dir: &Path,
+    jobs: &str,
+) -> (Child, String, BufReader<std::process::ChildStdout>) {
     let mut daemon = Command::new(bin())
         .args([
             "serve",
             "--addr",
             "127.0.0.1:0",
             "--jobs",
-            "2",
+            jobs,
             "--dir",
             store_dir.to_str().unwrap(),
         ])
@@ -72,7 +79,7 @@ fn daemon_round_trips_sweeps_shares_its_cache_and_drains() {
     std::fs::remove_dir_all(&dir).ok();
     std::fs::create_dir_all(&dir).unwrap();
     let store_dir = dir.join("store");
-    let (mut daemon, addr, mut daemon_out) = spawn_daemon(&store_dir);
+    let (mut daemon, addr, mut daemon_out) = spawn_daemon(&store_dir, "2");
 
     // 1. Remote sweep output is byte-identical to the one-shot CLI's.
     //    CSV mode: the prose header counts wall time and store hits,
@@ -173,5 +180,239 @@ fn daemon_round_trips_sweeps_shares_its_cache_and_drains() {
         !refused.status.success(),
         "the drained daemon must not be listening"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn counter(status_json: &str, name: &str) -> u64 {
+    ctcp_telemetry::json::Value::parse(status_json.trim())
+        .expect("status is JSON")
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(ctcp_telemetry::json::Value::as_u64)
+        .unwrap_or_else(|| panic!("counter {name} in {status_json}"))
+}
+
+/// Three clients of different shapes — a CSV sweep, an attribution
+/// sweep, and an analyze — hammer the daemon *simultaneously*. Every
+/// one must render byte-identically to its one-shot equivalent, and a
+/// repeat of the first grid must then be answered entirely from the
+/// shared warm cache.
+#[test]
+fn concurrent_clients_render_identically_and_share_the_cache() {
+    let dir = std::env::temp_dir().join(format!("ctcp-serve-conc-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let (mut daemon, addr, _out) = spawn_daemon(&dir.join("store"), "2");
+
+    // Distinct --insts per sweep so the two grids share no cell keys:
+    // concurrent identical cells would race their store writes and
+    // make the cache-hit arithmetic below nondeterministic.
+    let sweep_grid = [
+        "sweep",
+        "--benches",
+        "gzip,twolf",
+        "--strategies",
+        "fdrt",
+        "--insts",
+        "2000",
+        "--csv",
+    ];
+    let attrib_grid = [
+        "sweep",
+        "--benches",
+        "gzip",
+        "--strategies",
+        "friendly",
+        "--insts",
+        "2500",
+        "--csv",
+        "--attrib",
+    ];
+    let analyze = ["analyze", "--bench", "gzip", "--insts", "2000"];
+
+    let shapes: Vec<Vec<String>> = [&sweep_grid[..], &attrib_grid[..], &analyze[..]]
+        .iter()
+        .map(|argv| argv.iter().map(|s| s.to_string()).collect())
+        .collect();
+    let clients: Vec<_> = shapes
+        .iter()
+        .map(|argv| {
+            let mut remote: Vec<String> = vec![
+                "client".into(),
+                argv[0].clone(),
+                "--addr".into(),
+                addr.clone(),
+            ];
+            remote.extend(argv[1..].iter().cloned());
+            std::thread::spawn(move || {
+                let args: Vec<&str> = remote.iter().map(String::as_str).collect();
+                stdout_of(&run(&args))
+            })
+        })
+        .collect();
+    let remote_outputs: Vec<String> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    for (argv, remote) in shapes.iter().zip(&remote_outputs) {
+        let args: Vec<&str> = argv.iter().map(String::as_str).collect();
+        let oneshot = stdout_of(&run(&args));
+        assert_eq!(
+            remote, &oneshot,
+            "{args:?} must render identically under concurrency"
+        );
+    }
+
+    // Repeat the first grid: all four of its cells (2 benches ×
+    // baseline + fdrt) are now warm, so the daemon answers from the
+    // shared store without queueing a single cell.
+    let before = counter(
+        &stdout_of(&run(&["client", "status", "--addr", &addr])),
+        "serve_cache_hits",
+    );
+    let mut repeat = vec!["client", "sweep", "--addr", addr.as_str()];
+    repeat.extend_from_slice(&sweep_grid[1..]);
+    let warm = stdout_of(&run(&repeat));
+    assert_eq!(warm, remote_outputs[0], "the warm path renders identically");
+    let after = counter(
+        &stdout_of(&run(&["client", "status", "--addr", &addr])),
+        "serve_cache_hits",
+    );
+    assert_eq!(after - before, 4, "all four repeated cells are cache hits");
+
+    stdout_of(&run(&["client", "shutdown", "--addr", &addr]));
+    assert!(daemon.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// With a single resident worker, a long warmup-heavy sweep cannot
+/// starve a tiny request that arrives after it: the round-robin cell
+/// queue gives the newcomer the very next free slot, so it finishes
+/// while the big sweep is still running.
+#[test]
+fn small_request_is_not_starved_by_a_running_sweep() {
+    let dir = std::env::temp_dir().join(format!("ctcp-serve-fair-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let (mut daemon, addr, _out) = spawn_daemon(&dir.join("store"), "1");
+
+    // ~30 warmup-heavy cells on one worker: several seconds of queued
+    // work from this client alone.
+    let mut big = Command::new(bin())
+        .args([
+            "client",
+            "sweep",
+            "--addr",
+            &addr,
+            "--benches",
+            "focus",
+            "--insts",
+            "20000",
+            "--warmup",
+            "20000",
+            "--csv",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn big sweep client");
+    // Let the big sweep get admitted and occupy the worker.
+    std::thread::sleep(std::time::Duration::from_millis(500));
+
+    let t = std::time::Instant::now();
+    let small = stdout_of(&run(&[
+        "client",
+        "sweep",
+        "--addr",
+        &addr,
+        "--benches",
+        "gzip",
+        "--strategies",
+        "fdrt",
+        "--insts",
+        "2000",
+        "--csv",
+    ]));
+    let small_latency = t.elapsed();
+    assert!(small.contains("fdrt"), "small sweep produced its table");
+    assert!(
+        big.try_wait().expect("poll big client").is_none(),
+        "the big sweep must still be running when the small one finishes \
+         (big done in under {:?} — grid too small to prove fairness)",
+        t.elapsed()
+    );
+    let big_out = big.wait_with_output().expect("big sweep completes");
+    assert!(big_out.status.success());
+    assert!(
+        small_latency < std::time::Duration::from_secs(5),
+        "small sweep waited {small_latency:?} behind the big one"
+    );
+
+    stdout_of(&run(&["client", "shutdown", "--addr", &addr]));
+    assert!(daemon.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A shutdown racing two in-flight sweeps must lose nothing: both
+/// clients stream to completion, and every cell of both grids is
+/// memoized in the store by the time the daemon exits.
+#[test]
+fn shutdown_racing_two_clients_loses_no_cells() {
+    let dir = std::env::temp_dir().join(format!("ctcp-serve-race-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_dir = dir.join("store");
+    let (mut daemon, addr, _out) = spawn_daemon(&store_dir, "1");
+
+    // 30 cells (6 benches × baseline + 4 strategies) and 2 cells, on
+    // distinct --insts so the grids share no keys: 32 stored lines iff
+    // nothing is lost.
+    let spawn_sweep = |argv: &[&str]| {
+        Command::new(bin())
+            .args(argv)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn sweep client")
+    };
+    let a = spawn_sweep(&[
+        "client",
+        "sweep",
+        "--addr",
+        &addr,
+        "--benches",
+        "focus",
+        "--insts",
+        "20000",
+        "--csv",
+    ]);
+    let b = spawn_sweep(&[
+        "client",
+        "sweep",
+        "--addr",
+        &addr,
+        "--benches",
+        "gzip",
+        "--strategies",
+        "fdrt",
+        "--insts",
+        "7777",
+        "--csv",
+    ]);
+    // Fire the shutdown while both batches are (very likely) mid-
+    // flight; correctness must not depend on the timing either way.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    stdout_of(&run(&["client", "shutdown", "--addr", &addr]));
+
+    let a = a.wait_with_output().expect("client A completes");
+    let b = b.wait_with_output().expect("client B completes");
+    assert!(a.status.success(), "draining must not abort client A");
+    assert!(b.status.success(), "draining must not abort client B");
+    let a_rows = String::from_utf8_lossy(&a.stdout).lines().count();
+    assert_eq!(a_rows, 25, "header + 24 non-baseline cells");
+    assert!(daemon.wait().unwrap().success());
+
+    let shard_lines: usize = (0..ctcp_harness::STORE_SHARDS)
+        .filter_map(|i| std::fs::read_to_string(store_dir.join(format!("shard-{i}.jsonl"))).ok())
+        .map(|text| text.lines().count())
+        .sum();
+    assert_eq!(shard_lines, 32, "every admitted cell memoized exactly once");
     std::fs::remove_dir_all(&dir).ok();
 }

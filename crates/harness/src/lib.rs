@@ -87,10 +87,12 @@
 #![warn(missing_docs)]
 
 mod progress;
+mod sched;
 mod spec;
 mod store;
 
 pub use progress::{NullProgress, ProgressSink, StderrProgress};
+pub use sched::{CellScheduler, Saturated, SchedStats};
 pub use spec::{SpecError, SweepCell, SweepPlan, SweepSpec};
 pub use store::{
     compact, crc32, gc, job_key, shard_of, verify, CompactReport, GcReport, ResultStore,
@@ -248,6 +250,15 @@ pub enum JobError {
         /// The configured limit that was exceeded.
         limit: Duration,
     },
+    /// The job's queued cell was dropped because the requesting client
+    /// disconnected before a shared-pool worker picked it up. The
+    /// result had no recipient; nothing was simulated. Never retried.
+    Cancelled,
+    /// The batch was refused admission by a shared scheduler's queue
+    /// bound before any of its cells ran. Never retried — the caller
+    /// is expected to surface the rejection (the sweep service answers
+    /// 503) rather than spin.
+    Saturated(Saturated),
 }
 
 impl JobError {
@@ -266,6 +277,8 @@ impl std::fmt::Display for JobError {
             JobError::Timeout { limit } => {
                 write!(f, "timed out after {:.1}s", limit.as_secs_f64())
             }
+            JobError::Cancelled => write!(f, "cancelled: client disconnected before the cell ran"),
+            JobError::Saturated(s) => write!(f, "rejected: {s}"),
         }
     }
 }
@@ -503,6 +516,10 @@ pub struct BatchStats {
     pub simulated: usize,
     /// Jobs that failed after exhausting their retries.
     pub failed: usize,
+    /// Jobs dropped from the shared scheduler's queue because the
+    /// requesting client disconnected before they ran (a subset of
+    /// `failed`; their cells were never simulated).
+    pub cancelled: usize,
     /// Jobs never attempted because the identical job they coalesced
     /// onto failed.
     pub skipped: usize,
@@ -515,6 +532,8 @@ pub struct BatchStats {
 pub struct Harness {
     jobs: usize,
     store: Option<ResultStore>,
+    sched: Option<CellScheduler>,
+    cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
     progress: Option<bool>,
     metrics_out: Option<PathBuf>,
     metrics_file: Option<std::fs::File>,
@@ -537,6 +556,8 @@ impl Harness {
         Harness {
             jobs: 0,
             store: None,
+            sched: None,
+            cancel: None,
             progress: None,
             metrics_out: None,
             metrics_file: None,
@@ -560,6 +581,33 @@ impl Harness {
         self.telemetry
             .add(Counter::StoreQuarantined, store.stats().quarantined);
         self.store = Some(store);
+        self
+    }
+
+    /// Routes this harness's batches through a shared [`CellScheduler`]
+    /// instead of a private scoped worker pool. Cells are interleaved
+    /// fairly with every other request feeding the same pool; results,
+    /// store writes and progress still land on the calling thread in
+    /// the usual order, so outputs are byte-identical. A configured
+    /// [`Harness::job_timeout`] or `CTCP_BATCH=off` falls back to the
+    /// private pool (the scheduler's workers never run timed attempts).
+    /// Callers that configured an admission bound on the scheduler
+    /// should run batches via [`Harness::try_run_admitted`] to observe
+    /// rejections as a typed [`Saturated`] instead of failed outcomes.
+    pub fn with_scheduler(mut self, sched: CellScheduler) -> Harness {
+        self.sched = Some(sched);
+        self
+    }
+
+    /// Attaches a cancellation token checked between cell completions
+    /// of a scheduled batch: once it reads `true`, the batch's
+    /// still-queued cells are dropped (running cells finish and are
+    /// memoized) and their outcomes come back as
+    /// [`JobError::Cancelled`]. The sweep service sets the token when
+    /// a client's connection breaks mid-stream. Ignored by the
+    /// private-pool path, which always runs a batch to completion.
+    pub fn cancel_token(mut self, token: Arc<std::sync::atomic::AtomicBool>) -> Harness {
+        self.cancel = Some(token);
         self
     }
 
@@ -696,11 +744,50 @@ impl Harness {
     /// by [`ProgressSink::batch_start`] and [`ProgressSink::batch_end`].
     /// The sweep service uses this to forward a batch's progress to the
     /// requesting client rather than the daemon's own stderr.
+    ///
+    /// With a shared scheduler attached (see
+    /// [`Harness::with_scheduler`]) an admission rejection is folded
+    /// into the outcomes as [`JobError::Saturated`] failures; callers
+    /// that want the rejection as a typed error — before anything has
+    /// been streamed — use [`Harness::try_run_admitted`].
     pub fn try_run_with_progress(
         &mut self,
         jobs: &[Job],
         sink: &mut dyn ProgressSink,
     ) -> Vec<JobOutcome> {
+        match self.try_run_admitted(jobs, sink) {
+            Ok(outcomes) => outcomes,
+            Err(sat) => jobs
+                .iter()
+                .map(|j| {
+                    JobOutcome::Failed(JobFailure {
+                        workload: j.workload.clone(),
+                        strategy: j.config.strategy.name(),
+                        error: JobError::Saturated(sat),
+                        retries: 0,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// [`Harness::try_run_with_progress`] with admission control made
+    /// visible: when the batch's pending cells are refused by the
+    /// shared scheduler's queue bound, returns [`Saturated`] *before*
+    /// any progress has been emitted through `sink`, so a service can
+    /// answer 503 with a clean (unstreamed) response. Fully-memoized
+    /// batches have no pending cells, never touch the scheduler, and
+    /// therefore cannot be refused.
+    ///
+    /// # Errors
+    ///
+    /// [`Saturated`] only; without a scheduler (or without a queue
+    /// bound) the call always succeeds.
+    pub fn try_run_admitted(
+        &mut self,
+        jobs: &[Job],
+        sink: &mut dyn ProgressSink,
+    ) -> Result<Vec<JobOutcome>, Saturated> {
         let batch_start = Instant::now();
         let with_metrics = self.open_metrics_sink();
         let with_attrib = self.attrib;
@@ -748,9 +835,77 @@ impl Harness {
         let batching =
             self.job_timeout.is_none() && std::env::var("CTCP_BATCH").map_or(true, |v| v != "off");
         let workers = self.effective_jobs().min(pending.len().max(1));
-        sink.batch_start(pending.len());
         let (retries, timeout) = (self.retries, self.job_timeout);
-        if workers <= 1 {
+        if batching && self.sched.is_some() {
+            // Shared-pool path: the pending cells are handed to the
+            // scheduler, which interleaves them fairly with every other
+            // in-flight request. Admission happens *before* the first
+            // progress event, so a refused batch streams nothing.
+            let sched = self.sched.clone().expect("just checked");
+            let handle = if pending.is_empty() {
+                None // fully memoized: never touch the worker queue
+            } else {
+                let cells = pending
+                    .iter()
+                    .map(|&i| sched::Cell {
+                        index: i,
+                        job: jobs[i].clone(),
+                        with_metrics,
+                        with_attrib,
+                        retries,
+                    })
+                    .collect();
+                Some(sched.submit(cells)?)
+            };
+            sink.batch_start(pending.len());
+            if let Some(handle) = handle {
+                let mut outstanding = pending.len();
+                let mut done = 0usize;
+                let mut cancel_sent = false;
+                while outstanding > 0 {
+                    // The cancel token is set by the progress sink when
+                    // the client's stream breaks, so check it between
+                    // completions: queued cells are dropped, running
+                    // cells finish (and memoize) normally.
+                    if !cancel_sent
+                        && self
+                            .cancel
+                            .as_ref()
+                            .is_some_and(|c| c.load(Ordering::Relaxed))
+                    {
+                        handle.cancel();
+                        cancel_sent = true;
+                    }
+                    match handle.recv() {
+                        Some(sched::CellDone::Finished {
+                            index,
+                            result,
+                            retries: used,
+                            took,
+                        }) => {
+                            done += 1;
+                            sink.cell_done(done, &jobs[index].workload, took);
+                            results[index] =
+                                Some(self.collect(&jobs[index], keys[index], *result, used));
+                            outstanding -= 1;
+                        }
+                        Some(sched::CellDone::Cancelled { count }) => outstanding -= count,
+                        None => break, // pool died; fail the remainder below
+                    }
+                }
+                for &i in &pending {
+                    if results[i].is_none() {
+                        results[i] = Some(JobOutcome::Failed(JobFailure {
+                            workload: jobs[i].workload.clone(),
+                            strategy: jobs[i].config.strategy.name(),
+                            error: JobError::Cancelled,
+                            retries: 0,
+                        }));
+                    }
+                }
+            }
+        } else if workers <= 1 {
+            sink.batch_start(pending.len());
             let mut runner = BatchRunner::new();
             for (done, &i) in pending.iter().enumerate() {
                 let t = Instant::now();
@@ -763,6 +918,7 @@ impl Harness {
                 results[i] = Some(self.collect(&jobs[i], keys[i], result, used));
             }
         } else {
+            sink.batch_start(pending.len());
             let cursor = AtomicUsize::new(0);
             type Done = (
                 usize,
@@ -829,22 +985,29 @@ impl Harness {
             .into_iter()
             .map(|r| r.expect("every slot filled"))
             .collect();
+        let cancelled = outcomes
+            .iter()
+            .filter(
+                |o| matches!(o, JobOutcome::Failed(f) if matches!(f.error, JobError::Cancelled)),
+            )
+            .count();
         self.last = BatchStats {
             total: jobs.len(),
             store_hits,
             deduped,
-            simulated: pending.len(),
+            simulated: pending.len() - cancelled,
             failed: outcomes
                 .iter()
                 .filter(|o| matches!(o, JobOutcome::Failed(_)))
                 .count(),
+            cancelled,
             skipped: outcomes
                 .iter()
                 .filter(|o| matches!(o, JobOutcome::Skipped { .. }))
                 .count(),
             wall: batch_start.elapsed(),
         };
-        outcomes
+        Ok(outcomes)
     }
 
     /// Books one finished attempt: store write and metrics line on
@@ -1322,5 +1485,70 @@ mod tests {
     fn jobs_zero_means_auto_parallelism() {
         assert!(Harness::new().effective_jobs() >= 1);
         assert_eq!(Harness::new().jobs(3).effective_jobs(), 3);
+    }
+
+    #[test]
+    fn scheduler_path_matches_private_pool_byte_for_byte() {
+        let jobs = grid(&[1_500, 2_500, 3_500, 4_500]);
+        let mut direct = Harness::new().jobs(2).progress(false);
+        let expected = direct.run(&jobs);
+        let sched = CellScheduler::start(2, 0);
+        let mut shared = Harness::new().progress(false).with_scheduler(sched.clone());
+        let got = shared.run(&jobs);
+        sched.shutdown();
+        assert_eq!(shared.last_batch().simulated, jobs.len());
+        for (e, g) in expected.iter().zip(&got) {
+            assert_eq!(format!("{e:?}"), format!("{g:?}"));
+        }
+    }
+
+    #[test]
+    fn saturated_scheduler_rejects_before_anything_runs() {
+        let sched = CellScheduler::start(1, 1);
+        let mut h = Harness::new().progress(false).with_scheduler(sched.clone());
+        let jobs = grid(&[1_000, 2_000]);
+        let err = h
+            .try_run_admitted(&jobs, &mut NullProgress)
+            .expect_err("6 cells > bound of 1");
+        assert_eq!((err.limit, err.wanted), (1, jobs.len()));
+        // The infallible wrappers fold the same rejection into typed
+        // per-job failures instead.
+        let outcomes = h.try_run(&jobs);
+        assert!(outcomes.iter().all(|o| matches!(
+            o,
+            JobOutcome::Failed(f) if matches!(f.error, JobError::Saturated(_))
+        )));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn scheduled_warm_store_skips_the_queue_entirely() {
+        let dir = temp_dir("sched-warm");
+        let jobs = grid(&[1_500, 2_500]);
+        {
+            let mut h = Harness::new()
+                .jobs(1)
+                .progress(false)
+                .with_store(ResultStore::open(&dir).unwrap());
+            h.run(&jobs);
+        }
+        // A scheduler whose bound admits *nothing* still answers a
+        // fully-warm batch: cache hits never reach the queue.
+        let sched = CellScheduler::start(1, 1);
+        sched
+            .submit(vec![]) // occupy nothing; just prove the pool is up
+            .expect("empty submit is admissible");
+        let mut h = Harness::new()
+            .progress(false)
+            .with_store(ResultStore::open(&dir).unwrap())
+            .with_scheduler(sched.clone());
+        let outcomes = h
+            .try_run_admitted(&jobs, &mut NullProgress)
+            .expect("warm batch needs no admission");
+        assert!(outcomes.iter().all(|o| o.report().is_some()));
+        assert_eq!(h.last_batch().store_hits, jobs.len());
+        assert_eq!(h.last_batch().simulated, 0);
+        sched.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,522 @@
+//! Shared cell-level scheduler: one resident worker pool serving the
+//! simulation cells of many concurrent requests fairly.
+//!
+//! The sweep service used to serialise whole batches behind a handler
+//! mutex: one long sweep blocked every other client. This module
+//! inverts that. A [`CellScheduler`] owns a fixed pool of resident
+//! worker threads fed by a *fair* queue of cells: each in-flight
+//! request keeps its own FIFO of pending cells, and a round-robin ring
+//! over request ids hands workers **one cell per request per turn** —
+//! so a 2-cell `analyze` is never starved behind a 96-cell sweep; it
+//! waits for at most one cell per request ahead of it in the ring.
+//!
+//! Results are routed back to the submitting request over a private
+//! channel (one per [`RequestHandle`]), so every request collects its
+//! own cells — store writes, metrics lines and progress events stay on
+//! the submitting thread, exactly as in the private-pool path, and
+//! final outputs remain byte-identical to one-shot runs.
+//!
+//! Workers recycle engine storage across cells the same way the
+//! private-pool path does: each worker keeps one owned
+//! [`EngineArena`](ctcp_sim::EngineArena) and threads it through a
+//! fresh per-cell [`BatchRunner`](ctcp_sim::BatchRunner). (A resident
+//! runner cannot outlive a cell here: its memoized warmup checkpoint
+//! borrows the cell's program, which the scheduler does not keep
+//! alive. Warmup fast-forwards are still captured per cell; only the
+//! cross-cell checkpoint sharing of the single-request pool is
+//! forgone.)
+//!
+//! Admission control is a bound on the *queued* (not running) cell
+//! count: [`CellScheduler::submit`] atomically rejects a request whose
+//! cells would push the queue past the limit, returning [`Saturated`]
+//! so the service can answer 503 before streaming anything.
+//! Cancellation drops a request's still-queued cells (running cells
+//! finish and memoize); [`CellScheduler::shutdown`] stops admissions,
+//! lets workers drain every queued cell, and joins them.
+
+use crate::{execute_batched, Job, JobError};
+use ctcp_sim::{BatchRunner, EngineArena};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One unit of scheduled work: a cell of some request's batch,
+/// self-contained (the job is owned) so it can outlive the submitting
+/// scope.
+pub(crate) struct Cell {
+    /// The cell's position in the submitter's job list, echoed back in
+    /// [`CellDone::Finished`] so results land in the right slot.
+    pub index: usize,
+    /// The job to run.
+    pub job: Job,
+    /// Whether a metrics recorder rides along.
+    pub with_metrics: bool,
+    /// Whether attribution is collected.
+    pub with_attrib: bool,
+    /// Transient-failure retry budget.
+    pub retries: u32,
+}
+
+/// A worker's (or the scheduler's) report back to the submitter.
+pub(crate) enum CellDone {
+    /// One cell ran to completion (success or typed failure).
+    Finished {
+        /// `Cell::index` of the finished cell.
+        index: usize,
+        /// The run's outcome, same shape as the private-pool path.
+        /// Boxed: a `SimReport` is large and `Cancelled` is tiny.
+        result: Box<Result<(ctcp_sim::SimReport, Option<String>), JobError>>,
+        /// Retries actually performed.
+        retries: u32,
+        /// Wall time of the final attempt, for progress display.
+        took: Duration,
+    },
+    /// `count` still-queued cells were dropped by a cancel.
+    Cancelled {
+        /// How many queued cells were discarded.
+        count: usize,
+    },
+}
+
+/// Admission was refused: the shared queue is at its configured bound.
+/// Carries the numbers a 503 body wants to report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Saturated {
+    /// Cells queued (not yet running) at the moment of rejection.
+    pub queued: usize,
+    /// Cells the rejected request wanted to add.
+    pub wanted: usize,
+    /// The configured admission limit.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for Saturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scheduler saturated: {} cells queued + {} requested > limit {}",
+            self.queued, self.wanted, self.limit
+        )
+    }
+}
+
+impl std::error::Error for Saturated {}
+
+/// Point-in-time scheduler load, for `/status`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SchedStats {
+    /// Resident worker threads in the pool.
+    pub workers: usize,
+    /// Cells queued and not yet picked up by a worker.
+    pub queued: usize,
+    /// Cells currently executing on a worker.
+    pub running: usize,
+    /// Queued cells dropped by request cancellation, cumulative.
+    pub cancelled: u64,
+    /// The admission bound on the queued-cell count (`0` = unbounded).
+    pub max_queue: usize,
+}
+
+/// One request's slice of the shared queue.
+struct RequestQueue {
+    cells: VecDeque<Cell>,
+    tx: mpsc::Sender<CellDone>,
+}
+
+/// Mutex-protected scheduler state: per-request FIFOs plus the
+/// round-robin ring that makes the pool fair. Invariant: a request id
+/// is in `requests` iff it has at least one queued cell, and then it
+/// appears in `ring` exactly once.
+struct SchedState {
+    requests: HashMap<u64, RequestQueue>,
+    ring: VecDeque<u64>,
+    next_request: u64,
+    shutdown: bool,
+}
+
+struct SchedInner {
+    state: Mutex<SchedState>,
+    work: Condvar,
+    workers: usize,
+    max_queue: usize,
+    queued: AtomicUsize,
+    running: AtomicUsize,
+    cancelled: AtomicU64,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SchedInner {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A shared, fair, resident cell scheduler. Cloning the handle is
+/// cheap (`Arc` inside); every clone feeds the same pool.
+pub struct CellScheduler {
+    inner: Arc<SchedInner>,
+}
+
+impl Clone for CellScheduler {
+    fn clone(&self) -> CellScheduler {
+        CellScheduler {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl CellScheduler {
+    /// Starts a pool of `workers` resident threads (`0` = auto:
+    /// available parallelism). `max_queue` bounds the queued-cell count
+    /// for admission control; `0` means unbounded.
+    pub fn start(workers: usize, max_queue: usize) -> CellScheduler {
+        let workers = if workers > 0 {
+            workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let inner = Arc::new(SchedInner {
+            state: Mutex::new(SchedState {
+                requests: HashMap::new(),
+                ring: VecDeque::new(),
+                next_request: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            workers,
+            max_queue,
+            queued: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            cancelled: AtomicU64::new(0),
+            handles: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let inner = Arc::clone(&inner);
+            handles.push(std::thread::spawn(move || worker_loop(&inner)));
+        }
+        *inner.handles.lock().unwrap_or_else(PoisonError::into_inner) = handles;
+        CellScheduler { inner }
+    }
+
+    /// Atomically admits one request's cells (all or nothing). With an
+    /// admission limit configured, a request whose cells would push the
+    /// queued count past it is rejected with [`Saturated`] — nothing is
+    /// enqueued. A scheduler that is shutting down rejects everything
+    /// (reported as saturated with the current queue numbers).
+    pub(crate) fn submit(&self, cells: Vec<Cell>) -> Result<RequestHandle, Saturated> {
+        let wanted = cells.len();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.inner.lock();
+            let queued = self.inner.queued.load(Ordering::Relaxed);
+            let limit = self.inner.max_queue;
+            if st.shutdown || (limit > 0 && queued + wanted > limit) {
+                return Err(Saturated {
+                    queued,
+                    wanted,
+                    limit,
+                });
+            }
+            let id = st.next_request;
+            st.next_request += 1;
+            // An empty batch is admissible but never enters the ring —
+            // the map/ring invariant requires at least one queued cell.
+            if wanted > 0 {
+                self.inner.queued.fetch_add(wanted, Ordering::Relaxed);
+                st.requests.insert(
+                    id,
+                    RequestQueue {
+                        cells: cells.into(),
+                        tx,
+                    },
+                );
+                st.ring.push_back(id);
+                self.inner.work.notify_all();
+            }
+            Ok(RequestHandle {
+                sched: self.clone(),
+                id,
+                rx,
+            })
+        }
+    }
+
+    /// Drops request `id`'s still-queued cells (running cells finish
+    /// normally) and tells the submitter how many were discarded via a
+    /// [`CellDone::Cancelled`] message. A request with nothing queued
+    /// is a no-op.
+    fn cancel(&self, id: u64) {
+        let mut st = self.inner.lock();
+        let Some(rq) = st.requests.remove(&id) else {
+            return;
+        };
+        st.ring.retain(|&r| r != id);
+        let count = rq.cells.len();
+        self.inner.queued.fetch_sub(count, Ordering::Relaxed);
+        self.inner
+            .cancelled
+            .fetch_add(count as u64, Ordering::Relaxed);
+        let _ = rq.tx.send(CellDone::Cancelled { count });
+    }
+
+    /// Current load numbers.
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            workers: self.inner.workers,
+            queued: self.inner.queued.load(Ordering::Relaxed),
+            running: self.inner.running.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+            max_queue: self.inner.max_queue,
+        }
+    }
+
+    /// Graceful drain: stops admitting new requests, lets the pool run
+    /// every already-queued cell to completion, and joins the worker
+    /// threads. Safe to call more than once; later calls are no-ops.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.lock();
+            st.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        let handles = std::mem::take(
+            &mut *self
+                .inner
+                .handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A submitted request's end of the scheduler: the channel its results
+/// arrive on, plus the id needed to cancel its queued remainder.
+pub(crate) struct RequestHandle {
+    sched: CellScheduler,
+    id: u64,
+    rx: mpsc::Receiver<CellDone>,
+}
+
+impl RequestHandle {
+    /// Blocks for the next finished (or cancelled) cell. `None` once
+    /// every worker-side sender is gone — which cannot happen before
+    /// the request's cells are all accounted for, so a `None` here
+    /// means the pool died.
+    pub fn recv(&self) -> Option<CellDone> {
+        self.rx.recv().ok()
+    }
+
+    /// Cancels this request's still-queued cells.
+    pub fn cancel(&self) {
+        self.sched.cancel(self.id);
+    }
+}
+
+/// The resident worker body: pull one cell from the fair queue, run it
+/// with recycled engine storage, route the result home, repeat until
+/// shutdown *and* the queue is dry.
+fn worker_loop(inner: &SchedInner) {
+    let mut arena: Option<EngineArena> = None;
+    loop {
+        let picked = {
+            let mut st = inner.lock();
+            loop {
+                if let Some(id) = st.ring.pop_front() {
+                    let rq = st.requests.get_mut(&id).expect("ring entry has a queue");
+                    let cell = rq.cells.pop_front().expect("queued request has cells");
+                    let tx = rq.tx.clone();
+                    if rq.cells.is_empty() {
+                        st.requests.remove(&id);
+                    } else {
+                        st.ring.push_back(id);
+                    }
+                    break Some((cell, tx));
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = inner.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some((cell, tx)) = picked else {
+            return;
+        };
+        inner.queued.fetch_sub(1, Ordering::Relaxed);
+        inner.running.fetch_add(1, Ordering::Relaxed);
+        let t = Instant::now();
+        // Per-cell runner, worker-resident arena: allocation recycling
+        // survives across cells even though the runner itself cannot.
+        let mut runner = match arena.take() {
+            Some(a) => BatchRunner::with_arena(a),
+            None => BatchRunner::new(),
+        };
+        let (result, retries) = execute_batched(
+            &mut runner,
+            &cell.job,
+            cell.with_metrics,
+            cell.with_attrib,
+            cell.retries,
+        );
+        arena = runner.take_arena();
+        inner.running.fetch_sub(1, Ordering::Relaxed);
+        let _ = tx.send(CellDone::Finished {
+            index: cell.index,
+            result: Box::new(result),
+            retries,
+            took: t.elapsed(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_program;
+    use ctcp_sim::SimConfig;
+
+    fn cell(index: usize, budget: u64) -> Cell {
+        let config = SimConfig {
+            max_insts: budget,
+            ..SimConfig::default()
+        };
+        Cell {
+            index,
+            job: Job::new("spin", tiny_program(), config),
+            with_metrics: false,
+            with_attrib: false,
+            retries: 0,
+        }
+    }
+
+    fn drain(handle: &RequestHandle, expect: usize) -> (usize, usize) {
+        let (mut finished, mut cancelled) = (0, 0);
+        while finished + cancelled < expect {
+            match handle.recv().expect("pool alive") {
+                CellDone::Finished { result, .. } => {
+                    assert!(result.is_ok());
+                    finished += 1;
+                }
+                CellDone::Cancelled { count } => cancelled += count,
+            }
+        }
+        (finished, cancelled)
+    }
+
+    #[test]
+    fn concurrent_requests_all_complete() {
+        let sched = CellScheduler::start(2, 0);
+        let handles: Vec<RequestHandle> = (0..3)
+            .map(|_| {
+                sched
+                    .submit((0..4).map(|i| cell(i, 500 + i as u64)).collect())
+                    .expect("unbounded queue admits")
+            })
+            .collect();
+        for h in &handles {
+            assert_eq!(drain(h, 4), (4, 0));
+        }
+        let stats = sched.stats();
+        assert_eq!((stats.queued, stats.running), (0, 0));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn admission_limit_rejects_oversized_requests_atomically() {
+        // One worker, and a first request large enough that cells are
+        // still queued when the second arrives.
+        let sched = CellScheduler::start(1, 4);
+        let first = sched
+            .submit((0..4).map(|i| cell(i, 50_000)).collect())
+            .expect("fits the bound exactly");
+        let refused = sched.submit(vec![cell(0, 500), cell(1, 500)]);
+        match refused {
+            Err(sat) => {
+                assert_eq!(sat.limit, 4);
+                assert_eq!(sat.wanted, 2);
+                assert!(sat.queued + sat.wanted > sat.limit, "{sat}");
+            }
+            Ok(_) => panic!("second request must be refused while queue is full"),
+        }
+        assert_eq!(drain(&first, 4), (4, 0));
+        // Queue drained: the same request is now admissible.
+        let retry = sched
+            .submit(vec![cell(0, 500), cell(1, 500)])
+            .expect("drained queue admits");
+        assert_eq!(drain(&retry, 2), (2, 0));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn cancel_drops_only_queued_cells() {
+        let sched = CellScheduler::start(1, 0);
+        // Park a long request so the victim's cells stay queued.
+        let long = sched
+            .submit((0..2).map(|i| cell(i, 80_000)).collect())
+            .unwrap();
+        let victim = sched
+            .submit((0..5).map(|i| cell(i, 500)).collect())
+            .unwrap();
+        victim.cancel();
+        let (finished, cancelled) = drain(&victim, 5);
+        // Depending on interleaving a cell or two may already have run,
+        // but cancelled + finished always accounts for all five, and at
+        // least one must have been dropped while the long request held
+        // the single worker.
+        assert_eq!(finished + cancelled, 5);
+        assert!(cancelled >= 1, "queued cells must be droppable");
+        assert_eq!(sched.stats().cancelled, cancelled as u64);
+        assert_eq!(drain(&long, 2), (2, 0));
+        assert_eq!(sched.stats().queued, 0);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_cells_then_refuses() {
+        let sched = CellScheduler::start(1, 0);
+        let h = sched
+            .submit((0..6).map(|i| cell(i, 2_000)).collect())
+            .unwrap();
+        sched.shutdown();
+        // Every queued cell still completed — drain means no lost work.
+        assert_eq!(drain(&h, 6), (6, 0));
+        assert!(sched.submit(vec![cell(0, 500)]).is_err());
+    }
+
+    #[test]
+    fn round_robin_interleaves_a_small_request_past_a_big_one() {
+        // One worker, a 12-cell request submitted first, then a 2-cell
+        // request. Fair interleaving must finish the small request
+        // after at most a handful of big-request cells — strictly FIFO
+        // scheduling would run all 12 first.
+        let sched = CellScheduler::start(1, 0);
+        let big = sched
+            .submit((0..12).map(|i| cell(i, 20_000)).collect())
+            .unwrap();
+        let small = sched.submit(vec![cell(0, 1_000), cell(1, 1_000)]).unwrap();
+        let mut big_done = 0usize;
+        let mut small_done = 0usize;
+        // Poll both receivers without blocking on the big one.
+        while small_done < 2 {
+            if let Ok(CellDone::Finished { .. }) = small.rx.try_recv() {
+                small_done += 1;
+            }
+            if let Ok(CellDone::Finished { .. }) = big.rx.try_recv() {
+                big_done += 1;
+            }
+            std::thread::yield_now();
+        }
+        assert!(
+            big_done < 12,
+            "small request must complete before the big one drains"
+        );
+        assert_eq!(drain(&big, 12 - big_done), (12 - big_done, 0));
+        sched.shutdown();
+    }
+}

@@ -59,6 +59,8 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// Version salt folded into every key. Bump when the report schema or
 /// the envelope changes; old store contents then miss cleanly. History:
@@ -204,20 +206,49 @@ pub struct StoreStats {
     pub quarantined: u64,
 }
 
-/// One open shard: the append handle plus its advisory lock token.
-struct Shard {
-    file: File,
+/// One open shard: its slice of the in-memory index behind a
+/// reader-writer lock, the append handle behind a mutex, and the
+/// on-disk advisory lock token. The index partition matches the
+/// on-disk partitioning ([`shard_of`]), so concurrent probes of
+/// different shards never touch the same lock, and a probe of any
+/// shard never waits on an in-flight append (appends only take the
+/// index's write lock for the brief in-memory insert).
+struct ShardState {
+    index: RwLock<KeyIndex>,
+    append: Mutex<File>,
     lock: File,
     lock_path: PathBuf,
 }
 
 /// A memoizing report store backed by hash-partitioned JSON-lines
-/// shard files with an in-memory key index.
+/// shard files with a sharded in-memory key index.
+///
+/// The handle is cheaply cloneable — clones share one open store
+/// (`Arc` inside), so a daemon can hand every worker and every request
+/// the same warm index. `get` and `put` take `&self`: readers probe
+/// the key's shard under a shared read lock (the cache fast path),
+/// writers briefly take that one shard's write lock plus its append
+/// mutex, and traffic on different shards proceeds in parallel.
 pub struct ResultStore {
+    inner: Arc<StoreInner>,
+}
+
+impl Clone for ResultStore {
+    fn clone(&self) -> ResultStore {
+        ResultStore {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+struct StoreInner {
     dir: PathBuf,
-    shards: Vec<Shard>,
-    map: KeyIndex,
-    stats: StoreStats,
+    shards: Vec<ShardState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    /// Set once at open time, constant afterwards.
+    quarantined: u64,
 }
 
 impl ResultStore {
@@ -241,7 +272,7 @@ impl ResultStore {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let mut quarantined = migrate_legacy(dir)?;
-        let mut map = KeyIndex::default();
+        let mut maps: Vec<KeyIndex> = (0..STORE_SHARDS).map(|_| KeyIndex::default()).collect();
         let mut shards = Vec::with_capacity(STORE_SHARDS);
         for i in 0..STORE_SHARDS {
             let path = shard_path(dir, i);
@@ -250,14 +281,14 @@ impl ResultStore {
             // First pass, lock-free: the common case is a clean shard,
             // and a clean open must never block behind maintenance or
             // another handle's append on this shard.
-            if !scan_shard(&path, &mut map)?.1.is_empty() {
+            if !scan_shard(&path, &mut maps)?.1.is_empty() {
                 // Damage found. Re-scan *under the shard lock* so the
                 // heal rewrite cannot race a concurrent append (a line
                 // landing between a lock-free scan and the rewrite
                 // would otherwise be silently dropped).
                 lock.lock()?;
                 let healed = (|| {
-                    let (clean, corrupt) = scan_shard(&path, &mut map)?;
+                    let (clean, corrupt) = scan_shard(&path, &mut maps)?;
                     quarantined += corrupt.len() as u64;
                     append_lines(&shard_quarantine_path(dir, i), &corrupt)?;
                     atomic_rewrite(&path, &clean)
@@ -266,87 +297,124 @@ impl ResultStore {
                 healed?;
             }
             let file = OpenOptions::new().create(true).append(true).open(&path)?;
-            shards.push(Shard {
-                file,
+            shards.push((file, lock, lock_path));
+        }
+        // Index partitions are assembled after every file is scanned:
+        // a line whose key routes elsewhere (hand-edited or moved
+        // shard file) still lands in the partition `get` will probe.
+        let shards = shards
+            .into_iter()
+            .zip(maps)
+            .map(|((file, lock, lock_path), map)| ShardState {
+                index: RwLock::new(map),
+                append: Mutex::new(file),
                 lock,
                 lock_path,
-            });
-        }
-        let entries = map.len();
+            })
+            .collect();
         Ok(ResultStore {
-            dir: dir.to_path_buf(),
-            shards,
-            map,
-            stats: StoreStats {
-                entries,
+            inner: Arc::new(StoreInner {
+                dir: dir.to_path_buf(),
+                shards,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                puts: AtomicU64::new(0),
                 quarantined,
-                ..StoreStats::default()
-            },
+            }),
         })
     }
 
     /// The store directory this handle is backed by.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        &self.inner.dir
     }
 
     /// Looks up `key` in the in-memory index, counting the outcome.
-    pub fn get(&mut self, key: u64) -> Option<SimReport> {
-        match self.map.get(&key) {
+    /// Readers only take the key's shard-index read lock — never the
+    /// append path — so concurrent cache probes proceed in parallel
+    /// with each other and with writers on other shards.
+    pub fn get(&self, key: u64) -> Option<SimReport> {
+        let shard = &self.inner.shards[shard_of(key)];
+        let found = shard
+            .index
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+            .cloned();
+        match found {
             Some(r) => {
-                self.stats.hits += 1;
-                Some(r.clone())
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
             }
             None => {
-                self.stats.misses += 1;
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Records `report` under `key`: one line appended to the key's
-    /// shard in a single write under that shard's advisory lock, then
-    /// flushed, so a killed run loses at most the in-flight report and
-    /// concurrent writers never interleave bytes within a line.
+    /// Records `report` under `key`: the in-memory insert under that
+    /// shard's index write lock, then one line appended to the key's
+    /// shard file in a single write under its append mutex and on-disk
+    /// advisory lock, then flushed — so a killed run loses at most the
+    /// in-flight report and concurrent writers (in this process or
+    /// another) never interleave bytes within a line.
     ///
     /// # Errors
     ///
     /// Propagates write failures; the in-memory copy is kept either
     /// way, so the current process still benefits.
-    pub fn put(&mut self, key: u64, workload: &str, report: &SimReport) -> std::io::Result<()> {
-        self.stats.puts += 1;
-        self.map.insert(key, report.clone());
-        self.stats.entries = self.map.len();
+    pub fn put(&self, key: u64, workload: &str, report: &SimReport) -> std::io::Result<()> {
+        self.inner.puts.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.inner.shards[shard_of(key)];
+        shard
+            .index
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, report.clone());
         let mut line = encode_line(key, workload, report);
         line.push('\n');
-        let shard = shard_of(key);
-        let Shard { file, lock, .. } = &mut self.shards[shard];
+        let mut file = shard.append.lock().unwrap_or_else(PoisonError::into_inner);
         // Fault injection: the `store-truncate` fail point models a
         // crash mid-append — half the bytes land, no newline. An
         // argument restricts the tear to that one shard index, so a
         // test can wound a single shard while the others stay clean.
         // The next open must quarantine the torn line, not choke on it.
-        if truncate_armed_for(shard) {
+        if truncate_armed_for(shard_of(key)) {
             file.write_all(&line.as_bytes()[..line.len() / 2])?;
             return file.flush();
         }
-        lock.lock()?;
+        shard.lock.lock()?;
         let appended = file.write_all(line.as_bytes()).and_then(|()| file.flush());
-        let _ = lock.unlock();
+        let _ = shard.lock.unlock();
         appended
     }
 
-    /// Counters for this handle.
+    /// Counters for this shared store (cumulative across every clone
+    /// of the handle). `entries` is computed from the live index.
     pub fn stats(&self) -> StoreStats {
-        self.stats
+        let entries = self
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.index.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum();
+        StoreStats {
+            entries,
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            puts: self.inner.puts.load(Ordering::Relaxed),
+            quarantined: self.inner.quarantined,
+        }
     }
 }
 
-impl Drop for ResultStore {
-    /// Best-effort lock-file cleanup. A shard lock file is a pure
-    /// token, so the last handle out removes it; `try_lock` skips the
-    /// window where another handle is mid-append (that handle's own
-    /// drop will collect the file instead).
+impl Drop for StoreInner {
+    /// Best-effort lock-file cleanup, run when the last clone of the
+    /// handle drops. A shard lock file is a pure token, so the last
+    /// handle out removes it; `try_lock` skips the window where
+    /// another process's handle is mid-append (that handle's own drop
+    /// will collect the file instead).
     fn drop(&mut self) {
         for s in &self.shards {
             if s.lock.try_lock().is_ok() {
@@ -368,10 +436,10 @@ fn truncate_armed_for(shard: usize) -> bool {
     }
 }
 
-/// Reads one shard file, folding valid reports into `map` (newest line
-/// wins) and returning its `(clean, corrupt)` lines. A missing shard
-/// scans as empty.
-fn scan_shard(path: &Path, map: &mut KeyIndex) -> std::io::Result<(Vec<String>, Vec<String>)> {
+/// Reads one shard file, folding valid reports into the index
+/// partition their *key* routes to (newest line wins) and returning
+/// its `(clean, corrupt)` lines. A missing shard scans as empty.
+fn scan_shard(path: &Path, maps: &mut [KeyIndex]) -> std::io::Result<(Vec<String>, Vec<String>)> {
     let mut clean: Vec<String> = Vec::new();
     let mut corrupt: Vec<String> = Vec::new();
     if let Ok(existing) = File::open(path) {
@@ -379,7 +447,7 @@ fn scan_shard(path: &Path, map: &mut KeyIndex) -> std::io::Result<(Vec<String>, 
             let line = line?;
             match classify_line(&line) {
                 Line::Valid { key, report } => {
-                    map.insert(key, *report);
+                    maps[shard_of(key)].insert(key, *report);
                     clean.push(line);
                 }
                 Line::Stale => clean.push(line),
@@ -856,13 +924,13 @@ mod tests {
         let report = sample_report();
         let key = job_key("unit", &SimConfig::default());
         {
-            let mut s = ResultStore::open(&dir).unwrap();
+            let s = ResultStore::open(&dir).unwrap();
             assert!(s.get(key).is_none());
             s.put(key, "unit", &report).unwrap();
             assert_eq!(s.stats().puts, 1);
             assert_eq!(s.stats().misses, 1);
         }
-        let mut s = ResultStore::open(&dir).unwrap();
+        let s = ResultStore::open(&dir).unwrap();
         assert_eq!(s.stats().entries, 1);
         assert_eq!(s.stats().quarantined, 0);
         let back = s.get(key).expect("persisted report");
@@ -875,7 +943,7 @@ mod tests {
     fn dropping_every_handle_removes_lock_tokens() {
         let dir = temp_dir("store-lock-cleanup");
         {
-            let mut s = ResultStore::open(&dir).unwrap();
+            let s = ResultStore::open(&dir).unwrap();
             s.put(7, "unit", &sample_report()).unwrap();
         }
         for i in 0..STORE_SHARDS {
@@ -892,7 +960,7 @@ mod tests {
         let dir = temp_dir("store-truncated");
         let key = job_key("unit", &SimConfig::default());
         {
-            let mut s = ResultStore::open(&dir).unwrap();
+            let s = ResultStore::open(&dir).unwrap();
             s.put(key, "unit", &sample_report()).unwrap();
         }
         // Crash mid-append: the last line of key 99's shard stops half
@@ -906,7 +974,7 @@ mod tests {
         text.push_str(&torn);
         std::fs::write(&shard, &text).unwrap();
 
-        let mut s = ResultStore::open(&dir).unwrap();
+        let s = ResultStore::open(&dir).unwrap();
         assert_eq!(s.stats().entries, 1, "good line survives");
         assert_eq!(s.stats().quarantined, 1);
         assert!(s.get(key).is_some());
@@ -952,7 +1020,7 @@ mod tests {
         std::fs::write(legacy_path(&dir), &text).unwrap();
         std::fs::write(dir.join(LEGACY_LOCK_FILE), "").unwrap();
 
-        let mut s = ResultStore::open(&dir).unwrap();
+        let s = ResultStore::open(&dir).unwrap();
         assert_eq!(s.stats().entries, keys.len());
         assert_eq!(s.stats().quarantined, 0);
         for &k in &keys {
@@ -987,7 +1055,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(legacy_path(&dir), format!("{old}\n")).unwrap();
         {
-            let mut s = ResultStore::open(&dir).unwrap();
+            let s = ResultStore::open(&dir).unwrap();
             assert_eq!(s.stats().entries, 0, "stale line must miss");
             assert_eq!(s.stats().quarantined, 0, "stale is not corrupt");
             assert!(s.get(0x2a).is_none());
@@ -1019,13 +1087,13 @@ mod tests {
         let dir = temp_dir("store-newest");
         let key = 42u64;
         {
-            let mut s = ResultStore::open(&dir).unwrap();
+            let s = ResultStore::open(&dir).unwrap();
             let mut r = sample_report();
             s.put(key, "unit", &r).unwrap();
             r.cycles = 777;
             s.put(key, "unit", &r).unwrap();
         }
-        let mut s = ResultStore::open(&dir).unwrap();
+        let s = ResultStore::open(&dir).unwrap();
         assert_eq!(s.get(key).unwrap().cycles, 777);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -1034,7 +1102,7 @@ mod tests {
     fn compact_keeps_newest_per_key_and_round_trips() {
         let dir = temp_dir("store-compact");
         {
-            let mut s = ResultStore::open(&dir).unwrap();
+            let s = ResultStore::open(&dir).unwrap();
             let mut r = sample_report();
             s.put(1, "unit", &r).unwrap();
             s.put(2, "unit", &r).unwrap();
@@ -1057,7 +1125,7 @@ mod tests {
 
         // Round trip: the compacted store still answers both keys, the
         // newest value won, and a second compact is a no-op.
-        let mut s = ResultStore::open(&dir).unwrap();
+        let s = ResultStore::open(&dir).unwrap();
         assert_eq!(s.stats().entries, 2);
         assert_eq!(s.stats().quarantined, 0);
         assert_eq!(s.get(1).unwrap().cycles, 777);

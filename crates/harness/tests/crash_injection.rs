@@ -201,7 +201,7 @@ fn shard_targeted_truncation_wounds_only_that_shard() {
         .iter()
         .filter(|&&k| shard_of(k) == torn_shard)
         .collect();
-    let mut s = ResultStore::open(&dir).unwrap();
+    let s = ResultStore::open(&dir).unwrap();
     assert_eq!(s.stats().quarantined, torn.len() as u64);
     assert_eq!(s.stats().entries, keys.len() - torn.len());
     for &&k in &torn {

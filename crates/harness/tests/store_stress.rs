@@ -45,7 +45,7 @@ fn concurrent_writers_produce_a_clean_consistent_store() {
         .map(|_| ResultStore::open(&dir).unwrap())
         .collect();
     std::thread::scope(|scope| {
-        for (t, mut store) in handles.into_iter().enumerate() {
+        for (t, store) in handles.into_iter().enumerate() {
             scope.spawn(move || {
                 for j in 0..PUTS {
                     let key = (t as u64) << 32 | j;
@@ -63,7 +63,7 @@ fn concurrent_writers_produce_a_clean_consistent_store() {
 
     // A cold re-scan builds the same index the writers produced, with
     // every payload on its own key.
-    let mut cold = ResultStore::open(&dir).unwrap();
+    let cold = ResultStore::open(&dir).unwrap();
     assert_eq!(cold.stats().entries, WRITERS * PUTS as usize);
     assert_eq!(cold.stats().quarantined, 0);
     for t in 0..WRITERS as u64 {
@@ -90,7 +90,7 @@ fn maintenance_on_one_shard_never_blocks_another() {
     // scan below finds a partner anywhere else.
     let key_a = 0u64;
     let key_b = (1..64).find(|&k| shard_of(k) != shard_of(key_a)).unwrap();
-    let mut store = ResultStore::open(&dir).unwrap();
+    let store = ResultStore::open(&dir).unwrap();
     store.put(key_a, "stress", &marked_report(key_a)).unwrap();
     store.put(key_b, "stress", &marked_report(key_b)).unwrap();
 

@@ -5,10 +5,15 @@
 //! crate turns the harness into a *service*: a long-running daemon
 //! (`ctcp serve --addr 127.0.0.1:PORT`) that accepts sweep and analyze
 //! requests over a hand-rolled, offline-safe HTTP/1.1 + JSON protocol,
-//! runs them through one persistent execution backend, streams
-//! per-cell progress back as chunked NDJSON, and lets every connected
-//! client share the same warm in-memory result cache backed by the
-//! sharded result store in `ctcp-harness`.
+//! runs them through one shared execution backend, streams per-cell
+//! progress back as chunked NDJSON, and lets every connected client
+//! share the same warm result cache backed by the sharded result
+//! store in `ctcp-harness`. Requests are served *concurrently*: each
+//! connection gets a thread, the handler is `&self + Sync`, and the
+//! CLI backend interleaves all in-flight batches cell-by-cell on one
+//! fair scheduler — so a two-cell analyze never waits behind a
+//! ninety-six-cell sweep, and a fully-memoized request is answered
+//! from the store while the pool is busy.
 //!
 //! The crate deliberately depends on nothing but `std::net` and
 //! `ctcp-telemetry` (for the JSON value and the service counters). The
@@ -18,8 +23,8 @@
 //! are all testable without running a single simulation.
 //!
 //! See [`http`] for the wire protocol and [`service`] for routing,
-//! queue semantics and the graceful-drain contract; DESIGN.md §7f in
-//! the repository root documents both.
+//! admission, disconnect and graceful-drain contracts; DESIGN.md §7f
+//! and §7h in the repository root document both.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,4 +32,6 @@
 pub mod http;
 pub mod service;
 
-pub use service::{Handler, RequestKind, RunResult, Service, ServiceSummary};
+pub use service::{
+    Handler, HandlerError, HandlerStats, RequestKind, RunResult, Service, ServiceSummary,
+};

@@ -1,34 +1,46 @@
-//! The resident sweep service: accept loop, request routing, queueing,
-//! counters, and graceful drain.
+//! The resident sweep service: accept loop, request routing, admission
+//! control, counters, and graceful drain.
 //!
 //! The service itself knows nothing about simulators. It owns a
-//! [`Handler`] — the CLI plugs in one wrapping a persistent
-//! `ctcp-harness` `Harness` with its warm result store — and routes
+//! [`Handler`] — the CLI plugs in one wrapping the shared cell
+//! scheduler and warm result store from `ctcp-harness` — and routes
 //! HTTP requests at it:
 //!
 //! | request           | behaviour                                          |
 //! |-------------------|----------------------------------------------------|
 //! | `POST /sweep`     | runs a sweep, streaming NDJSON progress chunks     |
 //! | `POST /analyze`   | same, for an attribution analysis                  |
-//! | `GET /status`     | queue depth, busy flag, service counters           |
+//! | `GET /status`     | in-flight work, pool utilization, latency, counters|
 //! | `POST /shutdown`  | begins a graceful drain                            |
 //!
-//! Batches serialise on the handler: one runs at a time, later
-//! requests queue on the handler mutex (counted in `serve_queued`,
-//! visible live as `queue_depth`). `/status` never queues — it probes
-//! the mutex and reports `busy` instead of waiting. Shutdown is a
-//! *drain*: the accept loop stops taking work, every in-flight
-//! connection thread is joined, and because the handler memoizes each
-//! cell as it finishes, nothing already computed is lost even if a
-//! client vanished mid-batch.
+//! Batches run *concurrently*: every connection gets its own thread,
+//! and the handler is shared by reference (`&self`, `Send + Sync`)
+//! rather than serialised behind a mutex. Interleaving is the
+//! handler's business — the CLI handler feeds all requests into one
+//! fair cell scheduler — while the service handles the wire side of
+//! concurrency:
+//!
+//! * **admission**: a handler may refuse a batch
+//!   ([`HandlerError::Saturated`]) before streaming anything; the
+//!   service answers with a clean `503` and a typed JSON body, so
+//!   clients can tell "try later" from a failed run.
+//! * **disconnects**: progress callbacks return `false` once the
+//!   client's stream breaks, letting the handler cancel that request's
+//!   queued cells. Cells already running finish (and memoize) — the
+//!   drain guarantee `/shutdown` relies on.
+//! * **drain**: `/shutdown` stops the accept loop, every in-flight
+//!   connection thread is joined, and then the handler is
+//!   [quiesced](Handler::quiesce) so its worker pool runs every
+//!   admitted cell to completion before the daemon exits.
 
 use crate::http;
 use ctcp_telemetry::json::Value;
-use ctcp_telemetry::{Counter, Metrics};
+use ctcp_telemetry::{Counter, Histogram, Metrics};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// What kind of batch a request asked for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,21 +62,93 @@ pub struct RunResult {
     pub cache_hits: u64,
     /// Cells actually simulated.
     pub simulated: u64,
+    /// Queued cells dropped because this client disconnected before
+    /// they ran.
+    pub cancelled: u64,
+}
+
+/// Why a handler refused to run a batch at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerError {
+    /// Admission control: the shared queue is over its configured
+    /// bound. Nothing was streamed; the service answers `503` with
+    /// these numbers in a typed JSON body.
+    Saturated {
+        /// Cells already queued when the request arrived.
+        queued: usize,
+        /// Cells this request wanted to add.
+        wanted: usize,
+        /// The configured queue bound.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for HandlerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandlerError::Saturated {
+                queued,
+                wanted,
+                limit,
+            } => write!(
+                f,
+                "saturated: {queued} cells queued + {wanted} requested > limit {limit}"
+            ),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the handler's execution backend,
+/// surfaced verbatim by `/status`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HandlerStats {
+    /// Resident worker threads in the shared pool.
+    pub workers: usize,
+    /// Cells queued and not yet picked up by a worker.
+    pub queued_cells: usize,
+    /// Cells currently executing on a worker.
+    pub running_cells: usize,
+    /// Queued cells dropped by client disconnects, cumulative.
+    pub cancelled_cells: u64,
 }
 
 /// The execution backend behind the service — implemented by the CLI
-/// around a persistent harness, mocked in tests.
-pub trait Handler: Send {
+/// around the shared cell scheduler, mocked in tests.
+///
+/// `run` takes `&self` and the trait requires `Send + Sync`: the
+/// service calls it from many connection threads at once, so
+/// implementations own their interior synchronisation (the CLI handler
+/// builds a fresh per-request harness around shared `Clone` handles).
+pub trait Handler: Send + Sync {
     /// Runs the batch described by `body` (a parsed JSON object),
     /// emitting progress events through `progress` as cells finish.
-    /// A malformed body should come back as a `RunResult` with a
-    /// non-zero `exit_code` and the parse error as `output`.
+    /// The callback returns `false` once the client's stream is broken
+    /// — the handler should then cancel the request's queued cells
+    /// (running cells finish and memoize) but still return the result.
+    /// A malformed body should come back as an `Ok` result with a
+    /// non-zero `exit_code` and the parse error as `output`; `Err` is
+    /// reserved for refusing to run at all.
+    ///
+    /// # Errors
+    ///
+    /// [`HandlerError::Saturated`] when admission control refuses the
+    /// batch — guaranteed to happen before any progress is emitted.
     fn run(
-        &mut self,
+        &self,
         kind: RequestKind,
         body: &Value,
-        progress: &mut dyn FnMut(&Value),
-    ) -> RunResult;
+        progress: &mut dyn FnMut(&Value) -> bool,
+    ) -> Result<RunResult, HandlerError>;
+
+    /// A live snapshot of the execution backend for `/status`.
+    fn stats(&self) -> HandlerStats {
+        HandlerStats::default()
+    }
+
+    /// Quiesces the backend at the end of a drain: stop admitting,
+    /// run every already-admitted cell to completion, release workers.
+    /// Called once, after all connection threads have been joined.
+    fn quiesce(&self) {}
 }
 
 /// Counter totals for one service lifetime, reported when the drain
@@ -73,17 +157,27 @@ pub trait Handler: Send {
 pub struct ServiceSummary {
     /// Requests accepted (all routes).
     pub requests: u64,
-    /// Batch requests that had to queue behind a running batch.
+    /// Batch requests that overlapped another in-flight batch (the
+    /// concurrency the shared scheduler interleaved).
     pub queued: u64,
     /// Sweep cells answered from the warm shared cache.
     pub cache_hits: u64,
+    /// Batch requests refused by admission control (`503`).
+    pub rejected: u64,
+    /// Queued cells dropped because their client disconnected.
+    pub cancelled_cells: u64,
 }
 
 struct Inner {
-    handler: Mutex<Box<dyn Handler>>,
+    handler: Box<dyn Handler>,
     metrics: Mutex<Metrics>,
-    /// Batch requests currently waiting on the handler mutex.
-    queue_depth: AtomicUsize,
+    /// Completed-batch latency, bucketed as `log2(ms + 1)` so the
+    /// fixed 33-bucket histogram spans sub-millisecond cache hits to
+    /// multi-hour sweeps.
+    latency: Mutex<Histogram>,
+    /// Batch requests currently being handled (admitted or not-yet-
+    /// admitted; excludes `/status` and `/shutdown`).
+    in_flight: AtomicUsize,
     /// Set by `/shutdown`; the accept loop stops taking connections.
     draining: AtomicBool,
     addr: SocketAddr,
@@ -116,9 +210,10 @@ impl Service {
         Ok(Service {
             listener,
             inner: Arc::new(Inner {
-                handler: Mutex::new(handler),
+                handler,
                 metrics: Mutex::new(Metrics::new()),
-                queue_depth: AtomicUsize::new(0),
+                latency: Mutex::new(Histogram::default()),
+                in_flight: AtomicUsize::new(0),
                 draining: AtomicBool::new(false),
                 addr,
             }),
@@ -132,8 +227,8 @@ impl Service {
 
     /// Serves until a `/shutdown` request, then drains: the accept
     /// loop stops, every in-flight connection thread is joined (their
-    /// batches run to completion), and the counter totals are
-    /// returned.
+    /// batches run to completion), the handler is quiesced, and the
+    /// counter totals are returned.
     ///
     /// # Errors
     ///
@@ -164,15 +259,19 @@ impl Service {
             }
         }
         // Graceful drain: in-flight batches finish (and memoize) even
-        // though no new connections are accepted.
+        // though no new connections are accepted — then the handler's
+        // own pool is quiesced, so no admitted cell is ever lost.
         for w in workers {
             let _ = w.join();
         }
+        self.inner.handler.quiesce();
         let m = relock(&self.inner.metrics);
         Ok(ServiceSummary {
             requests: m.get(Counter::ServeRequests),
             queued: m.get(Counter::ServeQueued),
             cache_hits: m.get(Counter::ServeCacheHits),
+            rejected: m.get(Counter::ServeRejected),
+            cancelled_cells: m.get(Counter::ServeCancelledCells),
         })
     }
 }
@@ -198,6 +297,16 @@ fn handle_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
     }
 }
 
+/// Decrements the in-flight gauge however the batch ends (result,
+/// rejection, panic in the handler, broken pipe).
+struct InFlight<'a>(&'a AtomicUsize);
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn run_batch(
     kind: RequestKind,
     req: &http::Request,
@@ -208,31 +317,82 @@ fn run_batch(
         Some(Ok(v)) => v,
         _ => return http::write_response(out, 400, "text/plain", b"body is not valid JSON"),
     };
-    // Batches serialise on the handler; a contended acquire is a queued
-    // request, visible live in /status while it waits.
-    let mut handler = match inner.handler.try_lock() {
-        Ok(guard) => guard,
-        Err(TryLockError::Poisoned(e)) => e.into_inner(),
-        Err(TryLockError::WouldBlock) => {
-            relock(&inner.metrics).add(Counter::ServeQueued, 1);
-            inner.queue_depth.fetch_add(1, Ordering::SeqCst);
-            let guard = relock(&inner.handler);
-            inner.queue_depth.fetch_sub(1, Ordering::SeqCst);
-            guard
+    let started = Instant::now();
+    if inner.in_flight.fetch_add(1, Ordering::SeqCst) > 0 {
+        // Another batch is already running: this one rides the shared
+        // pool concurrently instead of waiting its turn.
+        relock(&inner.metrics).add(Counter::ServeQueued, 1);
+    }
+    let _gauge = InFlight(&inner.in_flight);
+
+    // The chunked stream starts lazily, on the first progress event:
+    // a batch refused by admission control streams nothing, so it can
+    // still be answered with a clean fixed-length 503.
+    let mut writer: Option<http::ChunkedWriter<TcpStream>> = None;
+    let mut peer_gone = false;
+    let outcome = inner.handler.run(kind, &body, &mut |event| {
+        if peer_gone {
+            return false;
         }
-    };
-    let mut w = http::ChunkedWriter::start(&mut *out, 200, "application/x-ndjson")?;
-    // Progress write failures are deliberately swallowed: a client
-    // hanging up must not abort the batch — every finished cell is
-    // already memoized in the shared store, which is the drain
-    // guarantee `/shutdown` relies on.
-    let result = handler.run(kind, &body, &mut |event| {
+        let w = match writer.as_mut() {
+            Some(w) => w,
+            None => match out
+                .try_clone()
+                .and_then(|s| http::ChunkedWriter::start(s, 200, "application/x-ndjson"))
+            {
+                Ok(w) => writer.insert(w),
+                Err(_) => {
+                    peer_gone = true;
+                    return false;
+                }
+            },
+        };
         let mut line = event.render();
         line.push('\n');
-        let _ = w.chunk(line.as_bytes());
+        match w.chunk(line.as_bytes()) {
+            Ok(()) => true,
+            Err(_) => {
+                // The client hung up. The batch keeps running — every
+                // finished cell is already memoized in the shared
+                // store — but the handler is told so it can drop this
+                // request's still-queued cells.
+                peer_gone = true;
+                false
+            }
+        }
     });
-    drop(handler);
-    relock(&inner.metrics).add(Counter::ServeCacheHits, result.cache_hits);
+
+    let result = match outcome {
+        Ok(result) => result,
+        Err(
+            e @ HandlerError::Saturated {
+                queued,
+                wanted,
+                limit,
+            },
+        ) => {
+            relock(&inner.metrics).add(Counter::ServeRejected, 1);
+            debug_assert!(writer.is_none(), "admission precedes streaming");
+            let body = Value::Obj(vec![
+                ("error".into(), Value::str("saturated")),
+                ("message".into(), Value::str(&e.to_string())),
+                ("queued".into(), Value::u64(queued as u64)),
+                ("wanted".into(), Value::u64(wanted as u64)),
+                ("limit".into(), Value::u64(limit as u64)),
+            ])
+            .render();
+            return http::write_response(out, 503, "application/json", body.as_bytes());
+        }
+    };
+
+    {
+        let mut m = relock(&inner.metrics);
+        m.add(Counter::ServeCacheHits, result.cache_hits);
+        m.add(Counter::ServeCancelledCells, result.cancelled);
+    }
+    let ms = started.elapsed().as_millis() as u64;
+    relock(&inner.latency).observe((ms + 1).ilog2() as u64);
+
     let mut line = Value::Obj(vec![
         ("event".into(), Value::str("result")),
         (
@@ -241,28 +401,56 @@ fn run_batch(
         ),
         ("cache_hits".into(), Value::u64(result.cache_hits)),
         ("simulated".into(), Value::u64(result.simulated)),
+        ("cancelled".into(), Value::u64(result.cancelled)),
         ("output".into(), Value::str(&result.output)),
     ])
     .render();
     line.push('\n');
+    let mut w = match writer {
+        Some(w) => w,
+        // No progress was streamed (e.g. a parse error): the result
+        // line is the whole stream.
+        None => http::ChunkedWriter::start(out.try_clone()?, 200, "application/x-ndjson")?,
+    };
     w.chunk(line.as_bytes())?;
     w.finish()
 }
 
+/// The lower bound, in milliseconds, of latency bucket `i` (the
+/// inverse of the `log2(ms + 1)` bucketing in [`run_batch`]).
+fn bucket_ms(i: u64) -> u64 {
+    (1u64 << i.min(62)) - 1
+}
+
 fn status(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
-    // Probe, never wait: status must answer instantly even while a
-    // long batch holds the handler.
-    let busy = match inner.handler.try_lock() {
-        Ok(_) | Err(TryLockError::Poisoned(_)) => false,
-        Err(TryLockError::WouldBlock) => true,
+    // Nothing here waits on a batch: the gauges are atomics, the
+    // handler snapshot reads its scheduler's atomics, and the two
+    // mutexes are only ever held for micro-ops.
+    let hs = inner.handler.stats();
+    let in_flight = inner.in_flight.load(Ordering::SeqCst) as u64;
+    let utilization = if hs.workers == 0 {
+        0.0
+    } else {
+        hs.running_cells as f64 / hs.workers as f64
     };
+    let lat = relock(&inner.latency).clone();
     let m = relock(&inner.metrics);
     let body = Value::Obj(vec![
         ("status".into(), Value::str("ok")),
-        ("busy".into(), Value::Bool(busy)),
+        ("in_flight".into(), Value::u64(in_flight)),
+        ("workers".into(), Value::u64(hs.workers as u64)),
+        ("queued_cells".into(), Value::u64(hs.queued_cells as u64)),
+        ("running_cells".into(), Value::u64(hs.running_cells as u64)),
+        ("worker_utilization".into(), Value::f64(utilization)),
+        ("cancelled_cells".into(), Value::u64(hs.cancelled_cells)),
         (
-            "queue_depth".into(),
-            Value::u64(inner.queue_depth.load(Ordering::SeqCst) as u64),
+            "latency_ms".into(),
+            Value::Obj(vec![
+                ("samples".into(), Value::u64(lat.total)),
+                ("p50".into(), Value::u64(bucket_ms(lat.percentile(50.0)))),
+                ("p95".into(), Value::u64(bucket_ms(lat.percentile(95.0)))),
+                ("p99".into(), Value::u64(bucket_ms(lat.percentile(99.0)))),
+            ]),
         ),
         (
             "counters".into(),
@@ -271,6 +459,8 @@ fn status(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
                     Counter::ServeRequests,
                     Counter::ServeQueued,
                     Counter::ServeCacheHits,
+                    Counter::ServeRejected,
+                    Counter::ServeCancelledCells,
                 ]
                 .iter()
                 .map(|&c| (c.name().to_string(), Value::u64(m.get(c))))
@@ -295,24 +485,45 @@ fn shutdown(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Condvar;
+    use std::time::Duration;
 
     /// A handler that "runs" a two-cell batch instantly, echoing the
     /// request back and reporting one cache hit per prior run of the
-    /// same body — enough to exercise streaming, queueing and drain.
+    /// same body — enough to exercise streaming, concurrency and
+    /// drain.
     struct MockHandler {
-        seen: Vec<String>,
+        seen: Mutex<Vec<String>>,
+        quiesced: Arc<AtomicBool>,
+    }
+
+    impl MockHandler {
+        fn new() -> (MockHandler, Arc<AtomicBool>) {
+            let quiesced = Arc::new(AtomicBool::new(false));
+            (
+                MockHandler {
+                    seen: Mutex::new(Vec::new()),
+                    quiesced: Arc::clone(&quiesced),
+                },
+                quiesced,
+            )
+        }
     }
 
     impl Handler for MockHandler {
         fn run(
-            &mut self,
+            &self,
             kind: RequestKind,
             body: &Value,
-            progress: &mut dyn FnMut(&Value),
-        ) -> RunResult {
+            progress: &mut dyn FnMut(&Value) -> bool,
+        ) -> Result<RunResult, HandlerError> {
             let rendered = body.render();
-            let hits = self.seen.iter().filter(|b| **b == rendered).count() as u64;
-            self.seen.push(rendered.clone());
+            let hits = {
+                let mut seen = self.seen.lock().unwrap();
+                let hits = seen.iter().filter(|b| **b == rendered).count() as u64;
+                seen.push(rendered.clone());
+                hits
+            };
             for done in 1..=2u64 {
                 progress(&Value::Obj(vec![
                     ("event".into(), Value::str("progress")),
@@ -320,21 +531,39 @@ mod tests {
                     ("total".into(), Value::u64(2)),
                 ]));
             }
-            RunResult {
+            Ok(RunResult {
                 output: format!("{kind:?}: {rendered}"),
                 exit_code: 0,
                 cache_hits: hits * 2,
                 simulated: 2 - hits.min(2),
+                cancelled: 0,
+            })
+        }
+
+        fn stats(&self) -> HandlerStats {
+            HandlerStats {
+                workers: 2,
+                queued_cells: 0,
+                running_cells: 0,
+                cancelled_cells: 0,
             }
+        }
+
+        fn quiesce(&self) {
+            self.quiesced.store(true, Ordering::SeqCst);
         }
     }
 
-    fn start_service() -> (String, std::thread::JoinHandle<ServiceSummary>) {
-        let svc = Service::bind("127.0.0.1:0", Box::new(MockHandler { seen: Vec::new() }))
-            .expect("bind ephemeral port");
+    fn start_service() -> (
+        String,
+        std::thread::JoinHandle<ServiceSummary>,
+        Arc<AtomicBool>,
+    ) {
+        let (handler, quiesced) = MockHandler::new();
+        let svc = Service::bind("127.0.0.1:0", Box::new(handler)).expect("bind ephemeral port");
         let addr = svc.local_addr().to_string();
         let worker = std::thread::spawn(move || svc.run().expect("service run"));
-        (addr, worker)
+        (addr, worker, quiesced)
     }
 
     fn parse_events(body: &[u8]) -> Vec<Value> {
@@ -347,7 +576,7 @@ mod tests {
 
     #[test]
     fn sweep_streams_progress_then_result() {
-        let (addr, worker) = start_service();
+        let (addr, worker, quiesced) = start_service();
         let mut chunks = 0usize;
         let resp = http::request(&addr, "POST", "/sweep", b"{\"grid\":1}", &mut |_| {
             chunks += 1
@@ -377,25 +606,32 @@ mod tests {
         let summary = worker.join().unwrap();
         assert_eq!(summary.requests, 3);
         assert_eq!(summary.cache_hits, 2);
+        assert_eq!(summary.rejected, 0);
+        assert!(quiesced.load(Ordering::SeqCst), "drain quiesces the pool");
     }
 
     #[test]
-    fn status_reports_counters_and_unknown_routes_404() {
-        let (addr, worker) = start_service();
+    fn status_reports_pool_latency_and_unknown_routes_404() {
+        let (addr, worker, _q) = start_service();
         let resp = http::request(&addr, "POST", "/analyze", b"{}", &mut |_| {}).unwrap();
         assert_eq!(resp.status, 200);
         let resp = http::request(&addr, "GET", "/status", b"", &mut |_| {}).unwrap();
         assert_eq!(resp.status, 200);
         let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
-        assert_eq!(v.get("busy"), Some(&Value::Bool(false)));
-        assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("in_flight").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("workers").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("queued_cells").unwrap().as_u64(), Some(0));
+        let lat = v.get("latency_ms").unwrap();
+        assert_eq!(lat.get("samples").unwrap().as_u64(), Some(1));
+        assert!(lat.get("p50").unwrap().as_u64().is_some());
         let counters = v.get("counters").unwrap();
         assert_eq!(
             counters.get("serve_requests").unwrap().as_u64(),
             Some(2),
             "the status request itself is counted"
         );
+        assert_eq!(counters.get("serve_rejected").unwrap().as_u64(), Some(0));
         let resp = http::request(&addr, "GET", "/nope", b"", &mut |_| {}).unwrap();
         assert_eq!(resp.status, 404);
         let resp = http::request(&addr, "POST", "/sweep", b"not json", &mut |_| {}).unwrap();
@@ -406,13 +642,214 @@ mod tests {
 
     #[test]
     fn shutdown_drains_and_stops_accepting() {
-        let (addr, worker) = start_service();
+        let (addr, worker, quiesced) = start_service();
         let resp = http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
         assert_eq!(resp.status, 200);
         let summary = worker.join().unwrap();
         assert_eq!(summary.requests, 1);
+        assert!(quiesced.load(Ordering::SeqCst));
         // The listener is gone: a fresh connection is refused (or at
         // best connects to nothing and sees EOF/reset).
         assert!(http::request(&addr, "GET", "/status", b"", &mut |_| {}).is_err());
+    }
+
+    /// A handler whose `run` blocks until `n` requests are inside it
+    /// simultaneously — proof the service stopped serialising batches.
+    struct RendezvousHandler {
+        inside: Mutex<usize>,
+        all_in: Condvar,
+        n: usize,
+    }
+
+    impl Handler for RendezvousHandler {
+        fn run(
+            &self,
+            _kind: RequestKind,
+            _body: &Value,
+            _progress: &mut dyn FnMut(&Value) -> bool,
+        ) -> Result<RunResult, HandlerError> {
+            let mut inside = self.inside.lock().unwrap();
+            *inside += 1;
+            if *inside >= self.n {
+                self.all_in.notify_all();
+            }
+            while *inside < self.n {
+                let (guard, timeout) = self
+                    .all_in
+                    .wait_timeout(inside, Duration::from_secs(10))
+                    .unwrap();
+                inside = guard;
+                assert!(
+                    !timeout.timed_out(),
+                    "batches serialised: peers never arrived"
+                );
+            }
+            drop(inside);
+            Ok(RunResult {
+                output: "met".into(),
+                exit_code: 0,
+                cache_hits: 0,
+                simulated: 1,
+                cancelled: 0,
+            })
+        }
+    }
+
+    #[test]
+    fn overlapping_batches_run_concurrently() {
+        let svc = Service::bind(
+            "127.0.0.1:0",
+            Box::new(RendezvousHandler {
+                inside: Mutex::new(0),
+                all_in: Condvar::new(),
+                n: 3,
+            }),
+        )
+        .unwrap();
+        let addr = svc.local_addr().to_string();
+        let worker = std::thread::spawn(move || svc.run().expect("service run"));
+        let clients: Vec<_> = (0..3)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    http::request(&addr, "POST", "/sweep", b"{}", &mut |_| {}).unwrap()
+                })
+            })
+            .collect();
+        for c in clients {
+            let resp = c.join().unwrap();
+            assert_eq!(resp.status, 200);
+            let events = parse_events(&resp.body);
+            assert_eq!(
+                events.last().unwrap().get("output").unwrap().as_str(),
+                Some("met")
+            );
+        }
+        http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        let summary = worker.join().unwrap();
+        // All three batches overlapped, so at least two of them saw
+        // another batch already in flight when they were admitted.
+        assert!(summary.queued >= 2, "queued = {}", summary.queued);
+    }
+
+    /// A handler that always refuses: the wire side of admission.
+    struct SaturatedHandler;
+
+    impl Handler for SaturatedHandler {
+        fn run(
+            &self,
+            _kind: RequestKind,
+            _body: &Value,
+            _progress: &mut dyn FnMut(&Value) -> bool,
+        ) -> Result<RunResult, HandlerError> {
+            Err(HandlerError::Saturated {
+                queued: 7,
+                wanted: 3,
+                limit: 8,
+            })
+        }
+    }
+
+    #[test]
+    fn saturated_batches_get_a_typed_503() {
+        let svc = Service::bind("127.0.0.1:0", Box::new(SaturatedHandler)).unwrap();
+        let addr = svc.local_addr().to_string();
+        let worker = std::thread::spawn(move || svc.run().expect("service run"));
+        let resp = http::request(&addr, "POST", "/sweep", b"{}", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 503);
+        let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("saturated"));
+        assert_eq!(v.get("queued").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("wanted").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("limit").unwrap().as_u64(), Some(8));
+        // The refusal is visible both live and in the drain summary.
+        let resp = http::request(&addr, "GET", "/status", b"", &mut |_| {}).unwrap();
+        let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("serve_rejected")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        let summary = worker.join().unwrap();
+        assert_eq!(summary.rejected, 1);
+    }
+
+    /// A handler that keeps emitting until the stream breaks, then
+    /// reports how many "cells" it abandoned — the disconnect contract.
+    struct TalkativeHandler;
+
+    impl Handler for TalkativeHandler {
+        fn run(
+            &self,
+            _kind: RequestKind,
+            _body: &Value,
+            progress: &mut dyn FnMut(&Value) -> bool,
+        ) -> Result<RunResult, HandlerError> {
+            let total = 200u64;
+            let mut cancelled = 0;
+            for done in 1..=total {
+                let alive = progress(&Value::Obj(vec![
+                    ("event".into(), Value::str("progress")),
+                    ("done".into(), Value::u64(done)),
+                    ("total".into(), Value::u64(total)),
+                ]));
+                if !alive {
+                    cancelled = total - done;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok(RunResult {
+                output: "partial".into(),
+                exit_code: 0,
+                cache_hits: 0,
+                simulated: 200 - cancelled,
+                cancelled,
+            })
+        }
+    }
+
+    #[test]
+    fn client_disconnect_cancels_and_is_counted() {
+        use std::io::Write;
+        let svc = Service::bind("127.0.0.1:0", Box::new(TalkativeHandler)).unwrap();
+        let addr = svc.local_addr().to_string();
+        let worker = std::thread::spawn(move || svc.run().expect("service run"));
+        {
+            // Raw client: send the request, then vanish mid-stream.
+            let mut s = TcpStream::connect(&addr).unwrap();
+            write!(
+                s,
+                "POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{{}}"
+            )
+            .unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+        } // drop = RST/FIN while the handler is still emitting
+          // The batch keeps running server-side; wait for it to finish.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let cancelled = loop {
+            let resp = http::request(&addr, "GET", "/status", b"", &mut |_| {}).unwrap();
+            let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+            let n = v
+                .get("counters")
+                .unwrap()
+                .get("serve_cancelled_cells")
+                .unwrap()
+                .as_u64()
+                .unwrap();
+            if n > 0 || Instant::now() > deadline {
+                break n;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert!(cancelled > 0, "the broken stream must cancel queued cells");
+        http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        let summary = worker.join().unwrap();
+        assert_eq!(summary.cancelled_cells, cancelled);
     }
 }

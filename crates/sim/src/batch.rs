@@ -61,6 +61,25 @@ impl<'p> BatchRunner<'p> {
         BatchRunner::default()
     }
 
+    /// A runner seeded with a previously reclaimed arena, so storage
+    /// recycling survives across runner instances. A resident worker
+    /// whose cells reference short-lived programs cannot keep one
+    /// `BatchRunner<'p>` alive across them (the memoized checkpoint
+    /// borrows the program), but it can keep the owned [`EngineArena`]
+    /// and thread it through a fresh runner per cell.
+    pub fn with_arena(arena: EngineArena) -> Self {
+        BatchRunner {
+            arena: Some(arena),
+            checkpoint: None,
+        }
+    }
+
+    /// Takes the recycled arena back out of the runner (if any run
+    /// completed), for donation to the next runner instance.
+    pub fn take_arena(&mut self) -> Option<EngineArena> {
+        self.arena.take()
+    }
+
     /// Builds and runs one cell, reusing the previous cell's arena and
     /// (when program and warmup budget match) warmup checkpoint.
     ///

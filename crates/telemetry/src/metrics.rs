@@ -57,11 +57,17 @@ pub enum Counter {
     ServeQueued,
     /// Sweep cells the service answered from its warm shared cache.
     ServeCacheHits,
+    /// Service requests rejected with 503 because the shared cell
+    /// queue was at its admission limit.
+    ServeRejected,
+    /// Queued (not yet running) cells dropped because their request's
+    /// client disconnected before they were scheduled.
+    ServeCancelledCells,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 23] = [
         Counter::Cycles,
         Counter::Retired,
         Counter::FetchGroups,
@@ -83,6 +89,8 @@ impl Counter {
         Counter::ServeRequests,
         Counter::ServeQueued,
         Counter::ServeCacheHits,
+        Counter::ServeRejected,
+        Counter::ServeCancelledCells,
     ];
 
     /// Number of distinct counters.
@@ -112,6 +120,8 @@ impl Counter {
             Counter::ServeRequests => "serve_requests",
             Counter::ServeQueued => "serve_queued",
             Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeRejected => "serve_rejected",
+            Counter::ServeCancelledCells => "serve_cancelled_cells",
         }
     }
 

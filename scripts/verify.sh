@@ -24,6 +24,12 @@
 #      sweep byte-identical to the one-shot CLI, answers /status,
 #      drains on shutdown, and leaves a populated sharded store with
 #      no leftover socket or lock tokens
+#  10. serve concurrency gate: four overlapping clients (one big sweep
+#      + three memoized grids) against one daemon, recorded into
+#      BENCH_serve.json; the aggregate must be <= half the serialized
+#      one-shot reference, no cached client may wait more than 100 ms
+#      behind the running sweep, and the concurrent time must stay
+#      within 125% of the committed reference
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -248,5 +254,132 @@ if ./target/release/ctcp client status --addr "$serve_addr" >/dev/null 2>&1; the
     echo "FAIL: daemon still listening after drain" >&2
     exit 1
 fi
+
+echo "==> serve concurrency gate (4-client mixed load -> BENCH_serve.json)"
+# Mixed load: one big sweep (the 30-cell focus grid) plus three small
+# grids the daemon has already memoized. The serialized reference runs
+# the same four requests as one-shot CLI commands back-to-back (no
+# daemon, no cache) — what the load costs without a resident service.
+# The concurrent run launches all four clients at once against one
+# daemon: the big sweep occupies the worker pool while the three
+# cached requests are answered from the store fast path on their own
+# connection threads. The aggregate must come in at <= half the
+# serialized reference, and no cached client may wait more than
+# 100 ms behind the running sweep (anything slower means requests are
+# serializing on the handler again). Best of 3 each to shed host
+# noise; 125% regression gate against the committed reference.
+serve_gate_big="--benches focus --insts 20000"
+serve_gate_small1="--benches gzip,twolf --insts 50000"
+serve_gate_small2="--benches vpr,mcf --insts 50000"
+serve_gate_small3="--benches gcc,parser --insts 50000"
+serialized_load() {
+    local req
+    for req in "$serve_gate_big" "$serve_gate_small1" \
+               "$serve_gate_small2" "$serve_gate_small3"; do
+        # shellcheck disable=SC2086
+        ./target/release/ctcp sweep $req --csv >/dev/null
+    done
+}
+concurrent_load() {    # echoes "<total_ms> <worst_cached_client_ms>"
+    local dir="$1" pid addr="" req i s e
+    rm -rf "$dir"
+    mkdir -p "$dir"
+    ./target/release/ctcp serve --addr 127.0.0.1:0 --jobs 2 \
+        --dir "$dir/store" > "$dir/serve.out" 2>/dev/null &
+    pid=$!
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's/.*listening on //p' "$dir/serve.out" | head -n1)
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "FAIL: concurrency-gate daemon never printed its address" >&2
+        kill "$pid" 2>/dev/null || true
+        return 1
+    fi
+    # Memoize the three small grids (untimed: a resident store that
+    # stays warm across clients is the point of the service).
+    for req in "$serve_gate_small1" "$serve_gate_small2" \
+               "$serve_gate_small3"; do
+        # shellcheck disable=SC2086
+        ./target/release/ctcp client sweep --addr "$addr" $req --csv \
+            >/dev/null 2>/dev/null
+    done
+    local start_ns end_ns total cached ms
+    local pids=()
+    i=0
+    start_ns=$(date +%s%N)
+    for req in "$serve_gate_big" "$serve_gate_small1" \
+               "$serve_gate_small2" "$serve_gate_small3"; do
+        (
+            s=$(date +%s%N)
+            # shellcheck disable=SC2086
+            ./target/release/ctcp client sweep --addr "$addr" $req --csv \
+                >/dev/null 2>/dev/null
+            e=$(date +%s%N)
+            echo $(( (e - s) / 1000000 )) > "$dir/client$i.ms"
+        ) &
+        pids+=($!)
+        i=$((i + 1))
+    done
+    wait "${pids[@]}"
+    end_ns=$(date +%s%N)
+    ./target/release/ctcp client shutdown --addr "$addr" >/dev/null
+    wait "$pid"
+    total=$(( (end_ns - start_ns) / 1000000 ))
+    cached=0
+    for i in 1 2 3; do
+        ms=$(cat "$dir/client$i.ms")
+        if [ "$ms" -gt "$cached" ]; then cached=$ms; fi
+    done
+    echo "$total $cached"
+}
+serialized_ms=$(best_of_3 serialized_load)
+concurrent_ms=0
+cached_under_load_ms=0
+for _ in 1 2 3; do
+    conc_out=$(concurrent_load "$smoke_dir/serve-conc")
+    conc_total=${conc_out% *}
+    conc_cached=${conc_out#* }
+    if [ "$concurrent_ms" -eq 0 ] || [ "$conc_total" -lt "$concurrent_ms" ]; then
+        concurrent_ms=$conc_total
+        cached_under_load_ms=$conc_cached
+    fi
+done
+if [ "$serialized_ms" -lt $(( concurrent_ms * 2 )) ]; then
+    echo "FAIL: concurrent 4-client load (${concurrent_ms} ms) is not 2x" \
+         "faster than the serialized reference (${serialized_ms} ms)" >&2
+    exit 1
+fi
+if [ "$cached_under_load_ms" -ge 100 ]; then
+    echo "FAIL: a fully-cached client waited ${cached_under_load_ms} ms" \
+         "behind the running sweep (limit 100 ms)" >&2
+    exit 1
+fi
+serve_speedup_x100=$(( serialized_ms * 100 / concurrent_ms ))
+serve_ref_ms=$(sed -n 's/.*"gate_ref_ms": \([0-9]*\).*/\1/p' BENCH_serve.json 2>/dev/null || true)
+if [ -z "${serve_ref_ms}" ]; then
+    serve_ref_ms=$concurrent_ms
+fi
+serve_limit_ms=$(( serve_ref_ms * 125 / 100 ))
+if [ "$concurrent_ms" -gt "$serve_limit_ms" ]; then
+    echo "FAIL: concurrent 4-client load took ${concurrent_ms} ms >" \
+         "${serve_limit_ms} ms (125% of committed reference ${serve_ref_ms} ms)" >&2
+    exit 1
+fi
+cat > BENCH_serve.json <<EOF
+{
+  "bench": "serve: focus x 20000 + 3 memoized 2-bench grids x 50000, 4 concurrent clients vs one-shot serialized (best of 3)",
+  "concurrent_ms": $concurrent_ms,
+  "serialized_ms": $serialized_ms,
+  "speedup_x100": $serve_speedup_x100,
+  "cached_under_load_ms": $cached_under_load_ms,
+  "gate_ref_ms": $serve_ref_ms,
+  "recorded_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+}
+EOF
+echo "serve concurrency gate: concurrent ${concurrent_ms} ms, serialized" \
+     "${serialized_ms} ms (speedup ${serve_speedup_x100}%, cached client" \
+     "${cached_under_load_ms} ms under load)"
 
 echo "==> verify OK"
