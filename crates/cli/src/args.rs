@@ -191,6 +191,9 @@ pub enum ClientAction {
     Sweep(SweepArgs),
     /// Run a cycle-attribution analysis remotely.
     Analyze(AnalyzeArgs),
+    /// Re-attach to an admitted batch by its resume token and stream
+    /// it from the beginning.
+    Resume(String),
     /// Print the daemon's status document (queue depth, counters).
     Status,
     /// Ask the daemon to drain and exit.
@@ -202,6 +205,12 @@ pub enum ClientAction {
 pub struct ClientArgs {
     /// Daemon address, as printed by `ctcp serve` (always required).
     pub addr: String,
+    /// Reconnect attempts for batch actions after a connection failure
+    /// or a `503` (the daemon's `Retry-After` hint is honored).
+    pub retries: u32,
+    /// Base reconnect delay in milliseconds, doubled per attempt with
+    /// jitter.
+    pub backoff_ms: u64,
     /// What to ask the daemon to do.
     pub action: ClientAction,
 }
@@ -530,25 +539,42 @@ fn parse_serve_args(rest: &[String]) -> Result<ServeArgs, CliError> {
 fn parse_client_args(rest: &[String]) -> Result<ClientArgs, CliError> {
     let Some(action) = rest.first() else {
         return Err(CliError(
-            "client needs an action (sweep|analyze|status|shutdown)".to_string(),
+            "client needs an action (sweep|analyze|resume|status|shutdown)".to_string(),
         ));
     };
-    // `--addr` belongs to the client itself; everything after it is the
-    // remote command line, handed to the matching one-shot parser so
-    // the local and remote flag spellings never diverge.
+    // `--addr`, `--retries` and `--backoff-ms` belong to the client
+    // itself; everything else is the remote command line, handed to the
+    // matching one-shot parser so the local and remote flag spellings
+    // never diverge.
     let mut addr: Option<String> = None;
+    let mut retries: u32 = 0;
+    let mut backoff_ms: u64 = 200;
     let mut remote: Vec<String> = Vec::new();
     let mut i = 1;
+    let value = |i: &mut usize| -> Result<String, CliError> {
+        *i += 1;
+        rest.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{} needs a value", rest[*i - 1])))
+    };
     while i < rest.len() {
-        if rest[i] == "--addr" {
-            i += 1;
-            addr = Some(
-                rest.get(i)
-                    .cloned()
-                    .ok_or_else(|| CliError("--addr needs a value".to_string()))?,
-            );
-        } else {
-            remote.push(rest[i].clone());
+        match rest[i].as_str() {
+            "--addr" => addr = Some(value(&mut i)?),
+            "--retries" => {
+                let v = value(&mut i)?;
+                retries = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad --retries value {v:?}")))?;
+            }
+            "--backoff-ms" => {
+                let v = value(&mut i)?;
+                backoff_ms = v
+                    .parse()
+                    .ok()
+                    .filter(|&ms: &u64| ms > 0)
+                    .ok_or_else(|| CliError(format!("bad --backoff-ms value {v:?}")))?;
+            }
+            other => remote.push(other.to_string()),
         }
         i += 1;
     }
@@ -560,6 +586,14 @@ fn parse_client_args(rest: &[String]) -> Result<ClientArgs, CliError> {
     let action = match action.as_str() {
         "sweep" => ClientAction::Sweep(parse_sweep_args(&remote)?),
         "analyze" => ClientAction::Analyze(parse_analyze_args(&remote)?),
+        "resume" => match remote.as_slice() {
+            [token] if !token.starts_with("--") => ClientAction::Resume(token.clone()),
+            _ => {
+                return Err(CliError(
+                    "resume needs exactly one TOKEN (from the batch's accepted event)".to_string(),
+                ))
+            }
+        },
         "status" | "shutdown" => {
             if let Some(extra) = remote.first() {
                 return Err(CliError(format!("unexpected argument {extra:?}")));
@@ -572,11 +606,16 @@ fn parse_client_args(rest: &[String]) -> Result<ClientArgs, CliError> {
         }
         other => {
             return Err(CliError(format!(
-                "unknown client action {other:?} (sweep|analyze|status|shutdown)"
+                "unknown client action {other:?} (sweep|analyze|resume|status|shutdown)"
             )))
         }
     };
-    Ok(ClientArgs { addr, action })
+    Ok(ClientArgs {
+        addr,
+        retries,
+        backoff_ms,
+        action,
+    })
 }
 
 /// Parses a topology name as accepted by `--topology`.
@@ -749,8 +788,15 @@ CLIENT ACTIONS (all need --addr HOST:PORT, as printed by `ctcp serve`):
                              (--jobs/--cache/--metrics-out are daemon-side
                              and ignored here)
   analyze [ANALYZE OPTIONS]  run a cycle attribution remotely (--bench only)
+  resume TOKEN               re-attach to an admitted batch by its resume
+                             token and stream it from the beginning
   status                     print the daemon's status JSON
   shutdown                   drain in-flight batches and exit
+  --retries N                reconnect attempts for batch actions: broken
+                             streams re-attach via the resume token, 503s
+                             honor the daemon's Retry-After (default: 0)
+  --backoff-ms M             base reconnect delay, doubled per attempt
+                             with jitter (default: 200)
 
 TRACE OPTIONS (plus SOURCE and OPTIONS above):
   --out FILE          Chrome trace-event JSON path (default: ctcp-trace.json;
@@ -1086,6 +1132,8 @@ mod tests {
             cli.command,
             Command::Client(ClientArgs {
                 addr: "127.0.0.1:1".into(),
+                retries: 0,
+                backoff_ms: 200,
                 action: ClientAction::Status,
             })
         );
@@ -1130,6 +1178,52 @@ mod tests {
         assert!(Cli::parse(["client", "status", "--addr"]).is_err());
         assert!(Cli::parse(["client", "status", "--addr", "h:1", "extra"]).is_err());
         assert!(Cli::parse(["client", "sweep", "--addr", "h:1", "--clusters", "9"]).is_err());
+        assert!(Cli::parse(["client", "sweep", "--addr", "h:1", "--retries", "many"]).is_err());
+        assert!(Cli::parse(["client", "sweep", "--addr", "h:1", "--backoff-ms", "0"]).is_err());
+        assert!(Cli::parse(["client", "resume", "--addr", "h:1"]).is_err());
+        assert!(Cli::parse(["client", "resume", "a", "b", "--addr", "h:1"]).is_err());
+    }
+
+    #[test]
+    fn client_resume_and_retry_flags_parse() {
+        let cli = Cli::parse([
+            "client",
+            "resume",
+            "00ff00ff00ff00ff",
+            "--addr",
+            "h:1",
+            "--retries",
+            "3",
+            "--backoff-ms",
+            "50",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Client(ClientArgs {
+                addr: "h:1".into(),
+                retries: 3,
+                backoff_ms: 50,
+                action: ClientAction::Resume("00ff00ff00ff00ff".into()),
+            })
+        );
+        // The retry knobs ride along with any action, anywhere in argv.
+        let cli = Cli::parse([
+            "client",
+            "sweep",
+            "--retries",
+            "2",
+            "--benches",
+            "gzip",
+            "--addr",
+            "h:2",
+        ])
+        .unwrap();
+        let Command::Client(a) = cli.command else {
+            panic!("expected client")
+        };
+        assert_eq!(a.retries, 2);
+        assert!(matches!(a.action, ClientAction::Sweep(_)));
     }
 
     #[test]

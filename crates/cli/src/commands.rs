@@ -8,11 +8,13 @@ use crate::args::{
 use crate::wire;
 use ctcp_core::Topology;
 use ctcp_harness::{
-    failure_table, CellScheduler, Harness, Job, ProgressSink, ResultStore, Saturated,
+    failure_table, CellScheduler, Harness, Job, Journal, ProgressSink, ResultStore, Saturated,
     StderrProgress, SweepCell, SweepSpec,
 };
 use ctcp_isa::{asm, Program};
-use ctcp_serve::{http, Handler, HandlerError, HandlerStats, RequestKind, RunResult, Service};
+use ctcp_serve::{
+    http, resume_token, Handler, HandlerError, HandlerStats, RequestKind, RunResult, Service,
+};
 use ctcp_sim::{SimConfig, SimReport, Simulation, Strategy};
 use ctcp_telemetry::json::Value;
 use ctcp_telemetry::{
@@ -847,20 +849,24 @@ fn error_result(e: CliError) -> RunResult {
 
 /// The execution backend behind `ctcp serve`: one shared
 /// [`CellScheduler`] (the resident worker pool every client's cells
-/// interleave on, fairly) and one shared, sharded [`ResultStore`] (the
-/// warm cache). Both are cheap `Clone` handles, so each request builds
-/// a throwaway [`Harness`] around them on its own connection thread —
-/// `run` takes `&self` and requests execute concurrently.
+/// interleave on, fairly), one shared, sharded [`ResultStore`] (the
+/// warm cache), and one shared [`Journal`] (the crash-recovery WAL).
+/// All are cheap `Clone` handles, so each request builds a throwaway
+/// [`Harness`] around them on its own connection thread — `run` takes
+/// `&self` and requests execute concurrently.
 struct CliHandler {
     store: ResultStore,
     sched: CellScheduler,
+    journal: Journal,
 }
 
-impl Handler for CliHandler {
-    fn run(
+impl CliHandler {
+    /// The batch body itself, after journaling and degradation checks.
+    fn dispatch(
         &self,
         kind: RequestKind,
         body: &Value,
+        token: &str,
         progress: &mut dyn FnMut(&Value) -> bool,
     ) -> Result<RunResult, HandlerError> {
         match kind {
@@ -872,12 +878,16 @@ impl Handler for CliHandler {
                 // A fresh per-request harness over the shared handles:
                 // phase 1 answers warm cells straight from the store
                 // (never touching the queue), the rest are submitted to
-                // the shared pool and stream back as they finish.
+                // the shared pool and stream back as they finish. Each
+                // memoized cell is also marked in the journal under
+                // this request's token, so a crash mid-batch resumes
+                // with the finished cells answered from the store.
                 let cancel = Arc::new(AtomicBool::new(false));
                 let mut harness = Harness::new()
                     .attrib(args.attrib)
                     .with_store(self.store.clone())
                     .with_scheduler(self.sched.clone())
+                    .with_journal(self.journal.clone(), token)
                     .cancel_token(Arc::clone(&cancel));
                 let mut sink = EventSink {
                     emit: progress,
@@ -932,6 +942,42 @@ impl Handler for CliHandler {
             }
         }
     }
+}
+
+impl Handler for CliHandler {
+    fn run(
+        &self,
+        kind: RequestKind,
+        body: &Value,
+        token: &str,
+        progress: &mut dyn FnMut(&Value) -> bool,
+    ) -> Result<RunResult, HandlerError> {
+        // Degraded store: new batches would run without memoizing (and
+        // without durable cell marks), so refuse them with a retry
+        // hint. The store re-probes the disk on its own schedule.
+        if self.store.read_only() {
+            return Err(HandlerError::Unavailable {
+                retry_after_secs: 1,
+            });
+        }
+        // WAL first: once admitted is journaled, a crash anywhere below
+        // replays this batch on the next start. Append failures are
+        // tolerated — the in-memory record still feeds compaction, and
+        // losing durability must not fail a runnable batch.
+        let _ = self.journal.admit(token, kind.as_str(), &body.render());
+        let result = self.dispatch(kind, body, token, progress);
+        match &result {
+            // Terminal either way: completed batches are pruned, and a
+            // refusal admitted no cells, so there is nothing to replay.
+            Ok(r) => {
+                let _ = self.journal.finish(token, r.exit_code);
+            }
+            Err(_) => {
+                let _ = self.journal.finish(token, 75);
+            }
+        }
+        result
+    }
 
     fn stats(&self) -> HandlerStats {
         let s = self.sched.stats();
@@ -940,6 +986,9 @@ impl Handler for CliHandler {
             queued_cells: s.queued,
             running_cells: s.running,
             cancelled_cells: s.cancelled,
+            respawns: s.respawns,
+            poisoned: s.poisoned,
+            read_only: self.store.read_only(),
         }
     }
 
@@ -960,12 +1009,48 @@ fn serve_cmd(args: &ServeArgs) -> Result<CliOutcome, CliError> {
         .unwrap_or_else(ResultStore::default_dir);
     let store = ResultStore::open(&dir)
         .map_err(|e| CliError(format!("cannot open result store {}: {e}", dir.display())))?;
+    // The request WAL lives next to the store shards: opening it
+    // replays any journal left by a crashed predecessor and hands back
+    // the admitted-but-unfinished requests.
+    let journal = Journal::open(&dir)
+        .map_err(|e| CliError(format!("cannot open journal {}: {e}", dir.display())))?;
+    let pending = journal.take_pending();
     // One resident worker pool for the daemon's lifetime; every
     // client's cells interleave on it round-robin, and `--max-queue`
     // bounds how much work admission control will accept at once.
     let sched = CellScheduler::start(args.jobs, args.max_queue);
-    let service = Service::bind(&args.addr, Box::new(CliHandler { store, sched }))
-        .map_err(|e| CliError(format!("cannot bind {}: {e}", args.addr)))?;
+    let service = Service::bind(
+        &args.addr,
+        Box::new(CliHandler {
+            store,
+            sched,
+            journal: journal.clone(),
+        }),
+    )
+    .map_err(|e| CliError(format!("cannot bind {}: {e}", args.addr)))?;
+    // Re-enqueue the crashed daemon's unfinished batches headless,
+    // before accepting connections: their tokens resolve for resuming
+    // clients, and cells memoized before the crash come back as store
+    // hits — zero recomputation.
+    if !pending.is_empty() {
+        eprintln!(
+            "ctcp serve: replaying {} journaled request(s) from {}",
+            pending.len(),
+            dir.display()
+        );
+    }
+    for p in pending {
+        let replayed = match RequestKind::parse(&p.kind) {
+            Some(kind) if resume_token(kind, &p.body) == p.token => service.replay(kind, &p.body),
+            _ => false,
+        };
+        if !replayed {
+            // Unknown kind, a body that no longer hashes to its token,
+            // or an unparseable body: retire the record rather than
+            // replaying it forever on every restart.
+            let _ = journal.finish(&p.token, 75);
+        }
+    }
     // Printed and flushed before blocking, not returned with the
     // command's output: clients need the address while the daemon runs.
     println!("ctcp serve: listening on {}", service.local_addr());
@@ -978,12 +1063,17 @@ fn serve_cmd(args: &ServeArgs) -> Result<CliOutcome, CliError> {
         .map_err(|e| CliError(format!("serve failed: {e}")))?;
     Ok(CliOutcome::ok(format!(
         "ctcp serve: drained after {} requests ({} concurrent, {} cache hits, \
-         {} rejected, {} cells cancelled)\n",
+         {} rejected, {} cells cancelled, {} journal-replayed, {} streams resumed, \
+         {} worker respawns, {} cells poisoned)\n",
         summary.requests,
         summary.queued,
         summary.cache_hits,
         summary.rejected,
-        summary.cancelled_cells
+        summary.cancelled_cells,
+        summary.journal_replayed,
+        summary.resumed_streams,
+        summary.respawns,
+        summary.poisoned
     )))
 }
 
@@ -992,14 +1082,67 @@ fn serve_cmd(args: &ServeArgs) -> Result<CliOutcome, CliError> {
 /// daemon's rendered output (and exit code) as the command's own.
 fn client_cmd(args: &ClientArgs) -> Result<CliOutcome, CliError> {
     let addr = args.addr.as_str();
+    let retry = Reconnect {
+        retries: args.retries,
+        backoff_ms: args.backoff_ms,
+    };
     match &args.action {
         ClientAction::Status => client_document(addr, "GET", "/status"),
         ClientAction::Shutdown => client_document(addr, "POST", "/shutdown"),
-        ClientAction::Sweep(sweep) => client_batch(addr, "/sweep", &wire::sweep_to_json(sweep)),
-        ClientAction::Analyze(analyze) => {
-            client_batch(addr, "/analyze", &wire::analyze_to_json(analyze)?)
+        ClientAction::Sweep(sweep) => client_batch(
+            addr,
+            "/sweep",
+            Some(&wire::sweep_to_json(sweep)),
+            None,
+            retry,
+        ),
+        ClientAction::Analyze(analyze) => client_batch(
+            addr,
+            "/analyze",
+            Some(&wire::analyze_to_json(analyze)?),
+            None,
+            retry,
+        ),
+        ClientAction::Resume(token) => {
+            client_batch(addr, "/resume", None, Some(token.clone()), retry)
         }
     }
+}
+
+/// The client's reconnect policy: how many times to retry a batch
+/// request, and the base delay the exponential backoff grows from.
+#[derive(Clone, Copy)]
+struct Reconnect {
+    retries: u32,
+    backoff_ms: u64,
+}
+
+impl Reconnect {
+    /// The jittered exponential delay before retry `attempt` (0-based):
+    /// uniformly in `[d/2, d]` for `d = backoff_ms << attempt`, capped
+    /// at 10s so a long outage never strands the client asleep.
+    fn delay(self, attempt: u32, rng: &mut u64) -> Duration {
+        let d = self
+            .backoff_ms
+            .saturating_mul(1 << attempt.min(16))
+            .min(10_000);
+        // xorshift64: no randomness crates in the workspace, and the
+        // only requirement is decorrelating a reconnect herd.
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        Duration::from_millis(d / 2 + *rng % (d / 2 + 1))
+    }
+}
+
+/// A jitter seed unique per process and moment; quality is irrelevant,
+/// only herd decorrelation.
+fn jitter_seed() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    u64::from(nanos) ^ (u64::from(std::process::id()) << 32) | 1
 }
 
 /// A single-document request (`status`, `shutdown`): the whole body is
@@ -1021,86 +1164,230 @@ fn client_document(addr: &str, method: &str, path: &str) -> Result<CliOutcome, C
     Ok(CliOutcome::ok(output))
 }
 
-/// A streaming batch request (`sweep`, `analyze`): progress events are
-/// printed to stderr as chunks arrive; the final `result` event's
-/// rendered output and exit code become the command's.
-fn client_batch(addr: &str, path: &str, body: &Value) -> Result<CliOutcome, CliError> {
-    let payload = body.render();
-    let mut pending = String::new();
-    let mut result: Option<(String, i32)> = None;
-    let resp = http::request(addr, "POST", path, payload.as_bytes(), &mut |chunk| {
-        // Chunk boundaries are not guaranteed to align with events:
-        // buffer and emit only complete lines.
-        pending.push_str(&String::from_utf8_lossy(chunk));
-        while let Some(nl) = pending.find('\n') {
-            let line: String = pending.drain(..=nl).collect();
-            client_event(line.trim(), &mut result);
-        }
-    })
-    .map_err(|e| CliError(format!("cannot reach a daemon at {addr}: {e}")))?;
-    if resp.status == 503 {
-        return Err(CliError(saturated_message(addr, &resp.body)));
-    }
-    if resp.status != 200 {
-        return Err(CliError(format!(
-            "daemon at {addr} answered {}: {}",
-            resp.status,
-            String::from_utf8_lossy(&resp.body).trim()
-        )));
-    }
-    let (output, exit_code) = result.ok_or_else(|| {
-        CliError(format!(
-            "daemon at {addr} closed the stream without a result"
-        ))
-    })?;
-    Ok(CliOutcome { output, exit_code })
+/// One batch stream's client-side state, carried across reconnects:
+/// the resume token and run id from the daemon's `accepted` handshake,
+/// the count of delivered events (the `have` cursor a `/resume` request
+/// continues from), and the terminal `result`/`error` once seen.
+#[derive(Default)]
+struct ClientStream {
+    pending: String,
+    token: Option<String>,
+    run: u64,
+    have: u64,
+    result: Option<(String, i32)>,
+    error: Option<String>,
 }
 
-/// Renders the daemon's typed `503` admission-refusal body: a clear
-/// "busy, try again" rather than a generic protocol error.
+impl ClientStream {
+    /// Buffers one chunk and dispatches every complete NDJSON line —
+    /// chunk boundaries are not guaranteed to align with events, and a
+    /// torn final line (a mid-event disconnect) is deliberately left
+    /// unbuffered so `have` never counts a half-delivered event.
+    fn chunk(&mut self, chunk: &[u8]) {
+        self.pending.push_str(&String::from_utf8_lossy(chunk));
+        while let Some(nl) = self.pending.find('\n') {
+            let line: String = self.pending.drain(..=nl).collect();
+            self.event(line.trim());
+        }
+    }
+
+    fn event(&mut self, line: &str) {
+        let Ok(v) = Value::parse(line) else {
+            return; // tolerate unknown framing rather than aborting the stream
+        };
+        match v.get("event").and_then(Value::as_str) {
+            // The handshake is per-connection, not part of the event
+            // log, so it never advances the `have` cursor.
+            Some("accepted") => {
+                let run = v.get("run").and_then(Value::as_u64).unwrap_or(0);
+                if self.run != 0 && run != self.run {
+                    // The daemon restarted between connections: its
+                    // replayed stream starts from the top, so the
+                    // cursor does too.
+                    self.have = 0;
+                }
+                self.run = run;
+                if let Some(t) = v.get("token").and_then(Value::as_str) {
+                    self.token = Some(t.to_string());
+                }
+            }
+            Some("result") => {
+                let output = v
+                    .get("output")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                let code = v.get("exit_code").and_then(Value::as_u64).unwrap_or(1);
+                self.result = Some((output, i32::try_from(code).unwrap_or(1)));
+                self.have += 1;
+            }
+            Some("progress") => {
+                let done = v.get("done").and_then(Value::as_u64).unwrap_or(0);
+                let total = v.get("total").and_then(Value::as_u64).unwrap_or(0);
+                let workload = v.get("workload").and_then(Value::as_str).unwrap_or("?");
+                match v.get("took_s").and_then(Value::as_f64) {
+                    Some(took) => eprintln!("[{done}/{total}] {workload} {took:.2}s"),
+                    None => eprintln!("[{done}/{total}] {workload}"),
+                }
+                self.have += 1;
+            }
+            Some("error") => {
+                let msg = v
+                    .get("message")
+                    .or_else(|| v.get("error"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string();
+                self.error = Some(msg);
+                self.have += 1;
+            }
+            // batch_start and future event kinds are informational but
+            // still occupy a slot in the daemon's replayable log.
+            _ => self.have += 1,
+        }
+    }
+
+    /// The `/resume` body that picks this stream up where it broke.
+    fn resume_body(&self) -> Option<String> {
+        let token = self.token.as_deref()?;
+        Some(
+            Value::Obj(vec![
+                ("token".into(), Value::str(token)),
+                ("have".into(), Value::u64(self.have)),
+                ("run".into(), Value::u64(self.run)),
+            ])
+            .render(),
+        )
+    }
+}
+
+/// A streaming batch request (`sweep`, `analyze`, `resume`): progress
+/// events are printed to stderr as chunks arrive; the final `result`
+/// event's rendered output and exit code become the command's.
+///
+/// With a non-zero retry budget the client is self-healing: a broken
+/// connection re-attaches through `POST /resume` using the token from
+/// the daemon's `accepted` handshake (receiving only the events it has
+/// not yet seen), and a `503` sleeps out the daemon's `Retry-After`
+/// hint before asking again — under jittered exponential backoff
+/// either way.
+fn client_batch(
+    addr: &str,
+    path: &str,
+    body: Option<&Value>,
+    token: Option<String>,
+    retry: Reconnect,
+) -> Result<CliOutcome, CliError> {
+    let payload = body.map(Value::render);
+    let mut st = ClientStream {
+        token,
+        ..ClientStream::default()
+    };
+    let mut rng = jitter_seed();
+    let mut attempt: u32 = 0;
+    loop {
+        // An explicit `resume` action starts on `/resume`; a retried
+        // batch switches to it once the handshake supplied a token.
+        let (p, bytes) = match (&payload, st.resume_body()) {
+            (Some(b), None) => (path, b.clone()),
+            (Some(b), Some(_)) if attempt == 0 => (path, b.clone()),
+            (_, Some(r)) => ("/resume", r),
+            (None, None) => {
+                return Err(CliError(
+                    "resume needs a token before it can reconnect".into(),
+                ))
+            }
+        };
+        st.pending.clear();
+        let outcome = http::request(addr, "POST", p, bytes.as_bytes(), &mut |chunk| {
+            st.chunk(chunk);
+        });
+        let retriable = match outcome {
+            Ok(resp) if resp.status == 200 => {
+                if let Some((output, exit_code)) = st.result.take() {
+                    return Ok(CliOutcome { output, exit_code });
+                }
+                if let Some(msg) = st.error.take() {
+                    return Err(CliError(format!(
+                        "daemon at {addr} refused the batch: {msg}"
+                    )));
+                }
+                // A clean close without a result: the stream was
+                // severed between events. Resumable if we have a token.
+                if attempt >= retry.retries || st.token.is_none() {
+                    return Err(CliError(format!(
+                        "daemon at {addr} closed the stream without a result"
+                    )));
+                }
+                None
+            }
+            Ok(resp) if resp.status == 503 => {
+                if attempt >= retry.retries {
+                    return Err(CliError(saturated_message(addr, &resp.body)));
+                }
+                // Honor the daemon's own hint when it is longer than
+                // the backoff would have been.
+                let hinted = resp
+                    .header("retry-after")
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .map(Duration::from_secs);
+                Some(hinted.unwrap_or(Duration::ZERO))
+            }
+            Ok(resp) => {
+                return Err(CliError(format!(
+                    "daemon at {addr} answered {}: {}",
+                    resp.status,
+                    String::from_utf8_lossy(&resp.body).trim()
+                )));
+            }
+            Err(e) => {
+                if attempt >= retry.retries {
+                    return Err(CliError(format!("cannot reach a daemon at {addr}: {e}")));
+                }
+                None
+            }
+        };
+        let delay = retry
+            .delay(attempt, &mut rng)
+            .max(retriable.unwrap_or_default());
+        eprintln!(
+            "ctcp client: retrying {p} at {addr} in {:.1}s ({} of {} retries)",
+            delay.as_secs_f64(),
+            attempt + 1,
+            retry.retries
+        );
+        std::thread::sleep(delay);
+        attempt += 1;
+    }
+}
+
+/// Renders the daemon's typed `503` refusal bodies: a clear "busy, try
+/// again" or "degraded, try later" rather than a generic protocol
+/// error.
 fn saturated_message(addr: &str, body: &[u8]) -> String {
     let text = String::from_utf8_lossy(body);
     if let Ok(v) = Value::parse(text.trim()) {
-        if v.get("error").and_then(Value::as_str) == Some("saturated") {
-            let field = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
-            return format!(
-                "daemon at {addr} is saturated ({} cells queued + {} requested > limit {}); \
-                 retry when the queue drains",
-                field("queued"),
-                field("wanted"),
-                field("limit")
-            );
+        match v.get("error").and_then(Value::as_str) {
+            Some("saturated") => {
+                let field = |k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+                return format!(
+                    "daemon at {addr} is saturated ({} cells queued + {} requested > limit {}); \
+                     retry when the queue drains",
+                    field("queued"),
+                    field("wanted"),
+                    field("limit")
+                );
+            }
+            Some("unavailable") => {
+                return format!(
+                    "daemon at {addr} is unavailable (result store degraded to read-only); \
+                     retry shortly"
+                );
+            }
+            _ => {}
         }
     }
     format!("daemon at {addr} answered 503: {}", text.trim())
-}
-
-/// Handles one NDJSON event from the daemon's response stream.
-fn client_event(line: &str, result: &mut Option<(String, i32)>) {
-    let Ok(v) = Value::parse(line) else {
-        return; // tolerate unknown framing rather than aborting the stream
-    };
-    match v.get("event").and_then(Value::as_str) {
-        Some("result") => {
-            let output = v
-                .get("output")
-                .and_then(Value::as_str)
-                .unwrap_or_default()
-                .to_string();
-            let code = v.get("exit_code").and_then(Value::as_u64).unwrap_or(1);
-            *result = Some((output, i32::try_from(code).unwrap_or(1)));
-        }
-        Some("progress") => {
-            let done = v.get("done").and_then(Value::as_u64).unwrap_or(0);
-            let total = v.get("total").and_then(Value::as_u64).unwrap_or(0);
-            let workload = v.get("workload").and_then(Value::as_str).unwrap_or("?");
-            match v.get("took_s").and_then(Value::as_f64) {
-                Some(took) => eprintln!("[{done}/{total}] {workload} {took:.2}s"),
-                None => eprintln!("[{done}/{total}] {workload}"),
-            }
-        }
-        _ => {} // batch_start and future event kinds are informational
-    }
 }
 
 fn prose_report(name: &str, r: &SimReport) -> String {

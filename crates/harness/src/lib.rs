@@ -86,11 +86,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod journal;
 mod progress;
 mod sched;
 mod spec;
 mod store;
 
+pub use journal::{Journal, PendingRequest, JOURNAL_FORMAT_VERSION};
 pub use progress::{NullProgress, ProgressSink, StderrProgress};
 pub use sched::{CellScheduler, Saturated, SchedStats};
 pub use spec::{SpecError, SweepCell, SweepPlan, SweepSpec};
@@ -259,6 +261,15 @@ pub enum JobError {
     /// is expected to surface the rejection (the sweep service answers
     /// 503) rather than spin.
     Saturated(Saturated),
+    /// The cell was quarantined by the shared scheduler's supervisor:
+    /// its key panicked repeatedly (across retries and respawned
+    /// workers), so further attempts are refused instead of burning
+    /// the pool. The rest of the request proceeds normally — poison is
+    /// per cell, never per request. Never retried.
+    CellPoisoned {
+        /// Worker panics observed on this cell's key before quarantine.
+        panics: u32,
+    },
 }
 
 impl JobError {
@@ -279,6 +290,9 @@ impl std::fmt::Display for JobError {
             }
             JobError::Cancelled => write!(f, "cancelled: client disconnected before the cell ran"),
             JobError::Saturated(s) => write!(f, "rejected: {s}"),
+            JobError::CellPoisoned { panics } => {
+                write!(f, "poisoned: cell quarantined after {panics} worker panics")
+            }
         }
     }
 }
@@ -533,6 +547,7 @@ pub struct Harness {
     jobs: usize,
     store: Option<ResultStore>,
     sched: Option<CellScheduler>,
+    journal: Option<(Journal, String)>,
     cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
     progress: Option<bool>,
     metrics_out: Option<PathBuf>,
@@ -557,6 +572,7 @@ impl Harness {
             jobs: 0,
             store: None,
             sched: None,
+            journal: None,
             cancel: None,
             progress: None,
             metrics_out: None,
@@ -596,6 +612,16 @@ impl Harness {
     /// rejections as a typed [`Saturated`] instead of failed outcomes.
     pub fn with_scheduler(mut self, sched: CellScheduler) -> Harness {
         self.sched = Some(sched);
+        self
+    }
+
+    /// Attaches a request [`Journal`]: every cell this harness memoizes
+    /// into the store is also marked in the journal under `token`, so
+    /// a daemon restart knows which cells of the journaled request were
+    /// already finished. Mark failures are best-effort (the store line
+    /// is the authority; a lost mark only costs a redundant store hit).
+    pub fn with_journal(mut self, journal: Journal, token: impl Into<String>) -> Harness {
+        self.journal = Some((journal, token.into()));
         self
     }
 
@@ -1078,6 +1104,10 @@ impl Harness {
                 // A broken store must not fail the batch; warn once per
                 // failure and continue unmemoized.
                 eprintln!("warning: result store write failed: {e}");
+            } else if let Some((journal, token)) = &self.journal {
+                if let Err(e) = journal.mark_cell(token, key) {
+                    eprintln!("warning: journal cell mark failed: {e}");
+                }
             }
         }
     }
@@ -1115,6 +1145,10 @@ pub(crate) mod testutil {
             .unwrap()
             .run()
     }
+
+    /// Fail-point state is process-global; unit tests that arm points
+    /// (in any module of this crate) serialise behind this lock.
+    pub(crate) static FAILPOINT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     /// A fresh per-test scratch directory under the system temp dir.
     pub(crate) fn temp_dir(name: &str) -> PathBuf {

@@ -37,9 +37,17 @@
 use crate::{execute_batched, Job, JobError};
 use ctcp_sim::{BatchRunner, EngineArena};
 use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Worker panics tolerated on one cell key before the supervisor
+/// quarantines it: further attempts short-circuit to
+/// [`JobError::CellPoisoned`] instead of burning another worker. Two
+/// means one organic attempt plus one retry — a deterministic
+/// crasher trips it within a single default-retry request.
+pub(crate) const POISON_PANICS: u32 = 2;
 
 /// One unit of scheduled work: a cell of some request's batch,
 /// self-contained (the job is owned) so it can outlive the submitting
@@ -116,6 +124,11 @@ pub struct SchedStats {
     pub cancelled: u64,
     /// The admission bound on the queued-cell count (`0` = unbounded).
     pub max_queue: usize,
+    /// Fresh-arena worker respawns after panics, cumulative (each
+    /// caught panic discards the torn runner state and rebuilds).
+    pub respawns: u64,
+    /// Cells answered with [`JobError::CellPoisoned`], cumulative.
+    pub poisoned: u64,
 }
 
 /// One request's slice of the shared queue.
@@ -143,12 +156,34 @@ struct SchedInner {
     queued: AtomicUsize,
     running: AtomicUsize,
     cancelled: AtomicU64,
+    respawns: AtomicU64,
+    poisoned: AtomicU64,
+    /// Cumulative worker panics per cell key — the quarantine ledger.
+    panics: Mutex<HashMap<u64, u32>>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl SchedInner {
     fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The key's panic count when it is quarantined, else `None`.
+    fn poison_of(&self, key: u64) -> Option<u32> {
+        self.panics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+            .copied()
+            .filter(|&c| c >= POISON_PANICS)
+    }
+
+    /// Books `n` more panics against `key`, returning the new total.
+    fn note_panics(&self, key: u64, n: u32) -> u32 {
+        let mut ledger = self.panics.lock().unwrap_or_else(PoisonError::into_inner);
+        let count = ledger.entry(key).or_insert(0);
+        *count += n;
+        *count
     }
 }
 
@@ -191,12 +226,26 @@ impl CellScheduler {
             queued: AtomicUsize::new(0),
             running: AtomicUsize::new(0),
             cancelled: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            panics: Mutex::new(HashMap::new()),
             handles: Mutex::new(Vec::new()),
         });
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let inner = Arc::clone(&inner);
-            handles.push(std::thread::spawn(move || worker_loop(&inner)));
+            // Supervised worker: `execute_batched` already catches
+            // per-cell panics, so this outer boundary only fires on a
+            // scheduler bug — but even then the pool must not shrink,
+            // so the supervisor respawns the loop instead of dying.
+            handles.push(std::thread::spawn(move || loop {
+                match std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(&inner))) {
+                    Ok(()) => return,
+                    Err(_) => {
+                        inner.respawns.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
         }
         *inner.handles.lock().unwrap_or_else(PoisonError::into_inner) = handles;
         CellScheduler { inner }
@@ -271,6 +320,8 @@ impl CellScheduler {
             running: self.inner.running.load(Ordering::Relaxed),
             cancelled: self.inner.cancelled.load(Ordering::Relaxed),
             max_queue: self.inner.max_queue,
+            respawns: self.inner.respawns.load(Ordering::Relaxed),
+            poisoned: self.inner.poisoned.load(Ordering::Relaxed),
         }
     }
 
@@ -349,6 +400,20 @@ fn worker_loop(inner: &SchedInner) {
             return;
         };
         inner.queued.fetch_sub(1, Ordering::Relaxed);
+        // Quarantine check: a key that already burned its panic budget
+        // is refused without touching a runner — poison is the typed
+        // outcome, the rest of the request proceeds.
+        let key = cell.job.key();
+        if let Some(panics) = inner.poison_of(key) {
+            inner.poisoned.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(CellDone::Finished {
+                index: cell.index,
+                result: Box::new(Err(JobError::CellPoisoned { panics })),
+                retries: 0,
+                took: Duration::ZERO,
+            });
+            continue;
+        }
         inner.running.fetch_add(1, Ordering::Relaxed);
         let t = Instant::now();
         // Per-cell runner, worker-resident arena: allocation recycling
@@ -357,7 +422,7 @@ fn worker_loop(inner: &SchedInner) {
             Some(a) => BatchRunner::with_arena(a),
             None => BatchRunner::new(),
         };
-        let (result, retries) = execute_batched(
+        let (mut result, retries) = execute_batched(
             &mut runner,
             &cell.job,
             cell.with_metrics,
@@ -366,6 +431,21 @@ fn worker_loop(inner: &SchedInner) {
         );
         arena = runner.take_arena();
         inner.running.fetch_sub(1, Ordering::Relaxed);
+        // Supervision bookkeeping. In the batched path panics are the
+        // only transient failure, so `retries` counts retried panics;
+        // each one tore the runner down and rebuilt it with a fresh
+        // arena — that rebuild is the "respawn" the counter reports.
+        let panics = retries + u32::from(matches!(result, Err(JobError::Panic(_))));
+        if panics > 0 {
+            inner
+                .respawns
+                .fetch_add(u64::from(panics), Ordering::Relaxed);
+            let total = inner.note_panics(key, panics);
+            if total >= POISON_PANICS && matches!(result, Err(JobError::Panic(_))) {
+                inner.poisoned.fetch_add(1, Ordering::Relaxed);
+                result = Err(JobError::CellPoisoned { panics: total });
+            }
+        }
         let _ = tx.send(CellDone::Finished {
             index: cell.index,
             result: Box::new(result),
@@ -487,6 +567,60 @@ mod tests {
         // Every queued cell still completed — drain means no lost work.
         assert_eq!(drain(&h, 6), (6, 0));
         assert!(sched.submit(vec![cell(0, 500)]).is_err());
+    }
+
+    #[test]
+    fn repeated_panics_poison_only_the_offending_cell() {
+        let _g = crate::testutil::FAILPOINT_LOCK.lock().unwrap();
+        ctcp_telemetry::failpoint::set(Some("job-panic=crasher"));
+        let sched = CellScheduler::start(1, 0);
+        let crasher = || Cell {
+            index: 2,
+            job: Job::new(
+                "crasher",
+                tiny_program(),
+                SimConfig {
+                    max_insts: 500,
+                    ..SimConfig::default()
+                },
+            ),
+            with_metrics: false,
+            with_attrib: false,
+            retries: 1, // two panics total: exactly the poison budget
+        };
+        let h = sched
+            .submit(vec![cell(0, 500), cell(1, 500), crasher()])
+            .unwrap();
+        let (mut ok, mut poisoned) = (0, 0);
+        for _ in 0..3 {
+            match h.recv().expect("pool alive") {
+                CellDone::Finished { index, result, .. } => match *result {
+                    Ok(_) => ok += 1,
+                    Err(JobError::CellPoisoned { panics }) => {
+                        assert_eq!(index, 2, "poison must hit the crasher only");
+                        assert!(panics >= POISON_PANICS);
+                        poisoned += 1;
+                    }
+                    Err(e) => panic!("unexpected outcome: {e}"),
+                },
+                CellDone::Cancelled { .. } => panic!("nothing was cancelled"),
+            }
+        }
+        assert_eq!((ok, poisoned), (2, 1));
+        let stats = sched.stats();
+        assert!(stats.respawns >= 2, "each caught panic respawns the arena");
+        assert_eq!(stats.poisoned, 1);
+        // The quarantined key now short-circuits without running.
+        let h2 = sched.submit(vec![crasher()]).unwrap();
+        match h2.recv().expect("pool alive") {
+            CellDone::Finished { result, .. } => {
+                assert!(matches!(*result, Err(JobError::CellPoisoned { .. })));
+            }
+            CellDone::Cancelled { .. } => panic!("nothing was cancelled"),
+        }
+        assert_eq!(sched.stats().poisoned, 2);
+        ctcp_telemetry::failpoint::set(None);
+        sched.shutdown();
     }
 
     #[test]

@@ -57,10 +57,16 @@ use ctcp_sim::{SimConfig, SimReport};
 use ctcp_telemetry::failpoint;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+/// How long the read-only circuit breaker waits between disk
+/// re-probes: while degraded, one append per interval is allowed to
+/// touch the disk, and its success flips the store writable again.
+const PROBE_INTERVAL: Duration = Duration::from_millis(500);
 
 /// Version salt folded into every key. Bump when the report schema or
 /// the envelope changes; old store contents then miss cleanly. History:
@@ -204,6 +210,9 @@ pub struct StoreStats {
     /// Corrupt lines moved to quarantine files when this handle
     /// opened the store.
     pub quarantined: u64,
+    /// Stale shard lock tokens (stamped by a now-dead owner, lock
+    /// free) reclaimed when this handle opened the store.
+    pub reclaimed: u64,
 }
 
 /// One open shard: its slice of the in-memory index behind a
@@ -249,6 +258,14 @@ struct StoreInner {
     puts: AtomicU64,
     /// Set once at open time, constant afterwards.
     quarantined: u64,
+    /// Stale lock tokens reclaimed at open time, constant afterwards.
+    reclaimed: u64,
+    /// Degraded mode: a failed append tripped the circuit breaker, so
+    /// appends short-circuit (the in-memory index still serves) until
+    /// a periodic probe write succeeds again.
+    read_only: AtomicBool,
+    /// When the breaker last let an append probe the disk.
+    probe_at: Mutex<Option<Instant>>,
 }
 
 impl ResultStore {
@@ -272,12 +289,14 @@ impl ResultStore {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let mut quarantined = migrate_legacy(dir)?;
+        let mut reclaimed = 0u64;
         let mut maps: Vec<KeyIndex> = (0..STORE_SHARDS).map(|_| KeyIndex::default()).collect();
         let mut shards = Vec::with_capacity(STORE_SHARDS);
         for i in 0..STORE_SHARDS {
             let path = shard_path(dir, i);
             let lock_path = shard_lock_path(dir, i);
-            let lock = open_lock(&lock_path)?;
+            let (lock, was_stale) = open_lock(&lock_path)?;
+            reclaimed += u64::from(was_stale);
             // First pass, lock-free: the common case is a clean shard,
             // and a clean open must never block behind maintenance or
             // another handle's append on this shard.
@@ -320,6 +339,9 @@ impl ResultStore {
                 misses: AtomicU64::new(0),
                 puts: AtomicU64::new(0),
                 quarantined,
+                reclaimed,
+                read_only: AtomicBool::new(false),
+                probe_at: Mutex::new(None),
             }),
         })
     }
@@ -363,7 +385,11 @@ impl ResultStore {
     /// # Errors
     ///
     /// Propagates write failures; the in-memory copy is kept either
-    /// way, so the current process still benefits.
+    /// way, so the current process still benefits. A failure also
+    /// trips the read-only circuit breaker: until a later append
+    /// re-probes the disk successfully (at most one probe per
+    /// [`PROBE_INTERVAL`]), further puts fail fast without touching
+    /// the disk — degraded, not crashed.
     pub fn put(&self, key: u64, workload: &str, report: &SimReport) -> std::io::Result<()> {
         self.inner.puts.fetch_add(1, Ordering::Relaxed);
         let shard = &self.inner.shards[shard_of(key)];
@@ -372,6 +398,11 @@ impl ResultStore {
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key, report.clone());
+        if self.inner.read_only.load(Ordering::Acquire) && !self.probe_due() {
+            return Err(std::io::Error::other(
+                "store is read-only (degraded after a write failure)",
+            ));
+        }
         let mut line = encode_line(key, workload, report);
         line.push('\n');
         let mut file = shard.append.lock().unwrap_or_else(PoisonError::into_inner);
@@ -384,10 +415,65 @@ impl ResultStore {
             file.write_all(&line.as_bytes()[..line.len() / 2])?;
             return file.flush();
         }
-        shard.lock.lock()?;
-        let appended = file.write_all(line.as_bytes()).and_then(|()| file.flush());
-        let _ = shard.lock.unlock();
-        appended
+        // The `disk-full` fail point makes every append fail the way a
+        // full filesystem would, exercising the degradation ladder.
+        let appended = if failpoint::is_active("disk-full") {
+            Err(std::io::Error::other(
+                "no space left on device (fail point)",
+            ))
+        } else {
+            shard.lock.lock()?;
+            let r = file.write_all(line.as_bytes()).and_then(|()| file.flush());
+            let _ = shard.lock.unlock();
+            r
+        };
+        match appended {
+            Ok(()) => {
+                if self.inner.read_only.swap(false, Ordering::AcqRel) {
+                    *self
+                        .inner
+                        .probe_at
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) = None;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // Trip (or re-arm) the breaker and start the probe
+                // clock: the next disk touch is one interval away.
+                self.inner.read_only.store(true, Ordering::Release);
+                *self
+                    .inner
+                    .probe_at
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(Instant::now());
+                Err(e)
+            }
+        }
+    }
+
+    /// True while the read-only circuit breaker is tripped: appends
+    /// fail fast, lookups still serve. The sweep service refuses new
+    /// uncached work with 503 + `Retry-After` while this holds.
+    pub fn read_only(&self) -> bool {
+        self.inner.read_only.load(Ordering::Acquire)
+    }
+
+    /// Whether a degraded-mode append may probe the disk now; stamps
+    /// the probe time so at most one probe runs per interval.
+    fn probe_due(&self) -> bool {
+        let mut at = self
+            .inner
+            .probe_at
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match *at {
+            Some(t) if t.elapsed() < PROBE_INTERVAL => false,
+            _ => {
+                *at = Some(Instant::now());
+                true
+            }
+        }
     }
 
     /// Counters for this shared store (cumulative across every clone
@@ -405,6 +491,7 @@ impl ResultStore {
             misses: self.inner.misses.load(Ordering::Relaxed),
             puts: self.inner.puts.load(Ordering::Relaxed),
             quarantined: self.inner.quarantined,
+            reclaimed: self.inner.reclaimed,
         }
     }
 }
@@ -459,13 +546,64 @@ fn scan_shard(path: &Path, maps: &mut [KeyIndex]) -> std::io::Result<(Vec<String
     Ok((clean, corrupt))
 }
 
-/// Opens (creating if needed) a lock-token file without truncating it.
-fn open_lock(path: &Path) -> std::io::Result<File> {
-    OpenOptions::new()
+/// Opens (creating if needed) a lock-token file, stamping ownership.
+///
+/// The token carries `<owner-pid> <unix-seconds>` purely as forensic
+/// metadata — the advisory lock is the real mutual exclusion, and the
+/// OS releases it when the owner dies, SIGKILL included. What a kill
+/// leaves behind is the *file*, stamped by a dead pid: if the lock is
+/// free, this open reclaims it (restamps with our pid and the current
+/// time) and reports whether the previous stamp named a dead owner,
+/// so maintenance never wedges on a tombstone and `StoreStats` can
+/// count the reclamation. A held lock is left untouched.
+fn open_lock(path: &Path) -> std::io::Result<(File, bool)> {
+    let mut file = OpenOptions::new()
         .create(true)
+        .read(true)
         .write(true)
-        .truncate(false) // the file is a pure lock token; never clobber it
-        .open(path)
+        .truncate(false) // never clobber a live owner's stamp unlocked
+        .open(path)?;
+    let mut was_stale = false;
+    if file.try_lock().is_ok() {
+        let mut prev = String::new();
+        let _ = file.read_to_string(&mut prev);
+        if let Some(pid) = prev
+            .split_whitespace()
+            .next()
+            .and_then(|s| s.parse::<u32>().ok())
+        {
+            was_stale = pid != std::process::id() && !pid_alive(pid);
+        }
+        let epoch = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let stamp = format!("{} {epoch}\n", std::process::id());
+        let restamped = file
+            .set_len(0)
+            .and_then(|()| file.seek(SeekFrom::Start(0)).map(|_| ()))
+            .and_then(|()| file.write_all(stamp.as_bytes()))
+            .and_then(|()| file.flush());
+        let _ = file.unlock();
+        restamped?;
+    }
+    Ok((file, was_stale))
+}
+
+/// Best-effort liveness check for a stamped lock owner.
+fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        // No portable probe; a free lock is evidence enough — treat
+        // the owner as gone so reclamation still reports.
+        false
+    }
 }
 
 /// Appends `lines` to `path` in one write.
@@ -534,7 +672,7 @@ fn declared_key(line: &str) -> Option<u64> {
 /// Atomically replaces `path` with `lines` via a temp file + rename,
 /// so a crash mid-rewrite leaves either the old file or the new one —
 /// never a half-written store.
-fn atomic_rewrite(path: &Path, lines: &[String]) -> std::io::Result<()> {
+pub(crate) fn atomic_rewrite(path: &Path, lines: &[String]) -> std::io::Result<()> {
     let tmp = path.with_extension("jsonl.tmp");
     {
         let mut f = File::create(&tmp)?;
@@ -586,7 +724,7 @@ enum Line {
 }
 
 /// Splits a v2 line into (bytes-the-CRC-covers, stored CRC).
-fn split_crc(line: &str) -> Option<(&str, u32)> {
+pub(crate) fn split_crc(line: &str) -> Option<(&str, u32)> {
     let tail = line.strip_suffix('}')?;
     // The envelope's own crc field is rendered last, so the final
     // occurrence is always it — even if the report contained the text.
@@ -733,7 +871,7 @@ fn compact_shard(dir: &Path, shard: usize, rep: &mut CompactReport) -> std::io::
         return Ok(());
     }
     let lock_path = shard_lock_path(dir, shard);
-    let lock = open_lock(&lock_path)?;
+    let (lock, _) = open_lock(&lock_path)?;
     lock.lock()?;
     let compacted = compact_shard_locked(dir, shard, &path, rep);
     let _ = lock.unlock();
@@ -952,6 +1090,61 @@ mod tests {
                 "lock token {i} must be cleaned up on drop"
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_lock_tokens_from_a_dead_owner_are_reclaimed() {
+        let dir = temp_dir("store-stale-locks");
+        // A SIGKILLed daemon leaves its stamped lock tokens behind; the
+        // OS released the advisory locks with the process, so the next
+        // open must reclaim (restamp) them rather than wedge.
+        for i in 0..STORE_SHARDS {
+            std::fs::write(shard_lock_path(&dir, i), "999999999 0\n").unwrap();
+        }
+        let s = ResultStore::open(&dir).unwrap();
+        assert_eq!(s.stats().reclaimed, STORE_SHARDS as u64);
+        let stamp = std::fs::read_to_string(shard_lock_path(&dir, 0)).unwrap();
+        assert!(
+            stamp.starts_with(&format!("{} ", std::process::id())),
+            "token restamped with the live owner: {stamp:?}"
+        );
+        // The store is fully functional behind reclaimed tokens.
+        s.put(7, "unit", &sample_report()).unwrap();
+        drop(s);
+        for i in 0..STORE_SHARDS {
+            assert!(!shard_lock_path(&dir, i).exists(), "token {i} cleaned up");
+        }
+        // A healthy reopen (our own fresh tokens) reclaims nothing.
+        let s = ResultStore::open(&dir).unwrap();
+        drop(s);
+        let s = ResultStore::open(&dir).unwrap();
+        assert_eq!(s.stats().reclaimed, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_full_trips_read_only_and_a_probe_recovers() {
+        let _g = crate::testutil::FAILPOINT_LOCK.lock().unwrap();
+        let dir = temp_dir("store-read-only");
+        let s = ResultStore::open(&dir).unwrap();
+        assert!(!s.read_only());
+        ctcp_telemetry::failpoint::set(Some("disk-full"));
+        assert!(s.put(1, "unit", &sample_report()).is_err());
+        assert!(s.read_only(), "failed append trips the breaker");
+        // Degraded puts fail fast without touching the disk, but the
+        // in-memory copy still serves this process.
+        let e = s.put(2, "unit", &sample_report()).unwrap_err();
+        assert!(e.to_string().contains("read-only"), "{e}");
+        assert!(s.get(1).is_some());
+        assert!(s.get(2).is_some());
+        // Disk healed: after the probe interval one append re-probes,
+        // succeeds, and flips the store writable again.
+        ctcp_telemetry::failpoint::set(None);
+        std::thread::sleep(PROBE_INTERVAL + Duration::from_millis(50));
+        s.put(3, "unit", &sample_report()).unwrap();
+        assert!(!s.read_only(), "successful probe closes the breaker");
+        s.put(4, "unit", &sample_report()).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

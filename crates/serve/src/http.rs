@@ -17,6 +17,7 @@
 //! keeps the parser honest (no keep-alive bookkeeping) and matches the
 //! CLI client, which opens a fresh connection per command.
 
+use ctcp_telemetry::failpoint;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
@@ -154,13 +155,33 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
+    write_response_with(w, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After`
+/// on a `503` so clients know how long to back off).
+///
+/// # Errors
+///
+/// Propagates write failures (typically: the peer hung up).
+pub fn write_response_with(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
     write!(
         w,
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len()
     )?;
+    for (name, value) in extra {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -171,6 +192,10 @@ pub fn write_response(
 /// [`finish`](ChunkedWriter::finish) writes the terminating frame.
 pub struct ChunkedWriter<W: Write> {
     w: W,
+    /// Chunks sent so far — the reference point for the
+    /// `serve-disconnect=N` fail point, which severs the stream after
+    /// this writer's `N`th chunk.
+    sent: u64,
 }
 
 impl<W: Write> ChunkedWriter<W> {
@@ -187,11 +212,17 @@ impl<W: Write> ChunkedWriter<W> {
             reason(status)
         )?;
         w.flush()?;
-        Ok(ChunkedWriter { w })
+        Ok(ChunkedWriter { w, sent: 0 })
     }
 
     /// Sends `bytes` as one chunk and flushes. Empty input is skipped —
     /// a zero-length chunk would terminate the stream.
+    ///
+    /// Three socket-level fail points are wired here for chaos tests:
+    /// `serve-partial-write` (one-shot: half the frame, then an error),
+    /// `serve-disconnect=N` (one-shot: error after this writer's `N`th
+    /// chunk), and `serve-slow-reader=ms` (sleeps per chunk, modelling
+    /// a stalled reader draining the socket slowly).
     ///
     /// # Errors
     ///
@@ -200,10 +231,38 @@ impl<W: Write> ChunkedWriter<W> {
         if bytes.is_empty() {
             return Ok(());
         }
+        if let Some(ms) = failpoint::arg("serve-slow-reader") {
+            let ms: u64 = ms.parse().unwrap_or(100);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        if let Some(n) = failpoint::arg("serve-disconnect") {
+            let n: u64 = n.parse().unwrap_or(1);
+            if self.sent >= n && failpoint::take("serve-disconnect").is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "peer disconnected (fail point)",
+                ));
+            }
+        }
+        if failpoint::take("serve-partial-write").is_some() {
+            // Model a crash mid-frame: half the payload reaches the
+            // wire, then the write "fails". The peer sees a torn chunk
+            // it cannot complete.
+            let mut frame = format!("{:x}\r\n", bytes.len()).into_bytes();
+            frame.extend_from_slice(bytes);
+            self.w.write_all(&frame[..frame.len() / 2])?;
+            self.w.flush()?;
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "partial write (fail point)",
+            ));
+        }
         write!(self.w, "{:x}\r\n", bytes.len())?;
         self.w.write_all(bytes)?;
         self.w.write_all(b"\r\n")?;
-        self.w.flush()
+        self.w.flush()?;
+        self.sent += 1;
+        Ok(())
     }
 
     /// Terminates the stream.
@@ -222,8 +281,20 @@ impl<W: Write> ChunkedWriter<W> {
 pub struct Response {
     /// The status code from the status line.
     pub status: u16,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
     /// The full body — for chunked responses, all chunks concatenated.
     pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The value of header `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Performs one blocking request against `addr` and decodes the
@@ -262,6 +333,7 @@ pub fn request(
         .ok_or_else(|| bad("malformed status line"))?;
     let mut chunked = false;
     let mut content_length: Option<usize> = None;
+    let mut headers = Vec::new();
     loop {
         let line = read_line(&mut r)?.ok_or_else(|| bad("eof inside headers"))?;
         if line.is_empty() {
@@ -277,6 +349,7 @@ pub fn request(
         if name == "content-length" {
             content_length = Some(value.parse().map_err(|_| bad("bad content-length"))?);
         }
+        headers.push((name, value.to_string()));
     }
 
     let mut full = Vec::new();
@@ -306,7 +379,11 @@ pub fn request(
     } else {
         r.read_to_end(&mut full)?;
     }
-    Ok(Response { status, body: full })
+    Ok(Response {
+        status,
+        headers,
+        body: full,
+    })
 }
 
 #[cfg(test)]
@@ -353,5 +430,54 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Transfer-Encoding: chunked\r\n"));
         assert!(text.ends_with("6\r\nhello\n\r\n6\r\nworld\n\r\n0\r\n\r\n"));
+    }
+
+    #[test]
+    fn extra_headers_ride_the_fixed_response() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            503,
+            "application/json",
+            &[("Retry-After", "2")],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn partial_write_fail_point_tears_one_chunk_then_disarms() {
+        let _g = crate::testutil::FAILPOINT_LOCK.lock().unwrap();
+        failpoint::set(Some("serve-partial-write"));
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::start(&mut out, 200, "application/x-ndjson").unwrap();
+        let err = w.chunk(b"hello world\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // Half the frame reached the wire; a later chunk (e.g. after a
+        // client resume on a fresh writer) goes through untorn.
+        w.chunk(b"again\n").unwrap();
+        failpoint::set(None);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("again\n"));
+        assert!(!text.contains("hello world\n"), "first chunk was torn");
+    }
+
+    #[test]
+    fn disconnect_fail_point_severs_after_n_chunks() {
+        let _g = crate::testutil::FAILPOINT_LOCK.lock().unwrap();
+        failpoint::set(Some("serve-disconnect=2"));
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::start(&mut out, 200, "application/x-ndjson").unwrap();
+        w.chunk(b"one\n").unwrap();
+        w.chunk(b"two\n").unwrap();
+        let err = w.chunk(b"three\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // One-shot: the next chunk on the same writer goes through.
+        w.chunk(b"three\n").unwrap();
+        failpoint::set(None);
     }
 }

@@ -24,7 +24,9 @@
 //!
 //! See [`http`] for the wire protocol and [`service`] for routing,
 //! admission, disconnect and graceful-drain contracts; DESIGN.md §7f
-//! and §7h in the repository root document both.
+//! and §7h in the repository root document both, and §7i documents
+//! the crash-recovery layer (request journal, worker supervision,
+//! read-only degradation, and the reconnect/resume protocol).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,5 +35,13 @@ pub mod http;
 pub mod service;
 
 pub use service::{
-    Handler, HandlerError, HandlerStats, RequestKind, RunResult, Service, ServiceSummary,
+    resume_token, Handler, HandlerError, HandlerStats, RequestKind, RunResult, Service,
+    ServiceSummary,
 };
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    /// Fail-point state is process-global; unit tests that arm points
+    /// serialise behind this lock.
+    pub(crate) static FAILPOINT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}

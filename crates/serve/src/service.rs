@@ -1,5 +1,5 @@
 //! The resident sweep service: accept loop, request routing, admission
-//! control, counters, and graceful drain.
+//! control, crash-safe request registry, counters, and graceful drain.
 //!
 //! The service itself knows nothing about simulators. It owns a
 //! [`Handler`] — the CLI plugs in one wrapping the shared cell
@@ -10,6 +10,7 @@
 //! |-------------------|----------------------------------------------------|
 //! | `POST /sweep`     | runs a sweep, streaming NDJSON progress chunks     |
 //! | `POST /analyze`   | same, for an attribution analysis                  |
+//! | `POST /resume`    | re-attaches to a live or finished batch by token   |
 //! | `GET /status`     | in-flight work, pool utilization, latency, counters|
 //! | `POST /shutdown`  | begins a graceful drain                            |
 //!
@@ -18,28 +19,45 @@
 //! rather than serialised behind a mutex. Interleaving is the
 //! handler's business — the CLI handler feeds all requests into one
 //! fair cell scheduler — while the service handles the wire side of
-//! concurrency:
+//! concurrency and of *crash safety*:
 //!
-//! * **admission**: a handler may refuse a batch
-//!   ([`HandlerError::Saturated`]) before streaming anything; the
-//!   service answers with a clean `503` and a typed JSON body, so
-//!   clients can tell "try later" from a failed run.
-//! * **disconnects**: progress callbacks return `false` once the
-//!   client's stream breaks, letting the handler cancel that request's
-//!   queued cells. Cells already running finish (and memoize) — the
-//!   drain guarantee `/shutdown` relies on.
+//! * **admission**: a handler may refuse a batch before streaming
+//!   anything ([`HandlerError::Saturated`] when the queue is over its
+//!   bound, [`HandlerError::Unavailable`] while the result store is
+//!   degraded to read-only); the service answers with a clean `503`, a
+//!   typed JSON body, and a `Retry-After` header so clients can tell
+//!   "try later" from a failed run.
+//! * **idempotency and resume**: every batch is keyed by a *resume
+//!   token* — a hash of the raw wire body ([`resume_token`]) — and its
+//!   full event stream is kept in an in-memory registry. The first
+//!   chunk of every stream is an `accepted` handshake carrying the
+//!   token and the daemon's run id; a client that loses its connection
+//!   re-attaches with `POST /resume {"token","have","run"}` and
+//!   receives only the events it has not yet seen (all of them when
+//!   the run id changed — i.e. the daemon restarted). An identical
+//!   `POST /sweep` while the original is still running attaches to the
+//!   live batch instead of running it twice.
+//! * **disconnects detach, not cancel**: a broken client stream no
+//!   longer abandons the batch — it keeps running headless, every
+//!   finished cell memoizes, and the registry retains the stream for
+//!   the client's reconnect.
+//! * **replay**: after a crash, the CLI re-submits journaled
+//!   unfinished requests through [`Service::replay`], which runs them
+//!   headless — by the time clients reconnect, their tokens resolve.
 //! * **drain**: `/shutdown` stops the accept loop, every in-flight
-//!   connection thread is joined, and then the handler is
-//!   [quiesced](Handler::quiesce) so its worker pool runs every
-//!   admitted cell to completion before the daemon exits.
+//!   connection thread and replay thread is joined, and then the
+//!   handler is [quiesced](Handler::quiesce) so its worker pool runs
+//!   every admitted cell to completion before the daemon exits.
 
 use crate::http;
 use ctcp_telemetry::json::Value;
-use ctcp_telemetry::{Counter, Histogram, Metrics};
+use ctcp_telemetry::{failpoint, Counter, Histogram, Metrics};
+use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// What kind of batch a request asked for.
@@ -49,6 +67,49 @@ pub enum RequestKind {
     Sweep,
     /// A per-strategy attribution analysis (`POST /analyze`).
     Analyze,
+}
+
+impl RequestKind {
+    /// The wire/journal name of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestKind::Sweep => "sweep",
+            RequestKind::Analyze => "analyze",
+        }
+    }
+
+    /// The inverse of [`as_str`](RequestKind::as_str) — used when
+    /// replaying journaled requests.
+    pub fn parse(s: &str) -> Option<RequestKind> {
+        match s {
+            "sweep" => Some(RequestKind::Sweep),
+            "analyze" => Some(RequestKind::Analyze),
+            _ => None,
+        }
+    }
+}
+
+/// The resume token of a batch: FNV-1a 64 over the request kind and
+/// the *raw* wire body. Identical request bytes — from the same client
+/// retrying, or a different client asking the same question — map to
+/// the same token, which is what makes admission idempotent and crash
+/// recovery possible: the journal records the same token the service
+/// derives, so a replayed request answers the original token.
+pub fn resume_token(kind: RequestKind, raw_body: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in kind.as_str().bytes().chain([b':']).chain(raw_body.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// This daemon incarnation's id, sent in the `accepted` handshake. A
+/// resuming client echoes it back; a mismatch means the daemon
+/// restarted in between, so the client's event count is meaningless
+/// and the stream restarts from the beginning.
+fn run_id() -> u64 {
+    u64::from(std::process::id())
 }
 
 /// What one handled batch produced.
@@ -62,8 +123,7 @@ pub struct RunResult {
     pub cache_hits: u64,
     /// Cells actually simulated.
     pub simulated: u64,
-    /// Queued cells dropped because this client disconnected before
-    /// they ran.
+    /// Queued cells dropped before they ran (drain).
     pub cancelled: u64,
 }
 
@@ -81,6 +141,34 @@ pub enum HandlerError {
         /// The configured queue bound.
         limit: usize,
     },
+    /// The backend is degraded — typically the result store went
+    /// read-only after a write failure — and new batches would run
+    /// without memoizing. The service answers `503` with a
+    /// `Retry-After` header; the store re-probes the disk on its own
+    /// and admission recovers when it does.
+    Unavailable {
+        /// How long, in seconds, the client should wait before
+        /// retrying.
+        retry_after_secs: u64,
+    },
+}
+
+impl HandlerError {
+    /// The `Retry-After` value, in seconds, for the `503` response.
+    fn retry_after_secs(self) -> u64 {
+        match self {
+            HandlerError::Saturated { .. } => 1,
+            HandlerError::Unavailable { retry_after_secs } => retry_after_secs.max(1),
+        }
+    }
+
+    /// The `error` field of the typed `503` body.
+    fn name(self) -> &'static str {
+        match self {
+            HandlerError::Saturated { .. } => "saturated",
+            HandlerError::Unavailable { .. } => "unavailable",
+        }
+    }
 }
 
 impl std::fmt::Display for HandlerError {
@@ -93,6 +181,11 @@ impl std::fmt::Display for HandlerError {
             } => write!(
                 f,
                 "saturated: {queued} cells queued + {wanted} requested > limit {limit}"
+            ),
+            HandlerError::Unavailable { retry_after_secs } => write!(
+                f,
+                "unavailable: result store is read-only after a write failure; \
+                 retry in {retry_after_secs}s"
             ),
         }
     }
@@ -108,8 +201,14 @@ pub struct HandlerStats {
     pub queued_cells: usize,
     /// Cells currently executing on a worker.
     pub running_cells: usize,
-    /// Queued cells dropped by client disconnects, cumulative.
+    /// Queued cells dropped before running, cumulative.
     pub cancelled_cells: u64,
+    /// Worker threads respawned after a panic, cumulative.
+    pub respawns: u64,
+    /// Cells quarantined after repeated worker panics, cumulative.
+    pub poisoned: u64,
+    /// True while the result store is degraded to read-only.
+    pub read_only: bool,
 }
 
 /// The execution backend behind the service — implemented by the CLI
@@ -122,9 +221,13 @@ pub struct HandlerStats {
 pub trait Handler: Send + Sync {
     /// Runs the batch described by `body` (a parsed JSON object),
     /// emitting progress events through `progress` as cells finish.
-    /// The callback returns `false` once the client's stream is broken
-    /// — the handler should then cancel the request's queued cells
-    /// (running cells finish and memoize) but still return the result.
+    /// `token` is the batch's resume token — a journaling handler
+    /// records it so the request can be replayed after a crash.
+    ///
+    /// The callback's return value reports whether a client is still
+    /// attached; the service keeps detached batches running (their
+    /// events are retained for resume), so handlers should treat
+    /// `false` as advisory, not as a cancellation order.
     /// A malformed body should come back as an `Ok` result with a
     /// non-zero `exit_code` and the parse error as `output`; `Err` is
     /// reserved for refusing to run at all.
@@ -132,11 +235,14 @@ pub trait Handler: Send + Sync {
     /// # Errors
     ///
     /// [`HandlerError::Saturated`] when admission control refuses the
-    /// batch — guaranteed to happen before any progress is emitted.
+    /// batch, [`HandlerError::Unavailable`] while the backend is
+    /// degraded — both guaranteed to happen before any progress is
+    /// emitted.
     fn run(
         &self,
         kind: RequestKind,
         body: &Value,
+        token: &str,
         progress: &mut dyn FnMut(&Value) -> bool,
     ) -> Result<RunResult, HandlerError>;
 
@@ -164,8 +270,75 @@ pub struct ServiceSummary {
     pub cache_hits: u64,
     /// Batch requests refused by admission control (`503`).
     pub rejected: u64,
-    /// Queued cells dropped because their client disconnected.
+    /// Queued cells dropped before they ran.
     pub cancelled_cells: u64,
+    /// Journaled requests replayed headless after a restart.
+    pub journal_replayed: u64,
+    /// Streams re-attached to an existing batch (`/resume`, or an
+    /// idempotent duplicate `POST` joining a live run).
+    pub resumed_streams: u64,
+    /// Worker threads respawned after a panic.
+    pub respawns: u64,
+    /// Cells quarantined after repeated worker panics.
+    pub poisoned: u64,
+}
+
+/// One admitted batch's replayable state: every event line it has
+/// emitted (progress and the final result), and whether it finished.
+/// Readers — the owning connection, `/resume` attachments, duplicate
+/// `POST`s — stream the log and park on the condvar for more.
+struct RequestEntry {
+    state: Mutex<EntryState>,
+    grew: Condvar,
+}
+
+struct EntryState {
+    /// Rendered NDJSON lines, in emission order, `\n`-terminated.
+    events: Vec<String>,
+    /// Set once, after the final `result` (or `error`) line.
+    done: bool,
+}
+
+impl RequestEntry {
+    fn new() -> RequestEntry {
+        RequestEntry {
+            state: Mutex::new(EntryState {
+                events: Vec::new(),
+                done: false,
+            }),
+            grew: Condvar::new(),
+        }
+    }
+
+    fn push(&self, line: String) {
+        relock(&self.state).events.push(line);
+        self.grew.notify_all();
+    }
+
+    fn finish(&self) {
+        relock(&self.state).done = true;
+        self.grew.notify_all();
+    }
+
+    fn is_done(&self) -> bool {
+        relock(&self.state).done
+    }
+
+    /// Blocks until there are events past index `from` (or the entry
+    /// is done), then returns them along with the done flag.
+    fn wait_past(&self, from: usize) -> (Vec<String>, bool) {
+        let mut st = relock(&self.state);
+        loop {
+            if st.events.len() > from || st.done {
+                let at = from.min(st.events.len());
+                return (st.events[at..].to_vec(), st.done);
+            }
+            st = self
+                .grew
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
 }
 
 struct Inner {
@@ -175,6 +348,14 @@ struct Inner {
     /// fixed 33-bucket histogram spans sub-millisecond cache hits to
     /// multi-hour sweeps.
     latency: Mutex<Histogram>,
+    /// Every batch this incarnation has admitted, live and finished,
+    /// keyed by resume token. Finished entries are kept so a client
+    /// that reconnects after its batch completed still gets the full
+    /// stream; the map is bounded by requests-per-daemon-lifetime.
+    registry: Mutex<HashMap<String, Arc<RequestEntry>>>,
+    /// Headless replay threads started by [`Service::replay`], joined
+    /// during the drain so no journaled batch is ever abandoned twice.
+    replays: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Batch requests currently being handled (admitted or not-yet-
     /// admitted; excludes `/status` and `/shutdown`).
     in_flight: AtomicUsize,
@@ -213,6 +394,8 @@ impl Service {
                 handler,
                 metrics: Mutex::new(Metrics::new()),
                 latency: Mutex::new(Histogram::default()),
+                registry: Mutex::new(HashMap::new()),
+                replays: Mutex::new(Vec::new()),
                 in_flight: AtomicUsize::new(0),
                 draining: AtomicBool::new(false),
                 addr,
@@ -225,10 +408,39 @@ impl Service {
         self.inner.addr
     }
 
+    /// Re-runs a journaled request headless — no socket, events into
+    /// the registry — so a client that reconnects after a daemon crash
+    /// finds its token live (or finished) instead of unknown. Called
+    /// by the CLI before [`run`](Service::run) for every unfinished
+    /// request the journal replays. Returns `false` (and does nothing)
+    /// when the body no longer parses or the token is already
+    /// registered.
+    pub fn replay(&self, kind: RequestKind, raw_body: &str) -> bool {
+        let Ok(body) = Value::parse(raw_body) else {
+            return false;
+        };
+        let token = resume_token(kind, raw_body);
+        let entry = Arc::new(RequestEntry::new());
+        {
+            let mut reg = relock(&self.inner.registry);
+            if reg.contains_key(&token) {
+                return false;
+            }
+            reg.insert(token.clone(), Arc::clone(&entry));
+        }
+        relock(&self.inner.metrics).add(Counter::ServeJournalReplayed, 1);
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::spawn(move || {
+            let _ = execute_entry(&inner, kind, &body, &token, &entry, None);
+        });
+        relock(&self.inner.replays).push(handle);
+        true
+    }
+
     /// Serves until a `/shutdown` request, then drains: the accept
-    /// loop stops, every in-flight connection thread is joined (their
-    /// batches run to completion), the handler is quiesced, and the
-    /// counter totals are returned.
+    /// loop stops, every in-flight connection thread and replay thread
+    /// is joined (their batches run to completion), the handler is
+    /// quiesced, and the counter totals are returned.
     ///
     /// # Errors
     ///
@@ -237,6 +449,9 @@ impl Service {
     /// thread.
     pub fn run(self) -> io::Result<ServiceSummary> {
         let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        // `serve-accept-storm=N` drops the first N connections on the
+        // floor — the reconnect-herd chaos the client backoff absorbs.
+        let mut storm_dropped: u64 = 0;
         loop {
             let (stream, _) = match self.listener.accept() {
                 Ok(conn) => conn,
@@ -245,6 +460,13 @@ impl Service {
             };
             if self.inner.draining.load(Ordering::Acquire) {
                 break;
+            }
+            if let Some(n) = failpoint::arg("serve-accept-storm") {
+                if storm_dropped < n.parse().unwrap_or(0) {
+                    storm_dropped += 1;
+                    drop(stream);
+                    continue;
+                }
             }
             let inner = Arc::clone(&self.inner);
             workers.push(std::thread::spawn(move || {
@@ -264,6 +486,10 @@ impl Service {
         for w in workers {
             let _ = w.join();
         }
+        for r in std::mem::take(&mut *relock(&self.inner.replays)) {
+            let _ = r.join();
+        }
+        let hs = self.inner.handler.stats();
         self.inner.handler.quiesce();
         let m = relock(&self.inner.metrics);
         Ok(ServiceSummary {
@@ -272,6 +498,10 @@ impl Service {
             cache_hits: m.get(Counter::ServeCacheHits),
             rejected: m.get(Counter::ServeRejected),
             cancelled_cells: m.get(Counter::ServeCancelledCells),
+            journal_replayed: m.get(Counter::ServeJournalReplayed),
+            resumed_streams: m.get(Counter::ServeResumedStreams),
+            respawns: hs.respawns,
+            poisoned: hs.poisoned,
         })
     }
 }
@@ -291,6 +521,7 @@ fn handle_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/sweep") => run_batch(RequestKind::Sweep, &req, &mut out, inner),
         ("POST", "/analyze") => run_batch(RequestKind::Analyze, &req, &mut out, inner),
+        ("POST", "/resume") => resume(&req, &mut out, inner),
         ("GET", "/status") => status(&mut out, inner),
         ("POST", "/shutdown") => shutdown(&mut out, inner),
         _ => http::write_response(&mut out, 404, "text/plain", b"unknown route"),
@@ -307,81 +538,86 @@ impl Drop for InFlight<'_> {
     }
 }
 
-fn run_batch(
-    kind: RequestKind,
-    req: &http::Request,
-    out: &mut TcpStream,
-    inner: &Inner,
-) -> io::Result<()> {
-    let body = match req.body_str().map(Value::parse) {
-        Some(Ok(v)) => v,
-        _ => return http::write_response(out, 400, "text/plain", b"body is not valid JSON"),
-    };
-    let started = Instant::now();
-    if inner.in_flight.fetch_add(1, Ordering::SeqCst) > 0 {
-        // Another batch is already running: this one rides the shared
-        // pool concurrently instead of waiting its turn.
-        relock(&inner.metrics).add(Counter::ServeQueued, 1);
-    }
-    let _gauge = InFlight(&inner.in_flight);
+/// The first chunk of every batch stream: the resume handshake. Not
+/// recorded in the entry log — each attachment gets its own, and
+/// clients count delivered events from the line after it.
+fn accepted_line(token: &str) -> String {
+    let mut line = Value::Obj(vec![
+        ("event".into(), Value::str("accepted")),
+        ("token".into(), Value::str(token)),
+        ("run".into(), Value::u64(run_id())),
+    ])
+    .render();
+    line.push('\n');
+    line
+}
 
-    // The chunked stream starts lazily, on the first progress event:
-    // a batch refused by admission control streams nothing, so it can
-    // still be answered with a clean fixed-length 503.
-    let mut writer: Option<http::ChunkedWriter<TcpStream>> = None;
-    let mut peer_gone = false;
-    let outcome = inner.handler.run(kind, &body, &mut |event| {
-        if peer_gone {
-            return false;
-        }
-        let w = match writer.as_mut() {
-            Some(w) => w,
-            None => match out
-                .try_clone()
-                .and_then(|s| http::ChunkedWriter::start(s, 200, "application/x-ndjson"))
-            {
-                Ok(w) => writer.insert(w),
-                Err(_) => {
-                    peer_gone = true;
-                    return false;
-                }
-            },
-        };
-        let mut line = event.render();
-        line.push('\n');
-        match w.chunk(line.as_bytes()) {
-            Ok(()) => true,
-            Err(_) => {
-                // The client hung up. The batch keeps running — every
-                // finished cell is already memoized in the shared
-                // store — but the handler is told so it can drop this
-                // request's still-queued cells.
-                peer_gone = true;
-                false
+/// Runs the batch through the handler on the current thread, recording
+/// every event line (and the final `result` line) in `entry`, and
+/// mirroring each to `sink` while it keeps accepting them — `sink`
+/// returning `false` detaches the stream but never stops the batch.
+/// Refusals remove the entry from the registry (a later retry runs
+/// fresh) and mark it done with a terminal `error` line so attached
+/// streams end instead of hanging; a panicking handler yields a
+/// terminal `result` line with exit code 70 and the daemon survives.
+fn execute_entry(
+    inner: &Inner,
+    kind: RequestKind,
+    body: &Value,
+    token: &str,
+    entry: &RequestEntry,
+    mut sink: Option<&mut dyn FnMut(&str) -> bool>,
+) -> Result<(), HandlerError> {
+    fn emit(
+        entry: &RequestEntry,
+        line: String,
+        sink: &mut Option<&mut dyn FnMut(&str) -> bool>,
+        attached: &mut bool,
+    ) {
+        entry.push(line.clone());
+        if *attached {
+            if let Some(s) = sink.as_mut() {
+                *attached = s(&line);
             }
         }
-    });
+    }
 
+    let started = Instant::now();
+    let mut attached = true;
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        inner.handler.run(kind, body, token, &mut |event| {
+            let mut line = event.render();
+            line.push('\n');
+            emit(entry, line, &mut sink, &mut attached);
+            true
+        })
+    }));
     let result = match outcome {
-        Ok(result) => result,
-        Err(
-            e @ HandlerError::Saturated {
-                queued,
-                wanted,
-                limit,
-            },
-        ) => {
+        Ok(Ok(result)) => result,
+        Ok(Err(refusal)) => {
             relock(&inner.metrics).add(Counter::ServeRejected, 1);
-            debug_assert!(writer.is_none(), "admission precedes streaming");
-            let body = Value::Obj(vec![
-                ("error".into(), Value::str("saturated")),
-                ("message".into(), Value::str(&e.to_string())),
-                ("queued".into(), Value::u64(queued as u64)),
-                ("wanted".into(), Value::u64(wanted as u64)),
-                ("limit".into(), Value::u64(limit as u64)),
+            relock(&inner.registry).remove(token);
+            let mut line = Value::Obj(vec![
+                ("event".into(), Value::str("error")),
+                ("error".into(), Value::str(refusal.name())),
+                ("message".into(), Value::str(&refusal.to_string())),
             ])
             .render();
-            return http::write_response(out, 503, "application/json", body.as_bytes());
+            line.push('\n');
+            entry.push(line);
+            entry.finish();
+            return Err(refusal);
+        }
+        Err(_) => {
+            // The handler panicked mid-batch. The daemon survives; the
+            // batch gets a terminal result so no stream hangs on it.
+            RunResult {
+                output: "internal error: batch panicked".into(),
+                exit_code: 70,
+                cache_hits: 0,
+                simulated: 0,
+                cancelled: 0,
+            }
         }
     };
 
@@ -406,14 +642,169 @@ fn run_batch(
     ])
     .render();
     line.push('\n');
-    let mut w = match writer {
-        Some(w) => w,
-        // No progress was streamed (e.g. a parse error): the result
-        // line is the whole stream.
-        None => http::ChunkedWriter::start(out.try_clone()?, 200, "application/x-ndjson")?,
+    emit(entry, line, &mut sink, &mut attached);
+    entry.finish();
+    Ok(())
+}
+
+fn run_batch(
+    kind: RequestKind,
+    req: &http::Request,
+    out: &mut TcpStream,
+    inner: &Inner,
+) -> io::Result<()> {
+    let Some(raw) = req.body_str() else {
+        return http::write_response(out, 400, "text/plain", b"body is not valid JSON");
     };
-    w.chunk(line.as_bytes())?;
+    let Ok(body) = Value::parse(raw) else {
+        return http::write_response(out, 400, "text/plain", b"body is not valid JSON");
+    };
+    let token = resume_token(kind, raw);
+
+    // Idempotent admission: an identical request already running (same
+    // kind, same raw body, so same token) is attached to, not re-run.
+    // Finished entries do not capture duplicates — re-asking a settled
+    // question runs fresh (and answers warm from the store anyway).
+    let entry = {
+        let mut reg = relock(&inner.registry);
+        match reg.get(&token) {
+            Some(live) if !live.is_done() => {
+                let live = Arc::clone(live);
+                drop(reg);
+                relock(&inner.metrics).add(Counter::ServeResumedStreams, 1);
+                return stream_entry(out, &live, &token, 0);
+            }
+            _ => {
+                let entry = Arc::new(RequestEntry::new());
+                reg.insert(token.clone(), Arc::clone(&entry));
+                entry
+            }
+        }
+    };
+
+    if inner.in_flight.fetch_add(1, Ordering::SeqCst) > 0 {
+        // Another batch is already running: this one rides the shared
+        // pool concurrently instead of waiting its turn.
+        relock(&inner.metrics).add(Counter::ServeQueued, 1);
+    }
+    let _gauge = InFlight(&inner.in_flight);
+
+    // The chunked stream starts lazily, on the first event: a batch
+    // refused by admission control streams nothing, so it can still
+    // be answered with a clean fixed-length 503. The first chunk of a
+    // started stream is the `accepted` resume handshake.
+    let mut writer: Option<http::ChunkedWriter<TcpStream>> = None;
+    let refusal = {
+        let mut sink = |line: &str| -> bool {
+            let w = match writer.as_mut() {
+                Some(w) => w,
+                None => match out
+                    .try_clone()
+                    .and_then(|s| http::ChunkedWriter::start(s, 200, "application/x-ndjson"))
+                {
+                    Ok(mut w) => {
+                        if w.chunk(accepted_line(&token).as_bytes()).is_err() {
+                            return false;
+                        }
+                        writer.insert(w)
+                    }
+                    Err(_) => return false,
+                },
+            };
+            // A failed write detaches this client; the batch keeps
+            // running and the registry keeps its stream for a resume.
+            w.chunk(line.as_bytes()).is_ok()
+        };
+        execute_entry(inner, kind, &body, &token, &entry, Some(&mut sink))
+    };
+
+    if let Err(e) = refusal {
+        debug_assert!(writer.is_none(), "admission precedes streaming");
+        let retry_after = e.retry_after_secs().to_string();
+        let mut fields = vec![
+            ("error".into(), Value::str(e.name())),
+            ("message".into(), Value::str(&e.to_string())),
+        ];
+        if let HandlerError::Saturated {
+            queued,
+            wanted,
+            limit,
+        } = e
+        {
+            fields.push(("queued".into(), Value::u64(queued as u64)));
+            fields.push(("wanted".into(), Value::u64(wanted as u64)));
+            fields.push(("limit".into(), Value::u64(limit as u64)));
+        }
+        let body = Value::Obj(fields).render();
+        return http::write_response_with(
+            out,
+            503,
+            "application/json",
+            &[("Retry-After", &retry_after)],
+            body.as_bytes(),
+        );
+    }
+    match writer {
+        Some(w) => w.finish(),
+        // The client detached before the stream ever started (or the
+        // start itself failed); nothing left to say on this socket.
+        None => Ok(()),
+    }
+}
+
+/// Streams `entry` to `out` from event index `from`: the `accepted`
+/// handshake, every already-recorded event past `from`, then live
+/// events as the batch emits them, until the entry is done.
+fn stream_entry(
+    out: &mut TcpStream,
+    entry: &RequestEntry,
+    token: &str,
+    from: usize,
+) -> io::Result<()> {
+    let mut w = http::ChunkedWriter::start(out.try_clone()?, 200, "application/x-ndjson")?;
+    w.chunk(accepted_line(token).as_bytes())?;
+    let mut at = from;
+    loop {
+        let (events, done) = entry.wait_past(at);
+        for line in &events {
+            w.chunk(line.as_bytes())?;
+        }
+        at += events.len();
+        if done {
+            break;
+        }
+    }
     w.finish()
+}
+
+/// `POST /resume {"token": "...", "have": N, "run": R}` — re-attaches
+/// to a batch by resume token, skipping the `N` events the client
+/// already received from daemon incarnation `R` (all events are
+/// re-sent when `R` is not this incarnation). Unknown tokens get a
+/// typed `404` — the client falls back to re-POSTing the original
+/// request.
+fn resume(req: &http::Request, out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
+    let body = match req.body_str().map(Value::parse) {
+        Some(Ok(v)) => v,
+        _ => return http::write_response(out, 400, "text/plain", b"body is not valid JSON"),
+    };
+    let Some(token) = body.get("token").and_then(Value::as_str).map(String::from) else {
+        return http::write_response(out, 400, "text/plain", b"resume body needs a token");
+    };
+    let have = body.get("have").and_then(Value::as_u64).unwrap_or(0) as usize;
+    let run = body.get("run").and_then(Value::as_u64).unwrap_or(0);
+    let entry = relock(&inner.registry).get(&token).map(Arc::clone);
+    let Some(entry) = entry else {
+        let body = Value::Obj(vec![
+            ("error".into(), Value::str("unknown-token")),
+            ("token".into(), Value::str(&token)),
+        ])
+        .render();
+        return http::write_response(out, 404, "application/json", body.as_bytes());
+    };
+    let from = if run == run_id() { have } else { 0 };
+    relock(&inner.metrics).add(Counter::ServeResumedStreams, 1);
+    stream_entry(out, &entry, &token, from)
 }
 
 /// The lower bound, in milliseconds, of latency bucket `i` (the
@@ -435,6 +826,29 @@ fn status(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
     };
     let lat = relock(&inner.latency).clone();
     let m = relock(&inner.metrics);
+    let mut counters: Vec<(String, Value)> = [
+        Counter::ServeRequests,
+        Counter::ServeQueued,
+        Counter::ServeCacheHits,
+        Counter::ServeRejected,
+        Counter::ServeCancelledCells,
+        Counter::ServeJournalReplayed,
+        Counter::ServeResumedStreams,
+    ]
+    .iter()
+    .map(|&c| (c.name().to_string(), Value::u64(m.get(c))))
+    .collect();
+    // The supervision counters live in the handler's scheduler, not in
+    // the service's metrics — surfaced here under their Counter names
+    // so `/status` is the one place to read robustness state.
+    counters.push((
+        Counter::ServeWorkerRespawns.name().to_string(),
+        Value::u64(hs.respawns),
+    ));
+    counters.push((
+        Counter::ServeCellsPoisoned.name().to_string(),
+        Value::u64(hs.poisoned),
+    ));
     let body = Value::Obj(vec![
         ("status".into(), Value::str("ok")),
         ("in_flight".into(), Value::u64(in_flight)),
@@ -443,6 +857,7 @@ fn status(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
         ("running_cells".into(), Value::u64(hs.running_cells as u64)),
         ("worker_utilization".into(), Value::f64(utilization)),
         ("cancelled_cells".into(), Value::u64(hs.cancelled_cells)),
+        ("store_read_only".into(), Value::Bool(hs.read_only)),
         (
             "latency_ms".into(),
             Value::Obj(vec![
@@ -452,21 +867,7 @@ fn status(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
                 ("p99".into(), Value::u64(bucket_ms(lat.percentile(99.0)))),
             ]),
         ),
-        (
-            "counters".into(),
-            Value::Obj(
-                [
-                    Counter::ServeRequests,
-                    Counter::ServeQueued,
-                    Counter::ServeCacheHits,
-                    Counter::ServeRejected,
-                    Counter::ServeCancelledCells,
-                ]
-                .iter()
-                .map(|&c| (c.name().to_string(), Value::u64(m.get(c))))
-                .collect(),
-            ),
-        ),
+        ("counters".into(), Value::Obj(counters)),
     ])
     .render();
     drop(m);
@@ -485,7 +886,6 @@ fn shutdown(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Condvar;
     use std::time::Duration;
 
     /// A handler that "runs" a two-cell batch instantly, echoing the
@@ -515,6 +915,7 @@ mod tests {
             &self,
             kind: RequestKind,
             body: &Value,
+            _token: &str,
             progress: &mut dyn FnMut(&Value) -> bool,
         ) -> Result<RunResult, HandlerError> {
             let rendered = body.render();
@@ -543,9 +944,7 @@ mod tests {
         fn stats(&self) -> HandlerStats {
             HandlerStats {
                 workers: 2,
-                queued_cells: 0,
-                running_cells: 0,
-                cancelled_cells: 0,
+                ..HandlerStats::default()
             }
         }
 
@@ -575,7 +974,7 @@ mod tests {
     }
 
     #[test]
-    fn sweep_streams_progress_then_result() {
+    fn sweep_streams_handshake_progress_then_result() {
         let (addr, worker, quiesced) = start_service();
         let mut chunks = 0usize;
         let resp = http::request(&addr, "POST", "/sweep", b"{\"grid\":1}", &mut |_| {
@@ -583,11 +982,17 @@ mod tests {
         })
         .unwrap();
         assert_eq!(resp.status, 200);
-        assert!(chunks >= 3, "2 progress + 1 result, each its own chunk");
+        assert!(chunks >= 4, "handshake + 2 progress + 1 result");
         let events = parse_events(&resp.body);
-        assert_eq!(events.len(), 3);
-        assert_eq!(events[0].get("event").unwrap().as_str(), Some("progress"));
-        let result = &events[2];
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].get("event").unwrap().as_str(), Some("accepted"));
+        assert_eq!(
+            events[0].get("token").unwrap().as_str(),
+            Some(resume_token(RequestKind::Sweep, "{\"grid\":1}").as_str())
+        );
+        assert_eq!(events[0].get("run").unwrap().as_u64(), Some(run_id()));
+        assert_eq!(events[1].get("event").unwrap().as_str(), Some("progress"));
+        let result = &events[3];
         assert_eq!(result.get("event").unwrap().as_str(), Some("result"));
         assert_eq!(result.get("exit_code").unwrap().as_u64(), Some(0));
         assert_eq!(
@@ -595,11 +1000,13 @@ mod tests {
             Some("Sweep: {\"grid\":1}")
         );
 
-        // Same body again: the handler reports its cells as cache hits
-        // and the service accounts them.
+        // Same body again after the first finished: the batch re-runs
+        // (finished entries don't capture duplicates), the handler
+        // reports its cells as cache hits and the service accounts
+        // them.
         let resp = http::request(&addr, "POST", "/sweep", b"{\"grid\":1}", &mut |_| {}).unwrap();
         let events = parse_events(&resp.body);
-        assert_eq!(events[2].get("cache_hits").unwrap().as_u64(), Some(2));
+        assert_eq!(events[3].get("cache_hits").unwrap().as_u64(), Some(2));
 
         let resp = http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
         assert_eq!(resp.status, 200);
@@ -622,6 +1029,7 @@ mod tests {
         assert_eq!(v.get("in_flight").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("workers").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("queued_cells").unwrap().as_u64(), Some(0));
+        assert!(matches!(v.get("store_read_only"), Some(Value::Bool(false))));
         let lat = v.get("latency_ms").unwrap();
         assert_eq!(lat.get("samples").unwrap().as_u64(), Some(1));
         assert!(lat.get("p50").unwrap().as_u64().is_some());
@@ -632,6 +1040,22 @@ mod tests {
             "the status request itself is counted"
         );
         assert_eq!(counters.get("serve_rejected").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            counters.get("serve_journal_replayed").unwrap().as_u64(),
+            Some(0)
+        );
+        assert_eq!(
+            counters.get("serve_resumed_streams").unwrap().as_u64(),
+            Some(0)
+        );
+        assert_eq!(
+            counters.get("serve_worker_respawns").unwrap().as_u64(),
+            Some(0)
+        );
+        assert_eq!(
+            counters.get("serve_cells_poisoned").unwrap().as_u64(),
+            Some(0)
+        );
         let resp = http::request(&addr, "GET", "/nope", b"", &mut |_| {}).unwrap();
         assert_eq!(resp.status, 404);
         let resp = http::request(&addr, "POST", "/sweep", b"not json", &mut |_| {}).unwrap();
@@ -666,6 +1090,7 @@ mod tests {
             &self,
             _kind: RequestKind,
             _body: &Value,
+            _token: &str,
             _progress: &mut dyn FnMut(&Value) -> bool,
         ) -> Result<RunResult, HandlerError> {
             let mut inside = self.inside.lock().unwrap();
@@ -708,11 +1133,14 @@ mod tests {
         .unwrap();
         let addr = svc.local_addr().to_string();
         let worker = std::thread::spawn(move || svc.run().expect("service run"));
+        // Identical bodies would attach to one run now, so each client
+        // asks a distinct question.
         let clients: Vec<_> = (0..3)
-            .map(|_| {
+            .map(|i| {
                 let addr = addr.clone();
                 std::thread::spawn(move || {
-                    http::request(&addr, "POST", "/sweep", b"{}", &mut |_| {}).unwrap()
+                    let body = format!("{{\"grid\":{i}}}");
+                    http::request(&addr, "POST", "/sweep", body.as_bytes(), &mut |_| {}).unwrap()
                 })
             })
             .collect();
@@ -733,30 +1161,36 @@ mod tests {
     }
 
     /// A handler that always refuses: the wire side of admission.
-    struct SaturatedHandler;
+    struct RefusingHandler(HandlerError);
 
-    impl Handler for SaturatedHandler {
+    impl Handler for RefusingHandler {
         fn run(
             &self,
             _kind: RequestKind,
             _body: &Value,
+            _token: &str,
             _progress: &mut dyn FnMut(&Value) -> bool,
         ) -> Result<RunResult, HandlerError> {
-            Err(HandlerError::Saturated {
-                queued: 7,
-                wanted: 3,
-                limit: 8,
-            })
+            Err(self.0)
         }
     }
 
     #[test]
-    fn saturated_batches_get_a_typed_503() {
-        let svc = Service::bind("127.0.0.1:0", Box::new(SaturatedHandler)).unwrap();
+    fn saturated_batches_get_a_typed_503_with_retry_after() {
+        let svc = Service::bind(
+            "127.0.0.1:0",
+            Box::new(RefusingHandler(HandlerError::Saturated {
+                queued: 7,
+                wanted: 3,
+                limit: 8,
+            })),
+        )
+        .unwrap();
         let addr = svc.local_addr().to_string();
         let worker = std::thread::spawn(move || svc.run().expect("service run"));
         let resp = http::request(&addr, "POST", "/sweep", b"{}", &mut |_| {}).unwrap();
         assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
         let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert_eq!(v.get("error").unwrap().as_str(), Some("saturated"));
         assert_eq!(v.get("queued").unwrap().as_u64(), Some(7));
@@ -778,45 +1212,69 @@ mod tests {
         assert_eq!(summary.rejected, 1);
     }
 
-    /// A handler that keeps emitting until the stream breaks, then
-    /// reports how many "cells" it abandoned — the disconnect contract.
-    struct TalkativeHandler;
+    #[test]
+    fn degraded_store_gets_a_503_with_its_retry_hint() {
+        let svc = Service::bind(
+            "127.0.0.1:0",
+            Box::new(RefusingHandler(HandlerError::Unavailable {
+                retry_after_secs: 2,
+            })),
+        )
+        .unwrap();
+        let addr = svc.local_addr().to_string();
+        let worker = std::thread::spawn(move || svc.run().expect("service run"));
+        let resp = http::request(&addr, "POST", "/sweep", b"{}", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("2"));
+        let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("unavailable"));
+        assert!(v
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("read-only"));
+        http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        let summary = worker.join().unwrap();
+        assert_eq!(summary.rejected, 1);
+    }
+
+    /// A handler that emits `total` events with a small delay — long
+    /// enough for a client to vanish mid-stream and resume.
+    struct TalkativeHandler {
+        total: u64,
+    }
 
     impl Handler for TalkativeHandler {
         fn run(
             &self,
             _kind: RequestKind,
             _body: &Value,
+            _token: &str,
             progress: &mut dyn FnMut(&Value) -> bool,
         ) -> Result<RunResult, HandlerError> {
-            let total = 200u64;
-            let mut cancelled = 0;
-            for done in 1..=total {
-                let alive = progress(&Value::Obj(vec![
+            for done in 1..=self.total {
+                progress(&Value::Obj(vec![
                     ("event".into(), Value::str("progress")),
                     ("done".into(), Value::u64(done)),
-                    ("total".into(), Value::u64(total)),
+                    ("total".into(), Value::u64(self.total)),
                 ]));
-                if !alive {
-                    cancelled = total - done;
-                    break;
-                }
                 std::thread::sleep(Duration::from_millis(5));
             }
             Ok(RunResult {
-                output: "partial".into(),
+                output: "complete".into(),
                 exit_code: 0,
                 cache_hits: 0,
-                simulated: 200 - cancelled,
-                cancelled,
+                simulated: self.total,
+                cancelled: 0,
             })
         }
     }
 
     #[test]
-    fn client_disconnect_cancels_and_is_counted() {
+    fn disconnect_detaches_and_resume_replays_the_full_stream() {
         use std::io::Write;
-        let svc = Service::bind("127.0.0.1:0", Box::new(TalkativeHandler)).unwrap();
+        let svc = Service::bind("127.0.0.1:0", Box::new(TalkativeHandler { total: 10 })).unwrap();
         let addr = svc.local_addr().to_string();
         let worker = std::thread::spawn(move || svc.run().expect("service run"));
         {
@@ -828,28 +1286,132 @@ mod tests {
             )
             .unwrap();
             s.flush().unwrap();
-            std::thread::sleep(Duration::from_millis(50));
+            std::thread::sleep(Duration::from_millis(15));
         } // drop = RST/FIN while the handler is still emitting
-          // The batch keeps running server-side; wait for it to finish.
-        let deadline = Instant::now() + Duration::from_secs(10);
-        let cancelled = loop {
-            let resp = http::request(&addr, "GET", "/status", b"", &mut |_| {}).unwrap();
-            let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
-            let n = v
-                .get("counters")
-                .unwrap()
-                .get("serve_cancelled_cells")
-                .unwrap()
-                .as_u64()
-                .unwrap();
-            if n > 0 || Instant::now() > deadline {
-                break n;
-            }
-            std::thread::sleep(Duration::from_millis(20));
-        };
-        assert!(cancelled > 0, "the broken stream must cancel queued cells");
+
+        // The batch keeps running server-side (detach, not cancel); a
+        // resume with the right token replays everything — including
+        // the result the disconnected client never saw. `run: 0` can
+        // never match a live incarnation, so `have` is ignored.
+        let token = resume_token(RequestKind::Sweep, "{}");
+        let resume = format!("{{\"token\":\"{token}\",\"have\":3,\"run\":0}}");
+        let resp = http::request(&addr, "POST", "/resume", resume.as_bytes(), &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 200);
+        let events = parse_events(&resp.body);
+        assert_eq!(events[0].get("event").unwrap().as_str(), Some("accepted"));
+        let result = events.last().unwrap();
+        assert_eq!(result.get("event").unwrap().as_str(), Some("result"));
+        assert_eq!(result.get("output").unwrap().as_str(), Some("complete"));
+        assert_eq!(result.get("simulated").unwrap().as_u64(), Some(10));
+        assert_eq!(
+            events.len(),
+            12,
+            "handshake + all 10 progress + result, nothing skipped"
+        );
+
+        // A matching run id honours `have`: only the tail is re-sent.
+        let resume = format!("{{\"token\":\"{token}\",\"have\":8,\"run\":{}}}", run_id());
+        let resp = http::request(&addr, "POST", "/resume", resume.as_bytes(), &mut |_| {}).unwrap();
+        let events = parse_events(&resp.body);
+        assert_eq!(events.len(), 4, "handshake + progress 9, 10 + result");
+
+        // Unknown tokens are a typed 404.
+        let resp = http::request(
+            &addr,
+            "POST",
+            "/resume",
+            b"{\"token\":\"ffffffffffffffff\",\"have\":0,\"run\":0}",
+            &mut |_| {},
+        )
+        .unwrap();
+        assert_eq!(resp.status, 404);
+        let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("unknown-token"));
+
         http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
         let summary = worker.join().unwrap();
-        assert_eq!(summary.cancelled_cells, cancelled);
+        assert_eq!(summary.resumed_streams, 2);
+        assert_eq!(summary.cancelled_cells, 0, "detach is not cancellation");
+    }
+
+    #[test]
+    fn identical_live_posts_attach_to_one_run() {
+        let svc = Service::bind("127.0.0.1:0", Box::new(TalkativeHandler { total: 30 })).unwrap();
+        let addr = svc.local_addr().to_string();
+        let worker = std::thread::spawn(move || svc.run().expect("service run"));
+        let owner = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                http::request(&addr, "POST", "/sweep", b"{\"grid\":9}", &mut |_| {}).unwrap()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        // Same wire body while the first is still running: one batch,
+        // two streams.
+        let twin = http::request(&addr, "POST", "/sweep", b"{\"grid\":9}", &mut |_| {}).unwrap();
+        let first = owner.join().unwrap();
+        for resp in [&first, &twin] {
+            let events = parse_events(&resp.body);
+            let result = events.last().unwrap();
+            assert_eq!(result.get("event").unwrap().as_str(), Some("result"));
+            assert_eq!(result.get("simulated").unwrap().as_u64(), Some(30));
+        }
+        http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        let summary = worker.join().unwrap();
+        assert_eq!(summary.resumed_streams, 1, "the twin attached");
+        assert_eq!(summary.queued, 0, "only one batch actually ran");
+    }
+
+    #[test]
+    fn replay_runs_headless_and_resolves_the_token() {
+        let (handler, _q) = MockHandler::new();
+        let svc = Service::bind("127.0.0.1:0", Box::new(handler)).unwrap();
+        assert!(svc.replay(RequestKind::Sweep, "{\"grid\":7}"));
+        assert!(
+            !svc.replay(RequestKind::Sweep, "{\"grid\":7}"),
+            "a token replays once"
+        );
+        assert!(!svc.replay(RequestKind::Sweep, "not json"));
+        let addr = svc.local_addr().to_string();
+        let worker = std::thread::spawn(move || svc.run().expect("service run"));
+        let token = resume_token(RequestKind::Sweep, "{\"grid\":7}");
+        let resume = format!("{{\"token\":\"{token}\",\"have\":0,\"run\":0}}");
+        let resp = http::request(&addr, "POST", "/resume", resume.as_bytes(), &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 200);
+        let events = parse_events(&resp.body);
+        let result = events.last().unwrap();
+        assert_eq!(result.get("event").unwrap().as_str(), Some("result"));
+        assert_eq!(
+            result.get("output").unwrap().as_str(),
+            Some("Sweep: {\"grid\":7}")
+        );
+        http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        let summary = worker.join().unwrap();
+        assert_eq!(summary.journal_replayed, 1);
+        assert_eq!(summary.resumed_streams, 1);
+    }
+
+    #[test]
+    fn accept_storm_fail_point_drops_then_serves() {
+        let _g = crate::testutil::FAILPOINT_LOCK.lock().unwrap();
+        failpoint::set(Some("serve-accept-storm=2"));
+        let (addr, worker, _q) = start_service();
+        // The first two connections are dropped on the floor; a
+        // persistent client's later attempt lands.
+        let mut failures = 0;
+        let resp = loop {
+            match http::request(&addr, "GET", "/status", b"", &mut |_| {}) {
+                Ok(resp) => break resp,
+                Err(_) => {
+                    failures += 1;
+                    assert!(failures <= 10, "storm never cleared");
+                }
+            }
+        };
+        assert_eq!(resp.status, 200);
+        assert!(failures >= 1, "the storm dropped at least one attempt");
+        failpoint::set(None);
+        http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        worker.join().unwrap();
     }
 }

@@ -25,6 +25,12 @@
 //! | `job-panic`      | `ctcp_harness::Job::simulate` | panics the worker running the matching `workload[:strategy]` cell (no arg = every cell) |
 //! | `stall-retire`   | `ctcp_sim` cycle loop        | drops all retirements, stalling the pipeline until the watchdog trips |
 //! | `store-truncate` | `ctcp_harness` result store  | writes only half of each appended envelope, simulating a crash mid-write; a numeric arg (`store-truncate=3`) tears only that shard index |
+//! | `journal-truncate` | `ctcp_harness` request journal | writes only half of one appended journal record (then disarms itself), simulating a crash mid-append |
+//! | `disk-full`      | `ctcp_harness` result store  | every store append fails with a synthetic `ENOSPC`, driving the daemon into read-only degradation |
+//! | `serve-partial-write` | `ctcp_serve` chunked writer | writes only half of one stream chunk, then fails the write (then disarms itself) |
+//! | `serve-disconnect` | `ctcp_serve` chunked writer | fails the stream after `N` chunks (`serve-disconnect=N`; then disarms itself), simulating a mid-stream peer loss |
+//! | `serve-accept-storm` | `ctcp_serve` accept loop   | drops the first `N` accepted connections on the floor (`serve-accept-storm=N`), simulating a thundering reconnect herd |
+//! | `serve-slow-reader` | `ctcp_serve` chunked writer | sleeps `ms` per chunk (`serve-slow-reader=250`), simulating a stalled reader |
 //!
 //! ## Test use
 //!
@@ -104,6 +110,28 @@ pub fn arg(name: &str) -> Option<String> {
         .map(|(_, a)| a.clone())
 }
 
+/// Consumes fail point `name`: returns its argument like [`arg`] and
+/// disarms that one entry, so the fault fires exactly once per arming.
+/// One-shot points (`serve-disconnect`, `serve-partial-write`,
+/// `journal-truncate`) use this so a retried operation succeeds — the
+/// fault models a transient event, not a broken component.
+pub fn take(name: &str) -> Option<String> {
+    if !ARMED.load(Ordering::Acquire) {
+        ensure_loaded();
+        if !ARMED.load(Ordering::Acquire) {
+            return None;
+        }
+    }
+    let mut g = SPEC.write().expect("fail-point registry poisoned");
+    let spec = g.as_mut()?;
+    let i = spec.iter().position(|(n, _)| n == name)?;
+    let (_, a) = spec.remove(i);
+    if spec.is_empty() {
+        ARMED.store(false, Ordering::Release);
+    }
+    Some(a)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +156,18 @@ mod tests {
         assert_eq!(arg("stall-retire").as_deref(), Some(""));
         assert_eq!(arg("job-panic").as_deref(), Some("twolf:fdrt"));
         assert!(!is_active("store-truncate"));
+        set(None);
+    }
+
+    #[test]
+    fn take_fires_once_then_disarms_that_entry() {
+        let _g = LOCK.lock().unwrap();
+        set(Some("serve-disconnect=3,stall-retire"));
+        assert_eq!(take("serve-disconnect").as_deref(), Some("3"));
+        assert_eq!(take("serve-disconnect"), None, "one-shot");
+        assert!(is_active("stall-retire"), "other entries survive");
+        assert_eq!(take("stall-retire").as_deref(), Some(""));
+        assert!(!is_active("stall-retire"));
         set(None);
     }
 

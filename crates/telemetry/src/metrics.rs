@@ -63,11 +63,20 @@ pub enum Counter {
     /// Queued (not yet running) cells dropped because their request's
     /// client disconnected before they were scheduled.
     ServeCancelledCells,
+    /// Journaled requests re-enqueued when the daemon restarted.
+    ServeJournalReplayed,
+    /// Scheduler workers respawned with a fresh arena after a panic.
+    ServeWorkerRespawns,
+    /// Cells quarantined (`CellPoisoned`) after repeated panics.
+    ServeCellsPoisoned,
+    /// Client streams re-attached to a live or journaled request via
+    /// a resume token.
+    ServeResumedStreams,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 27] = [
         Counter::Cycles,
         Counter::Retired,
         Counter::FetchGroups,
@@ -91,6 +100,10 @@ impl Counter {
         Counter::ServeCacheHits,
         Counter::ServeRejected,
         Counter::ServeCancelledCells,
+        Counter::ServeJournalReplayed,
+        Counter::ServeWorkerRespawns,
+        Counter::ServeCellsPoisoned,
+        Counter::ServeResumedStreams,
     ];
 
     /// Number of distinct counters.
@@ -122,6 +135,10 @@ impl Counter {
             Counter::ServeCacheHits => "serve_cache_hits",
             Counter::ServeRejected => "serve_rejected",
             Counter::ServeCancelledCells => "serve_cancelled_cells",
+            Counter::ServeJournalReplayed => "serve_journal_replayed",
+            Counter::ServeWorkerRespawns => "serve_worker_respawns",
+            Counter::ServeCellsPoisoned => "serve_cells_poisoned",
+            Counter::ServeResumedStreams => "serve_resumed_streams",
         }
     }
 

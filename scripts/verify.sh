@@ -30,6 +30,11 @@
 #      one-shot reference, no cached client may wait more than 100 ms
 #      behind the running sweep, and the concurrent time must stay
 #      within 125% of the committed reference
+#  11. serve chaos gate: SIGKILL a daemon mid-sweep, restart it over
+#      the same store, and re-ask the identical grid — the journaled
+#      request must replay, the output must be byte-identical to the
+#      one-shot CLI, and no finished cell may be recomputed (each of
+#      the grid's cells has exactly one valid store line)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -381,5 +386,81 @@ EOF
 echo "serve concurrency gate: concurrent ${concurrent_ms} ms, serialized" \
      "${serialized_ms} ms (speedup ${serve_speedup_x100}%, cached client" \
      "${cached_under_load_ms} ms under load)"
+
+echo "==> serve chaos gate (SIGKILL mid-sweep, restart, resume)"
+# Crash-recovery end to end against release binaries: a daemon is
+# SIGKILLed while a six-cell sweep is mid-flight, restarted over the
+# same store directory, and asked the identical grid again. The
+# journal must replay the crashed request, cells memoized before the
+# kill must come back as store hits (zero recomputation — exactly one
+# valid store line per cell; the kill itself may leave one quarantined
+# torn line), and the resumed output must be byte-identical to the
+# one-shot CLI.
+chaos_dir="$smoke_dir/serve-chaos"
+mkdir -p "$chaos_dir"
+chaos_grid="--benches gzip,twolf --strategies fdrt,friendly --insts 1000000"
+chaos_daemon() {    # $1: log file; sets chaos_pid and chaos_addr
+    ./target/release/ctcp serve --addr 127.0.0.1:0 --jobs 1 \
+        --dir "$chaos_dir/store" > "$1" 2>/dev/null &
+    chaos_pid=$!
+    chaos_addr=""
+    for _ in $(seq 1 50); do
+        chaos_addr=$(sed -n 's/.*listening on //p' "$1" | head -n1)
+        [ -n "$chaos_addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$chaos_addr" ]; then
+        echo "FAIL: chaos-gate daemon never printed its address" >&2
+        kill "$chaos_pid" 2>/dev/null || true
+        return 1
+    fi
+}
+chaos_daemon "$chaos_dir/serve1.out"
+# shellcheck disable=SC2086
+./target/release/ctcp client sweep --addr "$chaos_addr" $chaos_grid --csv \
+    > /dev/null 2> "$chaos_dir/victim.err" &
+victim_pid=$!
+# Two per-cell progress lines = mid-flight, with at least one finished
+# cell durably memoized and journal-marked before the crash.
+progressed=""
+for _ in $(seq 1 400); do
+    if [ "$(grep -c '^\[' "$chaos_dir/victim.err" 2>/dev/null)" -ge 2 ]; then
+        progressed=yes
+        break
+    fi
+    sleep 0.05
+done
+if [ -z "$progressed" ]; then
+    echo "FAIL: chaos sweep never got mid-flight before the kill" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+kill -9 "$chaos_pid"
+wait "$chaos_pid" 2>/dev/null || true
+if wait "$victim_pid" 2>/dev/null; then
+    echo "FAIL: the victim client must fail when its daemon is killed" >&2
+    exit 1
+fi
+chaos_daemon "$chaos_dir/serve2.out"
+# shellcheck disable=SC2086
+./target/release/ctcp client sweep --addr "$chaos_addr" $chaos_grid --csv \
+    > "$chaos_dir/resumed.csv" 2>/dev/null
+# shellcheck disable=SC2086
+./target/release/ctcp sweep $chaos_grid --csv > "$chaos_dir/oneshot.csv"
+cmp "$chaos_dir/resumed.csv" "$chaos_dir/oneshot.csv"
+./target/release/ctcp client status --addr "$chaos_addr" > "$chaos_dir/status.json"
+grep -q '"serve_journal_replayed":1' "$chaos_dir/status.json"
+./target/release/ctcp client shutdown --addr "$chaos_addr" >/dev/null
+if ! wait "$chaos_pid"; then
+    echo "FAIL: restarted chaos daemon did not exit cleanly" >&2
+    exit 1
+fi
+./target/release/ctcp store verify --dir "$chaos_dir/store" \
+    > "$chaos_dir/store-verify.out" || true
+if ! grep -q "6 valid (6 entries)" "$chaos_dir/store-verify.out"; then
+    echo "FAIL: chaos store shows recomputed or missing cells:" >&2
+    cat "$chaos_dir/store-verify.out" >&2
+    exit 1
+fi
 
 echo "==> verify OK"
