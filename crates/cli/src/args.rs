@@ -171,6 +171,11 @@ pub struct ServeArgs {
     /// Result-store directory; `None` means the default
     /// `target/ctcp-results`.
     pub dir: Option<String>,
+    /// Structured-log threshold (`off|error|warn|info|debug`); `None`
+    /// defers to the `CTCP_LOG` environment variable (default `warn`).
+    pub log_level: Option<String>,
+    /// Append structured log lines to this file instead of stderr.
+    pub log_file: Option<String>,
 }
 
 impl Default for ServeArgs {
@@ -180,6 +185,30 @@ impl Default for ServeArgs {
             jobs: 0,
             max_queue: 0,
             dir: None,
+            log_level: None,
+            log_file: None,
+        }
+    }
+}
+
+/// Options for the `top` live-dashboard command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopArgs {
+    /// Daemon address, as printed by `ctcp serve` (always required).
+    pub addr: String,
+    /// Refresh period between dashboard redraws, in milliseconds.
+    pub interval_ms: u64,
+    /// Render one frame and exit (no screen clearing) — for scripts
+    /// and CI gates.
+    pub once: bool,
+}
+
+impl Default for TopArgs {
+    fn default() -> Self {
+        TopArgs {
+            addr: String::new(),
+            interval_ms: 1000,
+            once: false,
         }
     }
 }
@@ -239,6 +268,8 @@ pub enum Command {
     Serve(ServeArgs),
     /// Talk to a running sweep service.
     Client(ClientArgs),
+    /// Live terminal dashboard over a running sweep service.
+    Top(TopArgs),
     /// Print usage.
     Help,
 }
@@ -312,6 +343,7 @@ impl Cli {
             "store" => Command::Store(parse_store_args(rest)?),
             "serve" => Command::Serve(parse_serve_args(rest)?),
             "client" => Command::Client(parse_client_args(rest)?),
+            "top" => Command::Top(parse_top_args(rest)?),
             "disasm" => {
                 let ra = parse_run_args(rest)?;
                 Command::Disasm(ra.source)
@@ -529,10 +561,55 @@ fn parse_serve_args(rest: &[String]) -> Result<ServeArgs, CliError> {
                     .map_err(|_| CliError(format!("bad --max-queue value {v:?}")))?;
             }
             "--dir" => out.dir = Some(value(&mut i)?),
+            "--log-level" => {
+                let v = value(&mut i)?;
+                if !matches!(v.as_str(), "off" | "error" | "warn" | "info" | "debug") {
+                    return Err(CliError(format!(
+                        "bad --log-level value {v:?} (off|error|warn|info|debug)"
+                    )));
+                }
+                out.log_level = Some(v);
+            }
+            "--log-file" => out.log_file = Some(value(&mut i)?),
             other => return Err(CliError(format!("unknown flag {other:?}"))),
         }
         i += 1;
     }
+    Ok(out)
+}
+
+fn parse_top_args(rest: &[String]) -> Result<TopArgs, CliError> {
+    let mut out = TopArgs::default();
+    let mut addr: Option<String> = None;
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, CliError> {
+        *i += 1;
+        rest.get(*i)
+            .cloned()
+            .ok_or_else(|| CliError(format!("{} needs a value", rest[*i - 1])))
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--addr" => addr = Some(value(&mut i)?),
+            "--interval-ms" => {
+                let v = value(&mut i)?;
+                out.interval_ms = v
+                    .parse()
+                    .ok()
+                    .filter(|&ms: &u64| ms > 0)
+                    .ok_or_else(|| CliError(format!("bad --interval-ms value {v:?}")))?;
+            }
+            "--once" => out.once = true,
+            other => return Err(CliError(format!("unknown flag {other:?}"))),
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        return Err(CliError(
+            "top needs --addr HOST:PORT (as printed by `ctcp serve`)".to_string(),
+        ));
+    };
+    out.addr = addr;
     Ok(out)
 }
 
@@ -731,6 +808,7 @@ USAGE:
   ctcp store   ACTION [--dir D]           inspect or maintain the result store
   ctcp serve   [SERVE OPTIONS]            run the resident sweep service
   ctcp client  ACTION --addr A [...]      talk to a running sweep service
+  ctcp top     --addr A [TOP OPTIONS]     live dashboard over a running service
   ctcp help                               this text
 
 SOURCE:
@@ -781,6 +859,18 @@ SERVE OPTIONS:
   --max-queue N       refuse batches that would leave more than N cells
                       queued (503; 0 = unbounded, the default)
   --dir D             result-store directory (default: target/ctcp-results)
+  --log-level L       structured-log threshold: off|error|warn|info|debug
+                      (default: the CTCP_LOG env var, else warn); one JSON
+                      object per line on stderr
+  --log-file FILE     append structured log lines to FILE instead of stderr
+
+TOP OPTIONS (needs --addr HOST:PORT, as printed by `ctcp serve`):
+  --interval-ms M     refresh period between redraws (default: 1000)
+  --once              render a single frame and exit (no screen clearing)
+
+The daemon also exposes GET /metrics (Prometheus text exposition),
+GET /trace/TOKEN (one request's spans as Chrome trace JSON) and a
+richer GET /status (rolling rates, live request table, recent logs).
 
 CLIENT ACTIONS (all need --addr HOST:PORT, as printed by `ctcp serve`):
   sweep [SWEEP OPTIONS]      run a sweep remotely; progress streams to
@@ -1109,6 +1199,10 @@ mod tests {
             "64",
             "--dir",
             "/tmp/s",
+            "--log-level",
+            "debug",
+            "--log-file",
+            "/tmp/serve.log",
         ])
         .unwrap();
         assert_eq!(
@@ -1118,11 +1212,39 @@ mod tests {
                 jobs: 3,
                 max_queue: 64,
                 dir: Some("/tmp/s".into()),
+                log_level: Some("debug".into()),
+                log_file: Some("/tmp/serve.log".into()),
             })
         );
         assert!(Cli::parse(["serve", "--jobs", "many"]).is_err());
         assert!(Cli::parse(["serve", "--max-queue", "lots"]).is_err());
+        assert!(Cli::parse(["serve", "--log-level", "loud"]).is_err());
         assert!(Cli::parse(["serve", "--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn top_needs_addr_and_parses_flags() {
+        assert!(Cli::parse(["top"]).is_err(), "--addr is required");
+        let cli = Cli::parse(["top", "--addr", "127.0.0.1:9"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Top(TopArgs {
+                addr: "127.0.0.1:9".into(),
+                interval_ms: 1000,
+                once: false,
+            })
+        );
+        let cli = Cli::parse(["top", "--addr", "h:1", "--interval-ms", "250", "--once"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Top(TopArgs {
+                addr: "h:1".into(),
+                interval_ms: 250,
+                once: true,
+            })
+        );
+        assert!(Cli::parse(["top", "--addr", "h:1", "--interval-ms", "0"]).is_err());
+        assert!(Cli::parse(["top", "--addr", "h:1", "--wat"]).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::args::{
     AnalyzeArgs, Cli, CliError, ClientAction, ClientArgs, Command, ProgramSource, RunArgs,
-    ServeArgs, StoreAction, StoreArgs, SweepArgs, TraceArgs, USAGE,
+    ServeArgs, StoreAction, StoreArgs, SweepArgs, TopArgs, TraceArgs, USAGE,
 };
 use crate::wire;
 use ctcp_core::Topology;
@@ -135,6 +135,7 @@ pub fn execute_outcome(cli: &Cli) -> Result<CliOutcome, CliError> {
         Command::Store(args) => store_cmd(args),
         Command::Serve(args) => serve_cmd(args),
         Command::Client(args) => client_cmd(args),
+        Command::Top(args) => top_cmd(args),
         _ => plain_text(cli).map(CliOutcome::ok),
     }
 }
@@ -143,7 +144,11 @@ pub fn execute_outcome(cli: &Cli) -> Result<CliOutcome, CliError> {
 /// fully succeed or fail with a [`CliError`].
 fn plain_text(cli: &Cli) -> Result<String, CliError> {
     match &cli.command {
-        Command::Sweep(_) | Command::Store(_) | Command::Serve(_) | Command::Client(_) => {
+        Command::Sweep(_)
+        | Command::Store(_)
+        | Command::Serve(_)
+        | Command::Client(_)
+        | Command::Top(_) => {
             unreachable!("handled by execute_outcome")
         }
         Command::Help => Ok(USAGE.to_string()),
@@ -831,6 +836,20 @@ impl ProgressSink for EventSink<'_> {
         ]));
     }
 
+    fn cell_done_on(&mut self, done: usize, workload: &str, took: Duration, worker: usize) {
+        // The shared-scheduler path names the pool worker that ran the
+        // cell; stamping it into the wire event is what lets the daemon
+        // draw per-worker span lanes in `GET /trace/<token>`.
+        self.send(&Value::Obj(vec![
+            ("event".into(), Value::str("progress")),
+            ("done".into(), Value::u64(done as u64)),
+            ("total".into(), Value::u64(self.total as u64)),
+            ("workload".into(), Value::str(workload)),
+            ("took_s".into(), Value::f64(took.as_secs_f64())),
+            ("worker".into(), Value::u64(worker as u64)),
+        ]));
+    }
+
     fn batch_end(&mut self) {}
 }
 
@@ -995,6 +1014,33 @@ impl Handler for CliHandler {
     fn quiesce(&self) {
         self.sched.shutdown();
     }
+
+    fn gauges(&self) -> Value {
+        // Backend depth the scheduler snapshot cannot see: WAL bulk and
+        // churn, plus how the warm cache spreads over its shards. All
+        // cheap reads — a scrape never touches a batch.
+        let shards: Vec<Value> = self
+            .store
+            .shard_entries()
+            .into_iter()
+            .map(|n| Value::u64(n as u64))
+            .collect();
+        Value::Obj(vec![
+            (
+                "journal_bytes".into(),
+                Value::u64(self.journal.size_bytes()),
+            ),
+            (
+                "journal_compactions".into(),
+                Value::u64(self.journal.compactions()),
+            ),
+            (
+                "journal_live_requests".into(),
+                Value::u64(self.journal.live_requests() as u64),
+            ),
+            ("store_shard_entries".into(), Value::Arr(shards)),
+        ])
+    }
 }
 
 /// Executes `ctcp serve`: binds the address, prints it (port 0 binds
@@ -1002,6 +1048,18 @@ impl Handler for CliHandler {
 /// requests until a client asks for shutdown. The returned output is
 /// the post-drain summary.
 fn serve_cmd(args: &ServeArgs) -> Result<CliOutcome, CliError> {
+    // Logging is configured before anything can emit: the flags beat
+    // the CTCP_LOG default, and a bad --log-file is a startup error
+    // rather than a silent fallback to stderr.
+    if let Some(level) = &args.log_level {
+        let parsed = ctcp_telemetry::log::Level::parse(level)
+            .ok_or_else(|| CliError(format!("bad --log-level value {level:?}")))?;
+        ctcp_telemetry::log::set_level(parsed);
+    }
+    if let Some(path) = &args.log_file {
+        ctcp_telemetry::log::set_file(path)
+            .map_err(|e| CliError(format!("cannot open log file {path}: {e}")))?;
+    }
     let dir = args
         .dir
         .as_ref()
@@ -1162,6 +1220,155 @@ fn client_document(addr: &str, method: &str, path: &str) -> Result<CliOutcome, C
         output.push('\n');
     }
     Ok(CliOutcome::ok(output))
+}
+
+/// Executes `ctcp top`: a live terminal dashboard over a running
+/// daemon, redrawn every `--interval-ms` from `GET /status` (queue,
+/// rolling rates, live requests, recent logs) and `GET /metrics`
+/// (lifetime counters). `--once` renders a single frame with no
+/// screen control and exits — the scriptable form.
+fn top_cmd(args: &TopArgs) -> Result<CliOutcome, CliError> {
+    let fetch = |path: &str| -> Result<String, CliError> {
+        let resp = http::request(&args.addr, "GET", path, b"", &mut |_| {})
+            .map_err(|e| CliError(format!("cannot reach a daemon at {}: {e}", args.addr)))?;
+        if resp.status != 200 {
+            return Err(CliError(format!(
+                "daemon at {} answered {} for {path}",
+                args.addr, resp.status
+            )));
+        }
+        Ok(String::from_utf8_lossy(&resp.body).into_owned())
+    };
+    let frame = |fetch: &dyn Fn(&str) -> Result<String, CliError>| -> Result<String, CliError> {
+        let status = Value::parse(&fetch("/status")?)
+            .map_err(|e| CliError(format!("bad /status document: {e}")))?;
+        let metrics = fetch("/metrics")?;
+        Ok(render_top_frame(&args.addr, &status, &metrics))
+    };
+    if args.once {
+        return Ok(CliOutcome::ok(frame(&fetch)?));
+    }
+    loop {
+        // Clear-and-home per redraw; plain ANSI so there is nothing to
+        // depend on. A vanished daemon ends the session cleanly.
+        let f = match frame(&fetch) {
+            Ok(f) => f,
+            Err(e) => return Ok(CliOutcome::ok(format!("ctcp top: {e}\n"))),
+        };
+        print!("\x1b[2J\x1b[H{f}");
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_millis(args.interval_ms));
+    }
+}
+
+/// A one-terminal-screen summary of a daemon's health: utilization
+/// bar, rolling rates, per-request progress table, backend gauges and
+/// the recent warn/error tail. Pure text in, text out — unit-testable
+/// without a daemon.
+fn render_top_frame(addr: &str, status: &Value, metrics: &str) -> String {
+    let g_u64 = |v: &Value, k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let g_f64 = |v: &Value, k: &str| v.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    let bar = |filled: u64, total: u64, width: usize| -> String {
+        let n = if total == 0 {
+            0
+        } else {
+            (filled as usize * width)
+                .div_ceil(total as usize)
+                .min(width)
+        };
+        format!("[{}{}]", "#".repeat(n), "-".repeat(width - n))
+    };
+    // Lifetime totals come off the Prometheus exposition — the same
+    // numbers a real scraper would chart.
+    let prom = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| {
+                l.strip_prefix(name)
+                    .and_then(|r| r.trim().parse::<u64>().ok())
+            })
+            .unwrap_or(0)
+    };
+
+    let workers = g_u64(status, "workers");
+    let running = g_u64(status, "running_cells");
+    let queued = g_u64(status, "queued_cells");
+    let mut out = format!("ctcp top — daemon {addr}\n\n");
+    out.push_str(&format!(
+        "workers {} {running}/{workers} busy   queued {queued}   in-flight {}\n",
+        bar(running, workers, 20),
+        g_u64(status, "in_flight")
+    ));
+    if let Some(roll) = status.get("rolling") {
+        out.push_str(&format!(
+            "rolling {:.1} cells/s over {}s   req p95 {} ms   cell p95 {} ms   {} request(s)\n",
+            g_f64(roll, "cells_per_sec"),
+            g_u64(roll, "window_s"),
+            g_u64(roll, "p95_ms"),
+            g_u64(roll, "cell_p95_ms"),
+            g_u64(roll, "requests"),
+        ));
+    }
+    out.push_str(&format!(
+        "totals  {} requests   {} cache hits   {} rejected   {} respawns   {} poisoned\n",
+        prom("ctcp_serve_requests_total "),
+        prom("ctcp_serve_cache_hits_total "),
+        prom("ctcp_serve_rejected_total "),
+        prom("ctcp_serve_worker_respawns_total "),
+        prom("ctcp_serve_cells_poisoned_total "),
+    ));
+    if let Some(gauges) = status.get("gauges") {
+        let shards = match gauges.get("store_shard_entries") {
+            Some(Value::Arr(items)) => {
+                let counts: Vec<u64> = items.iter().filter_map(Value::as_u64).collect();
+                format!(
+                    "{} shards, {} entries",
+                    counts.len(),
+                    counts.iter().sum::<u64>()
+                )
+            }
+            _ => "no shard data".into(),
+        };
+        out.push_str(&format!(
+            "store   {}   journal {} B, {} compaction(s), {} live\n",
+            shards,
+            g_u64(gauges, "journal_bytes"),
+            g_u64(gauges, "journal_compactions"),
+            g_u64(gauges, "journal_live_requests"),
+        ));
+    }
+    match status.get("requests") {
+        Some(Value::Arr(items)) if !items.is_empty() => {
+            out.push_str(&format!("\nlive requests ({})\n", items.len()));
+            out.push_str("  TOKEN             KIND     AGE   PROGRESS\n");
+            for r in items {
+                let done = g_u64(r, "cells_done");
+                let total = g_u64(r, "cells_total");
+                out.push_str(&format!(
+                    "  {:<17} {:<8} {:>4}s {} {done}/{total}\n",
+                    r.get("token").and_then(Value::as_str).unwrap_or("?"),
+                    r.get("kind").and_then(Value::as_str).unwrap_or("?"),
+                    g_u64(r, "age_s"),
+                    bar(done, total, 10),
+                ));
+            }
+        }
+        _ => out.push_str("\nno live requests\n"),
+    }
+    if let Some(Value::Arr(logs)) = status.get("recent_logs") {
+        if !logs.is_empty() {
+            out.push_str(&format!("\nrecent warnings ({})\n", logs.len()));
+            for l in logs.iter().rev().take(5) {
+                out.push_str(&format!(
+                    "  {:<5} {} {}\n",
+                    l.get("level").and_then(Value::as_str).unwrap_or("?"),
+                    l.get("msg").and_then(Value::as_str).unwrap_or("?"),
+                    l.get("token").and_then(Value::as_str).unwrap_or(""),
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// One batch stream's client-side state, carried across reconnects:
@@ -1464,6 +1671,42 @@ mod tests {
     fn help_prints_usage() {
         let out = run(&["help"]).unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn top_frame_renders_bars_tables_and_log_tail() {
+        let status = Value::parse(
+            r#"{"status":"ok","in_flight":1,"workers":4,"queued_cells":6,
+                "running_cells":2,"store_read_only":false,
+                "rolling":{"window_s":60,"cells":120,"requests":3,
+                           "cells_per_sec":2.0,"p95_ms":31,"p99_ms":63,"cell_p95_ms":15},
+                "requests":[{"token":"a25bb65a15349da7","kind":"sweep",
+                             "age_s":12,"cells_done":34,"cells_total":80}],
+                "gauges":{"journal_bytes":2048,"journal_compactions":2,
+                          "journal_live_requests":1,
+                          "store_shard_entries":[10,11,12,9]},
+                "recent_logs":[{"level":"warn","msg":"slow cell","token":"a25bb65a15349da7"}],
+                "counters":{}}"#,
+        )
+        .unwrap();
+        let metrics = "ctcp_serve_requests_total 120\nctcp_serve_cache_hits_total 40\n\
+                       ctcp_serve_rejected_total 0\nctcp_serve_worker_respawns_total 0\n\
+                       ctcp_serve_cells_poisoned_total 0\n";
+        let frame = render_top_frame("127.0.0.1:7199", &status, metrics);
+        assert!(frame.contains("daemon 127.0.0.1:7199"));
+        assert!(frame.contains("2/4 busy"), "worker bar: {frame}");
+        assert!(frame.contains("2.0 cells/s over 60s"));
+        assert!(frame.contains("120 requests"));
+        assert!(frame.contains("40 cache hits"));
+        assert!(frame.contains("4 shards, 42 entries"));
+        assert!(frame.contains("journal 2048 B, 2 compaction(s), 1 live"));
+        assert!(frame.contains("a25bb65a15349da7"));
+        assert!(frame.contains("34/80"));
+        assert!(frame.contains("slow cell"));
+        // An idle daemon still renders (empty tables degrade politely).
+        let idle = Value::parse(r#"{"status":"ok","workers":4}"#).unwrap();
+        let frame = render_top_frame("h:1", &idle, "");
+        assert!(frame.contains("no live requests"));
     }
 
     #[test]

@@ -416,3 +416,169 @@ fn shutdown_racing_two_clients_loses_no_cells() {
     assert_eq!(shard_lines, 32, "every admitted cell memoized exactly once");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Like [`spawn_daemon`], with extra `serve` flags and environment
+/// overrides — the observability test runs one silent daemon and one
+/// fully instrumented daemon.
+fn spawn_daemon_with(
+    store_dir: &Path,
+    jobs: &str,
+    extra: &[&str],
+    envs: &[(&str, &str)],
+) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut cmd = Command::new(bin());
+    cmd.args([
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--jobs",
+        jobs,
+        "--dir",
+        store_dir.to_str().unwrap(),
+    ])
+    .args(extra)
+    .stdout(Stdio::piped())
+    .stderr(Stdio::null());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut daemon = cmd.spawn().expect("spawn daemon");
+    let mut reader = BufReader::new(daemon.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listening line");
+    assert!(line.contains("listening on "), "{line}");
+    let addr = line.trim().rsplit(' ').next().unwrap().to_string();
+    (daemon, addr, reader)
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    let resp = ctcp_serve::http::request(addr, "GET", path, b"", &mut |_| {}).expect("GET");
+    (
+        resp.status,
+        String::from_utf8_lossy(&resp.body).into_owned(),
+    )
+}
+
+/// The observability plane end to end, with its golden no-observer-
+/// effect guarantee: the rendered sweep table from a daemon running
+/// with logging off and zero scrapes is byte-identical to one from a
+/// daemon running debug logging to a file while being scraped,
+/// traced and watched by `ctcp top`.
+#[test]
+fn observability_never_perturbs_output_and_exports_metrics_logs_traces() {
+    let dir = std::env::temp_dir().join(format!("ctcp-serve-obs-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let grid = [
+        "--benches",
+        "gzip",
+        "--strategies",
+        "fdrt,friendly",
+        "--insts",
+        "3000",
+        "--csv",
+    ];
+    let sweep_via = |addr: &str| {
+        let mut argv = vec!["client", "sweep", "--addr", addr];
+        argv.extend_from_slice(&grid);
+        stdout_of(&run(&argv))
+    };
+
+    // Daemon A: logging forced off, nobody watching.
+    let (mut quiet, quiet_addr, _out) =
+        spawn_daemon_with(&dir.join("store-a"), "2", &[], &[("CTCP_LOG", "off")]);
+    let unobserved = sweep_via(&quiet_addr);
+    stdout_of(&run(&["client", "shutdown", "--addr", &quiet_addr]));
+    assert!(quiet.wait().unwrap().success());
+
+    // Daemon B: debug logs to a file, scraped before/after, traced,
+    // and rendered by `ctcp top`.
+    let log_file = dir.join("serve.log");
+    let (mut loud, addr, _out) = spawn_daemon_with(
+        &dir.join("store-b"),
+        "2",
+        &[
+            "--log-level",
+            "debug",
+            "--log-file",
+            log_file.to_str().unwrap(),
+        ],
+        &[],
+    );
+    let (code, before) = get(&addr, "/metrics");
+    assert_eq!(code, 200);
+    let observed = sweep_via(&addr);
+    assert_eq!(
+        observed, unobserved,
+        "observability must not change a single output byte"
+    );
+
+    // The exposition parses: every sample line is `name[{labels}] value`.
+    let (_, after) = get(&addr, "/metrics");
+    let samples = |text: &str| -> Vec<(String, f64)> {
+        text.lines()
+            .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+            .map(|l| {
+                let (name, v) = l.rsplit_once(' ').expect("sample line");
+                (name.to_string(), v.parse::<f64>().expect("numeric value"))
+            })
+            .collect()
+    };
+    let (before, after) = (samples(&before), samples(&after));
+    assert!(after.len() >= before.len());
+    for (name, v) in &before {
+        if !name.ends_with("_total") {
+            continue;
+        }
+        let now = after
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} vanished between scrapes"))
+            .1;
+        assert!(now >= *v, "{name} went backwards: {v} -> {now}");
+    }
+    let requests = after
+        .iter()
+        .find(|(n, _)| n == "ctcp_serve_requests_total")
+        .unwrap()
+        .1;
+    assert!(requests >= 2.0, "sweep + first scrape counted: {requests}");
+
+    // The structured log is one JSON object per line, and names the
+    // finished request's token — which /trace then resolves to a
+    // loadable Chrome trace with per-worker cell spans.
+    let log_text = std::fs::read_to_string(&log_file).expect("log file written");
+    let mut token = None;
+    for line in log_text.lines() {
+        let v = ctcp_telemetry::json::Value::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable log line {line}: {e}"));
+        for key in ["ts_ms", "level", "target", "msg"] {
+            assert!(v.get(key).is_some(), "log line missing {key}: {line}");
+        }
+        if v.get("msg").and_then(ctcp_telemetry::json::Value::as_str) == Some("request finished") {
+            token = v
+                .get("token")
+                .and_then(ctcp_telemetry::json::Value::as_str)
+                .map(str::to_string);
+        }
+    }
+    let token = token.expect("an info-level 'request finished' record in the log");
+    let (code, trace) = get(&addr, &format!("/trace/{token}"));
+    assert_eq!(code, 200);
+    let summary = ctcp_telemetry::validate_chrome_trace(&trace).expect("loadable trace");
+    assert!(
+        summary.spans >= 4 && summary.lanes >= 3,
+        "admit + run + cells + stream over service/stream/worker lanes: {summary:?}"
+    );
+
+    // `ctcp top --once`: one frame, no ANSI, dashboard sections present.
+    let top = stdout_of(&run(&["top", "--addr", &addr, "--once"]));
+    assert!(top.contains(&format!("daemon {addr}")), "{top}");
+    assert!(top.contains("workers"), "{top}");
+    assert!(top.contains("requests"), "{top}");
+    assert!(!top.contains('\x1b'), "--once must not emit ANSI control");
+
+    stdout_of(&run(&["client", "shutdown", "--addr", &addr]));
+    assert!(loud.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}

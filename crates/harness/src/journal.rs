@@ -88,6 +88,9 @@ struct JournalState {
     bytes: u64,
     /// Unreadable (torn or corrupt) lines skipped during replay.
     skipped: u64,
+    /// Compactions performed (open-time and runtime), cumulative —
+    /// surfaced as an operator gauge via `/metrics`.
+    compactions: u64,
 }
 
 /// A crash-safe request journal. Cloning the handle is cheap (`Arc`
@@ -179,6 +182,7 @@ impl Journal {
                 pending,
                 bytes,
                 skipped,
+                compactions: 1, // the open-time compaction above
             })),
         })
     }
@@ -264,8 +268,26 @@ impl Journal {
                 .append(true)
                 .open(&self.path)?;
             st.bytes = lines.iter().map(|l| l.len() as u64 + 1).sum();
+            st.compactions += 1;
         }
         Ok(())
+    }
+
+    /// Approximate journal file size in bytes (maintained across
+    /// appends and compactions, no stat call).
+    pub fn size_bytes(&self) -> u64 {
+        self.lock().bytes
+    }
+
+    /// Compactions performed over this handle's lifetime, counting the
+    /// open-time rewrite.
+    pub fn compactions(&self) -> u64 {
+        self.lock().compactions
+    }
+
+    /// Requests currently live (admitted, not yet finished).
+    pub fn live_requests(&self) -> usize {
+        self.lock().live.len()
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, JournalState> {
@@ -516,6 +538,10 @@ mod tests {
         j.admit("live", "sweep", "{}").unwrap();
         let size = std::fs::metadata(j.path()).unwrap().len();
         assert!(size < 1024, "compaction must bound the file, got {size}");
+        // The operator gauges track what the file system shows.
+        assert!(j.compactions() > 1, "runtime compactions counted");
+        assert_eq!(j.size_bytes(), size);
+        assert_eq!(j.live_requests(), 1);
         drop(j);
         // Replay after runtime compaction still resumes correctly.
         let j = Journal::open(&dir).unwrap();

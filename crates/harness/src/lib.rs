@@ -908,9 +908,10 @@ impl Harness {
                             result,
                             retries: used,
                             took,
+                            worker,
                         }) => {
                             done += 1;
-                            sink.cell_done(done, &jobs[index].workload, took);
+                            sink.cell_done_on(done, &jobs[index].workload, took, worker);
                             results[index] =
                                 Some(self.collect(&jobs[index], keys[index], *result, used));
                             outstanding -= 1;

@@ -23,6 +23,18 @@ pub trait ProgressSink {
     /// Cell number `done` (1-based, in completion order) named
     /// `workload` finished after `took` of wall time.
     fn cell_done(&mut self, done: usize, workload: &str, took: Duration);
+    /// Like [`cell_done`](ProgressSink::cell_done), but additionally
+    /// names the shared-scheduler pool worker that ran the cell. Only
+    /// the shared-scheduler path calls this; the default forwards to
+    /// `cell_done`, so sinks that do not care about lane attribution
+    /// (the stderr reporter, tests) need not override it. The serve
+    /// event sink overrides it to stamp a `worker` field into the
+    /// streamed progress event, which the daemon turns into per-worker
+    /// span lanes for `GET /trace/<token>`.
+    fn cell_done_on(&mut self, done: usize, workload: &str, took: Duration, worker: usize) {
+        let _ = worker;
+        self.cell_done(done, workload, took);
+    }
     /// The batch finished; flush any partial output.
     fn batch_end(&mut self);
 }

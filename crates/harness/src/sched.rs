@@ -79,6 +79,10 @@ pub(crate) enum CellDone {
         retries: u32,
         /// Wall time of the final attempt, for progress display.
         took: Duration,
+        /// Index of the pool worker that ran the cell (`0..workers`),
+        /// threaded into progress events so the service can lay
+        /// request spans out on per-worker lanes.
+        worker: usize,
     },
     /// `count` still-queued cells were dropped by a cancel.
     Cancelled {
@@ -232,17 +236,22 @@ impl CellScheduler {
             handles: Mutex::new(Vec::new()),
         });
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for w in 0..workers {
             let inner = Arc::clone(&inner);
             // Supervised worker: `execute_batched` already catches
             // per-cell panics, so this outer boundary only fires on a
             // scheduler bug — but even then the pool must not shrink,
             // so the supervisor respawns the loop instead of dying.
             handles.push(std::thread::spawn(move || loop {
-                match std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(&inner))) {
+                match std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(&inner, w))) {
                     Ok(()) => return,
                     Err(_) => {
                         inner.respawns.fetch_add(1, Ordering::Relaxed);
+                        ctcp_telemetry::log::warn(
+                            "sched",
+                            "worker loop panicked; respawning",
+                            &[("worker", ctcp_telemetry::json::Value::u64(w as u64))],
+                        );
                     }
                 }
             }));
@@ -373,7 +382,7 @@ impl RequestHandle {
 /// The resident worker body: pull one cell from the fair queue, run it
 /// with recycled engine storage, route the result home, repeat until
 /// shutdown *and* the queue is dry.
-fn worker_loop(inner: &SchedInner) {
+fn worker_loop(inner: &SchedInner, worker: usize) {
     let mut arena: Option<EngineArena> = None;
     loop {
         let picked = {
@@ -411,6 +420,7 @@ fn worker_loop(inner: &SchedInner) {
                 result: Box::new(Err(JobError::CellPoisoned { panics })),
                 retries: 0,
                 took: Duration::ZERO,
+                worker,
             });
             continue;
         }
@@ -444,6 +454,22 @@ fn worker_loop(inner: &SchedInner) {
             if total >= POISON_PANICS && matches!(result, Err(JobError::Panic(_))) {
                 inner.poisoned.fetch_add(1, Ordering::Relaxed);
                 result = Err(JobError::CellPoisoned { panics: total });
+                ctcp_telemetry::log::warn(
+                    "sched",
+                    "cell quarantined after repeated panics",
+                    &[
+                        (
+                            "key",
+                            ctcp_telemetry::json::Value::str(&format!("{key:016x}")),
+                        ),
+                        (
+                            "workload",
+                            ctcp_telemetry::json::Value::str(&cell.job.workload),
+                        ),
+                        ("panics", ctcp_telemetry::json::Value::u64(u64::from(total))),
+                        ("worker", ctcp_telemetry::json::Value::u64(worker as u64)),
+                    ],
+                );
             }
         }
         let _ = tx.send(CellDone::Finished {
@@ -451,6 +477,7 @@ fn worker_loop(inner: &SchedInner) {
             result: Box::new(result),
             retries,
             took: t.elapsed(),
+            worker,
         });
     }
 }

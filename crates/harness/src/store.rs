@@ -494,6 +494,17 @@ impl ResultStore {
             reclaimed: self.inner.reclaimed,
         }
     }
+
+    /// Live index size of every shard, in shard order — the per-shard
+    /// breakdown of [`StoreStats::entries`], exposed as operator
+    /// gauges so a skewed shard is visible without reading files.
+    pub fn shard_entries(&self) -> Vec<usize> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.index.read().unwrap_or_else(PoisonError::into_inner).len())
+            .collect()
+    }
 }
 
 impl Drop for StoreInner {

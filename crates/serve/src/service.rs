@@ -51,12 +51,16 @@
 
 use crate::http;
 use ctcp_telemetry::json::Value;
-use ctcp_telemetry::{failpoint, Counter, Histogram, Metrics};
+use ctcp_telemetry::series::{bucket_lower_ms, bucket_upper_ms, latency_bucket};
+use ctcp_telemetry::{
+    failpoint, log, request_trace, Counter, Histogram, Metrics, ReqSpan, SeriesRing, HIST_BUCKETS,
+    SERIES_SECONDS,
+};
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -251,6 +255,15 @@ pub trait Handler: Send + Sync {
         HandlerStats::default()
     }
 
+    /// Backend-specific operator gauges as a flat JSON object —
+    /// numbers, or arrays of numbers for per-shard breakdowns. The CLI
+    /// handler reports journal size/compactions and per-shard store
+    /// entry counts here; the service folds them into `/status` and
+    /// `/metrics` without knowing their names.
+    fn gauges(&self) -> Value {
+        Value::Obj(Vec::new())
+    }
+
     /// Quiesces the backend at the end of a drain: stop admitting,
     /// run every already-admitted cell to completion, release workers.
     /// Called once, after all connection threads have been joined.
@@ -290,6 +303,10 @@ pub struct ServiceSummary {
 struct RequestEntry {
     state: Mutex<EntryState>,
     grew: Condvar,
+    /// The request kind, for the `/status` request table.
+    kind: RequestKind,
+    /// Admission time, for request age reporting.
+    created: Instant,
 }
 
 struct EntryState {
@@ -297,22 +314,36 @@ struct EntryState {
     events: Vec<String>,
     /// Set once, after the final `result` (or `error`) line.
     done: bool,
+    /// Progress watermark parsed off the batch's progress events, for
+    /// the `/status` request table (`0/0` until the first event).
+    cells_done: u64,
+    cells_total: u64,
 }
 
 impl RequestEntry {
-    fn new() -> RequestEntry {
+    fn new(kind: RequestKind) -> RequestEntry {
         RequestEntry {
             state: Mutex::new(EntryState {
                 events: Vec::new(),
                 done: false,
+                cells_done: 0,
+                cells_total: 0,
             }),
             grew: Condvar::new(),
+            kind,
+            created: Instant::now(),
         }
     }
 
     fn push(&self, line: String) {
         relock(&self.state).events.push(line);
         self.grew.notify_all();
+    }
+
+    fn note_progress(&self, done: u64, total: u64) {
+        let mut st = relock(&self.state);
+        st.cells_done = st.cells_done.max(done);
+        st.cells_total = st.cells_total.max(total);
     }
 
     fn finish(&self) {
@@ -341,6 +372,45 @@ impl RequestEntry {
     }
 }
 
+/// Spans kept per shard; old spans are overwritten, newest win.
+const SPAN_RING_CAP: usize = 2048;
+
+/// Span-ring shards. Cell spans shard by worker lane, so concurrent
+/// workers rarely contend on one mutex — the "lock-cheap per-worker
+/// ring" the observability layer promises.
+const SPAN_SHARDS: usize = 8;
+
+/// The service lane request spans render on (admit / queued / run).
+const LANE_SERVICE: u64 = 0;
+/// The lane client stream/drain spans render on.
+const LANE_STREAM: u64 = 1;
+/// Worker `w`'s cell spans render on `LANE_WORKERS + w`.
+const LANE_WORKERS: u64 = 2;
+
+/// A fixed-capacity overwrite-oldest ring of `(token, span)` pairs.
+struct SpanRing {
+    buf: Vec<(String, ReqSpan)>,
+    next: usize,
+}
+
+impl SpanRing {
+    fn new() -> SpanRing {
+        SpanRing {
+            buf: Vec::new(),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, token: &str, span: ReqSpan) {
+        if self.buf.len() < SPAN_RING_CAP {
+            self.buf.push((token.to_string(), span));
+        } else {
+            self.buf[self.next] = (token.to_string(), span);
+            self.next = (self.next + 1) % SPAN_RING_CAP;
+        }
+    }
+}
+
 struct Inner {
     handler: Box<dyn Handler>,
     metrics: Mutex<Metrics>,
@@ -348,6 +418,21 @@ struct Inner {
     /// fixed 33-bucket histogram spans sub-millisecond cache hits to
     /// multi-hour sweeps.
     latency: Mutex<Histogram>,
+    /// Sum of raw batch latencies in ms — the exact `_sum` the
+    /// Prometheus histogram exposition wants (the [`Histogram`]'s own
+    /// `sum` accumulates bucket indices, not milliseconds).
+    latency_sum_ms: AtomicU64,
+    /// The last two minutes at one-second resolution, for rolling
+    /// rates and windowed percentiles in `/status` and `/metrics`.
+    series: Mutex<SeriesRing>,
+    /// Request-scoped spans, sharded by lane; `GET /trace/<token>`
+    /// filters and exports them as a Chrome trace.
+    spans: Vec<Mutex<SpanRing>>,
+    /// Time base for span timestamps and series slots.
+    epoch: Instant,
+    /// `CTCP_SLOW_CELL_MS` override for the slow-cell log threshold;
+    /// `None` = rolling p99 × 3.
+    slow_cell_ms: Option<u64>,
     /// Every batch this incarnation has admitted, live and finished,
     /// keyed by resume token. Finished entries are kept so a client
     /// that reconnects after its batch completed still gets the full
@@ -368,6 +453,53 @@ struct Inner {
 /// not wedge the whole daemon.
 fn relock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Inner {
+    /// Microseconds since daemon start — the span time base.
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Whole seconds since daemon start — the series slot clock.
+    fn now_sec(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
+    }
+
+    /// Records one request span under its correlation token.
+    fn record_span(&self, token: &str, span: ReqSpan) {
+        let shard = (span.lane as usize) % self.spans.len();
+        relock(&self.spans[shard]).push(token, span);
+    }
+
+    /// Every retained span of `token`, in recording order per shard.
+    fn spans_for(&self, token: &str) -> Vec<ReqSpan> {
+        let mut out = Vec::new();
+        for shard in &self.spans {
+            let ring = relock(shard);
+            out.extend(
+                ring.buf
+                    .iter()
+                    .filter(|(t, _)| t == token)
+                    .map(|(_, s)| s.clone()),
+            );
+        }
+        out
+    }
+
+    /// The slow-cell threshold in ms: the configured override, else
+    /// rolling p99 × 3 once the last two minutes hold enough samples
+    /// to make a percentile meaningful.
+    fn slow_cell_threshold_ms(&self, now_sec: u64) -> u64 {
+        if let Some(ms) = self.slow_cell_ms {
+            return ms;
+        }
+        let w = relock(&self.series).window(now_sec, SERIES_SECONDS as u64);
+        if w.cell_lat.total < 20 {
+            return u64::MAX;
+        }
+        w.cell_percentile_ms(99.0).saturating_mul(3).max(1)
+    }
 }
 
 /// A bound, not-yet-running sweep service.
@@ -394,6 +526,15 @@ impl Service {
                 handler,
                 metrics: Mutex::new(Metrics::new()),
                 latency: Mutex::new(Histogram::default()),
+                latency_sum_ms: AtomicU64::new(0),
+                series: Mutex::new(SeriesRing::new(SERIES_SECONDS)),
+                spans: (0..SPAN_SHARDS)
+                    .map(|_| Mutex::new(SpanRing::new()))
+                    .collect(),
+                epoch: Instant::now(),
+                slow_cell_ms: std::env::var("CTCP_SLOW_CELL_MS")
+                    .ok()
+                    .and_then(|s| s.parse().ok()),
                 registry: Mutex::new(HashMap::new()),
                 replays: Mutex::new(Vec::new()),
                 in_flight: AtomicUsize::new(0),
@@ -420,7 +561,7 @@ impl Service {
             return false;
         };
         let token = resume_token(kind, raw_body);
-        let entry = Arc::new(RequestEntry::new());
+        let entry = Arc::new(RequestEntry::new(kind));
         {
             let mut reg = relock(&self.inner.registry);
             if reg.contains_key(&token) {
@@ -523,6 +664,11 @@ fn handle_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
         ("POST", "/analyze") => run_batch(RequestKind::Analyze, &req, &mut out, inner),
         ("POST", "/resume") => resume(&req, &mut out, inner),
         ("GET", "/status") => status(&mut out, inner),
+        ("GET", "/metrics") => metrics_export(&mut out, inner),
+        ("GET", path) if path.strip_prefix("/trace/").is_some_and(|t| !t.is_empty()) => {
+            let token = path["/trace/".len()..].to_string();
+            trace_export(&token, &mut out, inner)
+        }
         ("POST", "/shutdown") => shutdown(&mut out, inner),
         _ => http::write_response(&mut out, 404, "text/plain", b"unknown route"),
     }
@@ -583,9 +729,36 @@ fn execute_entry(
     }
 
     let started = Instant::now();
+    let started_us = inner.now_us();
+    log::info(
+        "serve",
+        "request admitted",
+        &[
+            ("token", Value::str(token)),
+            ("kind", Value::str(kind.as_str())),
+        ],
+    );
+    inner.record_span(
+        token,
+        ReqSpan {
+            name: "admit".into(),
+            lane: LANE_SERVICE,
+            lane_name: "service".into(),
+            ts_us: started_us,
+            dur_us: 0,
+            args: vec![
+                ("token".into(), Value::str(token)),
+                ("kind".into(), Value::str(kind.as_str())),
+            ],
+        },
+    );
     let mut attached = true;
+    let mut first_event_us: Option<u64> = None;
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
         inner.handler.run(kind, body, token, &mut |event| {
+            let now_us = inner.now_us();
+            first_event_us.get_or_insert(now_us);
+            observe_progress_event(inner, token, entry, event, now_us);
             let mut line = event.render();
             line.push('\n');
             emit(entry, line, &mut sink, &mut attached);
@@ -597,6 +770,15 @@ fn execute_entry(
         Ok(Err(refusal)) => {
             relock(&inner.metrics).add(Counter::ServeRejected, 1);
             relock(&inner.registry).remove(token);
+            log::warn(
+                "serve",
+                "request refused",
+                &[
+                    ("token", Value::str(token)),
+                    ("error", Value::str(refusal.name())),
+                    ("message", Value::str(&refusal.to_string())),
+                ],
+            );
             let mut line = Value::Obj(vec![
                 ("event".into(), Value::str("error")),
                 ("error".into(), Value::str(refusal.name())),
@@ -611,6 +793,11 @@ fn execute_entry(
         Err(_) => {
             // The handler panicked mid-batch. The daemon survives; the
             // batch gets a terminal result so no stream hangs on it.
+            log::error(
+                "serve",
+                "handler panicked mid-batch",
+                &[("token", Value::str(token))],
+            );
             RunResult {
                 output: "internal error: batch panicked".into(),
                 exit_code: 70,
@@ -627,7 +814,60 @@ fn execute_entry(
         m.add(Counter::ServeCancelledCells, result.cancelled);
     }
     let ms = started.elapsed().as_millis() as u64;
-    relock(&inner.latency).observe((ms + 1).ilog2() as u64);
+    relock(&inner.latency).observe(latency_bucket(ms));
+    inner.latency_sum_ms.fetch_add(ms, Ordering::Relaxed);
+    relock(&inner.series).record_request(inner.now_sec(), ms);
+    // The wait between admission and the first progress event is the
+    // best queue-time proxy the wire has: the handler emits nothing
+    // until a first cell completes.
+    if let Some(first) = first_event_us {
+        inner.record_span(
+            token,
+            ReqSpan {
+                name: "queued".into(),
+                lane: LANE_SERVICE,
+                lane_name: "service".into(),
+                ts_us: started_us,
+                dur_us: first.saturating_sub(started_us),
+                args: vec![("token".into(), Value::str(token))],
+            },
+        );
+    }
+    inner.record_span(
+        token,
+        ReqSpan {
+            name: format!("run {}", kind.as_str()),
+            lane: LANE_SERVICE,
+            lane_name: "service".into(),
+            ts_us: started_us,
+            dur_us: inner.now_us().saturating_sub(started_us),
+            args: vec![
+                ("token".into(), Value::str(token)),
+                (
+                    "exit_code".into(),
+                    Value::u64(result.exit_code.unsigned_abs().into()),
+                ),
+                ("cache_hits".into(), Value::u64(result.cache_hits)),
+                ("simulated".into(), Value::u64(result.simulated)),
+            ],
+        },
+    );
+    log::info(
+        "serve",
+        "request finished",
+        &[
+            ("token", Value::str(token)),
+            ("kind", Value::str(kind.as_str())),
+            ("took_ms", Value::u64(ms)),
+            (
+                "exit_code",
+                Value::u64(result.exit_code.unsigned_abs().into()),
+            ),
+            ("cache_hits", Value::u64(result.cache_hits)),
+            ("simulated", Value::u64(result.simulated)),
+            ("cancelled", Value::u64(result.cancelled)),
+        ],
+    );
 
     let mut line = Value::Obj(vec![
         ("event".into(), Value::str("result")),
@@ -645,6 +885,84 @@ fn execute_entry(
     emit(entry, line, &mut sink, &mut attached);
     entry.finish();
     Ok(())
+}
+
+/// Observes one handler progress event before it is streamed: updates
+/// the entry's progress watermark for the `/status` request table,
+/// records a per-worker cell span, feeds the series ring, and logs a
+/// structured record when the cell exceeded the slow-cell threshold.
+/// Non-`progress` events pass through untouched.
+fn observe_progress_event(
+    inner: &Inner,
+    token: &str,
+    entry: &RequestEntry,
+    event: &Value,
+    now_us: u64,
+) {
+    if event.get("event").and_then(Value::as_str) != Some("progress") {
+        return;
+    }
+    let done = event.get("done").and_then(Value::as_u64).unwrap_or(0);
+    let total = event.get("total").and_then(Value::as_u64).unwrap_or(0);
+    entry.note_progress(done, total);
+    let workload = event
+        .get("workload")
+        .and_then(Value::as_str)
+        .unwrap_or("cell");
+    let took_s = event.get("took_s").and_then(Value::as_f64).unwrap_or(0.0);
+    let worker = event.get("worker").and_then(Value::as_u64).unwrap_or(0);
+    let took_us = (took_s * 1e6) as u64;
+    let took_ms = (took_s * 1e3) as u64;
+    inner.record_span(
+        token,
+        ReqSpan {
+            name: format!("cell {workload}"),
+            lane: LANE_WORKERS + worker,
+            lane_name: format!("worker {worker}"),
+            ts_us: now_us.saturating_sub(took_us),
+            dur_us: took_us,
+            args: vec![
+                ("token".into(), Value::str(token)),
+                ("workload".into(), Value::str(workload)),
+                ("done".into(), Value::u64(done)),
+                ("total".into(), Value::u64(total)),
+            ],
+        },
+    );
+    let now_sec = inner.now_sec();
+    relock(&inner.series).record_cell(now_sec, took_ms);
+    let threshold = inner.slow_cell_threshold_ms(now_sec);
+    if took_ms > threshold {
+        // PipelineDiagnostic-style context: what ran, where, for whom,
+        // and what the pool looked like while it was slow.
+        let hs = inner.handler.stats();
+        log::warn(
+            "serve",
+            "slow cell",
+            &[
+                ("token", Value::str(token)),
+                ("workload", Value::str(workload)),
+                ("took_ms", Value::u64(took_ms)),
+                ("threshold_ms", Value::u64(threshold)),
+                ("worker", Value::u64(worker)),
+                ("cell", Value::u64(done)),
+                ("of", Value::u64(total)),
+                ("queued_cells", Value::u64(hs.queued_cells as u64)),
+                ("running_cells", Value::u64(hs.running_cells as u64)),
+            ],
+        );
+    } else if log::enabled(log::Level::Debug) {
+        log::debug(
+            "serve",
+            "cell finished",
+            &[
+                ("token", Value::str(token)),
+                ("workload", Value::str(workload)),
+                ("took_ms", Value::u64(took_ms)),
+                ("worker", Value::u64(worker)),
+            ],
+        );
+    }
 }
 
 fn run_batch(
@@ -672,10 +990,10 @@ fn run_batch(
                 let live = Arc::clone(live);
                 drop(reg);
                 relock(&inner.metrics).add(Counter::ServeResumedStreams, 1);
-                return stream_entry(out, &live, &token, 0);
+                return stream_entry(out, &live, &token, 0, inner);
             }
             _ => {
-                let entry = Arc::new(RequestEntry::new());
+                let entry = Arc::new(RequestEntry::new(kind));
                 reg.insert(token.clone(), Arc::clone(&entry));
                 entry
             }
@@ -694,6 +1012,8 @@ fn run_batch(
     // be answered with a clean fixed-length 503. The first chunk of a
     // started stream is the `accepted` resume handshake.
     let mut writer: Option<http::ChunkedWriter<TcpStream>> = None;
+    let mut stream_started_us: Option<u64> = None;
+    let mut sent = 0usize;
     let refusal = {
         let mut sink = |line: &str| -> bool {
             let w = match writer.as_mut() {
@@ -703,6 +1023,7 @@ fn run_batch(
                     .and_then(|s| http::ChunkedWriter::start(s, 200, "application/x-ndjson"))
                 {
                     Ok(mut w) => {
+                        stream_started_us = Some(inner.now_us());
                         if w.chunk(accepted_line(&token).as_bytes()).is_err() {
                             return false;
                         }
@@ -713,7 +1034,9 @@ fn run_batch(
             };
             // A failed write detaches this client; the batch keeps
             // running and the registry keeps its stream for a resume.
-            w.chunk(line.as_bytes()).is_ok()
+            let ok = w.chunk(line.as_bytes()).is_ok();
+            sent += usize::from(ok);
+            ok
         };
         execute_entry(inner, kind, &body, &token, &entry, Some(&mut sink))
     };
@@ -745,7 +1068,28 @@ fn run_batch(
         );
     }
     match writer {
-        Some(w) => w.finish(),
+        Some(w) => {
+            // The live client's stream gets the same span the
+            // attach/resume path records, so every delivered stream —
+            // original or re-attached — shows on the streams lane.
+            let ts_us = stream_started_us.unwrap_or_else(|| inner.now_us());
+            inner.record_span(
+                &token,
+                ReqSpan {
+                    name: "stream".into(),
+                    lane: LANE_STREAM,
+                    lane_name: "streams".into(),
+                    ts_us,
+                    dur_us: inner.now_us().saturating_sub(ts_us),
+                    args: vec![
+                        ("token".into(), Value::str(&token)),
+                        ("from".into(), Value::u64(0)),
+                        ("events".into(), Value::u64(sent as u64)),
+                    ],
+                },
+            );
+            w.finish()
+        }
         // The client detached before the stream ever started (or the
         // start itself failed); nothing left to say on this socket.
         None => Ok(()),
@@ -760,7 +1104,9 @@ fn stream_entry(
     entry: &RequestEntry,
     token: &str,
     from: usize,
+    inner: &Inner,
 ) -> io::Result<()> {
+    let stream_start_us = inner.now_us();
     let mut w = http::ChunkedWriter::start(out.try_clone()?, 200, "application/x-ndjson")?;
     w.chunk(accepted_line(token).as_bytes())?;
     let mut at = from;
@@ -774,6 +1120,22 @@ fn stream_entry(
             break;
         }
     }
+    let sent = at - from;
+    inner.record_span(
+        token,
+        ReqSpan {
+            name: "stream".into(),
+            lane: LANE_STREAM,
+            lane_name: "streams".into(),
+            ts_us: stream_start_us,
+            dur_us: inner.now_us().saturating_sub(stream_start_us),
+            args: vec![
+                ("token".into(), Value::str(token)),
+                ("from".into(), Value::u64(from as u64)),
+                ("events".into(), Value::u64(sent as u64)),
+            ],
+        },
+    );
     w.finish()
 }
 
@@ -804,18 +1166,45 @@ fn resume(req: &http::Request, out: &mut TcpStream, inner: &Inner) -> io::Result
     };
     let from = if run == run_id() { have } else { 0 };
     relock(&inner.metrics).add(Counter::ServeResumedStreams, 1);
-    stream_entry(out, &entry, &token, from)
+    log::info(
+        "serve",
+        "stream resumed",
+        &[
+            ("token", Value::str(&token)),
+            ("from", Value::u64(from as u64)),
+        ],
+    );
+    stream_entry(out, &entry, &token, from, inner)
 }
 
-/// The lower bound, in milliseconds, of latency bucket `i` (the
-/// inverse of the `log2(ms + 1)` bucketing in [`run_batch`]).
-fn bucket_ms(i: u64) -> u64 {
-    (1u64 << i.min(62)) - 1
+/// The explicit `[lower, upper]` bucket bounds of the latency
+/// histogram as a JSON array of `{le, count}` objects (non-cumulative
+/// counts, one entry per populated bucket). The unbounded last bucket
+/// reports `"+Inf"` — the same upper bounds `/metrics` exposes, so the
+/// percentiles in `/status` are finally interpretable.
+fn latency_buckets_value(lat: &Histogram) -> Value {
+    let mut buckets = Vec::new();
+    for (i, &c) in lat.counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let le = bucket_upper_ms(i as u64);
+        let le = if le == u64::MAX {
+            Value::str("+Inf")
+        } else {
+            Value::u64(le)
+        };
+        buckets.push(Value::Obj(vec![
+            ("le".into(), le),
+            ("count".into(), Value::u64(c)),
+        ]));
+    }
+    Value::Arr(buckets)
 }
 
 fn status(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
     // Nothing here waits on a batch: the gauges are atomics, the
-    // handler snapshot reads its scheduler's atomics, and the two
+    // handler snapshot reads its scheduler's atomics, and the
     // mutexes are only ever held for micro-ops.
     let hs = inner.handler.stats();
     let in_flight = inner.in_flight.load(Ordering::SeqCst) as u64;
@@ -825,6 +1214,30 @@ fn status(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
         hs.running_cells as f64 / hs.workers as f64
     };
     let lat = relock(&inner.latency).clone();
+    // Rolling one-minute window off the series ring: true rates, not
+    // lifetime averages.
+    let win = relock(&inner.series).window(inner.now_sec(), 60);
+    // Live (unfinished) requests, oldest first, for `ctcp top`'s table.
+    let mut requests: Vec<(u64, Value)> = relock(&inner.registry)
+        .iter()
+        .filter(|(_, e)| !e.is_done())
+        .map(|(token, e)| {
+            let st = relock(&e.state);
+            let age_s = e.created.elapsed().as_secs();
+            (
+                age_s,
+                Value::Obj(vec![
+                    ("token".into(), Value::str(token)),
+                    ("kind".into(), Value::str(e.kind.as_str())),
+                    ("age_s".into(), Value::u64(age_s)),
+                    ("cells_done".into(), Value::u64(st.cells_done)),
+                    ("cells_total".into(), Value::u64(st.cells_total)),
+                ]),
+            )
+        })
+        .collect();
+    requests.sort_by_key(|(age, _)| std::cmp::Reverse(*age));
+    let requests: Vec<Value> = requests.into_iter().map(|(_, v)| v).take(64).collect();
     let m = relock(&inner.metrics);
     let mut counters: Vec<(String, Value)> = [
         Counter::ServeRequests,
@@ -862,16 +1275,252 @@ fn status(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
             "latency_ms".into(),
             Value::Obj(vec![
                 ("samples".into(), Value::u64(lat.total)),
-                ("p50".into(), Value::u64(bucket_ms(lat.percentile(50.0)))),
-                ("p95".into(), Value::u64(bucket_ms(lat.percentile(95.0)))),
-                ("p99".into(), Value::u64(bucket_ms(lat.percentile(99.0)))),
+                (
+                    "p50".into(),
+                    Value::u64(bucket_lower_ms(lat.percentile(50.0))),
+                ),
+                (
+                    "p95".into(),
+                    Value::u64(bucket_lower_ms(lat.percentile(95.0))),
+                ),
+                (
+                    "p99".into(),
+                    Value::u64(bucket_lower_ms(lat.percentile(99.0))),
+                ),
+                ("buckets".into(), latency_buckets_value(&lat)),
             ]),
         ),
+        (
+            "rolling".into(),
+            Value::Obj(vec![
+                ("window_s".into(), Value::u64(win.seconds)),
+                ("cells".into(), Value::u64(win.cells)),
+                ("requests".into(), Value::u64(win.requests)),
+                ("cells_per_sec".into(), Value::f64(win.cells_per_sec())),
+                ("p95_ms".into(), Value::u64(win.req_percentile_ms(95.0))),
+                ("p99_ms".into(), Value::u64(win.req_percentile_ms(99.0))),
+                (
+                    "cell_p95_ms".into(),
+                    Value::u64(win.cell_percentile_ms(95.0)),
+                ),
+            ]),
+        ),
+        ("requests".into(), Value::Arr(requests)),
+        ("gauges".into(), inner.handler.gauges()),
+        ("recent_logs".into(), Value::Arr(log::recent())),
         ("counters".into(), Value::Obj(counters)),
     ])
     .render();
     drop(m);
     http::write_response(out, 200, "application/json", body.as_bytes())
+}
+
+/// `GET /trace/<token>` — one request's recorded spans as a Chrome
+/// trace-event JSON document (load in `about://tracing` or Perfetto).
+/// Tokens with no retained spans — unknown, or aged out of the span
+/// rings — get a typed `404`.
+fn trace_export(token: &str, out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
+    let spans = inner.spans_for(token);
+    if spans.is_empty() {
+        let body = Value::Obj(vec![
+            ("error".into(), Value::str("unknown-token")),
+            ("token".into(), Value::str(token)),
+        ])
+        .render();
+        return http::write_response(out, 404, "application/json", body.as_bytes());
+    }
+    let text = request_trace(&spans);
+    http::write_response(out, 200, "application/json", text.as_bytes())
+}
+
+/// Writes one Prometheus metric family: `# HELP` / `# TYPE` header
+/// plus the sample lines.
+fn prom_family(out: &mut String, name: &str, kind: &str, help: &str, lines: &[String]) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    for l in lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+}
+
+/// Renders a float the exposition format accepts (no exponent needed
+/// at our magnitudes; integers stay integral).
+fn prom_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// `GET /metrics` — the service's counters, gauges and the request
+/// latency histogram in Prometheus text exposition format, every name
+/// prefixed `ctcp_`. Counters come from the same [`Metrics`] snapshot
+/// `/status` reads (the two scheduler-owned supervision counters are
+/// patched in from the handler, as in `/status`); gauges add the
+/// handler's backend numbers (journal size, per-shard store entries)
+/// and the rolling one-minute series.
+fn metrics_export(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
+    let hs = inner.handler.stats();
+    let in_flight = inner.in_flight.load(Ordering::SeqCst) as u64;
+    let utilization = if hs.workers == 0 {
+        0.0
+    } else {
+        hs.running_cells as f64 / hs.workers as f64
+    };
+    let lat = relock(&inner.latency).clone();
+    let lat_sum_ms = inner.latency_sum_ms.load(Ordering::Relaxed);
+    let win = relock(&inner.series).window(inner.now_sec(), 60);
+    let snapshot = relock(&inner.metrics).clone();
+
+    let mut text = String::new();
+    for c in Counter::ALL {
+        // The supervision counters are owned by the handler's
+        // scheduler; the service-side slots for them are always zero.
+        let v = match c {
+            Counter::ServeWorkerRespawns => hs.respawns,
+            Counter::ServeCellsPoisoned => hs.poisoned,
+            _ => snapshot.get(c),
+        };
+        let name = format!("ctcp_{}_total", c.name());
+        prom_family(
+            &mut text,
+            &name,
+            "counter",
+            &format!("Cumulative {} count.", c.name()),
+            &[format!("{name} {v}")],
+        );
+    }
+
+    let gauges: Vec<(&str, &str, f64)> = vec![
+        (
+            "ctcp_workers",
+            "Resident pool worker threads.",
+            hs.workers as f64,
+        ),
+        (
+            "ctcp_queue_depth",
+            "Cells queued, not yet running.",
+            hs.queued_cells as f64,
+        ),
+        (
+            "ctcp_running_cells",
+            "Cells executing right now.",
+            hs.running_cells as f64,
+        ),
+        (
+            "ctcp_in_flight_requests",
+            "Batch requests currently being handled.",
+            in_flight as f64,
+        ),
+        (
+            "ctcp_worker_utilization",
+            "Running cells over pool size.",
+            utilization,
+        ),
+        (
+            "ctcp_store_read_only",
+            "1 while the result store is degraded to read-only.",
+            f64::from(u8::from(hs.read_only)),
+        ),
+        (
+            "ctcp_cells_per_sec_1m",
+            "Cell completions per second over the last minute.",
+            win.cells_per_sec(),
+        ),
+        (
+            "ctcp_requests_1m",
+            "Requests completed in the last minute.",
+            win.requests as f64,
+        ),
+        (
+            "ctcp_request_p95_ms_1m",
+            "Request latency p95 over the last minute (bucket lower bound).",
+            win.req_percentile_ms(95.0) as f64,
+        ),
+        (
+            "ctcp_cell_p95_ms_1m",
+            "Cell latency p95 over the last minute (bucket lower bound).",
+            win.cell_percentile_ms(95.0) as f64,
+        ),
+    ];
+    for (name, help, v) in gauges {
+        prom_family(
+            &mut text,
+            name,
+            "gauge",
+            help,
+            &[format!("{name} {}", prom_num(v))],
+        );
+    }
+
+    // Backend gauges the handler owns: journal size/compactions,
+    // per-shard store entries. Arrays become one labelled sample per
+    // element.
+    if let Value::Obj(fields) = inner.handler.gauges() {
+        for (key, val) in &fields {
+            let name = format!("ctcp_{key}");
+            match val {
+                Value::Arr(items) => {
+                    let lines: Vec<String> = items
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, v)| {
+                            v.as_f64()
+                                .map(|f| format!("{name}{{shard=\"{i}\"}} {}", prom_num(f)))
+                        })
+                        .collect();
+                    prom_family(
+                        &mut text,
+                        &name,
+                        "gauge",
+                        &format!("Backend gauge {key}."),
+                        &lines,
+                    );
+                }
+                v => {
+                    if let Some(f) = v.as_f64() {
+                        prom_family(
+                            &mut text,
+                            &name,
+                            "gauge",
+                            &format!("Backend gauge {key}."),
+                            &[format!("{name} {}", prom_num(f))],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // The request latency histogram with explicit, cumulative bucket
+    // upper bounds — `le` for log2 bucket i is `2^(i+1) - 2` ms.
+    let mut lines = Vec::with_capacity(HIST_BUCKETS + 2);
+    let mut cum = 0u64;
+    for (i, &c) in lat.counts.iter().enumerate() {
+        cum += c;
+        let le = bucket_upper_ms(i as u64);
+        if le == u64::MAX {
+            lines.push(format!(
+                "ctcp_request_latency_ms_bucket{{le=\"+Inf\"}} {cum}"
+            ));
+        } else {
+            lines.push(format!(
+                "ctcp_request_latency_ms_bucket{{le=\"{le}\"}} {cum}"
+            ));
+        }
+    }
+    lines.push(format!("ctcp_request_latency_ms_sum {lat_sum_ms}"));
+    lines.push(format!("ctcp_request_latency_ms_count {}", lat.total));
+    prom_family(
+        &mut text,
+        "ctcp_request_latency_ms",
+        "histogram",
+        "Completed-batch wall latency in milliseconds.",
+        &lines,
+    );
+
+    http::write_response(out, 200, "text/plain; version=0.0.4", text.as_bytes())
 }
 
 fn shutdown(out: &mut TcpStream, inner: &Inner) -> io::Result<()> {
@@ -1389,6 +2038,329 @@ mod tests {
         let summary = worker.join().unwrap();
         assert_eq!(summary.journal_replayed, 1);
         assert_eq!(summary.resumed_streams, 1);
+    }
+
+    /// Minimal Prometheus text-exposition parser for the round-trip
+    /// test: `name{labels} value` / `name value` samples keyed by the
+    /// full series name (labels included), comments and TYPE/HELP
+    /// headers collected separately.
+    fn parse_prom(text: &str) -> (Vec<(String, f64)>, Vec<String>) {
+        let mut samples = Vec::new();
+        let mut typed = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.push(rest.to_string());
+                continue;
+            }
+            if line.starts_with('#') || line.trim().is_empty() {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            let v: f64 = value.parse().expect("numeric sample value");
+            if let Some(brace) = series.find('{') {
+                assert!(series.ends_with('}'), "label set closes: {series}");
+                let name = &series[..brace];
+                assert!(
+                    name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "metric name is [a-zA-Z0-9_]: {name}"
+                );
+            } else {
+                assert!(
+                    series
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                    "metric name is [a-zA-Z0-9_]: {series}"
+                );
+            }
+            samples.push((series.to_string(), v));
+        }
+        (samples, typed)
+    }
+
+    fn prom_get(samples: &[(String, f64)], name: &str) -> f64 {
+        samples
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .1
+    }
+
+    #[test]
+    fn metrics_exposition_parses_matches_status_and_stays_monotone() {
+        let (addr, worker, _q) = start_service();
+        http::request(&addr, "POST", "/sweep", b"{\"grid\":5}", &mut |_| {}).unwrap();
+        let scrape = |addr: &str| {
+            let resp = http::request(addr, "GET", "/metrics", b"", &mut |_| {}).unwrap();
+            assert_eq!(resp.status, 200);
+            assert!(resp
+                .header("content-type")
+                .is_some_and(|ct| ct.starts_with("text/plain")));
+            String::from_utf8(resp.body).unwrap()
+        };
+        let first = scrape(&addr);
+        let (samples, typed) = parse_prom(&first);
+        // Every declared family has at least one sample, and the
+        // histogram is declared as one.
+        assert!(typed
+            .iter()
+            .any(|t| t == "ctcp_request_latency_ms histogram"));
+        assert!(typed
+            .iter()
+            .any(|t| t == "ctcp_serve_requests_total counter"));
+        assert!(typed.iter().any(|t| t == "ctcp_workers gauge"));
+
+        // Counters agree with /status (modulo the /status request
+        // itself, so compare against a snapshot taken right after).
+        let resp = http::request(&addr, "GET", "/status", b"", &mut |_| {}).unwrap();
+        let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let status_requests = v
+            .get("counters")
+            .unwrap()
+            .get("serve_requests")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let prom_requests = prom_get(&samples, "ctcp_serve_requests_total") as u64;
+        // /metrics saw: sweep + itself. /status saw those plus itself.
+        assert_eq!(prom_requests + 1, status_requests);
+        assert_eq!(prom_get(&samples, "ctcp_workers"), 2.0);
+        assert_eq!(prom_get(&samples, "ctcp_store_read_only"), 0.0);
+
+        // Histogram invariants: cumulative buckets end at +Inf == _count,
+        // explicit finite le bounds are strictly increasing.
+        let mut les: Vec<(f64, f64)> = Vec::new();
+        let mut inf = None;
+        for (name, v) in &samples {
+            if let Some(rest) = name.strip_prefix("ctcp_request_latency_ms_bucket{le=\"") {
+                let le = rest.trim_end_matches("\"}");
+                if le == "+Inf" {
+                    inf = Some(*v);
+                } else {
+                    les.push((le.parse::<f64>().unwrap(), *v));
+                }
+            }
+        }
+        let count = prom_get(&samples, "ctcp_request_latency_ms_count");
+        assert_eq!(count, 1.0, "one completed batch observed");
+        assert_eq!(inf, Some(count), "+Inf bucket equals _count");
+        for w in les.windows(2) {
+            assert!(w[0].0 < w[1].0, "le bounds increase");
+            assert!(w[0].1 <= w[1].1, "bucket counts are cumulative");
+        }
+        // The same explicit bounds show up in /status's latency_ms.
+        let buckets = v.get("latency_ms").unwrap().get("buckets").unwrap();
+        match buckets {
+            Value::Arr(items) => {
+                assert!(!items.is_empty(), "one observed sample => one bucket");
+                for b in items {
+                    assert!(b.get("le").is_some() && b.get("count").is_some());
+                }
+            }
+            other => panic!("buckets is an array, got {other:?}"),
+        }
+
+        // A second scrape after more work: counters only go up.
+        http::request(&addr, "POST", "/sweep", b"{\"grid\":6}", &mut |_| {}).unwrap();
+        let (second, _) = parse_prom(&scrape(&addr));
+        for (name, v) in &samples {
+            if name.ends_with("_total") || name.contains("_bucket{") || name.ends_with("_count") {
+                let after = prom_get(&second, name);
+                assert!(after >= *v, "{name} went backwards: {v} -> {after}");
+            }
+        }
+        assert!(
+            prom_get(&second, "ctcp_serve_requests_total") > prom_requests as f64,
+            "request counter advanced"
+        );
+
+        http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        worker.join().unwrap();
+    }
+
+    /// Splits a Chrome trace document (a bare event array, the format
+    /// `validate_chrome_trace` checks) into its complete (`X`) events
+    /// and checks per-lane monotonicity: within one `tid`, spans never
+    /// overlap.
+    fn lanes_of(trace: &Value) -> Vec<(u64, Vec<Value>)> {
+        let events = trace.as_arr().expect("trace root is an array").to_vec();
+        let mut lanes: Vec<(u64, Vec<Value>)> = Vec::new();
+        for ev in events {
+            if ev.get("ph").and_then(Value::as_str) != Some("X") {
+                continue;
+            }
+            let tid = ev.get("tid").unwrap().as_u64().unwrap();
+            match lanes.iter_mut().find(|(t, _)| *t == tid) {
+                Some((_, v)) => v.push(ev),
+                None => lanes.push((tid, vec![ev])),
+            }
+        }
+        for (tid, spans) in &lanes {
+            let mut end = 0u64;
+            for sp in spans {
+                let ts = sp.get("ts").unwrap().as_u64().unwrap();
+                let dur = sp.get("dur").unwrap().as_u64().unwrap();
+                assert!(ts >= end, "lane {tid} overlaps: ts {ts} < end {end}");
+                assert!(dur >= 1, "spans are visible");
+                end = ts + dur;
+            }
+        }
+        lanes
+    }
+
+    #[test]
+    fn trace_export_has_one_admit_span_and_a_cell_span_per_progress() {
+        let (addr, worker, _q) = start_service();
+        http::request(&addr, "POST", "/sweep", b"{\"grid\":3}", &mut |_| {}).unwrap();
+        let token = resume_token(RequestKind::Sweep, "{\"grid\":3}");
+        let resp =
+            http::request(&addr, "GET", &format!("/trace/{token}"), b"", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 200);
+        let text = std::str::from_utf8(&resp.body).unwrap();
+        // The export is a loadable Chrome trace by the same validator
+        // the simulator's own pipeline traces pass through.
+        let summary = ctcp_telemetry::validate_chrome_trace(text).expect("valid chrome trace");
+        assert!(summary.spans >= 4 && summary.lanes >= 3);
+        let trace = Value::parse(text).unwrap();
+        let lanes = lanes_of(&trace);
+        let all: Vec<&Value> = lanes.iter().flat_map(|(_, v)| v).collect();
+        let named = |n: &str| {
+            all.iter()
+                .filter(|e| e.get("name").and_then(Value::as_str) == Some(n))
+                .count()
+        };
+        assert_eq!(named("admit"), 1, "exactly one admit span");
+        assert_eq!(named("cell cell"), 2, "one span per progress event");
+        assert_eq!(named("run sweep"), 1);
+        assert_eq!(named("stream"), 1);
+        // MockHandler events carry no worker id, so all cells land on
+        // worker lane 0 — still a real lane distinct from service's.
+        assert!(lanes.iter().any(|(tid, _)| *tid == LANE_SERVICE));
+        assert!(lanes.iter().any(|(tid, _)| *tid == LANE_WORKERS));
+
+        // Unknown tokens 404 with a typed body.
+        let resp =
+            http::request(&addr, "GET", "/trace/ffffffffffffffff", b"", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 404);
+        let v = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("unknown-token"));
+
+        http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn trace_survives_disconnect_and_counts_both_streams() {
+        use std::io::Write;
+        let svc = Service::bind("127.0.0.1:0", Box::new(TalkativeHandler { total: 6 })).unwrap();
+        let addr = svc.local_addr().to_string();
+        let worker = std::thread::spawn(move || svc.run().expect("service run"));
+        {
+            let mut s = TcpStream::connect(&addr).unwrap();
+            write!(
+                s,
+                "POST /sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{{}}"
+            )
+            .unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(12));
+        } // client vanishes mid-stream; the batch keeps running
+
+        let token = resume_token(RequestKind::Sweep, "{}");
+        let resume = format!("{{\"token\":\"{token}\",\"have\":0,\"run\":0}}");
+        let resp = http::request(&addr, "POST", "/resume", resume.as_bytes(), &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 200);
+
+        let resp =
+            http::request(&addr, "GET", &format!("/trace/{token}"), b"", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 200);
+        let trace = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let lanes = lanes_of(&trace);
+        let all: Vec<&Value> = lanes.iter().flat_map(|(_, v)| v).collect();
+        let named = |n: &str| {
+            all.iter()
+                .filter(|e| e.get("name").and_then(Value::as_str) == Some(n))
+                .count()
+        };
+        assert_eq!(named("admit"), 1, "disconnect does not re-admit");
+        assert_eq!(named("cell cell"), 6, "every cell kept its span");
+        assert_eq!(
+            named("stream"),
+            2,
+            "both delivery attempts traced: the aborted partial and the resumed replay"
+        );
+        assert!(
+            lanes.iter().any(|(tid, _)| *tid == LANE_STREAM),
+            "stream spans live on their own lane"
+        );
+
+        http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        worker.join().unwrap();
+    }
+
+    /// One cell, reported as having taken 250ms — far over the 1ms
+    /// override threshold.
+    struct SlowCellHandler;
+
+    impl Handler for SlowCellHandler {
+        fn run(
+            &self,
+            _kind: RequestKind,
+            _body: &Value,
+            _token: &str,
+            progress: &mut dyn FnMut(&Value) -> bool,
+        ) -> Result<RunResult, HandlerError> {
+            progress(&Value::Obj(vec![
+                ("event".into(), Value::str("progress")),
+                ("done".into(), Value::u64(1)),
+                ("total".into(), Value::u64(1)),
+                ("workload".into(), Value::str("slowpoke-gzip")),
+                ("took_s".into(), Value::f64(0.25)),
+                ("worker".into(), Value::u64(1)),
+            ]));
+            Ok(RunResult {
+                output: "done".into(),
+                exit_code: 0,
+                cache_hits: 0,
+                simulated: 1,
+                cancelled: 0,
+            })
+        }
+    }
+
+    #[test]
+    fn slow_cells_trip_the_warn_log_under_the_threshold_override() {
+        // The env override is read once, at bind; scoped tightly so
+        // concurrently-binding tests are unaffected (their cells all
+        // report 0ms, which no threshold flags).
+        std::env::set_var("CTCP_SLOW_CELL_MS", "1");
+        let svc = Service::bind("127.0.0.1:0", Box::new(SlowCellHandler)).unwrap();
+        std::env::remove_var("CTCP_SLOW_CELL_MS");
+        let addr = svc.local_addr().to_string();
+        let worker = std::thread::spawn(move || svc.run().expect("service run"));
+        let resp = http::request(&addr, "POST", "/sweep", b"{}", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 200);
+        let slow = log::recent()
+            .into_iter()
+            .find(|r| r.get("msg").and_then(Value::as_str) == Some("slow cell"))
+            .expect("a 'slow cell' warn record");
+        assert_eq!(
+            slow.get("workload").and_then(Value::as_str),
+            Some("slowpoke-gzip")
+        );
+        assert_eq!(slow.get("took_ms").and_then(Value::as_u64), Some(250));
+        assert_eq!(slow.get("threshold_ms").and_then(Value::as_u64), Some(1));
+        assert_eq!(slow.get("worker").and_then(Value::as_u64), Some(1));
+        // The offending cell's span still landed on its worker's lane.
+        let token = resume_token(RequestKind::Sweep, "{}");
+        let resp =
+            http::request(&addr, "GET", &format!("/trace/{token}"), b"", &mut |_| {}).unwrap();
+        assert_eq!(resp.status, 200);
+        let trace = Value::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(lanes_of(&trace)
+            .iter()
+            .any(|(tid, spans)| *tid == LANE_WORKERS + 1 && !spans.is_empty()));
+        http::request(&addr, "POST", "/shutdown", b"", &mut |_| {}).unwrap();
+        worker.join().unwrap();
     }
 
     #[test]

@@ -112,6 +112,78 @@ pub fn chrome_trace_with_flows(events: &[SpanEvent], flows: &[FlowEvent]) -> Str
     Value::Arr(out).render()
 }
 
+/// One request-scoped service span: admission, queueing, a cell's run
+/// on a worker, or a client stream/drain — free-form `name`, one lane
+/// per actor (service lane, one lane per pool worker).
+///
+/// Unlike [`SpanEvent`] these are not pipeline stages; the service
+/// records them with wall-clock microsecond timestamps relative to
+/// daemon start and exports a request's spans on demand via
+/// `GET /trace/<token>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReqSpan {
+    /// Span label shown in the viewer (e.g. `"admit"`, `"cell gzip/fdrt"`).
+    pub name: String,
+    /// Lane (`tid`) the span renders on.
+    pub lane: u64,
+    /// Human label for the lane's thread-name metadata.
+    pub lane_name: String,
+    /// Start, µs since daemon start.
+    pub ts_us: u64,
+    /// Duration in µs (rendered as at least 1).
+    pub dur_us: u64,
+    /// Extra key/values for the viewer's args pane (token, workload, …).
+    pub args: Vec<(String, Value)>,
+}
+
+/// Renders request spans as a Chrome trace-event JSON array that
+/// [`validate_chrome_trace`] accepts: thread-name metadata first, then
+/// `"X"` spans sorted by `(lane, ts)`. Because cell durations are
+/// measured in the worker but recorded when the progress event reaches
+/// the service, two spans on one lane can overlap by scheduling skew;
+/// the exporter clamps each span's start to its lane predecessor's end
+/// so lanes are strictly sequential, which viewers render correctly
+/// and tests can assert.
+pub fn request_trace(spans: &[ReqSpan]) -> String {
+    let mut sorted: Vec<ReqSpan> = spans.to_vec();
+    sorted.sort_by_key(|s| (s.lane, s.ts_us));
+
+    let mut out: Vec<Value> = Vec::new();
+    let mut seen_lanes: HashSet<u64> = HashSet::new();
+    for sp in &sorted {
+        if seen_lanes.insert(sp.lane) {
+            out.push(Value::Obj(vec![
+                ("name".into(), Value::str("thread_name")),
+                ("ph".into(), Value::str("M")),
+                ("pid".into(), Value::u64(0)),
+                ("tid".into(), Value::u64(sp.lane)),
+                (
+                    "args".into(),
+                    Value::Obj(vec![("name".into(), Value::str(&sp.lane_name))]),
+                ),
+            ]));
+        }
+    }
+    let mut lane_end: HashMap<u64, u64> = HashMap::new();
+    for sp in &sorted {
+        let end = lane_end.entry(sp.lane).or_insert(0);
+        let ts = sp.ts_us.max(*end);
+        let dur = sp.dur_us.max(1);
+        *end = ts + dur;
+        out.push(Value::Obj(vec![
+            ("name".into(), Value::str(&sp.name)),
+            ("cat".into(), Value::str("request")),
+            ("ph".into(), Value::str("X")),
+            ("ts".into(), Value::u64(ts)),
+            ("dur".into(), Value::u64(dur)),
+            ("pid".into(), Value::u64(0)),
+            ("tid".into(), Value::u64(sp.lane)),
+            ("args".into(), Value::Obj(sp.args.clone())),
+        ]));
+    }
+    Value::Arr(out).render()
+}
+
 /// What [`validate_chrome_trace`] learned about a trace file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChromeTraceSummary {
@@ -379,5 +451,41 @@ mod tests {
         let summary = validate_chrome_trace(&text).unwrap();
         assert_eq!(summary.spans, 0);
         assert_eq!(summary.lanes, 0);
+    }
+
+    #[test]
+    fn request_trace_validates_labels_lanes_and_untangles_overlap() {
+        let sp = |name: &str, lane: u64, lane_name: &str, ts: u64, dur: u64| ReqSpan {
+            name: name.into(),
+            lane,
+            lane_name: lane_name.into(),
+            ts_us: ts,
+            dur_us: dur,
+            args: vec![("token".into(), Value::str("00ff"))],
+        };
+        let spans = vec![
+            sp("cell gzip/fdrt", 1, "worker 0", 100, 50),
+            sp("admit", 0, "service", 0, 10),
+            // Overlaps its lane predecessor by 20µs of recording skew.
+            sp("cell twolf/fdrt", 1, "worker 0", 130, 40),
+            sp("stream", 0, "service", 10, 200),
+        ];
+        let text = request_trace(&spans);
+        let summary = validate_chrome_trace(&text).expect("request trace must validate");
+        assert_eq!(summary.spans, 4);
+        assert_eq!(summary.lanes, 2);
+        assert_eq!(summary.metadata, 2);
+        // The overlapping cell span was pushed past its predecessor.
+        let doc = Value::parse(&text).unwrap();
+        let arr = doc.as_arr().unwrap();
+        let second_cell = arr
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("cell twolf/fdrt"))
+            .unwrap();
+        assert_eq!(second_cell.get("ts").and_then(Value::as_u64), Some(150));
+        // Zero-duration spans render as 1µs.
+        let text = request_trace(&[sp("admit", 0, "service", 5, 0)]);
+        assert!(validate_chrome_trace(&text).is_ok());
+        assert!(text.contains("\"dur\":1"));
     }
 }

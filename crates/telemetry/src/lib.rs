@@ -25,6 +25,15 @@
 //!   fully offline; there is no serde).
 //! - [`failpoint`]: named fault-injection sites (`CTCP_FAIL_POINT`)
 //!   used by the crash-injection tests and the verify smoke.
+//! - [`log`]: structured leveled JSON logging (`CTCP_LOG`), one
+//!   record per line on stderr or a chosen file, with a small
+//!   in-memory ring of recent warnings for the service's log tail.
+//! - [`series`]: the service's fixed-size ring time-series — one
+//!   slot per second for the last two minutes, so `/status` and
+//!   `/metrics` can report true rolling rates and percentiles.
+//! - [`ReqSpan`] / [`request_trace`]: request-scoped service spans
+//!   (admit → queued → cell runs → stream) exported per request as a
+//!   Chrome trace via `GET /trace/<token>`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,18 +43,22 @@ pub mod chrome;
 pub mod event;
 pub mod failpoint;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod probe;
 pub mod recorder;
+pub mod series;
 
 pub use attrib::{
     walk_critical_path, AttribReport, CpiStack, CritEdge, CriticalSummary, InstAttrib,
     RetireSlotKind, SrcAttrib, SrcKind,
 };
 pub use chrome::{
-    chrome_trace, chrome_trace_with_flows, validate_chrome_trace, ChromeTraceSummary,
+    chrome_trace, chrome_trace_with_flows, request_trace, validate_chrome_trace,
+    ChromeTraceSummary, ReqSpan,
 };
 pub use event::{EventRing, FlowEvent, InstTimeline, PipeStage, SpanEvent, FETCH_LANE};
 pub use metrics::{metrics_line, Counter, Hist, Histogram, Metrics, HIST_BUCKETS};
 pub use probe::{NullProbe, Probe};
 pub use recorder::{Recorder, RecorderConfig};
+pub use series::{SeriesRing, SeriesWindow, SERIES_SECONDS};

@@ -1,0 +1,252 @@
+//! Fixed-size ring time-series for the resident service.
+//!
+//! `/status` originally reported only lifetime counters, which cannot
+//! answer "what is the daemon doing *now*": a burst an hour ago and a
+//! burst this second are indistinguishable. [`SeriesRing`] keeps one
+//! slot per second for the last [`SERIES_SECONDS`] seconds (120 by
+//! default), each holding the second's cell completions, request
+//! completions, and two log2-bucketed latency histograms (request
+//! wall time and per-cell run time). Slots are recycled in place by
+//! `sec % capacity` — no allocation after construction, and a scrape
+//! merges at most `window` histograms.
+//!
+//! The log2 millisecond bucketing is shared with the service's
+//! lifetime latency histogram: bucket `i` covers
+//! `[2^i - 1, 2^(i+1) - 2]` ms, so [`bucket_upper_ms`] gives the
+//! Prometheus `le` upper bound and [`bucket_lower_ms`] the
+//! conservative lower bound used for percentile reporting.
+
+use crate::metrics::{Histogram, HIST_BUCKETS};
+
+/// Seconds of history a default-sized ring retains.
+pub const SERIES_SECONDS: usize = 120;
+
+/// Maps a millisecond latency onto its log2 bucket index.
+pub fn latency_bucket(ms: u64) -> u64 {
+    (ms + 1).ilog2() as u64
+}
+
+/// Inclusive lower bound (ms) of log2 bucket `i`.
+pub fn bucket_lower_ms(i: u64) -> u64 {
+    (1u64 << i.min(62)) - 1
+}
+
+/// Inclusive upper bound (ms) of log2 bucket `i`; the last histogram
+/// bucket is unbounded and reported as `u64::MAX`.
+pub fn bucket_upper_ms(i: u64) -> u64 {
+    if i as usize >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1).min(62)) - 2
+    }
+}
+
+/// One second of activity.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Which absolute second this slot currently holds; `u64::MAX`
+    /// marks a never-written slot.
+    sec: u64,
+    cells: u64,
+    requests: u64,
+    req_lat: Histogram,
+    cell_lat: Histogram,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            sec: u64::MAX,
+            cells: 0,
+            requests: 0,
+            req_lat: Histogram::default(),
+            cell_lat: Histogram::default(),
+        }
+    }
+
+    fn reset(&mut self, sec: u64) {
+        *self = Slot::empty();
+        self.sec = sec;
+    }
+}
+
+/// A windowed merge of the ring, ready for rate / percentile queries.
+#[derive(Debug, Clone)]
+pub struct SeriesWindow {
+    /// Window length in seconds the merge covered.
+    pub seconds: u64,
+    /// Cells completed inside the window.
+    pub cells: u64,
+    /// Requests completed inside the window.
+    pub requests: u64,
+    /// Merged request-latency histogram (log2 ms buckets).
+    pub req_lat: Histogram,
+    /// Merged per-cell latency histogram (log2 ms buckets).
+    pub cell_lat: Histogram,
+}
+
+impl SeriesWindow {
+    /// Cell completions per second over the window.
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.seconds == 0 {
+            0.0
+        } else {
+            self.cells as f64 / self.seconds as f64
+        }
+    }
+
+    /// Conservative request-latency percentile in ms (bucket lower
+    /// bound, matching `/status`'s lifetime percentiles). `p` is in
+    /// percent, e.g. `95.0`.
+    pub fn req_percentile_ms(&self, p: f64) -> u64 {
+        bucket_lower_ms(self.req_lat.percentile(p))
+    }
+
+    /// Conservative per-cell latency percentile in ms.
+    pub fn cell_percentile_ms(&self, p: f64) -> u64 {
+        bucket_lower_ms(self.cell_lat.percentile(p))
+    }
+}
+
+/// The ring itself. All methods take the caller's clock as an
+/// absolute second so the ring never reads wall time — that keeps it
+/// deterministic under test and free of syscalls on the hot path.
+#[derive(Debug)]
+pub struct SeriesRing {
+    slots: Vec<Slot>,
+}
+
+impl SeriesRing {
+    /// A ring holding `seconds` one-second slots (min 1).
+    pub fn new(seconds: usize) -> SeriesRing {
+        SeriesRing {
+            slots: vec![Slot::empty(); seconds.max(1)],
+        }
+    }
+
+    fn slot(&mut self, sec: u64) -> &mut Slot {
+        let idx = (sec as usize) % self.slots.len();
+        let slot = &mut self.slots[idx];
+        if slot.sec != sec {
+            slot.reset(sec);
+        }
+        slot
+    }
+
+    /// Records one cell completion that took `took_ms`.
+    pub fn record_cell(&mut self, sec: u64, took_ms: u64) {
+        let s = self.slot(sec);
+        s.cells += 1;
+        s.cell_lat.observe(latency_bucket(took_ms));
+    }
+
+    /// Records one completed request with wall latency `latency_ms`.
+    pub fn record_request(&mut self, sec: u64, latency_ms: u64) {
+        let s = self.slot(sec);
+        s.requests += 1;
+        s.req_lat.observe(latency_bucket(latency_ms));
+    }
+
+    /// Merges the slots covering `(now_sec - window, now_sec]`. Slots
+    /// recycled for older seconds are skipped, so a freshly idle ring
+    /// reports zero activity rather than stale history.
+    pub fn window(&self, now_sec: u64, window: u64) -> SeriesWindow {
+        let window = window.max(1).min(self.slots.len() as u64);
+        let oldest = now_sec.saturating_sub(window - 1);
+        let mut out = SeriesWindow {
+            seconds: window,
+            cells: 0,
+            requests: 0,
+            req_lat: Histogram::default(),
+            cell_lat: Histogram::default(),
+        };
+        for slot in &self.slots {
+            if slot.sec == u64::MAX || slot.sec < oldest || slot.sec > now_sec {
+                continue;
+            }
+            out.cells += slot.cells;
+            out.requests += slot.requests;
+            merge(&mut out.req_lat, &slot.req_lat);
+            merge(&mut out.cell_lat, &slot.cell_lat);
+        }
+        out
+    }
+}
+
+fn merge(into: &mut Histogram, from: &Histogram) {
+    for i in 0..HIST_BUCKETS {
+        into.counts[i] += from.counts[i];
+    }
+    into.total += from.total;
+    into.sum += from.sum;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_consistent_with_bucketing() {
+        for ms in [0, 1, 2, 3, 10, 100, 4095, 4096] {
+            let b = latency_bucket(ms);
+            assert!(bucket_lower_ms(b) <= ms, "{ms}");
+            assert!(ms <= bucket_upper_ms(b), "{ms}");
+        }
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(bucket_lower_ms(0), 0);
+        assert_eq!(bucket_upper_ms(0), 0);
+        assert_eq!(bucket_upper_ms(1), 2);
+        assert_eq!(bucket_upper_ms((HIST_BUCKETS - 1) as u64), u64::MAX);
+    }
+
+    #[test]
+    fn window_counts_only_recent_seconds() {
+        let mut ring = SeriesRing::new(4);
+        ring.record_cell(10, 5);
+        ring.record_cell(10, 5);
+        ring.record_cell(12, 7);
+        ring.record_request(12, 40);
+        let w = ring.window(12, 4);
+        assert_eq!(w.cells, 3);
+        assert_eq!(w.requests, 1);
+        assert!(w.cells_per_sec() > 0.7 && w.cells_per_sec() < 0.8);
+        // Narrow window excludes second 10.
+        let w = ring.window(12, 2);
+        assert_eq!(w.cells, 1);
+        // Far future: everything aged out.
+        let w = ring.window(1000, 4);
+        assert_eq!(w.cells, 0);
+        assert_eq!(w.requests, 0);
+    }
+
+    #[test]
+    fn slots_recycle_in_place() {
+        let mut ring = SeriesRing::new(2);
+        ring.record_cell(0, 1);
+        ring.record_cell(1, 1);
+        // Second 2 reuses second 0's slot.
+        ring.record_cell(2, 1);
+        let w = ring.window(2, 2);
+        assert_eq!(w.cells, 2, "seconds 1 and 2 only");
+        let w = ring.window(2, 10);
+        assert_eq!(w.seconds, 2, "window clamps to capacity");
+    }
+
+    #[test]
+    fn window_percentiles_use_bucket_lower_bounds() {
+        let mut ring = SeriesRing::new(8);
+        for _ in 0..99 {
+            ring.record_request(5, 10);
+        }
+        ring.record_request(5, 4000);
+        let w = ring.window(5, 8);
+        assert_eq!(
+            w.req_percentile_ms(50.0),
+            bucket_lower_ms(latency_bucket(10))
+        );
+        assert_eq!(
+            w.req_percentile_ms(100.0),
+            bucket_lower_ms(latency_bucket(4000))
+        );
+    }
+}

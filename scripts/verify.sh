@@ -35,6 +35,12 @@
 #      request must replay, the output must be byte-identical to the
 #      one-shot CLI, and no finished cell may be recomputed (each of
 #      the grid's cells has exactly one valid store line)
+#  12. serve observability gate: a daemon with debug logging to a file
+#      serves a mixed workload while /metrics is scraped twice (the
+#      exposition must parse and its counters must be monotone),
+#      /trace/<token> must return a non-empty Chrome trace for the
+#      request named in the structured log, every log line must be
+#      JSON, and `ctcp top --once` must render a dashboard frame
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -460,6 +466,86 @@ fi
 if ! grep -q "6 valid (6 entries)" "$chaos_dir/store-verify.out"; then
     echo "FAIL: chaos store shows recomputed or missing cells:" >&2
     cat "$chaos_dir/store-verify.out" >&2
+    exit 1
+fi
+
+echo "==> serve observability gate (/metrics, /trace, logs, ctcp top)"
+obs_dir="$smoke_dir/serve-obs"
+mkdir -p "$obs_dir"
+./target/release/ctcp serve --addr 127.0.0.1:0 --jobs 2 \
+    --dir "$obs_dir/store" --log-level debug --log-file "$obs_dir/serve.log" \
+    > "$obs_dir/serve.out" 2>/dev/null &
+obs_pid=$!
+obs_addr=""
+for _ in $(seq 1 50); do
+    obs_addr=$(sed -n 's/.*listening on //p' "$obs_dir/serve.out" | head -n1)
+    [ -n "$obs_addr" ] && break
+    sleep 0.1
+done
+if [ -z "$obs_addr" ]; then
+    echo "FAIL: observability-gate daemon never printed its address" >&2
+    kill "$obs_pid" 2>/dev/null || true
+    exit 1
+fi
+curl -sf "http://$obs_addr/metrics" > "$obs_dir/metrics1.txt"
+# Mixed workload: a sweep and an analyze, like real clients.
+./target/release/ctcp client sweep --addr "$obs_addr" \
+    --benches gzip --strategies fdrt --insts 20000 --csv >/dev/null 2>&1
+./target/release/ctcp client analyze --addr "$obs_addr" \
+    --bench gzip --insts 10000 >/dev/null 2>&1
+curl -sf "http://$obs_addr/metrics" > "$obs_dir/metrics2.txt"
+# Exposition validity: every sample line is `name[{labels}] value`.
+if grep -vE '^(#|[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?[0-9.e+]+$)' \
+        "$obs_dir/metrics2.txt" | grep -q .; then
+    echo "FAIL: unparseable /metrics exposition lines:" >&2
+    grep -vE '^(#|[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?[0-9.e+]+$)' \
+        "$obs_dir/metrics2.txt" >&2
+    exit 1
+fi
+grep -q '^# TYPE ctcp_request_latency_ms histogram' "$obs_dir/metrics2.txt"
+grep -q 'ctcp_request_latency_ms_bucket{le="+Inf"}' "$obs_dir/metrics2.txt"
+# Counters are monotone between the two scrapes.
+obs_before=$(awk '/^ctcp_serve_requests_total /{print $2}' "$obs_dir/metrics1.txt")
+obs_after=$(awk '/^ctcp_serve_requests_total /{print $2}' "$obs_dir/metrics2.txt")
+if [ -z "$obs_before" ] || [ -z "$obs_after" ] || [ "$obs_after" -lt "$obs_before" ]; then
+    echo "FAIL: ctcp_serve_requests_total not monotone: '$obs_before' -> '$obs_after'" >&2
+    exit 1
+fi
+if [ "$obs_after" -lt 2 ]; then
+    echo "FAIL: the mixed workload was not counted: $obs_after" >&2
+    exit 1
+fi
+# Every structured log line is JSON with the core fields; the finished
+# request's token resolves to a non-empty Chrome trace.
+python3 - "$obs_dir/serve.log" > "$obs_dir/token.txt" <<'EOF'
+import json, sys
+token = None
+for line in open(sys.argv[1]):
+    rec = json.loads(line)
+    for key in ("ts_ms", "level", "target", "msg"):
+        assert key in rec, f"log record missing {key}: {line!r}"
+    if rec["msg"] == "request finished":
+        token = rec["token"]
+assert token, "no 'request finished' record in the log"
+print(token)
+EOF
+obs_token=$(cat "$obs_dir/token.txt")
+curl -sf "http://$obs_addr/trace/$obs_token" > "$obs_dir/trace.json"
+python3 - "$obs_dir/trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+spans = [e for e in events if e.get("ph") == "X"]
+lanes = {e["tid"] for e in spans}
+assert len(spans) >= 3, f"trace too thin: {len(spans)} spans"
+assert len(lanes) >= 2, f"single-lane trace: {lanes}"
+EOF
+./target/release/ctcp top --addr "$obs_addr" --once > "$obs_dir/top.txt"
+grep -q "ctcp top" "$obs_dir/top.txt"
+grep -q "workers" "$obs_dir/top.txt"
+grep -q "requests" "$obs_dir/top.txt"
+./target/release/ctcp client shutdown --addr "$obs_addr" >/dev/null
+if ! wait "$obs_pid"; then
+    echo "FAIL: observability-gate daemon did not exit cleanly" >&2
     exit 1
 fi
 
